@@ -1,0 +1,74 @@
+//! Single stuck-at fault model with structural collapsing.
+
+use rtlock_netlist::{GateId, GateKind, Netlist};
+
+/// A single stuck-at fault on a gate's output net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The faulty net (gate output).
+    pub gate: GateId,
+    /// Stuck-at value (`true` = s-a-1).
+    pub stuck_at: bool,
+}
+
+impl Fault {
+    /// Readable label like `g12/SA0`.
+    pub fn label(&self, netlist: &Netlist) -> String {
+        let name = netlist.gate_name(self.gate).map(str::to_owned).unwrap_or_else(|| self.gate.to_string());
+        format!("{name}/SA{}", u8::from(self.stuck_at))
+    }
+}
+
+/// Enumerates collapsed stuck-at faults.
+///
+/// Every primary input and logic-gate output contributes both polarities,
+/// except:
+/// * buffer and inverter outputs (equivalent to their input faults),
+/// * constant gates (untestable by construction),
+/// * flip-flop outputs in a scan view do not exist (they were cut to
+///   inputs); in a sequential netlist flop outputs are included.
+pub fn enumerate_faults(netlist: &Netlist) -> Vec<Fault> {
+    let mut out = Vec::new();
+    for id in netlist.ids() {
+        let kind = netlist.gate(id).kind;
+        match kind {
+            GateKind::Const0 | GateKind::Const1 => {}
+            GateKind::Buf | GateKind::Not => {} // collapsed onto fanin
+            _ => {
+                out.push(Fault { gate: id, stuck_at: false });
+                out.push(Fault { gate: id, stuck_at: true });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_netlist::Netlist;
+
+    #[test]
+    fn collapsing_drops_inverter_chains() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let i1 = n.add_gate(GateKind::Not, vec![a]);
+        let i2 = n.add_gate(GateKind::Not, vec![i1]);
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, vec![i2, b]);
+        n.add_output("y", g);
+        let faults = enumerate_faults(&n);
+        // a, b, g each contribute 2 faults; inverters collapsed.
+        assert_eq!(faults.len(), 6);
+        assert!(!faults.iter().any(|f| f.gate == i1 || f.gate == i2));
+    }
+
+    #[test]
+    fn labels_use_names() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        n.add_output("y", a);
+        let f = Fault { gate: a, stuck_at: true };
+        assert_eq!(f.label(&n), "a/SA1");
+    }
+}

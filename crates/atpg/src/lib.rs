@@ -1,0 +1,37 @@
+//! Stuck-at ATPG and fault simulation for the RTLock reproduction
+//! (the Table V testability study).
+//!
+//! * [`faults`] — collapsed single stuck-at fault enumeration;
+//! * [`fault_sim`] — 64-way bit-parallel fault simulation;
+//! * [`podem`] — PODEM deterministic test generation honoring fixed
+//!   (key-constrained) inputs;
+//! * [`engine`] — the full flow: random patterns + PODEM top-off + fault
+//!   dropping, under one or several key-constraint sets.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtlock_netlist::{Netlist, GateKind};
+//! use rtlock_atpg::{run_atpg, AtpgConfig};
+//!
+//! let mut n = Netlist::new("t");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let g = n.add_gate(GateKind::Nand, vec![a, b]);
+//! n.add_output("y", g);
+//!
+//! let report = run_atpg(&n, &[], &AtpgConfig::default());
+//! assert_eq!(report.fault_coverage(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fault_sim;
+pub mod faults;
+pub mod podem;
+
+pub use engine::{run_atpg, AtpgConfig, AtpgReport};
+pub use fault_sim::FaultSim;
+pub use faults::{enumerate_faults, Fault};
+pub use podem::{Podem, PodemConfig, PodemResult};

@@ -1,0 +1,495 @@
+//! PODEM deterministic test generation with support for fixed (key-
+//! constrained) inputs.
+//!
+//! Five-valued D-calculus: `0`, `1`, `X`, `D` (good 1 / faulty 0) and `D̄`.
+//! Key inputs carry pre-assigned constant values (the dummy key of
+//! post-test activation \[41\] or one of the valet keys of LL-ATPG \[42\]) and
+//! are never branched on — which is how locking constrains ATPG in Table V.
+
+use crate::faults::Fault;
+use rtlock_netlist::{GateId, GateKind, Netlist};
+
+/// Five-valued signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum V5 {
+    /// Constant 0 in both machines.
+    Zero,
+    /// Constant 1 in both machines.
+    One,
+    /// Unassigned.
+    X,
+    /// Good 1, faulty 0.
+    D,
+    /// Good 0, faulty 1.
+    Dbar,
+}
+
+impl V5 {
+    fn from_bool(b: bool) -> V5 {
+        if b {
+            V5::One
+        } else {
+            V5::Zero
+        }
+    }
+
+    /// Good-machine component (`None` for X).
+    pub fn good(self) -> Option<bool> {
+        match self {
+            V5::Zero | V5::Dbar => Some(false),
+            V5::One | V5::D => Some(true),
+            V5::X => None,
+        }
+    }
+
+    /// Faulty-machine component (`None` for X).
+    pub fn faulty(self) -> Option<bool> {
+        match self {
+            V5::Zero | V5::D => Some(false),
+            V5::One | V5::Dbar => Some(true),
+            V5::X => None,
+        }
+    }
+
+    fn from_pair(good: Option<bool>, faulty: Option<bool>) -> V5 {
+        match (good, faulty) {
+            (Some(false), Some(false)) => V5::Zero,
+            (Some(true), Some(true)) => V5::One,
+            (Some(true), Some(false)) => V5::D,
+            (Some(false), Some(true)) => V5::Dbar,
+            _ => V5::X,
+        }
+    }
+}
+
+/// PODEM resource limits.
+#[derive(Debug, Clone, Copy)]
+pub struct PodemConfig {
+    /// Backtrack limit before aborting a fault.
+    pub max_backtracks: usize,
+}
+
+impl Default for PodemConfig {
+    fn default() -> Self {
+        PodemConfig { max_backtracks: 2_000 }
+    }
+}
+
+/// Result for one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemResult {
+    /// A test was found; the vector covers all primary inputs in input
+    /// order (don't-cares filled with 0, fixed inputs with their values).
+    Test(Vec<bool>),
+    /// Proven untestable under the given fixed inputs.
+    Untestable,
+    /// Backtrack limit exceeded.
+    Aborted,
+}
+
+/// PODEM engine bound to one netlist.
+#[derive(Debug, Clone)]
+pub struct Podem<'n> {
+    netlist: &'n Netlist,
+    order: Vec<GateId>,
+    /// Fixed input values (e.g. key constraints), by gate.
+    fixed: Vec<Option<bool>>,
+    config: PodemConfig,
+}
+
+impl<'n> Podem<'n> {
+    /// Creates an engine. `fixed` maps input gates to pinned values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has flip-flops or cycles.
+    pub fn new(netlist: &'n Netlist, fixed: &[(GateId, bool)], config: PodemConfig) -> Self {
+        assert!(netlist.dffs().is_empty(), "PODEM expects a combinational (scan-view) netlist");
+        let order = netlist.topo_order().expect("acyclic");
+        let mut fx = vec![None; netlist.len()];
+        for &(g, v) in fixed {
+            assert_eq!(netlist.gate(g).kind, GateKind::Input, "fixed gate {g} must be an input");
+            fx[g.index()] = Some(v);
+        }
+        Podem { netlist, order, fixed: fx, config }
+    }
+
+    /// Attempts to generate a test for `fault`.
+    pub fn generate(&self, fault: &Fault) -> PodemResult {
+        let free_inputs: Vec<GateId> = self
+            .netlist
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|g| self.fixed[g.index()].is_none())
+            .collect();
+        let mut pi_values: Vec<Option<bool>> = vec![None; self.netlist.len()];
+        for (i, fx) in self.fixed.iter().enumerate() {
+            pi_values[i] = *fx;
+        }
+        // Decision stack: (input, value, tried_other).
+        let mut stack: Vec<(GateId, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            let values = self.imply(fault, &pi_values);
+            if self.detected(&values) {
+                let vector: Vec<bool> = self
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .map(|g| pi_values[g.index()].unwrap_or(false))
+                    .collect();
+                return PodemResult::Test(vector);
+            }
+            let alive = self.test_possible(fault, &values);
+            if alive {
+                if let Some((pi, v)) = self.find_assignment(fault, &values, &free_inputs) {
+                    pi_values[pi.index()] = Some(v);
+                    stack.push((pi, v, false));
+                    continue;
+                }
+            }
+            // Backtrack.
+            loop {
+                match stack.pop() {
+                    None => return PodemResult::Untestable,
+                    Some((pi, v, tried_other)) => {
+                        pi_values[pi.index()] = None;
+                        if !tried_other {
+                            backtracks += 1;
+                            if backtracks > self.config.max_backtracks {
+                                return PodemResult::Aborted;
+                            }
+                            pi_values[pi.index()] = Some(!v);
+                            stack.push((pi, !v, true));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Five-valued implication with the fault inserted.
+    fn imply(&self, fault: &Fault, pi_values: &[Option<bool>]) -> Vec<V5> {
+        let mut values = vec![V5::X; self.netlist.len()];
+        for &id in &self.order {
+            let g = self.netlist.gate(id);
+            let mut v = match g.kind {
+                GateKind::Input => pi_values[id.index()].map(V5::from_bool).unwrap_or(V5::X),
+                GateKind::Const0 => V5::Zero,
+                GateKind::Const1 => V5::One,
+                GateKind::Dff { .. } => unreachable!("no flops in scan view"),
+                _ => {
+                    let ins: Vec<V5> = g.fanin.iter().map(|f| values[f.index()]).collect();
+                    eval5(g.kind, &ins)
+                }
+            };
+            if id == fault.gate {
+                // Faulty machine is pinned to the stuck value.
+                let faulty = Some(fault.stuck_at);
+                v = V5::from_pair(v.good(), faulty);
+            }
+            values[id.index()] = v;
+        }
+        values
+    }
+
+    fn detected(&self, values: &[V5]) -> bool {
+        self.netlist
+            .outputs()
+            .iter()
+            .any(|&(_, drv)| matches!(values[drv.index()], V5::D | V5::Dbar))
+    }
+
+    /// Checks whether a test may still exist: the fault site must be
+    /// excitable (good value X or opposite of stuck-at), and if excited,
+    /// a D-frontier must exist.
+    fn test_possible(&self, fault: &Fault, values: &[V5]) -> bool {
+        let site = values[fault.gate.index()];
+        match site.good() {
+            Some(v) if v == fault.stuck_at => return false, // not excitable
+            None => return true,                            // still free
+            _ => {}
+        }
+        // Site carries D/D̄: need a frontier gate (some gate with a D input
+        // and X output) or an already-detected output (handled earlier).
+        if matches!(site, V5::D | V5::Dbar) {
+            return !self.d_frontier(values).is_empty();
+        }
+        true
+    }
+
+    fn d_frontier(&self, values: &[V5]) -> Vec<GateId> {
+        self.netlist
+            .ids()
+            .filter(|&id| {
+                let g = self.netlist.gate(id);
+                g.kind.is_logic()
+                    && values[id.index()] == V5::X
+                    && g.fanin.iter().any(|f| matches!(values[f.index()], V5::D | V5::Dbar))
+            })
+            .collect()
+    }
+
+    /// Chooses the next PI assignment by trying the excitation objective
+    /// first, then every D-frontier gate, backtracing each candidate
+    /// objective until one reaches a free input.
+    fn find_assignment(
+        &self,
+        fault: &Fault,
+        values: &[V5],
+        free_inputs: &[GateId],
+    ) -> Option<(GateId, bool)> {
+        // 1. Excite the fault.
+        if values[fault.gate.index()].good().is_none() {
+            if let Some(a) = self.backtrace((fault.gate, !fault.stuck_at), values, free_inputs) {
+                return Some(a);
+            }
+        }
+        // 2. Propagate: for each D-frontier gate, set an X side input to
+        //    its non-controlling value.
+        for gate in self.d_frontier(values) {
+            let g = self.netlist.gate(gate);
+            if g.kind == GateKind::Mux {
+                // Steer the select toward the D-carrying data pin.
+                let sel = g.fanin[0];
+                if values[sel.index()] == V5::X {
+                    let through_b = matches!(values[g.fanin[2].index()], V5::D | V5::Dbar);
+                    if let Some(a) = self.backtrace((sel, through_b), values, free_inputs) {
+                        return Some(a);
+                    }
+                }
+            }
+            let noncontrol = match g.kind {
+                GateKind::And | GateKind::Nand => true,
+                GateKind::Or | GateKind::Nor => false,
+                _ => false, // XOR/XNOR/MUX-data: any value propagates; try 0
+            };
+            for &f in &g.fanin {
+                if values[f.index()] == V5::X {
+                    if let Some(a) = self.backtrace((f, noncontrol), values, free_inputs) {
+                        return Some(a);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Backtraces an objective to a free primary input assignment.
+    fn backtrace(
+        &self,
+        objective: (GateId, bool),
+        values: &[V5],
+        _free_inputs: &[GateId],
+    ) -> Option<(GateId, bool)> {
+        let (mut net, mut value) = objective;
+        loop {
+            let g = self.netlist.gate(net);
+            match g.kind {
+                GateKind::Input => {
+                    if self.fixed[net.index()].is_some() || values[net.index()] != V5::X {
+                        return None; // cannot control a fixed/assigned input
+                    }
+                    return Some((net, value));
+                }
+                GateKind::Const0 | GateKind::Const1 => return None,
+                GateKind::Buf => net = g.fanin[0],
+                GateKind::Not => {
+                    value = !value;
+                    net = g.fanin[0];
+                }
+                GateKind::Nand | GateKind::Nor => {
+                    let inner = match g.kind {
+                        GateKind::Nand => !value,
+                        _ => !value,
+                    };
+                    // Choose an X input to steer.
+                    let pick = g.fanin.iter().find(|f| values[f.index()] == V5::X)?;
+                    value = match g.kind {
+                        GateKind::Nand => inner, // need AND(in) == !value
+                        _ => inner,
+                    };
+                    net = *pick;
+                }
+                GateKind::And | GateKind::Or | GateKind::Xor | GateKind::Xnor => {
+                    let pick = g.fanin.iter().find(|f| values[f.index()] == V5::X)?;
+                    net = *pick;
+                    // Keep `value` as-is: for AND/OR this drives toward the
+                    // requested output; for XOR either polarity can work.
+                }
+                GateKind::Mux => {
+                    // Prefer steering the select if free, else a data pin.
+                    let sel = g.fanin[0];
+                    if values[sel.index()] == V5::X {
+                        net = sel;
+                        value = false;
+                    } else {
+                        let pick = g.fanin[1..].iter().find(|f| values[f.index()] == V5::X)?;
+                        net = *pick;
+                    }
+                }
+                GateKind::Dff { .. } => return None,
+            }
+        }
+    }
+}
+
+/// Five-valued gate evaluation (componentwise over good/faulty machines).
+fn eval5(kind: GateKind, ins: &[V5]) -> V5 {
+    let good: Vec<Option<bool>> = ins.iter().map(|v| v.good()).collect();
+    let faulty: Vec<Option<bool>> = ins.iter().map(|v| v.faulty()).collect();
+    V5::from_pair(eval3(kind, &good), eval3(kind, &faulty))
+}
+
+/// Three-valued (0/1/X) gate evaluation with controlling-value shortcuts.
+fn eval3(kind: GateKind, ins: &[Option<bool>]) -> Option<bool> {
+    let all_known = ins.iter().all(|v| v.is_some());
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let any0 = ins.iter().any(|v| *v == Some(false));
+            let base = if any0 {
+                Some(false)
+            } else if all_known {
+                Some(true)
+            } else {
+                None
+            };
+            base.map(|b| if kind == GateKind::Nand { !b } else { b })
+        }
+        GateKind::Or | GateKind::Nor => {
+            let any1 = ins.iter().any(|v| *v == Some(true));
+            let base = if any1 {
+                Some(true)
+            } else if all_known {
+                Some(false)
+            } else {
+                None
+            };
+            base.map(|b| if kind == GateKind::Nor { !b } else { b })
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            if !all_known {
+                return None;
+            }
+            let parity = ins.iter().filter(|v| **v == Some(true)).count() % 2 == 1;
+            Some(if kind == GateKind::Xnor { !parity } else { parity })
+        }
+        GateKind::Buf => ins[0],
+        GateKind::Not => ins[0].map(|b| !b),
+        GateKind::Mux => match ins[0] {
+            Some(false) => ins[1],
+            Some(true) => ins[2],
+            None => {
+                if ins[1].is_some() && ins[1] == ins[2] {
+                    ins[1]
+                } else {
+                    None
+                }
+            }
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::enumerate_faults;
+    use crate::fault_sim::FaultSim;
+
+    fn check_test_detects(netlist: &Netlist, fault: &Fault, vector: &[bool]) {
+        let fs = FaultSim::new(netlist);
+        let inputs: Vec<u64> = vector.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let good = fs.good_sim(&inputs);
+        assert_eq!(fs.detect_lanes(fault, &good) & 1, 1, "vector {vector:?} fails for {fault:?}");
+    }
+
+    #[test]
+    fn generates_tests_for_all_testable_faults() {
+        // y = (a & b) ^ (c | d)
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let d = n.add_input("d");
+        let ab = n.add_gate(GateKind::And, vec![a, b]);
+        let cd = n.add_gate(GateKind::Or, vec![c, d]);
+        let y = n.add_gate(GateKind::Xor, vec![ab, cd]);
+        n.add_output("y", y);
+        let podem = Podem::new(&n, &[], PodemConfig::default());
+        for f in enumerate_faults(&n) {
+            match podem.generate(&f) {
+                PodemResult::Test(vec) => check_test_detects(&n, &f, &vec),
+                other => panic!("fault {f:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn proves_redundant_fault_untestable() {
+        // y = a | (a & b): AND output SA0 is redundant.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let and = n.add_gate(GateKind::And, vec![a, b]);
+        let or = n.add_gate(GateKind::Or, vec![a, and]);
+        n.add_output("y", or);
+        let podem = Podem::new(&n, &[], PodemConfig::default());
+        let res = podem.generate(&Fault { gate: and, stuck_at: false });
+        assert_eq!(res, PodemResult::Untestable);
+    }
+
+    #[test]
+    fn fixed_inputs_block_some_faults() {
+        // y = a & k. With k fixed to 0, faults below the AND are untestable.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let k = n.add_input("k");
+        let g = n.add_gate(GateKind::And, vec![a, k]);
+        n.add_output("y", g);
+        let free = Podem::new(&n, &[], PodemConfig::default());
+        assert!(matches!(free.generate(&Fault { gate: a, stuck_at: false }), PodemResult::Test(_)));
+        let pinned = Podem::new(&n, &[(k, false)], PodemConfig::default());
+        assert_eq!(pinned.generate(&Fault { gate: a, stuck_at: false }), PodemResult::Untestable);
+        // With k = 1 it works again, and the vector respects the pin.
+        let pinned1 = Podem::new(&n, &[(k, true)], PodemConfig::default());
+        match pinned1.generate(&Fault { gate: a, stuck_at: false }) {
+            PodemResult::Test(v) => {
+                assert!(v[1], "fixed key value must appear in the vector");
+                check_test_detects(&n, &Fault { gate: a, stuck_at: false }, &v);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn propagates_through_mux() {
+        let mut n = Netlist::new("t");
+        let s = n.add_input("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let m = n.add_gate(GateKind::Mux, vec![s, a, b]);
+        n.add_output("y", m);
+        let podem = Podem::new(&n, &[], PodemConfig::default());
+        for f in [Fault { gate: a, stuck_at: false }, Fault { gate: b, stuck_at: true }] {
+            match podem.generate(&f) {
+                PodemResult::Test(vec) => check_test_detects(&n, &f, &vec),
+                other => panic!("{f:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn five_valued_algebra() {
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::One]), V5::D);
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::Zero]), V5::Zero);
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::Dbar]), V5::Zero);
+        assert_eq!(eval5(GateKind::Xor, &[V5::D, V5::One]), V5::Dbar);
+        assert_eq!(eval5(GateKind::Or, &[V5::X, V5::One]), V5::One);
+        assert_eq!(eval5(GateKind::Or, &[V5::X, V5::Zero]), V5::X);
+        assert_eq!(eval5(GateKind::Not, &[V5::D]), V5::Dbar);
+    }
+}

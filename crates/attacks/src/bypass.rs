@@ -1,0 +1,134 @@
+//! Bypass-attack feasibility analysis (\[13\] in the paper).
+//!
+//! The bypass attack runs a SAT-resistant locked chip with an arbitrary
+//! wrong key and patches the handful of input patterns the wrong key
+//! corrupts with a small "bypass" comparator circuit. Its cost is
+//! proportional to the number of corrupted patterns: point-function schemes
+//! corrupt one pattern (one comparator), while high-corruptibility locking
+//! corrupts a large fraction of the input space, making the bypass
+//! circuitry as large as the design itself — infeasible.
+
+use crate::oracle::CombOracle;
+use crate::sat_attack::apply_key;
+use rtlock_netlist::{NetSim, Netlist};
+
+/// Estimated cost of a bypass attack for one wrong key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BypassEstimate {
+    /// Fraction of sampled input patterns with *any* corrupted output —
+    /// each such pattern needs its own comparator in the bypass circuit.
+    pub corrupted_fraction: f64,
+    /// Estimated number of corrupted patterns over the whole input space
+    /// (`corrupted_fraction * 2^inputs`, saturating).
+    pub estimated_patterns: f64,
+    /// `true` when the bypass circuitry would stay small (few protected
+    /// patterns) — the attack is considered feasible below
+    /// [`BYPASS_FEASIBLE_FRACTION`].
+    pub feasible: bool,
+}
+
+/// Corruption fraction below which a bypass circuit is considered
+/// practical (a loose bound: a handful of pattern comparators).
+pub const BYPASS_FEASIBLE_FRACTION: f64 = 1e-3;
+
+/// Estimates bypass-attack cost for `wrong_key` by sampling
+/// `samples * 64` random patterns.
+///
+/// # Panics
+///
+/// Panics if `wrong_key` length differs from the key input count.
+pub fn bypass_estimate(
+    locked: &Netlist,
+    original: &Netlist,
+    wrong_key: &[bool],
+    samples: usize,
+    seed: u64,
+) -> BypassEstimate {
+    let keyed = apply_key(locked, wrong_key);
+    let mut oracle = CombOracle::new(original);
+    let mut sim = NetSim::new(&keyed).expect("acyclic");
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut patterns = 0usize;
+    let mut corrupted = 0usize;
+    for _ in 0..samples.max(1) {
+        let words: Vec<u64> = keyed.inputs().iter().map(|_| next()).collect();
+        for (&g, &w) in keyed.inputs().iter().zip(&words) {
+            sim.set_input(g, w);
+        }
+        sim.eval_comb();
+        for lane in 0..64 {
+            let named: Vec<(String, bool)> = keyed
+                .inputs()
+                .iter()
+                .zip(&words)
+                .map(|(&g, &w)| (keyed.gate_name(g).unwrap_or("").to_owned(), w >> lane & 1 == 1))
+                .collect();
+            let expect = oracle.query(&named);
+            patterns += 1;
+            let mismatch = keyed.outputs().iter().any(|(name, drv)| {
+                expect
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .is_some_and(|(_, e)| (sim.value(*drv) >> lane & 1 == 1) != *e)
+            });
+            corrupted += usize::from(mismatch);
+        }
+    }
+    let corrupted_fraction = corrupted as f64 / patterns.max(1) as f64;
+    let data_inputs = locked.inputs().len() - locked.key_inputs.len();
+    let space = 2.0f64.powi(data_inputs.min(1023) as i32);
+    BypassEstimate {
+        corrupted_fraction,
+        estimated_patterns: corrupted_fraction * space,
+        feasible: corrupted_fraction < BYPASS_FEASIBLE_FRACTION,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_netlist::{GateKind, Netlist};
+
+    #[test]
+    fn high_corruption_is_infeasible_to_bypass() {
+        let mut locked = Netlist::new("l");
+        let a = locked.add_input("a");
+        let b = locked.add_input("b");
+        let k = locked.add_input("keyinput0");
+        locked.mark_key_input(k);
+        let g = locked.add_gate(GateKind::Or, vec![a, b]);
+        let y = locked.add_gate(GateKind::Xor, vec![g, k]);
+        locked.add_output("y", y);
+        let mut orig = Netlist::new("o");
+        let a = orig.add_input("a");
+        let b = orig.add_input("b");
+        let g = orig.add_gate(GateKind::Or, vec![a, b]);
+        orig.add_output("y", g);
+        // Wrong key (true) flips every output.
+        let est = bypass_estimate(&locked, &orig, &[true], 16, 5);
+        assert!(est.corrupted_fraction > 0.9);
+        assert!(!est.feasible);
+    }
+
+    #[test]
+    fn correct_key_corrupts_nothing() {
+        let mut locked = Netlist::new("l");
+        let a = locked.add_input("a");
+        let k = locked.add_input("keyinput0");
+        locked.mark_key_input(k);
+        let y = locked.add_gate(GateKind::Xor, vec![a, k]);
+        locked.add_output("y", y);
+        let mut orig = Netlist::new("o");
+        let a = orig.add_input("a");
+        orig.add_output("y", a);
+        let est = bypass_estimate(&locked, &orig, &[false], 16, 5);
+        assert_eq!(est.corrupted_fraction, 0.0);
+        assert!(est.feasible, "nothing to patch");
+    }
+}

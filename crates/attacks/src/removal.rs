@@ -1,0 +1,252 @@
+//! Signal-probability-skew (SPS) removal attack analysis (\[12\] in the
+//! paper).
+//!
+//! Point-function defenses (SARLock/Anti-SAT style) hide the key behind a
+//! comparator whose output is almost always 0 (or 1): its *signal
+//! probability skew* gives it away, and cutting it out restores the
+//! original circuit. The analysis estimates per-net signal probabilities by
+//! bit-parallel random simulation, flags heavily skewed nets feeding
+//! output-side XOR structures, and attempts the removal (replace candidate
+//! by its dominant constant) checking functional recovery against the
+//! oracle. RTLock introduces no point functions and keeps corruptibility
+//! high, so the attack finds no viable candidate.
+
+use crate::oracle::CombOracle;
+use rtlock_netlist::{GateId, GateKind, NetSim, Netlist};
+
+/// A candidate point-function net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewCandidate {
+    /// The skewed gate.
+    pub gate: GateId,
+    /// Estimated probability of the gate being 1.
+    pub p_one: f64,
+}
+
+/// Outcome of the removal attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemovalOutcome {
+    /// Removing `gate` (stuck at its dominant value) recovered the original
+    /// function on all sampled patterns.
+    Recovered {
+        /// The removed point-function gate.
+        gate: GateId,
+        /// Residual error rate on the validation sample.
+        error_rate: f64,
+    },
+    /// No candidate removal restored the function.
+    Foiled {
+        /// Skew candidates that were tried.
+        tried: usize,
+        /// Best (lowest) error rate achieved.
+        best_error_rate: f64,
+    },
+}
+
+/// Estimates per-gate signal probabilities with `rounds * 64` random
+/// patterns.
+pub fn signal_probabilities(netlist: &Netlist, rounds: usize, seed: u64) -> Vec<f64> {
+    let mut sim = NetSim::new(netlist).expect("acyclic");
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut ones = vec![0u64; netlist.len()];
+    sim.reset();
+    for _ in 0..rounds.max(1) {
+        for &i in netlist.inputs() {
+            let r = next();
+            sim.set_input(i, r);
+        }
+        sim.step();
+        for id in netlist.ids() {
+            ones[id.index()] += sim.value(id).count_ones() as u64;
+        }
+    }
+    let denom = (rounds.max(1) * 64) as f64;
+    ones.into_iter().map(|c| c as f64 / denom).collect()
+}
+
+/// Finds nets with probability skew beyond `threshold` (distance from 0.5)
+/// among internal logic gates, sorted most-skewed first.
+pub fn find_skew_candidates(netlist: &Netlist, threshold: f64, rounds: usize, seed: u64) -> Vec<SkewCandidate> {
+    let probs = signal_probabilities(netlist, rounds, seed);
+    let mut out: Vec<SkewCandidate> = netlist
+        .ids()
+        .filter(|&id| netlist.gate(id).kind.is_logic())
+        .map(|id| SkewCandidate { gate: id, p_one: probs[id.index()] })
+        .filter(|c| (c.p_one - 0.5).abs() >= threshold)
+        .collect();
+    out.sort_by(|a, b| (b.p_one - 0.5).abs().total_cmp(&(a.p_one - 0.5).abs()));
+    out
+}
+
+/// Attempts the removal attack: for each skew candidate (most skewed
+/// first), stub it to its dominant constant and co-simulate against the
+/// oracle on `samples * 64` random patterns. Success requires an error rate
+/// below `tolerance`.
+pub fn removal_attack(
+    locked: &Netlist,
+    original: &Netlist,
+    threshold: f64,
+    tolerance: f64,
+    samples: usize,
+    seed: u64,
+) -> RemovalOutcome {
+    let candidates = find_skew_candidates(locked, threshold, samples, seed);
+    let mut best = 1.0f64;
+    let mut tried = 0usize;
+    for cand in candidates.iter().take(32) {
+        tried += 1;
+        let dominant = cand.p_one >= 0.5;
+        let mut stubbed = locked.clone();
+        let cgate = stubbed.add_gate(if dominant { GateKind::Const1 } else { GateKind::Const0 }, vec![]);
+        stubbed.replace_uses(cand.gate, cgate, &[]);
+        // Hardwire all keys to an arbitrary value — a successful removal
+        // makes the key irrelevant.
+        let keys = stubbed.key_inputs.clone();
+        for k in keys {
+            stubbed.convert_input_to_const(k, false);
+        }
+        let err = mismatch_rate(&stubbed, original, samples, seed ^ 0x5A5A);
+        best = best.min(err);
+        if err <= tolerance {
+            return RemovalOutcome::Recovered { gate: cand.gate, error_rate: err };
+        }
+    }
+    RemovalOutcome::Foiled { tried, best_error_rate: best }
+}
+
+/// Fraction of mismatching output bits between two combinational netlists
+/// (matched by output name) over random patterns.
+pub fn mismatch_rate(candidate: &Netlist, original: &Netlist, samples: usize, seed: u64) -> f64 {
+    let mut oracle = CombOracle::new(original);
+    let mut sim = match NetSim::new(candidate) {
+        Ok(s) => s,
+        Err(_) => return 1.0,
+    };
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut total = 0usize;
+    let mut bad = 0usize;
+    for _ in 0..samples.max(1) {
+        // 64 independent patterns per block: candidate side is simulated
+        // bit-parallel; the oracle is queried lane by lane.
+        let words: Vec<u64> = candidate.inputs().iter().map(|_| next()).collect();
+        for (&g, &w) in candidate.inputs().iter().zip(&words) {
+            sim.set_input(g, w);
+        }
+        sim.eval_comb();
+        for lane in 0..64 {
+            let named: Vec<(String, bool)> = candidate
+                .inputs()
+                .iter()
+                .zip(&words)
+                .map(|(&g, &w)| (candidate.gate_name(g).unwrap_or("").to_owned(), w >> lane & 1 == 1))
+                .filter(|(n, _)| !n.is_empty())
+                .collect();
+            let expect = oracle.query(&named);
+            for (name, drv) in candidate.outputs() {
+                if let Some((_, e)) = expect.iter().find(|(n, _)| n == name) {
+                    total += 1;
+                    bad += usize::from((sim.value(*drv) >> lane & 1 == 1) != *e);
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        bad as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SARLock-style lock: y = f(x) XOR (x == key), a one-point flip.
+    fn point_function_locked(width: usize, key: u64) -> (Netlist, Netlist) {
+        let mut orig = Netlist::new("orig");
+        let ins: Vec<_> = (0..width).map(|i| orig.add_input(format!("x{i}"))).collect();
+        let mut f = ins[0];
+        for &i in &ins[1..] {
+            f = orig.add_gate(GateKind::Xor, vec![f, i]);
+        }
+        orig.add_output("y", f);
+
+        let mut locked = Netlist::new("locked");
+        let ins: Vec<_> = (0..width).map(|i| locked.add_input(format!("x{i}"))).collect();
+        let keys: Vec<_> = (0..width)
+            .map(|i| {
+                let k = locked.add_input(format!("keyinput{i}"));
+                locked.mark_key_input(k);
+                k
+            })
+            .collect();
+        let mut f = ins[0];
+        for &i in &ins[1..] {
+            f = locked.add_gate(GateKind::Xor, vec![f, i]);
+        }
+        // Comparator x == key (the point function).
+        let mut cmp = locked.add_gate(GateKind::Xnor, vec![ins[0], keys[0]]);
+        for i in 1..width {
+            let eq = locked.add_gate(GateKind::Xnor, vec![ins[i], keys[i]]);
+            cmp = locked.add_gate(GateKind::And, vec![cmp, eq]);
+        }
+        let y = locked.add_gate(GateKind::Xor, vec![f, cmp]);
+        locked.add_output("y", y);
+        let _ = key;
+        (locked, orig)
+    }
+
+    #[test]
+    fn sarlock_style_point_function_is_removed() {
+        let (locked, orig) = point_function_locked(6, 0b101010);
+        let out = removal_attack(&locked, &orig, 0.35, 0.02, 32, 42);
+        assert!(matches!(out, RemovalOutcome::Recovered { .. }), "got {out:?}");
+    }
+
+    #[test]
+    fn high_corruption_locking_foils_removal() {
+        // XOR key gate: wrong key flips *every* pattern — no skewed point
+        // function to remove.
+        let mut locked = Netlist::new("l");
+        let a = locked.add_input("a");
+        let b = locked.add_input("b");
+        let k = locked.add_input("keyinput0");
+        locked.mark_key_input(k);
+        let g = locked.add_gate(GateKind::And, vec![a, b]);
+        let y = locked.add_gate(GateKind::Xor, vec![g, k]);
+        locked.add_output("y", y);
+        let mut orig = Netlist::new("o");
+        let a = orig.add_input("a");
+        let b = orig.add_input("b");
+        let g = orig.add_gate(GateKind::And, vec![a, b]);
+        orig.add_output("y", g);
+        let out = removal_attack(&locked, &orig, 0.35, 0.02, 32, 42);
+        assert!(matches!(out, RemovalOutcome::Foiled { .. }), "got {out:?}");
+    }
+
+    #[test]
+    fn signal_probabilities_reasonable() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let and = n.add_gate(GateKind::And, vec![a, b]);
+        let xor = n.add_gate(GateKind::Xor, vec![a, b]);
+        n.add_output("y1", and);
+        n.add_output("y2", xor);
+        let p = signal_probabilities(&n, 64, 9);
+        assert!((p[and.index()] - 0.25).abs() < 0.05, "AND ~ 0.25, got {}", p[and.index()]);
+        assert!((p[xor.index()] - 0.5).abs() < 0.05, "XOR ~ 0.5, got {}", p[xor.index()]);
+    }
+}

@@ -1,0 +1,385 @@
+//! The oracle-guided SAT attack (Subramanyan et al., HOST 2015 — \[4\]/\[38\]
+//! in the paper).
+//!
+//! Finds the locking key of a *combinational* (scan-accessible) locked
+//! circuit by iteratively discovering distinguishing input patterns (DIPs):
+//! a miter of two key-differentiated copies yields an input on which some
+//! pair of keys disagrees; the oracle's answer for that input rules out all
+//! keys in the wrong equivalence class. When no DIP remains, any key
+//! consistent with the accumulated I/O constraints is functionally correct.
+//!
+//! Sequential circuits must be attacked through their scan view
+//! ([`rtlock_synth::scan_view`]); if flip-flops remain (partial scan or
+//! locked scan access), the attack refuses — exactly the protection RTLock's
+//! scan locking provides.
+
+use crate::oracle::CombOracle;
+use rtlock_netlist::{CnfBuilder, GateId, Netlist};
+use rtlock_sat::{Budget, Lit, SolveResult, Solver};
+use std::time::{Duration, Instant};
+
+/// Attack resource limits.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackConfig {
+    /// Maximum number of DIP iterations.
+    pub max_iterations: usize,
+    /// Wall-clock limit for the whole attack.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig { max_iterations: 10_000, timeout: None }
+    }
+}
+
+/// Result of an attack run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// A functionally correct key was recovered.
+    KeyFound {
+        /// Recovered key bits, in `key_inputs` order.
+        key: Vec<bool>,
+        /// DIP iterations used.
+        iterations: usize,
+        /// Wall-clock time spent.
+        elapsed: Duration,
+    },
+    /// The budget ran out first (counts as "not broken" in Table III).
+    TimedOut {
+        /// DIP iterations completed.
+        iterations: usize,
+        /// Wall-clock time spent.
+        elapsed: Duration,
+    },
+    /// The attack does not apply (no key inputs, or sequential elements
+    /// without scan access).
+    Infeasible {
+        /// Why the attack cannot run.
+        reason: String,
+    },
+}
+
+impl AttackOutcome {
+    /// The recovered key, if any.
+    pub fn key(&self) -> Option<&[bool]> {
+        match self {
+            AttackOutcome::KeyFound { key, .. } => Some(key),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the SAT attack on `locked` (combinational, key inputs marked)
+/// against an oracle built from the unlocked `original` netlist.
+///
+/// Input and output correspondence is by name: every non-key input and
+/// every output of `locked` must exist in `original`.
+pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -> AttackOutcome {
+    let start = Instant::now();
+    if locked.key_inputs.is_empty() {
+        return AttackOutcome::Infeasible { reason: "no key inputs".into() };
+    }
+    if !locked.dffs().is_empty() {
+        return AttackOutcome::Infeasible {
+            reason: "sequential elements without scan access; SAT attack requires full scan".into(),
+        };
+    }
+    let mut oracle = CombOracle::new(original);
+    let data_inputs: Vec<GateId> =
+        locked.inputs().iter().copied().filter(|g| !locked.key_inputs.contains(g)).collect();
+    // Inputs the oracle does not know (scan controls and the like, present
+    // only on the locked design) are still attacker-controlled variables;
+    // they are simply not forwarded to the oracle. Likewise only outputs
+    // the oracle shares are constrained by its answers.
+    let shared_outputs: Vec<bool> = locked
+        .outputs()
+        .iter()
+        .map(|(name, _)| original.outputs().iter().any(|(n, _)| n == name))
+        .collect();
+    if !shared_outputs.iter().any(|&s| s) {
+        return AttackOutcome::Infeasible { reason: "no outputs shared with the oracle".into() };
+    }
+
+    let mut cnf = CnfBuilder::new();
+    let mut solver = Solver::new();
+    let mut drained = 0usize;
+
+    // Shared x variables and two key copies.
+    let x_vars: Vec<i32> = data_inputs.iter().map(|_| cnf.fresh_var()).collect();
+    let k1: Vec<i32> = locked.key_inputs.iter().map(|_| cnf.fresh_var()).collect();
+    let k2: Vec<i32> = locked.key_inputs.iter().map(|_| cnf.fresh_var()).collect();
+
+    let assemble = |keys: &[i32], xs: &[i32]| -> Vec<i32> {
+        locked
+            .inputs()
+            .iter()
+            .map(|g| {
+                if let Some(ki) = locked.key_inputs.iter().position(|k| k == g) {
+                    keys[ki]
+                } else {
+                    let xi = data_inputs.iter().position(|d| d == g).expect("partitioned");
+                    xs[xi]
+                }
+            })
+            .collect()
+    };
+
+    let vars1 = cnf.encode_comb(locked, &assemble(&k1, &x_vars), &[]);
+    let vars2 = cnf.encode_comb(locked, &assemble(&k2, &x_vars), &[]);
+
+    // Miter: some output differs — guarded by an activation literal so the
+    // final key-extraction solve can drop it.
+    let mut diffs = Vec::new();
+    for (_, drv) in locked.outputs() {
+        let d = cnf.xor_lit(vars1[drv.index()], vars2[drv.index()]);
+        diffs.push(d);
+    }
+    let any_diff = cnf.or_lit(&diffs);
+    let act = cnf.fresh_var();
+    cnf.add_clause(&[-act, any_diff]);
+
+    sync(&mut cnf, &mut solver, &mut drained);
+
+    let deadline = config.timeout.map(|t| start + t);
+    let mut iterations = 0usize;
+    loop {
+        solver.set_budget(Budget { deadline, ..Budget::unlimited() });
+        let res = solver.solve(&[Lit::from_dimacs(act)]);
+        match res {
+            SolveResult::Unknown => {
+                return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+            }
+            SolveResult::Unsat => {
+                // No DIP left: any consistent key is correct.
+                let final_res = solver.solve(&[]);
+                if final_res != SolveResult::Sat {
+                    return AttackOutcome::Infeasible {
+                        reason: "I/O constraints inconsistent (oracle/netlist mismatch?)".into(),
+                    };
+                }
+                let key: Vec<bool> = k1
+                    .iter()
+                    .map(|&v| solver.value(rtlock_sat::Var(v as u32 - 1)).unwrap_or(false))
+                    .collect();
+                return AttackOutcome::KeyFound { key, iterations, elapsed: start.elapsed() };
+            }
+            SolveResult::Sat => {
+                iterations += 1;
+                if iterations > config.max_iterations {
+                    return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+                }
+                // Extract the DIP and ask the oracle.
+                let dip: Vec<bool> = x_vars
+                    .iter()
+                    .map(|&v| solver.value(rtlock_sat::Var(v as u32 - 1)).unwrap_or(false))
+                    .collect();
+                let named: Vec<(String, bool)> = data_inputs
+                    .iter()
+                    .zip(&dip)
+                    .map(|(&g, &v)| (locked.gate_name(g).unwrap_or("").to_owned(), v))
+                    .filter(|(n, _)| oracle.has_input(n))
+                    .collect();
+                let answer = oracle.query(&named);
+
+                // Constrain both key copies to produce the oracle's answer
+                // on this DIP, using two fresh circuit copies.
+                for keys in [&k1, &k2] {
+                    let xin: Vec<i32> = dip
+                        .iter()
+                        .map(|&v| {
+                            let var = cnf.fresh_var();
+                            cnf.assert_lit(if v { var } else { -var });
+                            var
+                        })
+                        .collect();
+                    let vars = cnf.encode_comb(locked, &assemble(keys, &xin), &[]);
+                    for (oi, (name, drv)) in locked.outputs().iter().enumerate() {
+                        if !shared_outputs[oi] {
+                            continue; // locked-only output: the oracle has no answer
+                        }
+                        let Some((_, expect)) = answer.iter().find(|(n, _)| n == name) else { continue };
+                        let lit = vars[drv.index()];
+                        cnf.assert_lit(if *expect { lit } else { -lit });
+                    }
+                }
+                sync(&mut cnf, &mut solver, &mut drained);
+            }
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+            }
+        }
+    }
+}
+
+fn sync(cnf: &mut CnfBuilder, solver: &mut Solver, drained: &mut usize) {
+    solver.reserve_vars(cnf.num_vars());
+    let clauses = cnf.clauses();
+    for c in &clauses[*drained..] {
+        solver.add_dimacs_clause(c);
+    }
+    *drained = clauses.len();
+}
+
+/// Hardwires a key into a locked netlist (no optimization).
+///
+/// # Panics
+///
+/// Panics if `key.len()` differs from the number of key inputs.
+pub fn apply_key(locked: &Netlist, key: &[bool]) -> Netlist {
+    assert_eq!(key.len(), locked.key_inputs.len(), "key length mismatch");
+    let mut n = locked.clone();
+    let kins = n.key_inputs.clone();
+    for (&g, &v) in kins.iter().zip(key) {
+        n.convert_input_to_const(g, v);
+    }
+    n
+}
+
+/// Checks a recovered key by random co-simulation of the keyed locked
+/// netlist against the original: returns the fraction of matching output
+/// bits over `patterns` random input vectors (1.0 = functionally
+/// equivalent on the sample).
+pub fn key_accuracy(locked: &Netlist, original: &Netlist, key: &[bool], patterns: usize, seed: u64) -> f64 {
+    use rtlock_netlist::NetSim;
+    let keyed = apply_key(locked, key);
+    let mut oracle = CombOracle::new(original);
+    let mut sim = NetSim::new(&keyed).expect("acyclic");
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut total = 0usize;
+    let mut matching = 0usize;
+    for _ in 0..patterns {
+        let named: Vec<(String, bool)> = keyed
+            .inputs()
+            .iter()
+            .map(|&g| (keyed.gate_name(g).unwrap_or("").to_owned(), next() & 1 == 1))
+            .collect();
+        for (&g, (_, v)) in keyed.inputs().iter().zip(&named) {
+            sim.set_input(g, if *v { u64::MAX } else { 0 });
+        }
+        sim.eval_comb();
+        let answer = oracle.query(&named);
+        for ((name, drv), _) in keyed.outputs().iter().zip(0..) {
+            let got = sim.value(*drv) & 1 == 1;
+            let expect = answer.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(false);
+            total += 1;
+            matching += usize::from(got == expect);
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        matching as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_netlist::GateKind;
+
+    /// y = (a & b) ^ (c | d), locked with XOR/XNOR key gates.
+    fn build_pair(key: &[bool]) -> (Netlist, Netlist) {
+        let mut orig = Netlist::new("orig");
+        let a = orig.add_input("a");
+        let b = orig.add_input("b");
+        let c = orig.add_input("c");
+        let d = orig.add_input("d");
+        let ab = orig.add_gate(GateKind::And, vec![a, b]);
+        let cd = orig.add_gate(GateKind::Or, vec![c, d]);
+        let y = orig.add_gate(GateKind::Xor, vec![ab, cd]);
+        orig.add_output("y", y);
+
+        let mut locked = Netlist::new("locked");
+        let a = locked.add_input("a");
+        let b = locked.add_input("b");
+        let c = locked.add_input("c");
+        let d = locked.add_input("d");
+        let mut keys = Vec::new();
+        for i in 0..key.len() {
+            let k = locked.add_input(format!("keyinput{i}"));
+            locked.mark_key_input(k);
+            keys.push(k);
+        }
+        let ab = locked.add_gate(GateKind::And, vec![a, b]);
+        // Key gate 0 on ab: XOR if key bit 0 else XNOR.
+        let ab_l = if key[0] {
+            locked.add_gate(GateKind::Xnor, vec![ab, keys[0]])
+        } else {
+            locked.add_gate(GateKind::Xor, vec![ab, keys[0]])
+        };
+        let cd = locked.add_gate(GateKind::Or, vec![c, d]);
+        let cd_l = if key.len() > 1 {
+            if key[1] {
+                locked.add_gate(GateKind::Xnor, vec![cd, keys[1]])
+            } else {
+                locked.add_gate(GateKind::Xor, vec![cd, keys[1]])
+            }
+        } else {
+            cd
+        };
+        let y = locked.add_gate(GateKind::Xor, vec![ab_l, cd_l]);
+        locked.add_output("y", y);
+        (locked, orig)
+    }
+
+    #[test]
+    fn recovers_two_bit_key() {
+        for key in [[false, false], [false, true], [true, false], [true, true]] {
+            let (locked, orig) = build_pair(&key);
+            let out = sat_attack(&locked, &orig, &AttackConfig::default());
+            match out {
+                AttackOutcome::KeyFound { key: found, .. } => {
+                    assert_eq!(key_accuracy(&locked, &orig, &found, 64, 7), 1.0, "key {key:?} -> {found:?}");
+                }
+                other => panic!("attack failed for {key:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn refuses_sequential_netlists() {
+        let mut n = Netlist::new("seq");
+        let a = n.add_input("a");
+        let k = n.add_input("keyinput0");
+        n.mark_key_input(k);
+        let x = n.add_gate(GateKind::Xor, vec![a, k]);
+        let ff = n.add_gate(GateKind::Dff { init: false }, vec![x]);
+        n.add_output("q", ff);
+        let out = sat_attack(&n, &n, &AttackConfig::default());
+        assert!(matches!(out, AttackOutcome::Infeasible { .. }));
+    }
+
+    #[test]
+    fn refuses_keyless_netlists() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        n.add_output("y", a);
+        assert!(matches!(sat_attack(&n, &n, &AttackConfig::default()), AttackOutcome::Infeasible { .. }));
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let (locked, orig) = build_pair(&[true, false]);
+        let out = sat_attack(&locked, &orig, &AttackConfig { max_iterations: 0, timeout: None });
+        // Either it needed no DIPs (unlikely) or it hits the budget.
+        assert!(matches!(out, AttackOutcome::TimedOut { .. } | AttackOutcome::KeyFound { .. }));
+    }
+
+    #[test]
+    fn apply_key_hardwires_constants() {
+        let (locked, orig) = build_pair(&[true, true]);
+        let keyed = apply_key(&locked, &[true, true]);
+        assert!(keyed.key_inputs.is_empty());
+        assert_eq!(key_accuracy(&locked, &orig, &[true, true], 32, 3), 1.0);
+        assert!(key_accuracy(&locked, &orig, &[false, true], 32, 3) < 1.0, "wrong key corrupts");
+    }
+}

@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks over the EDA pipeline: synthesis, SAT
+//! solving, the SAT attack, fault simulation and the full RTLock flow.
+//! Complements the table binaries (which regenerate the paper's results)
+//! with performance tracking of the substrates themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtlock::baselines::{lock_baseline, BaselineKind};
+use rtlock::database::DatabaseConfig;
+use rtlock::select::SelectionSpec;
+use rtlock::RtlLockConfig;
+use rtlock_atpg::{run_atpg, AtpgConfig};
+use rtlock_attacks::{sat_attack, AttackConfig};
+use rtlock_sat::{SolveResult, Solver};
+use rtlock_synth::{elaborate, optimize, scan, scan_view};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let m = rtlock_designs::by_name("b05").expect("exists").module().expect("parses");
+    c.bench_function("synthesize_b05", |b| {
+        b.iter(|| {
+            let mut n = elaborate(&m).expect("elaborates");
+            optimize(&mut n);
+            n.logic_count()
+        })
+    });
+}
+
+fn bench_sat_solver(c: &mut Criterion) {
+    c.bench_function("sat_pigeonhole_7_into_6", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let holes = 6i32;
+            let p = |i: i32, j: i32| holes * i + j + 1;
+            for i in 0..7 {
+                let clause: Vec<i32> = (0..holes).map(|j| p(i, j)).collect();
+                s.add_dimacs_clause(&clause);
+            }
+            for j in 0..holes {
+                for i1 in 0..7 {
+                    for i2 in (i1 + 1)..7 {
+                        s.add_dimacs_clause(&[-p(i1, j), -p(i2, j)]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        })
+    });
+}
+
+fn bench_sat_attack(c: &mut Criterion) {
+    let m = rtlock_designs::by_name("b05").expect("exists").module().expect("parses");
+    let mut original = elaborate(&m).expect("elaborates");
+    optimize(&mut original);
+    let locked = lock_baseline(&original, BaselineKind::Rnd, 10.0, 24, 7);
+    let mut l = locked.netlist.clone();
+    scan::insert_full_scan(&mut l);
+    let lv = scan_view(&l).netlist;
+    let mut o = original.clone();
+    scan::insert_full_scan(&mut o);
+    let ov = scan_view(&o).netlist;
+    c.bench_function("sat_attack_b05_rnd24", |b| {
+        b.iter(|| {
+            let out = sat_attack(&lv, &ov, &AttackConfig::default());
+            assert!(out.key().is_some());
+        })
+    });
+}
+
+fn bench_atpg(c: &mut Criterion) {
+    let m = rtlock_designs::by_name("b05").expect("exists").module().expect("parses");
+    let mut n = elaborate(&m).expect("elaborates");
+    optimize(&mut n);
+    scan::insert_full_scan(&mut n);
+    let view = scan_view(&n).netlist;
+    c.bench_function("atpg_b05_full_scan", |b| {
+        b.iter(|| {
+            let report = run_atpg(&view, &[], &AtpgConfig::default());
+            assert!(report.fault_coverage() > 0.9);
+        })
+    });
+}
+
+fn bench_rtlock_flow(c: &mut Criterion) {
+    let m = rtlock_designs::by_name("b05").expect("exists").module().expect("parses");
+    let config = RtlLockConfig {
+        database: DatabaseConfig { sat_probe: false, cosim_cycles: 16, corruption_samples: 1, ..DatabaseConfig::default() },
+        spec: SelectionSpec { min_resilience: 100.0, max_area_pct: 30.0, min_key_bits: 8, ..SelectionSpec::default() },
+        verify_cycles: 16,
+        ..RtlLockConfig::default()
+    };
+    c.bench_function("rtlock_flow_b05", |b| {
+        b.iter(|| {
+            let ld = rtlock::lock(&m, &config).expect("locks");
+            ld.key.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_synthesis, bench_sat_solver, bench_sat_attack, bench_atpg, bench_rtlock_flow
+}
+criterion_main!(benches);

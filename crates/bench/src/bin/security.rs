@@ -1,0 +1,116 @@
+//! Regenerates the Section IV security narrative that is not covered by a
+//! numbered table: the oracle-less removal (SPS) analysis and the bypass
+//! cost estimate, contrasting a SARLock-style point function with RTLock's
+//! high-corruptibility locking.
+
+use rtlock::lock;
+use rtlock_attacks::bypass::{bypass_estimate, BYPASS_FEASIBLE_FRACTION};
+use rtlock_attacks::removal::{find_skew_candidates, removal_attack, RemovalOutcome};
+use rtlock_bench::{prepare, rtlock_config, selected_designs};
+use rtlock_netlist::{GateKind, Netlist};
+use rtlock_synth::{scan, scan_view};
+
+/// Full-scan combinational view (the surface these oracle-less analyses
+/// operate on; sequential netlists would hide corruption behind registers).
+fn comb_view(netlist: &Netlist) -> Netlist {
+    let mut n = netlist.clone();
+    n.scan_chain.clear();
+    scan::insert_full_scan(&mut n);
+    scan_view(&n).netlist
+}
+
+/// Builds a SARLock-style lock over a design's first output: the output is
+/// flipped for exactly one (key-matching) input pattern.
+fn sarlock_style(original: &Netlist, width: usize) -> (Netlist, Vec<bool>) {
+    let mut n = original.clone();
+    let inputs: Vec<_> = n.inputs().iter().copied().take(width).collect();
+    let mut key = Vec::new();
+    let mut cmp = None;
+    for (i, &x) in inputs.iter().enumerate() {
+        let k = n.add_input(format!("keyinput{i}"));
+        n.mark_key_input(k);
+        let kv = (i * 7 + 3) % 2 == 0;
+        key.push(kv);
+        let eq = n.add_gate(GateKind::Xnor, vec![x, k]);
+        cmp = Some(match cmp {
+            None => eq,
+            Some(c) => n.add_gate(GateKind::And, vec![c, eq]),
+        });
+    }
+    let point = cmp.expect("at least one input");
+    // Flip is gated so that the *correct* key never triggers it: compare
+    // the key against its correct value.
+    let mut correct_cmp = None;
+    for (i, kv) in key.iter().enumerate() {
+        let k = n.key_inputs[i];
+        let bit = if *kv { n.add_gate(GateKind::Buf, vec![k]) } else { n.add_gate(GateKind::Not, vec![k]) };
+        correct_cmp = Some(match correct_cmp {
+            None => bit,
+            Some(c) => n.add_gate(GateKind::And, vec![c, bit]),
+        });
+    }
+    let wrong_key = n.add_gate(GateKind::Not, vec![correct_cmp.expect("non-empty")]);
+    let flip = n.add_gate(GateKind::And, vec![point, wrong_key]);
+    let (name, drv) = n.outputs()[0].clone();
+    let flipped = n.add_gate(GateKind::Xor, vec![drv, flip]);
+    let idx = n.outputs().iter().position(|(nm, _)| *nm == name).expect("exists");
+    n.replace_output_driver(idx, flipped);
+    (n, key)
+}
+
+fn main() {
+    for name in selected_designs() {
+        let (module, original_seq) = prepare(&name);
+        let original = comb_view(&original_seq);
+        println!("== {name} ==");
+
+        // SARLock-style reference: the removal attack should strip it.
+        let point_width = (original.inputs().len()).min(24);
+        let (sar, sar_key) = sarlock_style(&original, point_width);
+        let skew = find_skew_candidates(&sar, 0.35, 32, 3);
+        println!("SARLock-style point function over {point_width} inputs: {} heavily skewed internal nets", skew.len());
+        match removal_attack(&sar, &original, 0.35, 0.0, 32, 3) {
+            RemovalOutcome::Recovered { gate, error_rate } => {
+                println!("  removal attack: RECOVERED the design (cut {gate}, residual error {error_rate:.4})")
+            }
+            RemovalOutcome::Foiled { tried, best_error_rate } => {
+                println!("  removal attack: foiled ({tried} candidates tried, best error {best_error_rate:.3})")
+            }
+        }
+        let mut wrong = sar_key.clone();
+        wrong[0] = !wrong[0];
+        let est = bypass_estimate(&sar, &original, &wrong, 32, 5);
+        println!(
+            "  bypass attack: corrupts {:.5} of patterns -> feasible={} (threshold {})",
+            est.corrupted_fraction, est.feasible, BYPASS_FEASIBLE_FRACTION
+        );
+
+        // RTLock: no point function, high corruption.
+        match lock(&module, &rtlock_config(&name, false)) {
+            Ok(ld) => {
+                let mut locked = comb_view(&ld.locked_netlist().expect("synthesizes"));
+                rtlock::transforms::mark_key_inputs(&mut locked);
+                match removal_attack(&locked, &original, 0.35, 0.0, 32, 3) {
+                    RemovalOutcome::Recovered { gate, error_rate } => println!(
+                        "RTLock: removal UNEXPECTEDLY recovered (cut {gate}, err {error_rate:.4}) — investigate"
+                    ),
+                    RemovalOutcome::Foiled { tried, best_error_rate } => println!(
+                        "RTLock: removal foiled ({tried} skew candidates, best residual error {best_error_rate:.3})"
+                    ),
+                }
+                let mut wrong = ld.key.clone();
+                wrong[0] = !wrong[0];
+                let est = bypass_estimate(&locked, &original, &wrong, 32, 5);
+                println!(
+                    "RTLock: bypass would need to patch {:.3} of the input space -> feasible={}",
+                    est.corrupted_fraction, est.feasible
+                );
+            }
+            Err(e) => println!("RTLock lock failed: {e}"),
+        }
+        println!();
+    }
+    println!("expected shape: the point-function lock is removed and cheaply bypassed;");
+    println!("RTLock exposes no skewed point function and corrupts far too many");
+    println!("patterns for a bypass circuit.");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table I: the qualitative threat-coverage comparison.
+
+fn main() {
+    println!("Table I: High-level comparison of RTL-based logic locking techniques");
+    println!("(qualitative matrix encoded in rtlock::threat)\n");
+    print!("{}", rtlock::threat::render_table1());
+    println!("\nLegend: oracle-less / oracle-guided = protection against IP piracy");
+    println!("by that attacker class; `yes (with P1735)` = requires the coupled");
+    println!("encryption+rights-management flow of Section III-B.");
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table II: benchmark specifications (ours next to the
+//! paper's). Run with `RTLOCK_DESIGNS=all` for the full set.
+
+use rtlock_bench::{paper, prepare, rtlock_config, selected_designs};
+
+fn main() {
+    println!("Table II: main specifications of the benchmark circuits");
+    println!("(paper values from the original ITC'99/crypto benchmarks; ours are");
+    println!("the re-implemented designs after synthesis with this workspace)\n");
+    println!(
+        "{:<8} {:>9} {:>8} {:>6} {:>5}   | {:>9} {:>8} {:>6} {:>5}",
+        "circuit", "PI/PO", "#gate", "#FF", "keys", "PI/PO*", "#gate*", "#FF*", "keys*"
+    );
+    for name in selected_designs() {
+        let (_m, n) = prepare(&name);
+        let p = paper::TABLE2.iter().find(|(d, ..)| *d == name);
+        let keys = rtlock_config(&name, false).spec.min_key_bits;
+        let (ppi, pg, pf, pk) = match p {
+            Some((_, io, g, f, k)) => ((*io).to_string(), g.to_string(), f.to_string(), k.to_string()),
+            None => ("-".into(), "-".into(), "-".into(), "-".into()),
+        };
+        println!(
+            "{:<8} {:>9} {:>8} {:>6} {:>5}   | {:>9} {:>8} {:>6} {:>5}",
+            name,
+            format!("{}/{}", n.inputs().len(), n.outputs().len()),
+            n.logic_count(),
+            n.dffs().len(),
+            keys,
+            ppi,
+            pg,
+            pf,
+            pk
+        );
+    }
+    println!("\ncolumns marked * are the paper's values");
+}

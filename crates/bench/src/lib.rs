@@ -1,0 +1,179 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary accepts the same environment knobs:
+//!
+//! * `RTLOCK_DESIGNS` — comma-separated benchmark subset (default: the
+//!   small/medium designs; `all` runs all six, AES included);
+//! * `RTLOCK_TIMEOUT_SECS` — SAT/BMC attack timeout per run (default 30;
+//!   the paper used 12 h on a Xeon — scale accordingly when reproducing
+//!   the long rows);
+//! * `RTLOCK_MAX_BASELINE_KEYS` — cap on baseline key sizes (default 96).
+
+#![warn(missing_docs)]
+
+use rtlock::database::DatabaseConfig;
+use rtlock::select::SelectionSpec;
+use rtlock::RtlLockConfig;
+use rtlock_netlist::Netlist;
+use rtlock_rtl::Module;
+use rtlock_synth::{elaborate, optimize};
+use std::time::Duration;
+
+/// Paper reference values for side-by-side printing.
+pub mod paper {
+    /// Table II: (name, #PI/PO, #gate, #FF, keys).
+    pub const TABLE2: [(&str, &str, u32, u32, u32); 6] = [
+        ("b05", "3/36", 1030, 34, 19),
+        ("fibo", "10/91", 3449, 287, 24),
+        ("b14", "34/54", 10325, 215, 38),
+        ("b15", "38/70", 9029, 416, 38),
+        ("sha1", "516/162", 10979, 849, 31),
+        ("aes128", "390/130", 26720, 2332, 45),
+    ];
+
+    /// Table III paper rows: per design, (technique, ||k||, seconds).
+    pub const TABLE3_AES: [(&str, u32, f64); 6] = [
+        ("RND", 498, 8.2),
+        ("SLL", 562, 181.2),
+        ("TOC_MUX", 352, 1.8),
+        ("TOC_XOR", 287, 16.9),
+        ("IOLTS", 986, 3.1),
+        ("RTLock*", 35, 36350.0),
+    ];
+
+    /// Table IV average accuracies: (technique, SWEEP %, SCOPE %).
+    pub const TABLE4_AVG: [(&str, f64, f64); 4] = [
+        ("TOC_MUX", 97.2, 97.1),
+        ("IOLTS", 99.6, 99.5),
+        ("MUX2", 93.5, 93.6),
+        ("RTLock*", 52.9, 50.9),
+    ];
+
+    /// Table V paper rows: (design, tc1 %, fc1 %, pat1, tcN %, fcN %, patN, sets).
+    pub const TABLE5: [(&str, f64, f64, u32, f64, f64, u32, u32); 6] = [
+        ("aes128", 99.97, 96.21, 705, 99.99, 99.25, 274, 2),
+        ("sha1", 99.24, 96.63, 356, 99.91, 99.88, 193, 3),
+        ("fibo", 99.80, 96.83, 251, 99.97, 97.87, 183, 2),
+        ("b05", 99.34, 92.72, 68, 99.74, 93.4, 59, 2),
+        ("b14", 99.83, 98.51, 1081, 99.65, 98.14, 1203, 4),
+        ("b15", 99.25, 98.61, 628, 99.21, 98.59, 638, 3),
+    ];
+
+    /// Table VI paper rows: (design, functional area/delay/power %,
+    /// functional+scan area/delay/power %).
+    pub const TABLE6: [(&str, [f64; 3], [f64; 3]); 6] = [
+        ("aes128", [8.66, 7.03, 0.0], [9.81, 3.83, 0.0]),
+        ("sha1", [13.80, 11.61, 3.9], [13.45, 7.18, 2.6]),
+        ("fibo", [14.28, 11.71, 0.8], [35.02, 4.80, 5.3]),
+        ("b05", [23.75, 18.26, 4.7], [9.06, 14.23, -0.3]),
+        ("b14", [25.24, 31.54, -0.1], [30.14, 19.80, 0.8]),
+        ("b15", [23.86, 25.17, 5.5], [21.80, 0.0, 4.8]),
+    ];
+}
+
+/// Benchmark subset selected by `RTLOCK_DESIGNS`.
+pub fn selected_designs() -> Vec<String> {
+    let default = "b05,fibo,b14".to_string();
+    let spec = std::env::var("RTLOCK_DESIGNS").unwrap_or(default);
+    if spec.trim() == "all" {
+        rtlock_designs::catalog().into_iter().map(|b| b.name.to_string()).collect()
+    } else {
+        spec.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Attack timeout from `RTLOCK_TIMEOUT_SECS` (default 30 s).
+pub fn attack_timeout() -> Duration {
+    let secs = std::env::var("RTLOCK_TIMEOUT_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(30u64);
+    Duration::from_secs(secs)
+}
+
+/// Baseline key cap from `RTLOCK_MAX_BASELINE_KEYS` (default 96).
+pub fn max_baseline_keys() -> usize {
+    std::env::var("RTLOCK_MAX_BASELINE_KEYS").ok().and_then(|s| s.parse().ok()).unwrap_or(96)
+}
+
+/// Parses a benchmark and synthesizes its reference netlist.
+///
+/// # Panics
+///
+/// Panics on unknown design names (the binaries validate inputs early).
+pub fn prepare(name: &str) -> (Module, Netlist) {
+    let b = rtlock_designs::by_name(name).unwrap_or_else(|| panic!("unknown design `{name}`"));
+    let m = b.module().expect("benchmarks parse");
+    let mut n = elaborate(&m).expect("benchmarks synthesize");
+    optimize(&mut n);
+    (m, n)
+}
+
+/// The per-design RTLock configuration used across Tables III–VI,
+/// mirroring the paper's key sizes (Table II `Keys` column).
+pub fn rtlock_config(name: &str, with_scan: bool) -> RtlLockConfig {
+    let key_floor = match name {
+        "b05" => 16,
+        "fibo" => 16,
+        "sha1" => 25,
+        "b14" | "b15" => 32,
+        "aes128" => 35,
+        _ => 16,
+    };
+    // Larger designs skip the per-case SAT probe (structural scoring) to
+    // keep database construction tractable.
+    let sat_probe = matches!(name, "b05" | "fibo");
+    RtlLockConfig {
+        enumeration: rtlock::candidates::EnumConfig {
+            max_constants: 24,
+            max_arith: 24,
+            max_const_key_bits: 8,
+        },
+        database: DatabaseConfig {
+            sat_probe,
+            ml_probe: sat_probe, // same size cutoff: per-bit re-synthesis
+            max_ml_bias: 0.26,
+            probe_timeout: Duration::from_millis(200),
+            cosim_cycles: 24,
+            corruption_samples: 2,
+            seed: 0xDB,
+        },
+        spec: SelectionSpec {
+            min_resilience: 200.0,
+            max_area_pct: 30.0,
+            min_key_bits: key_floor,
+            added_res_pct: 15.0,
+            shared_ov_pct: 15.0,
+        },
+        greedy_fallback: true,
+        scan: if with_scan { Some(rtlock::scan_lock::ScanLockConfig::default()) } else { None },
+        verify_cycles: 32,
+        seed: 0x10C4,
+    }
+}
+
+/// Formats a duration as seconds with 3 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_works_for_all_catalog_designs() {
+        for b in rtlock_designs::catalog() {
+            if b.name == "aes128" {
+                continue; // covered by the slower integration path
+            }
+            let (m, n) = prepare(b.name);
+            assert_eq!(m.name, b.name);
+            assert!(n.logic_count() > 100);
+        }
+    }
+
+    #[test]
+    fn env_knobs_have_defaults() {
+        assert!(!selected_designs().is_empty());
+        assert!(attack_timeout().as_secs() >= 1);
+        assert!(max_baseline_keys() >= 8);
+    }
+}

@@ -1,0 +1,196 @@
+//! `rtlock` — command-line front end for the locking flow.
+//!
+//! ```text
+//! rtlock lock <input.v> [--out <locked.v>] [--bench <out.bench>]
+//!             [--key-file <key.txt>] [--min-key-bits N] [--max-area PCT]
+//!             [--min-resilience R] [--no-scan] [--no-probes]
+//! rtlock verify <original.v> <locked.v> --key <bits>
+//! rtlock info <input.v>
+//! ```
+//!
+//! `lock` runs the full seven-step flow and writes the locked Verilog, the
+//! correct key (one `0`/`1` per line, netlist key order) and optionally an
+//! ISCAS-89 `.bench` export of the synthesized locked netlist.
+
+use rtlock::database::DatabaseConfig;
+use rtlock::select::SelectionSpec;
+use rtlock::verify::cosim_mismatch_rate;
+use rtlock::{lock, RtlLockConfig};
+use rtlock_rtl::cdfg::Cdfg;
+use rtlock_rtl::fsm;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rtlock lock <input.v> [--out F] [--bench F] [--key-file F]\n\
+         \x20             [--min-key-bits N] [--max-area PCT] [--min-resilience R]\n\
+         \x20             [--no-scan] [--no-probes]\n\
+         \x20 rtlock verify <original.v> <locked.v> --key <0101...>\n\
+         \x20 rtlock info <input.v>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lock") => cmd_lock(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn read_module(path: &str) -> Result<rtlock_rtl::Module, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    rtlock_rtl::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn cmd_lock(args: &[String]) -> ExitCode {
+    let Some(input) = args.first().filter(|a| !a.starts_with("--")) else { return usage() };
+    let module = match read_module(input) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = RtlLockConfig::default();
+    if let Some(v) = flag_value(args, "--min-key-bits") {
+        config.spec.min_key_bits = v.parse().unwrap_or(config.spec.min_key_bits);
+    }
+    if let Some(v) = flag_value(args, "--max-area") {
+        config.spec.max_area_pct = v.parse().unwrap_or(config.spec.max_area_pct);
+    }
+    if let Some(v) = flag_value(args, "--min-resilience") {
+        config.spec.min_resilience = v.parse().unwrap_or(config.spec.min_resilience);
+    }
+    if args.iter().any(|a| a == "--no-scan") {
+        config.scan = None;
+    }
+    if args.iter().any(|a| a == "--no-probes") {
+        config.database = DatabaseConfig { sat_probe: false, ml_probe: false, ..config.database };
+    }
+    let _ = SelectionSpec::default(); // keep the import obviously used
+
+    let locked = match lock(&module, &config) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: locking failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("locked `{}`:", module.name);
+    println!("  cases applied : {}", locked.applied.len());
+    for c in &locked.applied {
+        println!("    - {}", c.label());
+    }
+    println!("  key bits      : {}", locked.key.len());
+    println!("  corruption    : {:.1} % of wrong-key output samples", locked.report.corruption * 100.0);
+    if let Some(p) = &locked.scan_policy {
+        println!("  scan locking  : {} registers, {}-bit scan key", p.scanned_registers.len(), p.scan_key.len());
+    }
+
+    let out = flag_value(args, "--out").map(String::from).unwrap_or_else(|| format!("{input}.locked.v"));
+    if let Err(e) = std::fs::write(&out, rtlock_rtl::print(&locked.locked)) {
+        eprintln!("error: write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote locked RTL -> {out}");
+
+    let key_file = flag_value(args, "--key-file").map(String::from).unwrap_or_else(|| format!("{input}.key"));
+    let key_text: String = locked.key.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    let full = match &locked.scan_policy {
+        Some(p) => {
+            let scan: String = p.scan_key.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            format!("functional {key_text}\nscan {scan}\n")
+        }
+        None => format!("functional {key_text}\n"),
+    };
+    if let Err(e) = std::fs::write(&key_file, full) {
+        eprintln!("error: write {key_file}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote keys       -> {key_file} (provision to the TPM; do not ship)");
+
+    if let Some(bench) = flag_value(args, "--bench") {
+        match locked.export_bench() {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(bench, text) {
+                    eprintln!("error: write {bench}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("  wrote .bench     -> {bench}");
+            }
+            Err(e) => {
+                eprintln!("error: bench export: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let (Some(orig), Some(locked)) = (args.first(), args.get(1)) else { return usage() };
+    let Some(key_str) = flag_value(args, "--key") else { return usage() };
+    let key: Vec<bool> = key_str.chars().filter_map(|c| match c {
+        '0' => Some(false),
+        '1' => Some(true),
+        _ => None,
+    }).collect();
+    let (original, locked_m) = match (read_module(orig), read_module(locked)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rate = cosim_mismatch_rate(&original, &locked_m, &key, 96, 0x5EED);
+    if rate == 0.0 {
+        println!("OK: locked design matches the original under the supplied key (96 cycles)");
+        ExitCode::SUCCESS
+    } else {
+        println!("MISMATCH: {:.2} % of output samples diverge — wrong key or wrong files", rate * 100.0);
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let Some(input) = args.first() else { return usage() };
+    let module = match read_module(input) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cdfg = Cdfg::build(&module);
+    let fsms = fsm::extract(&module);
+    println!("module `{}`:", module.name);
+    println!("  inputs/outputs : {}/{}", module.inputs().len(), module.outputs().len());
+    println!("  registers      : {}", cdfg.registers.len());
+    println!("  operations     : {} ({} lockable constants)", cdfg.ops.len(), cdfg.consts.len());
+    for (i, f) in fsms.iter().enumerate() {
+        println!(
+            "  FSM #{i} on `{}`: {} states, {} transitions, initial {:?}",
+            module.net(f.state_reg).name,
+            f.states.len(),
+            f.transitions.len(),
+            f.initial.as_ref().map(|s| s.to_u64_lossy()),
+        );
+    }
+    match rtlock_synth::elaborate(&module) {
+        Ok(mut n) => {
+            rtlock_synth::optimize(&mut n);
+            println!("  synthesized    : {} gates, {} flops", n.logic_count(), n.dffs().len());
+        }
+        Err(e) => println!("  synthesis      : failed ({e})"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,413 @@
+//! Locking-candidate enumeration (step 2 of the RTLock flow).
+//!
+//! RTLock supports three classes of candidates at RTL (Section III-A):
+//! constant locking, arithmetic-operation locking, and five flavors of
+//! FSM locking. A *locking point* is a place in the design; each point may
+//! have several alternative *cases* (candidates), of which the ILP selects
+//! at most one.
+
+use rtlock_rtl::ast::BinaryOp;
+use rtlock_rtl::cdfg::{Cdfg, SiteLoc};
+use rtlock_rtl::fsm::{self, Fsm};
+use rtlock_rtl::{Bv, Module};
+
+/// Ways to lock a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstMode {
+    /// XOR each locked bit with a key bit (`c -> key ^ (c ^ K)`).
+    XorMask,
+    /// Substitute the constant by an arithmetic function of the key
+    /// (`c -> key - K` with a random stored offset `K`, correct key
+    /// `c + K`).
+    Substitute,
+}
+
+/// Uniform operator pairing for arithmetic locking. The fixed pairing
+/// (`+`↔`-`, `*`↔shifted-`*`, `<<`↔`>>`, `&`↔`|`, `^`↔`~^`) with balanced
+/// polarity is RTLock's defense against operator-wise ML attacks (\[27\]).
+pub fn paired_op(op: BinaryOp) -> Option<BinaryOp> {
+    Some(match op {
+        BinaryOp::Add => BinaryOp::Sub,
+        BinaryOp::Sub => BinaryOp::Add,
+        BinaryOp::Shl => BinaryOp::Shr,
+        BinaryOp::Shr => BinaryOp::Shl,
+        BinaryOp::And => BinaryOp::Or,
+        BinaryOp::Or => BinaryOp::And,
+        BinaryOp::Xor => BinaryOp::Xnor,
+        BinaryOp::Xnor => BinaryOp::Xor,
+        BinaryOp::Mul => BinaryOp::Add,
+        _ => return None,
+    })
+}
+
+/// FSM locking flavor (Fig. 3 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsmLockKind {
+    /// Wrong key keeps the machine looping in the initial state.
+    InitLock,
+    /// Wrong key redirects one transition to a wrong destination.
+    IncorrectTransition {
+        /// Transition source state.
+        from: Bv,
+        /// Correct destination.
+        to: Bv,
+        /// Wrong-key destination.
+        wrong: Bv,
+    },
+    /// Wrong key skips an intermediate state.
+    SkipState {
+        /// The skipped state.
+        skipped: Bv,
+        /// Where entries to `skipped` land instead.
+        lands: Bv,
+    },
+    /// A fake state captures the flow under a wrong key.
+    BypassState {
+        /// Encoding of the inserted fake state.
+        fake: Bv,
+        /// The state whose entry is re-routed through the fake state.
+        detoured: Bv,
+    },
+    /// A signal assignment inside an FSM state is inverted under a wrong
+    /// key.
+    InherentSignal {
+        /// Process owning the assignment.
+        proc_index: usize,
+        /// Pre-order index of the assignment within the process.
+        assign_ordinal: usize,
+    },
+}
+
+/// One locking candidate (a "case" in the paper's step 3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Candidate {
+    /// Lock a constant literal.
+    Constant {
+        /// Which constant (location + pre-order ordinal from the CDFG
+        /// census).
+        loc: SiteLoc,
+        /// Pre-order ordinal within the location.
+        ordinal: usize,
+        /// The original value.
+        value: Bv,
+        /// How to lock it.
+        mode: ConstMode,
+        /// Number of key bits (low bits of the constant).
+        key_bits: usize,
+    },
+    /// Lock an arithmetic/logic operation against its paired operator.
+    Arithmetic {
+        /// Which operation.
+        loc: SiteLoc,
+        /// Pre-order ordinal within the location.
+        ordinal: usize,
+        /// Original operator.
+        op: BinaryOp,
+        /// Paired wrong-key operator.
+        pair: BinaryOp,
+    },
+    /// Lock the control FSM.
+    Fsm {
+        /// Index of the FSM in extraction order.
+        fsm_index: usize,
+        /// Flavor.
+        kind: FsmLockKind,
+    },
+}
+
+impl Candidate {
+    /// Number of key bits this candidate consumes. Arithmetic and FSM
+    /// cases use an entangled 2-bit pair (`k0 XNOR k1`), which defeats
+    /// per-bit constant-propagation attacks.
+    pub fn key_size(&self) -> usize {
+        match self {
+            Candidate::Constant { key_bits, .. } => *key_bits,
+            Candidate::Arithmetic { .. } | Candidate::Fsm { .. } => 2,
+        }
+    }
+
+    /// The locking *point* this candidate belongs to; at most one case per
+    /// point may be selected (the ILP's mutual-exclusion rows).
+    pub fn point_id(&self) -> String {
+        match self {
+            Candidate::Constant { loc, ordinal, .. } => format!("const@{loc:?}#{ordinal}"),
+            Candidate::Arithmetic { loc, ordinal, .. } => format!("arith@{loc:?}#{ordinal}"),
+            Candidate::Fsm { fsm_index, kind } => {
+                // Each FSM flavor is its own point except flavors that touch
+                // the same transition structure, which share a point.
+                match kind {
+                    FsmLockKind::InitLock => format!("fsm{fsm_index}/init"),
+                    FsmLockKind::IncorrectTransition { from, .. } => {
+                        format!("fsm{fsm_index}/trans/{from}")
+                    }
+                    FsmLockKind::SkipState { skipped, .. } => format!("fsm{fsm_index}/trans/{skipped}"),
+                    FsmLockKind::BypassState { detoured, .. } => {
+                        format!("fsm{fsm_index}/trans/{detoured}")
+                    }
+                    FsmLockKind::InherentSignal { proc_index, assign_ordinal } => {
+                        format!("fsm{fsm_index}/sig/{proc_index}/{assign_ordinal}")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            Candidate::Constant { value, mode, .. } => format!("const {value} {mode:?}"),
+            Candidate::Arithmetic { op, pair, .. } => format!("arith {op:?}<->{pair:?}"),
+            Candidate::Fsm { kind, .. } => match kind {
+                FsmLockKind::InitLock => "fsm init-lock".into(),
+                FsmLockKind::IncorrectTransition { from, to, .. } => {
+                    format!("fsm wrong-transition {from}->{to}")
+                }
+                FsmLockKind::SkipState { skipped, .. } => format!("fsm skip {skipped}"),
+                FsmLockKind::BypassState { fake, .. } => format!("fsm bypass via {fake}"),
+                FsmLockKind::InherentSignal { .. } => "fsm inherent-signal".into(),
+            },
+        }
+    }
+}
+
+/// Enumeration limits (keeps the offline database tractable on large
+/// designs).
+#[derive(Debug, Clone, Copy)]
+pub struct EnumConfig {
+    /// Max constants considered.
+    pub max_constants: usize,
+    /// Max arithmetic sites considered.
+    pub max_arith: usize,
+    /// Max key bits per constant candidate.
+    pub max_const_key_bits: usize,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig { max_constants: 24, max_arith: 24, max_const_key_bits: 8 }
+    }
+}
+
+/// Enumerates all locking candidates of a module.
+///
+/// Returns the candidate list and the extracted FSMs (transforms need
+/// them).
+pub fn enumerate(module: &Module, config: &EnumConfig) -> (Vec<Candidate>, Vec<Fsm>) {
+    let cdfg = Cdfg::build(module);
+    let fsms = fsm::extract(module);
+    let mut out = Vec::new();
+
+    // Constants: two cases (modes) per point. State-encoding constants
+    // inside an FSM's transition process are excluded — those belong to
+    // the FSM locking flavors and must stay structurally recognizable.
+    let is_state_const = |loc: &SiteLoc, value: &Bv| -> bool {
+        fsms.iter().any(|f| {
+            matches!(loc, SiteLoc::Proc { index } if *index == f.case_proc)
+                && value.width() == f.state_width(module)
+                && f.states.contains(value)
+        })
+    };
+    for site in cdfg.consts.iter().filter(|s| !is_state_const(&s.loc, &s.value)).take(config.max_constants) {
+        let key_bits = site.value.width().min(config.max_const_key_bits);
+        for mode in [ConstMode::XorMask, ConstMode::Substitute] {
+            out.push(Candidate::Constant {
+                loc: site.loc,
+                ordinal: site.ordinal,
+                value: site.value.clone(),
+                mode,
+                key_bits: if mode == ConstMode::Substitute { site.value.width().min(config.max_const_key_bits) } else { key_bits },
+            });
+        }
+    }
+
+    // Arithmetic ops with a defined pairing.
+    let mut arith_seen = 0usize;
+    for site in &cdfg.ops {
+        if arith_seen >= config.max_arith {
+            break;
+        }
+        if let Some(pair) = paired_op(site.op) {
+            if site.op.is_arith() || matches!(site.op, BinaryOp::And | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Xnor)
+            {
+                out.push(Candidate::Arithmetic { loc: site.loc, ordinal: site.ordinal, op: site.op, pair });
+                arith_seen += 1;
+            }
+        }
+    }
+
+    // FSM flavors.
+    for (fi, f) in fsms.iter().enumerate() {
+        if f.initial.is_some() {
+            out.push(Candidate::Fsm { fsm_index: fi, kind: FsmLockKind::InitLock });
+        }
+        // Incorrect transitions: for each (from, to), pick a wrong
+        // destination = another known state.
+        for t in &f.transitions {
+            if let Some(wrong) = f.states.iter().find(|s| **s != t.to && Some(*s) != f.initial.as_ref()) {
+                out.push(Candidate::Fsm {
+                    fsm_index: fi,
+                    kind: FsmLockKind::IncorrectTransition {
+                        from: t.from.clone(),
+                        to: t.to.clone(),
+                        wrong: wrong.clone(),
+                    },
+                });
+            }
+        }
+        // Skip: states with an unconditional successor.
+        for s in &f.states {
+            let succ = f.successors(s);
+            if succ.len() == 1 && !succ[0].guarded && Some(s) != f.initial.as_ref() {
+                out.push(Candidate::Fsm {
+                    fsm_index: fi,
+                    kind: FsmLockKind::SkipState { skipped: s.clone(), lands: succ[0].to.clone() },
+                });
+            }
+        }
+        // Bypass: needs a spare encoding.
+        let width = f.state_width(module);
+        if f.states.len() < 1usize << width.min(20) {
+            let mut enc = 0u64;
+            let fake = loop {
+                let cand = Bv::from_u64(width, enc);
+                if !f.states.contains(&cand) {
+                    break cand;
+                }
+                enc += 1;
+            };
+            if let Some(t) = f.transitions.iter().find(|t| t.from != t.to) {
+                out.push(Candidate::Fsm {
+                    fsm_index: fi,
+                    kind: FsmLockKind::BypassState { fake, detoured: t.to.clone() },
+                });
+            }
+        }
+        // Inherent signals: non-state assignments inside the seq process
+        // that owns the state register.
+        for (pi, p) in module.procs.iter().enumerate() {
+            if !matches!(p.kind, rtlock_rtl::ProcessKind::Seq { .. }) {
+                continue;
+            }
+            let mut ordinal = 0usize;
+            collect_signal_assigns(&p.body, f, module, pi, &mut ordinal, &mut out, fi);
+        }
+    }
+
+    (out, fsms)
+}
+
+fn collect_signal_assigns(
+    stmts: &[rtlock_rtl::Stmt],
+    f: &Fsm,
+    module: &Module,
+    proc_index: usize,
+    ordinal: &mut usize,
+    out: &mut Vec<Candidate>,
+    fsm_index: usize,
+) {
+    use rtlock_rtl::Stmt;
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, .. } => {
+                if lhs.net != f.state_reg && lhs.net != f.next_net && module.width(lhs.net) <= 8 {
+                    out.push(Candidate::Fsm {
+                        fsm_index,
+                        kind: FsmLockKind::InherentSignal { proc_index, assign_ordinal: *ordinal },
+                    });
+                }
+                *ordinal += 1;
+            }
+            Stmt::If { then_, else_, .. } => {
+                collect_signal_assigns(then_, f, module, proc_index, ordinal, out, fsm_index);
+                collect_signal_assigns(else_, f, module, proc_index, ordinal, out, fsm_index);
+            }
+            Stmt::Case { arms, default, .. } => {
+                for a in arms {
+                    collect_signal_assigns(&a.body, f, module, proc_index, ordinal, out, fsm_index);
+                }
+                collect_signal_assigns(default, f, module, proc_index, ordinal, out, fsm_index);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_rtl::parse;
+
+    const SRC: &str = "module t(input clk, input rst, input go, input [7:0] d, output reg [7:0] y);\n\
+        reg [1:0] st; reg [1:0] st_next;\n\
+        always @(*) begin\n\
+          st_next = st;\n\
+          case (st)\n\
+            2'd0: begin if (go) st_next = 2'd1; end\n\
+            2'd1: begin st_next = 2'd2; end\n\
+            2'd2: begin st_next = 2'd0; end\n\
+          endcase\n\
+        end\n\
+        always @(posedge clk or posedge rst) begin\n\
+          if (rst) begin st <= 2'd0; y <= 8'd0; end\n\
+          else begin\n\
+            st <= st_next;\n\
+            if (st == 2'd1) y <= d + 8'd37;\n\
+          end\n\
+        end\nendmodule";
+
+    #[test]
+    fn finds_all_three_classes() {
+        let m = parse(SRC).unwrap();
+        let (cands, fsms) = enumerate(&m, &EnumConfig::default());
+        assert_eq!(fsms.len(), 1);
+        assert!(cands.iter().any(|c| matches!(c, Candidate::Constant { .. })), "constant 37");
+        assert!(cands.iter().any(|c| matches!(c, Candidate::Arithmetic { op: BinaryOp::Add, .. })));
+        assert!(cands.iter().any(|c| matches!(c, Candidate::Fsm { kind: FsmLockKind::InitLock, .. })));
+        assert!(cands
+            .iter()
+            .any(|c| matches!(c, Candidate::Fsm { kind: FsmLockKind::IncorrectTransition { .. }, .. })));
+        assert!(cands.iter().any(|c| matches!(c, Candidate::Fsm { kind: FsmLockKind::SkipState { .. }, .. })));
+        assert!(cands.iter().any(|c| matches!(c, Candidate::Fsm { kind: FsmLockKind::BypassState { .. }, .. })));
+        assert!(cands
+            .iter()
+            .any(|c| matches!(c, Candidate::Fsm { kind: FsmLockKind::InherentSignal { .. }, .. })));
+    }
+
+    #[test]
+    fn constant_candidates_share_a_point() {
+        let m = parse(SRC).unwrap();
+        let (cands, _) = enumerate(&m, &EnumConfig::default());
+        let const_points: Vec<String> = cands
+            .iter()
+            .filter(|c| matches!(c, Candidate::Constant { value, .. } if value.to_u64() == Some(37)))
+            .map(|c| c.point_id())
+            .collect();
+        assert_eq!(const_points.len(), 2, "two modes");
+        assert_eq!(const_points[0], const_points[1], "same locking point");
+    }
+
+    #[test]
+    fn pairing_is_involutive_for_add_sub() {
+        assert_eq!(paired_op(BinaryOp::Add), Some(BinaryOp::Sub));
+        assert_eq!(paired_op(BinaryOp::Sub), Some(BinaryOp::Add));
+        assert_eq!(paired_op(BinaryOp::Eq), None);
+    }
+
+    #[test]
+    fn bypass_uses_unused_encoding() {
+        let m = parse(SRC).unwrap();
+        let (cands, fsms) = enumerate(&m, &EnumConfig::default());
+        let fake = cands.iter().find_map(|c| match c {
+            Candidate::Fsm { kind: FsmLockKind::BypassState { fake, .. }, .. } => Some(fake.clone()),
+            _ => None,
+        });
+        let fake = fake.expect("bypass candidate exists");
+        assert!(!fsms[0].states.contains(&fake));
+    }
+
+    #[test]
+    fn key_sizes_positive() {
+        let m = parse(SRC).unwrap();
+        let (cands, _) = enumerate(&m, &EnumConfig::default());
+        assert!(cands.iter().all(|c| c.key_size() >= 1));
+    }
+}

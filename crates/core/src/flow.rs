@@ -1,0 +1,423 @@
+//! The end-to-end RTLock flow (the seven steps of Section III-A) and the
+//! [`LockedDesign`] artifact it produces.
+
+use crate::candidates::{enumerate, Candidate, EnumConfig};
+use crate::database::{build_database, Database, DatabaseConfig};
+use crate::scan_lock::{insert_scan_lock, ScanLockConfig, ScanPolicy};
+use crate::select::{select_greedy, select_ilp, SelectionSpec};
+use crate::transforms::{apply_all, mark_key_inputs, KeyAllocator};
+use crate::verify::{cosim_mismatch_rate, wrong_key_corruption};
+use rtlock_netlist::Netlist;
+use rtlock_p1735::envelope::{protect, Grant};
+use rtlock_rtl::{print as print_rtl, Module};
+use rtlock_synth::{elaborate, optimize, scan, scan_view};
+use std::fmt;
+
+/// Full flow configuration.
+#[derive(Debug, Clone)]
+pub struct RtlLockConfig {
+    /// Candidate enumeration limits (step 2).
+    pub enumeration: EnumConfig,
+    /// Database construction (step 3).
+    pub database: DatabaseConfig,
+    /// Designer specification for selection (step 4).
+    pub spec: SelectionSpec,
+    /// Fall back to greedy selection when the ILP is infeasible.
+    pub greedy_fallback: bool,
+    /// Partial scan + scan locking (step 7); `None` skips it ("RTLock*"
+    /// configurations of Tables III/IV).
+    pub scan: Option<ScanLockConfig>,
+    /// Co-simulation cycles for final verification (step 6).
+    pub verify_cycles: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for RtlLockConfig {
+    fn default() -> Self {
+        RtlLockConfig {
+            enumeration: EnumConfig::default(),
+            database: DatabaseConfig::default(),
+            spec: SelectionSpec::default(),
+            greedy_fallback: true,
+            scan: Some(ScanLockConfig::default()),
+            verify_cycles: 48,
+            seed: 0x10C4,
+        }
+    }
+}
+
+/// Error from the locking flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LockError {
+    /// No candidate survived (nothing to lock).
+    NoCandidates,
+    /// Selection infeasible and greedy fallback disabled or empty.
+    SelectionInfeasible,
+    /// The combined locked design failed verification.
+    VerificationFailed {
+        /// Mismatch rate observed under the correct key.
+        mismatch_rate: f64,
+    },
+    /// Scan locking failed.
+    Scan(String),
+    /// Synthesis of the locked design failed.
+    Synthesis(String),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::NoCandidates => write!(f, "no viable locking candidates"),
+            LockError::SelectionInfeasible => write!(f, "selection specification infeasible"),
+            LockError::VerificationFailed { mismatch_rate } => {
+                write!(f, "locked design diverges under the correct key (rate {mismatch_rate})")
+            }
+            LockError::Scan(m) => write!(f, "scan locking: {m}"),
+            LockError::Synthesis(m) => write!(f, "synthesis: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Flow report (step-by-step numbers for the paper tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// Candidates enumerated.
+    pub candidates_enumerated: usize,
+    /// Cases that were viable in the database.
+    pub viable_cases: usize,
+    /// Whether the ILP (vs greedy fallback) produced the selection.
+    pub used_ilp: bool,
+    /// Selected candidate indices.
+    pub selected: Vec<usize>,
+    /// Candidates actually applied (site conflicts may drop some).
+    pub applied: Vec<usize>,
+    /// Functional key length.
+    pub key_bits: usize,
+    /// Correct-key mismatch rate from final co-simulation (must be 0).
+    pub verified_mismatch_rate: f64,
+    /// Wrong-key output corruption estimate.
+    pub corruption: f64,
+}
+
+/// The artifact of a completed RTLock run.
+#[derive(Debug, Clone)]
+pub struct LockedDesign {
+    /// The original RTL.
+    pub original: Module,
+    /// The locked (and possibly scan-locked) RTL.
+    pub locked: Module,
+    /// The functional locking key.
+    pub key: Vec<bool>,
+    /// Scan policy when scan locking was requested.
+    pub scan_policy: Option<ScanPolicy>,
+    /// Applied candidates.
+    pub applied: Vec<Candidate>,
+    /// The offline case database (for reports/benches).
+    pub database: Database,
+    /// Flow statistics.
+    pub report: FlowReport,
+}
+
+/// What an oracle-guided attacker can reach.
+#[derive(Debug, Clone)]
+pub enum AttackSurface {
+    /// Scan access granted: combinational full-scan views of the locked
+    /// and original designs (key inputs marked on the locked view).
+    CombinationalViews {
+        /// Scan view of the locked netlist.
+        locked: Netlist,
+        /// Scan view of the original netlist.
+        original: Netlist,
+    },
+    /// Scan access denied by scan locking: only sequential I/O access
+    /// remains (BMC territory).
+    SequentialOnly {
+        /// The locked sequential netlist (key inputs marked).
+        locked: Netlist,
+        /// The original sequential netlist.
+        original: Netlist,
+    },
+}
+
+impl LockedDesign {
+    /// Synthesizes the locked RTL (key inputs marked, partial scan chain
+    /// recorded per the scan policy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::Synthesis`] on elaboration failure.
+    pub fn locked_netlist(&self) -> Result<Netlist, LockError> {
+        let mut n = elaborate(&self.locked).map_err(|e| LockError::Synthesis(e.to_string()))?;
+        optimize(&mut n);
+        mark_key_inputs(&mut n);
+        if let Some(policy) = &self.scan_policy {
+            let mut chain = Vec::new();
+            for name in &policy.scanned_registers {
+                for ff in n.dffs() {
+                    if let Some(gn) = n.gate_name(ff) {
+                        if gn == name || gn.starts_with(&format!("{name}[")) {
+                            chain.push(ff);
+                        }
+                    }
+                }
+            }
+            n.scan_chain.clear();
+            scan::insert_scan(&mut n, &chain);
+        }
+        Ok(n)
+    }
+
+    /// Synthesizes the original RTL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::Synthesis`] on elaboration failure.
+    pub fn original_netlist(&self) -> Result<Netlist, LockError> {
+        let mut n = elaborate(&self.original).map_err(|e| LockError::Synthesis(e.to_string()))?;
+        optimize(&mut n);
+        Ok(n)
+    }
+
+    /// The attack surface an oracle-guided adversary sees. With scan
+    /// locking active, scan access requires the correct scan key; without
+    /// it (or with the right key) the full-scan combinational views are
+    /// exposed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::Synthesis`] on elaboration failure.
+    pub fn attack_surface(&self, scan_key: Option<&[bool]>) -> Result<AttackSurface, LockError> {
+        let mut locked = self.locked_netlist()?;
+        let original = self.original_netlist()?;
+        let scan_unlocked = match &self.scan_policy {
+            None => true,
+            Some(policy) => scan_key.is_some_and(|k| k == policy.scan_key.as_slice()),
+        };
+        if scan_unlocked {
+            scan::insert_full_scan(&mut locked);
+            let mut lv = scan_view(&locked).netlist;
+            mark_key_inputs(&mut lv);
+            let mut orig_scanned = original;
+            scan::insert_full_scan(&mut orig_scanned);
+            let ov = scan_view(&orig_scanned).netlist;
+            Ok(AttackSurface::CombinationalViews { locked: lv, original: ov })
+        } else {
+            Ok(AttackSurface::SequentialOnly { locked, original })
+        }
+    }
+
+    /// Exports the locked RTL as a P1735 envelope for the given tool
+    /// grants (step "IP encryption for integration/verification").
+    pub fn export_p1735(&self, grants: &[Grant], rng: &mut impl rand::Rng) -> String {
+        protect(&print_rtl(&self.locked), grants, rng)
+    }
+
+    /// Exports the synthesized locked netlist in ISCAS-89 `.bench` format
+    /// with `keyinput*` conventions, for cross-checking against external
+    /// attack tools (e.g. the original SAT-attack binary of \[38\]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::Synthesis`] on elaboration failure.
+    pub fn export_bench(&self) -> Result<String, LockError> {
+        Ok(rtlock_netlist::to_bench(&self.locked_netlist()?))
+    }
+}
+
+/// Runs the complete RTLock flow on a module.
+///
+/// # Errors
+///
+/// See [`LockError`]; the common failure is an infeasible
+/// [`SelectionSpec`] with `greedy_fallback` disabled.
+pub fn lock(module: &Module, config: &RtlLockConfig) -> Result<LockedDesign, LockError> {
+    // Steps 1–2: analyze and enumerate.
+    let (candidates, fsms) = enumerate(module, &config.enumeration);
+    if candidates.is_empty() {
+        return Err(LockError::NoCandidates);
+    }
+    // Step 3: offline database.
+    let database = build_database(module, &candidates, &fsms, &config.database);
+    if database.viable_cases().count() == 0 {
+        return Err(LockError::NoCandidates);
+    }
+    // Step 4: ILP selection (greedy fallback optional).
+    let (selected, used_ilp) = match select_ilp(&database, &candidates, &config.spec) {
+        Some(s) if !s.is_empty() => (s, true),
+        _ if config.greedy_fallback => {
+            let g = select_greedy(&database, &candidates, &config.spec);
+            if g.is_empty() {
+                return Err(LockError::SelectionInfeasible);
+            }
+            (g, false)
+        }
+        _ => return Err(LockError::SelectionInfeasible),
+    };
+
+    // Step 5: update RTL.
+    let mut locked = module.clone();
+    let mut keys = KeyAllocator::new();
+    let chosen: Vec<Candidate> = selected.iter().map(|&i| candidates[i].clone()).collect();
+    let applied_local = apply_all(&mut locked, &chosen, &fsms, &mut keys);
+    let applied: Vec<usize> = applied_local.iter().map(|&k| selected[k]).collect();
+    let key = keys.correct_key().to_vec();
+    if key.is_empty() {
+        return Err(LockError::NoCandidates);
+    }
+
+    // Step 6: verification.
+    let mismatch = cosim_mismatch_rate(module, &locked, &key, config.verify_cycles, config.seed);
+    if mismatch > 0.0 {
+        return Err(LockError::VerificationFailed { mismatch_rate: mismatch });
+    }
+    let corruption = wrong_key_corruption(module, &locked, &key, 3, config.verify_cycles, config.seed);
+
+    // Step 7: partial scan + scan locking.
+    let scan_policy = match &config.scan {
+        Some(sc) => {
+            Some(insert_scan_lock(&mut locked, sc).map_err(|e| LockError::Scan(e.message))?)
+        }
+        None => None,
+    };
+
+    let report = FlowReport {
+        candidates_enumerated: candidates.len(),
+        viable_cases: database.viable_cases().count(),
+        used_ilp,
+        selected: selected.clone(),
+        applied: applied.clone(),
+        key_bits: key.len(),
+        verified_mismatch_rate: mismatch,
+        corruption,
+    };
+    let applied_candidates = applied.iter().map(|&i| candidates[i].clone()).collect();
+    Ok(LockedDesign {
+        original: module.clone(),
+        locked,
+        key,
+        scan_policy,
+        applied: applied_candidates,
+        database,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_rtl::parse;
+
+    const SRC: &str = "module t(input clk, input rst, input go, input [7:0] d, output reg [7:0] y, output busy);\n\
+        reg [1:0] st; reg [1:0] st_next;\n\
+        assign busy = st != 2'd0;\n\
+        always @(*) begin\n\
+          st_next = st;\n\
+          case (st)\n\
+            2'd0: begin if (go) st_next = 2'd1; end\n\
+            2'd1: begin st_next = 2'd2; end\n\
+            2'd2: begin st_next = 2'd0; end\n\
+          endcase\n\
+        end\n\
+        always @(posedge clk or posedge rst) begin\n\
+          if (rst) begin st <= 2'd0; y <= 8'd0; end\n\
+          else begin\n\
+            st <= st_next;\n\
+            if (st == 2'd1) y <= (d + 8'd37) ^ 8'h5A;\n\
+          end\n\
+        end\nendmodule";
+
+    fn quick() -> RtlLockConfig {
+        RtlLockConfig {
+            database: DatabaseConfig { sat_probe: false, cosim_cycles: 16, corruption_samples: 1, ..DatabaseConfig::default() },
+            spec: SelectionSpec {
+                min_resilience: 150.0,
+                max_area_pct: 30.0,
+                min_key_bits: 4,
+                ..SelectionSpec::default()
+            },
+            verify_cycles: 24,
+            ..RtlLockConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_flow_produces_verified_locked_design() {
+        let m = parse(SRC).unwrap();
+        let out = lock(&m, &quick()).unwrap();
+        assert!(out.report.key_bits >= 2, "key: {}", out.report.key_bits);
+        assert_eq!(out.report.verified_mismatch_rate, 0.0);
+        assert!(out.report.corruption > 0.0);
+        assert!(out.scan_policy.is_some());
+        assert!(!out.applied.is_empty());
+        // Locked netlist has the key inputs marked.
+        let n = out.locked_netlist().unwrap();
+        assert_eq!(n.key_inputs.len(), out.key.len());
+        assert!(!n.scan_chain.is_empty(), "partial scan recorded");
+    }
+
+    #[test]
+    fn attack_surface_depends_on_scan_key() {
+        let m = parse(SRC).unwrap();
+        let out = lock(&m, &quick()).unwrap();
+        let policy = out.scan_policy.clone().unwrap();
+        match out.attack_surface(None).unwrap() {
+            AttackSurface::SequentialOnly { .. } => {}
+            other => panic!("expected sequential-only, got {other:?}"),
+        }
+        let mut wrong = policy.scan_key.clone();
+        wrong[0] = !wrong[0];
+        assert!(matches!(out.attack_surface(Some(&wrong)).unwrap(), AttackSurface::SequentialOnly { .. }));
+        match out.attack_surface(Some(&policy.scan_key)).unwrap() {
+            AttackSurface::CombinationalViews { locked, .. } => {
+                assert!(locked.dffs().is_empty(), "scan view is combinational");
+                assert_eq!(locked.key_inputs.len(), out.key.len());
+            }
+            other => panic!("expected views, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_scan_config_exposes_views_directly() {
+        let m = parse(SRC).unwrap();
+        let cfg = RtlLockConfig { scan: None, ..quick() };
+        let out = lock(&m, &cfg).unwrap();
+        assert!(out.scan_policy.is_none());
+        assert!(matches!(out.attack_surface(None).unwrap(), AttackSurface::CombinationalViews { .. }));
+    }
+
+    #[test]
+    fn p1735_export_wraps_locked_rtl() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rtlock_p1735::envelope::{Envelope, Permissions, ToolSession};
+        use rtlock_p1735::rsa::generate_keypair;
+
+        let m = parse(SRC).unwrap();
+        let out = lock(&m, &quick()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = generate_keypair(512, &mut rng);
+        let text = out.export_p1735(
+            &[Grant { tool: "Verifier".into(), public_key: kp.public, permissions: Permissions::simulation_only() }],
+            &mut rng,
+        );
+        assert!(!text.contains("lock_key"), "envelope hides the locked RTL");
+        let env = Envelope::parse(&text).unwrap();
+        let tool = ToolSession { tool: "Verifier".into(), private_key: kp.private };
+        let ip = tool.open(&env).unwrap();
+        // The tool can parse and simulate internally.
+        let ok = ip.with_source(|src| rtlock_rtl::parse(src).is_ok());
+        assert!(ok);
+    }
+
+    #[test]
+    fn infeasible_spec_without_fallback_errors() {
+        let m = parse(SRC).unwrap();
+        let mut cfg = quick();
+        cfg.spec.min_resilience = 1e12;
+        cfg.greedy_fallback = false;
+        assert_eq!(lock(&m, &cfg).unwrap_err(), LockError::SelectionInfeasible);
+    }
+}

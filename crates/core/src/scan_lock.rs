@@ -1,0 +1,278 @@
+//! Partial scan insertion + scan locking at RTL (step 7).
+//!
+//! Following the SCOAP argument of \[34\], the registers worth scanning (and
+//! locking) are the ones that would otherwise give an attacker observability
+//! into key-adjacent logic: registers within `levels` hops of the key
+//! inputs in the CDFG. The scan chain itself is protected with a
+//! counter-LFSR obfuscation in the spirit of DOSC \[11\]: under a wrong scan
+//! key, shifted-out data is XOR-scrambled with an LFSR stream.
+//!
+//! The inserted RTL is functionally inert when `scan_en == 0`, so
+//! functional equivalence is preserved; the hardware (LFSR + counter +
+//! compactor) is real and shows up in the Table VI functional+scan
+//! overhead column.
+
+use crate::transforms::is_key_input_name;
+use rtlock_rtl::ast::{Dir, Lvalue, NetKind, Stmt};
+use rtlock_rtl::cdfg::Cdfg;
+use rtlock_rtl::{BinaryOp, Bv, Expr, Module, NetId, ProcessKind, UnaryOp};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Prefix of the scan-key input port.
+pub const SCAN_KEY_PORT: &str = "scan_key_in";
+
+/// Configuration for partial scan selection and locking.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanLockConfig {
+    /// Select registers within this many CDFG hops of a key input.
+    pub levels: usize,
+    /// Upper bound on scanned registers.
+    pub max_scan_regs: usize,
+    /// Scan-key width.
+    pub scan_key_bits: usize,
+    /// Deterministic seed for the scan key value.
+    pub seed: u64,
+}
+
+impl Default for ScanLockConfig {
+    fn default() -> Self {
+        ScanLockConfig { levels: 3, max_scan_regs: 64, scan_key_bits: 16, seed: 0x5CA4 }
+    }
+}
+
+/// The artifact describing what was scanned and how it is locked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPolicy {
+    /// Names of RTL registers in the partial chain, in chain order.
+    pub scanned_registers: Vec<String>,
+    /// The secret scan key.
+    pub scan_key: Vec<bool>,
+    /// LFSR width of the obfuscation stream.
+    pub lfsr_width: usize,
+}
+
+/// Error inserting scan locking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanLockError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScanLockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scan locking failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ScanLockError {}
+
+/// Chooses partial-scan registers: those within `levels` CDFG hops of any
+/// key input (closest first), capped at `max_scan_regs`. Falls back to all
+/// registers (by index) if the design has no key ports yet.
+pub fn choose_scan_registers(module: &Module, config: &ScanLockConfig) -> Vec<NetId> {
+    let cdfg = Cdfg::build(module);
+    let key_nets: Vec<NetId> = module
+        .ports
+        .iter()
+        .copied()
+        .filter(|&p| module.net(p).dir == Some(Dir::Input) && is_key_input_name(&module.net(p).name))
+        .collect();
+    let mut dist: HashMap<NetId, usize> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for &k in &key_nets {
+        dist.insert(k, 0);
+        queue.push_back(k);
+    }
+    while let Some(x) = queue.pop_front() {
+        let d = dist[&x];
+        if d >= config.levels {
+            continue;
+        }
+        for &nx in &cdfg.fanout[x.index()] {
+            if !dist.contains_key(&nx) {
+                dist.insert(nx, d + 1);
+                queue.push_back(nx);
+            }
+        }
+    }
+    let mut regs: Vec<(usize, NetId)> = cdfg
+        .registers
+        .iter()
+        .copied()
+        .filter_map(|r| dist.get(&r).map(|&d| (d, r)))
+        .collect();
+    if regs.is_empty() {
+        regs = cdfg.registers.iter().copied().map(|r| (usize::MAX, r)).collect();
+    }
+    regs.sort();
+    regs.into_iter().take(config.max_scan_regs).map(|(_, r)| r).collect()
+}
+
+/// Inserts the scan-locking infrastructure into the module and returns the
+/// policy.
+///
+/// Adds ports `scan_en`, `scan_key_in[k-1:0]`, `scan_out`; an LFSR and a
+/// cycle counter clocked with the design's first clock; and a compaction
+/// tap: `scan_out` observes the parity of the scanned registers when the
+/// scan key matches, and the LFSR stream otherwise.
+///
+/// # Errors
+///
+/// Returns [`ScanLockError`] if the design has no clocked process or no
+/// registers to scan.
+pub fn insert_scan_lock(module: &mut Module, config: &ScanLockConfig) -> Result<ScanPolicy, ScanLockError> {
+    let scanned = choose_scan_registers(module, config);
+    if scanned.is_empty() {
+        return Err(ScanLockError { message: "no registers to scan".into() });
+    }
+    let (clock, reset) = module
+        .procs
+        .iter()
+        .find_map(|p| match &p.kind {
+            ProcessKind::Seq { clock, reset } => Some((*clock, reset.clone())),
+            _ => None,
+        })
+        .ok_or_else(|| ScanLockError { message: "no clocked process".into() })?;
+
+    // Deterministic scan key from the seed.
+    let mut key = Vec::with_capacity(config.scan_key_bits);
+    let mut s = config.seed | 1;
+    for _ in 0..config.scan_key_bits {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        key.push(s & 1 == 1);
+    }
+    let key_bv = Bv::from_bits(&key);
+
+    let scan_en = module.add_port("scan_en", 1, Dir::Input, NetKind::Wire);
+    let scan_key_in = module.add_port(SCAN_KEY_PORT, config.scan_key_bits, Dir::Input, NetKind::Wire);
+    let scan_out = module.add_port("scan_out", 1, Dir::Output, NetKind::Wire);
+
+    let lfsr_width = 16usize;
+    let lfsr = module.add_net("scan_lfsr", lfsr_width, NetKind::Reg);
+    let ctr = module.add_net("scan_ctr", 8, NetKind::Reg);
+
+    // LFSR feedback x^16 + x^14 + x^13 + x^11 (Fibonacci taps 15,13,12,10).
+    let tap = |i: usize| Expr::Slice { net: lfsr, hi: i, lo: i };
+    let feedback = Expr::binary(
+        BinaryOp::Xor,
+        Expr::binary(BinaryOp::Xor, tap(15), tap(13)),
+        Expr::binary(BinaryOp::Xor, tap(12), tap(10)),
+    );
+    let shift = Expr::Concat(vec![Expr::Slice { net: lfsr, hi: lfsr_width - 2, lo: 0 }, feedback]);
+    let body = vec![Stmt::If {
+        cond: Expr::net(scan_en),
+        then_: vec![
+            Stmt::Assign { lhs: Lvalue::whole(lfsr), rhs: shift },
+            Stmt::Assign {
+                lhs: Lvalue::whole(ctr),
+                rhs: Expr::binary(BinaryOp::Add, Expr::net(ctr), Expr::constant(8, 1)),
+            },
+        ],
+        else_: vec![],
+    }];
+    let reset_body = vec![
+        Stmt::Assign { lhs: Lvalue::whole(lfsr), rhs: Expr::Const(Bv::from_u64(lfsr_width, 0xACE1)) },
+        Stmt::Assign { lhs: Lvalue::whole(ctr), rhs: Expr::Const(Bv::zeros(8)) },
+    ];
+    module.procs.push(rtlock_rtl::Process {
+        kind: ProcessKind::Seq { clock, reset },
+        body,
+        reset_body,
+    });
+
+    // Observation tap: parity of the scanned registers (a stand-in for the
+    // serial shift-out), scrambled by the LFSR under a wrong scan key.
+    let parity = scanned
+        .iter()
+        .map(|&r| Expr::unary(UnaryOp::RedXor, Expr::net(r)))
+        .reduce(|a, b| Expr::binary(BinaryOp::Xor, a, b))
+        .expect("non-empty");
+    let key_ok = Expr::binary(BinaryOp::Eq, Expr::net(scan_key_in), Expr::Const(key_bv));
+    let scrambled = Expr::binary(
+        BinaryOp::Xor,
+        Expr::binary(BinaryOp::Xor, parity.clone(), tap(0)),
+        Expr::Slice { net: ctr, hi: 0, lo: 0 },
+    );
+    let observed = Expr::ternary(key_ok, parity, scrambled);
+    module.assigns.push(rtlock_rtl::Assign {
+        lhs: Lvalue::whole(scan_out),
+        rhs: Expr::binary(BinaryOp::And, Expr::net(scan_en), observed),
+    });
+
+    Ok(ScanPolicy {
+        scanned_registers: scanned.iter().map(|&r| module.net(r).name.clone()).collect(),
+        scan_key: key,
+        lfsr_width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::cosim_mismatch_rate;
+    use rtlock_rtl::parse;
+
+    const SRC: &str = "module t(input clk, input rst, input [7:0] lock_key_0, input [7:0] d, output reg [7:0] q);\n\
+        reg [7:0] stage;\n\
+        always @(posedge clk or posedge rst) begin\n\
+          if (rst) begin q <= 8'd0; stage <= 8'd0; end\n\
+          else begin stage <= d ^ lock_key_0; q <= stage + 8'd1; end\n\
+        end\nendmodule";
+
+    #[test]
+    fn selects_registers_near_key_inputs() {
+        let m = parse(SRC).unwrap();
+        let regs = choose_scan_registers(&m, &ScanLockConfig::default());
+        let names: Vec<&str> = regs.iter().map(|&r| m.net(r).name.as_str()).collect();
+        assert!(names.contains(&"stage"), "stage is 1 hop from the key: {names:?}");
+    }
+
+    #[test]
+    fn insertion_preserves_function_when_scan_disabled() {
+        let original = parse(SRC).unwrap();
+        let mut locked = original.clone();
+        let policy = insert_scan_lock(&mut locked, &ScanLockConfig::default()).unwrap();
+        assert!(!policy.scanned_registers.is_empty());
+        assert_eq!(policy.scan_key.len(), 16);
+        // scan_en defaults to 0 in cosim (random inputs would toggle it,
+        // so pin it by name filtering: cosim drives every input randomly —
+        // instead verify the functional outputs only, which ignore
+        // scan_out. q must match exactly because scan logic never writes
+        // functional registers.)
+        let rate = cosim_mismatch_rate(&original, &locked, &[], 40, 3);
+        // `q` matches; `scan_out` exists only in the locked design and is
+        // not compared (cosim compares the original's outputs).
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn scan_out_corrupted_under_wrong_key() {
+        use rtlock_rtl::sim::Simulator;
+        let mut m = parse(SRC).unwrap();
+        let policy = insert_scan_lock(&mut m, &ScanLockConfig::default()).unwrap();
+        let run = |key: &[bool]| -> Vec<u64> {
+            let mut sim = Simulator::new(&m);
+            sim.set_by_name("rst", Bv::from_bool(true));
+            sim.reset().unwrap();
+            sim.set_by_name("rst", Bv::from_bool(false));
+            sim.set_by_name("scan_en", Bv::from_bool(true));
+            sim.set_by_name("lock_key_0", Bv::from_u64(8, 0x3C));
+            sim.set_by_name(SCAN_KEY_PORT, Bv::from_bits(key));
+            let mut out = Vec::new();
+            for i in 0..24 {
+                sim.set_by_name("d", Bv::from_u64(8, i * 7 + 1));
+                sim.step().unwrap();
+                out.push(sim.get_by_name("scan_out").to_u64_lossy());
+            }
+            out
+        };
+        let good = run(&policy.scan_key);
+        let mut wrong_key = policy.scan_key.clone();
+        wrong_key[0] = !wrong_key[0];
+        let bad = run(&wrong_key);
+        assert_ne!(good, bad, "wrong scan key scrambles the shifted-out stream");
+    }
+}

@@ -1,0 +1,119 @@
+//! Threat-model capability matrix (Table I and Fig. 1).
+//!
+//! Encodes, per technique, which threats are covered — the qualitative
+//! comparison the paper opens with. `table1` regenerates the table.
+
+use std::fmt;
+
+/// Protection status against a threat class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    /// Protected.
+    Yes,
+    /// Not protected.
+    No,
+    /// Protected when combined with encryption/management (P1735).
+    WithEncryption,
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Coverage::Yes => write!(f, "yes"),
+            Coverage::No => write!(f, "no"),
+            Coverage::WithEncryption => write!(f, "yes (with P1735)"),
+        }
+    }
+}
+
+/// One row of the Table I comparison.
+#[derive(Debug, Clone)]
+pub struct TechniqueRow {
+    /// Technique name.
+    pub technique: &'static str,
+    /// Against insider threats.
+    pub insider: Coverage,
+    /// Against oracle-less piracy.
+    pub oracle_less: Coverage,
+    /// Against oracle-guided piracy.
+    pub oracle_guided: Coverage,
+    /// Known breaking attacks.
+    pub broken_by: &'static str,
+}
+
+/// The Table I rows as the paper reports them, with RTLock last.
+pub fn table1_rows() -> Vec<TechniqueRow> {
+    vec![
+        TechniqueRow {
+            technique: "ASSURE [25]",
+            insider: Coverage::No,
+            oracle_less: Coverage::Yes,
+            oracle_guided: Coverage::No,
+            broken_by: "SAT [4], ML-based [27]",
+        },
+        TechniqueRow {
+            technique: "ASSURE + Scan [26]",
+            insider: Coverage::No,
+            oracle_less: Coverage::Yes,
+            oracle_guided: Coverage::Yes,
+            broken_by: "ML-based [27]",
+        },
+        TechniqueRow {
+            technique: "ML-resilient ASSURE [27]",
+            insider: Coverage::No,
+            oracle_less: Coverage::Yes,
+            oracle_guided: Coverage::No,
+            broken_by: "SAT [4]",
+        },
+        TechniqueRow {
+            technique: "RTLock (this work)",
+            insider: Coverage::WithEncryption,
+            oracle_less: Coverage::Yes,
+            oracle_guided: Coverage::Yes,
+            broken_by: "-",
+        },
+    ]
+}
+
+/// Renders Table I as aligned text.
+pub fn render_table1() -> String {
+    let rows = table1_rows();
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<26} {:<18} {:<12} {:<14} {}\n",
+        "Technique", "Insider Threats", "Oracle-less", "Oracle-guided", "Broken by"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<26} {:<18} {:<12} {:<14} {}\n",
+            r.technique,
+            r.insider.to_string(),
+            r.oracle_less.to_string(),
+            r.oracle_guided.to_string(),
+            r.broken_by
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtlock_row_claims_the_full_matrix() {
+        let rows = table1_rows();
+        let rtlock = rows.last().unwrap();
+        assert_eq!(rtlock.insider, Coverage::WithEncryption);
+        assert_eq!(rtlock.oracle_guided, Coverage::Yes);
+        assert_eq!(rtlock.broken_by, "-");
+    }
+
+    #[test]
+    fn rendering_contains_all_rows() {
+        let text = render_table1();
+        for r in table1_rows() {
+            assert!(text.contains(r.technique), "{}", r.technique);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Tamper-proof-memory provisioning records.
+//!
+//! The paper's activation model: "this secret is known and can only be
+//! initiated in a trusted entity and generally will be loaded into a
+//! tamper-proof memory (TPM)". This module is the hand-off artifact between
+//! the design house and the provisioning facility: a small text record
+//! carrying the functional key, the scan key, and an integrity tag (HMAC
+//! under a provisioning secret) so a tampered record is rejected before it
+//! programs parts.
+
+use crate::flow::LockedDesign;
+use rtlock_p1735::sha256::hmac_sha256;
+use std::fmt;
+
+/// A provisioning record ready for the TPM programmer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvisioningRecord {
+    /// Design (module) name.
+    pub design: String,
+    /// Functional locking key bits.
+    pub functional_key: Vec<bool>,
+    /// Scan unlock key bits (empty when scan locking is off).
+    pub scan_key: Vec<bool>,
+}
+
+/// Errors reading a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvisionError {
+    /// Structurally malformed record.
+    Malformed(String),
+    /// HMAC verification failed (tampering or wrong provisioning secret).
+    BadTag,
+}
+
+impl fmt::Display for ProvisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvisionError::Malformed(m) => write!(f, "malformed provisioning record: {m}"),
+            ProvisionError::BadTag => write!(f, "provisioning record failed integrity check"),
+        }
+    }
+}
+
+impl std::error::Error for ProvisionError {}
+
+fn bits_to_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn string_to_bits(s: &str) -> Option<Vec<bool>> {
+    s.chars()
+        .map(|c| match c {
+            '0' => Some(false),
+            '1' => Some(true),
+            _ => None,
+        })
+        .collect()
+}
+
+impl ProvisioningRecord {
+    /// Builds the record for a locked design.
+    pub fn for_design(locked: &LockedDesign) -> ProvisioningRecord {
+        ProvisioningRecord {
+            design: locked.locked.name.clone(),
+            functional_key: locked.key.clone(),
+            scan_key: locked.scan_policy.as_ref().map(|p| p.scan_key.clone()).unwrap_or_default(),
+        }
+    }
+
+    /// Serializes with an HMAC tag under `provisioning_secret`.
+    pub fn to_text(&self, provisioning_secret: &[u8]) -> String {
+        let body = format!(
+            "design {}\nfunctional {}\nscan {}\n",
+            self.design,
+            bits_to_string(&self.functional_key),
+            bits_to_string(&self.scan_key)
+        );
+        let tag = hmac_sha256(provisioning_secret, body.as_bytes());
+        let tag_hex: String = tag.iter().map(|b| format!("{b:02x}")).collect();
+        format!("# rtlock tpm record v1\n{body}tag {tag_hex}\n")
+    }
+
+    /// Parses and verifies a record.
+    ///
+    /// # Errors
+    ///
+    /// [`ProvisionError::Malformed`] on structural problems,
+    /// [`ProvisionError::BadTag`] when the HMAC does not verify.
+    pub fn from_text(text: &str, provisioning_secret: &[u8]) -> Result<ProvisioningRecord, ProvisionError> {
+        let mut design = None;
+        let mut functional = None;
+        let mut scan = None;
+        let mut tag = None;
+        let mut body = String::new();
+        for line in text.lines() {
+            if line.starts_with('#') || line.trim().is_empty() {
+                continue;
+            }
+            let Some((k, v)) = line.split_once(' ') else {
+                return Err(ProvisionError::Malformed(format!("bad line `{line}`")));
+            };
+            match k {
+                "design" => {
+                    design = Some(v.to_string());
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                "functional" => {
+                    functional =
+                        Some(string_to_bits(v).ok_or_else(|| ProvisionError::Malformed("bad key bits".into()))?);
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                "scan" => {
+                    scan = Some(string_to_bits(v).ok_or_else(|| ProvisionError::Malformed("bad scan bits".into()))?);
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                "tag" => tag = Some(v.to_string()),
+                other => return Err(ProvisionError::Malformed(format!("unknown field `{other}`"))),
+            }
+        }
+        let (Some(design), Some(functional), Some(scan), Some(tag)) = (design, functional, scan, tag) else {
+            return Err(ProvisionError::Malformed("missing field".into()));
+        };
+        let expect = hmac_sha256(provisioning_secret, body.as_bytes());
+        let expect_hex: String = expect.iter().map(|b| format!("{b:02x}")).collect();
+        // Constant-time-ish comparison.
+        if tag.len() != expect_hex.len()
+            || tag.bytes().zip(expect_hex.bytes()).fold(0u8, |acc, (a, b)| acc | (a ^ b)) != 0
+        {
+            return Err(ProvisionError::BadTag);
+        }
+        Ok(ProvisioningRecord { design, functional_key: functional, scan_key: scan })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProvisioningRecord {
+        ProvisioningRecord {
+            design: "widget".into(),
+            functional_key: vec![true, false, true, true],
+            scan_key: vec![false, true],
+        }
+    }
+
+    #[test]
+    fn round_trips_with_the_right_secret() {
+        let rec = sample();
+        let text = rec.to_text(b"factory-secret");
+        let back = ProvisioningRecord::from_text(&text, b"factory-secret").unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn wrong_secret_rejected() {
+        let text = sample().to_text(b"factory-secret");
+        assert_eq!(
+            ProvisioningRecord::from_text(&text, b"other-secret").unwrap_err(),
+            ProvisionError::BadTag
+        );
+    }
+
+    #[test]
+    fn tampered_key_rejected() {
+        let text = sample().to_text(b"factory-secret");
+        let tampered = text.replace("functional 1011", "functional 0011");
+        assert_eq!(
+            ProvisioningRecord::from_text(&tampered, b"factory-secret").unwrap_err(),
+            ProvisionError::BadTag
+        );
+    }
+
+    #[test]
+    fn malformed_records_rejected() {
+        assert!(matches!(
+            ProvisioningRecord::from_text("junk", b"s"),
+            Err(ProvisionError::Malformed(_))
+        ));
+        assert!(matches!(
+            ProvisioningRecord::from_text("design d\nfunctional 10\n", b"s"),
+            Err(ProvisionError::Malformed(_)) // missing scan + tag
+        ));
+        assert!(matches!(
+            ProvisioningRecord::from_text("design d\nfunctional 2x\nscan 0\ntag 00\n", b"s"),
+            Err(ProvisionError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_scan_key_supported() {
+        let rec = ProvisioningRecord { design: "d".into(), functional_key: vec![true], scan_key: vec![] };
+        let text = rec.to_text(b"s");
+        assert_eq!(ProvisioningRecord::from_text(&text, b"s").unwrap(), rec);
+    }
+}

@@ -1,0 +1,546 @@
+//! Locking transforms (step 5, "Update RTL"): apply selected candidates to
+//! the module, adding key input ports and rewriting the addressed sites.
+//!
+//! Key ports are named `lock_key_<n>`; after synthesis,
+//! [`mark_key_inputs`] flags the corresponding netlist inputs so attacks
+//! and ATPG know which inputs are key bits.
+
+use crate::candidates::{Candidate, ConstMode, FsmLockKind};
+use rtlock_rtl::ast::{visit_stmt_exprs_mut, Dir, Lvalue, NetKind, Stmt};
+use rtlock_rtl::cdfg::SiteLoc;
+use rtlock_rtl::fsm::Fsm;
+use rtlock_rtl::{BinaryOp, Bv, Expr, Module, NetId, UnaryOp};
+use rtlock_netlist::Netlist;
+use std::fmt;
+
+/// Prefix of generated key input ports.
+pub const KEY_PORT_PREFIX: &str = "lock_key_";
+
+/// `true` if a (bit-blasted) input name belongs to a key port.
+pub fn is_key_input_name(name: &str) -> bool {
+    name.starts_with(KEY_PORT_PREFIX)
+}
+
+/// Marks every key input of an elaborated netlist (ordered by port number,
+/// then bit index). Returns the key length.
+pub fn mark_key_inputs(netlist: &mut Netlist) -> usize {
+    let mut keyed: Vec<(usize, usize, rtlock_netlist::GateId)> = Vec::new();
+    for &g in netlist.inputs() {
+        let Some(name) = netlist.gate_name(g) else { continue };
+        let Some(rest) = name.strip_prefix(KEY_PORT_PREFIX) else { continue };
+        // rest = "<n>" or "<n>[i]"
+        let (num, bit) = match rest.split_once('[') {
+            Some((n, b)) => (n.parse::<usize>().ok(), b.trim_end_matches(']').parse::<usize>().ok()),
+            None => (rest.parse::<usize>().ok(), Some(0)),
+        };
+        if let (Some(n), Some(b)) = (num, bit) {
+            keyed.push((n, b, g));
+        }
+    }
+    keyed.sort();
+    netlist.key_inputs = keyed.iter().map(|&(_, _, g)| g).collect();
+    netlist.key_inputs.len()
+}
+
+/// Error applying a transform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transform failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Allocates key ports and tracks the accumulated correct key.
+#[derive(Debug, Clone, Default)]
+pub struct KeyAllocator {
+    next: usize,
+    correct: Vec<bool>,
+}
+
+impl KeyAllocator {
+    /// Fresh allocator.
+    pub fn new() -> Self {
+        KeyAllocator::default()
+    }
+
+    /// The correct key accumulated so far (bit order = netlist key order
+    /// after [`mark_key_inputs`]).
+    pub fn correct_key(&self) -> &[bool] {
+        &self.correct
+    }
+
+    /// Allocates a key port of `width` bits whose correct value is `value`.
+    fn alloc(&mut self, module: &mut Module, value: &Bv) -> NetId {
+        let name = format!("{KEY_PORT_PREFIX}{}", self.next);
+        self.next += 1;
+        for i in 0..value.width() {
+            self.correct.push(value.bit(i));
+        }
+        module.add_port(name, value.width(), Dir::Input, NetKind::Wire)
+    }
+
+    /// Allocates an *entangled pair*: a 2-bit key port whose "key is
+    /// correct" condition is `k[0] XNOR k[1]` (correct value `(r, r)` for a
+    /// deterministic random `r`). Hardwiring either bit alone leaves the
+    /// condition symbolic, so single-bit constant-propagation attacks
+    /// (SWEEP/SCOPE) learn nothing from re-synthesis — this is how the
+    /// reproduction realizes the paper's ~50 % Table IV row.
+    fn alloc_pair(&mut self, module: &mut Module, loc: SiteLoc, ordinal: usize) -> (NetId, Expr) {
+        let r = polarity(loc, ordinal);
+        let mut v = Bv::zeros(2);
+        v.set(0, r);
+        v.set(1, r);
+        let port = self.alloc(module, &v);
+        let k0 = Expr::Slice { net: port, hi: 0, lo: 0 };
+        let k1 = Expr::Slice { net: port, hi: 1, lo: 1 };
+        let ok = Expr::unary(UnaryOp::Not, Expr::binary(BinaryOp::Xor, k0, k1));
+        (port, ok)
+    }
+}
+
+/// Deterministic polarity bit for balanced key-value assignment.
+fn polarity(loc: SiteLoc, ordinal: usize) -> bool {
+    let seed = match loc {
+        SiteLoc::Assign { index } => index as u64 * 2 + 1,
+        SiteLoc::Proc { index } => index as u64 * 2,
+    };
+    // splitmix64: a full mix so per-design key values stay balanced
+    // (systematic bias would hand oracle-less learners a free prior).
+    let mut h = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add((ordinal as u64) << 17).wrapping_add(0x1234_5678);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D049BB133111EB);
+    h ^= h >> 31;
+    h & 1 == 1
+}
+
+/// Applies one candidate to the module, allocating key bits in `keys`.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] if the addressed site no longer exists (the
+/// module must be the same one the candidate was enumerated on, with
+/// earlier transforms applied in enumeration order — transforms never
+/// relocate later sites because they only wrap expressions in place).
+pub fn apply(
+    module: &mut Module,
+    candidate: &Candidate,
+    fsms: &[Fsm],
+    keys: &mut KeyAllocator,
+) -> Result<(), TransformError> {
+    match candidate {
+        Candidate::Constant { loc, ordinal, value, mode, key_bits } => {
+            apply_constant(module, *loc, *ordinal, value, *mode, *key_bits, keys)
+        }
+        Candidate::Arithmetic { loc, ordinal, op, pair } => {
+            apply_arith(module, *loc, *ordinal, *op, *pair, keys)
+        }
+        Candidate::Fsm { fsm_index, kind } => {
+            let f = fsms
+                .get(*fsm_index)
+                .ok_or_else(|| TransformError { message: format!("no FSM #{fsm_index}") })?;
+            apply_fsm(module, f, kind, keys)
+        }
+    }
+}
+
+/// Applies a set of candidates in a safe order and returns the indices of
+/// those successfully applied.
+///
+/// Ordering rules (rewrites shift pre-order ordinals of *later* nodes, so
+/// later-addressed sites must be rewritten first):
+/// 1. expression candidates (constants, arithmetic) per location in
+///    descending ordinal order;
+/// 2. FSM inherent-signal locks (assignment-ordinal addressed);
+/// 3. FSM structural locks (transition rewrites, bypass arms);
+/// 4. FSM init locks last (they append statements).
+///
+/// Candidates whose site vanished (e.g. two structural locks touching the
+/// same transition) are skipped, not fatal — the selection layer treats
+/// the applied subset as the final locking.
+pub fn apply_all(
+    module: &mut Module,
+    candidates: &[Candidate],
+    fsms: &[Fsm],
+    keys: &mut KeyAllocator,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    let rank = |c: &Candidate| -> (u8, i64, i64) {
+        match c {
+            Candidate::Constant { loc, ordinal, .. } | Candidate::Arithmetic { loc, ordinal, .. } => {
+                let l = match loc {
+                    SiteLoc::Assign { index } => *index as i64,
+                    SiteLoc::Proc { index } => 1_000_000 + *index as i64,
+                };
+                (0, l, -(*ordinal as i64))
+            }
+            Candidate::Fsm { kind, .. } => match kind {
+                FsmLockKind::InherentSignal { assign_ordinal, .. } => (1, 0, -(*assign_ordinal as i64)),
+                FsmLockKind::IncorrectTransition { .. }
+                | FsmLockKind::SkipState { .. }
+                | FsmLockKind::BypassState { .. } => (2, 0, 0),
+                FsmLockKind::InitLock => (3, 0, 0),
+            },
+        }
+    };
+    order.sort_by_key(|&i| rank(&candidates[i]));
+    let mut applied = Vec::new();
+    for i in order {
+        // Snapshot for rollback: `apply` allocates the key port before the
+        // rewrite, so a failed rewrite must undo both.
+        let keys_before = keys.clone();
+        let module_before = module.clone();
+        match apply(module, &candidates[i], fsms, keys) {
+            Ok(()) => applied.push(i),
+            Err(_) => {
+                *keys = keys_before;
+                *module = module_before;
+            }
+        }
+    }
+    applied.sort();
+    applied
+}
+
+/// Rewrites the expression node at (loc, ordinal) via `rewrite`. The
+/// callback receives the node and returns its replacement.
+fn rewrite_site(
+    module: &mut Module,
+    loc: SiteLoc,
+    ordinal: usize,
+    rewrite: &mut impl FnMut(&Expr) -> Option<Expr>,
+) -> Result<(), TransformError> {
+    let mut counter = 0usize;
+    let mut done = false;
+    let mut visit = |e: &mut Expr| {
+        // Pre-order walk counting every node, mirroring the CDFG census.
+        e.visit_mut(&mut |sub| {
+            if counter == ordinal && !done {
+                if let Some(new) = rewrite(sub) {
+                    *sub = new;
+                    done = true;
+                }
+            }
+            counter += 1;
+        });
+    };
+    match loc {
+        SiteLoc::Assign { index } => {
+            let mut rhs = module
+                .assigns
+                .get(index)
+                .ok_or_else(|| TransformError { message: format!("assign {index} missing") })?
+                .rhs
+                .clone();
+            visit(&mut rhs);
+            module.assigns[index].rhs = rhs;
+        }
+        SiteLoc::Proc { index } => {
+            let mut body = module
+                .procs
+                .get(index)
+                .ok_or_else(|| TransformError { message: format!("process {index} missing") })?
+                .body
+                .clone();
+            visit_stmt_exprs_mut(&mut body, &mut visit);
+            module.procs[index].body = body;
+        }
+    }
+    if done {
+        Ok(())
+    } else {
+        Err(TransformError { message: format!("site {loc:?}#{ordinal} not found or mismatched") })
+    }
+}
+
+fn apply_constant(
+    module: &mut Module,
+    loc: SiteLoc,
+    ordinal: usize,
+    value: &Bv,
+    mode: ConstMode,
+    key_bits: usize,
+    keys: &mut KeyAllocator,
+) -> Result<(), TransformError> {
+    let w = value.width();
+    let kb = key_bits.min(w);
+    // Deterministically vary the correct key value per site.
+    let mut correct = Bv::zeros(kb);
+    for i in 0..kb {
+        correct.set(i, polarity(loc, ordinal.wrapping_add(i)));
+    }
+    let locked_expr = |key_net: NetId, value: &Bv| -> Expr {
+        let low = value.slice(kb - 1, 0);
+        let low_locked = match mode {
+            ConstMode::XorMask => {
+                Expr::binary(BinaryOp::Xor, Expr::net(key_net), Expr::Const(low.xor(&correct)))
+            }
+            // Additive relation: the stored offset is random, so the
+            // correct key value is uniformly distributed (substituting the
+            // raw constant would hand oracle-less attackers the designer's
+            // low-entropy constant prior).
+            ConstMode::Substitute => {
+                Expr::binary(BinaryOp::Sub, Expr::net(key_net), Expr::Const(correct.clone()))
+            }
+        };
+        if kb == w {
+            low_locked
+        } else {
+            Expr::Concat(vec![Expr::Const(value.slice(w - 1, kb)), low_locked])
+        }
+    };
+    let correct_key = match mode {
+        ConstMode::XorMask => correct.clone(),
+        ConstMode::Substitute => value.slice(kb - 1, 0).add(&correct),
+    };
+    let key_net = keys.alloc(module, &correct_key);
+    let expected = value.clone();
+    rewrite_site(module, loc, ordinal, &mut |e| match e {
+        Expr::Const(c) if *c == expected => Some(locked_expr(key_net, c)),
+        _ => None,
+    })
+}
+
+fn apply_arith(
+    module: &mut Module,
+    loc: SiteLoc,
+    ordinal: usize,
+    op: BinaryOp,
+    pair: BinaryOp,
+    keys: &mut KeyAllocator,
+) -> Result<(), TransformError> {
+    let (_port, ok) = keys.alloc_pair(module, loc, ordinal);
+    rewrite_site(module, loc, ordinal, &mut |e| match e {
+        Expr::Binary { op: found, lhs, rhs } if *found == op => {
+            let orig = Expr::Binary { op, lhs: lhs.clone(), rhs: rhs.clone() };
+            let wrong = Expr::Binary { op: pair, lhs: lhs.clone(), rhs: rhs.clone() };
+            Some(Expr::ternary(ok.clone(), orig, wrong))
+        }
+        _ => None,
+    })
+}
+
+fn apply_fsm(
+    module: &mut Module,
+    f: &Fsm,
+    kind: &FsmLockKind,
+    keys: &mut KeyAllocator,
+) -> Result<(), TransformError> {
+    let site = SiteLoc::Proc { index: f.case_proc };
+    // Distinct ordinal per flavor keeps the entangled-pair seeds apart.
+    let flavor_ord = match kind {
+        FsmLockKind::InitLock => 0usize,
+        FsmLockKind::IncorrectTransition { .. } => 1,
+        FsmLockKind::SkipState { .. } => 2,
+        FsmLockKind::BypassState { .. } => 3,
+        FsmLockKind::InherentSignal { assign_ordinal, .. } => 4 + assign_ordinal,
+    };
+    match kind {
+        FsmLockKind::InitLock => {
+            let init = f
+                .initial
+                .clone()
+                .ok_or_else(|| TransformError { message: "init lock needs an initial state".into() })?;
+            let (_port, ok) = keys.alloc_pair(module, site, flavor_ord);
+            // Appended last, so under a wrong key the machine cannot leave
+            // the initial state (blocking override / last non-blocking
+            // assignment wins).
+            let cond = Expr::binary(
+                BinaryOp::LogicAnd,
+                Expr::unary(UnaryOp::LogicNot, ok),
+                Expr::binary(BinaryOp::Eq, Expr::net(f.state_reg), Expr::Const(init.clone())),
+            );
+            let stmt = Stmt::If {
+                cond,
+                then_: vec![Stmt::Assign { lhs: Lvalue::whole(f.next_net), rhs: Expr::Const(init) }],
+                else_: vec![],
+            };
+            module.procs[f.case_proc].body.push(stmt);
+            Ok(())
+        }
+        FsmLockKind::IncorrectTransition { from, to, wrong } => {
+            let (_port, ok) = keys.alloc_pair(module, site, flavor_ord);
+            let n = rewrite_transition_targets(module, f, Some(from), to, &mut |orig| {
+                Expr::ternary(ok.clone(), orig, Expr::Const(wrong.clone()))
+            });
+            if n == 0 {
+                return Err(TransformError { message: format!("transition {from}->{to} not found") });
+            }
+            Ok(())
+        }
+        FsmLockKind::SkipState { skipped, lands } => {
+            let (_port, ok) = keys.alloc_pair(module, site, flavor_ord);
+            let n = rewrite_transition_targets(module, f, None, skipped, &mut |orig| {
+                Expr::ternary(ok.clone(), orig, Expr::Const(lands.clone()))
+            });
+            if n == 0 {
+                return Err(TransformError { message: format!("no transition enters {skipped}") });
+            }
+            Ok(())
+        }
+        FsmLockKind::BypassState { fake, detoured } => {
+            let (_port, ok) = keys.alloc_pair(module, site, flavor_ord);
+            let n = rewrite_transition_targets(module, f, None, detoured, &mut |orig| {
+                Expr::ternary(ok.clone(), orig, Expr::Const(fake.clone()))
+            });
+            if n == 0 {
+                return Err(TransformError { message: format!("no transition enters {detoured}") });
+            }
+            // Add the fake-state arm forwarding to the real destination.
+            add_case_arm(
+                module,
+                f,
+                fake.clone(),
+                vec![Stmt::Assign { lhs: Lvalue::whole(f.next_net), rhs: Expr::Const(detoured.clone()) }],
+            )
+        }
+        FsmLockKind::InherentSignal { proc_index, assign_ordinal } => {
+            let (_port, ok) = keys.alloc_pair(module, site, flavor_ord);
+            let mut counter = 0usize;
+            let mut done = false;
+            let mut body = module.procs[*proc_index].body.clone();
+            rewrite_assign(&mut body, *assign_ordinal, &mut counter, &mut done, &mut |rhs| {
+                Expr::ternary(ok.clone(), rhs.clone(), Expr::unary(UnaryOp::Not, rhs.clone()))
+            });
+            module.procs[*proc_index].body = body;
+            if done {
+                Ok(())
+            } else {
+                Err(TransformError { message: format!("assignment #{assign_ordinal} not found") })
+            }
+        }
+    }
+}
+
+/// Rewrites every `next_net = <to>` assignment (optionally only inside the
+/// case arm labelled `from`). Returns how many sites were rewritten.
+fn rewrite_transition_targets(
+    module: &mut Module,
+    f: &Fsm,
+    from: Option<&Bv>,
+    to: &Bv,
+    make: &mut impl FnMut(Expr) -> Expr,
+) -> usize {
+    let mut body = module.procs[f.case_proc].body.clone();
+    let count = rewrite_in_stmts(&mut body, f, from, to, false, make);
+    module.procs[f.case_proc].body = body;
+    count
+}
+
+fn rewrite_in_stmts(
+    stmts: &mut [Stmt],
+    f: &Fsm,
+    from: Option<&Bv>,
+    to: &Bv,
+    mut in_arm: bool,
+    make: &mut impl FnMut(Expr) -> Expr,
+) -> usize {
+    let mut count = 0;
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                if lhs.net == f.next_net
+                    && lhs.range.is_none()
+                    && (from.is_none() || in_arm)
+                    && matches!(rhs, Expr::Const(c) if c.resize(to.width()) == *to)
+                {
+                    *rhs = make(rhs.clone());
+                    count += 1;
+                }
+            }
+            Stmt::If { then_, else_, .. } => {
+                count += rewrite_in_stmts(then_, f, from, to, in_arm, make);
+                count += rewrite_in_stmts(else_, f, from, to, in_arm, make);
+            }
+            Stmt::Case { subject, arms, default } => {
+                let is_fsm_case = matches!(subject, Expr::Ref(n) if *n == f.state_reg);
+                for a in arms {
+                    let arm_matches = from.is_some_and(|fr| a.labels.iter().any(|l| l == fr));
+                    let inner = in_arm || (is_fsm_case && arm_matches);
+                    if from.is_none() || inner {
+                        count += rewrite_in_stmts(&mut a.body, f, from, to, from.is_none() || inner, make);
+                    }
+                }
+                count += rewrite_in_stmts(default, f, from, to, in_arm, make);
+            }
+        }
+    }
+    let _ = &mut in_arm;
+    count
+}
+
+fn add_case_arm(module: &mut Module, f: &Fsm, label: Bv, body: Vec<Stmt>) -> Result<(), TransformError> {
+    let proc_body = &mut module.procs[f.case_proc].body;
+    if add_arm_in(proc_body, f, label.clone(), &body) {
+        Ok(())
+    } else {
+        Err(TransformError { message: "FSM case statement not found".into() })
+    }
+}
+
+fn add_arm_in(stmts: &mut [Stmt], f: &Fsm, label: Bv, body: &[Stmt]) -> bool {
+    for s in stmts {
+        match s {
+            Stmt::Case { subject, arms, .. } if *subject == Expr::Ref(f.state_reg) => {
+                arms.push(rtlock_rtl::CaseArm { labels: vec![label], body: body.to_vec() });
+                return true;
+            }
+            Stmt::If { then_, else_, .. } => {
+                if add_arm_in(then_, f, label.clone(), body) || add_arm_in(else_, f, label.clone(), body) {
+                    return true;
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for a in arms {
+                    if add_arm_in(&mut a.body, f, label.clone(), body) {
+                        return true;
+                    }
+                }
+                if add_arm_in(default, f, label.clone(), body) {
+                    return true;
+                }
+            }
+            Stmt::Assign { .. } => {}
+        }
+    }
+    false
+}
+
+fn rewrite_assign(
+    stmts: &mut [Stmt],
+    target_ordinal: usize,
+    counter: &mut usize,
+    done: &mut bool,
+    make: &mut impl FnMut(&Expr) -> Expr,
+) {
+    for s in stmts {
+        if *done {
+            return;
+        }
+        match s {
+            Stmt::Assign { rhs, .. } => {
+                if *counter == target_ordinal {
+                    *rhs = make(rhs);
+                    *done = true;
+                }
+                *counter += 1;
+            }
+            Stmt::If { then_, else_, .. } => {
+                rewrite_assign(then_, target_ordinal, counter, done, make);
+                rewrite_assign(else_, target_ordinal, counter, done, make);
+            }
+            Stmt::Case { arms, default, .. } => {
+                for a in arms {
+                    rewrite_assign(&mut a.body, target_ordinal, counter, done, make);
+                }
+                rewrite_assign(default, target_ordinal, counter, done, make);
+            }
+        }
+    }
+}

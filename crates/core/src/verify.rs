@@ -1,0 +1,335 @@
+//! Design verification (step 6): does the locked RTL behave identically to
+//! the original under the correct key, and differently under wrong keys?
+//!
+//! Two methods, as in the paper: simulation-based functional verification
+//! and exhaustive logical equivalence checking (a SAT miter over the
+//! full-scan combinational views).
+
+use crate::transforms::is_key_input_name;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtlock_netlist::CnfBuilder;
+use rtlock_rtl::sim::Simulator;
+use rtlock_rtl::{Bv, Dir, Module, ProcessKind};
+use rtlock_sat::{SolveResult, Solver};
+use rtlock_synth::{elaborate, optimize, scan, scan_view};
+
+/// Splits a flat key-bit vector across the locked module's key ports (in
+/// port order), returning `(port name, value)` pairs.
+///
+/// # Panics
+///
+/// Panics if `key` has fewer bits than the module's key ports.
+pub fn key_port_values(locked: &Module, key: &[bool]) -> Vec<(String, Bv)> {
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    for &p in &locked.ports {
+        let net = locked.net(p);
+        if net.dir == Some(Dir::Input) && is_key_input_name(&net.name) {
+            let mut v = Bv::zeros(net.width);
+            for i in 0..net.width {
+                v.set(i, key[cursor]);
+                cursor += 1;
+            }
+            out.push((net.name.clone(), v));
+        }
+    }
+    out
+}
+
+/// Total key length of a locked module.
+pub fn key_length(locked: &Module) -> usize {
+    locked
+        .ports
+        .iter()
+        .filter(|&&p| locked.net(p).dir == Some(Dir::Input) && is_key_input_name(&locked.net(p).name))
+        .map(|&p| locked.width(p))
+        .sum()
+}
+
+/// Random co-simulation: drives both designs with identical stimulus for
+/// `cycles` cycles (reset asserted for the first two) and returns the
+/// fraction of mismatching output-port samples. `0.0` means equivalent on
+/// the sample.
+///
+/// # Panics
+///
+/// Panics if a shared port is missing or a simulator hits a combinational
+/// loop (locked designs are produced by our own transforms, so this
+/// indicates an internal bug).
+pub fn cosim_mismatch_rate(
+    original: &Module,
+    locked: &Module,
+    key: &[bool],
+    cycles: usize,
+    seed: u64,
+) -> f64 {
+    let mut sim_o = Simulator::new(original);
+    let mut sim_l = Simulator::new(locked);
+    // Key ports are the key-prefixed inputs that exist *only* in the
+    // locked design; an input the original also has is ordinary stimulus.
+    let key_values: Vec<(String, Bv)> = {
+        let locked_only = |name: &str| original.find_net(name).is_none();
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        for &p in &locked.ports {
+            let net = locked.net(p);
+            if net.dir == Some(Dir::Input) && is_key_input_name(&net.name) && locked_only(&net.name) {
+                let mut v = Bv::zeros(net.width);
+                for i in 0..net.width {
+                    v.set(i, key[cursor]);
+                    cursor += 1;
+                }
+                out.push((net.name.clone(), v));
+            }
+        }
+        out
+    };
+
+    let clocks: Vec<String> = original
+        .procs
+        .iter()
+        .filter_map(|p| match &p.kind {
+            ProcessKind::Seq { clock, .. } => Some(original.net(*clock).name.clone()),
+            _ => None,
+        })
+        .collect();
+    let resets: Vec<(String, bool)> = original
+        .procs
+        .iter()
+        .filter_map(|p| match &p.kind {
+            ProcessKind::Seq { reset: Some(r), .. } => {
+                Some((original.net(r.net).name.clone(), r.active_high))
+            }
+            _ => None,
+        })
+        .collect();
+    let inputs: Vec<(String, usize)> = original
+        .ports
+        .iter()
+        .filter(|&&p| original.net(p).dir == Some(Dir::Input))
+        .map(|&p| (original.net(p).name.clone(), original.width(p)))
+        .filter(|(n, _)| !clocks.contains(n))
+        .collect();
+    let outputs: Vec<String> = original
+        .ports
+        .iter()
+        .filter(|&&p| original.net(p).dir == Some(Dir::Output))
+        .map(|&p| original.net(p).name.clone())
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0usize;
+    let mut mismatched = 0usize;
+    for cycle in 0..cycles {
+        let in_reset = cycle < 2;
+        for (name, width) in &inputs {
+            let value = if let Some((_, ah)) = resets.iter().find(|(n, _)| n == name) {
+                Bv::from_u64(1, u64::from(in_reset == *ah))
+            } else {
+                let mut v = Bv::zeros(*width);
+                for i in 0..*width {
+                    v.set(i, rng.gen_bool(0.5));
+                }
+                v
+            };
+            sim_o.set_by_name(name, value.clone());
+            sim_l.set_by_name(name, value);
+        }
+        for (port, value) in &key_values {
+            sim_l.set_by_name(port, value.clone());
+        }
+        sim_o.step().expect("original simulates");
+        sim_l.step().expect("locked simulates");
+        for out in &outputs {
+            total += 1;
+            if sim_o.get_by_name(out) != sim_l.get_by_name(out) {
+                mismatched += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        mismatched as f64 / total as f64
+    }
+}
+
+/// Average output corruption over `samples` random wrong keys (each
+/// differing from the correct key in at least one bit).
+pub fn wrong_key_corruption(
+    original: &Module,
+    locked: &Module,
+    correct_key: &[bool],
+    samples: usize,
+    cycles: usize,
+    seed: u64,
+) -> f64 {
+    if correct_key.is_empty() {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15EA5E);
+    let mut acc = 0.0;
+    for s in 0..samples.max(1) {
+        let mut wrong: Vec<bool> = correct_key.to_vec();
+        let mut flipped = false;
+        for b in wrong.iter_mut() {
+            if rng.gen_bool(0.5) {
+                *b = !*b;
+                flipped = true;
+            }
+        }
+        if !flipped {
+            let i = rng.gen_range(0..wrong.len());
+            wrong[i] = !wrong[i];
+        }
+        acc += cosim_mismatch_rate(original, locked, &wrong, cycles, seed.wrapping_add(s as u64));
+    }
+    acc / samples.max(1) as f64
+}
+
+/// Formal equivalence check of the full-scan combinational views via a SAT
+/// miter with the key asserted. Returns `Some(true)` when proved
+/// equivalent, `Some(false)` with a counterexample found, or `None` when
+/// the check does not apply (port mismatch).
+pub fn formal_equivalence(original: &Module, locked: &Module, key: &[bool]) -> Option<bool> {
+    let prep = |m: &Module| {
+        let mut n = elaborate(m).ok()?;
+        optimize(&mut n);
+        scan::insert_full_scan(&mut n);
+        Some(scan_view(&n).netlist)
+    };
+    let orig = prep(original)?;
+    let mut lock = prep(locked)?;
+    crate::transforms::mark_key_inputs(&mut lock);
+    if lock.key_inputs.len() != key.len() {
+        return None;
+    }
+
+    let mut cnf = CnfBuilder::new();
+    // Shared variables for every original input, by name.
+    let orig_in: Vec<i32> = orig.inputs().iter().map(|_| cnf.fresh_var()).collect();
+    let vars_o = cnf.encode_comb(&orig, &orig_in, &[]);
+    let lock_in: Vec<i32> = lock
+        .inputs()
+        .iter()
+        .map(|&g| {
+            let name = lock.gate_name(g).unwrap_or("");
+            if let Some(ki) = lock.key_inputs.iter().position(|k| *k == g) {
+                let v = cnf.fresh_var();
+                cnf.assert_lit(if key[ki] { v } else { -v });
+                v
+            } else {
+                match orig.inputs().iter().position(|&og| orig.gate_name(og) == Some(name)) {
+                    Some(i) => orig_in[i],
+                    None => cnf.fresh_var(), // locked-only input (e.g. scan controls)
+                }
+            }
+        })
+        .collect();
+    let vars_l = cnf.encode_comb(&lock, &lock_in, &[]);
+
+    let mut diffs = Vec::new();
+    for (name, drv_o) in orig.outputs() {
+        if let Some((_, drv_l)) = lock.outputs().iter().find(|(n, _)| n == name) {
+            diffs.push(cnf.xor_lit(vars_o[drv_o.index()], vars_l[drv_l.index()]));
+        }
+    }
+    if diffs.is_empty() {
+        return None;
+    }
+    let any = cnf.or_lit(&diffs);
+    cnf.assert_lit(any);
+
+    let mut solver = Solver::new();
+    solver.reserve_vars(cnf.num_vars());
+    for c in cnf.clauses() {
+        solver.add_dimacs_clause(c);
+    }
+    match solver.solve(&[]) {
+        SolveResult::Unsat => Some(true),
+        SolveResult::Sat => Some(false),
+        SolveResult::Unknown => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{enumerate, EnumConfig};
+    use crate::transforms::{apply, KeyAllocator};
+    use rtlock_rtl::parse;
+
+    const SRC: &str = "module t(input clk, input rst, input [7:0] a, input [7:0] b, output reg [7:0] y);\n\
+        always @(posedge clk or posedge rst) begin\n\
+          if (rst) y <= 8'd0; else y <= (a + b) * 8'd3;\n\
+        end\nendmodule";
+
+    #[test]
+    fn identical_designs_cosim_clean() {
+        let m = parse(SRC).unwrap();
+        assert_eq!(cosim_mismatch_rate(&m, &m, &[], 30, 1), 0.0);
+    }
+
+    #[test]
+    fn locked_design_verifies_with_correct_key_only() {
+        let original = parse(SRC).unwrap();
+        let mut locked = original.clone();
+        let (cands, fsms) = enumerate(&original, &EnumConfig::default());
+        let arith = cands
+            .iter()
+            .find(|c| matches!(c, crate::candidates::Candidate::Arithmetic { .. }))
+            .expect("arith candidate");
+        let mut keys = KeyAllocator::new();
+        apply(&mut locked, arith, &fsms, &mut keys).unwrap();
+        let key = keys.correct_key().to_vec();
+        assert_eq!(key.len(), 2, "arithmetic locks use an entangled pair");
+
+        assert_eq!(cosim_mismatch_rate(&original, &locked, &key, 40, 2), 0.0, "correct key");
+        // Entangled pair: flipping BOTH bits preserves the XNOR condition
+        // (an equivalent key); flipping ONE corrupts.
+        let both_flipped: Vec<bool> = key.iter().map(|b| !b).collect();
+        assert_eq!(cosim_mismatch_rate(&original, &locked, &both_flipped, 40, 2), 0.0, "equivalent key class");
+        let mut one_flipped = key.clone();
+        one_flipped[0] = !one_flipped[0];
+        assert!(cosim_mismatch_rate(&original, &locked, &one_flipped, 40, 2) > 0.2, "wrong key corrupts");
+    }
+
+    #[test]
+    fn formal_check_proves_correct_key() {
+        let original = parse(SRC).unwrap();
+        let mut locked = original.clone();
+        let (cands, fsms) = enumerate(&original, &EnumConfig::default());
+        let c = cands
+            .iter()
+            .find(|c| matches!(c, crate::candidates::Candidate::Constant { .. }))
+            .expect("constant candidate");
+        let mut keys = KeyAllocator::new();
+        apply(&mut locked, c, &fsms, &mut keys).unwrap();
+        let key = keys.correct_key().to_vec();
+        assert_eq!(formal_equivalence(&original, &locked, &key), Some(true));
+        let wrong: Vec<bool> = key.iter().map(|b| !b).collect();
+        assert_eq!(formal_equivalence(&original, &locked, &wrong), Some(false));
+    }
+
+    #[test]
+    fn key_port_values_split_correctly() {
+        let original = parse(SRC).unwrap();
+        let mut locked = original.clone();
+        let (cands, fsms) = enumerate(&original, &EnumConfig::default());
+        let mut keys = KeyAllocator::new();
+        let mut applied = 0;
+        for c in &cands {
+            if matches!(c, crate::candidates::Candidate::Constant { .. }) && applied < 2 {
+                if apply(&mut locked, c, &fsms, &mut keys).is_ok() {
+                    applied += 1;
+                }
+            }
+        }
+        let key = keys.correct_key().to_vec();
+        assert_eq!(key_length(&locked), key.len());
+        let ports = key_port_values(&locked, &key);
+        let total: usize = ports.iter().map(|(_, v)| v.width()).sum();
+        assert_eq!(total, key.len());
+    }
+}

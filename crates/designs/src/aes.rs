@@ -1,0 +1,220 @@
+//! AES-128 encryption core ("AES" in Table II).
+//!
+//! One round per clock, on-the-fly key schedule, S-boxes materialized as
+//! 256-way case statements (the Verilog source is generated
+//! programmatically). This is the largest benchmark — tens of thousands of
+//! gates after synthesis, like the paper's AES row.
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Generates one S-box as a combinational case statement.
+fn sbox_proc(input: &str, output: &str) -> String {
+    let mut s = format!("  always @(*) begin\n    case ({input})\n");
+    for (v, &sv) in SBOX.iter().enumerate() {
+        s.push_str(&format!("      8'd{v}: {output} = 8'd{sv};\n"));
+    }
+    s.push_str(&format!("      default: {output} = 8'd0;\n    endcase\n  end\n"));
+    s
+}
+
+/// Byte `i` of a 128-bit signal, AES convention (byte 0 = most significant).
+fn byte_slice(sig: &str, i: usize) -> String {
+    format!("{sig}[{}:{}]", 127 - 8 * i, 120 - 8 * i)
+}
+
+/// Verilog source of the AES-128 core (programmatically generated).
+pub fn source() -> String {
+    let mut s = String::new();
+    s.push_str(
+        "module aes128(\n  input clk,\n  input rst,\n  input start,\n  input [127:0] pt,\n  \
+         input [127:0] key,\n  output reg [127:0] ct,\n  output reg ready,\n  output busy\n);\n",
+    );
+    s.push_str("  localparam [1:0] A_IDLE = 2'd0, A_RUN = 2'd1, A_DONE = 2'd2;\n\n");
+    s.push_str("  reg [1:0] astate;\n  reg [1:0] astate_next;\n");
+    s.push_str("  reg [127:0] st;\n  reg [127:0] rk;\n  reg [3:0] rnd;\n");
+    for i in 0..16 {
+        s.push_str(&format!("  reg [7:0] sb{i};\n"));
+    }
+    for i in 0..4 {
+        s.push_str(&format!("  reg [7:0] kb{i};\n"));
+    }
+    s.push_str("  reg [7:0] rcon;\n");
+    s.push_str("  wire [127:0] sr;\n  wire [127:0] mc;\n  wire [127:0] next_rk;\n  wire [127:0] round_out;\n\n");
+
+    // 16 state S-boxes.
+    for i in 0..16 {
+        s.push_str(&sbox_proc(&byte_slice("st", i), &format!("sb{i}")));
+    }
+
+    // ShiftRows over the substituted bytes. Column-major state: byte index
+    // = 4*col + row in the flattened (big-endian) 128-bit value.
+    // new[4c + r] = old[4*((c + r) % 4) + r]
+    let mut sr_bytes = Vec::new();
+    for c in 0..4 {
+        for r in 0..4 {
+            let src = 4 * ((c + r) % 4) + r;
+            sr_bytes.push(format!("sb{src}"));
+        }
+    }
+    s.push_str(&format!("  assign sr = {{{}}};\n\n", sr_bytes.join(", ")));
+
+    // xtime helper wires for MixColumns, per byte of sr.
+    for i in 0..16 {
+        let b = byte_slice("sr", i);
+        s.push_str(&format!(
+            "  wire [7:0] xt{i};\n  assign xt{i} = {{{b_lo}, 1'b0}} ^ (8'h1b & {{8{{{b_hi}}}}});\n",
+            b_lo = format!("{}[{}:{}]", "sr", 127 - 8 * i - 1, 120 - 8 * i),
+            b_hi = format!("sr[{}]", 127 - 8 * i),
+        ));
+        let _ = b;
+    }
+    // MixColumns: for column c with bytes b0..b3 (indices 4c..4c+3):
+    // m0 = xt(b0) ^ (xt(b1)^b1) ^ b2 ^ b3, etc.
+    let mut mc_bytes = Vec::new();
+    for c in 0..4 {
+        let b = |r: usize| 4 * c + r;
+        let by = |r: usize| byte_slice("sr", b(r));
+        let xt = |r: usize| format!("xt{}", b(r));
+        mc_bytes.push(format!("({} ^ ({} ^ {}) ^ {} ^ {})", xt(0), xt(1), by(1), by(2), by(3)));
+        mc_bytes.push(format!("({} ^ {} ^ ({} ^ {}) ^ {})", by(0), xt(1), xt(2), by(2), by(3)));
+        mc_bytes.push(format!("({} ^ {} ^ {} ^ ({} ^ {}))", by(0), by(1), xt(2), xt(3), by(3)));
+        mc_bytes.push(format!("(({} ^ {}) ^ {} ^ {} ^ {})", xt(0), by(0), by(1), by(2), xt(3)));
+    }
+    s.push_str(&format!("  assign mc = {{{}}};\n\n", mc_bytes.join(", ")));
+
+    // Key schedule: SubWord(RotWord(w3)) with 4 S-boxes on rotated bytes.
+    // w3 bytes are rk bytes 12..15; RotWord makes the order 13,14,15,12.
+    for (j, src) in [13usize, 14, 15, 12].iter().enumerate() {
+        s.push_str(&sbox_proc(&byte_slice("rk", *src), &format!("kb{j}")));
+    }
+    s.push_str("  always @(*) begin\n    case (rnd)\n");
+    for (i, rc) in [0x01u8, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36].iter().enumerate() {
+        s.push_str(&format!("      4'd{}: rcon = 8'd{rc};\n", i + 1));
+    }
+    s.push_str("      default: rcon = 8'd0;\n    endcase\n  end\n");
+    s.push_str(
+        "  wire [31:0] ks_temp;\n  assign ks_temp = {kb0 ^ rcon, kb1, kb2, kb3};\n  \
+         wire [31:0] nw0;\n  wire [31:0] nw1;\n  wire [31:0] nw2;\n  wire [31:0] nw3;\n  \
+         assign nw0 = rk[127:96] ^ ks_temp;\n  assign nw1 = rk[95:64] ^ nw0;\n  \
+         assign nw2 = rk[63:32] ^ nw1;\n  assign nw3 = rk[31:0] ^ nw2;\n  \
+         assign next_rk = {nw0, nw1, nw2, nw3};\n\n",
+    );
+
+    // Round output: final round (10) skips MixColumns.
+    s.push_str("  assign round_out = (rnd == 4'd10 ? sr : mc) ^ next_rk;\n");
+    s.push_str("  assign busy = astate != A_IDLE;\n\n");
+
+    // Control FSM.
+    s.push_str(
+        "  always @(*) begin\n    astate_next = astate;\n    case (astate)\n      \
+         A_IDLE: begin if (start) astate_next = A_RUN; end\n      \
+         A_RUN: begin if (rnd == 4'd10) astate_next = A_DONE; end\n      \
+         A_DONE: begin astate_next = A_IDLE; end\n      \
+         default: begin astate_next = A_IDLE; end\n    endcase\n  end\n\n",
+    );
+    s.push_str(
+        "  always @(posedge clk or posedge rst) begin\n    if (rst) begin\n      \
+         astate <= 2'd0;\n      st <= 128'd0;\n      rk <= 128'd0;\n      rnd <= 4'd0;\n      \
+         ct <= 128'd0;\n      ready <= 1'b0;\n    end else begin\n      astate <= astate_next;\n      \
+         if (astate == A_IDLE) begin\n        if (start) begin\n          st <= pt ^ key;\n          \
+         rk <= key;\n          rnd <= 4'd1;\n          ready <= 1'b0;\n        end\n      end\n      \
+         if (astate == A_RUN) begin\n        st <= round_out;\n        rk <= next_rk;\n        \
+         rnd <= rnd + 4'd1;\n      end\n      if (astate == A_DONE) begin\n        ct <= st;\n        \
+         ready <= 1'b1;\n      end\n    end\n  end\nendmodule\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_rtl::{parse, sim::Simulator, Bv};
+
+    fn bytes_to_bv(bytes: &[u8; 16]) -> Bv {
+        let mut v = Bv::zeros(128);
+        for (i, &byte) in bytes.iter().enumerate() {
+            for bit in 0..8 {
+                if byte >> (7 - bit) & 1 == 1 {
+                    v.set(127 - (i * 8 + bit), true);
+                }
+            }
+        }
+        v
+    }
+
+    fn bv_to_bytes(v: &Bv) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, slot) in out.iter_mut().enumerate() {
+            for bit in 0..8 {
+                if v.bit(127 - (i * 8 + bit)) {
+                    *slot |= 1 << (7 - bit);
+                }
+            }
+        }
+        out
+    }
+
+    fn hw_encrypt(pt: &[u8; 16], key: &[u8; 16]) -> [u8; 16] {
+        let m = parse(&source()).unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set_by_name("rst", Bv::from_bool(true));
+        sim.reset().unwrap();
+        sim.set_by_name("rst", Bv::from_bool(false));
+        sim.set_by_name("pt", bytes_to_bv(pt));
+        sim.set_by_name("key", bytes_to_bv(key));
+        sim.set_by_name("start", Bv::from_bool(true));
+        sim.step().unwrap();
+        sim.set_by_name("start", Bv::from_bool(false));
+        for _ in 0..16 {
+            sim.step().unwrap();
+            if sim.get_by_name("ready").to_u64_lossy() == 1 {
+                break;
+            }
+        }
+        assert_eq!(sim.get_by_name("ready").to_u64_lossy(), 1, "core finished");
+        bv_to_bytes(&sim.get_by_name("ct"))
+    }
+
+    #[test]
+    fn matches_fips197_vector() {
+        let key: [u8; 16] = (0..16u8).collect::<Vec<_>>().try_into().unwrap();
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff,
+        ];
+        let expect: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a,
+        ];
+        assert_eq!(hw_encrypt(&pt, &key), expect);
+    }
+
+    #[test]
+    fn matches_software_aes_on_random_blocks() {
+        use rtlock_p1735::aes::{Aes, KeySize};
+        let key = [0x3Cu8; 16];
+        let aes = Aes::new(&key, KeySize::Aes128);
+        let mut pt = [0u8; 16];
+        for round in 0..3u8 {
+            for (i, b) in pt.iter_mut().enumerate() {
+                *b = b.wrapping_mul(97).wrapping_add(i as u8 * 13 + round);
+            }
+            assert_eq!(hw_encrypt(&pt, &key), aes.encrypt_block(&pt), "round {round}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! b14 analogue.
+//!
+//! ITC'99 b14 is "a subset of the Viper processor". This re-implementation
+//! keeps the character: a 32-bit accumulator machine with a fetch/execute
+//! FSM, an ALU including a multiplier (the dominant-gate-count feature of
+//! b14), condition flags, and a program counter. Register budget ~215
+//! flops, gate count in the ten-thousands after synthesis.
+
+/// Verilog source of the b14 analogue.
+pub fn source() -> String {
+    r#"
+module b14(
+  input clk,
+  input rst,
+  input [3:0] opcode,
+  input [28:0] din,
+  input go,
+  output reg [31:0] dout,
+  output reg [15:0] pc,
+  output reg [3:0] flags,
+  output reg valid,
+  output executing
+);
+  localparam [1:0] F_IDLE = 2'd0, F_EXEC = 2'd1, F_WRITE = 2'd2;
+
+  localparam [3:0] OP_LOAD = 4'd0, OP_ADD = 4'd1, OP_SUB = 4'd2, OP_MUL = 4'd3,
+                   OP_AND = 4'd4, OP_OR = 4'd5, OP_XOR = 4'd6, OP_SHL = 4'd7,
+                   OP_SHR = 4'd8, OP_CMP = 4'd9, OP_SWAP = 4'd10, OP_STORE = 4'd11,
+                   OP_JMP = 4'd12, OP_ACCX = 4'd13, OP_NEG = 4'd14, OP_NOP = 4'd15;
+
+  reg [1:0] phase;
+  reg [1:0] phase_next;
+  reg [31:0] acc;
+  reg [31:0] x;
+  reg [31:0] y;
+  reg [31:0] alu_out;
+  reg [3:0] flags_next;
+  wire [31:0] operand;
+
+  assign operand = {3'b000, din};
+  assign executing = phase != F_IDLE;
+
+  always @(*) begin
+    phase_next = phase;
+    case (phase)
+      F_IDLE: begin
+        if (go) phase_next = F_EXEC;
+      end
+      F_EXEC: begin
+        phase_next = F_WRITE;
+      end
+      F_WRITE: begin
+        phase_next = F_IDLE;
+      end
+      default: begin
+        phase_next = F_IDLE;
+      end
+    endcase
+  end
+
+  always @(*) begin
+    alu_out = acc;
+    case (opcode)
+      OP_LOAD: alu_out = operand;
+      OP_ADD:  alu_out = acc + operand;
+      OP_SUB:  alu_out = acc - operand;
+      OP_MUL:  alu_out = acc * operand;
+      OP_AND:  alu_out = acc & operand;
+      OP_OR:   alu_out = acc | operand;
+      OP_XOR:  alu_out = acc ^ operand;
+      OP_SHL:  alu_out = acc << operand[4:0];
+      OP_SHR:  alu_out = acc >> operand[4:0];
+      OP_CMP:  alu_out = acc;
+      OP_SWAP: alu_out = x;
+      OP_ACCX: alu_out = acc + x + y;
+      OP_NEG:  alu_out = 32'd0 - acc;
+      default: alu_out = acc;
+    endcase
+  end
+
+  always @(*) begin
+    flags_next[0] = alu_out == 32'd0;
+    flags_next[1] = alu_out[31];
+    flags_next[2] = acc < operand;
+    flags_next[3] = ^alu_out;
+  end
+
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      phase <= 2'd0;
+      acc <= 32'd0;
+      x <= 32'd0;
+      y <= 32'd0;
+      pc <= 16'd0;
+      flags <= 4'd0;
+      dout <= 32'd0;
+      valid <= 1'b0;
+    end else begin
+      phase <= phase_next;
+      if (phase == F_IDLE) begin
+        valid <= 1'b0;
+      end
+      if (phase == F_EXEC) begin
+        if (opcode == OP_SWAP) begin
+          x <= acc;
+          y <= x;
+        end
+        if (opcode != OP_STORE && opcode != OP_JMP && opcode != OP_NOP) acc <= alu_out;
+        flags <= flags_next;
+        if (opcode == OP_JMP) pc <= operand[15:0];
+        else pc <= pc + 16'd1;
+      end
+      if (phase == F_WRITE) begin
+        if (opcode == OP_STORE) begin
+          dout <= acc;
+          valid <= 1'b1;
+        end
+      end
+    end
+  end
+endmodule
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_rtl::{parse, sim::Simulator, Bv};
+
+    struct Cpu<'m> {
+        sim: Simulator<'m>,
+    }
+
+    impl<'m> Cpu<'m> {
+        fn exec(&mut self, opcode: u64, din: u64) {
+            self.sim.set_by_name("opcode", Bv::from_u64(4, opcode));
+            self.sim.set_by_name("din", Bv::from_u64(29, din));
+            self.sim.set_by_name("go", Bv::from_bool(true));
+            self.sim.step().unwrap(); // IDLE -> EXEC
+            self.sim.set_by_name("go", Bv::from_bool(false));
+            self.sim.step().unwrap(); // EXEC -> WRITE
+            self.sim.step().unwrap(); // WRITE -> IDLE
+        }
+
+        fn store(&mut self) -> u64 {
+            self.exec(11, 0);
+            assert_eq!(self.sim.get_by_name("valid"), Bv::from_bool(true));
+            self.sim.get_by_name("dout").to_u64_lossy()
+        }
+    }
+
+    fn boot(m: &rtlock_rtl::Module) -> Cpu<'_> {
+        let mut sim = Simulator::new(m);
+        sim.set_by_name("rst", Bv::from_bool(true));
+        sim.reset().unwrap();
+        sim.set_by_name("rst", Bv::from_bool(false));
+        Cpu { sim }
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let m = parse(&source()).unwrap();
+        let mut cpu = boot(&m);
+        cpu.exec(0, 1000); // LOAD 1000
+        cpu.exec(1, 234); // ADD 234
+        assert_eq!(cpu.store(), 1234);
+        cpu.exec(3, 3); // MUL 3
+        assert_eq!(cpu.store(), 3702);
+        cpu.exec(2, 702); // SUB
+        assert_eq!(cpu.store(), 3000);
+        cpu.exec(7, 4); // SHL 4
+        assert_eq!(cpu.store(), 48000);
+        cpu.exec(8, 5); // SHR 5
+        assert_eq!(cpu.store(), 1500);
+    }
+
+    #[test]
+    fn swap_and_three_operand_add() {
+        let m = parse(&source()).unwrap();
+        let mut cpu = boot(&m);
+        cpu.exec(0, 7); // LOAD 7
+        cpu.exec(10, 0); // SWAP: acc<-x(0), x<-7
+        cpu.exec(0, 5); // LOAD 5
+        cpu.exec(13, 0); // ACCX: acc = 5 + 7 + 0
+        assert_eq!(cpu.store(), 12);
+    }
+
+    #[test]
+    fn flags_reflect_alu_result() {
+        let m = parse(&source()).unwrap();
+        let mut cpu = boot(&m);
+        cpu.exec(0, 5);
+        cpu.exec(2, 5); // SUB 5 -> 0, zero flag
+        let flags = cpu.sim.get_by_name("flags").to_u64_lossy();
+        assert_eq!(flags & 1, 1, "zero flag set");
+    }
+
+    #[test]
+    fn pc_counts_and_jumps() {
+        let m = parse(&source()).unwrap();
+        let mut cpu = boot(&m);
+        cpu.exec(15, 0);
+        cpu.exec(15, 0);
+        assert_eq!(cpu.sim.get_by_name("pc").to_u64_lossy(), 2);
+        cpu.exec(12, 0x1234); // JMP
+        assert_eq!(cpu.sim.get_by_name("pc").to_u64_lossy(), 0x1234);
+    }
+
+    #[test]
+    fn synthesizes_to_a_sizable_netlist() {
+        let m = parse(&source()).unwrap();
+        let n = rtlock_synth::elaborate(&m).unwrap();
+        assert!(n.logic_count() > 3000, "multiplier dominates: {}", n.logic_count());
+        assert!(n.dffs().len() >= 150, "flops: {}", n.dffs().len());
+    }
+}

@@ -1,0 +1,268 @@
+//! b15 analogue.
+//!
+//! ITC'99 b15 is "a subset of the 80386 processor". This re-implementation
+//! keeps the character: an instruction-fetch queue, a decode FSM, an
+//! 8-entry 16-bit register file (flop-based, case-selected), and a 16-bit
+//! execute unit with a multiplier.
+
+/// Verilog source of the b15 analogue.
+pub fn source() -> String {
+    // Register file read/write muxing generated per register.
+    let mut read_arms_a = String::new();
+    let mut read_arms_b = String::new();
+    let mut write_arms = String::new();
+    let mut decls = String::new();
+    let mut resets = String::new();
+    for r in 0..8 {
+        decls.push_str(&format!("  reg [15:0] r{r};\n"));
+        resets.push_str(&format!("      r{r} <= 16'd0;\n"));
+        read_arms_a.push_str(&format!("      3'd{r}: ra_val = r{r};\n"));
+        read_arms_b.push_str(&format!("      3'd{r}: rb_val = r{r};\n"));
+        write_arms.push_str(&format!("        if (wr_sel == 3'd{r}) r{r} <= exec_out;\n"));
+    }
+    format!(
+        r#"
+module b15(
+  input clk,
+  input rst,
+  input [15:0] ibus,
+  input ivalid,
+  input [2:0] op_mode,
+  output reg [15:0] obus,
+  output reg [15:0] addr,
+  output reg [2:0] q_depth,
+  output reg ovalid,
+  output reg fault,
+  output decoding
+);
+  localparam [2:0] D_FETCH = 3'd0, D_DECODE = 3'd1, D_READ = 3'd2,
+                   D_EXEC = 3'd3, D_WRITE = 3'd4;
+
+  reg [2:0] dstate;
+  reg [2:0] dstate_next;
+
+  // Two-deep prefetch queue.
+  reg [15:0] q0;
+  reg [15:0] q1;
+  reg [15:0] inst;
+
+  // Decoded fields.
+  reg [3:0] dec_op;
+  reg [2:0] ra_sel;
+  reg [2:0] rb_sel;
+  reg [2:0] wr_sel;
+
+{decls}
+  reg [15:0] ra_val;
+  reg [15:0] rb_val;
+  reg [15:0] exec_out;
+  reg [15:0] ip;
+
+  assign decoding = dstate != D_FETCH;
+
+  always @(*) begin
+    case (ra_sel)
+{read_arms_a}      default: ra_val = 16'd0;
+    endcase
+  end
+
+  always @(*) begin
+    case (rb_sel)
+{read_arms_b}      default: rb_val = 16'd0;
+    endcase
+  end
+
+  always @(*) begin
+    exec_out = ra_val;
+    case (dec_op)
+      4'd0: exec_out = rb_val;
+      4'd1: exec_out = ra_val + rb_val;
+      4'd2: exec_out = ra_val - rb_val;
+      4'd3: exec_out = ra_val & rb_val;
+      4'd4: exec_out = ra_val | rb_val;
+      4'd5: exec_out = ra_val ^ rb_val;
+      4'd6: exec_out = ra_val * rb_val;
+      4'd7: exec_out = ra_val << rb_val[3:0];
+      4'd8: exec_out = ra_val >> rb_val[3:0];
+      4'd9: exec_out = {{8'd0, inst[7:0]}};
+      4'd10: exec_out = ra_val + 16'd1;
+      4'd11: exec_out = ra_val - 16'd1;
+      default: exec_out = ra_val;
+    endcase
+  end
+
+  always @(*) begin
+    dstate_next = dstate;
+    case (dstate)
+      D_FETCH: begin
+        if (q_depth != 3'd0) dstate_next = D_DECODE;
+      end
+      D_DECODE: begin
+        dstate_next = D_READ;
+      end
+      D_READ: begin
+        dstate_next = D_EXEC;
+      end
+      D_EXEC: begin
+        dstate_next = D_WRITE;
+      end
+      D_WRITE: begin
+        dstate_next = D_FETCH;
+      end
+      default: begin
+        dstate_next = D_FETCH;
+      end
+    endcase
+  end
+
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      dstate <= 3'd0;
+      q0 <= 16'd0;
+      q1 <= 16'd0;
+      inst <= 16'd0;
+      dec_op <= 4'd0;
+      ra_sel <= 3'd0;
+      rb_sel <= 3'd0;
+      wr_sel <= 3'd0;
+{resets}      obus <= 16'd0;
+      addr <= 16'd0;
+      q_depth <= 3'd0;
+      ovalid <= 1'b0;
+      fault <= 1'b0;
+      ip <= 16'd0;
+    end else begin
+      dstate <= dstate_next;
+      // Prefetch whenever the bus offers an instruction and space exists.
+      if (ivalid && q_depth == 3'd0) begin
+        q0 <= ibus;
+        q_depth <= 3'd1;
+      end
+      if (ivalid && q_depth == 3'd1) begin
+        q1 <= ibus;
+        q_depth <= 3'd2;
+      end
+      if (dstate == D_FETCH) begin
+        ovalid <= 1'b0;
+        if (q_depth != 3'd0) begin
+          inst <= q0;
+          q0 <= q1;
+          if (q_depth == 3'd2 && ivalid) q1 <= ibus;
+          if (!(ivalid)) q_depth <= q_depth - 3'd1;
+          ip <= ip + 16'd1;
+        end
+      end
+      if (dstate == D_DECODE) begin
+        dec_op <= inst[15:12];
+        wr_sel <= inst[11:9];
+        ra_sel <= inst[8:6];
+        rb_sel <= inst[5:3];
+        fault <= inst[15:12] > 4'd11;
+      end
+      if (dstate == D_EXEC) begin
+        if (op_mode != 3'd7) begin
+{write_arms}        end
+      end
+      if (dstate == D_WRITE) begin
+        obus <= exec_out;
+        addr <= ip;
+        ovalid <= 1'b1;
+      end
+    end
+  end
+endmodule
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_rtl::{parse, sim::Simulator, Bv};
+
+    fn instruction(op: u64, wr: u64, ra: u64, rb: u64, imm8: u64) -> u64 {
+        op << 12 | wr << 9 | ra << 6 | rb << 3 | (imm8 & 0x7)
+    }
+
+    fn run_program(prog: &[u64]) -> (u64, bool) {
+        let m = parse(&source()).unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set_by_name("rst", Bv::from_bool(true));
+        sim.reset().unwrap();
+        sim.set_by_name("rst", Bv::from_bool(false));
+        sim.set_by_name("op_mode", Bv::from_u64(3, 0));
+        let mut last_obus = 0;
+        let mut saw_valid = false;
+        let mut feed = prog.iter();
+        let mut pending = feed.next();
+        for _ in 0..(prog.len() * 8 + 20) {
+            match pending {
+                Some(&word) if sim.get_by_name("q_depth").to_u64_lossy() < 2 => {
+                    sim.set_by_name("ibus", Bv::from_u64(16, word));
+                    sim.set_by_name("ivalid", Bv::from_bool(true));
+                    pending = feed.next();
+                }
+                _ => {
+                    sim.set_by_name("ivalid", Bv::from_bool(false));
+                }
+            }
+            sim.step().unwrap();
+            if sim.get_by_name("ivalid").to_u64_lossy() == 1 {
+                // consumed
+            }
+            if sim.get_by_name("ovalid").to_u64_lossy() == 1 {
+                last_obus = sim.get_by_name("obus").to_u64_lossy();
+                saw_valid = true;
+            }
+        }
+        (last_obus, saw_valid)
+    }
+
+    #[test]
+    fn executes_load_add_multiply() {
+        // r1 = imm 5 ; r2 = imm 3 ; r3 = r1 + r2 ; r4 = r3 * r2
+        let prog = [
+            instruction(9, 1, 0, 0, 5) | 5, // LDI r1, 5 (imm in low byte)
+            instruction(9, 2, 0, 0, 3) | 3,
+            instruction(1, 3, 1, 2, 0),
+            instruction(6, 4, 3, 2, 0),
+        ];
+        let (obus, valid) = run_program(&prog);
+        assert!(valid);
+        assert_eq!(obus, 24, "(5+3)*3");
+    }
+
+    #[test]
+    fn fault_raised_for_illegal_opcode() {
+        let m = parse(&source()).unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set_by_name("rst", Bv::from_bool(true));
+        sim.reset().unwrap();
+        sim.set_by_name("rst", Bv::from_bool(false));
+        sim.set_by_name("op_mode", Bv::from_u64(3, 0));
+        sim.set_by_name("ibus", Bv::from_u64(16, 0xF000));
+        sim.set_by_name("ivalid", Bv::from_bool(true));
+        sim.step().unwrap();
+        sim.set_by_name("ivalid", Bv::from_bool(false));
+        for _ in 0..10 {
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.get_by_name("fault"), Bv::from_bool(true));
+    }
+
+    #[test]
+    fn five_state_decode_fsm_extracted() {
+        let m = parse(&source()).unwrap();
+        let fsms = rtlock_rtl::fsm::extract(&m);
+        let f = fsms.iter().find(|f| m.net(f.state_reg).name == "dstate").expect("decode FSM");
+        assert_eq!(f.states.len(), 5);
+    }
+
+    #[test]
+    fn synthesizes_with_many_flops() {
+        let m = parse(&source()).unwrap();
+        let n = rtlock_synth::elaborate(&m).unwrap();
+        assert!(n.dffs().len() >= 200, "flops: {}", n.dffs().len());
+        assert!(n.logic_count() > 1500, "gates: {}", n.logic_count());
+    }
+}

@@ -1,0 +1,345 @@
+//! 0/1 integer linear programming by branch-and-bound.
+//!
+//! RTLock's step 4 ("Selection of Cases") formulates locking-candidate
+//! selection as an ILP (\[33\] in the paper): binary variables select locking
+//! cases, `≥` rows enforce the attack-resilience target, `≤` rows cap the
+//! area budget, mutual-exclusion rows keep at most one case per locking
+//! point, and the objective minimizes the number (or cost) of selected
+//! cases. Problem sizes are tens of variables, for which exhaustive
+//! branch-and-bound with constraint-slack pruning is exact and fast.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtlock_ilp::{IlpProblem, Sense};
+//!
+//! // Pick a cheapest subset with total value >= 10.
+//! let mut p = IlpProblem::minimize(vec![3.0, 5.0, 4.0]);
+//! p.add_constraint(vec![(0, 6.0), (1, 8.0), (2, 5.0)], Sense::Ge, 10.0);
+//! let sol = p.solve().expect("feasible");
+//! assert_eq!(sol.assignment, vec![true, false, true]);
+//! assert_eq!(sol.objective, 7.0);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Constraint direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `Σ coeffs·x ≤ rhs`
+    Le,
+    /// `Σ coeffs·x ≥ rhs`
+    Ge,
+}
+
+/// One linear constraint over binary variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse coefficients as `(variable, coefficient)`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Direction.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    fn check(&self, x: &[bool]) -> bool {
+        let lhs: f64 = self.coeffs.iter().map(|&(i, c)| if x[i] { c } else { 0.0 }).sum();
+        match self.sense {
+            Sense::Le => lhs <= self.rhs + 1e-9,
+            Sense::Ge => lhs >= self.rhs - 1e-9,
+        }
+    }
+}
+
+/// A 0/1 minimization problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpProblem {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpSolution {
+    /// Value of each binary variable.
+    pub assignment: Vec<bool>,
+    /// Objective value `Σ cᵢ·xᵢ`.
+    pub objective: f64,
+}
+
+/// Error for malformed constraint references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarOutOfRange {
+    /// The offending variable index.
+    pub var: usize,
+}
+
+impl fmt::Display for VarOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "variable x{} out of range", self.var)
+    }
+}
+
+impl std::error::Error for VarOutOfRange {}
+
+impl IlpProblem {
+    /// Creates a problem minimizing `Σ objective[i]·x[i]`.
+    pub fn minimize(objective: Vec<f64>) -> IlpProblem {
+        IlpProblem { objective, constraints: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, sense: Sense, rhs: f64) {
+        for &(i, _) in &coeffs {
+            assert!(i < self.num_vars(), "variable x{i} out of range");
+        }
+        self.constraints.push(Constraint { coeffs, sense, rhs });
+    }
+
+    /// Adds `Σ x[i] ≤ 1` over the given variables (mutual exclusion — at
+    /// most one locking case per locking point).
+    pub fn add_mutual_exclusion(&mut self, vars: &[usize]) {
+        let coeffs = vars.iter().map(|&v| (v, 1.0)).collect();
+        self.add_constraint(coeffs, Sense::Le, 1.0);
+    }
+
+    /// Solves to optimality (within a node budget). Returns `None` when
+    /// infeasible (or when the budget expired before any feasible
+    /// assignment was found).
+    ///
+    /// Branch-and-bound: depth-first over variables, pruning on (a) an
+    /// incumbent bound using the sum of negative remaining coefficients and
+    /// (b) per-constraint slack infeasibility. Variables are ordered by
+    /// decreasing total `≥`-row contribution so feasible covers are found
+    /// early; a 4M-node budget bounds worst-case instances, in which case
+    /// the best incumbent found is returned (possibly suboptimal).
+    pub fn solve(&self) -> Option<IlpSolution> {
+        let n = self.num_vars();
+        // Branch order: largest |objective| first, then largest coverage of
+        // `≥` rows, so bounds and feasibility bite early.
+        let mut ge_weight = vec![0.0f64; n];
+        for c in &self.constraints {
+            if c.sense == Sense::Ge {
+                for &(i, coeff) in &c.coeffs {
+                    ge_weight[i] += coeff.max(0.0);
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.objective[b]
+                .abs()
+                .total_cmp(&self.objective[a].abs())
+                .then(ge_weight[b].total_cmp(&ge_weight[a]))
+        });
+
+        let mut best: Option<IlpSolution> = None;
+        let mut x = vec![false; n];
+        let mut fixed = vec![false; n];
+        let mut nodes = 0u64;
+        self.branch(&order, 0, &mut x, &mut fixed, 0.0, &mut best, &mut nodes);
+        best
+    }
+
+    /// Node budget for [`IlpProblem::solve`].
+    const NODE_BUDGET: u64 = 4_000_000;
+
+    #[allow(clippy::too_many_arguments)]
+    fn branch(
+        &self,
+        order: &[usize],
+        depth: usize,
+        x: &mut Vec<bool>,
+        fixed: &mut Vec<bool>,
+        cost: f64,
+        best: &mut Option<IlpSolution>,
+        nodes: &mut u64,
+    ) {
+        *nodes += 1;
+        if *nodes > Self::NODE_BUDGET {
+            return;
+        }
+        // Objective bound: remaining free vars can only lower the cost by
+        // the sum of their negative coefficients.
+        let free_gain: f64 = order[depth..]
+            .iter()
+            .map(|&i| self.objective[i].min(0.0))
+            .sum();
+        if let Some(b) = best {
+            if cost + free_gain >= b.objective - 1e-9 {
+                return;
+            }
+        }
+        // Constraint slack pruning.
+        for c in &self.constraints {
+            let mut lo = 0.0f64;
+            let mut hi = 0.0f64;
+            for &(i, coeff) in &c.coeffs {
+                if fixed[i] {
+                    if x[i] {
+                        lo += coeff;
+                        hi += coeff;
+                    }
+                } else {
+                    lo += coeff.min(0.0);
+                    hi += coeff.max(0.0);
+                }
+            }
+            let feasible = match c.sense {
+                Sense::Le => lo <= c.rhs + 1e-9,
+                Sense::Ge => hi >= c.rhs - 1e-9,
+            };
+            if !feasible {
+                return;
+            }
+        }
+        if depth == order.len() {
+            debug_assert!(self.constraints.iter().all(|c| c.check(x)));
+            if best.as_ref().is_none_or(|b| cost < b.objective - 1e-9) {
+                *best = Some(IlpSolution { assignment: x.clone(), objective: cost });
+            }
+            return;
+        }
+        let v = order[depth];
+        fixed[v] = true;
+        // Explore the cheaper branch first; before any incumbent exists,
+        // try selecting first so a feasible cover appears quickly.
+        let cheap_first = self.objective[v] >= 0.0 && best.is_some();
+        let try_order = if cheap_first { [false, true] } else { [true, false] };
+        for val in try_order {
+            x[v] = val;
+            let dc = if val { self.objective[v] } else { 0.0 };
+            self.branch(order, depth + 1, x, fixed, cost + dc, best, nodes);
+        }
+        x[v] = false;
+        fixed[v] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_minimum_is_all_zero() {
+        let p = IlpProblem::minimize(vec![1.0, 2.0, 3.0]);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.assignment, vec![false, false, false]);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn covers_resilience_target_cheaply() {
+        // RTLock-shaped: resilience >= 100, area <= 20, min #cases.
+        let mut p = IlpProblem::minimize(vec![1.0, 1.0, 1.0, 1.0]);
+        p.add_constraint(vec![(0, 80.0), (1, 30.0), (2, 60.0), (3, 10.0)], Sense::Ge, 100.0);
+        p.add_constraint(vec![(0, 12.0), (1, 4.0), (2, 9.0), (3, 2.0)], Sense::Le, 20.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.objective, 2.0, "two cases suffice");
+        // 0+2: res 140, area 21 > 20 -> infeasible; must be 0+1 (110, 16).
+        assert_eq!(sol.assignment, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn mutual_exclusion_respected() {
+        let mut p = IlpProblem::minimize(vec![1.0, 1.0, 1.0]);
+        p.add_constraint(vec![(0, 5.0), (1, 5.0), (2, 5.0)], Sense::Ge, 10.0);
+        p.add_mutual_exclusion(&[0, 1]);
+        let sol = p.solve().unwrap();
+        assert!(!(sol.assignment[0] && sol.assignment[1]));
+        assert_eq!(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let mut p = IlpProblem::minimize(vec![1.0, 1.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 3.0);
+        assert!(p.solve().is_none());
+    }
+
+    #[test]
+    fn negative_costs_turn_variables_on() {
+        let p = IlpProblem::minimize(vec![-2.0, 1.0, -0.5]);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.assignment, vec![true, false, true]);
+        assert_eq!(sol.objective, -2.5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut seed = 0x1234_5678u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _round in 0..50 {
+            let n = 8;
+            let obj: Vec<f64> = (0..n).map(|_| (rnd() % 21) as f64 - 10.0).collect();
+            let mut p = IlpProblem::minimize(obj.clone());
+            let mut cons = Vec::new();
+            for _ in 0..4 {
+                let mut coeffs: Vec<(usize, f64)> = Vec::new();
+                for i in 0..n {
+                    if rnd() % 2 == 0 {
+                        coeffs.push((i, (rnd() % 11) as f64 - 5.0));
+                    }
+                }
+                if coeffs.is_empty() {
+                    continue;
+                }
+                let sense = if rnd() % 2 == 0 { Sense::Le } else { Sense::Ge };
+                let rhs = (rnd() % 11) as f64 - 5.0;
+                p.add_constraint(coeffs.clone(), sense, rhs);
+                cons.push((coeffs, sense, rhs));
+            }
+            // Brute force.
+            let mut best: Option<(f64, u32)> = None;
+            for mask in 0..1u32 << n {
+                let x: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+                let ok = cons.iter().all(|(coeffs, sense, rhs)| {
+                    let lhs: f64 = coeffs.iter().map(|&(i, c)| if x[i] { c } else { 0.0 }).sum();
+                    match sense {
+                        Sense::Le => lhs <= rhs + 1e-9,
+                        Sense::Ge => lhs >= rhs - 1e-9,
+                    }
+                });
+                if ok {
+                    let cost: f64 = (0..n).map(|i| if x[i] { obj[i] } else { 0.0 }).sum();
+                    if best.is_none() || cost < best.expect("set").0 - 1e-9 {
+                        best = Some((cost, mask));
+                    }
+                }
+            }
+            let sol = p.solve();
+            match (best, sol) {
+                (None, None) => {}
+                (Some((cost, _)), Some(s)) => {
+                    assert!((cost - s.objective).abs() < 1e-6, "objective mismatch: {cost} vs {}", s.objective)
+                }
+                (b, s) => panic!("feasibility mismatch: brute {b:?} vs bb {:?}", s.map(|s| s.objective)),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_variable() {
+        let mut p = IlpProblem::minimize(vec![1.0]);
+        p.add_constraint(vec![(3, 1.0)], Sense::Le, 1.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Tseitin encoding of netlists into CNF.
+//!
+//! The encoder is deliberately low-level: callers supply the variables used
+//! for primary inputs and for flip-flop outputs, which makes it equally
+//! usable for combinational miters (SAT attack), time-frame expansion (BMC
+//! attack), and equivalence checking. Literals use the DIMACS convention:
+//! positive `i32` for a variable, negative for its complement.
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// A CNF formula under construction.
+///
+/// # Examples
+///
+/// Encode a single AND gate and check satisfying structure:
+///
+/// ```
+/// use rtlock_netlist::{Netlist, GateKind, CnfBuilder};
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let y = n.add_gate(GateKind::And, vec![a, b]);
+/// n.add_output("y", y);
+///
+/// let mut cnf = CnfBuilder::new();
+/// let va = cnf.fresh_var();
+/// let vb = cnf.fresh_var();
+/// let vars = cnf.encode_comb(&n, &[va, vb], &[]);
+/// cnf.assert_lit(vars[y.index()]);   // force y = 1
+/// assert!(cnf.clauses().len() >= 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CnfBuilder {
+    clauses: Vec<Vec<i32>>,
+    next_var: i32,
+}
+
+impl CnfBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CnfBuilder { clauses: Vec::new(), next_var: 0 }
+    }
+
+    /// Allocates a fresh variable and returns its positive literal.
+    pub fn fresh_var(&mut self) -> i32 {
+        self.next_var += 1;
+        self.next_var
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.next_var as usize
+    }
+
+    /// The clauses accumulated so far.
+    pub fn clauses(&self) -> &[Vec<i32>] {
+        &self.clauses
+    }
+
+    /// Consumes the builder, returning `(num_vars, clauses)`.
+    pub fn into_parts(self) -> (usize, Vec<Vec<i32>>) {
+        (self.next_var as usize, self.clauses)
+    }
+
+    /// Adds a raw clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause is empty or mentions an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[i32]) {
+        assert!(!lits.is_empty(), "empty clause");
+        for &l in lits {
+            assert!(l != 0 && l.unsigned_abs() as i32 <= self.next_var, "literal {l} out of range");
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Asserts a single literal.
+    pub fn assert_lit(&mut self, lit: i32) {
+        self.add_clause(&[lit]);
+    }
+
+    /// Constrains `a == b`.
+    pub fn assert_equal(&mut self, a: i32, b: i32) {
+        self.add_clause(&[-a, b]);
+        self.add_clause(&[a, -b]);
+    }
+
+    /// Returns a literal `o` constrained to `a XOR b`.
+    pub fn xor_lit(&mut self, a: i32, b: i32) -> i32 {
+        let o = self.fresh_var();
+        self.add_clause(&[-o, a, b]);
+        self.add_clause(&[-o, -a, -b]);
+        self.add_clause(&[o, -a, b]);
+        self.add_clause(&[o, a, -b]);
+        o
+    }
+
+    /// Returns a literal `o` constrained to `OR(lits)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lits` is empty.
+    pub fn or_lit(&mut self, lits: &[i32]) -> i32 {
+        assert!(!lits.is_empty(), "or over empty set");
+        let o = self.fresh_var();
+        let mut big = vec![-o];
+        big.extend_from_slice(lits);
+        self.clauses.push(big);
+        for &l in lits {
+            self.add_clause(&[o, -l]);
+        }
+        o
+    }
+
+    /// Encodes the combinational function of `netlist`.
+    ///
+    /// `in_vars[i]` is the literal for the i-th primary input (in
+    /// [`Netlist::inputs`] order); `state_vars[j]` is the literal for the
+    /// j-th flip-flop's *output* (in [`Netlist::dffs`] order) — flip-flops
+    /// are cut, so the returned map gives the variable of every gate output,
+    /// from which callers can also read each D-pin variable
+    /// (`vars[dff.fanin[0]]`) to build the next-state relation.
+    ///
+    /// Returns a per-gate map `vars` with `vars[g.index()]` the literal of
+    /// gate `g`'s output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_vars`/`state_vars` lengths do not match the netlist, or
+    /// if the netlist has a combinational cycle.
+    pub fn encode_comb(&mut self, netlist: &Netlist, in_vars: &[i32], state_vars: &[i32]) -> Vec<i32> {
+        let inputs = netlist.inputs();
+        let dffs = netlist.dffs();
+        assert_eq!(in_vars.len(), inputs.len(), "wrong number of input vars");
+        assert_eq!(state_vars.len(), dffs.len(), "wrong number of state vars");
+        let mut vars = vec![0i32; netlist.len()];
+        for (&g, &v) in inputs.iter().zip(in_vars) {
+            vars[g.index()] = v;
+        }
+        for (&g, &v) in dffs.iter().zip(state_vars) {
+            vars[g.index()] = v;
+        }
+        let order = netlist.topo_order().expect("combinational cycle in CNF encoding");
+        for id in order {
+            let g = netlist.gate(id);
+            if !g.kind.is_logic() {
+                if vars[id.index()] == 0 {
+                    // Constants.
+                    let v = self.fresh_var();
+                    match g.kind {
+                        GateKind::Const0 => self.assert_lit(-v),
+                        GateKind::Const1 => self.assert_lit(v),
+                        _ => unreachable!("inputs and dffs pre-assigned"),
+                    }
+                    vars[id.index()] = v;
+                }
+                continue;
+            }
+            let pin = |i: usize| vars[g.fanin[i].index()];
+            let o = self.fresh_var();
+            match g.kind {
+                GateKind::Buf => {
+                    let a = pin(0);
+                    self.assert_equal(o, a);
+                }
+                GateKind::Not => {
+                    let a = pin(0);
+                    self.assert_equal(o, -a);
+                }
+                GateKind::And | GateKind::Nand => {
+                    let (a, b) = (pin(0), pin(1));
+                    let t = if g.kind == GateKind::And { o } else { -o };
+                    self.add_clause(&[-t, a]);
+                    self.add_clause(&[-t, b]);
+                    self.add_clause(&[t, -a, -b]);
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let (a, b) = (pin(0), pin(1));
+                    let t = if g.kind == GateKind::Or { o } else { -o };
+                    self.add_clause(&[t, -a]);
+                    self.add_clause(&[t, -b]);
+                    self.add_clause(&[-t, a, b]);
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let (a, b) = (pin(0), pin(1));
+                    let t = if g.kind == GateKind::Xor { o } else { -o };
+                    self.add_clause(&[-t, a, b]);
+                    self.add_clause(&[-t, -a, -b]);
+                    self.add_clause(&[t, -a, b]);
+                    self.add_clause(&[t, a, -b]);
+                }
+                GateKind::Mux => {
+                    let (s, a, b) = (pin(0), pin(1), pin(2));
+                    // s=0 -> o=a ; s=1 -> o=b
+                    self.add_clause(&[s, -a, o]);
+                    self.add_clause(&[s, a, -o]);
+                    self.add_clause(&[-s, -b, o]);
+                    self.add_clause(&[-s, b, -o]);
+                }
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff { .. } => {
+                    unreachable!("handled above")
+                }
+            }
+            vars[id.index()] = o;
+        }
+        vars
+    }
+
+    /// Convenience: allocates fresh vars for all inputs and flip-flops of
+    /// `netlist`, encodes it, and returns `(input_vars, state_vars,
+    /// gate_vars)`.
+    pub fn encode_fresh(&mut self, netlist: &Netlist) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+        let in_vars: Vec<i32> = netlist.inputs().iter().map(|_| self.fresh_var()).collect();
+        let state_vars: Vec<i32> = netlist.dffs().iter().map(|_| self.fresh_var()).collect();
+        let gate_vars = self.encode_comb(netlist, &in_vars, &state_vars);
+        (in_vars, state_vars, gate_vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    /// Brute-force checks that the CNF agrees with simulation for all input
+    /// combinations, by unit-asserting each input pattern and the expected
+    /// output value, then checking satisfiability by exhaustive assignment.
+    fn cnf_matches_gate(kind: GateKind) {
+        let arity = kind.arity();
+        let mut n = Netlist::new("t");
+        let ins: Vec<_> = (0..arity).map(|i| n.add_input(format!("i{i}"))).collect();
+        let g = n.add_gate(kind, ins.clone());
+        n.add_output("y", g);
+
+        for pattern in 0..1u32 << arity {
+            let bools: Vec<bool> = (0..arity).map(|i| pattern >> i & 1 == 1).collect();
+            let expect = kind.eval(&bools);
+            let mut cnf = CnfBuilder::new();
+            let in_vars: Vec<i32> = ins.iter().map(|_| cnf.fresh_var()).collect();
+            let vars = cnf.encode_comb(&n, &in_vars, &[]);
+            for (v, &b) in in_vars.iter().zip(&bools) {
+                cnf.assert_lit(if b { *v } else { -*v });
+            }
+            cnf.assert_lit(if expect { vars[g.index()] } else { -vars[g.index()] });
+            assert!(brute_sat(&cnf), "{kind:?} pattern {pattern:b} should be SAT");
+            // And the opposite output value must be UNSAT.
+            let mut cnf2 = CnfBuilder::new();
+            let in_vars: Vec<i32> = ins.iter().map(|_| cnf2.fresh_var()).collect();
+            let vars = cnf2.encode_comb(&n, &in_vars, &[]);
+            for (v, &b) in in_vars.iter().zip(&bools) {
+                cnf2.assert_lit(if b { *v } else { -*v });
+            }
+            cnf2.assert_lit(if expect { -vars[g.index()] } else { vars[g.index()] });
+            assert!(!brute_sat(&cnf2), "{kind:?} pattern {pattern:b} negated should be UNSAT");
+        }
+    }
+
+    fn brute_sat(cnf: &CnfBuilder) -> bool {
+        let nv = cnf.num_vars();
+        assert!(nv <= 20, "brute force limit");
+        'outer: for assignment in 0..1u64 << nv {
+            for clause in cnf.clauses() {
+                let ok = clause.iter().any(|&l| {
+                    let v = l.unsigned_abs() as usize - 1;
+                    let val = assignment >> v & 1 == 1;
+                    (l > 0) == val
+                });
+                if !ok {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    #[test]
+    fn all_gate_kinds_encode_correctly() {
+        use GateKind::*;
+        for kind in [Buf, Not, And, Nand, Or, Nor, Xor, Xnor, Mux] {
+            cnf_matches_gate(kind);
+        }
+    }
+
+    #[test]
+    fn constants_encode() {
+        let mut n = Netlist::new("t");
+        let c = n.add_gate(GateKind::Const1, vec![]);
+        n.add_output("y", c);
+        let mut cnf = CnfBuilder::new();
+        let vars = cnf.encode_comb(&n, &[], &[]);
+        cnf.assert_lit(-vars[c.index()]);
+        assert!(!brute_sat(&cnf), "const1 cannot be 0");
+    }
+
+    #[test]
+    fn state_vars_cut_flip_flops() {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let q = n.add_gate(GateKind::Dff { init: false }, vec![d]);
+        let y = n.add_gate(GateKind::Not, vec![q]);
+        n.add_output("y", y);
+        let mut cnf = CnfBuilder::new();
+        let (in_vars, state_vars, gate_vars) = cnf.encode_fresh(&n);
+        // q is free: asserting q=1 with d=0 must stay satisfiable.
+        cnf.assert_lit(-in_vars[0]);
+        cnf.assert_lit(state_vars[0]);
+        cnf.assert_lit(gate_vars[y.index()]);
+        assert!(!brute_sat(&cnf), "y must be 0 when q=1");
+    }
+
+    #[test]
+    fn xor_lit_and_or_lit_helpers() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        let x = cnf.xor_lit(a, b);
+        cnf.assert_lit(a);
+        cnf.assert_lit(b);
+        cnf.assert_lit(x);
+        assert!(!brute_sat(&cnf), "1 xor 1 = 0");
+
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        let o = cnf.or_lit(&[a, b]);
+        cnf.assert_lit(-a);
+        cnf.assert_lit(-b);
+        cnf.assert_lit(o);
+        assert!(!brute_sat(&cnf), "0 or 0 = 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of input vars")]
+    fn input_var_count_checked() {
+        let mut n = Netlist::new("t");
+        let _a = n.add_input("a");
+        let mut cnf = CnfBuilder::new();
+        cnf.encode_comb(&n, &[], &[]);
+    }
+}

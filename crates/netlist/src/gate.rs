@@ -1,0 +1,236 @@
+//! Gate primitives of the technology library.
+
+use std::fmt;
+
+/// Identifier of a gate inside a [`Netlist`](crate::Netlist).
+///
+/// A gate's output net is identified with the gate itself (single-output
+/// library), so `GateId` doubles as a net id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+impl GateId {
+    /// Position in the netlist's gate array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Kinds of gates in the library.
+///
+/// `Mux` selects `fanin[1]` when the select (`fanin[0]`) is 0 and
+/// `fanin[2]` when it is 1. `Dff` samples `fanin[0]` on the (implicit
+/// global) clock edge and resets to `init`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (no fanin).
+    Input,
+    /// Constant 0.
+    Const0,
+    /// Constant 1.
+    Const1,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input OR.
+    Or,
+    /// 2-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2:1 multiplexer, fanin `[sel, a, b]` → `sel ? b : a`.
+    Mux,
+    /// D flip-flop, fanin `[d]`.
+    Dff {
+        /// Reset/initial value.
+        init: bool,
+    },
+}
+
+impl GateKind {
+    /// Number of fanin pins this kind requires.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not | GateKind::Dff { .. } => 1,
+            GateKind::Mux => 3,
+            _ => 2,
+        }
+    }
+
+    /// `true` for combinational logic gates (excludes inputs, constants and
+    /// flip-flops).
+    pub fn is_logic(self) -> bool {
+        !matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff { .. })
+    }
+
+    /// `true` for flip-flops.
+    pub fn is_dff(self) -> bool {
+        matches!(self, GateKind::Dff { .. })
+    }
+
+    /// Evaluates the gate function over boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins.len() != self.arity()` or when called on
+    /// `Input`/`Dff` (which have no combinational function).
+    pub fn eval(self, ins: &[bool]) -> bool {
+        assert_eq!(ins.len(), self.arity(), "wrong fanin count for {self:?}");
+        match self {
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => ins[0],
+            GateKind::Not => !ins[0],
+            GateKind::And => ins[0] & ins[1],
+            GateKind::Nand => !(ins[0] & ins[1]),
+            GateKind::Or => ins[0] | ins[1],
+            GateKind::Nor => !(ins[0] | ins[1]),
+            GateKind::Xor => ins[0] ^ ins[1],
+            GateKind::Xnor => !(ins[0] ^ ins[1]),
+            GateKind::Mux => {
+                if ins[0] {
+                    ins[2]
+                } else {
+                    ins[1]
+                }
+            }
+            GateKind::Input | GateKind::Dff { .. } => {
+                panic!("{self:?} has no combinational function")
+            }
+        }
+    }
+
+    /// Evaluates the gate over 64 patterns at once (bit-parallel).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GateKind::eval`].
+    pub fn eval64(self, ins: &[u64]) -> u64 {
+        assert_eq!(ins.len(), self.arity(), "wrong fanin count for {self:?}");
+        match self {
+            GateKind::Const0 => 0,
+            GateKind::Const1 => u64::MAX,
+            GateKind::Buf => ins[0],
+            GateKind::Not => !ins[0],
+            GateKind::And => ins[0] & ins[1],
+            GateKind::Nand => !(ins[0] & ins[1]),
+            GateKind::Or => ins[0] | ins[1],
+            GateKind::Nor => !(ins[0] | ins[1]),
+            GateKind::Xor => ins[0] ^ ins[1],
+            GateKind::Xnor => !(ins[0] ^ ins[1]),
+            GateKind::Mux => (!ins[0] & ins[1]) | (ins[0] & ins[2]),
+            GateKind::Input | GateKind::Dff { .. } => {
+                panic!("{self:?} has no combinational function")
+            }
+        }
+    }
+
+    /// Library cell name (for netlist emission and reports).
+    pub fn cell_name(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Const0 => "TIE0",
+            GateKind::Const1 => "TIE1",
+            GateKind::Buf => "BUF_X1",
+            GateKind::Not => "INV_X1",
+            GateKind::And => "AND2_X1",
+            GateKind::Nand => "NAND2_X1",
+            GateKind::Or => "OR2_X1",
+            GateKind::Nor => "NOR2_X1",
+            GateKind::Xor => "XOR2_X1",
+            GateKind::Xnor => "XNOR2_X1",
+            GateKind::Mux => "MUX2_X1",
+            GateKind::Dff { .. } => "DFF_X1",
+        }
+    }
+}
+
+/// A gate instance: a kind plus its fanin nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Gate function.
+    pub kind: GateKind,
+    /// Driver gates of each input pin.
+    pub fanin: Vec<GateId>,
+}
+
+impl Gate {
+    /// Creates a gate, checking arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanin.len() != kind.arity()`.
+    pub fn new(kind: GateKind, fanin: Vec<GateId>) -> Gate {
+        assert_eq!(fanin.len(), kind.arity(), "wrong fanin count for {kind:?}");
+        Gate { kind, fanin }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        use GateKind::*;
+        assert!(And.eval(&[true, true]));
+        assert!(!And.eval(&[true, false]));
+        assert!(Nand.eval(&[true, false]));
+        assert!(Or.eval(&[false, true]));
+        assert!(!Nor.eval(&[false, true]));
+        assert!(Xor.eval(&[true, false]));
+        assert!(Xnor.eval(&[true, true]));
+        assert!(!Not.eval(&[true]));
+        assert!(Buf.eval(&[true]));
+        assert!(Const1.eval(&[]));
+        assert!(!Const0.eval(&[]));
+    }
+
+    #[test]
+    fn mux_selects() {
+        // sel=0 -> a, sel=1 -> b
+        assert!(!GateKind::Mux.eval(&[false, false, true]));
+        assert!(GateKind::Mux.eval(&[true, false, true]));
+    }
+
+    #[test]
+    fn eval64_matches_eval() {
+        use GateKind::*;
+        for kind in [Buf, Not, And, Nand, Or, Nor, Xor, Xnor, Mux] {
+            let arity = kind.arity();
+            for pattern in 0..1u32 << arity {
+                let bools: Vec<bool> = (0..arity).map(|i| pattern >> i & 1 == 1).collect();
+                let words: Vec<u64> = bools.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+                let expect = if kind.eval(&bools) { u64::MAX } else { 0 };
+                assert_eq!(kind.eval64(&words), expect, "{kind:?} pattern {pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn arity_checked() {
+        let a = GateId(0);
+        let g = Gate::new(GateKind::Not, vec![a]);
+        assert_eq!(g.fanin.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong fanin count")]
+    fn bad_arity_panics() {
+        Gate::new(GateKind::And, vec![GateId(0)]);
+    }
+}

@@ -1,0 +1,289 @@
+//! SCOAP testability analysis (Goldstein & Thigpen, DAC 1980 — \[34\] in the
+//! paper).
+//!
+//! Computes combinational 0/1-controllability (`CC0`, `CC1`) and
+//! observability (`CO`) for every net. RTLock's step 7 uses these measures
+//! to choose *partial scan* candidates: registers with low observability
+//! near key inputs hide key effects from oracle-guided attacks, so scanning
+//! (and scan-locking) exactly those registers maximizes protection per
+//! flip-flop.
+//!
+//! Sequential elements are handled with the usual +1-per-stage
+//! simplification, iterated to a fixpoint to handle feedback.
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// Saturating "infinite" cost for uncontrollable nets.
+pub const SCOAP_INF: u32 = u32::MAX / 4;
+
+/// Per-net SCOAP measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scoap {
+    /// Cost of setting each net to 0.
+    pub cc0: Vec<u32>,
+    /// Cost of setting each net to 1.
+    pub cc1: Vec<u32>,
+    /// Cost of observing each net at an output.
+    pub co: Vec<u32>,
+}
+
+impl Scoap {
+    /// Combined difficulty of controlling *and* observing a net; RTLock's
+    /// scan-candidate ranking sorts by this descending.
+    pub fn opacity(&self, g: GateId) -> u64 {
+        let c = self.cc0[g.index()].min(self.cc1[g.index()]) as u64;
+        c + self.co[g.index()] as u64
+    }
+}
+
+/// Computes SCOAP measures for a netlist.
+///
+/// Feedback through flip-flops is resolved by iterating controllability and
+/// observability passes to a fixpoint (bounded by the number of flip-flops
+/// plus two rounds).
+pub fn analyze(netlist: &Netlist) -> Scoap {
+    let n = netlist.len();
+    let mut cc0 = vec![SCOAP_INF; n];
+    let mut cc1 = vec![SCOAP_INF; n];
+    let order = netlist.topo_order().unwrap_or_else(|_| netlist.ids().collect());
+
+    let rounds = netlist.dffs().len() + 2;
+    for _ in 0..rounds {
+        let mut changed = false;
+        for &id in &order {
+            let g = netlist.gate(id);
+            let f = |i: usize| (cc0[g.fanin[i].index()], cc1[g.fanin[i].index()]);
+            let (n0, n1) = match g.kind {
+                GateKind::Input => (1, 1),
+                GateKind::Const0 => (0, SCOAP_INF),
+                GateKind::Const1 => (SCOAP_INF, 0),
+                GateKind::Buf => {
+                    let (a0, a1) = f(0);
+                    (a0.saturating_add(1), a1.saturating_add(1))
+                }
+                GateKind::Not => {
+                    let (a0, a1) = f(0);
+                    (a1.saturating_add(1), a0.saturating_add(1))
+                }
+                GateKind::And => {
+                    let (a0, a1) = f(0);
+                    let (b0, b1) = f(1);
+                    (a0.min(b0).saturating_add(1), a1.saturating_add(b1).saturating_add(1))
+                }
+                GateKind::Nand => {
+                    let (a0, a1) = f(0);
+                    let (b0, b1) = f(1);
+                    (a1.saturating_add(b1).saturating_add(1), a0.min(b0).saturating_add(1))
+                }
+                GateKind::Or => {
+                    let (a0, a1) = f(0);
+                    let (b0, b1) = f(1);
+                    (a0.saturating_add(b0).saturating_add(1), a1.min(b1).saturating_add(1))
+                }
+                GateKind::Nor => {
+                    let (a0, a1) = f(0);
+                    let (b0, b1) = f(1);
+                    (a1.min(b1).saturating_add(1), a0.saturating_add(b0).saturating_add(1))
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let (a0, a1) = f(0);
+                    let (b0, b1) = f(1);
+                    let same = a0.saturating_add(b0).min(a1.saturating_add(b1)).saturating_add(1);
+                    let diff = a0.saturating_add(b1).min(a1.saturating_add(b0)).saturating_add(1);
+                    if g.kind == GateKind::Xor {
+                        (same, diff)
+                    } else {
+                        (diff, same)
+                    }
+                }
+                GateKind::Mux => {
+                    let (s0, s1) = f(0);
+                    let (a0, a1) = f(1);
+                    let (b0, b1) = f(2);
+                    (
+                        s0.saturating_add(a0).min(s1.saturating_add(b0)).saturating_add(1),
+                        s0.saturating_add(a1).min(s1.saturating_add(b1)).saturating_add(1),
+                    )
+                }
+                GateKind::Dff { init } => {
+                    // Reset makes the init value unit-controllable.
+                    let (d0, d1) = f(0);
+                    let mut c0 = d0.saturating_add(1);
+                    let mut c1 = d1.saturating_add(1);
+                    if init {
+                        c1 = c1.min(1);
+                    } else {
+                        c0 = c0.min(1);
+                    }
+                    (c0, c1)
+                }
+            };
+            if n0 != cc0[id.index()] || n1 != cc1[id.index()] {
+                cc0[id.index()] = n0;
+                cc1[id.index()] = n1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Observability: backward pass from outputs, iterated for feedback.
+    let mut co = vec![SCOAP_INF; n];
+    for &(_, drv) in netlist.outputs() {
+        co[drv.index()] = 0;
+    }
+    for _ in 0..rounds {
+        let mut changed = false;
+        for &id in order.iter().rev() {
+            let g = netlist.gate(id);
+            let my = co[id.index()];
+            if my >= SCOAP_INF {
+                continue;
+            }
+            let mut relax = |pin: GateId, extra: u32| {
+                let cand = my.saturating_add(extra).saturating_add(1);
+                if cand < co[pin.index()] {
+                    co[pin.index()] = cand;
+                    changed = true;
+                }
+            };
+            match g.kind {
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 => {}
+                GateKind::Buf | GateKind::Not | GateKind::Dff { .. } => relax(g.fanin[0], 0),
+                GateKind::And | GateKind::Nand => {
+                    let other1 = cc1[g.fanin[1].index()];
+                    let other0 = cc1[g.fanin[0].index()];
+                    relax(g.fanin[0], other1);
+                    relax(g.fanin[1], other0);
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let other1 = cc0[g.fanin[1].index()];
+                    let other0 = cc0[g.fanin[0].index()];
+                    relax(g.fanin[0], other1);
+                    relax(g.fanin[1], other0);
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let ob = cc0[g.fanin[1].index()].min(cc1[g.fanin[1].index()]);
+                    let oa = cc0[g.fanin[0].index()].min(cc1[g.fanin[0].index()]);
+                    relax(g.fanin[0], ob);
+                    relax(g.fanin[1], oa);
+                }
+                GateKind::Mux => {
+                    let (s, a, b) = (g.fanin[0], g.fanin[1], g.fanin[2]);
+                    // Observe select: the two data inputs must differ.
+                    let differ = cc0[a.index()]
+                        .saturating_add(cc1[b.index()])
+                        .min(cc1[a.index()].saturating_add(cc0[b.index()]));
+                    relax(s, differ);
+                    relax(a, cc0[s.index()]);
+                    relax(b, cc1[s.index()]);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Scoap { cc0, cc1, co }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn inputs_are_unit_controllable() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        n.add_output("y", a);
+        let s = analyze(&n);
+        assert_eq!(s.cc0[a.index()], 1);
+        assert_eq!(s.cc1[a.index()], 1);
+        assert_eq!(s.co[a.index()], 0);
+    }
+
+    #[test]
+    fn and_gate_controllability() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, vec![a, b]);
+        n.add_output("y", g);
+        let s = analyze(&n);
+        assert_eq!(s.cc1[g.index()], 3, "both inputs to 1");
+        assert_eq!(s.cc0[g.index()], 2, "either input to 0");
+        // Observing `a` through the AND needs b=1.
+        assert_eq!(s.co[a.index()], 2);
+    }
+
+    #[test]
+    fn deep_chain_raises_costs() {
+        let mut n = Netlist::new("t");
+        let mut cur = n.add_input("a");
+        let one = n.add_input("b");
+        for _ in 0..10 {
+            cur = n.add_gate(GateKind::And, vec![cur, one]);
+        }
+        n.add_output("y", cur);
+        let s = analyze(&n);
+        assert!(s.cc1[cur.index()] > 10);
+        let a = n.inputs()[0];
+        assert!(s.co[a.index()] >= 10, "deep input hard to observe");
+    }
+
+    #[test]
+    fn constants_are_one_sided() {
+        let mut n = Netlist::new("t");
+        let c1 = n.add_gate(GateKind::Const1, vec![]);
+        n.add_output("y", c1);
+        let s = analyze(&n);
+        assert_eq!(s.cc1[c1.index()], 0);
+        assert!(s.cc0[c1.index()] >= SCOAP_INF);
+    }
+
+    #[test]
+    fn dff_adds_sequential_cost() {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let q = n.add_gate(GateKind::Dff { init: false }, vec![d]);
+        n.add_output("y", q);
+        let s = analyze(&n);
+        assert_eq!(s.cc0[q.index()], 1, "reset controls the 0 side");
+        assert_eq!(s.cc1[q.index()], 2, "the 1 side goes through D");
+        assert_eq!(s.co[d.index()], 1);
+    }
+
+    #[test]
+    fn feedback_loop_converges() {
+        // q' = xor(q, en): controllability must converge, not loop forever.
+        let mut n = Netlist::new("t");
+        let en = n.add_input("en");
+        let q = n.add_gate(GateKind::Dff { init: false }, vec![en]);
+        let x = n.add_gate(GateKind::Xor, vec![q, en]);
+        n.gate_mut(q).fanin[0] = x;
+        n.add_output("y", q);
+        let s = analyze(&n);
+        assert!(s.cc0[q.index()] < SCOAP_INF);
+        assert!(s.cc1[q.index()] < SCOAP_INF);
+    }
+
+    #[test]
+    fn opacity_ranks_hidden_nets_higher() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let shallow = n.add_gate(GateKind::And, vec![a, b]);
+        let mut deep = shallow;
+        for _ in 0..6 {
+            deep = n.add_gate(GateKind::And, vec![deep, b]);
+        }
+        n.add_output("y", deep);
+        let s = analyze(&n);
+        assert!(s.opacity(a) > s.opacity(deep), "inputs of deep cones are more opaque than the cone tip");
+    }
+}

@@ -1,0 +1,246 @@
+//! AES-128/AES-256 block cipher (FIPS 197), implemented from scratch.
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ if b & 0x80 != 0 { 0x1b } else { 0 }
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// AES key size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+/// An expanded AES key.
+#[derive(Debug, Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expands a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key length does not match the key size (16 or 32
+    /// bytes).
+    pub fn new(key: &[u8], size: KeySize) -> Aes {
+        let (nk, rounds) = match size {
+            KeySize::Aes128 => (4usize, 10usize),
+            KeySize::Aes256 => (8, 14),
+        };
+        assert_eq!(key.len(), nk * 4, "AES key length mismatch");
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        let mut rcon = 1u8;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([temp[0] ^ prev[0], temp[1] ^ prev[1], temp[2] ^ prev[2], temp[3] ^ prev[3]]);
+        }
+        let round_keys: Vec<[u8; 16]> = w
+            .chunks(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (j, word) in c.iter().enumerate() {
+                    rk[j * 4..j * 4 + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys, rounds }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut s = *block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[r]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[self.rounds]);
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let inv = inv_sbox();
+        let mut s = *block;
+        add_round_key(&mut s, &self.round_keys[self.rounds]);
+        for r in (1..self.rounds).rev() {
+            inv_shift_rows(&mut s);
+            for b in &mut s {
+                *b = inv[*b as usize];
+            }
+            add_round_key(&mut s, &self.round_keys[r]);
+            inv_mix_columns(&mut s);
+        }
+        inv_shift_rows(&mut s);
+        for b in &mut s {
+            *b = inv[*b as usize];
+        }
+        add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for (b, k) in s.iter_mut().zip(rk) {
+        *b ^= k;
+    }
+}
+
+fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(s: &mut [u8; 16]) {
+    // State is column-major: s[r + 4c].
+    let copy = *s;
+    for r in 1..4 {
+        for c in 0..4 {
+            s[r + 4 * c] = copy[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    let copy = *s;
+    for r in 1..4 {
+        for c in 0..4 {
+            s[r + 4 * ((c + r) % 4)] = copy[r + 4 * c];
+        }
+    }
+}
+
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        s[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        s[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        s[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        s[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        s[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        s[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex")).collect()
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f");
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new(&key, KeySize::Aes128);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct.to_vec(), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new(&key, KeySize::Aes256);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct.to_vec(), from_hex("8ea2b7ca516745bfeafc49904b496089"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn round_trips_random_blocks() {
+        let key = [7u8; 16];
+        let aes = Aes::new(&key, KeySize::Aes128);
+        let mut block = [0u8; 16];
+        for round in 0..32u8 {
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = b.wrapping_mul(31).wrapping_add(i as u8 ^ round);
+            }
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key length")]
+    fn wrong_key_length_panics() {
+        Aes::new(&[0u8; 10], KeySize::Aes128);
+    }
+}

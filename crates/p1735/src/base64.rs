@@ -1,0 +1,90 @@
+//! Standard base64 (RFC 4648) with padding — P1735 data/key blocks are
+//! base64-encoded inside the pragma envelope.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as base64 with `=` padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], chunk.get(1).copied().unwrap_or(0), chunk.get(2).copied().unwrap_or(0)];
+        let n = u32::from(b[0]) << 16 | u32::from(b[1]) << 8 | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18 & 63) as usize] as char);
+        out.push(ALPHABET[(n >> 12 & 63) as usize] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6 & 63) as usize] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[(n & 63) as usize] as char } else { '=' });
+    }
+    out
+}
+
+/// Decodes base64 (whitespace tolerated). Returns `None` on malformed
+/// input.
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    let mut vals = Vec::new();
+    let mut padding = 0usize;
+    for c in text.chars() {
+        if c.is_whitespace() {
+            continue;
+        }
+        if c == '=' {
+            padding += 1;
+            continue;
+        }
+        if padding > 0 {
+            return None; // data after padding
+        }
+        let v = ALPHABET.iter().position(|&a| a as char == c)? as u32;
+        vals.push(v);
+    }
+    if (vals.len() + padding) % 4 != 0 || padding > 2 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(vals.len() * 3 / 4);
+    for chunk in vals.chunks(4) {
+        let n = chunk.iter().fold(0u32, |acc, &v| acc << 6 | v) << (6 * (4 - chunk.len()));
+        let bytes = [(n >> 16) as u8, (n >> 8) as u8, n as u8];
+        let emit = match chunk.len() {
+            4 => 3,
+            3 => 2,
+            2 => 1,
+            _ => return None,
+        };
+        out.extend_from_slice(&bytes[..emit]);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        for data in [&b""[..], b"x", b"ab", b"abc", b"The quick brown fox", &[0u8, 255, 128, 7]] {
+            assert_eq!(decode(&encode(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode("!!!!").is_none());
+        assert!(decode("Zg=a").is_none());
+        assert!(decode("Z").is_none());
+    }
+}

@@ -1,0 +1,635 @@
+//! Minimal arbitrary-precision unsigned integers for RSA key wrap.
+//!
+//! Little-endian `u64` limbs; only the operations RSA needs: comparison,
+//! add/sub, schoolbook multiplication, shift-subtract division, modular
+//! exponentiation, extended-Euclid inversion, and Miller–Rabin primality.
+
+use rand::Rng;
+
+/// An unsigned big integer (normalized: no trailing zero limbs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> BigUint {
+        BigUint { limbs: vec![] }
+    }
+
+    /// One.
+    pub fn one() -> BigUint {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> BigUint {
+        let mut b = BigUint { limbs: vec![v] };
+        b.normalize();
+        b
+    }
+
+    /// From big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::new();
+        for chunk in bytes.rchunks(8) {
+            let mut word = [0u8; 8];
+            word[8 - chunk.len()..].copy_from_slice(chunk);
+            limbs.push(u64::from_be_bytes(word));
+        }
+        let mut b = BigUint { limbs };
+        b.normalize();
+        b
+    }
+
+    /// To big-endian bytes (no leading zeros; empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.split_off(skip)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `true` for zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` for even values.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Reads bit `i`.
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs.get(i / 64).is_some_and(|l| l >> (i % 64) & 1 == 1)
+    }
+
+    /// Comparison.
+    pub fn cmp_to(&self, rhs: &BigUint) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if self.limbs.len() != rhs.limbs.len() {
+            return self.limbs.len().cmp(&rhs.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(rhs.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Addition.
+    pub fn add(&self, rhs: &BigUint) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len().max(rhs.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(rhs.limbs.len()) {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut b = BigUint { limbs: out };
+        b.normalize();
+        b
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`.
+    pub fn sub(&self, rhs: &BigUint) -> BigUint {
+        assert!(self.cmp_to(rhs) != std::cmp::Ordering::Less, "big integer underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        let mut b = BigUint { limbs: out };
+        b.normalize();
+        b
+    }
+
+    /// Multiplication (schoolbook).
+    pub fn mul(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut b = BigUint { limbs: out };
+        b.normalize();
+        b
+    }
+
+    /// Logical left shift.
+    pub fn shl_bits(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let (words, bits) = (n / 64, n % 64);
+        let mut out = vec![0u64; words];
+        if bits == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push(l << bits | carry);
+                carry = l >> (64 - bits);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut b = BigUint { limbs: out };
+        b.normalize();
+        b
+    }
+
+    fn shr1_in_place(&mut self) {
+        let mut carry = 0u64;
+        for l in self.limbs.iter_mut().rev() {
+            let new_carry = *l << 63;
+            *l = *l >> 1 | carry;
+            carry = new_carry;
+        }
+        self.normalize();
+    }
+
+    fn sub_in_place(&mut self, rhs: &BigUint) {
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0, "in-place subtraction underflow");
+        self.normalize();
+    }
+
+    /// Division with remainder: `(self / rhs, self % rhs)`.
+    ///
+    /// Shift-subtract with in-place updates (adequate for RSA-demo sizes;
+    /// the hot path, [`BigUint::mod_pow`], uses Montgomery multiplication
+    /// instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self.cmp_to(rhs) == std::cmp::Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        let shift = self.bits() - rhs.bits();
+        let mut remainder = self.clone();
+        let mut candidate = rhs.shl_bits(shift);
+        let mut q_limbs = vec![0u64; shift / 64 + 1];
+        for s in (0..=shift).rev() {
+            if remainder.cmp_to(&candidate) != std::cmp::Ordering::Less {
+                remainder.sub_in_place(&candidate);
+                q_limbs[s / 64] |= 1 << (s % 64);
+            }
+            candidate.shr1_in_place();
+        }
+        let mut quotient = BigUint { limbs: q_limbs };
+        quotient.normalize();
+        (quotient, remainder)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Uses Montgomery multiplication for odd moduli (the RSA case) and
+    /// falls back to square-and-multiply with division otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "zero modulus");
+        if !m.is_even() && m.cmp_to(&BigUint::one()) == std::cmp::Ordering::Greater {
+            return Montgomery::new(m).pow(self, exp);
+        }
+        let mut result = BigUint::one().rem(m);
+        let mut base = self.rem(m);
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mul(&base).rem(m);
+            }
+            base = base.mul(&base).rem(m);
+        }
+        result
+    }
+
+    /// Modular inverse `self⁻¹ mod m` via extended Euclid; `None` when not
+    /// coprime.
+    pub fn mod_inverse(&self, m: &BigUint) -> Option<BigUint> {
+        // Track coefficients with explicit signs.
+        let (mut old_r, mut r) = (self.rem(m), m.clone());
+        let (mut old_s, mut s): ((BigUint, bool), (BigUint, bool)) =
+            ((BigUint::one(), false), (BigUint::zero(), false));
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s (signed arithmetic).
+            let qs = q.mul(&s.0);
+            let new_s = signed_sub(&old_s, &(qs, s.1));
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if old_r != BigUint::one() {
+            return None;
+        }
+        let (mag, neg) = old_s;
+        let inv = if neg { m.sub(&mag.rem(m)) } else { mag.rem(m) };
+        Some(inv.rem(m))
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probable_prime(&self, rounds: usize, rng: &mut impl Rng) -> bool {
+        if self.cmp_to(&BigUint::from_u64(2)) == std::cmp::Ordering::Less {
+            return false;
+        }
+        for small in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            let p = BigUint::from_u64(small);
+            if self == &p {
+                return true;
+            }
+            if self.rem(&p).is_zero() {
+                return false;
+            }
+        }
+        let one = BigUint::one();
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut rr = 0usize;
+        while d.is_even() {
+            d = d.div_rem(&BigUint::from_u64(2)).0;
+            rr += 1;
+        }
+        'witness: for _ in 0..rounds {
+            let a = random_below(&n_minus_1, rng).add(&one); // in [1, n-1]
+            let mut x = a.mod_pow(&d, self);
+            if x == one || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..rr - 1 {
+                x = x.mul(&x).rem(self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// Montgomery-form modular arithmetic for an odd modulus (CIOS variant).
+struct Montgomery {
+    m: Vec<u64>,
+    m_prime: u64,
+    /// R² mod m, for conversion into Montgomery form.
+    r2: BigUint,
+    n: usize,
+}
+
+impl Montgomery {
+    fn new(m: &BigUint) -> Montgomery {
+        let n = m.limbs.len();
+        // m' = -m[0]^{-1} mod 2^64 via Newton iteration.
+        let m0 = m.limbs[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let m_prime = inv.wrapping_neg();
+        let r2 = BigUint::one().shl_bits(2 * 64 * n).rem(m);
+        Montgomery { m: m.limbs.clone(), m_prime, r2, n }
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R⁻¹ mod m` where
+    /// inputs are n-limb (little-endian) vectors already reduced mod m.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = self.n;
+        let mut t = vec![0u64; n + 2];
+        for &ai in a.iter().take(n) {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..n {
+                let cur = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[n] as u128 + carry;
+            t[n] = cur as u64;
+            t[n + 1] = (cur >> 64) as u64;
+            // m-multiple elimination
+            let u = t[0].wrapping_mul(self.m_prime);
+            let cur = t[0] as u128 + u as u128 * self.m[0] as u128;
+            let mut carry = cur >> 64;
+            for j in 1..n {
+                let cur = t[j] as u128 + u as u128 * self.m[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[n] as u128 + carry;
+            t[n - 1] = cur as u64;
+            t[n] = t[n + 1] + ((cur >> 64) as u64);
+            t[n + 1] = 0;
+        }
+        // Conditional final subtraction.
+        let mut result = t[..=n].to_vec();
+        let ge = {
+            if result[n] != 0 {
+                true
+            } else {
+                let mut ge = true;
+                for j in (0..n).rev() {
+                    if result[j] != self.m[j] {
+                        ge = result[j] > self.m[j];
+                        break;
+                    }
+                }
+                ge
+            }
+        };
+        if ge {
+            let mut borrow = 0u64;
+            for j in 0..n {
+                let (d1, b1) = result[j].overflowing_sub(self.m[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                result[j] = d2;
+                borrow = u64::from(b1) + u64::from(b2);
+            }
+            result[n] = result[n].wrapping_sub(borrow);
+        }
+        result.truncate(n);
+        result
+    }
+
+    fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let m_big = {
+            let mut b = BigUint { limbs: self.m.clone() };
+            b.normalize();
+            b
+        };
+        let mut base_limbs = base.rem(&m_big).limbs;
+        base_limbs.resize(self.n, 0);
+        let mut r2 = self.r2.limbs.clone();
+        r2.resize(self.n, 0);
+        let base_mont = self.mont_mul(&base_limbs, &r2);
+        // 1 in Montgomery form = R mod m = mont_mul(1, R²).
+        let mut one = vec![0u64; self.n];
+        one[0] = 1;
+        let mut acc = self.mont_mul(&one, &r2);
+        for i in (0..exp.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_mont);
+            }
+        }
+        // Convert out of Montgomery form.
+        let out = self.mont_mul(&acc, &one);
+        let mut b = BigUint { limbs: out };
+        b.normalize();
+        b
+    }
+}
+
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    // a - b with (magnitude, negative) pairs.
+    match (a.1, b.1) {
+        (false, true) => (a.0.add(&b.0), false),
+        (true, false) => (a.0.add(&b.0), true),
+        (an, _) => {
+            if a.0.cmp_to(&b.0) != std::cmp::Ordering::Less {
+                (a.0.sub(&b.0), an)
+            } else {
+                (b.0.sub(&a.0), !an)
+            }
+        }
+    }
+}
+
+/// Uniform random value in `[0, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below(bound: &BigUint, rng: &mut impl Rng) -> BigUint {
+    assert!(!bound.is_zero(), "empty range");
+    let bytes = bound.bits().div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf[..]);
+        // Mask the top byte to reduce rejection rate.
+        let top_bits = bound.bits() % 8;
+        if top_bits != 0 {
+            buf[0] &= (1u8 << top_bits) - 1;
+        }
+        let candidate = BigUint::from_bytes_be(&buf);
+        if candidate.cmp_to(bound) == std::cmp::Ordering::Less {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+pub fn random_prime(bits: usize, rng: &mut impl Rng) -> BigUint {
+    assert!(bits >= 8, "prime too small");
+    loop {
+        let bytes = bits.div_ceil(8);
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf[..]);
+        buf[bytes - 1] |= 1; // odd
+        let mut candidate = BigUint::from_bytes_be(&buf);
+        // Keep the low bits, then force the top bit for exact size.
+        candidate = candidate.rem(&BigUint::one().shl_bits(bits - 1));
+        candidate = candidate.add(&BigUint::one().shl_bits(bits - 1));
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if candidate.is_probable_prime(20, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bytes_round_trip() {
+        let b = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(b.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 7]).to_bytes_be(), vec![7]);
+        assert!(BigUint::from_bytes_be(&[]).is_zero());
+    }
+
+    #[test]
+    fn arithmetic_small_values() {
+        let a = BigUint::from_u64(1_000_000_007);
+        let b = BigUint::from_u64(998_244_353);
+        assert_eq!(a.add(&b), BigUint::from_u64(1_998_244_360));
+        assert_eq!(a.sub(&b), BigUint::from_u64(1_755_654));
+        let p = a.mul(&b);
+        assert_eq!(p.rem(&a), BigUint::zero());
+        let (q, r) = p.div_rem(&b);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn multiplication_crosses_limbs() {
+        let a = BigUint::from_u64(u64::MAX);
+        let sq = a.mul(&a);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expect = BigUint::one()
+            .shl_bits(128)
+            .sub(&BigUint::one().shl_bits(65))
+            .add(&BigUint::one());
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn mod_pow_matches_u64_math() {
+        let b = BigUint::from_u64(7);
+        let e = BigUint::from_u64(130);
+        let m = BigUint::from_u64(1_000_000_007);
+        // 7^130 mod p computed by repeated squaring in u128.
+        let mut expect = 1u128;
+        let mut base = 7u128;
+        let mut exp = 130u32;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                expect = expect * base % 1_000_000_007;
+            }
+            base = base * base % 1_000_000_007;
+            exp >>= 1;
+        }
+        assert_eq!(b.mod_pow(&e, &m), BigUint::from_u64(expect as u64));
+    }
+
+    #[test]
+    fn mod_inverse_correct() {
+        let m = BigUint::from_u64(1_000_000_007);
+        let a = BigUint::from_u64(123_456_789);
+        let inv = a.mod_inverse(&m).unwrap();
+        assert_eq!(a.mul(&inv).rem(&m), BigUint::one());
+        // Non-coprime case.
+        let m2 = BigUint::from_u64(100);
+        assert!(BigUint::from_u64(10).mod_inverse(&m2).is_none());
+    }
+
+    #[test]
+    fn miller_rabin_classifies_known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 101, 65_537, 2_147_483_647] {
+            assert!(BigUint::from_u64(p).is_probable_prime(16, &mut rng), "{p} is prime");
+        }
+        for c in [1u64, 4, 100, 65_535, 2_147_483_649] {
+            assert!(!BigUint::from_u64(c).is_probable_prime(16, &mut rng), "{c} is composite");
+        }
+        // Carmichael number 561 = 3·11·17 must be rejected.
+        assert!(!BigUint::from_u64(561).is_probable_prime(16, &mut rng));
+    }
+
+    #[test]
+    fn random_prime_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = random_prime(96, &mut rng);
+        assert_eq!(p.bits(), 96);
+        assert!(p.is_probable_prime(16, &mut rng));
+    }
+
+    #[test]
+    fn montgomery_matches_naive_modpow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let mut m = random_below(&BigUint::one().shl_bits(130), &mut rng);
+            if m.is_even() {
+                m = m.add(&BigUint::one());
+            }
+            if m.cmp_to(&BigUint::from_u64(3)) == std::cmp::Ordering::Less {
+                continue;
+            }
+            let b = random_below(&m, &mut rng);
+            let e = random_below(&BigUint::one().shl_bits(40), &mut rng);
+            // Naive square-and-multiply with division.
+            let mut expect = BigUint::one().rem(&m);
+            let mut base = b.rem(&m);
+            for i in 0..e.bits() {
+                if e.bit(i) {
+                    expect = expect.mul(&base).rem(&m);
+                }
+                base = base.mul(&base).rem(&m);
+            }
+            assert_eq!(b.mod_pow(&e, &m), expect, "montgomery disagrees for modulus {m:?}");
+        }
+    }
+
+    #[test]
+    fn division_random_cross_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = random_below(&BigUint::one().shl_bits(192), &mut rng);
+            let b = random_below(&BigUint::one().shl_bits(96), &mut rng).add(&BigUint::one());
+            let (q, r) = a.div_rem(&b);
+            assert!(r.cmp_to(&b) == std::cmp::Ordering::Less);
+            assert_eq!(q.mul(&b).add(&r), a);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The `pragma protect` envelope and rights management (IEEE 1735-2014,
+//! \[29\] in the paper).
+//!
+//! The locked RTL is encrypted once with a random AES session key
+//! (AES-128-GCM); the session key is RSA-OAEP-wrapped separately for every
+//! *authorized tool*. An integration/verification engineer can hand the
+//! envelope to a tool holding one of those private keys; the tool can
+//! simulate the design but the engineer never sees plaintext RTL or the
+//! locking key — the insider-threat mitigation of Section III-B.
+
+use crate::aes::{Aes, KeySize};
+use crate::base64;
+use crate::gcm::{gcm_decrypt, gcm_encrypt, TAG_LEN};
+use crate::rsa::{self, PrivateKey, PublicKey};
+use crate::sha256::{digest_hex, sha256};
+use rand::Rng;
+use std::fmt;
+
+const AAD: &[u8] = b"rtlock-p1735-v1";
+
+/// What a tool is allowed to do with the decrypted IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Permissions {
+    /// Tool may decrypt internally for simulation/synthesis.
+    pub decrypt_for_simulation: bool,
+    /// Tool may re-export (delegate) the IP to another envelope.
+    pub delegate: bool,
+}
+
+impl Permissions {
+    /// The usual verification-tool rights: simulate yes, delegate no.
+    pub fn simulation_only() -> Permissions {
+        Permissions { decrypt_for_simulation: true, delegate: false }
+    }
+}
+
+/// One authorized tool in the rights block.
+#[derive(Debug, Clone)]
+pub struct Grant {
+    /// Tool/keyowner name (e.g. `"Synopsys-VCS"`).
+    pub tool: String,
+    /// The tool's public key.
+    pub public_key: PublicKey,
+    /// Permissions granted to this tool.
+    pub permissions: Permissions,
+}
+
+/// Errors opening an envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Envelope text is structurally malformed.
+    Malformed(String),
+    /// The tool is not in the rights block.
+    NotAuthorized,
+    /// The tool is listed but lacks the needed permission.
+    PermissionDenied,
+    /// Cryptographic failure (wrong key or tampering).
+    CryptoFailure,
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::Malformed(m) => write!(f, "malformed envelope: {m}"),
+            EnvelopeError::NotAuthorized => write!(f, "tool not present in rights block"),
+            EnvelopeError::PermissionDenied => write!(f, "tool lacks the required permission"),
+            EnvelopeError::CryptoFailure => write!(f, "decryption or authentication failed"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// Encrypts RTL source into a `pragma protect` envelope for the given
+/// grants.
+///
+/// # Panics
+///
+/// Panics if `grants` is empty (an envelope nobody can open is a mistake).
+pub fn protect(rtl_source: &str, grants: &[Grant], rng: &mut impl Rng) -> String {
+    assert!(!grants.is_empty(), "at least one grant required");
+    let mut session_key = [0u8; 16];
+    rng.fill(&mut session_key[..]);
+    let mut iv = [0u8; 12];
+    rng.fill(&mut iv[..]);
+    let aes = Aes::new(&session_key, KeySize::Aes128);
+    let (ciphertext, tag) = gcm_encrypt(&aes, &iv, AAD, rtl_source.as_bytes());
+
+    let mut out = String::new();
+    out.push_str("`pragma protect begin_protected\n");
+    out.push_str("`pragma protect version=2\n");
+    out.push_str("`pragma protect encrypt_agent=\"rtlock-p1735\", encrypt_agent_info=\"0.1.0\"\n");
+    for g in grants {
+        let wrapped = rsa::wrap(&g.public_key, &session_key, rng).expect("16-byte session key fits");
+        out.push_str(&format!(
+            "`pragma protect key_keyowner=\"{}\", key_method=\"rsa-oaep\", key_keyname=\"{}-key\"\n",
+            g.tool, g.tool
+        ));
+        out.push_str(&format!(
+            "`pragma protect control decrypt_for_simulation={} delegate={}\n",
+            g.permissions.decrypt_for_simulation, g.permissions.delegate
+        ));
+        out.push_str("`pragma protect key_block\n");
+        out.push_str(&wrap72(&base64::encode(&wrapped)));
+    }
+    out.push_str("`pragma protect data_method=\"aes128-gcm\"\n");
+    out.push_str("`pragma protect data_block\n");
+    let mut payload = iv.to_vec();
+    payload.extend_from_slice(&tag);
+    payload.extend_from_slice(&ciphertext);
+    out.push_str(&wrap72(&base64::encode(&payload)));
+    out.push_str("`pragma protect end_protected\n");
+    out
+}
+
+fn wrap72(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + s.len() / 72 + 1);
+    for chunk in s.as_bytes().chunks(72) {
+        out.push_str(std::str::from_utf8(chunk).expect("base64 is ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed envelope (still encrypted).
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    key_blocks: Vec<(String, Permissions, Vec<u8>)>,
+    data: Vec<u8>,
+}
+
+impl Envelope {
+    /// Parses envelope text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvelopeError::Malformed`] on structural problems.
+    pub fn parse(text: &str) -> Result<Envelope, EnvelopeError> {
+        let mut key_blocks = Vec::new();
+        let mut data = None;
+        let mut lines = text.lines().peekable();
+        let mut current_tool: Option<String> = None;
+        let mut current_perm = Permissions::simulation_only();
+        let mut seen_begin = false;
+        while let Some(line) = lines.next() {
+            let line = line.trim();
+            if line == "`pragma protect begin_protected" {
+                seen_begin = true;
+            } else if let Some(rest) = line.strip_prefix("`pragma protect key_keyowner=\"") {
+                let tool = rest.split('"').next().unwrap_or("").to_owned();
+                current_tool = Some(tool);
+            } else if let Some(rest) = line.strip_prefix("`pragma protect control ") {
+                let mut p = Permissions { decrypt_for_simulation: false, delegate: false };
+                for kv in rest.split_whitespace() {
+                    match kv {
+                        "decrypt_for_simulation=true" => p.decrypt_for_simulation = true,
+                        "delegate=true" => p.delegate = true,
+                        _ => {}
+                    }
+                }
+                current_perm = p;
+            } else if line == "`pragma protect key_block" {
+                let b64 = collect_block(&mut lines);
+                let bytes = base64::decode(&b64)
+                    .ok_or_else(|| EnvelopeError::Malformed("bad base64 in key block".into()))?;
+                let tool = current_tool
+                    .take()
+                    .ok_or_else(|| EnvelopeError::Malformed("key block without keyowner".into()))?;
+                key_blocks.push((tool, current_perm, bytes));
+            } else if line == "`pragma protect data_block" {
+                let b64 = collect_block(&mut lines);
+                data = Some(
+                    base64::decode(&b64)
+                        .ok_or_else(|| EnvelopeError::Malformed("bad base64 in data block".into()))?,
+                );
+            }
+        }
+        if !seen_begin {
+            return Err(EnvelopeError::Malformed("missing begin_protected".into()));
+        }
+        let data = data.ok_or_else(|| EnvelopeError::Malformed("missing data block".into()))?;
+        if data.len() < 12 + TAG_LEN {
+            return Err(EnvelopeError::Malformed("data block too short".into()));
+        }
+        Ok(Envelope { key_blocks, data })
+    }
+
+    /// Tools named in the rights block.
+    pub fn authorized_tools(&self) -> Vec<&str> {
+        self.key_blocks.iter().map(|(t, _, _)| t.as_str()).collect()
+    }
+}
+
+fn collect_block<'a>(lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>) -> String {
+    let mut b64 = String::new();
+    while let Some(peek) = lines.peek() {
+        if peek.trim_start().starts_with("`pragma") {
+            break;
+        }
+        b64.push_str(lines.next().expect("peeked"));
+        b64.push('\n');
+    }
+    b64
+}
+
+/// A tool identity: a name plus the matching RSA private key. Opening an
+/// envelope through a session models running the EDA tool with its vendor
+/// keyring.
+#[derive(Debug, Clone)]
+pub struct ToolSession {
+    /// Tool name (must match a grant's `tool`).
+    pub tool: String,
+    /// The tool's private key.
+    pub private_key: PrivateKey,
+}
+
+/// Decrypted IP held *inside* a tool. The plaintext is private: callers
+/// can fingerprint it or run tool-internal computations over it, but the
+/// API never hands the source text out.
+pub struct ProtectedIp {
+    source: String,
+    permissions: Permissions,
+}
+
+impl fmt::Debug for ProtectedIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never leak the source through Debug.
+        write!(f, "ProtectedIp(sha256={}, perms={:?})", self.source_digest(), self.permissions)
+    }
+}
+
+impl ProtectedIp {
+    /// SHA-256 fingerprint of the plaintext (safe to publish).
+    pub fn source_digest(&self) -> String {
+        digest_hex(&sha256(self.source.as_bytes()))
+    }
+
+    /// Plaintext length in bytes (safe metadata).
+    pub fn source_len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Permissions this session holds.
+    pub fn permissions(&self) -> Permissions {
+        self.permissions
+    }
+
+    /// Runs a tool-internal computation over the plaintext (e.g. parsing
+    /// and simulating it). The closure boundary models the inside of the
+    /// trusted tool binary: results flow out, source does not.
+    pub fn with_source<R>(&self, tool_internal: impl FnOnce(&str) -> R) -> R {
+        tool_internal(&self.source)
+    }
+}
+
+impl ToolSession {
+    /// Opens an envelope: finds this tool's key block, unwraps the session
+    /// key, verifies and decrypts the data block.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvelopeError::NotAuthorized`] if the tool has no key block,
+    /// [`EnvelopeError::PermissionDenied`] without simulation rights, and
+    /// [`EnvelopeError::CryptoFailure`] on key/tag mismatch.
+    pub fn open(&self, envelope: &Envelope) -> Result<ProtectedIp, EnvelopeError> {
+        let (_, permissions, wrapped) = envelope
+            .key_blocks
+            .iter()
+            .find(|(t, _, _)| *t == self.tool)
+            .ok_or(EnvelopeError::NotAuthorized)?;
+        if !permissions.decrypt_for_simulation {
+            return Err(EnvelopeError::PermissionDenied);
+        }
+        let session_key = rsa::unwrap(&self.private_key, wrapped).map_err(|_| EnvelopeError::CryptoFailure)?;
+        if session_key.len() != 16 {
+            return Err(EnvelopeError::CryptoFailure);
+        }
+        let aes = Aes::new(&session_key, KeySize::Aes128);
+        let iv: [u8; 12] = envelope.data[..12].try_into().expect("length checked in parse");
+        let tag: [u8; TAG_LEN] = envelope.data[12..12 + TAG_LEN].try_into().expect("length checked");
+        let ct = &envelope.data[12 + TAG_LEN..];
+        let plain = gcm_decrypt(&aes, &iv, AAD, ct, &tag).map_err(|_| EnvelopeError::CryptoFailure)?;
+        let source = String::from_utf8(plain).map_err(|_| EnvelopeError::CryptoFailure)?;
+        Ok(ProtectedIp { source, permissions: *permissions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::generate_keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const RTL: &str = "module secret(input a, output y); assign y = ~a; endmodule\n";
+
+    fn setup() -> (String, ToolSession, ToolSession) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let vcs = generate_keypair(512, &mut rng);
+        let rogue = generate_keypair(512, &mut rng);
+        let text = protect(
+            RTL,
+            &[Grant {
+                tool: "SimTool".into(),
+                public_key: vcs.public.clone(),
+                permissions: Permissions::simulation_only(),
+            }],
+            &mut rng,
+        );
+        (
+            text,
+            ToolSession { tool: "SimTool".into(), private_key: vcs.private },
+            ToolSession { tool: "RogueTool".into(), private_key: rogue.private },
+        )
+    }
+
+    #[test]
+    fn envelope_hides_plaintext() {
+        let (text, _, _) = setup();
+        assert!(!text.contains("secret"), "module name must not appear");
+        assert!(!text.contains("assign"), "RTL body must not appear");
+        assert!(text.contains("begin_protected"));
+        assert!(text.contains("aes128-gcm"));
+    }
+
+    #[test]
+    fn authorized_tool_opens_and_fingerprints() {
+        let (text, sim, _) = setup();
+        let env = Envelope::parse(&text).unwrap();
+        assert_eq!(env.authorized_tools(), vec!["SimTool"]);
+        let ip = sim.open(&env).unwrap();
+        assert_eq!(ip.source_len(), RTL.len());
+        assert_eq!(ip.source_digest(), digest_hex(&sha256(RTL.as_bytes())));
+        let module_count = ip.with_source(|s| s.matches("module").count());
+        assert_eq!(module_count, 2, "`module` + `endmodule`");
+    }
+
+    #[test]
+    fn unauthorized_tool_rejected() {
+        let (text, _, rogue) = setup();
+        let env = Envelope::parse(&text).unwrap();
+        assert_eq!(rogue.open(&env).unwrap_err(), EnvelopeError::NotAuthorized);
+        // Even claiming the right name fails without the right key.
+        let imposter = ToolSession { tool: "SimTool".into(), private_key: rogue.private_key };
+        assert_eq!(imposter.open(&env).unwrap_err(), EnvelopeError::CryptoFailure);
+    }
+
+    #[test]
+    fn tampered_envelope_rejected() {
+        let (text, sim, _) = setup();
+        // Flip a character inside the data block.
+        let idx = text.find("data_block").unwrap() + 30;
+        let mut bytes = text.into_bytes();
+        bytes[idx] = if bytes[idx] == b'A' { b'B' } else { b'A' };
+        let tampered = String::from_utf8(bytes).unwrap();
+        match Envelope::parse(&tampered) {
+            Ok(env) => assert_eq!(sim.open(&env).unwrap_err(), EnvelopeError::CryptoFailure),
+            Err(EnvelopeError::Malformed(_)) => {} // also acceptable
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn permission_denied_without_simulation_right() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let kp = generate_keypair(512, &mut rng);
+        let text = protect(
+            RTL,
+            &[Grant {
+                tool: "ViewerOnly".into(),
+                public_key: kp.public,
+                permissions: Permissions { decrypt_for_simulation: false, delegate: false },
+            }],
+            &mut rng,
+        );
+        let env = Envelope::parse(&text).unwrap();
+        let tool = ToolSession { tool: "ViewerOnly".into(), private_key: kp.private };
+        assert_eq!(tool.open(&env).unwrap_err(), EnvelopeError::PermissionDenied);
+    }
+
+    #[test]
+    fn multiple_grants_each_open_independently() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let kp1 = generate_keypair(512, &mut rng);
+        let kp2 = generate_keypair(512, &mut rng);
+        let text = protect(
+            RTL,
+            &[
+                Grant { tool: "A".into(), public_key: kp1.public, permissions: Permissions::simulation_only() },
+                Grant { tool: "B".into(), public_key: kp2.public, permissions: Permissions::simulation_only() },
+            ],
+            &mut rng,
+        );
+        let env = Envelope::parse(&text).unwrap();
+        let a = ToolSession { tool: "A".into(), private_key: kp1.private };
+        let b = ToolSession { tool: "B".into(), private_key: kp2.private };
+        assert_eq!(a.open(&env).unwrap().source_digest(), b.open(&env).unwrap().source_digest());
+    }
+
+    #[test]
+    fn debug_does_not_leak_source() {
+        let (text, sim, _) = setup();
+        let env = Envelope::parse(&text).unwrap();
+        let ip = sim.open(&env).unwrap();
+        let dbg = format!("{ip:?}");
+        assert!(!dbg.contains("assign"));
+        assert!(dbg.contains("sha256"));
+    }
+}

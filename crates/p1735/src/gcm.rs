@@ -1,0 +1,182 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! P1735 v2 mandates AEAD for the data block; GCM is the recommended data
+//! method (`aes128-gcm` / `aes256-gcm`).
+
+use crate::aes::Aes;
+
+/// Authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Error returned when authentication fails on decryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthError;
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GCM authentication failed")
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// GF(2^128) multiplication per SP 800-38D (bit-reflected convention).
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1u128 << 120;
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if y >> (127 - i) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
+    let mut y = 0u128;
+    let absorb = |data: &[u8], y: &mut u128| {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            *y = gf_mul(*y ^ u128::from_be_bytes(block), h);
+        }
+    };
+    absorb(aad, &mut y);
+    absorb(ct, &mut y);
+    let lengths = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+    gf_mul(y ^ lengths, h)
+}
+
+fn counter_block(iv: &[u8; 12], counter: u32) -> [u8; 16] {
+    let mut b = [0u8; 16];
+    b[..12].copy_from_slice(iv);
+    b[12..].copy_from_slice(&counter.to_be_bytes());
+    b
+}
+
+fn ctr_xor(aes: &Aes, iv: &[u8; 12], data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    for (i, chunk) in data.chunks(16).enumerate() {
+        let ks = aes.encrypt_block(&counter_block(iv, 2 + i as u32));
+        out.extend(chunk.iter().zip(&ks).map(|(d, k)| d ^ k));
+    }
+    out
+}
+
+/// Encrypts and authenticates. Returns `(ciphertext, tag)`.
+pub fn gcm_encrypt(aes: &Aes, iv: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> (Vec<u8>, [u8; TAG_LEN]) {
+    let h = u128::from_be_bytes(aes.encrypt_block(&[0u8; 16]));
+    let ciphertext = ctr_xor(aes, iv, plaintext);
+    let s = ghash(h, aad, &ciphertext);
+    let ek0 = u128::from_be_bytes(aes.encrypt_block(&counter_block(iv, 1)));
+    ((ciphertext), (s ^ ek0).to_be_bytes())
+}
+
+/// Verifies and decrypts.
+///
+/// # Errors
+///
+/// Returns [`AuthError`] if the tag does not match (no plaintext is
+/// released).
+pub fn gcm_decrypt(
+    aes: &Aes,
+    iv: &[u8; 12],
+    aad: &[u8],
+    ciphertext: &[u8],
+    tag: &[u8; TAG_LEN],
+) -> Result<Vec<u8>, AuthError> {
+    let h = u128::from_be_bytes(aes.encrypt_block(&[0u8; 16]));
+    let s = ghash(h, aad, ciphertext);
+    let ek0 = u128::from_be_bytes(aes.encrypt_block(&counter_block(iv, 1)));
+    let expect = (s ^ ek0).to_be_bytes();
+    // Constant-time-ish comparison.
+    let diff = expect.iter().zip(tag).fold(0u8, |acc, (a, b)| acc | (a ^ b));
+    if diff != 0 {
+        return Err(AuthError);
+    }
+    Ok(ctr_xor(aes, iv, ciphertext))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::KeySize;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex")).collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn nist_test_case_1_empty() {
+        let aes = Aes::new(&[0u8; 16], KeySize::Aes128);
+        let iv = [0u8; 12];
+        let (ct, tag) = gcm_encrypt(&aes, &iv, &[], &[]);
+        assert!(ct.is_empty());
+        assert_eq!(hex(&tag), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    #[test]
+    fn nist_test_case_2_one_block() {
+        let aes = Aes::new(&[0u8; 16], KeySize::Aes128);
+        let iv = [0u8; 12];
+        let pt = [0u8; 16];
+        let (ct, tag) = gcm_encrypt(&aes, &iv, &[], &pt);
+        assert_eq!(hex(&ct), "0388dace60b6a392f328c2b971b2fe78");
+        assert_eq!(hex(&tag), "ab6e47d42cec13bdf53a67b21257bddf");
+    }
+
+    #[test]
+    fn nist_test_case_3_and_4() {
+        let key = from_hex("feffe9928665731c6d6a8f9467308308");
+        let aes = Aes::new(&key, KeySize::Aes128);
+        let iv: [u8; 12] = from_hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let (ct, tag) = gcm_encrypt(&aes, &iv, &aad, &pt);
+        assert_eq!(
+            hex(&ct),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+        );
+        assert_eq!(hex(&tag), "5bc94fbc3221a5db94fae95ae7121a47");
+        // Round trip.
+        let back = gcm_decrypt(&aes, &iv, &aad, &ct, &tag).unwrap();
+        assert_eq!(back, pt);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let aes = Aes::new(&[9u8; 16], KeySize::Aes128);
+        let iv = [3u8; 12];
+        let (mut ct, tag) = gcm_encrypt(&aes, &iv, b"aad", b"locked rtl source");
+        ct[0] ^= 1;
+        assert_eq!(gcm_decrypt(&aes, &iv, b"aad", &ct, &tag), Err(AuthError));
+        ct[0] ^= 1;
+        let mut bad_tag = tag;
+        bad_tag[15] ^= 0x80;
+        assert_eq!(gcm_decrypt(&aes, &iv, b"aad", &ct, &bad_tag), Err(AuthError));
+        // AAD is authenticated too.
+        assert_eq!(gcm_decrypt(&aes, &iv, b"aa!", &ct, &tag), Err(AuthError));
+        assert!(gcm_decrypt(&aes, &iv, b"aad", &ct, &tag).is_ok());
+    }
+
+    #[test]
+    fn aes256_round_trip() {
+        let aes = Aes::new(&[0x42u8; 32], KeySize::Aes256);
+        let iv = [7u8; 12];
+        let msg = b"module top(); endmodule // not really";
+        let (ct, tag) = gcm_encrypt(&aes, &iv, &[], msg);
+        assert_eq!(gcm_decrypt(&aes, &iv, &[], &ct, &tag).unwrap(), msg);
+    }
+}

@@ -1,0 +1,54 @@
+//! IEEE P1735-style IP encryption and rights management (\[29\] in the
+//! paper), built entirely from scratch.
+//!
+//! RTLock couples RTL locking with P1735 so that the *locked* RTL is also
+//! *encrypted* before integration/verification: an insider in those teams
+//! works with black-box data and tool-held keys, never plaintext RTL or
+//! the locking key (Section III-B / Fig. 1(d)).
+//!
+//! Layers:
+//! * [`sha256`] — SHA-256 + HMAC (FIPS 180-4 / RFC 2104);
+//! * [`aes`] — AES-128/256 block cipher (FIPS 197);
+//! * [`gcm`] — AES-GCM AEAD (SP 800-38D), the recommended P1735 data
+//!   method;
+//! * [`bigint`] / [`rsa`] — RSA-OAEP session-key wrap per tool;
+//! * [`base64`] — RFC 4648 block encoding;
+//! * [`envelope`] — the `pragma protect` envelope, grants and
+//!   [`envelope::ToolSession`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rtlock_p1735::envelope::{protect, Envelope, Grant, Permissions, ToolSession};
+//! use rtlock_p1735::rsa::generate_keypair;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let tool_keys = generate_keypair(512, &mut rng);
+//! let text = protect(
+//!     "module ip(input a, output y); assign y = a; endmodule",
+//!     &[Grant {
+//!         tool: "SimTool".into(),
+//!         public_key: tool_keys.public,
+//!         permissions: Permissions::simulation_only(),
+//!     }],
+//!     &mut rng,
+//! );
+//! let env = Envelope::parse(&text)?;
+//! let session = ToolSession { tool: "SimTool".into(), private_key: tool_keys.private };
+//! let ip = session.open(&env)?;
+//! assert!(ip.source_len() > 0);
+//! # Ok::<(), rtlock_p1735::envelope::EnvelopeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod base64;
+pub mod bigint;
+pub mod envelope;
+pub mod gcm;
+pub mod rsa;
+pub mod sha256;
+
+pub use envelope::{protect, Envelope, EnvelopeError, Grant, Permissions, ProtectedIp, ToolSession};

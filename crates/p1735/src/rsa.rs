@@ -1,0 +1,237 @@
+//! RSA key wrap for the P1735 key block.
+//!
+//! Each tool vendor publishes an RSA public key; the IP owner wraps the
+//! AES session key for every authorized tool. Padding is OAEP-style
+//! (SHA-256 + MGF1), which is what the P1735 v2 errata recommends over
+//! PKCS#1 v1.5.
+//!
+//! Key sizes default to 1024 bits in tests/demos — small for production but
+//! honest for a from-scratch schoolbook-arithmetic implementation.
+
+use crate::bigint::{random_prime, BigUint};
+use crate::sha256::sha256;
+use rand::Rng;
+use std::fmt;
+
+/// RSA public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Public exponent (65537).
+    pub e: BigUint,
+}
+
+/// RSA private key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivateKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Private exponent.
+    pub d: BigUint,
+}
+
+/// A generated key pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPair {
+    /// Public half.
+    pub public: PublicKey,
+    /// Private half.
+    pub private: PrivateKey,
+}
+
+/// Errors from wrap/unwrap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// Message too long for the modulus.
+    MessageTooLong,
+    /// Padding check failed on unwrap.
+    BadPadding,
+}
+
+impl fmt::Display for RsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsaError::MessageTooLong => write!(f, "message too long for RSA modulus"),
+            RsaError::BadPadding => write!(f, "RSA padding check failed"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+/// Generates a key pair with a modulus of roughly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 128`.
+pub fn generate_keypair(bits: usize, rng: &mut impl Rng) -> KeyPair {
+    assert!(bits >= 128, "modulus too small");
+    let e = BigUint::from_u64(65_537);
+    loop {
+        let p = random_prime(bits / 2, rng);
+        let q = random_prime(bits - bits / 2, rng);
+        if p == q {
+            continue;
+        }
+        let n = p.mul(&q);
+        let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+        let Some(d) = e.mod_inverse(&phi) else { continue };
+        return KeyPair {
+            public: PublicKey { n: n.clone(), e: e.clone() },
+            private: PrivateKey { n, d },
+        };
+    }
+}
+
+fn mgf1(seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter = 0u32;
+    while out.len() < len {
+        let mut block = seed.to_vec();
+        block.extend_from_slice(&counter.to_be_bytes());
+        out.extend_from_slice(&sha256(&block));
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// OAEP hash length. SHA-256 truncated to 16 bytes so that 512-bit demo
+/// moduli can still carry a 16-byte AES session key (full-length OAEP
+/// would require >= 1024-bit keys); the construction is otherwise
+/// standard.
+const HASH_LEN: usize = 16;
+
+fn label_hash() -> [u8; HASH_LEN] {
+    sha256(b"P1735")[..HASH_LEN].try_into().expect("truncation")
+}
+
+/// OAEP-wraps `message` (e.g. an AES session key) under `public`.
+///
+/// # Errors
+///
+/// Returns [`RsaError::MessageTooLong`] if the message does not fit.
+pub fn wrap(public: &PublicKey, message: &[u8], rng: &mut impl Rng) -> Result<Vec<u8>, RsaError> {
+    let k = public.n.bits().div_ceil(8);
+    if message.len() + 2 * HASH_LEN + 2 > k {
+        return Err(RsaError::MessageTooLong);
+    }
+    // EM = 0x00 || maskedSeed || maskedDB
+    let db_len = k - HASH_LEN - 1;
+    let mut db = vec![0u8; db_len];
+    db[..HASH_LEN].copy_from_slice(&label_hash());
+    let msg_start = db_len - message.len();
+    db[msg_start - 1] = 0x01;
+    db[msg_start..].copy_from_slice(message);
+    let mut seed = [0u8; HASH_LEN];
+    rng.fill(&mut seed[..]);
+    let db_mask = mgf1(&seed, db_len);
+    for (b, m) in db.iter_mut().zip(&db_mask) {
+        *b ^= m;
+    }
+    let seed_mask = mgf1(&db, HASH_LEN);
+    let mut masked_seed = seed;
+    for (s, m) in masked_seed.iter_mut().zip(&seed_mask) {
+        *s ^= m;
+    }
+    let mut em = vec![0u8];
+    em.extend_from_slice(&masked_seed);
+    em.extend_from_slice(&db);
+    let m = BigUint::from_bytes_be(&em);
+    let c = m.mod_pow(&public.e, &public.n);
+    let mut out = c.to_bytes_be();
+    while out.len() < k {
+        out.insert(0, 0);
+    }
+    Ok(out)
+}
+
+/// Unwraps a session key with the private key.
+///
+/// # Errors
+///
+/// Returns [`RsaError::BadPadding`] if the structure does not verify
+/// (wrong key or corrupted key block).
+pub fn unwrap(private: &PrivateKey, ciphertext: &[u8]) -> Result<Vec<u8>, RsaError> {
+    let k = private.n.bits().div_ceil(8);
+    let c = BigUint::from_bytes_be(ciphertext);
+    let m = c.mod_pow(&private.d, &private.n);
+    let mut em = m.to_bytes_be();
+    while em.len() < k {
+        em.insert(0, 0);
+    }
+    if em.len() != k || em[0] != 0 {
+        return Err(RsaError::BadPadding);
+    }
+    let masked_seed: Vec<u8> = em[1..1 + HASH_LEN].to_vec();
+    let mut db: Vec<u8> = em[1 + HASH_LEN..].to_vec();
+    let seed_mask = mgf1(&db, HASH_LEN);
+    let seed: Vec<u8> = masked_seed.iter().zip(&seed_mask).map(|(a, b)| a ^ b).collect();
+    let db_mask = mgf1(&seed, db.len());
+    for (b, m) in db.iter_mut().zip(&db_mask) {
+        *b ^= m;
+    }
+    if db[..HASH_LEN] != label_hash() {
+        return Err(RsaError::BadPadding);
+    }
+    let rest = &db[HASH_LEN..];
+    let sep = rest.iter().position(|&b| b == 0x01).ok_or(RsaError::BadPadding)?;
+    if rest[..sep].iter().any(|&b| b != 0) {
+        return Err(RsaError::BadPadding);
+    }
+    Ok(rest[sep + 1..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wrap_unwrap_round_trip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let kp = generate_keypair(512, &mut rng);
+        let session_key = [0xABu8; 16];
+        let wrapped = wrap(&kp.public, &session_key, &mut rng).unwrap();
+        assert_ne!(wrapped, session_key.to_vec());
+        let back = unwrap(&kp.private, &wrapped).unwrap();
+        assert_eq!(back, session_key.to_vec());
+    }
+
+    #[test]
+    fn wrong_key_fails_padding() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let kp1 = generate_keypair(512, &mut rng);
+        let kp2 = generate_keypair(512, &mut rng);
+        let wrapped = wrap(&kp1.public, &[1, 2, 3, 4], &mut rng).unwrap();
+        assert!(unwrap(&kp2.private, &wrapped).is_err());
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let kp = generate_keypair(512, &mut rng);
+        let mut wrapped = wrap(&kp.public, &[9u8; 16], &mut rng).unwrap();
+        wrapped[5] ^= 0x40;
+        assert!(unwrap(&kp.private, &wrapped).is_err());
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let kp = generate_keypair(512, &mut rng);
+        let too_big = vec![0u8; 64];
+        assert_eq!(wrap(&kp.public, &too_big, &mut rng), Err(RsaError::MessageTooLong));
+    }
+
+    #[test]
+    fn wrapping_is_randomized() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let kp = generate_keypair(512, &mut rng);
+        let w1 = wrap(&kp.public, &[7u8; 16], &mut rng).unwrap();
+        let w2 = wrap(&kp.public, &[7u8; 16], &mut rng).unwrap();
+        assert_ne!(w1, w2, "OAEP seeds differ");
+    }
+}

@@ -1,0 +1,637 @@
+//! Typed intermediate representation for synthesizable RTL.
+//!
+//! The IR models a single flat Verilog module: declared nets with widths,
+//! continuous assignments, and `always` processes (combinational or clocked).
+//! It is produced by the [parser](crate::parser), printed back to Verilog by
+//! the [printer](crate::printer), interpreted by the
+//! [simulator](crate::sim), and lowered to gates by the synthesis crate.
+//!
+//! Hierarchy is deliberately not modelled (benchmarks are flat); the parser
+//! rejects module instantiations with a clear diagnostic.
+
+use crate::bv::Bv;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a declared net within its [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The net's position in [`Module::nets`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Module input.
+    Input,
+    /// Module output.
+    Output,
+}
+
+/// Storage class of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// `wire`: driven by continuous assignments or combinational processes.
+    Wire,
+    /// `reg`: assigned within processes (may still elaborate to wires).
+    Reg,
+}
+
+/// A declared net (wire or reg) with an explicit bit width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Source-level name.
+    pub name: String,
+    /// Width in bits (>= 1).
+    pub width: usize,
+    /// Wire or reg.
+    pub kind: NetKind,
+    /// Port direction if this net is a port.
+    pub dir: Option<Dir>,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise NOT (`~`).
+    Not,
+    /// Logical NOT (`!`), yields 1 bit.
+    LogicNot,
+    /// Arithmetic negation (`-`).
+    Neg,
+    /// AND reduction (`&`), yields 1 bit.
+    RedAnd,
+    /// OR reduction (`|`), yields 1 bit.
+    RedOr,
+    /// XOR reduction (`^`), yields 1 bit.
+    RedXor,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Bitwise AND (`&`).
+    And,
+    /// Bitwise OR (`|`).
+    Or,
+    /// Bitwise XOR (`^`).
+    Xor,
+    /// Bitwise XNOR (`~^`).
+    Xnor,
+    /// Addition (`+`), modular.
+    Add,
+    /// Subtraction (`-`), modular.
+    Sub,
+    /// Multiplication (`*`), truncated.
+    Mul,
+    /// Logical shift left (`<<`).
+    Shl,
+    /// Logical shift right (`>>`).
+    Shr,
+    /// Equality (`==`), yields 1 bit.
+    Eq,
+    /// Inequality (`!=`), yields 1 bit.
+    Ne,
+    /// Unsigned less-than (`<`), yields 1 bit.
+    Lt,
+    /// Unsigned less-or-equal (`<=`), yields 1 bit.
+    Le,
+    /// Unsigned greater-than (`>`), yields 1 bit.
+    Gt,
+    /// Unsigned greater-or-equal (`>=`), yields 1 bit.
+    Ge,
+    /// Logical AND (`&&`), yields 1 bit.
+    LogicAnd,
+    /// Logical OR (`||`), yields 1 bit.
+    LogicOr,
+}
+
+impl BinaryOp {
+    /// `true` for operators whose result is a single bit.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::LogicAnd
+                | BinaryOp::LogicOr
+        )
+    }
+
+    /// `true` for the arithmetic operators RTLock considers lockable.
+    pub fn is_arith(self) -> bool {
+        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Shl | BinaryOp::Shr)
+    }
+}
+
+/// An RTL expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A sized constant.
+    Const(Bv),
+    /// Full reference to a net.
+    Ref(NetId),
+    /// Constant part-select `net[hi:lo]` (single bit when `hi == lo`).
+    Slice {
+        /// Sliced net.
+        net: NetId,
+        /// High bit index (inclusive).
+        hi: usize,
+        /// Low bit index (inclusive).
+        lo: usize,
+    },
+    /// Dynamic single-bit select `net[index]`.
+    IndexDyn {
+        /// Indexed net.
+        net: NetId,
+        /// Bit index expression.
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// Binary operation. Operands are implicitly zero-extended to the wider
+    /// side before the operation (Verilog self-determined contexts are
+    /// approximated by this rule).
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conditional `cond ? then_ : else_`.
+    Ternary {
+        /// Condition (reduced to 1 bit by OR-reduction).
+        cond: Box<Expr>,
+        /// Value when the condition is true.
+        then_: Box<Expr>,
+        /// Value when the condition is false.
+        else_: Box<Expr>,
+    },
+    /// Concatenation `{parts[0], parts[1], ...}` — `parts[0]` is the MSB part.
+    Concat(Vec<Expr>),
+    /// Replication `{times{expr}}`.
+    Repeat {
+        /// Replication count.
+        times: usize,
+        /// Replicated expression.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a full net reference.
+    pub fn net(id: NetId) -> Expr {
+        Expr::Ref(id)
+    }
+
+    /// Convenience constructor for a sized constant.
+    pub fn constant(width: usize, value: u64) -> Expr {
+        Expr::Const(Bv::from_u64(width, value))
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn unary(op: UnaryOp, arg: Expr) -> Expr {
+        Expr::Unary { op, arg: Box::new(arg) }
+    }
+
+    /// Convenience constructor for a conditional.
+    pub fn ternary(cond: Expr, then_: Expr, else_: Expr) -> Expr {
+        Expr::Ternary { cond: Box::new(cond), then_: Box::new(then_), else_: Box::new(else_) }
+    }
+
+    /// Collects every net referenced by this expression into `out`.
+    pub fn collect_refs(&self, out: &mut Vec<NetId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Ref(n) => out.push(*n),
+            Expr::Slice { net, .. } => out.push(*net),
+            Expr::IndexDyn { net, index } => {
+                out.push(*net);
+                index.collect_refs(out);
+            }
+            Expr::Unary { arg, .. } => arg.collect_refs(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_refs(out);
+                rhs.collect_refs(out);
+            }
+            Expr::Ternary { cond, then_, else_ } => {
+                cond.collect_refs(out);
+                then_.collect_refs(out);
+                else_.collect_refs(out);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.collect_refs(out);
+                }
+            }
+            Expr::Repeat { expr, .. } => expr.collect_refs(out),
+        }
+    }
+
+    /// Visits every sub-expression (including `self`), pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Ref(_) | Expr::Slice { .. } => {}
+            Expr::IndexDyn { index, .. } => index.visit(f),
+            Expr::Unary { arg, .. } => arg.visit(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Ternary { cond, then_, else_ } => {
+                cond.visit(f);
+                then_.visit(f);
+                else_.visit(f);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.visit(f);
+                }
+            }
+            Expr::Repeat { expr, .. } => expr.visit(f),
+        }
+    }
+
+    /// Mutable pre-order visit of every sub-expression (including `self`).
+    pub fn visit_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Ref(_) | Expr::Slice { .. } => {}
+            Expr::IndexDyn { index, .. } => index.visit_mut(f),
+            Expr::Unary { arg, .. } => arg.visit_mut(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_mut(f);
+                rhs.visit_mut(f);
+            }
+            Expr::Ternary { cond, then_, else_ } => {
+                cond.visit_mut(f);
+                then_.visit_mut(f);
+                else_.visit_mut(f);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.visit_mut(f);
+                }
+            }
+            Expr::Repeat { expr, .. } => expr.visit_mut(f),
+        }
+    }
+}
+
+/// Assignment target: a net or a constant part-select of a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lvalue {
+    /// Target net.
+    pub net: NetId,
+    /// Optional `[hi:lo]` range; `None` assigns the full net.
+    pub range: Option<(usize, usize)>,
+}
+
+impl Lvalue {
+    /// Full-net target.
+    pub fn whole(net: NetId) -> Lvalue {
+        Lvalue { net, range: None }
+    }
+
+    /// Part-select target.
+    pub fn sliced(net: NetId, hi: usize, lo: usize) -> Lvalue {
+        Lvalue { net, range: Some((hi, lo)) }
+    }
+}
+
+/// A continuous assignment (`assign lhs = rhs;`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// Target.
+    pub lhs: Lvalue,
+    /// Driven expression.
+    pub rhs: Expr,
+}
+
+/// A procedural statement inside an `always` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Procedural assignment. Blocking vs non-blocking is determined by the
+    /// enclosing [`ProcessKind`]: clocked processes use non-blocking
+    /// semantics, combinational processes use blocking semantics.
+    Assign {
+        /// Target.
+        lhs: Lvalue,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// `if`/`else`.
+    If {
+        /// Condition (OR-reduced to 1 bit).
+        cond: Expr,
+        /// Taken branch.
+        then_: Vec<Stmt>,
+        /// Else branch (may be empty).
+        else_: Vec<Stmt>,
+    },
+    /// `case` over constant labels.
+    Case {
+        /// Discriminant.
+        subject: Expr,
+        /// Arms: each is a set of constant labels plus a body.
+        arms: Vec<CaseArm>,
+        /// `default:` body (may be empty).
+        default: Vec<Stmt>,
+    },
+}
+
+/// One arm of a [`Stmt::Case`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseArm {
+    /// Constant labels matching this arm.
+    pub labels: Vec<Bv>,
+    /// Statements executed when any label matches.
+    pub body: Vec<Stmt>,
+}
+
+/// Visits every expression in a statement list, in the canonical order
+/// used by CDFG site addressing: `Assign` rhs; `If` cond, then-branch,
+/// else-branch; `Case` subject, arms, default.
+pub fn visit_stmt_exprs(stmts: &[Stmt], f: &mut impl FnMut(&Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { rhs, .. } => f(rhs),
+            Stmt::If { cond, then_, else_ } => {
+                f(cond);
+                visit_stmt_exprs(then_, f);
+                visit_stmt_exprs(else_, f);
+            }
+            Stmt::Case { subject, arms, default } => {
+                f(subject);
+                for a in arms {
+                    visit_stmt_exprs(&a.body, f);
+                }
+                visit_stmt_exprs(default, f);
+            }
+        }
+    }
+}
+
+/// Mutable counterpart of [`visit_stmt_exprs`] (same order), used by the
+/// locking transforms to rewrite addressed sites.
+pub fn visit_stmt_exprs_mut(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { rhs, .. } => f(rhs),
+            Stmt::If { cond, then_, else_ } => {
+                f(cond);
+                visit_stmt_exprs_mut(then_, f);
+                visit_stmt_exprs_mut(else_, f);
+            }
+            Stmt::Case { subject, arms, default } => {
+                f(subject);
+                for a in arms {
+                    visit_stmt_exprs_mut(&mut a.body, f);
+                }
+                visit_stmt_exprs_mut(default, f);
+            }
+        }
+    }
+}
+
+/// Synchronous/asynchronous reset description for a clocked process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetSpec {
+    /// Reset net (1 bit).
+    pub net: NetId,
+    /// `true` if the reset is active-high.
+    pub active_high: bool,
+    /// `true` if the reset appears in the sensitivity list (async).
+    pub asynchronous: bool,
+}
+
+/// Flavor of an `always` process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessKind {
+    /// `always @(*)` — combinational.
+    Comb,
+    /// `always @(posedge clock ...)` — clocked.
+    Seq {
+        /// Clock net (1 bit, posedge).
+        clock: NetId,
+        /// Optional reset.
+        reset: Option<ResetSpec>,
+    },
+}
+
+/// An `always` process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    /// Combinational or clocked.
+    pub kind: ProcessKind,
+    /// Body statements. For a clocked process with a reset, the parser
+    /// normalizes the body so that `body` is the non-reset branch and
+    /// `reset_body` holds the reset assignments.
+    pub body: Vec<Stmt>,
+    /// Assignments performed while in reset (empty without a reset).
+    pub reset_body: Vec<Stmt>,
+}
+
+/// A flat RTL module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Declared nets; ports carry `dir: Some(_)`.
+    pub nets: Vec<Net>,
+    /// Port order as declared in the header.
+    pub ports: Vec<NetId>,
+    /// Continuous assignments.
+    pub assigns: Vec<Assign>,
+    /// `always` processes.
+    pub procs: Vec<Process>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module { name: name.into(), nets: Vec::new(), ports: Vec::new(), assigns: Vec::new(), procs: Vec::new() }
+    }
+
+    /// Declares a net and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn add_net(&mut self, name: impl Into<String>, width: usize, kind: NetKind) -> NetId {
+        assert!(width > 0, "net width must be positive");
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name: name.into(), width, kind, dir: None });
+        id
+    }
+
+    /// Declares a port net and returns its id.
+    pub fn add_port(&mut self, name: impl Into<String>, width: usize, dir: Dir, kind: NetKind) -> NetId {
+        let id = self.add_net(name, width, kind);
+        self.nets[id.index()].dir = Some(dir);
+        self.ports.push(id);
+        id
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets.iter().position(|n| n.name == name).map(|i| NetId(i as u32))
+    }
+
+    /// The net record for `id`.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Width of net `id`.
+    pub fn width(&self, id: NetId) -> usize {
+        self.nets[id.index()].width
+    }
+
+    /// Ids of all input ports, in declaration order.
+    pub fn inputs(&self) -> Vec<NetId> {
+        self.ports.iter().copied().filter(|&p| self.net(p).dir == Some(Dir::Input)).collect()
+    }
+
+    /// Ids of all output ports, in declaration order.
+    pub fn outputs(&self) -> Vec<NetId> {
+        self.ports.iter().copied().filter(|&p| self.net(p).dir == Some(Dir::Output)).collect()
+    }
+
+    /// Computes the result width of an expression under this module's nets.
+    pub fn expr_width(&self, e: &Expr) -> usize {
+        match e {
+            Expr::Const(c) => c.width(),
+            Expr::Ref(n) => self.width(*n),
+            Expr::Slice { hi, lo, .. } => hi - lo + 1,
+            Expr::IndexDyn { .. } => 1,
+            Expr::Unary { op, arg } => match op {
+                UnaryOp::Not | UnaryOp::Neg => self.expr_width(arg),
+                UnaryOp::LogicNot | UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor => 1,
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                if op.is_predicate() {
+                    1
+                } else {
+                    self.expr_width(lhs).max(self.expr_width(rhs))
+                }
+            }
+            Expr::Ternary { then_, else_, .. } => self.expr_width(then_).max(self.expr_width(else_)),
+            Expr::Concat(parts) => parts.iter().map(|p| self.expr_width(p)).sum(),
+            Expr::Repeat { times, expr } => times * self.expr_width(expr),
+        }
+    }
+
+    /// Generates a fresh net name that does not collide with existing nets.
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let existing: HashMap<&str, ()> = self.nets.iter().map(|n| (n.name.as_str(), ())).collect();
+        let mut i = 0usize;
+        loop {
+            let cand = format!("{prefix}_{i}");
+            if !existing.contains_key(cand.as_str()) {
+                return cand;
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Module {
+        let mut m = Module::new("t");
+        let a = m.add_port("a", 8, Dir::Input, NetKind::Wire);
+        let b = m.add_port("b", 8, Dir::Input, NetKind::Wire);
+        let y = m.add_port("y", 8, Dir::Output, NetKind::Wire);
+        m.assigns.push(Assign { lhs: Lvalue::whole(y), rhs: Expr::binary(BinaryOp::Add, Expr::net(a), Expr::net(b)) });
+        m
+    }
+
+    #[test]
+    fn ports_are_partitioned_by_direction() {
+        let m = sample();
+        assert_eq!(m.inputs().len(), 2);
+        assert_eq!(m.outputs().len(), 1);
+        assert_eq!(m.net(m.outputs()[0]).name, "y");
+    }
+
+    #[test]
+    fn find_net_by_name() {
+        let m = sample();
+        assert_eq!(m.find_net("b"), Some(NetId(1)));
+        assert_eq!(m.find_net("zz"), None);
+    }
+
+    #[test]
+    fn expr_width_rules() {
+        let m = sample();
+        let a = m.find_net("a").unwrap();
+        let e = Expr::binary(BinaryOp::Eq, Expr::net(a), Expr::constant(8, 3));
+        assert_eq!(m.expr_width(&e), 1);
+        let add = Expr::binary(BinaryOp::Add, Expr::net(a), Expr::constant(4, 3));
+        assert_eq!(m.expr_width(&add), 8);
+        let cat = Expr::Concat(vec![Expr::net(a), Expr::constant(3, 1)]);
+        assert_eq!(m.expr_width(&cat), 11);
+        let rep = Expr::Repeat { times: 3, expr: Box::new(Expr::net(a)) };
+        assert_eq!(m.expr_width(&rep), 24);
+    }
+
+    #[test]
+    fn collect_refs_finds_all_nets() {
+        let m = sample();
+        let a = m.find_net("a").unwrap();
+        let b = m.find_net("b").unwrap();
+        let e = Expr::ternary(
+            Expr::binary(BinaryOp::Lt, Expr::net(a), Expr::net(b)),
+            Expr::net(a),
+            Expr::net(b),
+        );
+        let mut refs = Vec::new();
+        e.collect_refs(&mut refs);
+        assert_eq!(refs.len(), 4);
+        assert!(refs.contains(&a) && refs.contains(&b));
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let mut m = sample();
+        m.add_net("t_0", 1, NetKind::Wire);
+        assert_eq!(m.fresh_name("t"), "t_1");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_net_rejected() {
+        Module::new("x").add_net("w", 0, NetKind::Wire);
+    }
+}

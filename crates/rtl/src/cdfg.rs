@@ -1,0 +1,326 @@
+//! Control/data-flow analysis over the RTL IR.
+//!
+//! RTLock's step 1 ("Analyzing the RTL") tracks assets, critical operations
+//! and structures through the design. The paper uses JasperGold for CDFG
+//! extraction; this module provides the equivalent structural facts:
+//! a net-level dependency graph, forward/backward reachability (asset flow),
+//! sequential depth (register stages between a net and the primary outputs,
+//! which drives the BMC-resilience scoring of locking candidates), and a
+//! census of operations and constants (the locking-candidate universe).
+
+use crate::ast::*;
+use crate::bv::Bv;
+use std::collections::{HashSet, VecDeque};
+
+/// Where in the module a candidate site lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteLoc {
+    /// Inside `Module::assigns[index]`.
+    Assign {
+        /// Index into [`Module::assigns`].
+        index: usize,
+    },
+    /// Inside `Module::procs[index]` (body or reset body).
+    Proc {
+        /// Index into [`Module::procs`].
+        index: usize,
+    },
+}
+
+/// An arithmetic/logic operation found in the design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSite {
+    /// Operator.
+    pub op: BinaryOp,
+    /// Result width.
+    pub width: usize,
+    /// Location.
+    pub loc: SiteLoc,
+    /// Sequence number of this op within its location (pre-order).
+    pub ordinal: usize,
+}
+
+/// A constant literal found in the design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstSite {
+    /// The literal value.
+    pub value: Bv,
+    /// Location.
+    pub loc: SiteLoc,
+    /// Sequence number of this constant within its location (pre-order).
+    pub ordinal: usize,
+}
+
+/// Net-level control/data-flow graph of a module.
+#[derive(Debug, Clone)]
+pub struct Cdfg {
+    /// For each net: nets it reads (data and control fanin).
+    pub fanin: Vec<Vec<NetId>>,
+    /// For each net: nets that read it.
+    pub fanout: Vec<Vec<NetId>>,
+    /// Nets assigned by clocked processes (registers).
+    pub registers: Vec<NetId>,
+    /// Operation census.
+    pub ops: Vec<OpSite>,
+    /// Constant census (1-bit constants and case labels are excluded; case
+    /// labels are handled by FSM extraction instead).
+    pub consts: Vec<ConstSite>,
+}
+
+impl Cdfg {
+    /// Builds the CDFG for a module.
+    pub fn build(module: &Module) -> Cdfg {
+        let n = module.nets.len();
+        let mut fanin: Vec<HashSet<NetId>> = vec![HashSet::new(); n];
+        let mut registers = Vec::new();
+        let mut ops = Vec::new();
+        let mut consts = Vec::new();
+
+        // `ordinal` is the pre-order node index across *all* expressions of
+        // a location, so (loc, ordinal) uniquely addresses a node — the
+        // locking transforms rely on this.
+        let scan_expr = |e: &Expr,
+                         loc: SiteLoc,
+                         ordinal: &mut usize,
+                         ops: &mut Vec<OpSite>,
+                         consts: &mut Vec<ConstSite>,
+                         module: &Module| {
+            e.visit(&mut |sub| {
+                match sub {
+                    Expr::Binary { op, .. } => {
+                        ops.push(OpSite { op: *op, width: module.expr_width(sub), loc, ordinal: *ordinal });
+                    }
+                    Expr::Const(c) if c.width() > 1 => {
+                        consts.push(ConstSite { value: c.clone(), loc, ordinal: *ordinal });
+                    }
+                    _ => {}
+                }
+                *ordinal += 1;
+            });
+        };
+
+        for (i, a) in module.assigns.iter().enumerate() {
+            let loc = SiteLoc::Assign { index: i };
+            let mut refs = Vec::new();
+            a.rhs.collect_refs(&mut refs);
+            fanin[a.lhs.net.index()].extend(refs);
+            let mut ordinal = 0usize;
+            scan_expr(&a.rhs, loc, &mut ordinal, &mut ops, &mut consts, module);
+        }
+
+        for (pi, p) in module.procs.iter().enumerate() {
+            let loc = SiteLoc::Proc { index: pi };
+            let mut targets = vec![false; n];
+            collect_stmt_deps(&p.body, &mut Vec::new(), &mut fanin, &mut targets);
+            collect_stmt_deps(&p.reset_body, &mut Vec::new(), &mut fanin, &mut targets);
+            let mut ordinal = 0usize;
+            visit_stmt_exprs(&p.body, &mut |e| scan_expr(e, loc, &mut ordinal, &mut ops, &mut consts, module));
+            if let ProcessKind::Seq { reset, .. } = &p.kind {
+                for (idx, &t) in targets.iter().enumerate() {
+                    if t {
+                        registers.push(NetId(idx as u32));
+                        // A normalized async reset still controls every
+                        // register this process writes.
+                        if let Some(r) = reset {
+                            fanin[idx].insert(r.net);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut fanout: Vec<Vec<NetId>> = vec![Vec::new(); n];
+        for (to, srcs) in fanin.iter().enumerate() {
+            for s in srcs {
+                fanout[s.index()].push(NetId(to as u32));
+            }
+        }
+        let fanin = fanin.into_iter().map(|s| s.into_iter().collect()).collect();
+        registers.sort();
+        registers.dedup();
+        Cdfg { fanin, fanout, registers, ops, consts }
+    }
+
+    /// Nets reachable forward from `seeds` (asset propagation).
+    pub fn reach_forward(&self, seeds: &[NetId]) -> HashSet<NetId> {
+        self.reach(seeds, &self.fanout)
+    }
+
+    /// Nets reachable backward from `seeds` (cone of influence).
+    pub fn reach_backward(&self, seeds: &[NetId]) -> HashSet<NetId> {
+        self.reach(seeds, &self.fanin)
+    }
+
+    fn reach(&self, seeds: &[NetId], edges: &[Vec<NetId>]) -> HashSet<NetId> {
+        let mut seen: HashSet<NetId> = seeds.iter().copied().collect();
+        let mut queue: VecDeque<NetId> = seeds.iter().copied().collect();
+        while let Some(x) = queue.pop_front() {
+            for &next in &edges[x.index()] {
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Minimum number of register stages on any path from `net` to an
+    /// output port, or `None` if no output is reachable.
+    ///
+    /// Deeper nets make better BMC-resistant locking points: a BMC attack
+    /// must unroll at least this many frames before a corruption introduced
+    /// at `net` becomes observable.
+    pub fn seq_depth_to_output(&self, module: &Module, net: NetId) -> Option<usize> {
+        let is_reg: HashSet<NetId> = self.registers.iter().copied().collect();
+        // BFS over fanout counting register crossings (0-1 BFS).
+        let mut dist: Vec<Option<usize>> = vec![None; module.nets.len()];
+        let mut dq: VecDeque<NetId> = VecDeque::new();
+        dist[net.index()] = Some(0);
+        dq.push_back(net);
+        while let Some(x) = dq.pop_front() {
+            let d = dist[x.index()].expect("queued nets have distances");
+            for &nx in &self.fanout[x.index()] {
+                let step = usize::from(is_reg.contains(&nx));
+                let nd = d + step;
+                if dist[nx.index()].is_none_or(|old| nd < old) {
+                    dist[nx.index()] = Some(nd);
+                    if step == 0 {
+                        dq.push_front(nx);
+                    } else {
+                        dq.push_back(nx);
+                    }
+                }
+            }
+        }
+        module
+            .outputs()
+            .iter()
+            .filter_map(|&o| dist[o.index()])
+            .min()
+    }
+}
+
+fn collect_stmt_deps(
+    stmts: &[Stmt],
+    control: &mut Vec<NetId>,
+    fanin: &mut [HashSet<NetId>],
+    targets: &mut [bool],
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                let mut refs = Vec::new();
+                rhs.collect_refs(&mut refs);
+                refs.extend(control.iter().copied());
+                fanin[lhs.net.index()].extend(refs);
+                targets[lhs.net.index()] = true;
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let mut crefs = Vec::new();
+                cond.collect_refs(&mut crefs);
+                let depth = control.len();
+                control.extend(crefs);
+                collect_stmt_deps(then_, control, fanin, targets);
+                collect_stmt_deps(else_, control, fanin, targets);
+                control.truncate(depth);
+            }
+            Stmt::Case { subject, arms, default } => {
+                let mut crefs = Vec::new();
+                subject.collect_refs(&mut crefs);
+                let depth = control.len();
+                control.extend(crefs);
+                for a in arms {
+                    collect_stmt_deps(&a.body, control, fanin, targets);
+                }
+                collect_stmt_deps(default, control, fanin, targets);
+                control.truncate(depth);
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn pipeline() -> Module {
+        parse(
+            "module t(input clk, input rst, input [7:0] a, output [7:0] y);\n\
+             reg [7:0] s1; reg [7:0] s2;\n\
+             wire [7:0] w;\n\
+             assign w = a + 8'd7;\n\
+             always @(posedge clk or posedge rst) begin\n\
+               if (rst) begin s1 <= 8'd0; s2 <= 8'd0; end\n\
+               else begin s1 <= w; s2 <= s1 * 8'd3; end\n\
+             end\n\
+             assign y = s2;\nendmodule",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registers_are_detected() {
+        let m = pipeline();
+        let g = Cdfg::build(&m);
+        let names: Vec<&str> = g.registers.iter().map(|&r| m.net(r).name.as_str()).collect();
+        assert_eq!(names, vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn forward_reach_follows_pipeline() {
+        let m = pipeline();
+        let g = Cdfg::build(&m);
+        let a = m.find_net("a").unwrap();
+        let reached = g.reach_forward(&[a]);
+        for n in ["w", "s1", "s2", "y"] {
+            assert!(reached.contains(&m.find_net(n).unwrap()), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn backward_reach_is_cone_of_influence() {
+        let m = pipeline();
+        let g = Cdfg::build(&m);
+        let y = m.find_net("y").unwrap();
+        let cone = g.reach_backward(&[y]);
+        assert!(cone.contains(&m.find_net("a").unwrap()));
+        assert!(cone.contains(&m.find_net("rst").unwrap()), "control deps count");
+    }
+
+    #[test]
+    fn seq_depth_counts_register_stages() {
+        let m = pipeline();
+        let g = Cdfg::build(&m);
+        let a = m.find_net("a").unwrap();
+        let s2 = m.find_net("s2").unwrap();
+        assert_eq!(g.seq_depth_to_output(&m, a), Some(2));
+        assert_eq!(g.seq_depth_to_output(&m, s2), Some(0));
+    }
+
+    #[test]
+    fn census_finds_ops_and_consts() {
+        let m = pipeline();
+        let g = Cdfg::build(&m);
+        let ops: Vec<BinaryOp> = g.ops.iter().map(|o| o.op).collect();
+        assert!(ops.contains(&BinaryOp::Add));
+        assert!(ops.contains(&BinaryOp::Mul));
+        // 8'd7 and 8'd3 plus reset constants.
+        assert!(g.consts.iter().any(|c| c.value == Bv::from_u64(8, 7)));
+        assert!(g.consts.iter().any(|c| c.value == Bv::from_u64(8, 3)));
+    }
+
+    #[test]
+    fn control_dependencies_feed_fanin() {
+        let m = parse(
+            "module t(input c, input a, input b, output reg y);\n\
+             always @(*) begin if (c) y = a; else y = b; end\nendmodule",
+        )
+        .unwrap();
+        let g = Cdfg::build(&m);
+        let y = m.find_net("y").unwrap();
+        let c = m.find_net("c").unwrap();
+        assert!(g.fanin[y.index()].contains(&c));
+    }
+}

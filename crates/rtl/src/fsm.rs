@@ -1,0 +1,352 @@
+//! Finite-state-machine extraction from the RTL IR.
+//!
+//! This reproduces the role of FSMX (\[32\] in the paper): it identifies the
+//! control FSM of a design — the state register, the encoded states, the
+//! transition structure, and the initial state — so that the FSM-based
+//! locking transforms (initialization locking, incorrect transitions, state
+//! skipping, bypass states, inherent-signal locking) can target it.
+//!
+//! Two common coding idioms are recognized:
+//! 1. **Two-process style**: a combinational `case (state)` computing a
+//!    `state_next` net, plus a clocked `state <= state_next`.
+//! 2. **One-process style**: a clocked `case (state)` assigning `state`
+//!    directly.
+
+use crate::ast::*;
+use crate::bv::Bv;
+use std::collections::BTreeSet;
+
+/// One extracted transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state encoding.
+    pub from: Bv,
+    /// Destination state encoding.
+    pub to: Bv,
+    /// `true` when the transition is taken under a nested condition
+    /// (`if`/inner `case`), `false` when unconditional within its arm.
+    pub guarded: bool,
+}
+
+/// An extracted finite state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fsm {
+    /// The state register.
+    pub state_reg: NetId,
+    /// The net carrying the next-state value (equals `state_reg` in
+    /// one-process style).
+    pub next_net: NetId,
+    /// All observed state encodings, sorted.
+    pub states: Vec<Bv>,
+    /// Extracted transitions.
+    pub transitions: Vec<Transition>,
+    /// Initial state from the reset body, when present.
+    pub initial: Option<Bv>,
+    /// Index of the process containing the transition `case`.
+    pub case_proc: usize,
+}
+
+impl Fsm {
+    /// Width of the state encoding in bits.
+    pub fn state_width(&self, module: &Module) -> usize {
+        module.width(self.state_reg)
+    }
+
+    /// Transitions leaving `state`.
+    pub fn successors(&self, state: &Bv) -> Vec<&Transition> {
+        self.transitions.iter().filter(|t| &t.from == state).collect()
+    }
+
+    /// Longest acyclic distance (in transitions) from the initial state to
+    /// each state; used by RTLock to prefer *deep* states for BMC
+    /// resilience. States unreachable from the initial state get `None`.
+    pub fn depth_from_initial(&self) -> Vec<(Bv, Option<usize>)> {
+        let Some(init) = &self.initial else {
+            return self.states.iter().map(|s| (s.clone(), None)).collect();
+        };
+        // BFS shortest path (cycles make longest-path ill-defined).
+        let mut depth: Vec<Option<usize>> = vec![None; self.states.len()];
+        let idx = |s: &Bv| self.states.iter().position(|x| x == s);
+        if let Some(i0) = idx(init) {
+            depth[i0] = Some(0);
+            let mut queue = std::collections::VecDeque::from([init.clone()]);
+            while let Some(cur) = queue.pop_front() {
+                let d = depth[idx(&cur).expect("queued states are known")].expect("queued");
+                for t in self.successors(&cur) {
+                    if let Some(j) = idx(&t.to) {
+                        if depth[j].is_none() {
+                            depth[j] = Some(d + 1);
+                            queue.push_back(t.to.clone());
+                        }
+                    }
+                }
+            }
+        }
+        self.states.iter().cloned().zip(depth).collect()
+    }
+}
+
+/// Extracts every FSM found in the module.
+///
+/// # Examples
+///
+/// ```
+/// let m = rtlock_rtl::parse(r#"
+/// module t(input clk, input rst, input go, output reg [1:0] s);
+///   reg [1:0] s_next;
+///   always @(*) begin
+///     s_next = s;
+///     case (s)
+///       2'd0: begin if (go) s_next = 2'd1; end
+///       2'd1: begin s_next = 2'd0; end
+///     endcase
+///   end
+///   always @(posedge clk or posedge rst) begin
+///     if (rst) s <= 2'd0; else s <= s_next;
+///   end
+/// endmodule"#)?;
+/// let fsms = rtlock_rtl::fsm::extract(&m);
+/// assert_eq!(fsms.len(), 1);
+/// assert_eq!(fsms[0].states.len(), 2);
+/// # Ok::<(), rtlock_rtl::ParseError>(())
+/// ```
+pub fn extract(module: &Module) -> Vec<Fsm> {
+    let mut fsms = Vec::new();
+
+    // Step 1: find state registers and their next nets from clocked procs.
+    // candidates: (state_reg, next_net, initial)
+    let mut candidates: Vec<(NetId, NetId, Option<Bv>)> = Vec::new();
+    for p in &module.procs {
+        if !matches!(p.kind, ProcessKind::Seq { .. }) {
+            continue;
+        }
+        // Simple `state <= state_next` updates at the top level of the body.
+        for s in &p.body {
+            if let Stmt::Assign { lhs, rhs } = s {
+                if lhs.range.is_none() {
+                    if let Expr::Ref(src) = rhs {
+                        let initial = find_reset_const(&p.reset_body, lhs.net);
+                        candidates.push((lhs.net, *src, initial));
+                    }
+                }
+            }
+        }
+        // One-process style: `case (state)` directly in the clocked body.
+        for s in &p.body {
+            if let Stmt::Case { subject, .. } = s {
+                if let Expr::Ref(state) = subject {
+                    let initial = find_reset_const(&p.reset_body, *state);
+                    candidates.push((*state, *state, initial));
+                }
+            }
+        }
+    }
+
+    // Step 2: for each candidate, find a `case` over the state register that
+    // assigns constants to the next net.
+    for (state_reg, next_net, initial) in candidates {
+        for (pi, p) in module.procs.iter().enumerate() {
+            let Some((arms_states, transitions)) = find_case_transitions(&p.body, state_reg, next_net) else {
+                continue;
+            };
+            if transitions.is_empty() {
+                continue;
+            }
+            let mut states: BTreeSet<Bv> = arms_states.into_iter().collect();
+            for t in &transitions {
+                states.insert(t.from.clone());
+                states.insert(t.to.clone());
+            }
+            if let Some(init) = &initial {
+                states.insert(init.clone());
+            }
+            if states.len() < 2 {
+                continue;
+            }
+            fsms.push(Fsm {
+                state_reg,
+                next_net,
+                states: states.into_iter().collect(),
+                transitions,
+                initial: initial.clone(),
+                case_proc: pi,
+            });
+        }
+    }
+
+    // Deduplicate by state register (two-process candidates can match twice).
+    fsms.sort_by_key(|f| (f.state_reg, std::cmp::Reverse(f.transitions.len())));
+    fsms.dedup_by_key(|f| f.state_reg);
+    fsms
+}
+
+fn find_reset_const(reset_body: &[Stmt], target: NetId) -> Option<Bv> {
+    for s in reset_body {
+        if let Stmt::Assign { lhs, rhs } = s {
+            if lhs.net == target && lhs.range.is_none() {
+                if let Expr::Const(c) = rhs {
+                    return Some(c.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Searches `stmts` (recursively) for `case (state_reg)` and harvests
+/// constant transitions to `next_net`. Returns (arm labels, transitions).
+fn find_case_transitions(stmts: &[Stmt], state_reg: NetId, next_net: NetId) -> Option<(Vec<Bv>, Vec<Transition>)> {
+    for s in stmts {
+        match s {
+            Stmt::Case { subject, arms, default: _ } if matches!(subject, Expr::Ref(n) if *n == state_reg) => {
+                let mut labels = Vec::new();
+                let mut transitions = Vec::new();
+                for arm in arms {
+                    for from in &arm.labels {
+                        labels.push(from.clone());
+                        harvest_assigns(&arm.body, next_net, from, false, &mut transitions);
+                    }
+                }
+                return Some((labels, transitions));
+            }
+            Stmt::If { then_, else_, .. } => {
+                if let Some(found) = find_case_transitions(then_, state_reg, next_net) {
+                    return Some(found);
+                }
+                if let Some(found) = find_case_transitions(else_, state_reg, next_net) {
+                    return Some(found);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for a in arms {
+                    if let Some(found) = find_case_transitions(&a.body, state_reg, next_net) {
+                        return Some(found);
+                    }
+                }
+                if let Some(found) = find_case_transitions(default, state_reg, next_net) {
+                    return Some(found);
+                }
+            }
+            Stmt::Assign { .. } => {}
+        }
+    }
+    None
+}
+
+fn harvest_assigns(stmts: &[Stmt], next_net: NetId, from: &Bv, guarded: bool, out: &mut Vec<Transition>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                if lhs.net == next_net && lhs.range.is_none() {
+                    if let Expr::Const(to) = rhs {
+                        out.push(Transition { from: from.clone(), to: to.resize(from.width()), guarded });
+                    }
+                }
+            }
+            Stmt::If { then_, else_, .. } => {
+                harvest_assigns(then_, next_net, from, true, out);
+                harvest_assigns(else_, next_net, from, true, out);
+            }
+            Stmt::Case { arms, default, .. } => {
+                for a in arms {
+                    harvest_assigns(&a.body, next_net, from, true, out);
+                }
+                harvest_assigns(default, next_net, from, true, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const TWO_PROC: &str = "module t(input clk, input rst, input go, input stop, output reg [1:0] s);\n\
+        reg [1:0] s_next;\n\
+        always @(*) begin\n\
+          s_next = s;\n\
+          case (s)\n\
+            2'd0: begin if (go) s_next = 2'd1; end\n\
+            2'd1: begin s_next = 2'd2; end\n\
+            2'd2: begin if (stop) s_next = 2'd0; else s_next = 2'd1; end\n\
+          endcase\n\
+        end\n\
+        always @(posedge clk or posedge rst) begin if (rst) s <= 2'd0; else s <= s_next; end\n\
+        endmodule";
+
+    #[test]
+    fn extracts_two_process_fsm() {
+        let m = parse(TWO_PROC).unwrap();
+        let fsms = extract(&m);
+        assert_eq!(fsms.len(), 1);
+        let f = &fsms[0];
+        assert_eq!(m.net(f.state_reg).name, "s");
+        assert_eq!(m.net(f.next_net).name, "s_next");
+        assert_eq!(f.states.len(), 3);
+        assert_eq!(f.initial, Some(Bv::from_u64(2, 0)));
+        assert_eq!(f.transitions.len(), 4);
+    }
+
+    #[test]
+    fn guarded_flag_set_for_conditional_transitions() {
+        let m = parse(TWO_PROC).unwrap();
+        let f = &extract(&m)[0];
+        let s0 = Bv::from_u64(2, 0);
+        let t01 = f.successors(&s0);
+        assert_eq!(t01.len(), 1);
+        assert!(t01[0].guarded);
+        let s1 = Bv::from_u64(2, 1);
+        assert!(!f.successors(&s1)[0].guarded);
+    }
+
+    #[test]
+    fn extracts_one_process_fsm() {
+        let m = parse(
+            "module t(input clk, input rst, input go, output reg [1:0] s);\n\
+             always @(posedge clk or posedge rst) begin\n\
+               if (rst) s <= 2'd0;\n\
+               else begin\n\
+                 case (s)\n\
+                   2'd0: begin if (go) s <= 2'd1; end\n\
+                   2'd1: begin s <= 2'd3; end\n\
+                   2'd3: begin s <= 2'd0; end\n\
+                 endcase\n\
+               end\n\
+             end\nendmodule",
+        )
+        .unwrap();
+        let fsms = extract(&m);
+        assert_eq!(fsms.len(), 1);
+        assert_eq!(fsms[0].states.len(), 3);
+        assert_eq!(fsms[0].transitions.len(), 3);
+        assert_eq!(fsms[0].initial, Some(Bv::from_u64(2, 0)));
+    }
+
+    #[test]
+    fn depth_from_initial() {
+        let m = parse(TWO_PROC).unwrap();
+        let f = &extract(&m)[0];
+        let depths = f.depth_from_initial();
+        let get = |v: u64| depths.iter().find(|(s, _)| *s == Bv::from_u64(2, v)).unwrap().1;
+        assert_eq!(get(0), Some(0));
+        assert_eq!(get(1), Some(1));
+        assert_eq!(get(2), Some(2));
+    }
+
+    #[test]
+    fn no_fsm_in_pure_datapath() {
+        let m = parse("module t(input [7:0] a, output [7:0] y); assign y = a + 8'd1; endmodule").unwrap();
+        assert!(extract(&m).is_empty());
+    }
+
+    #[test]
+    fn ignores_single_state_case() {
+        let m = parse(
+            "module t(input clk, output reg [1:0] s);\n\
+             always @(posedge clk) begin case (s) 2'd0: begin s <= 2'd0; end endcase end\nendmodule",
+        )
+        .unwrap();
+        assert!(extract(&m).is_empty(), "one state is not an FSM");
+    }
+}

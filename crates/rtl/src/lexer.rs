@@ -1,0 +1,270 @@
+//! Tokenizer for the synthesizable Verilog subset accepted by the parser.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Unsized decimal number (e.g. `42`).
+    Number(u64),
+    /// Sized literal `<width>'<base><digits>` (e.g. `8'hFF`).
+    Sized {
+        /// Declared width.
+        width: usize,
+        /// Base character: `b`, `h`, `d`, or `o`.
+        base: char,
+        /// Digit text (underscores removed).
+        digits: String,
+    },
+    /// A punctuation or operator symbol such as `(`, `<=`, `&&`.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::Sized { width, base, digits } => write!(f, "literal `{width}'{base}{digits}`"),
+            TokenKind::Symbol(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Error produced when the input contains characters outside the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const SYMBOLS: &[&str] = &[
+    // Longest first so greedy matching is correct.
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~^", "^~", "@(", "(", ")", "[", "]", "{", "}", ",", ";", ":",
+    "?", "=", "+", "-", "*", "&", "|", "^", "~", "!", "<", ">", "@", ".",
+];
+
+/// Tokenizes Verilog source.
+///
+/// Line (`//`) and block (`/* */`) comments are skipped. Numbers may contain
+/// underscores.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals or characters outside the
+/// accepted subset.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError { message: "unterminated block comment".into(), line });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '`' || c == '\\' {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            out.push(Token { kind: TokenKind::Ident(text.trim_start_matches(['`', '\\']).to_string()), line });
+            continue;
+        }
+        // Numbers (possibly sized).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '_') {
+                i += 1;
+            }
+            let num_text: String = bytes[start..i].iter().filter(|&&c| c != '_').collect();
+            if i < bytes.len() && bytes[i] == '\'' {
+                i += 1;
+                if i >= bytes.len() {
+                    return Err(LexError { message: "truncated sized literal".into(), line });
+                }
+                let base = bytes[i].to_ascii_lowercase();
+                if !matches!(base, 'b' | 'h' | 'd' | 'o') {
+                    return Err(LexError { message: format!("unsupported literal base `{base}`"), line });
+                }
+                i += 1;
+                let dstart = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let digits: String = bytes[dstart..i].iter().filter(|&&c| c != '_').collect();
+                if digits.is_empty() {
+                    return Err(LexError { message: "sized literal has no digits".into(), line });
+                }
+                let width: usize = num_text
+                    .parse()
+                    .map_err(|_| LexError { message: format!("bad literal width `{num_text}`"), line })?;
+                if width == 0 {
+                    return Err(LexError { message: "zero-width literal".into(), line });
+                }
+                out.push(Token { kind: TokenKind::Sized { width, base, digits }, line });
+            } else {
+                let value: u64 = num_text
+                    .parse()
+                    .map_err(|_| LexError { message: format!("bad number `{num_text}`"), line })?;
+                out.push(Token { kind: TokenKind::Number(value), line });
+            }
+            continue;
+        }
+        // Symbols, longest match first.
+        let rest: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        let mut matched = None;
+        for sym in SYMBOLS {
+            if rest.starts_with(sym) {
+                matched = Some(*sym);
+                break;
+            }
+        }
+        match matched {
+            Some(sym) => {
+                // `@(` is split back into `@` + `(` for simpler parsing.
+                if sym == "@(" {
+                    out.push(Token { kind: TokenKind::Symbol("@"), line });
+                    out.push(Token { kind: TokenKind::Symbol("("), line });
+                } else {
+                    out.push(Token { kind: TokenKind::Symbol(sym), line });
+                }
+                i += sym.len();
+            }
+            None => {
+                return Err(LexError { message: format!("unexpected character `{c}`"), line });
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_numbers_symbols() {
+        let ks = kinds("assign y = a + 42;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("assign".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Symbol("="),
+                TokenKind::Ident("a".into()),
+                TokenKind::Symbol("+"),
+                TokenKind::Number(42),
+                TokenKind::Symbol(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn sized_literals() {
+        let ks = kinds("8'hFF 4'b1010 10'd100");
+        assert_eq!(ks[0], TokenKind::Sized { width: 8, base: 'h', digits: "FF".into() });
+        assert_eq!(ks[1], TokenKind::Sized { width: 4, base: 'b', digits: "1010".into() });
+        assert_eq!(ks[2], TokenKind::Sized { width: 10, base: 'd', digits: "100".into() });
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        assert_eq!(kinds("1_000")[0], TokenKind::Number(1000));
+        assert_eq!(kinds("16'hDE_AD")[0], TokenKind::Sized { width: 16, base: 'h', digits: "DEAD".into() });
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // comment\n/* block\nspanning */ b");
+        assert_eq!(ks, vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        let ks = kinds("a <= b << 2");
+        assert!(ks.contains(&TokenKind::Symbol("<=")));
+        assert!(ks.contains(&TokenKind::Symbol("<<")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("8'q12").is_err());
+        assert!(tokenize("0'b1").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+    }
+}

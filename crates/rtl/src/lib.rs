@@ -1,0 +1,55 @@
+//! RTL front end for the RTLock reproduction.
+//!
+//! This crate provides everything RTLock needs to *see* and *transform* a
+//! design at the register-transfer level:
+//!
+//! * [`bv`] — arbitrary-width two-state bit vectors ([`bv::Bv`]);
+//! * [`ast`] — the typed RTL IR ([`ast::Module`], [`ast::Expr`], …);
+//! * [`parser`] — a Verilog-2001-subset parser ([`parse`]);
+//! * [`printer`] — Verilog emission ([`print()`]);
+//! * [`sim`] — a cycle-accurate two-state simulator ([`sim::Simulator`]),
+//!   which doubles as the oracle in oracle-guided attacks;
+//! * [`cdfg`] — control/data-flow analysis ([`cdfg::Cdfg`]);
+//! * [`fsm`] — FSMX-style finite-state-machine extraction ([`fsm::extract`]).
+//!
+//! # Examples
+//!
+//! Parse, analyze and simulate a small design:
+//!
+//! ```
+//! use rtlock_rtl::{parse, sim::Simulator, cdfg::Cdfg, bv::Bv};
+//!
+//! let m = parse(r#"
+//! module acc(input clk, input rst, input [7:0] d, output reg [7:0] sum);
+//!   always @(posedge clk or posedge rst) begin
+//!     if (rst) sum <= 8'd0; else sum <= sum + d;
+//!   end
+//! endmodule"#)?;
+//!
+//! let graph = Cdfg::build(&m);
+//! assert_eq!(graph.registers.len(), 1);
+//!
+//! let mut sim = Simulator::new(&m);
+//! sim.reset()?;
+//! sim.set_by_name("d", Bv::from_u64(8, 5));
+//! sim.step()?;
+//! sim.step()?;
+//! assert_eq!(sim.get_by_name("sum"), Bv::from_u64(8, 10));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod bv;
+pub mod cdfg;
+pub mod fsm;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod sim;
+
+pub use ast::{Assign, BinaryOp, CaseArm, Dir, Expr, Lvalue, Module, Net, NetId, NetKind, Process, ProcessKind, ResetSpec, Stmt, UnaryOp};
+pub use bv::Bv;
+pub use parser::{parse, ParseError};
+pub use printer::print;

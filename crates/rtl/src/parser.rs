@@ -1,0 +1,900 @@
+//! Recursive-descent parser for a synthesizable Verilog-2001 subset.
+//!
+//! Accepted constructs: one flat module (ANSI or non-ANSI port style),
+//! `wire`/`reg` declarations with ranges, `localparam`, continuous
+//! `assign`s, `always @(*)` and `always @(posedge clk [or (pos|neg)edge rst])`
+//! processes with `begin/end`, `if`/`else`, `case`, blocking and non-blocking
+//! assignments, and the expression grammar used by the IR.
+//!
+//! Not accepted (by design, with diagnostics): module instantiation,
+//! `initial` blocks, delays, four-state literals (`x`/`z`), generate blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! module adder(input [3:0] a, input [3:0] b, output [3:0] y);
+//!   assign y = a + b;
+//! endmodule
+//! "#;
+//! let module = rtlock_rtl::parse(src)?;
+//! assert_eq!(module.name, "adder");
+//! # Ok::<(), rtlock_rtl::ParseError>(())
+//! ```
+
+use crate::ast::*;
+use crate::bv::Bv;
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced when the source is outside the accepted subset or
+/// malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses Verilog source into a [`Module`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for lexical errors, syntax errors, undeclared
+/// identifiers, and constructs outside the supported subset.
+pub fn parse(src: &str) -> Result<Module, ParseError> {
+    let tokens = tokenize(src).map_err(|e| ParseError { message: e.message, line: e.line })?;
+    Parser { tokens, pos: 0, params: HashMap::new(), expr_depth: 0 }.parse_module()
+}
+
+/// Maximum expression nesting depth (guards the recursive-descent stack).
+const MAX_EXPR_DEPTH: usize = 96;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: HashMap<String, Bv>,
+    expr_depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), line: self.line() })
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Symbol(s) if *s == sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{sym}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    // ---- constants -----------------------------------------------------
+
+    fn const_u64(&mut self) -> Result<u64, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            TokenKind::Ident(name) => {
+                if let Some(v) = self.params.get(&name) {
+                    let v = v
+                        .to_u64()
+                        .ok_or_else(|| ParseError { message: format!("parameter `{name}` too wide"), line: self.line() })?;
+                    self.bump();
+                    Ok(v)
+                } else {
+                    self.err(format!("expected constant, found unknown identifier `{name}`"))
+                }
+            }
+            TokenKind::Sized { .. } => {
+                let bv = self.sized_literal()?;
+                bv.to_u64().ok_or_else(|| ParseError { message: "constant too wide".into(), line: self.line() })
+            }
+            other => self.err(format!("expected constant, found {other}")),
+        }
+    }
+
+    fn sized_literal(&mut self) -> Result<Bv, ParseError> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::Sized { width, base, digits } => {
+                let val = match base {
+                    'b' => Bv::from_binary_str(&digits),
+                    'h' => Bv::from_hex_str(&digits),
+                    'o' => {
+                        let mut acc = Bv::zeros(digits.len() * 3 + 1);
+                        for c in digits.chars() {
+                            let d = c.to_digit(8).ok_or_else(|| ParseError {
+                                message: format!("bad octal digit `{c}`"),
+                                line,
+                            })?;
+                            acc = acc.shl(3).or(&Bv::from_u64(acc.width(), d as u64));
+                        }
+                        Some(acc)
+                    }
+                    'd' => digits.parse::<u64>().ok().map(|v| Bv::from_u64(64, v)),
+                    _ => None,
+                };
+                let val = val.ok_or_else(|| ParseError {
+                    message: format!("malformed literal digits `{digits}` (x/z are not supported)"),
+                    line,
+                })?;
+                Ok(val.resize(width))
+            }
+            other => Err(ParseError { message: format!("expected sized literal, found {other}"), line }),
+        }
+    }
+
+    /// Parses an optional `[msb:lsb]` range; returns the width.
+    fn opt_range(&mut self) -> Result<usize, ParseError> {
+        if self.eat_symbol("[") {
+            let msb = self.const_u64()? as usize;
+            self.expect_symbol(":")?;
+            let lsb = self.const_u64()? as usize;
+            self.expect_symbol("]")?;
+            if lsb != 0 {
+                return self.err("only [N:0] ranges are supported");
+            }
+            Ok(msb + 1)
+        } else {
+            Ok(1)
+        }
+    }
+
+    // ---- module --------------------------------------------------------
+
+    fn parse_module(mut self) -> Result<Module, ParseError> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        let mut module = Module::new(name);
+        self.expect_symbol("(")?;
+        // ANSI header?
+        if self.peek_keyword("input") || self.peek_keyword("output") {
+            loop {
+                let dir = if self.eat_keyword("input") {
+                    Dir::Input
+                } else if self.eat_keyword("output") {
+                    Dir::Output
+                } else {
+                    return self.err("expected `input` or `output` in ANSI port list");
+                };
+                let kind = if self.eat_keyword("reg") {
+                    NetKind::Reg
+                } else {
+                    self.eat_keyword("wire");
+                    NetKind::Wire
+                };
+                let width = self.opt_range()?;
+                let pname = self.expect_ident()?;
+                self.declare(&mut module, &pname, width, kind, Some(dir))?;
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            self.expect_symbol(";")?;
+        } else {
+            // Non-ANSI: names only, directions declared in the body.
+            let mut names = Vec::new();
+            if !matches!(self.peek(), TokenKind::Symbol(")")) {
+                loop {
+                    names.push(self.expect_ident()?);
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_symbol(")")?;
+            self.expect_symbol(";")?;
+            // Remember header order; declarations come later.
+            for n in &names {
+                // Placeholder nets; re-declared (widened) by body port decls.
+                self.declare(&mut module, n, 1, NetKind::Wire, None)?;
+            }
+        }
+
+        // Body items.
+        loop {
+            if self.eat_keyword("endmodule") {
+                break;
+            }
+            match self.peek().clone() {
+                TokenKind::Eof => return self.err("unexpected end of input, expected `endmodule`"),
+                TokenKind::Ident(kw) => match kw.as_str() {
+                    "input" | "output" => self.port_decl(&mut module)?,
+                    "wire" | "reg" => self.net_decl(&mut module)?,
+                    "localparam" | "parameter" => {
+                        self.bump();
+                        self.param_decl()?;
+                    }
+                    "assign" => {
+                        self.bump();
+                        self.continuous_assign(&mut module)?;
+                    }
+                    "always" => {
+                        self.bump();
+                        self.always_block(&mut module)?;
+                    }
+                    "initial" => return self.err("`initial` blocks are not supported in the synthesizable subset"),
+                    "generate" => return self.err("`generate` blocks are not supported"),
+                    _ => {
+                        return self.err(format!(
+                            "unsupported item starting with `{kw}` (module instantiation is not supported; flatten the design)"
+                        ))
+                    }
+                },
+                other => return self.err(format!("unexpected {other}")),
+            }
+        }
+        Ok(module)
+    }
+
+    fn declare(
+        &mut self,
+        module: &mut Module,
+        name: &str,
+        width: usize,
+        kind: NetKind,
+        dir: Option<Dir>,
+    ) -> Result<NetId, ParseError> {
+        if let Some(existing) = module.find_net(name) {
+            // Non-ANSI header placeholder being refined by a body decl,
+            // or a port getting its reg-ness from a later `reg` decl.
+            let net = &mut module.nets[existing.index()];
+            if net.dir.is_none() && dir.is_some() {
+                net.dir = dir;
+                net.width = width;
+                net.kind = kind;
+                module.ports.push(existing);
+                return Ok(existing);
+            }
+            if net.dir.is_some() && dir.is_none() {
+                if width != 1 && net.width != width {
+                    return self.err(format!("conflicting widths for `{name}`"));
+                }
+                net.kind = kind;
+                return Ok(existing);
+            }
+            return self.err(format!("duplicate declaration of `{name}`"));
+        }
+        Ok(match dir {
+            Some(d) => module.add_port(name, width, d, kind),
+            None => module.add_net(name, width, kind),
+        })
+    }
+
+    fn port_decl(&mut self, module: &mut Module) -> Result<(), ParseError> {
+        let dir = if self.eat_keyword("input") { Dir::Input } else { self.expect_keyword("output").map(|_| Dir::Output)? };
+        let kind = if self.eat_keyword("reg") {
+            NetKind::Reg
+        } else {
+            self.eat_keyword("wire");
+            NetKind::Wire
+        };
+        let width = self.opt_range()?;
+        loop {
+            let name = self.expect_ident()?;
+            self.declare(module, &name, width, kind, Some(dir))?;
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(";")
+    }
+
+    fn net_decl(&mut self, module: &mut Module) -> Result<(), ParseError> {
+        let kind = if self.eat_keyword("reg") { NetKind::Reg } else { self.expect_keyword("wire").map(|_| NetKind::Wire)? };
+        let width = self.opt_range()?;
+        loop {
+            let name = self.expect_ident()?;
+            if self.eat_symbol("[") {
+                return self.err(format!("memories (`reg [..] {name} [..]`) are not supported"));
+            }
+            self.declare(module, &name, width, kind, None)?;
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(";")
+    }
+
+    fn param_decl(&mut self) -> Result<(), ParseError> {
+        let width = self.opt_range()?;
+        loop {
+            let name = self.expect_ident()?;
+            self.expect_symbol("=")?;
+            let value = match self.peek().clone() {
+                TokenKind::Sized { .. } => self.sized_literal()?,
+                TokenKind::Number(n) => {
+                    self.bump();
+                    Bv::from_u64(if width > 1 { width } else { 32 }, n)
+                }
+                other => return self.err(format!("expected parameter value, found {other}")),
+            };
+            let value = if width > 1 { value.resize(width) } else { value };
+            self.params.insert(name, value);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(";")
+    }
+
+    fn continuous_assign(&mut self, module: &mut Module) -> Result<(), ParseError> {
+        loop {
+            let lhs = self.lvalue(module)?;
+            self.expect_symbol("=")?;
+            let rhs = self.expr(module)?;
+            module.assigns.push(Assign { lhs, rhs });
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(";")
+    }
+
+    fn lvalue(&mut self, module: &Module) -> Result<Lvalue, ParseError> {
+        let name = self.expect_ident()?;
+        let net = module
+            .find_net(&name)
+            .ok_or_else(|| ParseError { message: format!("assignment to undeclared net `{name}`"), line: self.line() })?;
+        if self.eat_symbol("[") {
+            let hi = self.const_u64()? as usize;
+            let lo = if self.eat_symbol(":") { self.const_u64()? as usize } else { hi };
+            self.expect_symbol("]")?;
+            if hi < lo || hi >= module.width(net) {
+                return self.err(format!("slice [{hi}:{lo}] out of range for `{name}`"));
+            }
+            Ok(Lvalue::sliced(net, hi, lo))
+        } else {
+            Ok(Lvalue::whole(net))
+        }
+    }
+
+    fn always_block(&mut self, module: &mut Module) -> Result<(), ParseError> {
+        self.expect_symbol("@")?;
+        self.expect_symbol("(")?;
+        let kind = if self.eat_symbol("*") {
+            self.expect_symbol(")")?;
+            ProcessKind::Comb
+        } else if self.peek_keyword("posedge") || self.peek_keyword("negedge") {
+            self.expect_keyword("posedge")?;
+            let clk_name = self.expect_ident()?;
+            let clock = module
+                .find_net(&clk_name)
+                .ok_or_else(|| ParseError { message: format!("unknown clock `{clk_name}`"), line: self.line() })?;
+            let mut reset = None;
+            if self.eat_keyword("or") {
+                let active_high = if self.eat_keyword("posedge") {
+                    true
+                } else {
+                    self.expect_keyword("negedge")?;
+                    false
+                };
+                let rname = self.expect_ident()?;
+                let rnet = module
+                    .find_net(&rname)
+                    .ok_or_else(|| ParseError { message: format!("unknown reset `{rname}`"), line: self.line() })?;
+                reset = Some(ResetSpec { net: rnet, active_high, asynchronous: true });
+            }
+            self.expect_symbol(")")?;
+            ProcessKind::Seq { clock, reset }
+        } else {
+            // Plain sensitivity list `always @(a or b)` treated as comb.
+            loop {
+                self.expect_ident()?;
+                if !self.eat_keyword("or") && !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            ProcessKind::Comb
+        };
+
+        let body = self.stmt(module)?;
+        let mut process = Process { kind, body, reset_body: Vec::new() };
+
+        // Normalize async reset: the body must be `if (reset-cond) A else B`.
+        if let ProcessKind::Seq { reset: Some(spec), .. } = &process.kind {
+            let spec = spec.clone();
+            if process.body.len() == 1 {
+                if let Stmt::If { cond, then_, else_ } = &process.body[0] {
+                    if Self::is_reset_cond(cond, &spec) {
+                        process.reset_body = then_.clone();
+                        process.body = else_.clone();
+                        return Ok({
+                            module.procs.push(process);
+                        });
+                    }
+                }
+            }
+            return self.err("async-reset process body must be `if (<reset>) ... else ...`");
+        }
+        module.procs.push(process);
+        Ok(())
+    }
+
+    fn is_reset_cond(cond: &Expr, spec: &ResetSpec) -> bool {
+        match (cond, spec.active_high) {
+            (Expr::Ref(n), true) => *n == spec.net,
+            (Expr::Unary { op: UnaryOp::LogicNot | UnaryOp::Not, arg }, false) => {
+                matches!(**arg, Expr::Ref(n) if n == spec.net)
+            }
+            _ => false,
+        }
+    }
+
+    fn stmt(&mut self, module: &Module) -> Result<Vec<Stmt>, ParseError> {
+        if self.eat_keyword("begin") {
+            let mut stmts = Vec::new();
+            while !self.eat_keyword("end") {
+                if matches!(self.peek(), TokenKind::Eof) {
+                    return self.err("unexpected end of input inside `begin`");
+                }
+                stmts.extend(self.stmt(module)?);
+            }
+            return Ok(stmts);
+        }
+        if self.eat_keyword("if") {
+            self.expect_symbol("(")?;
+            let cond = self.expr(module)?;
+            self.expect_symbol(")")?;
+            let then_ = self.stmt(module)?;
+            let else_ = if self.eat_keyword("else") { self.stmt(module)? } else { Vec::new() };
+            return Ok(vec![Stmt::If { cond, then_, else_ }]);
+        }
+        if self.eat_keyword("case") {
+            self.expect_symbol("(")?;
+            let subject = self.expr(module)?;
+            self.expect_symbol(")")?;
+            let subj_w = module.expr_width(&subject);
+            let mut arms = Vec::new();
+            let mut default = Vec::new();
+            loop {
+                if self.eat_keyword("endcase") {
+                    break;
+                }
+                if self.eat_keyword("default") {
+                    self.eat_symbol(":");
+                    default = self.stmt(module)?;
+                    continue;
+                }
+                let mut labels = Vec::new();
+                loop {
+                    let label = match self.peek().clone() {
+                        TokenKind::Sized { .. } => self.sized_literal()?.resize(subj_w),
+                        TokenKind::Number(n) => {
+                            self.bump();
+                            Bv::from_u64(subj_w, n)
+                        }
+                        TokenKind::Ident(name) => {
+                            let v = self
+                                .params
+                                .get(&name)
+                                .cloned()
+                                .ok_or_else(|| ParseError {
+                                    message: format!("case label `{name}` is not a localparam"),
+                                    line: self.line(),
+                                })?;
+                            self.bump();
+                            v.resize(subj_w)
+                        }
+                        other => return self.err(format!("expected case label, found {other}")),
+                    };
+                    labels.push(label);
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(":")?;
+                let body = self.stmt(module)?;
+                arms.push(CaseArm { labels, body });
+            }
+            return Ok(vec![Stmt::Case { subject, arms, default }]);
+        }
+        // Assignment.
+        let lhs = self.lvalue(module)?;
+        if !self.eat_symbol("=") && !self.eat_symbol("<=") {
+            return self.err(format!("expected `=` or `<=`, found {}", self.peek()));
+        }
+        let rhs = self.expr(module)?;
+        self.expect_symbol(";")?;
+        Ok(vec![Stmt::Assign { lhs, rhs }])
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self, module: &Module) -> Result<Expr, ParseError> {
+        self.expr_depth += 1;
+        if self.expr_depth > MAX_EXPR_DEPTH {
+            self.expr_depth -= 1;
+            return self.err(format!("expression nesting deeper than {MAX_EXPR_DEPTH} levels"));
+        }
+        let result = (|| {
+            let cond = self.logic_or(module)?;
+            if self.eat_symbol("?") {
+                let then_ = self.expr(module)?;
+                self.expect_symbol(":")?;
+                let else_ = self.expr(module)?;
+                Ok(Expr::ternary(cond, then_, else_))
+            } else {
+                Ok(cond)
+            }
+        })();
+        self.expr_depth -= 1;
+        result
+    }
+
+    fn binary_level(
+        &mut self,
+        module: &Module,
+        ops: &[(&str, BinaryOp)],
+        next: fn(&mut Self, &Module) -> Result<Expr, ParseError>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self, module)?;
+        'outer: loop {
+            for (sym, op) in ops {
+                if matches!(self.peek(), TokenKind::Symbol(s) if s == sym) {
+                    self.bump();
+                    let rhs = next(self, module)?;
+                    lhs = Expr::binary(*op, lhs, rhs);
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn logic_or(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(m, &[("||", BinaryOp::LogicOr)], Self::logic_and)
+    }
+    fn logic_and(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(m, &[("&&", BinaryOp::LogicAnd)], Self::bit_or)
+    }
+    fn bit_or(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(m, &[("|", BinaryOp::Or)], Self::bit_xor)
+    }
+    fn bit_xor(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(m, &[("^", BinaryOp::Xor), ("~^", BinaryOp::Xnor), ("^~", BinaryOp::Xnor)], Self::bit_and)
+    }
+    fn bit_and(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(m, &[("&", BinaryOp::And)], Self::equality)
+    }
+    fn equality(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(m, &[("==", BinaryOp::Eq), ("!=", BinaryOp::Ne)], Self::relational)
+    }
+    fn relational(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(
+            m,
+            &[("<", BinaryOp::Lt), ("<=", BinaryOp::Le), (">", BinaryOp::Gt), (">=", BinaryOp::Ge)],
+            Self::shift,
+        )
+    }
+    fn shift(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(m, &[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)], Self::additive)
+    }
+    fn additive(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(m, &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)], Self::multiplicative)
+    }
+    fn multiplicative(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        self.binary_level(m, &[("*", BinaryOp::Mul)], Self::unary)
+    }
+
+    fn unary(&mut self, m: &Module) -> Result<Expr, ParseError> {
+        for (sym, op) in [
+            ("~", UnaryOp::Not),
+            ("!", UnaryOp::LogicNot),
+            ("-", UnaryOp::Neg),
+            ("&", UnaryOp::RedAnd),
+            ("|", UnaryOp::RedOr),
+            ("^", UnaryOp::RedXor),
+        ] {
+            if matches!(self.peek(), TokenKind::Symbol(s) if *s == sym) {
+                self.bump();
+                let arg = self.unary(m)?;
+                return Ok(Expr::unary(op, arg));
+            }
+        }
+        self.primary(m)
+    }
+
+    fn primary(&mut self, module: &Module) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Sized { .. } => Ok(Expr::Const(self.sized_literal()?)),
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Const(Bv::from_u64(32, n)))
+            }
+            TokenKind::Symbol("(") => {
+                self.bump();
+                let e = self.expr(module)?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            TokenKind::Symbol("{") => {
+                self.bump();
+                // Could be a repeat `{N{expr}}` or a concat `{a, b, ...}`.
+                let save = self.pos;
+                if let TokenKind::Number(times) = self.peek().clone() {
+                    self.bump();
+                    if self.eat_symbol("{") {
+                        // The replicated operand may itself be a
+                        // concatenation list: `{2{a, b}}`.
+                        let mut parts = vec![self.expr(module)?];
+                        while self.eat_symbol(",") {
+                            parts.push(self.expr(module)?);
+                        }
+                        self.expect_symbol("}")?;
+                        self.expect_symbol("}")?;
+                        if times == 0 {
+                            return self.err("zero replication count");
+                        }
+                        let inner = if parts.len() == 1 { parts.remove(0) } else { Expr::Concat(parts) };
+                        return Ok(Expr::Repeat { times: times as usize, expr: Box::new(inner) });
+                    }
+                    self.pos = save;
+                }
+                let mut parts = vec![self.expr(module)?];
+                while self.eat_symbol(",") {
+                    parts.push(self.expr(module)?);
+                }
+                self.expect_symbol("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if let Some(v) = self.params.get(&name) {
+                    return Ok(Expr::Const(v.clone()));
+                }
+                let net = module
+                    .find_net(&name)
+                    .ok_or_else(|| ParseError { message: format!("undeclared identifier `{name}`"), line: self.line() })?;
+                if self.eat_symbol("[") {
+                    // Constant slice or dynamic single-bit index.
+                    let save = self.pos;
+                    let maybe_const = self.const_u64();
+                    match maybe_const {
+                        Ok(hi) if self.eat_symbol(":") => {
+                            let lo = self.const_u64()? as usize;
+                            self.expect_symbol("]")?;
+                            let hi = hi as usize;
+                            if hi < lo || hi >= module.width(net) {
+                                return self.err(format!("slice [{hi}:{lo}] out of range for `{name}`"));
+                            }
+                            return Ok(Expr::Slice { net, hi, lo });
+                        }
+                        Ok(idx) if self.eat_symbol("]") => {
+                            let idx = idx as usize;
+                            if idx >= module.width(net) {
+                                return self.err(format!("index {idx} out of range for `{name}`"));
+                            }
+                            return Ok(Expr::Slice { net, hi: idx, lo: idx });
+                        }
+                        _ => {
+                            self.pos = save;
+                            let index = self.expr(module)?;
+                            self.expect_symbol("]")?;
+                            return Ok(Expr::IndexDyn { net, index: Box::new(index) });
+                        }
+                    }
+                }
+                Ok(Expr::Ref(net))
+            }
+            other => self.err(format!("unexpected {other} in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ansi_module_with_assign() {
+        let m = parse("module t(input [7:0] a, input [7:0] b, output [7:0] y); assign y = a & b; endmodule").unwrap();
+        assert_eq!(m.name, "t");
+        assert_eq!(m.inputs().len(), 2);
+        assert_eq!(m.assigns.len(), 1);
+    }
+
+    #[test]
+    fn non_ansi_ports() {
+        let m = parse(
+            "module t(a, y);\n input [3:0] a;\n output reg [3:0] y;\n always @(*) begin y = a + 4'd1; end\nendmodule",
+        )
+        .unwrap();
+        assert_eq!(m.inputs().len(), 1);
+        assert_eq!(m.outputs().len(), 1);
+        assert_eq!(m.net(m.outputs()[0]).kind, NetKind::Reg);
+        assert_eq!(m.procs.len(), 1);
+    }
+
+    #[test]
+    fn clocked_process_with_async_reset_is_normalized() {
+        let m = parse(
+            "module t(input clk, input rst, input [3:0] d, output reg [3:0] q);\n\
+             always @(posedge clk or posedge rst) begin\n\
+               if (rst) q <= 4'd0; else q <= d;\n\
+             end\nendmodule",
+        )
+        .unwrap();
+        let p = &m.procs[0];
+        assert!(matches!(p.kind, ProcessKind::Seq { reset: Some(_), .. }));
+        assert_eq!(p.reset_body.len(), 1);
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn negedge_reset() {
+        let m = parse(
+            "module t(input clk, input rst_n, output reg q);\n\
+             always @(posedge clk or negedge rst_n) begin\n\
+               if (!rst_n) q <= 1'b0; else q <= ~q;\n\
+             end\nendmodule",
+        )
+        .unwrap();
+        match &m.procs[0].kind {
+            ProcessKind::Seq { reset: Some(r), .. } => assert!(!r.active_high),
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_with_localparam_labels() {
+        let m = parse(
+            "module t(input [1:0] s, output reg [3:0] y);\n\
+             localparam [1:0] A = 2'd0, B = 2'd1;\n\
+             always @(*) begin\n\
+               case (s)\n\
+                 A: y = 4'd1;\n\
+                 B: y = 4'd2;\n\
+                 default: y = 4'd0;\n\
+               endcase\n\
+             end\nendmodule",
+        )
+        .unwrap();
+        match &m.procs[0].body[0] {
+            Stmt::Case { arms, default, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].labels[0], Bv::from_u64(2, 0));
+                assert_eq!(default.len(), 1);
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_add_binds_tighter_than_compare() {
+        let m = parse("module t(input [3:0] a, output y); assign y = a + 4'd1 == 4'd3; endmodule").unwrap();
+        match &m.assigns[0].rhs {
+            Expr::Binary { op: BinaryOp::Eq, lhs, .. } => {
+                assert!(matches!(**lhs, Expr::Binary { op: BinaryOp::Add, .. }));
+            }
+            other => panic!("bad tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concat_and_repeat() {
+        let m = parse("module t(input [3:0] a, output [11:0] y); assign y = {a, {2{2'b10}}, a}; endmodule").unwrap();
+        assert_eq!(m.expr_width(&m.assigns[0].rhs), 12);
+    }
+
+    #[test]
+    fn dynamic_index() {
+        let m = parse("module t(input [7:0] a, input [2:0] i, output y); assign y = a[i]; endmodule").unwrap();
+        assert!(matches!(m.assigns[0].rhs, Expr::IndexDyn { .. }));
+    }
+
+    #[test]
+    fn rejects_instantiation() {
+        let e = parse("module t(input a); sub u0(a); endmodule").unwrap_err();
+        assert!(e.message.contains("instantiation"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undeclared_net() {
+        assert!(parse("module t(input a, output y); assign y = zz; endmodule").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_slice() {
+        assert!(parse("module t(input [3:0] a, output y); assign y = a[4]; endmodule").is_err());
+    }
+
+    #[test]
+    fn rejects_initial_blocks() {
+        let e = parse("module t(output reg y); initial y = 0; endmodule").unwrap_err();
+        assert!(e.message.contains("initial"));
+    }
+
+    #[test]
+    fn part_select_lvalue() {
+        let m = parse("module t(input [1:0] a, output [3:0] y); assign y[1:0] = a; assign y[3:2] = a; endmodule")
+            .unwrap();
+        assert_eq!(m.assigns.len(), 2);
+        assert_eq!(m.assigns[1].lhs.range, Some((3, 2)));
+    }
+
+    #[test]
+    fn le_in_condition_is_comparison() {
+        let m = parse(
+            "module t(input clk, input [3:0] a, output reg y);\n\
+             always @(posedge clk) begin if (a <= 4'd3) y <= 1'b1; else y <= 1'b0; end\nendmodule",
+        )
+        .unwrap();
+        match &m.procs[0].body[0] {
+            Stmt::If { cond, .. } => assert!(matches!(cond, Expr::Binary { op: BinaryOp::Le, .. })),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Parser robustness: arbitrary input must produce `Err`, never a panic,
+//! and near-miss mutations of valid sources must not crash either.
+
+use proptest::prelude::*;
+use rtlock_rtl::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn arbitrary_bytes_never_panic(s in "\\PC*") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn arbitrary_tokens_never_panic(words in proptest::collection::vec(
+        prop_oneof![
+            Just("module".to_string()),
+            Just("endmodule".to_string()),
+            Just("input".to_string()),
+            Just("output".to_string()),
+            Just("assign".to_string()),
+            Just("always".to_string()),
+            Just("case".to_string()),
+            Just("begin".to_string()),
+            Just("end".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("[".to_string()),
+            Just("]".to_string()),
+            Just("=".to_string()),
+            Just(";".to_string()),
+            Just("8'hFF".to_string()),
+            Just("x".to_string()),
+            Just("y".to_string()),
+        ],
+        0..40,
+    )) {
+        let _ = parse(&words.join(" "));
+    }
+
+    #[test]
+    fn truncations_of_valid_source_never_panic(cut in 0usize..400) {
+        let src = "module t(input clk, input rst, input [7:0] a, output reg [7:0] y);\n\
+                   always @(posedge clk or posedge rst) begin\n\
+                   if (rst) y <= 8'd0; else y <= (a + 8'd3) ^ {4'b1010, a[3:0]};\n\
+                   end\nendmodule";
+        let cut = cut.min(src.len());
+        // Cut on a char boundary (ASCII source, so every byte is one).
+        let _ = parse(&src[..cut]);
+    }
+}
+
+#[test]
+fn deep_nesting_parses_up_to_the_limit_and_errors_beyond() {
+    let nested = |depth: usize| {
+        let mut expr = String::from("a");
+        for _ in 0..depth {
+            expr = format!("({expr} + 8'd1)");
+        }
+        format!("module t(input [7:0] a, output [7:0] y); assign y = {expr}; endmodule")
+    };
+    assert!(parse(&nested(64)).is_ok(), "reasonable depth parses");
+    let err = parse(&nested(400)).expect_err("absurd depth is rejected, not a crash");
+    assert!(err.message.contains("nesting"), "{err}");
+}

@@ -1,0 +1,163 @@
+//! Variables, literals and clauses.
+
+use std::fmt;
+
+/// A boolean variable (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index into per-variable arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `2*var + sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal. `positive == true` means the non-negated form.
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// Converts from the DIMACS convention (1-based, sign = polarity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lit == 0`.
+    pub fn from_dimacs(lit: i32) -> Lit {
+        assert!(lit != 0, "DIMACS literal 0 is the clause terminator");
+        Lit::new(Var(lit.unsigned_abs() - 1), lit > 0)
+    }
+
+    /// Converts to the DIMACS convention.
+    pub fn to_dimacs(self) -> i32 {
+        let v = (self.var().0 + 1) as i32;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for the non-negated literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Index into per-literal arrays (watch lists).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The literal's value under an assignment of its variable.
+    pub fn apply(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// Outcome of a solve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (read it via the model accessors).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict/propagation/time budget was exhausted first.
+    Unknown,
+}
+
+impl SolveResult {
+    /// `true` when the result is [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+
+    /// `true` when the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == SolveResult::Unsat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var(7);
+        let p = v.positive();
+        let n = v.negative();
+        assert_eq!(p.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_ne!(p.index(), n.index());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        for d in [1, -1, 5, -42] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+        assert_eq!(Lit::from_dimacs(1), Var(0).positive());
+        assert_eq!(Lit::from_dimacs(-3), Var(2).negative());
+    }
+
+    #[test]
+    fn apply_polarity() {
+        let v = Var(0);
+        assert!(v.positive().apply(true));
+        assert!(!v.positive().apply(false));
+        assert!(v.negative().apply(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminator")]
+    fn dimacs_zero_rejected() {
+        Lit::from_dimacs(0);
+    }
+}

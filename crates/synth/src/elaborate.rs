@@ -1,0 +1,565 @@
+//! Elaboration: RTL IR → gate-level netlist.
+//!
+//! Bit-blasts every net, infers flip-flops from clocked processes (async
+//! resets become a synchronous reset mux plus the flop's init value, which
+//! matches the RTL simulator's clock-edge reset semantics), converts
+//! procedural control flow into mux trees by symbolic execution, and lowers
+//! word-level operators through [`crate::lower`].
+//!
+//! The invariant checked by the test-suite: for any supported module, the
+//! elaborated netlist is cycle-accurate equivalent to the RTL simulator.
+
+use crate::builder::GateBuilder;
+use crate::lower::{self, Sig};
+use rtlock_netlist::{GateId, Netlist, Port};
+use rtlock_rtl::ast::*;
+use rtlock_rtl::Bv;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Error raised for constructs elaboration cannot handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// A combinational dependency cycle between nets.
+    CombLoop(String),
+    /// A net is driven more than once.
+    MultipleDrivers(String),
+    /// Anything else outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::CombLoop(n) => write!(f, "combinational loop through net `{n}`"),
+            SynthError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            SynthError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Elaborates a module into a netlist.
+///
+/// Clock nets disappear (the netlist has an implicit global clock); reset
+/// nets remain as data inputs feeding the reset muxes.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] for combinational loops, multiple drivers, or
+/// unsupported constructs.
+///
+/// # Examples
+///
+/// ```
+/// let m = rtlock_rtl::parse(
+///     "module t(input [3:0] a, input [3:0] b, output [3:0] y); assign y = a + b; endmodule")?;
+/// let n = rtlock_synth::elaborate(&m)?;
+/// assert_eq!(n.inputs().len(), 8);
+/// assert!(n.logic_count() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn elaborate(module: &Module) -> Result<Netlist, SynthError> {
+    Elaborator::new(module)?.run()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Driver {
+    None,
+    Assigns,
+    CombProc(usize),
+    SeqProc(usize),
+    Input,
+}
+
+struct Elaborator<'m> {
+    module: &'m Module,
+    builder: GateBuilder,
+    driver: Vec<Driver>,
+    /// Assign indices per driven net.
+    assign_map: HashMap<NetId, Vec<usize>>,
+    /// Elaborated value of each net.
+    values: HashMap<NetId, Sig>,
+    /// Nets currently being computed (cycle detection).
+    visiting: HashSet<NetId>,
+    /// Comb processes already executed.
+    done_procs: HashSet<usize>,
+    clocks: HashSet<NetId>,
+    registers: HashMap<NetId, Sig>,
+}
+
+impl<'m> Elaborator<'m> {
+    fn new(module: &'m Module) -> Result<Self, SynthError> {
+        let mut driver = vec![Driver::None; module.nets.len()];
+        let mut assign_map: HashMap<NetId, Vec<usize>> = HashMap::new();
+        let mut clocks = HashSet::new();
+
+        for &p in &module.ports {
+            if module.net(p).dir == Some(Dir::Input) {
+                driver[p.index()] = Driver::Input;
+            }
+        }
+        for p in &module.procs {
+            if let ProcessKind::Seq { clock, .. } = &p.kind {
+                clocks.insert(*clock);
+            }
+        }
+        let set_driver = |driver: &mut Vec<Driver>, net: NetId, d: Driver, module: &Module| {
+            let cur = driver[net.index()];
+            if cur == Driver::None || cur == d {
+                driver[net.index()] = d;
+                Ok(())
+            } else {
+                Err(SynthError::MultipleDrivers(module.net(net).name.clone()))
+            }
+        };
+        for (i, a) in module.assigns.iter().enumerate() {
+            set_driver(&mut driver, a.lhs.net, Driver::Assigns, module)?;
+            assign_map.entry(a.lhs.net).or_default().push(i);
+        }
+        for (pi, p) in module.procs.iter().enumerate() {
+            let mut targets = HashSet::new();
+            collect_targets(&p.body, &mut targets);
+            collect_targets(&p.reset_body, &mut targets);
+            let d = match p.kind {
+                ProcessKind::Comb => Driver::CombProc(pi),
+                ProcessKind::Seq { .. } => Driver::SeqProc(pi),
+            };
+            for t in targets {
+                set_driver(&mut driver, t, d, module)?;
+            }
+        }
+
+        Ok(Elaborator {
+            module,
+            builder: GateBuilder::new(module.name.clone()),
+            driver,
+            assign_map,
+            values: HashMap::new(),
+            visiting: HashSet::new(),
+            done_procs: HashSet::new(),
+            clocks,
+            registers: HashMap::new(),
+        })
+    }
+
+    fn run(mut self) -> Result<Netlist, SynthError> {
+        // Inputs (clocks excluded).
+        for &p in &self.module.ports {
+            if self.module.net(p).dir != Some(Dir::Input) || self.clocks.contains(&p) {
+                continue;
+            }
+            let w = self.module.width(p);
+            let name = &self.module.net(p).name;
+            let sig: Sig = (0..w)
+                .map(|i| {
+                    let n = if w == 1 { name.clone() } else { format!("{name}[{i}]") };
+                    self.builder.input(n)
+                })
+                .collect();
+            self.builder.netlist_mut().input_ports.push(Port { name: name.clone(), bits: sig.clone() });
+            self.values.insert(p, sig);
+        }
+
+        // Registers: create flops with init values from reset bodies.
+        for (pi, p) in self.module.procs.iter().enumerate() {
+            if !matches!(p.kind, ProcessKind::Seq { .. }) {
+                continue;
+            }
+            let mut targets = HashSet::new();
+            collect_targets(&p.body, &mut targets);
+            collect_targets(&p.reset_body, &mut targets);
+            let mut targets: Vec<NetId> = targets.into_iter().collect();
+            targets.sort();
+            for t in targets {
+                if self.registers.contains_key(&t) {
+                    return Err(SynthError::MultipleDrivers(self.module.net(t).name.clone()));
+                }
+                let w = self.module.width(t);
+                let init = const_reset_value(&p.reset_body, t).unwrap_or_else(|| Bv::zeros(w)).resize(w);
+                let name = &self.module.net(t).name;
+                let sig: Sig = (0..w)
+                    .map(|i| {
+                        let n = if w == 1 { name.clone() } else { format!("{name}[{i}]") };
+                        self.builder.dff(init.bit(i), n)
+                    })
+                    .collect();
+                self.registers.insert(t, sig.clone());
+                self.values.insert(t, sig);
+            }
+            let _ = pi;
+        }
+
+        // Next-state logic for each clocked process.
+        for (pi, p) in self.module.procs.iter().enumerate() {
+            let ProcessKind::Seq { reset, .. } = &p.kind else { continue };
+            let mut targets = HashSet::new();
+            collect_targets(&p.body, &mut targets);
+            collect_targets(&p.reset_body, &mut targets);
+
+            // Non-blocking: body reads old register values via compute().
+            let mut env: HashMap<NetId, Sig> = HashMap::new();
+            for &t in &targets {
+                env.insert(t, self.registers[&t].clone());
+            }
+            let base = env.clone();
+            self.exec_block(&p.body, &mut env, false, pi)?;
+
+            // Reset values.
+            let reset_env = if reset.is_some() {
+                let mut renv = base.clone();
+                self.exec_block(&p.reset_body, &mut renv, false, pi)?;
+                Some(renv)
+            } else {
+                None
+            };
+
+            let reset_bit = match reset {
+                Some(spec) => {
+                    let rsig = self.compute(spec.net)?;
+                    let bit = lower::reduce_or(&mut self.builder, &rsig);
+                    Some(if spec.active_high { bit } else { self.builder.not(bit) })
+                }
+                None => None,
+            };
+
+            for &t in &targets {
+                let next = env[&t].clone();
+                let d = match (&reset_bit, &reset_env) {
+                    (Some(rb), Some(renv)) => lower::mux_vec(&mut self.builder, *rb, &next, &renv[&t]),
+                    _ => next,
+                };
+                let regs = self.registers[&t].clone();
+                for (i, &ff) in regs.iter().enumerate() {
+                    self.builder.set_dff_input(ff, d[i]);
+                }
+            }
+        }
+
+        // Outputs.
+        for &p in &self.module.ports {
+            if self.module.net(p).dir != Some(Dir::Output) {
+                continue;
+            }
+            let sig = self.compute(p)?;
+            let name = self.module.net(p).name.clone();
+            for (i, &g) in sig.iter().enumerate() {
+                let n = if sig.len() == 1 { name.clone() } else { format!("{name}[{i}]") };
+                self.builder.netlist_mut().add_output(n, g);
+            }
+            self.builder.netlist_mut().output_ports.push(Port { name, bits: sig });
+        }
+
+        let mut netlist = self.builder.into_netlist();
+        netlist.sweep_dead();
+        Ok(netlist)
+    }
+
+    /// Computes the signal of a net, elaborating its driver on demand.
+    fn compute(&mut self, net: NetId) -> Result<Sig, SynthError> {
+        if let Some(v) = self.values.get(&net) {
+            return Ok(v.clone());
+        }
+        if self.clocks.contains(&net) {
+            return Err(SynthError::Unsupported(format!(
+                "clock `{}` used as data",
+                self.module.net(net).name
+            )));
+        }
+        if !self.visiting.insert(net) {
+            return Err(SynthError::CombLoop(self.module.net(net).name.clone()));
+        }
+        let w = self.module.width(net);
+        let result = match self.driver[net.index()] {
+            Driver::Input => unreachable!("inputs precomputed"),
+            Driver::SeqProc(_) => unreachable!("registers precomputed"),
+            Driver::None => {
+                // Undriven: constant zeros.
+                let zero = self.builder.constant(false);
+                Ok(vec![zero; w])
+            }
+            Driver::Assigns => {
+                let idxs = self.assign_map[&net].clone();
+                let mut bits: Vec<Option<GateId>> = vec![None; w];
+                for i in idxs {
+                    let a = &self.module.assigns[i];
+                    let rhs = self.eval_expr(&a.rhs.clone(), None, 0)?;
+                    let (hi, lo) = a.lhs.range.unwrap_or((w - 1, 0));
+                    let rhs = lower::resize(&mut self.builder, &rhs, hi - lo + 1);
+                    for (k, &g) in rhs.iter().enumerate() {
+                        if bits[lo + k].is_some() {
+                            return Err(SynthError::MultipleDrivers(self.module.net(net).name.clone()));
+                        }
+                        bits[lo + k] = Some(g);
+                    }
+                }
+                let zero = self.builder.constant(false);
+                Ok(bits.into_iter().map(|b| b.unwrap_or(zero)).collect())
+            }
+            Driver::CombProc(pi) => {
+                self.exec_comb_proc(pi)?;
+                Ok(self.values.get(&net).cloned().unwrap_or_else(|| {
+                    // Target never assigned on any path: zeros.
+                    Vec::new()
+                }))
+            }
+        };
+        self.visiting.remove(&net);
+        let mut sig = result?;
+        if sig.is_empty() {
+            let zero = self.builder.constant(false);
+            sig = vec![zero; w];
+        }
+        self.values.insert(net, sig.clone());
+        Ok(sig)
+    }
+
+    /// Executes a combinational process once, caching all its targets.
+    fn exec_comb_proc(&mut self, pi: usize) -> Result<(), SynthError> {
+        if self.done_procs.contains(&pi) {
+            return Ok(());
+        }
+        let p = &self.module.procs[pi];
+        let mut targets = HashSet::new();
+        collect_targets(&p.body, &mut targets);
+        // Targets start as zeros (a fully-assigning process overwrites them;
+        // anything else would be a latch, which we approximate with 0).
+        let mut env: HashMap<NetId, Sig> = HashMap::new();
+        for &t in &targets {
+            let w = self.module.width(t);
+            let zero = self.builder.constant(false);
+            env.insert(t, vec![zero; w]);
+        }
+        let body = p.body.clone();
+        self.exec_block(&body, &mut env, true, pi)?;
+        self.done_procs.insert(pi);
+        for (t, sig) in env {
+            self.values.insert(t, sig);
+        }
+        Ok(())
+    }
+
+    /// Symbolically executes statements, updating `env` for target nets.
+    /// `blocking` controls whether reads of targets see `env` (comb) or the
+    /// old register values (seq, already seeded into `env`... reads go
+    /// through `env` either way — for seq processes `env` is seeded with
+    /// the register outputs, which are the old values, so the semantics
+    /// match non-blocking assignment as long as we *don't* let later
+    /// statements observe earlier updates; hence for `blocking == false`
+    /// expression evaluation bypasses `env`).
+    fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut HashMap<NetId, Sig>,
+        blocking: bool,
+        pi: usize,
+    ) -> Result<(), SynthError> {
+        for s in stmts {
+            match s {
+                Stmt::Assign { lhs, rhs } => {
+                    let val = self.eval_expr(rhs, if blocking { Some(env) } else { None }, pi)?;
+                    let w = self.module.width(lhs.net);
+                    let (hi, lo) = lhs.range.unwrap_or((w - 1, 0));
+                    let val = lower::resize(&mut self.builder, &val, hi - lo + 1);
+                    let slot = env
+                        .get_mut(&lhs.net)
+                        .expect("assignment targets are seeded in env");
+                    for (k, g) in val.into_iter().enumerate() {
+                        slot[lo + k] = g;
+                    }
+                }
+                Stmt::If { cond, then_, else_ } => {
+                    let c = self.eval_expr(cond, if blocking { Some(env) } else { None }, pi)?;
+                    let cbit = lower::reduce_or(&mut self.builder, &c);
+                    let mut tenv = env.clone();
+                    let mut eenv = env.clone();
+                    self.exec_block(then_, &mut tenv, blocking, pi)?;
+                    self.exec_block(else_, &mut eenv, blocking, pi)?;
+                    for (t, slot) in env.iter_mut() {
+                        let tv = &tenv[t];
+                        let ev = &eenv[t];
+                        *slot = lower::mux_vec(&mut self.builder, cbit, ev, tv);
+                    }
+                }
+                Stmt::Case { subject, arms, default } => {
+                    let subj = self.eval_expr(subject, if blocking { Some(env) } else { None }, pi)?;
+                    let mut denv = env.clone();
+                    self.exec_block(default, &mut denv, blocking, pi)?;
+                    // Build from the last arm backwards so earlier arms win.
+                    let mut acc = denv;
+                    for arm in arms.iter().rev() {
+                        let mut aenv = env.clone();
+                        self.exec_block(&arm.body, &mut aenv, blocking, pi)?;
+                        // Selection: subject equals any label.
+                        let mut sel = self.builder.constant(false);
+                        for label in &arm.labels {
+                            let lab = label.resize(subj.len());
+                            let lsig = lower::constant(&mut self.builder, &lab);
+                            let e = lower::eq(&mut self.builder, &subj, &lsig);
+                            sel = self.builder.or(sel, e);
+                        }
+                        let mut merged = HashMap::new();
+                        for (t, base) in &acc {
+                            let av = &aenv[t];
+                            merged.insert(*t, lower::mux_vec(&mut self.builder, sel, base, av));
+                        }
+                        acc = merged;
+                    }
+                    *env = acc;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates an expression to a signal. When `env` is provided,
+    /// references to nets present in it read the in-flight procedural value
+    /// (blocking semantics).
+    fn eval_expr(
+        &mut self,
+        e: &Expr,
+        env: Option<&HashMap<NetId, Sig>>,
+        pi: usize,
+    ) -> Result<Sig, SynthError> {
+        let read = |this: &mut Self, net: NetId, env: Option<&HashMap<NetId, Sig>>| -> Result<Sig, SynthError> {
+            if let Some(env) = env {
+                if let Some(v) = env.get(&net) {
+                    return Ok(v.clone());
+                }
+            }
+            this.compute(net)
+        };
+        match e {
+            Expr::Const(c) => Ok(lower::constant(&mut self.builder, c)),
+            Expr::Ref(n) => read(self, *n, env),
+            Expr::Slice { net, hi, lo } => {
+                let s = read(self, *net, env)?;
+                Ok(s[*lo..=*hi].to_vec())
+            }
+            Expr::IndexDyn { net, index } => {
+                let s = read(self, *net, env)?;
+                let idx = self.eval_expr(index, env, pi)?;
+                Ok(vec![lower::index_dyn(&mut self.builder, &s, &idx)])
+            }
+            Expr::Unary { op, arg } => {
+                let a = self.eval_expr(arg, env, pi)?;
+                Ok(match op {
+                    UnaryOp::Not => lower::not(&mut self.builder, &a),
+                    UnaryOp::Neg => lower::neg(&mut self.builder, &a),
+                    UnaryOp::LogicNot => {
+                        let r = lower::reduce_or(&mut self.builder, &a);
+                        vec![self.builder.not(r)]
+                    }
+                    UnaryOp::RedAnd => vec![lower::reduce_and(&mut self.builder, &a)],
+                    UnaryOp::RedOr => vec![lower::reduce_or(&mut self.builder, &a)],
+                    UnaryOp::RedXor => vec![lower::reduce_xor(&mut self.builder, &a)],
+                })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a0 = self.eval_expr(lhs, env, pi)?;
+                let b0 = self.eval_expr(rhs, env, pi)?;
+                let w = a0.len().max(b0.len());
+                let a = lower::resize(&mut self.builder, &a0, w);
+                let c = lower::resize(&mut self.builder, &b0, w);
+                let b = &mut self.builder;
+                Ok(match op {
+                    BinaryOp::And => lower::bitwise(b, &a, &c, |b, x, y| b.and(x, y)),
+                    BinaryOp::Or => lower::bitwise(b, &a, &c, |b, x, y| b.or(x, y)),
+                    BinaryOp::Xor => lower::bitwise(b, &a, &c, |b, x, y| b.xor(x, y)),
+                    BinaryOp::Xnor => lower::bitwise(b, &a, &c, |b, x, y| b.xnor(x, y)),
+                    BinaryOp::Add => lower::add(b, &a, &c),
+                    BinaryOp::Sub => lower::sub(b, &a, &c),
+                    BinaryOp::Mul => lower::mul(b, &a, &c),
+                    BinaryOp::Shl => lower::shift_var(b, &a, &c, true),
+                    BinaryOp::Shr => lower::shift_var(b, &a, &c, false),
+                    BinaryOp::Eq => vec![lower::eq(b, &a, &c)],
+                    BinaryOp::Ne => {
+                        let e = lower::eq(b, &a, &c);
+                        vec![b.not(e)]
+                    }
+                    BinaryOp::Lt => vec![lower::ult(b, &a, &c)],
+                    BinaryOp::Le => {
+                        let gt = lower::ult(b, &c, &a);
+                        vec![b.not(gt)]
+                    }
+                    BinaryOp::Gt => vec![lower::ult(b, &c, &a)],
+                    BinaryOp::Ge => {
+                        let lt = lower::ult(b, &a, &c);
+                        vec![b.not(lt)]
+                    }
+                    BinaryOp::LogicAnd => {
+                        let x = lower::reduce_or(b, &a);
+                        let y = lower::reduce_or(b, &c);
+                        vec![b.and(x, y)]
+                    }
+                    BinaryOp::LogicOr => {
+                        let x = lower::reduce_or(b, &a);
+                        let y = lower::reduce_or(b, &c);
+                        vec![b.or(x, y)]
+                    }
+                })
+            }
+            Expr::Ternary { cond, then_, else_ } => {
+                let c = self.eval_expr(cond, env, pi)?;
+                let cbit = lower::reduce_or(&mut self.builder, &c);
+                let t0 = self.eval_expr(then_, env, pi)?;
+                let e0 = self.eval_expr(else_, env, pi)?;
+                let w = t0.len().max(e0.len());
+                let t = lower::resize(&mut self.builder, &t0, w);
+                let f = lower::resize(&mut self.builder, &e0, w);
+                Ok(lower::mux_vec(&mut self.builder, cbit, &f, &t))
+            }
+            Expr::Concat(parts) => {
+                // parts[0] is the MSB part.
+                let mut out = Vec::new();
+                for p in parts.iter().rev() {
+                    let s = self.eval_expr(p, env, pi)?;
+                    out.extend(s);
+                }
+                Ok(out)
+            }
+            Expr::Repeat { times, expr } => {
+                let s = self.eval_expr(expr, env, pi)?;
+                let mut out = Vec::with_capacity(s.len() * times);
+                for _ in 0..*times {
+                    out.extend(s.iter().copied());
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+fn collect_targets(stmts: &[Stmt], out: &mut HashSet<NetId>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, .. } => {
+                out.insert(lhs.net);
+            }
+            Stmt::If { then_, else_, .. } => {
+                collect_targets(then_, out);
+                collect_targets(else_, out);
+            }
+            Stmt::Case { arms, default, .. } => {
+                for a in arms {
+                    collect_targets(&a.body, out);
+                }
+                collect_targets(default, out);
+            }
+        }
+    }
+}
+
+fn const_reset_value(reset_body: &[Stmt], target: NetId) -> Option<Bv> {
+    for s in reset_body {
+        if let Stmt::Assign { lhs, rhs } = s {
+            if lhs.net == target && lhs.range.is_none() {
+                if let Expr::Const(c) = rhs {
+                    return Some(c.clone());
+                }
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,53 @@
+//! Port-level I/O helpers bridging RTL values ([`Bv`]) and bit-blasted
+//! netlists.
+
+use rtlock_netlist::{NetSim, Netlist};
+use rtlock_rtl::Bv;
+
+/// Applies an RTL-level value to a named multi-bit input port (all lanes).
+///
+/// # Panics
+///
+/// Panics if the port does not exist or the width mismatches.
+pub fn set_port(sim: &mut NetSim<'_>, name: &str, value: &Bv) {
+    let port = sim
+        .netlist()
+        .input_ports
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("no input port `{name}`"));
+    assert_eq!(port.bits.len(), value.width(), "width mismatch on port `{name}`");
+    let bits = port.bits.clone();
+    for (i, g) in bits.into_iter().enumerate() {
+        sim.set_input(g, if value.bit(i) { u64::MAX } else { 0 });
+    }
+}
+
+/// Reads an RTL-level value from a named multi-bit output port (lane 0).
+///
+/// # Panics
+///
+/// Panics if the port does not exist.
+pub fn get_port(sim: &NetSim<'_>, name: &str) -> Bv {
+    let port = sim
+        .netlist()
+        .output_ports
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("no output port `{name}`"));
+    let mut v = Bv::zeros(port.bits.len());
+    for (i, &g) in port.bits.iter().enumerate() {
+        v.set(i, sim.value(g) & 1 == 1);
+    }
+    v
+}
+
+/// Names of all data input ports of a netlist (handy for random testing).
+pub fn input_port_names(netlist: &Netlist) -> Vec<String> {
+    netlist.input_ports.iter().map(|p| p.name.clone()).collect()
+}
+
+/// Names of all output ports of a netlist.
+pub fn output_port_names(netlist: &Netlist) -> Vec<String> {
+    netlist.output_ports.iter().map(|p| p.name.clone()).collect()
+}

@@ -1,0 +1,375 @@
+//! Word-level operator lowering onto gate vectors.
+//!
+//! A *signal* is a `Vec<GateId>`, least-significant bit first. These
+//! routines implement the datapath macros a synthesis tool would infer:
+//! ripple-carry adders, borrow subtractors, shift-and-add multipliers,
+//! barrel shifters, comparators and reduction trees.
+
+use crate::builder::GateBuilder;
+use rtlock_netlist::GateId;
+use rtlock_rtl::Bv;
+
+/// A bit-blasted signal, LSB first.
+pub type Sig = Vec<GateId>;
+
+/// Materializes a constant as a signal.
+pub fn constant(b: &mut GateBuilder, value: &Bv) -> Sig {
+    value.iter_bits().map(|bit| b.constant(bit)).collect()
+}
+
+/// Zero-extends or truncates to `width`.
+pub fn resize(b: &mut GateBuilder, sig: &Sig, width: usize) -> Sig {
+    let mut out = Vec::with_capacity(width);
+    for i in 0..width {
+        out.push(sig.get(i).copied().unwrap_or_else(|| b.constant(false)));
+    }
+    out
+}
+
+/// Bitwise NOT.
+pub fn not(b: &mut GateBuilder, a: &Sig) -> Sig {
+    a.iter().map(|&x| b.not(x)).collect()
+}
+
+/// Bitwise binary op over equal-width signals.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn bitwise(b: &mut GateBuilder, a: &Sig, c: &Sig, f: impl Fn(&mut GateBuilder, GateId, GateId) -> GateId) -> Sig {
+    assert_eq!(a.len(), c.len(), "width mismatch in bitwise op");
+    a.iter().zip(c).map(|(&x, &y)| f(b, x, y)).collect()
+}
+
+/// Ripple-carry adder (modular).
+pub fn add(b: &mut GateBuilder, a: &Sig, c: &Sig) -> Sig {
+    assert_eq!(a.len(), c.len(), "width mismatch in add");
+    let mut out = Vec::with_capacity(a.len());
+    let mut carry = b.constant(false);
+    for (&x, &y) in a.iter().zip(c) {
+        let xy = b.xor(x, y);
+        let s = b.xor(xy, carry);
+        let c1 = b.and(x, y);
+        let c2 = b.and(xy, carry);
+        carry = b.or(c1, c2);
+        out.push(s);
+    }
+    out
+}
+
+/// Two's-complement subtraction (modular): `a - c = a + ~c + 1`.
+pub fn sub(b: &mut GateBuilder, a: &Sig, c: &Sig) -> Sig {
+    assert_eq!(a.len(), c.len(), "width mismatch in sub");
+    let mut out = Vec::with_capacity(a.len());
+    let mut carry = b.constant(true);
+    for (&x, &y) in a.iter().zip(c) {
+        let ny = b.not(y);
+        let xy = b.xor(x, ny);
+        let s = b.xor(xy, carry);
+        let c1 = b.and(x, ny);
+        let c2 = b.and(xy, carry);
+        carry = b.or(c1, c2);
+        out.push(s);
+    }
+    out
+}
+
+/// Two's-complement negation.
+pub fn neg(b: &mut GateBuilder, a: &Sig) -> Sig {
+    let zero: Sig = a.iter().map(|_| b.constant(false)).collect();
+    sub(b, &zero, a)
+}
+
+/// Shift-and-add array multiplier (result truncated to operand width).
+pub fn mul(b: &mut GateBuilder, a: &Sig, c: &Sig) -> Sig {
+    assert_eq!(a.len(), c.len(), "width mismatch in mul");
+    let w = a.len();
+    let mut acc: Sig = (0..w).map(|_| b.constant(false)).collect();
+    for (i, &cb) in c.iter().enumerate() {
+        // Partial product: (a << i) AND replicate(cb), truncated to w.
+        let mut pp: Sig = Vec::with_capacity(w);
+        for k in 0..w {
+            if k < i {
+                pp.push(b.constant(false));
+            } else {
+                let bit = a[k - i];
+                pp.push(b.and(bit, cb));
+            }
+        }
+        acc = add(b, &acc, &pp);
+    }
+    acc
+}
+
+/// Left shift by a constant amount.
+pub fn shl_const(b: &mut GateBuilder, a: &Sig, amount: usize) -> Sig {
+    let w = a.len();
+    (0..w)
+        .map(|i| if i >= amount { a[i - amount] } else { b.constant(false) })
+        .collect()
+}
+
+/// Right (logical) shift by a constant amount.
+pub fn shr_const(b: &mut GateBuilder, a: &Sig, amount: usize) -> Sig {
+    let w = a.len();
+    (0..w)
+        .map(|i| if i + amount < w { a[i + amount] } else { b.constant(false) })
+        .collect()
+}
+
+/// Barrel shifter for a variable amount. `left` selects direction.
+pub fn shift_var(b: &mut GateBuilder, a: &Sig, amount: &Sig, left: bool) -> Sig {
+    let w = a.len();
+    let mut cur = a.clone();
+    // Stages for each amount bit that can affect the result.
+    let stages = usize::BITS as usize - (w.max(1) - 1).leading_zeros() as usize;
+    for (s, &amt_bit) in amount.iter().enumerate() {
+        if s >= stages {
+            // Shifting by >= w zeroes everything if this bit is set.
+            let nz = amt_bit;
+            let zero = b.constant(false);
+            cur = cur.iter().map(|&x| b.mux(nz, x, zero)).collect();
+            continue;
+        }
+        let dist = 1usize << s;
+        let shifted = if left { shl_const(b, &cur, dist) } else { shr_const(b, &cur, dist) };
+        cur = cur.iter().zip(&shifted).map(|(&x, &y)| b.mux(amt_bit, x, y)).collect();
+    }
+    cur
+}
+
+/// Equality comparator (1-bit result).
+pub fn eq(b: &mut GateBuilder, a: &Sig, c: &Sig) -> GateId {
+    assert_eq!(a.len(), c.len(), "width mismatch in eq");
+    let mut acc = b.constant(true);
+    for (&x, &y) in a.iter().zip(c) {
+        let e = b.xnor(x, y);
+        acc = b.and(acc, e);
+    }
+    acc
+}
+
+/// Unsigned less-than comparator (1-bit result).
+pub fn ult(b: &mut GateBuilder, a: &Sig, c: &Sig) -> GateId {
+    assert_eq!(a.len(), c.len(), "width mismatch in ult");
+    // From LSB to MSB: lt = (!x & y) | (x==y) & lt_prev
+    let mut lt = b.constant(false);
+    for (&x, &y) in a.iter().zip(c) {
+        let nx = b.not(x);
+        let strictly = b.and(nx, y);
+        let same = b.xnor(x, y);
+        let keep = b.and(same, lt);
+        lt = b.or(strictly, keep);
+    }
+    lt
+}
+
+/// OR-reduction.
+pub fn reduce_or(b: &mut GateBuilder, a: &Sig) -> GateId {
+    tree(b, a, |b, x, y| b.or(x, y), false)
+}
+
+/// AND-reduction.
+pub fn reduce_and(b: &mut GateBuilder, a: &Sig) -> GateId {
+    tree(b, a, |b, x, y| b.and(x, y), true)
+}
+
+/// XOR-reduction (parity).
+pub fn reduce_xor(b: &mut GateBuilder, a: &Sig) -> GateId {
+    tree(b, a, |b, x, y| b.xor(x, y), false)
+}
+
+fn tree(b: &mut GateBuilder, a: &Sig, f: impl Fn(&mut GateBuilder, GateId, GateId) -> GateId, empty: bool) -> GateId {
+    if a.is_empty() {
+        return b.constant(empty);
+    }
+    let mut layer = a.clone();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(f(b, pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Per-bit 2:1 mux between equal-width signals.
+pub fn mux_vec(b: &mut GateBuilder, sel: GateId, a: &Sig, c: &Sig) -> Sig {
+    assert_eq!(a.len(), c.len(), "width mismatch in mux");
+    a.iter().zip(c).map(|(&x, &y)| b.mux(sel, x, y)).collect()
+}
+
+/// Dynamic single-bit select `a[index]` as a mux tree.
+pub fn index_dyn(b: &mut GateBuilder, a: &Sig, index: &Sig) -> GateId {
+    // Out-of-range indices read 0 (matching the RTL simulator).
+    let width_needed = usize::BITS as usize - (a.len().max(1) - 1).leading_zeros() as usize;
+    let mut cur = a.clone();
+    for (s, &idx_bit) in index.iter().enumerate() {
+        if s >= width_needed {
+            let zero = b.constant(false);
+            cur = cur.iter().map(|&x| b.mux(idx_bit, x, zero)).collect();
+            continue;
+        }
+        let dist = 1usize << s;
+        let mut next = Vec::with_capacity(cur.len());
+        for i in 0..cur.len() {
+            let hi = cur.get(i + dist).copied().unwrap_or_else(|| b.constant(false));
+            next.push(b.mux(idx_bit, cur[i], hi));
+        }
+        cur = next;
+    }
+    cur[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_netlist::NetSim;
+
+    /// Evaluates a built netlist on concrete input values (LSB-first bit
+    /// assignment over inputs in creation order).
+    fn eval(b: &GateBuilder, inputs: &[(Sig, u64)], out: &Sig) -> u64 {
+        let mut sim = NetSim::new(b.netlist()).unwrap();
+        for (sig, val) in inputs {
+            for (i, &g) in sig.iter().enumerate() {
+                sim.set_input(g, if val >> i & 1 == 1 { u64::MAX } else { 0 });
+            }
+        }
+        sim.eval_comb();
+        let mut acc = 0u64;
+        for (i, &g) in out.iter().enumerate() {
+            if sim.value(g) & 1 == 1 {
+                acc |= 1 << i;
+            }
+        }
+        acc
+    }
+
+    fn mk_inputs(b: &mut GateBuilder, width: usize, n: usize) -> Vec<Sig> {
+        (0..n)
+            .map(|k| (0..width).map(|i| b.input(format!("in{k}_{i}"))).collect())
+            .collect()
+    }
+
+    #[test]
+    fn adder_matches_arithmetic() {
+        let mut b = GateBuilder::new("t");
+        let ins = mk_inputs(&mut b, 8, 2);
+        let sum = add(&mut b, &ins[0], &ins[1]);
+        for (x, y) in [(0u64, 0u64), (1, 1), (200, 100), (255, 255), (37, 91)] {
+            let got = eval(&b, &[(ins[0].clone(), x), (ins[1].clone(), y)], &sum);
+            assert_eq!(got, (x + y) & 0xFF, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let mut b = GateBuilder::new("t");
+        let ins = mk_inputs(&mut b, 8, 2);
+        let d = sub(&mut b, &ins[0], &ins[1]);
+        let n = neg(&mut b, &ins[0]);
+        for (x, y) in [(5u64, 3u64), (3, 5), (0, 0), (255, 1)] {
+            let got = eval(&b, &[(ins[0].clone(), x), (ins[1].clone(), y)], &d);
+            assert_eq!(got, x.wrapping_sub(y) & 0xFF, "{x}-{y}");
+        }
+        let got = eval(&b, &[(ins[0].clone(), 7), (ins[1].clone(), 0)], &n);
+        assert_eq!(got, (!7u64 + 1) & 0xFF);
+    }
+
+    #[test]
+    fn multiplier_matches_arithmetic() {
+        let mut b = GateBuilder::new("t");
+        let ins = mk_inputs(&mut b, 8, 2);
+        let p = mul(&mut b, &ins[0], &ins[1]);
+        for (x, y) in [(3u64, 5u64), (0, 77), (15, 17), (255, 255)] {
+            let got = eval(&b, &[(ins[0].clone(), x), (ins[1].clone(), y)], &p);
+            assert_eq!(got, (x * y) & 0xFF, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn const_shifts() {
+        let mut b = GateBuilder::new("t");
+        let ins = mk_inputs(&mut b, 8, 1);
+        let l = shl_const(&mut b, &ins[0], 3);
+        let r = shr_const(&mut b, &ins[0], 2);
+        assert_eq!(eval(&b, &[(ins[0].clone(), 0b101)], &l), 0b101000);
+        assert_eq!(eval(&b, &[(ins[0].clone(), 0b1100)], &r), 0b11);
+    }
+
+    #[test]
+    fn barrel_shifter() {
+        let mut b = GateBuilder::new("t");
+        let a: Sig = (0..8).map(|i| b.input(format!("a{i}"))).collect();
+        let amt: Sig = (0..4).map(|i| b.input(format!("s{i}"))).collect();
+        let l = shift_var(&mut b, &a, &amt, true);
+        let r = shift_var(&mut b, &a, &amt, false);
+        for shift in 0..10u64 {
+            let got_l = eval(&b, &[(a.clone(), 0b1011), (amt.clone(), shift)], &l);
+            let got_r = eval(&b, &[(a.clone(), 0b1011_0000), (amt.clone(), shift)], &r);
+            if shift >= 8 {
+                assert_eq!(got_l, 0, "shl {shift}");
+                assert_eq!(got_r, 0, "shr {shift}");
+            } else {
+                assert_eq!(got_l, (0b1011 << shift) & 0xFF, "shl {shift}");
+                assert_eq!(got_r, 0b1011_0000 >> shift, "shr {shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparators() {
+        let mut b = GateBuilder::new("t");
+        let ins = mk_inputs(&mut b, 6, 2);
+        let e = vec![eq(&mut b, &ins[0], &ins[1])];
+        let lt = vec![ult(&mut b, &ins[0], &ins[1])];
+        for (x, y) in [(3u64, 3u64), (3, 4), (4, 3), (0, 63), (63, 0)] {
+            let ge = eval(&b, &[(ins[0].clone(), x), (ins[1].clone(), y)], &e);
+            let gl = eval(&b, &[(ins[0].clone(), x), (ins[1].clone(), y)], &lt);
+            assert_eq!(ge == 1, x == y, "{x}=={y}");
+            assert_eq!(gl == 1, x < y, "{x}<{y}");
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let mut b = GateBuilder::new("t");
+        let ins = mk_inputs(&mut b, 5, 1);
+        let ro = vec![reduce_or(&mut b, &ins[0])];
+        let ra = vec![reduce_and(&mut b, &ins[0])];
+        let rx = vec![reduce_xor(&mut b, &ins[0])];
+        for v in [0u64, 1, 0b11111, 0b10101, 0b11011] {
+            assert_eq!(eval(&b, &[(ins[0].clone(), v)], &ro) == 1, v != 0);
+            assert_eq!(eval(&b, &[(ins[0].clone(), v)], &ra) == 1, v == 0b11111);
+            assert_eq!(eval(&b, &[(ins[0].clone(), v)], &rx) == 1, (v.count_ones() % 2) == 1);
+        }
+    }
+
+    #[test]
+    fn dynamic_index() {
+        let mut b = GateBuilder::new("t");
+        let a: Sig = (0..8).map(|i| b.input(format!("a{i}"))).collect();
+        let idx: Sig = (0..4).map(|i| b.input(format!("i{i}"))).collect();
+        let out = vec![index_dyn(&mut b, &a, &idx)];
+        for i in 0..12u64 {
+            let got = eval(&b, &[(a.clone(), 0b0110_1001), (idx.clone(), i)], &out);
+            let expect = if i < 8 { 0b0110_1001u64 >> i & 1 } else { 0 };
+            assert_eq!(got, expect, "index {i}");
+        }
+    }
+
+    #[test]
+    fn resize_zero_extends() {
+        let mut b = GateBuilder::new("t");
+        let ins = mk_inputs(&mut b, 4, 1);
+        let wide = resize(&mut b, &ins[0], 8);
+        assert_eq!(eval(&b, &[(ins[0].clone(), 0b1111)], &wide), 0b0000_1111);
+        let narrow = resize(&mut b, &ins[0], 2);
+        assert_eq!(eval(&b, &[(ins[0].clone(), 0b1111)], &narrow), 0b11);
+    }
+}

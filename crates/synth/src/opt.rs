@@ -1,0 +1,457 @@
+//! Standalone netlist optimization passes.
+//!
+//! Used in two roles:
+//! 1. post-elaboration cleanup (idempotent after the builder's on-the-fly
+//!    folding), and
+//! 2. *re-synthesis* inside the SWEEP/SCOPE attacks, which hardwire a key
+//!    bit to a constant and measure how much the netlist shrinks — the
+//!    constant-propagation signal those attacks learn from.
+//!
+//! Passes: constant folding, buffer/double-inverter collapse, algebraic
+//! one-input simplifications, structural hashing, dead-gate sweeping.
+//! Iterates to a fixpoint.
+
+use rtlock_netlist::{Gate, GateId, GateKind, Netlist};
+use std::collections::HashMap;
+
+/// Statistics from an optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Gates removed by all passes combined.
+    pub gates_removed: usize,
+    /// Fixpoint iterations executed.
+    pub iterations: usize,
+}
+
+/// Optimizes a netlist in place to a fixpoint.
+///
+/// # Examples
+///
+/// ```
+/// use rtlock_netlist::{Netlist, GateKind};
+/// use rtlock_synth::optimize;
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let one = n.add_gate(GateKind::Const1, vec![]);
+/// let x = n.add_gate(GateKind::And, vec![a, one]);   // folds to a
+/// let nn = n.add_gate(GateKind::Not, vec![x]);
+/// let y = n.add_gate(GateKind::Not, vec![nn]);       // double inverter
+/// n.add_output("y", y);
+/// let stats = optimize(&mut n);
+/// assert!(stats.gates_removed >= 3);
+/// assert_eq!(n.logic_count(), 0, "y == a directly");
+/// ```
+pub fn optimize(netlist: &mut Netlist) -> OptStats {
+    let mut stats = OptStats::default();
+    let before_total = netlist.len();
+    loop {
+        stats.iterations += 1;
+        let changed_fold = fold_pass(netlist);
+        let changed_hash = strash_pass(netlist);
+        let removed = netlist.sweep_dead();
+        if !changed_fold && !changed_hash && removed == 0 {
+            break;
+        }
+        if stats.iterations > 50 {
+            break; // safety net; passes should converge long before this
+        }
+    }
+    stats.gates_removed = before_total.saturating_sub(netlist.len());
+    stats
+}
+
+fn const_of(netlist: &Netlist, g: GateId) -> Option<bool> {
+    match netlist.gate(g).kind {
+        GateKind::Const0 => Some(false),
+        GateKind::Const1 => Some(true),
+        _ => None,
+    }
+}
+
+/// Per-pass cache of the shared constant gates (a linear scan per fold is
+/// quadratic on large netlists).
+#[derive(Default, Clone, Copy)]
+struct ConstCache {
+    zero: Option<GateId>,
+    one: Option<GateId>,
+}
+
+impl ConstCache {
+    fn scan(netlist: &Netlist) -> ConstCache {
+        let mut c = ConstCache::default();
+        for id in netlist.ids() {
+            match netlist.gate(id).kind {
+                GateKind::Const0 if c.zero.is_none() => c.zero = Some(id),
+                GateKind::Const1 if c.one.is_none() => c.one = Some(id),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    fn get(&mut self, netlist: &mut Netlist, value: bool) -> GateId {
+        let slot = if value { &mut self.one } else { &mut self.zero };
+        match *slot {
+            Some(g) => g,
+            None => {
+                let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+                let g = netlist.add_gate(kind, vec![]);
+                *slot = Some(g);
+                g
+            }
+        }
+    }
+}
+
+/// One constant-folding / algebraic pass. Returns `true` if anything
+/// changed.
+fn fold_pass(netlist: &mut Netlist) -> bool {
+    let order = match netlist.topo_order() {
+        Ok(o) => o,
+        Err(_) => return false,
+    };
+    // alias[g] = the gate g should be replaced by.
+    let mut alias: Vec<GateId> = netlist.ids().collect();
+    let mut consts_cache = ConstCache::scan(netlist);
+    let resolve = |alias: &[GateId], mut g: GateId| -> GateId {
+        while alias[g.index()] != g {
+            g = alias[g.index()];
+        }
+        g
+    };
+    let mut changed = false;
+
+    for id in order {
+        let kind = netlist.gate(id).kind;
+        if !kind.is_logic() {
+            continue;
+        }
+        // Resolve fanins through aliases first.
+        let fanin: Vec<GateId> = netlist.gate(id).fanin.iter().map(|&f| resolve(&alias, f)).collect();
+        if fanin != netlist.gate(id).fanin {
+            netlist.gate_mut(id).fanin = fanin.clone();
+            changed = true;
+        }
+        let consts: Vec<Option<bool>> = fanin.iter().map(|&f| const_of(netlist, f)).collect();
+
+        // Fully constant gate.
+        if consts.iter().all(|c| c.is_some()) {
+            let ins: Vec<bool> = consts.iter().map(|c| c.expect("checked")).collect();
+            let v = kind.eval(&ins);
+            let c = consts_cache.get(netlist, v);
+            while alias.len() < netlist.len() {
+                alias.push(GateId(alias.len() as u32));
+            }
+            alias[id.index()] = c;
+            changed = true;
+            continue;
+        }
+
+        let consts_cache_ref = &mut consts_cache;
+        let mut replace_with = |nl: &mut Netlist, target: Replacement, alias: &mut Vec<GateId>| {
+            let new = match target {
+                Replacement::Gate(g) => g,
+                Replacement::Const(v) => consts_cache_ref.get(nl, v),
+                Replacement::Invert(g) => nl.add_gate(GateKind::Not, vec![g]),
+            };
+            // Newly created gates need identity alias entries.
+            while alias.len() < nl.len() {
+                alias.push(GateId(alias.len() as u32));
+            }
+            alias[id.index()] = new;
+        };
+
+        enum Replacement {
+            Gate(GateId),
+            Const(bool),
+            Invert(GateId),
+        }
+
+        let simplification: Option<Replacement> = match kind {
+            GateKind::Buf => Some(Replacement::Gate(fanin[0])),
+            GateKind::Not => {
+                if netlist.gate(fanin[0]).kind == GateKind::Not {
+                    Some(Replacement::Gate(netlist.gate(fanin[0]).fanin[0]))
+                } else {
+                    None
+                }
+            }
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                let (a, b) = (fanin[0], fanin[1]);
+                let invert_out = matches!(kind, GateKind::Nand | GateKind::Nor);
+                let is_and = matches!(kind, GateKind::And | GateKind::Nand);
+                let absorbing = !is_and; // OR absorbs on 1, AND on 0
+                let one_sided = |c: bool, other: GateId| -> Replacement {
+                    if c == absorbing {
+                        // Absorbing input: result is the absorbing constant.
+                        if invert_out {
+                            Replacement::Const(!absorbing)
+                        } else {
+                            Replacement::Const(absorbing)
+                        }
+                    } else if invert_out {
+                        Replacement::Invert(other)
+                    } else {
+                        Replacement::Gate(other)
+                    }
+                };
+                match (consts[0], consts[1]) {
+                    (Some(c), None) => Some(one_sided(c, b)),
+                    (None, Some(c)) => Some(one_sided(c, a)),
+                    _ if a == b => {
+                        if invert_out {
+                            Some(Replacement::Invert(a))
+                        } else {
+                            Some(Replacement::Gate(a))
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let (a, b) = (fanin[0], fanin[1]);
+                let invert_out = kind == GateKind::Xnor;
+                match (consts[0], consts[1]) {
+                    (Some(c), None) => {
+                        if c == invert_out {
+                            Some(Replacement::Gate(b))
+                        } else {
+                            Some(Replacement::Invert(b))
+                        }
+                    }
+                    (None, Some(c)) => {
+                        if c == invert_out {
+                            Some(Replacement::Gate(a))
+                        } else {
+                            Some(Replacement::Invert(a))
+                        }
+                    }
+                    _ if a == b => Some(Replacement::Const(invert_out)),
+                    _ => None,
+                }
+            }
+            GateKind::Mux => {
+                let (s, a, b) = (fanin[0], fanin[1], fanin[2]);
+                match consts[0] {
+                    Some(false) => Some(Replacement::Gate(a)),
+                    Some(true) => Some(Replacement::Gate(b)),
+                    None if a == b => Some(Replacement::Gate(a)),
+                    // Inverted select: swap the data legs and absorb the NOT.
+                    None if netlist.gate(s).kind == GateKind::Not => {
+                        let inner = netlist.gate(s).fanin[0];
+                        netlist.gate_mut(id).fanin = vec![inner, b, a];
+                        changed = true;
+                        None
+                    }
+                    None => match (consts[1], consts[2]) {
+                        (Some(false), Some(true)) => Some(Replacement::Gate(s)),
+                        (Some(true), Some(false)) => Some(Replacement::Invert(s)),
+                        _ => None,
+                    },
+                }
+            }
+            _ => None,
+        };
+        if let Some(r) = simplification {
+            replace_with(netlist, r, &mut alias);
+            changed = true;
+        }
+    }
+
+    if changed {
+        // Rewrite all fanins and outputs through the alias map.
+        for id in netlist.ids() {
+            let fanin: Vec<GateId> = netlist.gate(id).fanin.iter().map(|&f| resolve(&alias, f)).collect();
+            netlist.gate_mut(id).fanin = fanin;
+        }
+        for i in 0..netlist.outputs().len() {
+            let drv = netlist.outputs()[i].1;
+            let r = resolve(&alias, drv);
+            if r != drv {
+                netlist.replace_output_driver(i, r);
+            }
+        }
+        // Port groups track driver gates too and must follow the aliases,
+        // or sweep_dead would see dangling ids.
+        let mut ports = std::mem::take(&mut netlist.output_ports);
+        for p in &mut ports {
+            for b in &mut p.bits {
+                *b = resolve(&alias, *b);
+            }
+        }
+        netlist.output_ports = ports;
+    }
+    changed
+}
+
+/// Structural-hashing pass merging identical gates. Returns `true` if
+/// anything changed.
+fn strash_pass(netlist: &mut Netlist) -> bool {
+    let order = match netlist.topo_order() {
+        Ok(o) => o,
+        Err(_) => return false,
+    };
+    let mut alias: Vec<GateId> = netlist.ids().collect();
+    let resolve = |alias: &[GateId], mut g: GateId| -> GateId {
+        while alias[g.index()] != g {
+            g = alias[g.index()];
+        }
+        g
+    };
+    let mut seen: HashMap<(GateKind, Vec<GateId>), GateId> = HashMap::new();
+    let mut changed = false;
+    for id in order {
+        let kind = netlist.gate(id).kind;
+        if !kind.is_logic() {
+            continue;
+        }
+        let mut fanin: Vec<GateId> = netlist.gate(id).fanin.iter().map(|&f| resolve(&alias, f)).collect();
+        // Canonicalize commutative operands.
+        if matches!(kind, GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor | GateKind::Xor | GateKind::Xnor)
+        {
+            fanin.sort();
+        }
+        match seen.get(&(kind, fanin.clone())) {
+            Some(&prev) if prev != id => {
+                alias[id.index()] = prev;
+                changed = true;
+            }
+            _ => {
+                seen.insert((kind, fanin), id);
+            }
+        }
+    }
+    if changed {
+        for id in netlist.ids() {
+            let fanin: Vec<GateId> = netlist.gate(id).fanin.iter().map(|&f| resolve(&alias, f)).collect();
+            *netlist.gate_mut(id) = Gate::new(netlist.gate(id).kind, fanin);
+        }
+        for i in 0..netlist.outputs().len() {
+            let drv = netlist.outputs()[i].1;
+            let r = resolve(&alias, drv);
+            if r != drv {
+                netlist.replace_output_driver(i, r);
+            }
+        }
+        // Port groups track driver gates too and must follow the aliases,
+        // or sweep_dead would see dangling ids.
+        let mut ports = std::mem::take(&mut netlist.output_ports);
+        for p in &mut ports {
+            for b in &mut p.bits {
+                *b = resolve(&alias, *b);
+            }
+        }
+        netlist.output_ports = ports;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_netlist::NetSim;
+
+    #[test]
+    fn constant_propagation_collapses_cone() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let zero = n.add_gate(GateKind::Const0, vec![]);
+        let and = n.add_gate(GateKind::And, vec![a, zero]);
+        let or = n.add_gate(GateKind::Or, vec![and, a]);
+        n.add_output("y", or);
+        optimize(&mut n);
+        assert_eq!(n.logic_count(), 0, "y == a");
+        assert_eq!(n.outputs()[0].1, a);
+    }
+
+    #[test]
+    fn key_gate_with_correct_constant_vanishes() {
+        // XOR(x, 0) -> x : the SWEEP/SCOPE signal.
+        let mut n = Netlist::new("t");
+        let x = n.add_input("x");
+        let k = n.add_input("k");
+        let g = n.add_gate(GateKind::Xor, vec![x, k]);
+        n.add_output("y", g);
+        let mut correct = n.clone();
+        correct.convert_input_to_const(correct.find_input("k").unwrap(), false);
+        optimize(&mut correct);
+        assert_eq!(correct.logic_count(), 0, "correct key removes the key gate");
+        let mut wrong = n.clone();
+        wrong.convert_input_to_const(wrong.find_input("k").unwrap(), true);
+        optimize(&mut wrong);
+        assert_eq!(wrong.logic_count(), 1, "wrong key leaves an inverter");
+    }
+
+    #[test]
+    fn strash_merges_duplicate_cones() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateKind::And, vec![a, b]);
+        let g2 = n.add_gate(GateKind::And, vec![b, a]);
+        let x = n.add_gate(GateKind::Xor, vec![g1, g2]);
+        n.add_output("y", x);
+        optimize(&mut n);
+        // xor(g,g) = 0 so everything folds away.
+        assert_eq!(n.logic_count(), 0);
+    }
+
+    #[test]
+    fn optimization_preserves_function() {
+        // Random-ish circuit; compare sim before/after on several patterns.
+        let mut n = Netlist::new("t");
+        let ins: Vec<GateId> = (0..6).map(|i| n.add_input(format!("i{i}"))).collect();
+        let one = n.add_gate(GateKind::Const1, vec![]);
+        let g1 = n.add_gate(GateKind::Nand, vec![ins[0], ins[1]]);
+        let g2 = n.add_gate(GateKind::Xor, vec![g1, ins[2]]);
+        let g3 = n.add_gate(GateKind::And, vec![g2, one]);
+        let g4 = n.add_gate(GateKind::Mux, vec![ins[3], g3, g1]);
+        let g5 = n.add_gate(GateKind::Nor, vec![g4, ins[4]]);
+        let g6 = n.add_gate(GateKind::Xnor, vec![g5, ins[5]]);
+        let g7 = n.add_gate(GateKind::Not, vec![g6]);
+        let g8 = n.add_gate(GateKind::Not, vec![g7]);
+        n.add_output("y", g8);
+
+        let reference = n.clone();
+        optimize(&mut n);
+        assert!(n.len() < reference.len());
+
+        let mut simr = NetSim::new(&reference).unwrap();
+        let mut simo = NetSim::new(&n).unwrap();
+        for pattern in 0..64u64 {
+            let bits: Vec<bool> = (0..6).map(|i| pattern >> i & 1 == 1).collect();
+            simr.set_inputs_bool(&bits);
+            simo.set_inputs_bool(&bits);
+            simr.eval_comb();
+            simo.eval_comb();
+            assert_eq!(simr.outputs()[0] & 1, simo.outputs()[0] & 1, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn dff_cones_survive() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let ff = n.add_gate(GateKind::Dff { init: false }, vec![a]);
+        let x = n.add_gate(GateKind::Xor, vec![ff, a]);
+        n.add_output("y", x);
+        optimize(&mut n);
+        assert_eq!(n.dffs().len(), 1);
+        assert_eq!(n.logic_count(), 1);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Nand, vec![a, b]);
+        n.add_output("y", g);
+        optimize(&mut n);
+        let snapshot = n.clone();
+        let stats = optimize(&mut n);
+        assert_eq!(n, snapshot);
+        assert_eq!(stats.gates_removed, 0);
+    }
+}

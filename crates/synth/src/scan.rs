@@ -1,0 +1,164 @@
+//! Scan-chain infrastructure (DFT).
+//!
+//! Models the paper's hybrid scan flow: RTLock inserts a *partial* scan
+//! chain at RTL (step 7), the DFT synthesis tool scans the remaining
+//! registers (step 3 of Fig. 2), the two chains are *stitched*, and the
+//! full chain is *re-ordered* to recover PPA (Section III-C).
+//!
+//! Scan cells are tracked as netlist metadata (`scan_chain`); the PPA model
+//! charges the scan-mux premium per scanned flop. The *scan view* — the
+//! combinational circuit an attacker or ATPG tool sees through scan access —
+//! is materialized by [`scan_view`].
+
+use rtlock_netlist::{GateId, Netlist};
+
+/// Adds the given flip-flops to the scan chain (in the given order).
+///
+/// # Panics
+///
+/// Panics if a gate is not a flip-flop or is already scanned.
+pub fn insert_scan(netlist: &mut Netlist, flops: &[GateId]) {
+    for &f in flops {
+        assert!(netlist.gate(f).kind.is_dff(), "{f} is not a flip-flop");
+        assert!(!netlist.scan_chain.contains(&f), "{f} already in the scan chain");
+        netlist.scan_chain.push(f);
+    }
+}
+
+/// Scans every flip-flop not yet in the chain (what the DFT synthesis tool
+/// does for the registers RTLock left unscanned). Returns how many flops
+/// were added.
+pub fn insert_full_scan(netlist: &mut Netlist) -> usize {
+    let missing: Vec<GateId> =
+        netlist.dffs().into_iter().filter(|f| !netlist.scan_chain.contains(f)).collect();
+    let n = missing.len();
+    insert_scan(netlist, &missing);
+    n
+}
+
+/// Stitches: simply concatenates `extra` after the existing chain,
+/// matching the paper's "connecting chains to build a longer chain".
+///
+/// # Panics
+///
+/// Panics if a gate is not a flip-flop or is already scanned.
+pub fn stitch(netlist: &mut Netlist, extra: &[GateId]) {
+    insert_scan(netlist, extra);
+}
+
+/// Re-orders the full chain by gate id — a proxy for placement-aware
+/// reordering by the commercial DFT compiler, which reduces routing
+/// overhead of the hybrid manual+automatic chain.
+pub fn reorder(netlist: &mut Netlist) {
+    netlist.scan_chain.sort();
+}
+
+/// The combinational circuit seen through scan access.
+#[derive(Debug, Clone)]
+pub struct ScanView {
+    /// The cut netlist: scanned flops are pseudo-PIs, their D pins
+    /// pseudo-POs. Unscanned flops remain sequential.
+    pub netlist: Netlist,
+    /// Scanned flop ids (now [`rtlock_netlist::GateKind::Input`] gates) in
+    /// chain order; these double as the pseudo-PI gate ids.
+    pub pseudo_inputs: Vec<GateId>,
+    /// Output indices (into `netlist.outputs()`) of the pseudo-POs, in
+    /// chain order.
+    pub pseudo_output_indices: Vec<usize>,
+}
+
+/// Builds the scan view of a netlist.
+///
+/// Every flop in `netlist.scan_chain` is cut: its output becomes a fresh
+/// primary input `scan_ppi_<i>`, and its D cone is exposed as an output
+/// `scan_ppo_<i>`. Gate ids are preserved (no sweep), so analyses can map
+/// between the view and the original netlist.
+pub fn scan_view(netlist: &Netlist) -> ScanView {
+    let mut view = netlist.clone();
+    let chain = view.scan_chain.clone();
+    let mut pseudo_output_indices = Vec::with_capacity(chain.len());
+    for (i, &ff) in chain.iter().enumerate() {
+        // Use the flop's register name so views of a locked and an original
+        // netlist can be aligned by name.
+        let base = netlist.gate_name(ff).map(str::to_owned).unwrap_or_else(|| format!("ff{i}"));
+        let d = view.cut_dff(ff, format!("ppi_{base}"));
+        pseudo_output_indices.push(view.outputs().len());
+        view.add_output(format!("ppo_{base}"), d);
+    }
+    view.scan_chain.clear();
+    ScanView { netlist: view, pseudo_inputs: chain, pseudo_output_indices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_netlist::{GateKind, NetSim, Netlist};
+
+    fn two_flop_pipeline() -> Netlist {
+        let mut n = Netlist::new("pipe");
+        let a = n.add_input("a");
+        let f1 = n.add_gate(GateKind::Dff { init: false }, vec![a]);
+        let inv = n.add_gate(GateKind::Not, vec![f1]);
+        let f2 = n.add_gate(GateKind::Dff { init: false }, vec![inv]);
+        n.add_output("y", f2);
+        n
+    }
+
+    #[test]
+    fn partial_then_full_scan() {
+        let mut n = two_flop_pipeline();
+        let dffs = n.dffs();
+        insert_scan(&mut n, &dffs[..1]);
+        assert_eq!(n.scan_chain.len(), 1);
+        let added = insert_full_scan(&mut n);
+        assert_eq!(added, 1);
+        assert_eq!(n.scan_chain.len(), 2);
+    }
+
+    #[test]
+    fn reorder_sorts_by_id() {
+        let mut n = two_flop_pipeline();
+        let dffs = n.dffs();
+        insert_scan(&mut n, &[dffs[1], dffs[0]]);
+        reorder(&mut n);
+        assert_eq!(n.scan_chain, dffs);
+    }
+
+    #[test]
+    fn scan_view_cuts_flops() {
+        let mut n = two_flop_pipeline();
+        insert_full_scan(&mut n);
+        let view = scan_view(&n);
+        assert_eq!(view.netlist.dffs().len(), 0, "all flops cut");
+        assert_eq!(view.pseudo_inputs.len(), 2);
+        // The view is combinational: loading ppi values yields D values at
+        // the ppos after one eval.
+        let mut sim = NetSim::new(&view.netlist).unwrap();
+        sim.set_input(view.netlist.find_input("a").unwrap(), u64::MAX);
+        sim.set_input(view.pseudo_inputs[0], 0);
+        sim.set_input(view.pseudo_inputs[1], 0);
+        sim.eval_comb();
+        let outs = sim.outputs();
+        // ppo_0 = D of f1 = a = 1 ; ppo_1 = D of f2 = !f1 = 1.
+        assert_eq!(outs[view.pseudo_output_indices[0]], u64::MAX);
+        assert_eq!(outs[view.pseudo_output_indices[1]], u64::MAX);
+    }
+
+    #[test]
+    fn partial_scan_view_keeps_unscanned_flops() {
+        let mut n = two_flop_pipeline();
+        let dffs = n.dffs();
+        insert_scan(&mut n, &dffs[..1]);
+        let view = scan_view(&n);
+        assert_eq!(view.netlist.dffs().len(), 1, "second flop still sequential");
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the scan chain")]
+    fn double_scan_rejected() {
+        let mut n = two_flop_pipeline();
+        let dffs = n.dffs();
+        insert_scan(&mut n, &dffs);
+        insert_scan(&mut n, &dffs[..1]);
+    }
+}

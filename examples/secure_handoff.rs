@@ -1,0 +1,82 @@
+//! Zero-trust hand-off (Section III-B): lock a design, wrap it in a P1735
+//! envelope for two EDA tools, and show what each party can and cannot do —
+//! the insider-threat story of Fig. 1(d).
+//!
+//! Run with: `cargo run --release --example secure_handoff`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtlock::database::DatabaseConfig;
+use rtlock::select::SelectionSpec;
+use rtlock::{lock, RtlLockConfig};
+use rtlock_p1735::envelope::{Envelope, Grant, Permissions, ToolSession};
+use rtlock_p1735::rsa::generate_keypair;
+use rtlock_rtl::parse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = parse(
+        "module royalty_counter(input clk, input rst, input tick, output reg [31:0] count);\n\
+         always @(posedge clk or posedge rst) begin\n\
+           if (rst) count <= 32'd0;\n\
+           else begin if (tick) count <= count + 32'd1; end\n\
+         end\nendmodule",
+    )?;
+
+    // The IP owner locks the design...
+    let locked = lock(
+        &module,
+        &RtlLockConfig {
+            database: DatabaseConfig { sat_probe: false, ..DatabaseConfig::default() },
+            spec: SelectionSpec { min_resilience: 20.0, max_area_pct: 60.0, min_key_bits: 8, ..SelectionSpec::default() },
+            ..RtlLockConfig::default()
+        },
+    )?;
+    println!("IP owner: locked with {} key bits (key stays in the TPM provisioning DB)", locked.key.len());
+
+    // ...and publishes tool keyrings. Two vendors are authorized:
+    let mut rng = StdRng::seed_from_u64(2024);
+    let sim_tool_keys = generate_keypair(512, &mut rng);
+    let synth_tool_keys = generate_keypair(512, &mut rng);
+    let envelope_text = locked.export_p1735(
+        &[
+            Grant {
+                tool: "SimTool-2026".into(),
+                public_key: sim_tool_keys.public.clone(),
+                permissions: Permissions::simulation_only(),
+            },
+            Grant {
+                tool: "SynthTool-2026".into(),
+                public_key: synth_tool_keys.public.clone(),
+                permissions: Permissions::simulation_only(),
+            },
+        ],
+        &mut rng,
+    );
+    println!("\nenvelope preview:");
+    for line in envelope_text.lines().take(6) {
+        println!("  {line}");
+    }
+    assert!(!envelope_text.contains("lock_key"), "locked RTL is not visible in the envelope");
+
+    // The verification engineer receives only ciphertext...
+    println!("\nverification engineer: sees {} bytes of pragma-protected text, no RTL", envelope_text.len());
+
+    // ...and feeds it to an authorized tool, which can simulate internally.
+    let envelope = Envelope::parse(&envelope_text)?;
+    println!("rights block lists tools: {:?}", envelope.authorized_tools());
+    let sim_tool = ToolSession { tool: "SimTool-2026".into(), private_key: sim_tool_keys.private };
+    let ip = sim_tool.open(&envelope)?;
+    println!("SimTool-2026 opened the IP: fingerprint {}", &ip.source_digest()[..16]);
+    let parses = ip.with_source(|src| rtlock_rtl::parse(src).is_ok());
+    println!("SimTool-2026 can parse/simulate internally: {parses}");
+
+    // A rogue tool (insider with the envelope but no vendor key) fails.
+    let rogue_keys = generate_keypair(512, &mut rng);
+    let rogue = ToolSession { tool: "SimTool-2026".into(), private_key: rogue_keys.private };
+    println!("rogue tool with a forged identity: {:?}", rogue.open(&envelope).unwrap_err());
+
+    // Even the authorized tool never exposes the locking key: the design it
+    // holds is the *locked* RTL; activation still needs the TPM key.
+    println!("\neven inside the tool, the IP is locked: key length {}", locked.key.len());
+    Ok(())
+}

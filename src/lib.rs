@@ -1,0 +1,11 @@
+//! Meta-crate re-exporting every crate of the RTLock reproduction workspace.
+pub use rtlock;
+pub use rtlock_atpg as atpg;
+pub use rtlock_attacks as attacks;
+pub use rtlock_designs as designs;
+pub use rtlock_ilp as ilp;
+pub use rtlock_netlist as netlist;
+pub use rtlock_p1735 as p1735;
+pub use rtlock_rtl as rtl;
+pub use rtlock_sat as sat;
+pub use rtlock_synth as synth;

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: the full RTLock pipeline on real
+//! benchmark designs, exercised the way the paper's evaluation does.
+
+use rtlock_repro::attacks::{sat_attack, AttackConfig, AttackOutcome};
+use rtlock_repro::atpg::{run_atpg, AtpgConfig};
+use rtlock_repro::rtl::sim::Simulator;
+use rtlock_repro::rtlock::baselines::{lock_baseline, BaselineKind};
+use rtlock_repro::rtlock::database::DatabaseConfig;
+use rtlock_repro::rtlock::select::SelectionSpec;
+use rtlock_repro::rtlock::verify::cosim_mismatch_rate;
+use rtlock_repro::rtlock::{lock, AttackSurface, RtlLockConfig};
+use rtlock_repro::synth::{elaborate, optimize, scan, scan_view};
+use std::time::Duration;
+
+fn quick_config(with_scan: bool) -> RtlLockConfig {
+    RtlLockConfig {
+        database: DatabaseConfig {
+            sat_probe: false,
+            ml_probe: false,
+            cosim_cycles: 16,
+            corruption_samples: 1,
+            ..DatabaseConfig::default()
+        },
+        spec: SelectionSpec {
+            min_resilience: 120.0,
+            max_area_pct: 40.0,
+            min_key_bits: 8,
+            ..SelectionSpec::default()
+        },
+        scan: if with_scan { Some(Default::default()) } else { None },
+        verify_cycles: 24,
+        ..RtlLockConfig::default()
+    }
+}
+
+#[test]
+fn lock_b05_and_recover_key_with_sat_attack() {
+    let module = rtlock_designs::by_name("b05").expect("catalog").module().expect("parses");
+    let locked = lock(&module, &quick_config(false)).expect("locks");
+    assert!(locked.key.len() >= 8);
+    match locked.attack_surface(None).expect("surface") {
+        AttackSurface::CombinationalViews { locked: lv, original: ov } => {
+            let out = sat_attack(
+                &lv,
+                &ov,
+                &AttackConfig { max_iterations: 50_000, timeout: Some(Duration::from_secs(60)) },
+            );
+            match out {
+                AttackOutcome::KeyFound { key, .. } => {
+                    // Recovered key must be functionally correct at RTL.
+                    let rate = cosim_mismatch_rate(&locked.original, &locked.locked, &key, 40, 9);
+                    assert_eq!(rate, 0.0, "SAT-recovered key must unlock the design");
+                }
+                other => panic!("attack should finish on this size: {other:?}"),
+            }
+        }
+        other => panic!("expected comb views without scan locking: {other:?}"),
+    }
+}
+
+#[test]
+fn scan_locking_blocks_the_sat_attack_path() {
+    let module = rtlock_designs::by_name("b05").expect("catalog").module().expect("parses");
+    let locked = lock(&module, &quick_config(true)).expect("locks");
+    let policy = locked.scan_policy.clone().expect("scan locked");
+    assert!(matches!(
+        locked.attack_surface(None).expect("surface"),
+        AttackSurface::SequentialOnly { .. }
+    ));
+    assert!(matches!(
+        locked.attack_surface(Some(&policy.scan_key)).expect("surface"),
+        AttackSurface::CombinationalViews { .. }
+    ));
+}
+
+#[test]
+fn locked_fibo_still_computes_fibonacci_with_the_key() {
+    use rtlock_repro::rtl::Bv;
+    let module = rtlock_designs::by_name("fibo").expect("catalog").module().expect("parses");
+    let locked = lock(&module, &quick_config(false)).expect("locks");
+    let mut sim = Simulator::new(&locked.locked);
+    sim.set_by_name("rst", Bv::from_bool(true));
+    sim.reset().expect("simulates");
+    sim.set_by_name("rst", Bv::from_bool(false));
+    for (port, value) in rtlock_repro::rtlock::verify::key_port_values(&locked.locked, &locked.key) {
+        sim.set_by_name(&port, value);
+    }
+    sim.set_by_name("n", Bv::from_u64(8, 12));
+    sim.set_by_name("start", Bv::from_bool(true));
+    sim.step().expect("simulates");
+    sim.set_by_name("start", Bv::from_bool(false));
+    for _ in 0..20 {
+        sim.step().expect("simulates");
+        if sim.get_by_name("ready").to_u64_lossy() == 1 {
+            break;
+        }
+    }
+    assert_eq!(sim.get_by_name("fib").to_u64_lossy(), 144, "F(12) with the correct key");
+}
+
+#[test]
+fn baseline_and_rtlock_coexist_on_one_design() {
+    let module = rtlock_designs::by_name("b05").expect("catalog").module().expect("parses");
+    let mut original = elaborate(&module).expect("synthesizes");
+    optimize(&mut original);
+    for kind in [BaselineKind::Rnd, BaselineKind::Iolts] {
+        let locked = lock_baseline(&original, kind, 12.0, 48, 5);
+        assert!(rtlock_repro::rtlock::baselines::baseline_is_sound(&locked, &original, 32, 1));
+    }
+}
+
+#[test]
+fn atpg_covers_a_locked_scan_view() {
+    let module = rtlock_designs::by_name("b05").expect("catalog").module().expect("parses");
+    let locked = lock(&module, &quick_config(true)).expect("locks");
+    let mut netlist = locked.locked_netlist().expect("synthesizes");
+    scan::insert_full_scan(&mut netlist);
+    let mut view = scan_view(&netlist).netlist;
+    rtlock_repro::rtlock::transforms::mark_key_inputs(&mut view);
+    let dummy: Vec<bool> = locked.key.iter().map(|b| !b).collect();
+    let report = run_atpg(&view, &[dummy], &AtpgConfig { random_blocks: 8, ..AtpgConfig::default() });
+    assert!(report.fault_coverage() > 0.85, "fault coverage {}", report.fault_coverage());
+    assert!(report.test_coverage() > 0.9, "test coverage {}", report.test_coverage());
+    assert!(!report.patterns.is_empty());
+}
+
+#[test]
+fn p1735_round_trip_preserves_the_locked_design() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rtlock_repro::p1735::envelope::{Envelope, Grant, Permissions, ToolSession};
+    use rtlock_repro::p1735::rsa::generate_keypair;
+
+    let module = rtlock_designs::by_name("b05").expect("catalog").module().expect("parses");
+    let locked = lock(&module, &quick_config(false)).expect("locks");
+    let mut rng = StdRng::seed_from_u64(77);
+    let kp = generate_keypair(512, &mut rng);
+    let text = locked.export_p1735(
+        &[Grant { tool: "T".into(), public_key: kp.public, permissions: Permissions::simulation_only() }],
+        &mut rng,
+    );
+    let env = Envelope::parse(&text).expect("parses");
+    let tool = ToolSession { tool: "T".into(), private_key: kp.private };
+    let ip = tool.open(&env).expect("authorized");
+    let same = ip.with_source(|src| src == rtlock_repro::rtl::print(&locked.locked));
+    assert!(same, "decrypted IP is byte-identical to the exported locked RTL");
+    let parses = ip.with_source(|src| rtlock_repro::rtl::parse(src).is_ok());
+    assert!(parses, "and the tool can parse it internally");
+}
+
+#[test]
+fn bench_export_round_trips_through_the_interchange_format() {
+    use rtlock_repro::netlist::NetSim;
+    let module = rtlock_designs::by_name("b05").expect("catalog").module().expect("parses");
+    let locked = lock(&module, &quick_config(false)).expect("locks");
+    // Export the combinational scan view (what external attack tools eat).
+    let mut n = locked.locked_netlist().expect("synthesizes");
+    rtlock_repro::synth::scan::insert_full_scan(&mut n);
+    let view = rtlock_repro::synth::scan_view(&n).netlist;
+    let text = rtlock_repro::netlist::to_bench(&view);
+    assert!(text.contains("INPUT(keyinput0)"), "external-tool key convention");
+    let back = rtlock_repro::netlist::from_bench(&text).expect("re-imports");
+    assert_eq!(back.key_inputs.len(), locked.key.len());
+    assert_eq!(back.inputs().len(), view.inputs().len());
+    assert_eq!(back.outputs().len(), view.outputs().len());
+    // Functional equivalence by input/output order (names are sanitized by
+    // the interchange format).
+    let mut s1 = NetSim::new(&view).expect("acyclic");
+    let mut s2 = NetSim::new(&back).expect("acyclic");
+    let mut seed = 0x5EEDu64;
+    for _ in 0..8 {
+        for (i, (&g1, &g2)) in view.inputs().iter().zip(back.inputs()).enumerate() {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let w = seed.wrapping_add(i as u64);
+            s1.set_input(g1, w);
+            s2.set_input(g2, w);
+        }
+        s1.eval_comb();
+        s2.eval_comb();
+        assert_eq!(s1.outputs(), s2.outputs(), "round-trip must be functionally identical");
+    }
+}

@@ -1,0 +1,193 @@
+//! Cross-crate property-based tests (proptest): core invariants that must
+//! hold for arbitrary inputs, not just the unit-test corpus.
+
+use proptest::prelude::*;
+use rtlock_repro::netlist::{GateKind, NetSim, Netlist};
+use rtlock_repro::rtl::bv::Bv;
+use rtlock_repro::sat::{SolveResult, Solver, Var};
+use rtlock_repro::synth::optimize;
+
+// ---- Bv arithmetic agrees with u128 reference semantics ----------------
+
+proptest! {
+    #[test]
+    fn bv_add_matches_u128(a in any::<u64>(), b in any::<u64>(), width in 1usize..64) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let x = Bv::from_u64(width, a);
+        let y = Bv::from_u64(width, b);
+        let expect = (a & mask).wrapping_add(b & mask) & mask;
+        prop_assert_eq!(x.add(&y).to_u64_lossy(), expect);
+    }
+
+    #[test]
+    fn bv_sub_then_add_round_trips(a in any::<u64>(), b in any::<u64>(), width in 1usize..64) {
+        let x = Bv::from_u64(width, a);
+        let y = Bv::from_u64(width, b);
+        prop_assert_eq!(x.sub(&y).add(&y), x);
+    }
+
+    #[test]
+    fn bv_mul_matches_u128(a in any::<u32>(), b in any::<u32>(), width in 1usize..33) {
+        let x = Bv::from_u64(width, a as u64);
+        let y = Bv::from_u64(width, b as u64);
+        let mask = (1u64 << width) - 1;
+        let expect = ((a as u64 & mask) as u128 * (b as u64 & mask) as u128) as u64 & mask;
+        prop_assert_eq!(x.mul(&y).to_u64_lossy(), expect);
+    }
+
+    #[test]
+    fn bv_slice_concat_identity(v in any::<u64>(), width in 2usize..64, cut in 1usize..63) {
+        prop_assume!(cut < width);
+        let x = Bv::from_u64(width, v);
+        let hi = x.slice(width - 1, cut);
+        let lo = x.slice(cut - 1, 0);
+        prop_assert_eq!(hi.concat(&lo), x);
+    }
+
+    #[test]
+    fn bv_shift_inverse(v in any::<u64>(), width in 1usize..64, n in 0usize..16) {
+        prop_assume!(n < width);
+        let x = Bv::from_u64(width, v);
+        // (x << n) >> n clears the top n bits only.
+        let round = x.shl(n).shr(n);
+        let expect = x.and(&Bv::ones(width).shr(n));
+        prop_assert_eq!(round, expect);
+    }
+
+    #[test]
+    fn bv_binary_string_round_trip(v in any::<u64>(), width in 1usize..64) {
+        let x = Bv::from_u64(width, v);
+        let s = format!("{x}");
+        let digits = s.split_once("'b").expect("prefixed").1;
+        prop_assert_eq!(Bv::from_binary_str(digits).expect("parses"), x);
+    }
+}
+
+// ---- optimizer preserves combinational function -------------------------
+
+/// Builds a random DAG netlist from a seed byte stream.
+fn random_netlist(ops: &[u8]) -> Netlist {
+    let mut n = Netlist::new("prop");
+    let mut nets = vec![n.add_input("a"), n.add_input("b"), n.add_input("c"), n.add_input("d")];
+    let zero = n.add_gate(GateKind::Const0, vec![]);
+    let one = n.add_gate(GateKind::Const1, vec![]);
+    nets.push(zero);
+    nets.push(one);
+    for (i, &op) in ops.iter().enumerate() {
+        let a = nets[(op as usize / 7) % nets.len()];
+        let b = nets[(op as usize * 13 + i) % nets.len()];
+        let s = nets[(op as usize * 31 + i * 3) % nets.len()];
+        let kind = match op % 10 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Xor,
+            3 => GateKind::Nand,
+            4 => GateKind::Nor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Not,
+            7 => GateKind::Buf,
+            _ => GateKind::Mux,
+        };
+        let g = match kind {
+            GateKind::Not | GateKind::Buf => n.add_gate(kind, vec![a]),
+            GateKind::Mux => n.add_gate(kind, vec![s, a, b]),
+            _ => n.add_gate(kind, vec![a, b]),
+        };
+        nets.push(g);
+    }
+    n.add_output("y0", *nets.last().expect("non-empty"));
+    n.add_output("y1", nets[nets.len() / 2]);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn optimize_preserves_function(ops in proptest::collection::vec(any::<u8>(), 1..40)) {
+        let reference = random_netlist(&ops);
+        let mut optimized = reference.clone();
+        optimize(&mut optimized);
+        let mut sim_r = NetSim::new(&reference).expect("acyclic");
+        let mut sim_o = NetSim::new(&optimized).expect("acyclic");
+        for pattern in 0..16u64 {
+            let bits: Vec<bool> = (0..4).map(|i| pattern >> i & 1 == 1).collect();
+            sim_r.set_inputs_bool(&bits);
+            sim_o.set_inputs_bool(&bits);
+            sim_r.eval_comb();
+            sim_o.eval_comb();
+            prop_assert_eq!(sim_r.outputs()[0] & 1, sim_o.outputs()[0] & 1);
+            prop_assert_eq!(sim_r.outputs()[1] & 1, sim_o.outputs()[1] & 1);
+        }
+    }
+}
+
+// ---- SAT solver models satisfy the clauses ------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn solver_models_satisfy_clauses(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((1i32..9, any::<bool>()), 1..4),
+            1..24,
+        )
+    ) {
+        let mut solver = Solver::new();
+        let dimacs: Vec<Vec<i32>> = clauses
+            .iter()
+            .map(|c| c.iter().map(|&(v, pos)| if pos { v } else { -v }).collect())
+            .collect();
+        for c in &dimacs {
+            solver.add_dimacs_clause(c);
+        }
+        if solver.solve(&[]) == SolveResult::Sat {
+            for c in &dimacs {
+                let ok = c.iter().any(|&l| {
+                    let val = solver.value(Var(l.unsigned_abs() - 1)).unwrap_or(false);
+                    (l > 0) == val
+                });
+                prop_assert!(ok, "model violates {c:?}");
+            }
+        } else {
+            // UNSAT must be stable under re-solving.
+            prop_assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+        }
+    }
+}
+
+// ---- parser/printer round trip on generated expressions -----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn print_parse_round_trip_preserves_semantics(seed in any::<u64>(), stimuli in proptest::collection::vec(any::<u64>(), 4)) {
+        use rtlock_repro::rtl::{parse, print, sim::Simulator};
+        // Generate a random expression source deterministically from `seed`.
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        let mut expr = String::from("a");
+        for _ in 0..(seed % 6 + 1) {
+            let op = ["+", "-", "&", "|", "^", "*", ">>", "<<"][(next() % 8) as usize];
+            let rhs = match next() % 3 {
+                0 => "b".to_string(),
+                1 => format!("8'd{}", next() % 256),
+                _ => format!("(a ^ 8'd{})", next() % 256),
+            };
+            expr = format!("({expr} {op} {rhs})");
+        }
+        let src = format!("module p(input [7:0] a, input [7:0] b, output [7:0] y); assign y = {expr}; endmodule");
+        let m1 = parse(&src).expect("generated source parses");
+        let m2 = parse(&print(&m1)).expect("printed source re-parses");
+        let mut s1 = Simulator::new(&m1);
+        let mut s2 = Simulator::new(&m2);
+        for &v in &stimuli {
+            s1.set_by_name("a", Bv::from_u64(8, v));
+            s1.set_by_name("b", Bv::from_u64(8, v >> 8));
+            s2.set_by_name("a", Bv::from_u64(8, v));
+            s2.set_by_name("b", Bv::from_u64(8, v >> 8));
+            s1.settle().expect("settles");
+            s2.settle().expect("settles");
+            prop_assert_eq!(s1.get_by_name("y"), s2.get_by_name("y"));
+        }
+    }
+}
