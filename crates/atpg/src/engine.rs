@@ -11,6 +11,7 @@ use crate::faults::enumerate_faults;
 use crate::podem::{Podem, PodemConfig, PodemResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rtlock_governor::CancelToken;
 use rtlock_netlist::{GateId, Netlist};
 
 /// Engine configuration.
@@ -22,11 +23,21 @@ pub struct AtpgConfig {
     pub max_backtracks: usize,
     /// PRNG seed.
     pub seed: u64,
+    /// Cooperative stop signal, polled between pattern blocks and between
+    /// PODEM faults. When it fires the engine returns the coverage
+    /// achieved so far with [`AtpgReport::aborted_early`] set; undetected
+    /// faults count as aborted, never silently as untestable.
+    pub cancel: CancelToken,
 }
 
 impl Default for AtpgConfig {
     fn default() -> Self {
-        AtpgConfig { random_blocks: 16, max_backtracks: 2_000, seed: 0xA7B6 }
+        AtpgConfig {
+            random_blocks: 16,
+            max_backtracks: 2_000,
+            seed: 0xA7B6,
+            cancel: CancelToken::unlimited(),
+        }
     }
 }
 
@@ -43,6 +54,11 @@ pub struct AtpgReport {
     pub untestable: usize,
     /// Faults aborted (backtrack limit) and not otherwise detected.
     pub aborted: usize,
+    /// `true` when the engine stopped early on its [`AtpgConfig::cancel`]
+    /// token. Coverage numbers then reflect only the work completed;
+    /// callers should treat them as a lower bound (and may fall back to
+    /// SCOAP testability estimates).
+    pub aborted_early: bool,
 }
 
 impl AtpgReport {
@@ -95,13 +111,18 @@ pub fn run_atpg(netlist: &Netlist, key_constraint_sets: &[Vec<bool>], config: &A
     let mut patterns: Vec<Vec<bool>> = Vec::new();
     let inputs = netlist.inputs().to_vec();
 
-    for set in &sets {
+    let mut aborted_early = false;
+    'sets: for set in &sets {
         let fixed: Vec<(GateId, bool)> = match set {
             Some(values) => keys.iter().copied().zip(values.iter().copied()).collect(),
             None => Vec::new(),
         };
         // Random phase.
         for _ in 0..config.random_blocks {
+            if config.cancel.should_stop().is_some() {
+                aborted_early = true;
+                break 'sets;
+            }
             if alive.iter().all(|a| !a) {
                 break;
             }
@@ -140,6 +161,10 @@ pub fn run_atpg(netlist: &Netlist, key_constraint_sets: &[Vec<bool>], config: &A
         // Deterministic phase.
         let podem = Podem::new(netlist, &fixed, PodemConfig { max_backtracks: config.max_backtracks });
         for fi in 0..total {
+            if config.cancel.should_stop().is_some() {
+                aborted_early = true;
+                break 'sets;
+            }
             if !alive[fi] {
                 continue;
             }
@@ -169,7 +194,7 @@ pub fn run_atpg(netlist: &Netlist, key_constraint_sets: &[Vec<bool>], config: &A
     let aborted = (0..total)
         .filter(|&fi| alive[fi] && untestable_votes[fi] < sets.len())
         .count();
-    AtpgReport { patterns, total_faults: total, detected, untestable, aborted }
+    AtpgReport { patterns, total_faults: total, detected, untestable, aborted, aborted_early }
 }
 
 #[cfg(test)]
@@ -259,8 +284,34 @@ mod tests {
 
     #[test]
     fn coverage_metrics_consistent() {
-        let r = AtpgReport { patterns: vec![], total_faults: 10, detected: 8, untestable: 2, aborted: 0 };
+        let r = AtpgReport {
+            patterns: vec![],
+            total_faults: 10,
+            detected: 8,
+            untestable: 2,
+            aborted: 0,
+            aborted_early: false,
+        };
         assert!((r.fault_coverage() - 0.8).abs() < 1e-12);
         assert!((r.test_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_structured_report() {
+        use rtlock_governor::{CancelToken, Deadline};
+        let n = adder();
+        let cfg = AtpgConfig {
+            cancel: CancelToken::with_deadline(Deadline::after(std::time::Duration::ZERO)),
+            ..AtpgConfig::default()
+        };
+        let report = run_atpg(&n, &[], &cfg);
+        assert!(report.aborted_early);
+        assert_eq!(report.detected, 0);
+        assert_eq!(report.untestable, 0, "no fault may be called untestable on an aborted run");
+        assert_eq!(report.aborted, report.total_faults);
+        // Same netlist, unlimited budget: full coverage (sanity link).
+        let full = run_atpg(&n, &[], &AtpgConfig::default());
+        assert!(!full.aborted_early);
+        assert!(full.fault_coverage() > report.fault_coverage());
     }
 }

@@ -349,7 +349,7 @@ fn eval3(kind: GateKind, ins: &[Option<bool>]) -> Option<bool> {
     let all_known = ins.iter().all(|v| v.is_some());
     match kind {
         GateKind::And | GateKind::Nand => {
-            let any0 = ins.iter().any(|v| *v == Some(false));
+            let any0 = ins.contains(&Some(false));
             let base = if any0 {
                 Some(false)
             } else if all_known {
@@ -360,7 +360,7 @@ fn eval3(kind: GateKind, ins: &[Option<bool>]) -> Option<bool> {
             base.map(|b| if kind == GateKind::Nand { !b } else { b })
         }
         GateKind::Or | GateKind::Nor => {
-            let any1 = ins.iter().any(|v| *v == Some(true));
+            let any1 = ins.contains(&Some(true));
             let base = if any1 {
                 Some(true)
             } else if all_known {

@@ -13,6 +13,7 @@
 
 use crate::oracle::SeqOracle;
 use crate::sat_attack::AttackOutcome;
+use rtlock_governor::Deadline;
 use rtlock_netlist::{CnfBuilder, GateId, GateKind, Netlist};
 use rtlock_sat::{Budget, Lit, SolveResult, Solver, Var};
 use std::time::{Duration, Instant};
@@ -85,6 +86,10 @@ fn unroll(
     frames
 }
 
+/// One oracle observation: the per-cycle input trace and the matching
+/// per-cycle named output trace.
+type Observation = (Vec<Vec<bool>>, Vec<Vec<(String, bool)>>);
+
 /// Runs the BMC attack on a sequential locked netlist against the unlocked
 /// `original` (matched by input/output names).
 pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> AttackOutcome {
@@ -95,11 +100,11 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
     let oracle = SeqOracle::new(original);
     let data_inputs: Vec<GateId> =
         locked.inputs().iter().copied().filter(|g| !locked.key_inputs.contains(g)).collect();
-    let deadline = config.timeout.map(|t| start + t);
+    let deadline = Deadline::within(config.timeout);
 
     let mut iterations = 0usize;
     // Accumulated oracle observations: (input trace, output trace).
-    let mut observations: Vec<(Vec<Vec<bool>>, Vec<Vec<(String, bool)>>)> = Vec::new();
+    let mut observations: Vec<Observation> = Vec::new();
 
     let mut depth = config.initial_depth;
     while depth <= config.max_depth {
@@ -133,12 +138,10 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
         sync(&mut cnf, &mut solver, &mut drained);
 
         loop {
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
-                }
+            if deadline.expired() {
+                return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
             }
-            solver.set_budget(Budget { deadline, ..Budget::unlimited() });
+            solver.set_budget(Budget::until(deadline));
             match solver.solve(&[Lit::from_dimacs(act)]) {
                 SolveResult::Unknown => {
                     return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() }

@@ -131,8 +131,9 @@ fn solve_linear<const D: usize>(mut a: [[f64; D]; D], mut b: [f64; D]) -> [f64; 
                 continue;
             }
             let factor = a[r][col] / p;
-            for c in 0..D {
-                a[r][c] -= factor * a[col][c];
+            let pivot_row = a[col];
+            for (rc, pc) in a[r].iter_mut().zip(pivot_row) {
+                *rc -= factor * pc;
             }
             b[r] -= factor * b[col];
         }

@@ -148,7 +148,7 @@ mod tests {
         let out = oracle.query(&[("a".into(), true), ("b".into(), false)]);
         assert_eq!(out, vec![("y".to_string(), true)]);
         let out = oracle.query(&[("b".into(), true), ("a".into(), true)]);
-        assert_eq!(out[0].1, false);
+        assert!(!out[0].1);
     }
 
     #[test]
@@ -174,8 +174,8 @@ mod tests {
             vec![vec![("en".into(), true)], vec![("en".into(), true)], vec![("en".into(), false)]];
         let outs = oracle.run(&trace);
         // Pre-edge sampling: q starts at 0, toggles after each en=1 cycle.
-        assert_eq!(outs[0][0].1, false);
-        assert_eq!(outs[1][0].1, true);
-        assert_eq!(outs[2][0].1, false);
+        assert!(!outs[0][0].1);
+        assert!(outs[1][0].1);
+        assert!(!outs[2][0].1);
     }
 }

@@ -14,6 +14,7 @@
 //! scan locking provides.
 
 use crate::oracle::CombOracle;
+use rtlock_governor::Deadline;
 use rtlock_netlist::{CnfBuilder, GateId, Netlist};
 use rtlock_sat::{Budget, Lit, SolveResult, Solver};
 use std::time::{Duration, Instant};
@@ -141,10 +142,10 @@ pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -
 
     sync(&mut cnf, &mut solver, &mut drained);
 
-    let deadline = config.timeout.map(|t| start + t);
+    let deadline = Deadline::within(config.timeout);
     let mut iterations = 0usize;
     loop {
-        solver.set_budget(Budget { deadline, ..Budget::unlimited() });
+        solver.set_budget(Budget::until(deadline));
         let res = solver.solve(&[Lit::from_dimacs(act)]);
         match res {
             SolveResult::Unknown => {
@@ -206,10 +207,8 @@ pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -
                 sync(&mut cnf, &mut solver, &mut drained);
             }
         }
-        if let Some(d) = deadline {
-            if Instant::now() >= d {
-                return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
-            }
+        if deadline.expired() {
+            return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
         }
     }
 }

@@ -39,7 +39,7 @@ fn comb_views(locked: &Netlist, original: &Netlist) -> (Netlist, Netlist) {
 fn main() {
     println!("Table III: SAT attack time at the same (15%) area overhead");
     println!("timeout = {} s per attack (RTLOCK_TIMEOUT_SECS to change)\n", attack_timeout().as_secs());
-    println!("{:<8} {:<9} {:>5}  {}", "circuit", "method", "||k||", "attack time");
+    println!("{:<8} {:<9} {:>5}  attack time", "circuit", "method", "||k||");
     for name in selected_designs() {
         let (module, original) = prepare(&name);
         for kind in BaselineKind::all() {

@@ -49,8 +49,11 @@ pub mod paper {
         ("RTLock*", 52.9, 50.9),
     ];
 
-    /// Table V paper rows: (design, tc1 %, fc1 %, pat1, tcN %, fcN %, patN, sets).
-    pub const TABLE5: [(&str, f64, f64, u32, f64, f64, u32, u32); 6] = [
+    /// One Table V row: (design, tc1 %, fc1 %, pat1, tcN %, fcN %, patN, sets).
+    pub type Table5Row = (&'static str, f64, f64, u32, f64, f64, u32, u32);
+
+    /// Table V paper rows.
+    pub const TABLE5: [Table5Row; 6] = [
         ("aes128", 99.97, 96.21, 705, 99.99, 99.25, 274, 2),
         ("sha1", 99.24, 96.63, 356, 99.91, 99.88, 193, 3),
         ("fibo", 99.80, 96.83, 251, 99.97, 97.87, 183, 2),

@@ -193,107 +193,138 @@ impl Default for EnumConfig {
 /// Returns the candidate list and the extracted FSMs (transforms need
 /// them).
 pub fn enumerate(module: &Module, config: &EnumConfig) -> (Vec<Candidate>, Vec<Fsm>) {
+    let (candidates, fsms, _) =
+        enumerate_bounded(module, config, &rtlock_governor::CancelToken::unlimited());
+    (candidates, fsms)
+}
+
+/// Budget-aware enumeration: polls `cancel` between enumeration phases and
+/// candidate sites and stops adding once it fires. Whatever was collected
+/// so far is returned; the final `bool` is `false` when the list was cut
+/// short.
+pub fn enumerate_bounded(
+    module: &Module,
+    config: &EnumConfig,
+    cancel: &rtlock_governor::CancelToken,
+) -> (Vec<Candidate>, Vec<Fsm>, bool) {
     let cdfg = Cdfg::build(module);
     let fsms = fsm::extract(module);
     let mut out = Vec::new();
+    let mut complete = true;
 
-    // Constants: two cases (modes) per point. State-encoding constants
-    // inside an FSM's transition process are excluded — those belong to
-    // the FSM locking flavors and must stay structurally recognizable.
-    let is_state_const = |loc: &SiteLoc, value: &Bv| -> bool {
-        fsms.iter().any(|f| {
-            matches!(loc, SiteLoc::Proc { index } if *index == f.case_proc)
-                && value.width() == f.state_width(module)
-                && f.states.contains(value)
-        })
-    };
-    for site in cdfg.consts.iter().filter(|s| !is_state_const(&s.loc, &s.value)).take(config.max_constants) {
-        let key_bits = site.value.width().min(config.max_const_key_bits);
-        for mode in [ConstMode::XorMask, ConstMode::Substitute] {
-            out.push(Candidate::Constant {
-                loc: site.loc,
-                ordinal: site.ordinal,
-                value: site.value.clone(),
-                mode,
-                key_bits: if mode == ConstMode::Substitute { site.value.width().min(config.max_const_key_bits) } else { key_bits },
-            });
-        }
-    }
-
-    // Arithmetic ops with a defined pairing.
-    let mut arith_seen = 0usize;
-    for site in &cdfg.ops {
-        if arith_seen >= config.max_arith {
-            break;
-        }
-        if let Some(pair) = paired_op(site.op) {
-            if site.op.is_arith() || matches!(site.op, BinaryOp::And | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Xnor)
-            {
-                out.push(Candidate::Arithmetic { loc: site.loc, ordinal: site.ordinal, op: site.op, pair });
-                arith_seen += 1;
+    'collect: {
+        // Constants: two cases (modes) per point. State-encoding constants
+        // inside an FSM's transition process are excluded — those belong to
+        // the FSM locking flavors and must stay structurally recognizable.
+        let is_state_const = |loc: &SiteLoc, value: &Bv| -> bool {
+            fsms.iter().any(|f| {
+                matches!(loc, SiteLoc::Proc { index } if *index == f.case_proc)
+                    && value.width() == f.state_width(module)
+                    && f.states.contains(value)
+            })
+        };
+        for site in
+            cdfg.consts.iter().filter(|s| !is_state_const(&s.loc, &s.value)).take(config.max_constants)
+        {
+            if cancel.should_stop().is_some() {
+                complete = false;
+                break 'collect;
             }
-        }
-    }
-
-    // FSM flavors.
-    for (fi, f) in fsms.iter().enumerate() {
-        if f.initial.is_some() {
-            out.push(Candidate::Fsm { fsm_index: fi, kind: FsmLockKind::InitLock });
-        }
-        // Incorrect transitions: for each (from, to), pick a wrong
-        // destination = another known state.
-        for t in &f.transitions {
-            if let Some(wrong) = f.states.iter().find(|s| **s != t.to && Some(*s) != f.initial.as_ref()) {
-                out.push(Candidate::Fsm {
-                    fsm_index: fi,
-                    kind: FsmLockKind::IncorrectTransition {
-                        from: t.from.clone(),
-                        to: t.to.clone(),
-                        wrong: wrong.clone(),
-                    },
+            let key_bits = site.value.width().min(config.max_const_key_bits);
+            for mode in [ConstMode::XorMask, ConstMode::Substitute] {
+                out.push(Candidate::Constant {
+                    loc: site.loc,
+                    ordinal: site.ordinal,
+                    value: site.value.clone(),
+                    mode,
+                    key_bits: if mode == ConstMode::Substitute { site.value.width().min(config.max_const_key_bits) } else { key_bits },
                 });
             }
         }
-        // Skip: states with an unconditional successor.
-        for s in &f.states {
-            let succ = f.successors(s);
-            if succ.len() == 1 && !succ[0].guarded && Some(s) != f.initial.as_ref() {
-                out.push(Candidate::Fsm {
-                    fsm_index: fi,
-                    kind: FsmLockKind::SkipState { skipped: s.clone(), lands: succ[0].to.clone() },
-                });
+
+        // Arithmetic ops with a defined pairing.
+        let mut arith_seen = 0usize;
+        for site in &cdfg.ops {
+            if arith_seen >= config.max_arith {
+                break;
             }
-        }
-        // Bypass: needs a spare encoding.
-        let width = f.state_width(module);
-        if f.states.len() < 1usize << width.min(20) {
-            let mut enc = 0u64;
-            let fake = loop {
-                let cand = Bv::from_u64(width, enc);
-                if !f.states.contains(&cand) {
-                    break cand;
+            if cancel.should_stop().is_some() {
+                complete = false;
+                break 'collect;
+            }
+            if let Some(pair) = paired_op(site.op) {
+                if site.op.is_arith() || matches!(site.op, BinaryOp::And | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Xnor)
+                {
+                    out.push(Candidate::Arithmetic { loc: site.loc, ordinal: site.ordinal, op: site.op, pair });
+                    arith_seen += 1;
                 }
-                enc += 1;
-            };
-            if let Some(t) = f.transitions.iter().find(|t| t.from != t.to) {
-                out.push(Candidate::Fsm {
-                    fsm_index: fi,
-                    kind: FsmLockKind::BypassState { fake, detoured: t.to.clone() },
-                });
             }
         }
-        // Inherent signals: non-state assignments inside the seq process
-        // that owns the state register.
-        for (pi, p) in module.procs.iter().enumerate() {
-            if !matches!(p.kind, rtlock_rtl::ProcessKind::Seq { .. }) {
-                continue;
+
+        // FSM flavors.
+        for (fi, f) in fsms.iter().enumerate() {
+            if cancel.should_stop().is_some() {
+                complete = false;
+                break 'collect;
             }
-            let mut ordinal = 0usize;
-            collect_signal_assigns(&p.body, f, module, pi, &mut ordinal, &mut out, fi);
+            if f.initial.is_some() {
+                out.push(Candidate::Fsm { fsm_index: fi, kind: FsmLockKind::InitLock });
+            }
+            // Incorrect transitions: for each (from, to), pick a wrong
+            // destination = another known state.
+            for t in &f.transitions {
+                if let Some(wrong) = f.states.iter().find(|s| **s != t.to && Some(*s) != f.initial.as_ref()) {
+                    out.push(Candidate::Fsm {
+                        fsm_index: fi,
+                        kind: FsmLockKind::IncorrectTransition {
+                            from: t.from.clone(),
+                            to: t.to.clone(),
+                            wrong: wrong.clone(),
+                        },
+                    });
+                }
+            }
+            // Skip: states with an unconditional successor.
+            for s in &f.states {
+                let succ = f.successors(s);
+                if succ.len() == 1 && !succ[0].guarded && Some(s) != f.initial.as_ref() {
+                    out.push(Candidate::Fsm {
+                        fsm_index: fi,
+                        kind: FsmLockKind::SkipState { skipped: s.clone(), lands: succ[0].to.clone() },
+                    });
+                }
+            }
+            // Bypass: needs a spare encoding.
+            let width = f.state_width(module);
+            if f.states.len() < 1usize << width.min(20) {
+                let mut enc = 0u64;
+                let fake = loop {
+                    let cand = Bv::from_u64(width, enc);
+                    if !f.states.contains(&cand) {
+                        break cand;
+                    }
+                    enc += 1;
+                };
+                if let Some(t) = f.transitions.iter().find(|t| t.from != t.to) {
+                    out.push(Candidate::Fsm {
+                        fsm_index: fi,
+                        kind: FsmLockKind::BypassState { fake, detoured: t.to.clone() },
+                    });
+                }
+            }
+            // Inherent signals: non-state assignments inside the seq process
+            // that owns the state register.
+            for (pi, p) in module.procs.iter().enumerate() {
+                if !matches!(p.kind, rtlock_rtl::ProcessKind::Seq { .. }) {
+                    continue;
+                }
+                let mut ordinal = 0usize;
+                collect_signal_assigns(&p.body, f, module, pi, &mut ordinal, &mut out, fi);
+            }
         }
     }
 
-    (out, fsms)
+    (out, fsms, complete)
 }
 
 fn collect_signal_assigns(
@@ -353,6 +384,21 @@ mod tests {
             if (st == 2'd1) y <= d + 8'd37;\n\
           end\n\
         end\nendmodule";
+
+    #[test]
+    fn bounded_enumeration_stops_on_expired_token() {
+        use rtlock_governor::{CancelToken, Deadline};
+        use std::time::Duration;
+        let m = parse(SRC).unwrap();
+        let expired = CancelToken::with_deadline(Deadline::after(Duration::ZERO));
+        let (cands, fsms, complete) = enumerate_bounded(&m, &EnumConfig::default(), &expired);
+        assert!(!complete);
+        assert!(cands.is_empty(), "no work past an already-expired deadline");
+        assert_eq!(fsms.len(), 1, "FSM extraction still reported");
+        let (full, _, ok) = enumerate_bounded(&m, &EnumConfig::default(), &CancelToken::unlimited());
+        assert!(ok);
+        assert!(!full.is_empty());
+    }
 
     #[test]
     fn finds_all_three_classes() {

@@ -12,6 +12,7 @@ use crate::transforms::{apply, mark_key_inputs, KeyAllocator};
 use crate::verify::wrong_key_corruption;
 use rtlock_attacks::ml::scope_attack;
 use rtlock_attacks::{sat_attack, AttackConfig, AttackOutcome};
+use rtlock_governor::CancelToken;
 use rtlock_netlist::ppa::{analyze as ppa_analyze, PpaConfig};
 use rtlock_rtl::fsm::Fsm;
 use rtlock_rtl::Module;
@@ -167,32 +168,56 @@ pub fn build_database(
     fsms: &[Fsm],
     config: &DatabaseConfig,
 ) -> Database {
-    // Base synthesis for the area reference.
-    let base_area = match elaborate(original) {
-        Ok(mut n) => {
-            optimize(&mut n);
-            ppa_analyze(&n, &PpaConfig::default()).area_um2
-        }
-        Err(_) => {
-            return Database {
-                cases: candidates
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| unusable(i, c, "original does not synthesize"))
-                    .collect(),
+    build_database_governed(original, candidates, fsms, config, &CancelToken::unlimited()).0
+}
+
+/// Budget-aware database construction. Every candidate always gets a row,
+/// but once `cancel` fires the remaining candidates are characterized in a
+/// degraded, synthesis-free mode: resilience falls back to the structural
+/// estimate, the SAT/ML probes and per-case synthesis are skipped (area
+/// overhead is reported as 0), and corruption is measured with a single
+/// short RTL co-simulation. The second element is `false` when any row was
+/// produced in degraded mode.
+pub fn build_database_governed(
+    original: &Module,
+    candidates: &[Candidate],
+    fsms: &[Fsm],
+    config: &DatabaseConfig,
+    cancel: &CancelToken,
+) -> (Database, bool) {
+    let mut degraded = cancel.should_stop().is_some();
+    // Base synthesis for the area reference, plus the original scan view
+    // the SAT probes compare against — neither is needed (or affordable)
+    // in degraded mode.
+    let mut base = None;
+    if !degraded {
+        match elaborate(original) {
+            Ok(mut n) => {
+                optimize(&mut n);
+                let base_area = ppa_analyze(&n, &PpaConfig::default()).area_um2;
+                scan::insert_full_scan(&mut n);
+                base = Some((base_area, scan_view(&n).netlist));
+            }
+            Err(_) => {
+                return (
+                    Database {
+                        cases: candidates
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| unusable(i, c, "original does not synthesize"))
+                            .collect(),
+                    },
+                    true,
+                )
             }
         }
-    };
-    // Pre-compute original scan view once for SAT probes.
-    let orig_view = {
-        let mut n = elaborate(original).expect("synthesized above");
-        optimize(&mut n);
-        scan::insert_full_scan(&mut n);
-        scan_view(&n).netlist
-    };
+    }
 
     let mut cases = Vec::with_capacity(candidates.len());
     for (i, cand) in candidates.iter().enumerate() {
+        if !degraded && cancel.should_stop().is_some() {
+            degraded = true;
+        }
         let mut locked = original.clone();
         let mut keys = KeyAllocator::new();
         if apply(&mut locked, cand, fsms, &mut keys).is_err() {
@@ -200,67 +225,124 @@ pub fn build_database(
             continue;
         }
         let key = keys.correct_key().to_vec();
-        let Ok(mut netlist) = elaborate(&locked) else {
-            cases.push(unusable(i, cand, "locked RTL does not synthesize"));
-            continue;
+        let seed = config.seed.wrapping_add(i as u64);
+        let row = match (&base, degraded) {
+            (Some((base_area, orig_view)), false) => {
+                full_row(original, &locked, cand, fsms, &key, i, seed, *base_area, orig_view, config)
+            }
+            _ => degraded_row(original, &locked, cand, fsms, &key, i, seed, config),
         };
-        optimize(&mut netlist);
-        let area = ppa_analyze(&netlist, &PpaConfig::default()).area_um2;
-        let area_overhead_pct = if base_area > 0.0 { (area - base_area) / base_area * 100.0 } else { 0.0 };
-
-        let corruption = wrong_key_corruption(
-            original,
-            &locked,
-            &key,
-            config.corruption_samples,
-            config.cosim_cycles,
-            config.seed.wrapping_add(i as u64),
-        );
-
-        // Constant-propagation probe: lock the case, mark the keys, run
-        // SCOPE. Entangled pairs (arith/FSM) are immune by construction.
-        let ml_bias = if config.ml_probe && matches!(cand, Candidate::Constant { .. }) && corruption > 0.0 {
-            let mut probe = netlist.clone();
-            mark_key_inputs(&mut probe);
-            let report = scope_attack(&probe, &key);
-            (report.accuracy - 0.5).abs()
-        } else {
-            0.0
-        };
-
-        let mut resilience = structural_bonus(cand, fsms);
-        if config.sat_probe && corruption > 0.0 {
-            let mut view = {
-                let mut n = netlist.clone();
-                scan::insert_full_scan(&mut n);
-                scan_view(&n).netlist
-            };
-            mark_key_inputs(&mut view);
-            let outcome = sat_attack(
-                &view,
-                &orig_view,
-                &AttackConfig { max_iterations: 10_000, timeout: Some(config.probe_timeout) },
-            );
-            let micros = match outcome {
-                AttackOutcome::KeyFound { elapsed, .. } => elapsed.as_micros() as f64,
-                AttackOutcome::TimedOut { elapsed, .. } => elapsed.as_micros() as f64 * 4.0,
-                AttackOutcome::Infeasible { .. } => config.probe_timeout.as_micros() as f64,
-            };
-            resilience += micros.max(1.0);
-        }
-
-        cases.push(CaseMetrics {
-            candidate_index: i,
-            key_size: key.len(),
-            area_overhead_pct,
-            resilience,
-            corruption,
-            ml_bias,
-            viable: corruption > 0.0 && ml_bias <= config.max_ml_bias,
-            label: cand.label(),
-        });
+        cases.push(row);
     }
-    Database { cases }
+    (Database { cases }, !degraded)
+}
+
+/// Full candidate characterization: per-case synthesis, area measurement,
+/// corruption co-simulation and the configured SAT/ML probes.
+#[allow(clippy::too_many_arguments)]
+fn full_row(
+    original: &Module,
+    locked: &Module,
+    cand: &Candidate,
+    fsms: &[Fsm],
+    key: &[bool],
+    i: usize,
+    seed: u64,
+    base_area: f64,
+    orig_view: &rtlock_netlist::Netlist,
+    config: &DatabaseConfig,
+) -> CaseMetrics {
+    let Ok(mut netlist) = elaborate(locked) else {
+        return unusable(i, cand, "locked RTL does not synthesize");
+    };
+    optimize(&mut netlist);
+    let area = ppa_analyze(&netlist, &PpaConfig::default()).area_um2;
+    let area_overhead_pct = if base_area > 0.0 { (area - base_area) / base_area * 100.0 } else { 0.0 };
+
+    let corruption =
+        wrong_key_corruption(original, locked, key, config.corruption_samples, config.cosim_cycles, seed);
+
+    // Constant-propagation probe: lock the case, mark the keys, run
+    // SCOPE. Entangled pairs (arith/FSM) are immune by construction.
+    let ml_bias = if config.ml_probe && matches!(cand, Candidate::Constant { .. }) && corruption > 0.0 {
+        let mut probe = netlist.clone();
+        mark_key_inputs(&mut probe);
+        let report = scope_attack(&probe, key);
+        (report.accuracy - 0.5).abs()
+    } else {
+        0.0
+    };
+
+    let mut resilience = structural_bonus(cand, fsms);
+    if config.sat_probe && corruption > 0.0 {
+        let mut view = {
+            let mut n = netlist.clone();
+            scan::insert_full_scan(&mut n);
+            scan_view(&n).netlist
+        };
+        mark_key_inputs(&mut view);
+        let outcome = sat_attack(
+            &view,
+            orig_view,
+            &AttackConfig { max_iterations: 10_000, timeout: Some(config.probe_timeout) },
+        );
+        let micros = match outcome {
+            AttackOutcome::KeyFound { elapsed, .. } => elapsed.as_micros() as f64,
+            AttackOutcome::TimedOut { elapsed, .. } => elapsed.as_micros() as f64 * 4.0,
+            AttackOutcome::Infeasible { .. } => config.probe_timeout.as_micros() as f64,
+        };
+        resilience += micros.max(1.0);
+    }
+
+    CaseMetrics {
+        candidate_index: i,
+        key_size: key.len(),
+        area_overhead_pct,
+        resilience,
+        corruption,
+        ml_bias,
+        viable: corruption > 0.0 && ml_bias <= config.max_ml_bias,
+        label: cand.label(),
+    }
+}
+
+/// Degraded, synthesis-free characterization used once the budget fired:
+/// structural resilience, zero (unknown) area, one short RTL co-simulation
+/// for corruption, no probes.
+#[allow(clippy::too_many_arguments)]
+fn degraded_row(
+    original: &Module,
+    locked: &Module,
+    cand: &Candidate,
+    fsms: &[Fsm],
+    key: &[bool],
+    i: usize,
+    seed: u64,
+    config: &DatabaseConfig,
+) -> CaseMetrics {
+    let cycles = config.cosim_cycles.min(8);
+    let corruption = match crate::verify::try_wrong_key_corruption(
+        original,
+        locked,
+        key,
+        1,
+        cycles,
+        seed,
+        &CancelToken::unlimited(),
+    ) {
+        Ok(outcome) => outcome.corruption,
+        Err(_) => return unusable(i, cand, "degraded co-simulation failed"),
+    };
+    CaseMetrics {
+        candidate_index: i,
+        key_size: key.len(),
+        area_overhead_pct: 0.0,
+        resilience: structural_bonus(cand, fsms),
+        corruption,
+        ml_bias: 0.0,
+        viable: corruption > 0.0,
+        label: cand.label(),
+    }
 }
 
 fn unusable(i: usize, cand: &Candidate, _why: &str) -> CaseMetrics {
@@ -368,6 +450,30 @@ mod tests {
         let db = build_database(&m, &few, &fsms, &DatabaseConfig { sat_probe: true, ..quick_config() });
         for c in db.viable_cases() {
             assert!(c.resilience >= 1.0, "{}: {}", c.label, c.resilience);
+        }
+    }
+
+    #[test]
+    fn governed_build_degrades_but_covers_every_candidate() {
+        use rtlock_governor::{CancelToken, Deadline};
+        let m = parse(SRC).unwrap();
+        let (cands, fsms) = enumerate(&m, &EnumConfig::default());
+        let expired = CancelToken::with_deadline(Deadline::after(Duration::ZERO));
+        let (db, complete) = build_database_governed(
+            &m,
+            &cands,
+            &fsms,
+            &DatabaseConfig { sat_probe: true, ml_probe: true, ..quick_config() },
+            &expired,
+        );
+        assert!(!complete, "expired token must flag the build incomplete");
+        assert_eq!(db.cases.len(), cands.len(), "every candidate still gets a row");
+        assert!(db.viable_cases().count() >= 1, "degraded rows remain usable");
+        // Degraded mode skips probes: resilience is exactly the structural
+        // estimate and no ML bias is recorded.
+        for c in &db.cases {
+            assert_eq!(c.resilience, structural_bonus(&cands[c.candidate_index], &fsms));
+            assert_eq!(c.ml_bias, 0.0);
         }
     }
 

@@ -1,12 +1,13 @@
 //! The end-to-end RTLock flow (the seven steps of Section III-A) and the
 //! [`LockedDesign`] artifact it produces.
 
-use crate::candidates::{enumerate, Candidate, EnumConfig};
-use crate::database::{build_database, Database, DatabaseConfig};
+use crate::candidates::{enumerate_bounded, Candidate, EnumConfig};
+use crate::database::{build_database_governed, Database, DatabaseConfig};
+use crate::governor::{Degradation, Fault, Governor, RunBudget, Stage};
 use crate::scan_lock::{insert_scan_lock, ScanLockConfig, ScanPolicy};
-use crate::select::{select_greedy, select_ilp, SelectionSpec};
+use crate::select::{select_greedy, select_ilp_bounded, SelectOutcome, SelectionSpec};
 use crate::transforms::{apply_all, mark_key_inputs, KeyAllocator};
-use crate::verify::{cosim_mismatch_rate, wrong_key_corruption};
+use crate::verify::{try_cosim_bounded, try_wrong_key_corruption, CorruptionOutcome, CosimOutcome};
 use rtlock_netlist::Netlist;
 use rtlock_p1735::envelope::{protect, Grant};
 use rtlock_rtl::{print as print_rtl, Module};
@@ -63,6 +64,20 @@ pub enum LockError {
     Scan(String),
     /// Synthesis of the locked design failed.
     Synthesis(String),
+    /// Co-simulation could not run (e.g. a combinational loop).
+    Simulation(String),
+    /// A stage panicked; the flow caught the unwind at the stage boundary.
+    StagePanic {
+        /// The stage whose body panicked.
+        stage: Stage,
+        /// The panic payload's message, best effort.
+        message: String,
+    },
+    /// A stage with no cheaper fallback ran out of budget.
+    Timeout {
+        /// The stage that could not complete in time.
+        stage: Stage,
+    },
 }
 
 impl fmt::Display for LockError {
@@ -75,6 +90,11 @@ impl fmt::Display for LockError {
             }
             LockError::Scan(m) => write!(f, "scan locking: {m}"),
             LockError::Synthesis(m) => write!(f, "synthesis: {m}"),
+            LockError::Simulation(m) => write!(f, "co-simulation: {m}"),
+            LockError::StagePanic { stage, message } => {
+                write!(f, "stage {stage} panicked: {message}")
+            }
+            LockError::Timeout { stage } => write!(f, "stage {stage} ran out of budget"),
         }
     }
 }
@@ -100,6 +120,13 @@ pub struct FlowReport {
     pub verified_mismatch_rate: f64,
     /// Wrong-key output corruption estimate.
     pub corruption: f64,
+    /// Graceful degradations recorded by the governor (empty on an
+    /// ungoverned or fully in-budget run).
+    pub degradations: Vec<Degradation>,
+    /// `true` when verification was cut short by the budget: the mismatch
+    /// and corruption numbers then cover fewer cycles/samples than
+    /// requested.
+    pub partial_verification: bool,
 }
 
 /// The artifact of a completed RTLock run.
@@ -227,61 +254,188 @@ impl LockedDesign {
     }
 }
 
-/// Runs the complete RTLock flow on a module.
+/// Runs the complete RTLock flow on a module, unbounded.
+///
+/// Equivalent to [`lock_governed`] with [`RunBudget::unlimited`] — no
+/// deadlines, no fault injections, only panic isolation at the stage
+/// boundaries.
 ///
 /// # Errors
 ///
 /// See [`LockError`]; the common failure is an infeasible
 /// [`SelectionSpec`] with `greedy_fallback` disabled.
 pub fn lock(module: &Module, config: &RtlLockConfig) -> Result<LockedDesign, LockError> {
-    // Steps 1–2: analyze and enumerate.
-    let (candidates, fsms) = enumerate(module, &config.enumeration);
+    lock_governed(module, config, &RunBudget::unlimited())
+}
+
+/// Runs the complete RTLock flow under a [`RunBudget`].
+///
+/// Every one of the seven steps executes through the
+/// [`Governor`](crate::governor::Governor): its body is panic-isolated
+/// (a panic becomes [`LockError::StagePanic`]), it polls a cancel token
+/// tightened to the stage's soft deadline, and when a budget fires the
+/// flow degrades along a fixed ladder instead of failing outright:
+///
+/// * enumeration returns the candidates collected so far;
+/// * database probing drops SAT/ML probes in favor of structural
+///   estimates;
+/// * an out-of-budget ILP falls back to greedy selection (when
+///   `greedy_fallback` allows it);
+/// * verification returns a reduced-cycle verdict flagged via
+///   [`FlowReport::partial_verification`].
+///
+/// Cheap must-run stages (transform, scan locking) always execute; only
+/// the first stage refuses to start on an already-expired budget. Each
+/// degradation is recorded in [`FlowReport::degradations`].
+///
+/// # Errors
+///
+/// All of [`lock`]'s errors, plus [`LockError::StagePanic`] and
+/// [`LockError::Timeout`] when a stage without a fallback runs dry.
+pub fn lock_governed(
+    module: &Module,
+    config: &RtlLockConfig,
+    budget: &RunBudget,
+) -> Result<LockedDesign, LockError> {
+    let mut gov = Governor::start(budget.clone());
+
+    // Step 1: elaborate — validates the original synthesizes before any
+    // expensive work starts.
+    let empty_elab = gov.fault_plan().has(Stage::Elaborate, Fault::EmptyResult);
+    gov.run_stage(Stage::Elaborate, |token| {
+        if empty_elab {
+            return Err(LockError::Synthesis("injected fault: elaboration produced nothing".into()));
+        }
+        if token.should_stop().is_some() {
+            return Err(LockError::Timeout { stage: Stage::Elaborate });
+        }
+        elaborate(module).map(|_| ()).map_err(|e| LockError::Synthesis(e.to_string()))
+    })?;
+
+    // Step 2: enumerate candidates (budget cuts the list short).
+    let empty_enum = gov.fault_plan().has(Stage::Enumerate, Fault::EmptyResult);
+    let (candidates, fsms, enum_complete) = gov.run_stage(Stage::Enumerate, |token| {
+        if empty_enum {
+            return Ok((Vec::new(), Vec::new(), true));
+        }
+        Ok(enumerate_bounded(module, &config.enumeration, token))
+    })?;
+    if !enum_complete {
+        if candidates.is_empty() {
+            return Err(LockError::Timeout { stage: Stage::Enumerate });
+        }
+        gov.degrade(
+            Stage::Enumerate,
+            format!("enumeration cut short at {} candidates", candidates.len()),
+        );
+    }
     if candidates.is_empty() {
         return Err(LockError::NoCandidates);
     }
-    // Step 3: offline database.
-    let database = build_database(module, &candidates, &fsms, &config.database);
+
+    // Step 3: offline database (budget degrades probes to structural
+    // estimates).
+    let empty_db = gov.fault_plan().has(Stage::Database, Fault::EmptyResult);
+    let (database, db_complete) = gov.run_stage(Stage::Database, |token| {
+        if empty_db {
+            return Ok((Database::default(), true));
+        }
+        Ok(build_database_governed(module, &candidates, &fsms, &config.database, token))
+    })?;
+    if !db_complete {
+        gov.degrade(Stage::Database, "attack probes replaced by structural estimates past the deadline");
+    }
     if database.viable_cases().count() == 0 {
         return Err(LockError::NoCandidates);
     }
-    // Step 4: ILP selection (greedy fallback optional).
-    let (selected, used_ilp) = match select_ilp(&database, &candidates, &config.spec) {
-        Some(s) if !s.is_empty() => (s, true),
-        _ if config.greedy_fallback => {
+
+    // Step 4: ILP selection (budget falls back to greedy).
+    let empty_sel = gov.fault_plan().has(Stage::Select, Fault::EmptyResult);
+    let outcome = gov.run_stage(Stage::Select, |token| {
+        if empty_sel {
+            return Ok(SelectOutcome::Selected(Vec::new()));
+        }
+        Ok(select_ilp_bounded(&database, &candidates, &config.spec, token))
+    })?;
+    let (selected, used_ilp) = match outcome {
+        SelectOutcome::Selected(s) if !s.is_empty() => (s, true),
+        SelectOutcome::TimedOut if !config.greedy_fallback => {
+            return Err(LockError::Timeout { stage: Stage::Select })
+        }
+        other => {
+            if !config.greedy_fallback {
+                return Err(LockError::SelectionInfeasible);
+            }
+            if other == SelectOutcome::TimedOut {
+                gov.degrade(Stage::Select, "ILP out of budget; greedy selection substituted");
+            }
             let g = select_greedy(&database, &candidates, &config.spec);
             if g.is_empty() {
                 return Err(LockError::SelectionInfeasible);
             }
             (g, false)
         }
-        _ => return Err(LockError::SelectionInfeasible),
     };
 
-    // Step 5: update RTL.
-    let mut locked = module.clone();
-    let mut keys = KeyAllocator::new();
-    let chosen: Vec<Candidate> = selected.iter().map(|&i| candidates[i].clone()).collect();
-    let applied_local = apply_all(&mut locked, &chosen, &fsms, &mut keys);
-    let applied: Vec<usize> = applied_local.iter().map(|&k| selected[k]).collect();
-    let key = keys.correct_key().to_vec();
+    // Step 5: update RTL. Cheap and mandatory — runs even past the
+    // budget so the work above is never wasted.
+    let empty_transform = gov.fault_plan().has(Stage::Transform, Fault::EmptyResult);
+    let (mut locked, applied, key) = gov.run_stage(Stage::Transform, |_| {
+        let mut locked = module.clone();
+        let mut keys = KeyAllocator::new();
+        if empty_transform {
+            return Ok((locked, Vec::new(), Vec::new()));
+        }
+        let chosen: Vec<Candidate> = selected.iter().map(|&i| candidates[i].clone()).collect();
+        let applied_local = apply_all(&mut locked, &chosen, &fsms, &mut keys);
+        let applied: Vec<usize> = applied_local.iter().map(|&k| selected[k]).collect();
+        Ok((locked, applied, keys.correct_key().to_vec()))
+    })?;
     if key.is_empty() {
         return Err(LockError::NoCandidates);
     }
 
-    // Step 6: verification.
-    let mismatch = cosim_mismatch_rate(module, &locked, &key, config.verify_cycles, config.seed);
-    if mismatch > 0.0 {
-        return Err(LockError::VerificationFailed { mismatch_rate: mismatch });
-    }
-    let corruption = wrong_key_corruption(module, &locked, &key, 3, config.verify_cycles, config.seed);
-
-    // Step 7: partial scan + scan locking.
-    let scan_policy = match &config.scan {
-        Some(sc) => {
-            Some(insert_scan_lock(&mut locked, sc).map_err(|e| LockError::Scan(e.message))?)
+    // Step 6: verification (budget yields a partial verdict).
+    let empty_verify = gov.fault_plan().has(Stage::Verify, Fault::EmptyResult);
+    let (cosim, corruption) = gov.run_stage(Stage::Verify, |token| {
+        if empty_verify {
+            return Ok((
+                CosimOutcome { mismatch_rate: 0.0, cycles_run: 0, complete: false },
+                CorruptionOutcome { corruption: 0.0, samples_run: 0, complete: false },
+            ));
         }
-        None => None,
-    };
+        let cosim = try_cosim_bounded(module, &locked, &key, config.verify_cycles, config.seed, token)
+            .map_err(LockError::Simulation)?;
+        let corruption =
+            try_wrong_key_corruption(module, &locked, &key, 3, config.verify_cycles, config.seed, token)
+                .map_err(LockError::Simulation)?;
+        Ok((cosim, corruption))
+    })?;
+    if cosim.mismatch_rate > 0.0 {
+        return Err(LockError::VerificationFailed { mismatch_rate: cosim.mismatch_rate });
+    }
+    let partial_verification = !cosim.complete || !corruption.complete;
+    if partial_verification {
+        gov.degrade(
+            Stage::Verify,
+            format!(
+                "partial verdict: {}/{} cycles, {}/3 wrong-key samples",
+                cosim.cycles_run, config.verify_cycles, corruption.samples_run
+            ),
+        );
+    }
+
+    // Step 7: partial scan + scan locking. Also cheap and mandatory.
+    let skip_scan = gov.fault_plan().has(Stage::ScanLock, Fault::EmptyResult);
+    let scan_policy = gov.run_stage(Stage::ScanLock, |_| match &config.scan {
+        Some(sc) if !skip_scan => {
+            insert_scan_lock(&mut locked, sc).map(Some).map_err(|e| LockError::Scan(e.message))
+        }
+        _ => Ok(None),
+    })?;
+    if skip_scan && config.scan.is_some() {
+        gov.degrade(Stage::ScanLock, "scan locking skipped (injected empty result)");
+    }
 
     let report = FlowReport {
         candidates_enumerated: candidates.len(),
@@ -290,8 +444,10 @@ pub fn lock(module: &Module, config: &RtlLockConfig) -> Result<LockedDesign, Loc
         selected: selected.clone(),
         applied: applied.clone(),
         key_bits: key.len(),
-        verified_mismatch_rate: mismatch,
-        corruption,
+        verified_mismatch_rate: cosim.mismatch_rate,
+        corruption: corruption.corruption,
+        degradations: gov.take_degradations(),
+        partial_verification,
     };
     let applied_candidates = applied.iter().map(|&i| candidates[i].clone()).collect();
     Ok(LockedDesign {

@@ -1,0 +1,390 @@
+//! Resource-governed flow execution: run budgets, per-stage deadlines,
+//! panic isolation and deterministic fault injection.
+//!
+//! The seven-step flow ([`crate::flow::lock_governed`]) runs every stage
+//! through this module's harness:
+//!
+//! * a [`RunBudget`] carries one wall-clock budget for the whole run plus
+//!   optional per-stage soft deadlines; each stage receives a
+//!   [`CancelToken`](rtlock_governor::CancelToken) tightened to the earlier
+//!   of the two, and the long-running engines (synthesis fixpoint, ILP
+//!   branch-and-bound, SAT probes, ATPG, co-simulation) poll it
+//!   cooperatively;
+//! * every stage body executes under [`std::panic::catch_unwind`], so a
+//!   bug in one engine surfaces as a structured
+//!   [`LockError::StagePanic`](crate::flow::LockError::StagePanic) instead
+//!   of tearing down the caller;
+//! * when a soft deadline fires, the flow degrades instead of failing —
+//!   ILP falls back to greedy selection, database probing falls back to
+//!   structural estimates, verification returns a reduced-cycle verdict —
+//!   and each such step is recorded as a [`Degradation`] in the final
+//!   [`FlowReport`](crate::flow::FlowReport);
+//! * a [`FaultPlan`] injects panics, timeouts or empty results at any
+//!   named stage, deterministically, so the degradation ladder itself is
+//!   testable.
+
+use rtlock_governor::{CancelToken, Deadline};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// The seven stages of the RTLock flow, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Step 1: elaborate the original RTL (validates it synthesizes).
+    Elaborate,
+    /// Step 2: enumerate locking candidates.
+    Enumerate,
+    /// Step 3: build the offline case database (synthesis + attack probes).
+    Database,
+    /// Step 4: ILP case selection.
+    Select,
+    /// Step 5: apply the locking transforms to the RTL.
+    Transform,
+    /// Step 6: co-simulation verification.
+    Verify,
+    /// Step 7: partial scan insertion + scan locking.
+    ScanLock,
+}
+
+impl Stage {
+    /// All stages, in flow order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Elaborate,
+        Stage::Enumerate,
+        Stage::Database,
+        Stage::Select,
+        Stage::Transform,
+        Stage::Verify,
+        Stage::ScanLock,
+    ];
+
+    /// Stable lowercase name (used in reports and fault plans).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Elaborate => "elaborate",
+            Stage::Enumerate => "enumerate",
+            Stage::Database => "database",
+            Stage::Select => "select",
+            Stage::Transform => "transform",
+            Stage::Verify => "verify",
+            Stage::ScanLock => "scan_lock",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fault the harness can inject at a stage boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The stage body panics (exercises the `catch_unwind` isolation).
+    Panic,
+    /// The stage behaves as if its deadline already expired when it
+    /// started (exercises the degradation ladder without sleeping).
+    Timeout,
+    /// The stage produces an empty result (no candidates, no viable rows,
+    /// empty selection — whatever "empty" means for that stage).
+    EmptyResult,
+}
+
+impl Fault {
+    const ALL: [Fault; 3] = [Fault::Panic, Fault::Timeout, Fault::EmptyResult];
+}
+
+/// A deterministic fault-injection plan: which [`Fault`] (if any) to
+/// trigger at each stage. Used by the robustness test-suite to prove every
+/// stage degrades into a structured error or a flagged result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    injections: Vec<(Stage, Fault)>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds an injection (builder-style).
+    #[must_use]
+    pub fn inject(mut self, stage: Stage, fault: Fault) -> FaultPlan {
+        self.injections.push((stage, fault));
+        self
+    }
+
+    /// A plan with one pseudo-random `(stage, fault)` pair derived from
+    /// `seed` (SplitMix64 — same seed, same plan, on every platform).
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let stage = Stage::ALL[(next() % Stage::ALL.len() as u64) as usize];
+        let fault = Fault::ALL[(next() % Fault::ALL.len() as u64) as usize];
+        FaultPlan::none().inject(stage, fault)
+    }
+
+    /// The fault planned for `stage`, if any (first match wins).
+    pub fn fault_at(&self, stage: Stage) -> Option<Fault> {
+        self.injections.iter().find(|(s, _)| *s == stage).map(|&(_, f)| f)
+    }
+
+    /// Whether `stage` has `fault` planned.
+    pub fn has(&self, stage: Stage, fault: Fault) -> bool {
+        self.fault_at(stage) == Some(fault)
+    }
+}
+
+/// Resource budget for one flow run.
+///
+/// `Default` is fully unbounded with no injections — [`crate::flow::lock`]
+/// uses exactly that, so ungoverned callers pay only a handful of atomic
+/// loads.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Wall-clock budget for the whole run (`None` = unbounded). The flow
+    /// aims to return — with a result, a degraded result, or a structured
+    /// error — within a small multiple of this (cooperative checks sit at
+    /// loop boundaries, so one in-flight unit of work can overshoot).
+    pub wall_clock: Option<Duration>,
+    /// Per-stage soft deadlines. A stage whose soft deadline fires
+    /// degrades (greedy selection, structural estimates, partial
+    /// verification) rather than failing the run.
+    pub stage_timeouts: Vec<(Stage, Duration)>,
+    /// Deterministic fault injections (testing/chaos harness).
+    pub fault_plan: FaultPlan,
+}
+
+impl RunBudget {
+    /// No limits, no injections.
+    pub fn unlimited() -> RunBudget {
+        RunBudget::default()
+    }
+
+    /// A budget bounded only by total wall-clock time.
+    pub fn with_wall_clock(limit: Duration) -> RunBudget {
+        RunBudget { wall_clock: Some(limit), ..RunBudget::default() }
+    }
+
+    /// Adds a per-stage soft deadline (builder-style).
+    #[must_use]
+    pub fn stage_timeout(mut self, stage: Stage, limit: Duration) -> RunBudget {
+        self.stage_timeouts.push((stage, limit));
+        self
+    }
+
+    /// Attaches a fault plan (builder-style).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> RunBudget {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The soft deadline duration configured for `stage`, if any.
+    fn stage_limit(&self, stage: Stage) -> Option<Duration> {
+        self.stage_timeouts.iter().find(|(s, _)| *s == stage).map(|&(_, d)| d)
+    }
+}
+
+/// The runtime companion of a [`RunBudget`]: owns the run-wide cancel
+/// token and records [`Degradation`]s as stages fall back.
+#[derive(Debug)]
+pub struct Governor {
+    budget: RunBudget,
+    run_token: CancelToken,
+    degradations: Vec<Degradation>,
+}
+
+/// One graceful-degradation event: a stage hit its budget (or an injected
+/// fault) and the flow substituted a cheaper strategy instead of failing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The stage that degraded.
+    pub stage: Stage,
+    /// What was substituted, human-readable.
+    pub detail: String,
+}
+
+impl Governor {
+    /// Starts governing a run: the wall-clock budget begins now.
+    pub fn start(budget: RunBudget) -> Governor {
+        let run_token = CancelToken::with_deadline(Deadline::within(budget.wall_clock));
+        Governor { budget, run_token, degradations: Vec::new() }
+    }
+
+    /// The run-wide cancel token (shared flag; wall-clock deadline).
+    pub fn run_token(&self) -> &CancelToken {
+        &self.run_token
+    }
+
+    /// The token a stage should poll: the run token tightened to the
+    /// stage's soft deadline. An injected [`Fault::Timeout`] yields an
+    /// already-expired deadline — the stage then behaves exactly as if its
+    /// time ran out, with no sleeping and no wall-clock dependence.
+    pub fn stage_token(&self, stage: Stage) -> CancelToken {
+        let soft = if self.budget.fault_plan.has(stage, Fault::Timeout) {
+            Deadline::after(Duration::ZERO)
+        } else {
+            Deadline::within(self.budget.stage_limit(stage))
+        };
+        self.run_token.tightened(soft)
+    }
+
+    /// The fault plan in force.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.budget.fault_plan
+    }
+
+    /// Records a graceful degradation.
+    pub fn degrade(&mut self, stage: Stage, detail: impl Into<String>) {
+        self.degradations.push(Degradation { stage, detail: detail.into() });
+    }
+
+    /// Degradations recorded so far (drained into the final report).
+    pub fn take_degradations(&mut self) -> Vec<Degradation> {
+        std::mem::take(&mut self.degradations)
+    }
+
+    /// Runs a stage body with panic isolation. An injected
+    /// [`Fault::Panic`] panics *inside* the guarded region, so injection
+    /// exercises the same recovery path a real bug would.
+    ///
+    /// `AssertUnwindSafe` is sound here because every stage body either
+    /// owns its inputs or only reads shared state; on unwind the flow
+    /// aborts (or degrades) without reusing partially-mutated values.
+    pub fn run_stage<T>(
+        &self,
+        stage: Stage,
+        body: impl FnOnce(&CancelToken) -> Result<T, crate::flow::LockError>,
+    ) -> Result<T, crate::flow::LockError> {
+        let token = self.stage_token(stage);
+        let inject_panic = self.budget.fault_plan.has(stage, Fault::Panic);
+        catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault: panic at stage {stage}");
+            }
+            body(&token)
+        }))
+        .unwrap_or_else(|payload| {
+            // `&*payload`, not `&payload`: the latter would make the Box
+            // itself the `dyn Any` and every downcast would miss.
+            Err(crate::flow::LockError::StagePanic { stage, message: panic_message(&*payload) })
+        })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::LockError;
+
+    #[test]
+    fn stage_names_are_stable_and_unique() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), Stage::ALL.len());
+        assert_eq!(format!("{}", Stage::ScanLock), "scan_lock");
+    }
+
+    #[test]
+    fn fault_plan_lookup() {
+        let plan = FaultPlan::none()
+            .inject(Stage::Select, Fault::Timeout)
+            .inject(Stage::Verify, Fault::Panic);
+        assert_eq!(plan.fault_at(Stage::Select), Some(Fault::Timeout));
+        assert!(plan.has(Stage::Verify, Fault::Panic));
+        assert_eq!(plan.fault_at(Stage::Database), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        assert_eq!(FaultPlan::seeded(7), FaultPlan::seeded(7));
+        // Over a seed range, every fault kind shows up (coverage of the
+        // selection logic, not a statistical claim).
+        let kinds: std::collections::HashSet<_> =
+            (0..64u64).filter_map(|s| FaultPlan::seeded(s).injections.first().map(|&(_, f)| f)).collect();
+        assert_eq!(kinds.len(), 3);
+    }
+
+    #[test]
+    fn run_stage_catches_real_panics() {
+        let gov = Governor::start(RunBudget::unlimited());
+        let out: Result<(), _> = gov.run_stage(Stage::Transform, |_| panic!("boom {}", 42));
+        match out {
+            Err(LockError::StagePanic { stage, message }) => {
+                assert_eq!(stage, Stage::Transform);
+                assert!(message.contains("boom 42"), "{message}");
+            }
+            other => panic!("expected StagePanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_stage_injects_panics_inside_the_guard() {
+        let budget =
+            RunBudget::unlimited().with_faults(FaultPlan::none().inject(Stage::Database, Fault::Panic));
+        let gov = Governor::start(budget);
+        let out = gov.run_stage(Stage::Database, |_| Ok(1));
+        assert!(
+            matches!(out, Err(LockError::StagePanic { stage: Stage::Database, .. })),
+            "got {out:?}"
+        );
+        // Other stages are unaffected.
+        assert_eq!(gov.run_stage(Stage::Select, |_| Ok(2)).unwrap(), 2);
+    }
+
+    #[test]
+    fn injected_timeout_expires_stage_token_immediately() {
+        let budget =
+            RunBudget::unlimited().with_faults(FaultPlan::none().inject(Stage::Select, Fault::Timeout));
+        let gov = Governor::start(budget);
+        assert!(gov.stage_token(Stage::Select).should_stop().is_some());
+        assert!(gov.stage_token(Stage::Verify).should_stop().is_none());
+    }
+
+    #[test]
+    fn stage_token_combines_run_and_stage_deadlines() {
+        let budget = RunBudget::with_wall_clock(Duration::from_secs(3600))
+            .stage_timeout(Stage::Verify, Duration::ZERO);
+        let gov = Governor::start(budget);
+        assert!(gov.run_token().should_stop().is_none());
+        assert!(gov.stage_token(Stage::Verify).should_stop().is_some());
+        assert!(gov.stage_token(Stage::Database).should_stop().is_none());
+        // Cancelling the run fires every stage token.
+        gov.run_token().cancel();
+        assert!(gov.stage_token(Stage::Database).should_stop().is_some());
+    }
+
+    #[test]
+    fn degradations_accumulate_and_drain() {
+        let mut gov = Governor::start(RunBudget::unlimited());
+        gov.degrade(Stage::Select, "greedy fallback");
+        gov.degrade(Stage::Verify, "partial cycles");
+        let d = gov.take_degradations();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].stage, Stage::Select);
+        assert!(gov.take_degradations().is_empty());
+    }
+}

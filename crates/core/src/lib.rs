@@ -18,8 +18,11 @@
 //!
 //! [`flow::lock`] runs everything and returns a [`flow::LockedDesign`],
 //! which exposes the attacker-visible surfaces ([`flow::AttackSurface`])
-//! and P1735 export. [`baselines`] adds the gate-level comparison lockers
-//! of Tables III/IV; [`threat`] encodes Table I.
+//! and P1735 export. [`flow::lock_governed`] runs the same flow under a
+//! [`governor::RunBudget`]: wall-clock and per-stage deadlines, panic
+//! isolation, graceful degradation and deterministic fault injection.
+//! [`baselines`] adds the gate-level comparison lockers of Tables III/IV;
+//! [`threat`] encodes Table I.
 //!
 //! # Examples
 //!
@@ -52,11 +55,14 @@ pub mod baselines;
 pub mod candidates;
 pub mod database;
 pub mod flow;
+pub mod governor;
 pub mod scan_lock;
 pub mod select;
+pub mod testability;
 pub mod threat;
 pub mod tpm;
 pub mod transforms;
 pub mod verify;
 
-pub use flow::{lock, AttackSurface, LockError, LockedDesign, RtlLockConfig};
+pub use flow::{lock, lock_governed, AttackSurface, LockError, LockedDesign, RtlLockConfig};
+pub use governor::{Degradation, Fault, FaultPlan, RunBudget, Stage};

@@ -90,8 +90,8 @@ pub fn choose_scan_registers(module: &Module, config: &ScanLockConfig) -> Vec<Ne
             continue;
         }
         for &nx in &cdfg.fanout[x.index()] {
-            if !dist.contains_key(&nx) {
-                dist.insert(nx, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(nx) {
+                e.insert(d + 1);
                 queue.push_back(nx);
             }
         }

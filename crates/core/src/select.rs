@@ -9,6 +9,7 @@
 
 use crate::candidates::Candidate;
 use crate::database::Database;
+use rtlock_governor::CancelToken;
 use rtlock_ilp::{IlpProblem, Sense};
 use std::collections::HashMap;
 
@@ -40,12 +41,40 @@ impl Default for SelectionSpec {
     }
 }
 
+/// How a bounded selection attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectOutcome {
+    /// A (proven or incumbent) selection was found.
+    Selected(Vec<usize>),
+    /// The budget fired before any feasible selection was found; nothing
+    /// is proven — callers should fall back to greedy selection.
+    TimedOut,
+    /// The specification is proven infeasible.
+    Infeasible,
+}
+
 /// Selects cases with the exact ILP. Returns candidate indices, or `None`
 /// when the specification is infeasible.
 pub fn select_ilp(db: &Database, candidates: &[Candidate], spec: &SelectionSpec) -> Option<Vec<usize>> {
+    match select_ilp_bounded(db, candidates, spec, &CancelToken::unlimited()) {
+        SelectOutcome::Selected(sel) => Some(sel),
+        SelectOutcome::TimedOut | SelectOutcome::Infeasible => None,
+    }
+}
+
+/// Budget-aware ILP selection: the branch-and-bound polls `cancel` and, if
+/// stopped before finding any feasible cover, reports
+/// [`SelectOutcome::TimedOut`] so the caller can degrade to greedy
+/// selection instead of treating the spec as infeasible.
+pub fn select_ilp_bounded(
+    db: &Database,
+    candidates: &[Candidate],
+    spec: &SelectionSpec,
+    cancel: &CancelToken,
+) -> SelectOutcome {
     let rows: Vec<&crate::database::CaseMetrics> = db.viable_cases().collect();
     if rows.is_empty() {
-        return None;
+        return SelectOutcome::Infeasible;
     }
     let mut p = IlpProblem::minimize(vec![1.0; rows.len()]);
     let res_scale = 1.0 + spec.added_res_pct / 100.0;
@@ -77,15 +106,21 @@ pub fn select_ilp(db: &Database, candidates: &[Candidate], spec: &SelectionSpec)
             p.add_mutual_exclusion(group);
         }
     }
-    let sol = p.solve()?;
-    Some(
-        sol.assignment
-            .iter()
-            .enumerate()
-            .filter(|(_, &x)| x)
-            .map(|(v, _)| rows[v].candidate_index)
-            .collect(),
-    )
+    let outcome = p.solve_with(cancel);
+    match outcome.solution {
+        Some(sol) => SelectOutcome::Selected(
+            sol.assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x)
+                .map(|(v, _)| rows[v].candidate_index)
+                .collect(),
+        ),
+        // No feasible cover found: only a *complete* search proves
+        // infeasibility; an interrupted one proves nothing.
+        None if outcome.complete => SelectOutcome::Infeasible,
+        None => SelectOutcome::TimedOut,
+    }
 }
 
 /// Greedy alternative (best resilience-per-area first) for the ablation
@@ -248,6 +283,49 @@ mod tests {
             .sum();
         assert!(area <= 8.0 + 1e-9, "area {area}");
         assert!(!sel.is_empty());
+    }
+
+    #[test]
+    fn bounded_select_reports_timeout_not_infeasible() {
+        use rtlock_governor::{CancelToken, Deadline};
+        use std::time::Duration;
+        let candidates: Vec<Candidate> = (0..4).map(fake_candidate).collect();
+        let db = Database {
+            cases: vec![row(0, 80.0, 6.0, 4), row(1, 30.0, 2.0, 4), row(2, 60.0, 5.0, 4), row(3, 10.0, 1.0, 4)],
+        };
+        let spec = SelectionSpec {
+            min_resilience: 100.0,
+            max_area_pct: 12.0,
+            added_res_pct: 0.0,
+            shared_ov_pct: 0.0,
+            min_key_bits: 0,
+        };
+        let expired = CancelToken::with_deadline(Deadline::after(Duration::ZERO));
+        assert_eq!(select_ilp_bounded(&db, &candidates, &spec, &expired), SelectOutcome::TimedOut);
+        // The same spec with an unlimited token is solvable — the timeout
+        // verdict came from the budget, not the model.
+        assert!(matches!(
+            select_ilp_bounded(&db, &candidates, &spec, &CancelToken::unlimited()),
+            SelectOutcome::Selected(_)
+        ));
+    }
+
+    #[test]
+    fn bounded_select_proves_infeasibility_when_complete() {
+        use rtlock_governor::CancelToken;
+        let candidates: Vec<Candidate> = (0..2).map(fake_candidate).collect();
+        let db = Database { cases: vec![row(0, 10.0, 10.0, 4), row(1, 10.0, 10.0, 4)] };
+        let spec = SelectionSpec {
+            min_resilience: 1000.0,
+            max_area_pct: 5.0,
+            added_res_pct: 0.0,
+            shared_ov_pct: 0.0,
+            min_key_bits: 0,
+        };
+        assert_eq!(
+            select_ilp_bounded(&db, &candidates, &spec, &CancelToken::unlimited()),
+            SelectOutcome::Infeasible
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::transforms::is_key_input_name;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rtlock_governor::CancelToken;
 use rtlock_netlist::CnfBuilder;
 use rtlock_rtl::sim::Simulator;
 use rtlock_rtl::{Bv, Dir, Module, ProcessKind};
@@ -47,6 +48,18 @@ pub fn key_length(locked: &Module) -> usize {
         .sum()
 }
 
+/// Outcome of a (possibly budget-cut) co-simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosimOutcome {
+    /// Fraction of mismatching output-port samples over the cycles run.
+    pub mismatch_rate: f64,
+    /// Cycles actually simulated (`== requested` when `complete`).
+    pub cycles_run: usize,
+    /// `false` when the cancel token cut the run short; the verdict then
+    /// covers only `cycles_run` cycles and must be flagged as partial.
+    pub complete: bool,
+}
+
 /// Random co-simulation: drives both designs with identical stimulus for
 /// `cycles` cycles (reset asserted for the first two) and returns the
 /// fraction of mismatching output-port samples. `0.0` means equivalent on
@@ -54,9 +67,10 @@ pub fn key_length(locked: &Module) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if a shared port is missing or a simulator hits a combinational
-/// loop (locked designs are produced by our own transforms, so this
-/// indicates an internal bug).
+/// Panics if a simulator hits a combinational loop (locked designs are
+/// produced by our own transforms, so this indicates an internal bug).
+/// Flow code uses [`try_cosim_mismatch_rate`] instead, which surfaces the
+/// failure as an error.
 pub fn cosim_mismatch_rate(
     original: &Module,
     locked: &Module,
@@ -64,6 +78,45 @@ pub fn cosim_mismatch_rate(
     cycles: usize,
     seed: u64,
 ) -> f64 {
+    match try_cosim_mismatch_rate(original, locked, key, cycles, seed) {
+        Ok(rate) => rate,
+        Err(e) => panic!("co-simulation failed: {e}"),
+    }
+}
+
+/// Fallible co-simulation — like [`cosim_mismatch_rate`] but simulator
+/// failures (combinational loops) come back as `Err` instead of a panic.
+///
+/// # Errors
+///
+/// Returns a message naming the failing design and net.
+pub fn try_cosim_mismatch_rate(
+    original: &Module,
+    locked: &Module,
+    key: &[bool],
+    cycles: usize,
+    seed: u64,
+) -> Result<f64, String> {
+    try_cosim_bounded(original, locked, key, cycles, seed, &CancelToken::unlimited())
+        .map(|o| o.mismatch_rate)
+}
+
+/// Bounded fallible co-simulation: polls `cancel` every cycle and, when it
+/// fires, returns the verdict over the cycles completed so far with
+/// [`CosimOutcome::complete`] cleared.
+///
+/// # Errors
+///
+/// Returns a message naming the failing design and net on simulator
+/// failure (combinational loop).
+pub fn try_cosim_bounded(
+    original: &Module,
+    locked: &Module,
+    key: &[bool],
+    cycles: usize,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<CosimOutcome, String> {
     let mut sim_o = Simulator::new(original);
     let mut sim_l = Simulator::new(locked);
     // Key ports are the key-prefixed inputs that exist *only* in the
@@ -121,7 +174,11 @@ pub fn cosim_mismatch_rate(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut total = 0usize;
     let mut mismatched = 0usize;
+    let mut cycles_run = 0usize;
     for cycle in 0..cycles {
+        if cancel.should_stop().is_some() {
+            break;
+        }
         let in_reset = cycle < 2;
         for (name, width) in &inputs {
             let value = if let Some((_, ah)) = resets.iter().find(|(n, _)| n == name) {
@@ -139,8 +196,9 @@ pub fn cosim_mismatch_rate(
         for (port, value) in &key_values {
             sim_l.set_by_name(port, value.clone());
         }
-        sim_o.step().expect("original simulates");
-        sim_l.step().expect("locked simulates");
+        sim_o.step().map_err(|e| format!("original design: {e}"))?;
+        sim_l.step().map_err(|e| format!("locked design: {e}"))?;
+        cycles_run += 1;
         for out in &outputs {
             total += 1;
             if sim_o.get_by_name(out) != sim_l.get_by_name(out) {
@@ -148,15 +206,17 @@ pub fn cosim_mismatch_rate(
             }
         }
     }
-    if total == 0 {
-        0.0
-    } else {
-        mismatched as f64 / total as f64
-    }
+    let mismatch_rate = if total == 0 { 0.0 } else { mismatched as f64 / total as f64 };
+    Ok(CosimOutcome { mismatch_rate, cycles_run, complete: cycles_run == cycles })
 }
 
 /// Average output corruption over `samples` random wrong keys (each
 /// differing from the correct key in at least one bit).
+///
+/// # Panics
+///
+/// Panics on simulator failure; flow code uses
+/// [`try_wrong_key_corruption`] instead.
 pub fn wrong_key_corruption(
     original: &Module,
     locked: &Module,
@@ -165,12 +225,58 @@ pub fn wrong_key_corruption(
     cycles: usize,
     seed: u64,
 ) -> f64 {
+    match try_wrong_key_corruption(
+        original,
+        locked,
+        correct_key,
+        samples,
+        cycles,
+        seed,
+        &CancelToken::unlimited(),
+    ) {
+        Ok(outcome) => outcome.corruption,
+        Err(e) => panic!("co-simulation failed: {e}"),
+    }
+}
+
+/// Outcome of a (possibly budget-cut) wrong-key corruption measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionOutcome {
+    /// Average output corruption over the samples completed.
+    pub corruption: f64,
+    /// Wrong-key samples fully measured.
+    pub samples_run: usize,
+    /// `false` when the cancel token cut sampling short.
+    pub complete: bool,
+}
+
+/// Bounded fallible wrong-key corruption: polls `cancel` between samples
+/// (and per cycle inside each sample) and averages over what completed.
+///
+/// # Errors
+///
+/// Returns a message naming the failing design and net on simulator
+/// failure.
+pub fn try_wrong_key_corruption(
+    original: &Module,
+    locked: &Module,
+    correct_key: &[bool],
+    samples: usize,
+    cycles: usize,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<CorruptionOutcome, String> {
     if correct_key.is_empty() {
-        return 0.0;
+        return Ok(CorruptionOutcome { corruption: 0.0, samples_run: 0, complete: true });
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD15EA5E);
     let mut acc = 0.0;
-    for s in 0..samples.max(1) {
+    let mut samples_run = 0usize;
+    let want = samples.max(1);
+    for s in 0..want {
+        if cancel.should_stop().is_some() {
+            break;
+        }
         let mut wrong: Vec<bool> = correct_key.to_vec();
         let mut flipped = false;
         for b in wrong.iter_mut() {
@@ -183,9 +289,16 @@ pub fn wrong_key_corruption(
             let i = rng.gen_range(0..wrong.len());
             wrong[i] = !wrong[i];
         }
-        acc += cosim_mismatch_rate(original, locked, &wrong, cycles, seed.wrapping_add(s as u64));
+        let outcome =
+            try_cosim_bounded(original, locked, &wrong, cycles, seed.wrapping_add(s as u64), cancel)?;
+        if !outcome.complete {
+            break;
+        }
+        acc += outcome.mismatch_rate;
+        samples_run += 1;
     }
-    acc / samples.max(1) as f64
+    let corruption = if samples_run == 0 { 0.0 } else { acc / samples_run as f64 };
+    Ok(CorruptionOutcome { corruption, samples_run, complete: samples_run == want })
 }
 
 /// Formal equivalence check of the full-scan combinational views via a SAT
@@ -313,6 +426,43 @@ mod tests {
     }
 
     #[test]
+    fn bounded_cosim_reports_partial_verdict() {
+        use rtlock_governor::{CancelToken, Deadline};
+        let m = parse(SRC).unwrap();
+        let token = CancelToken::with_deadline(Deadline::after(std::time::Duration::ZERO));
+        let out = try_cosim_bounded(&m, &m, &[], 30, 1, &token).unwrap();
+        assert!(!out.complete);
+        assert_eq!(out.cycles_run, 0);
+        assert_eq!(out.mismatch_rate, 0.0);
+        let full = try_cosim_bounded(&m, &m, &[], 30, 1, &CancelToken::unlimited()).unwrap();
+        assert!(full.complete);
+        assert_eq!(full.cycles_run, 30);
+    }
+
+    #[test]
+    fn try_cosim_surfaces_comb_loops_as_errors() {
+        // x = !x is a combinational loop: the simulator cannot settle.
+        let looped = parse(
+            "module l(input a, output y);\n  wire x;\n  assign x = ~x;\n  assign y = x & a;\nendmodule",
+        )
+        .unwrap();
+        let err = try_cosim_mismatch_rate(&looped, &looped, &[], 4, 1).unwrap_err();
+        assert!(err.contains("design"), "{err}");
+    }
+
+    #[test]
+    fn bounded_corruption_flags_incomplete_sampling() {
+        use rtlock_governor::CancelToken;
+        let m = parse(SRC).unwrap();
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let out = try_wrong_key_corruption(&m, &m, &[true, false], 3, 10, 1, &token).unwrap();
+        assert!(!out.complete);
+        assert_eq!(out.samples_run, 0);
+        assert_eq!(out.corruption, 0.0);
+    }
+
+    #[test]
     fn key_port_values_split_correctly() {
         let original = parse(SRC).unwrap();
         let mut locked = original.clone();
@@ -320,11 +470,10 @@ mod tests {
         let mut keys = KeyAllocator::new();
         let mut applied = 0;
         for c in &cands {
-            if matches!(c, crate::candidates::Candidate::Constant { .. }) && applied < 2 {
-                if apply(&mut locked, c, &fsms, &mut keys).is_ok() {
+            if matches!(c, crate::candidates::Candidate::Constant { .. }) && applied < 2
+                && apply(&mut locked, c, &fsms, &mut keys).is_ok() {
                     applied += 1;
                 }
-            }
         }
         let key = keys.correct_key().to_vec();
         assert_eq!(key_length(&locked), key.len());

@@ -79,9 +79,10 @@ pub fn source() -> String {
     for i in 0..16 {
         let b = byte_slice("sr", i);
         s.push_str(&format!(
-            "  wire [7:0] xt{i};\n  assign xt{i} = {{{b_lo}, 1'b0}} ^ (8'h1b & {{8{{{b_hi}}}}});\n",
-            b_lo = format!("{}[{}:{}]", "sr", 127 - 8 * i - 1, 120 - 8 * i),
-            b_hi = format!("sr[{}]", 127 - 8 * i),
+            "  wire [7:0] xt{i};\n  assign xt{i} = {{sr[{lo_hi}:{lo_lo}], 1'b0}} ^ (8'h1b & {{8{{sr[{hi}]}}}});\n",
+            lo_hi = 127 - 8 * i - 1,
+            lo_lo = 120 - 8 * i,
+            hi = 127 - 8 * i,
         ));
         let _ = b;
     }

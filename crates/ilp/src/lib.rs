@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+use rtlock_governor::CancelToken;
 use std::fmt;
 
 /// Constraint direction.
@@ -69,6 +70,18 @@ pub struct IlpSolution {
     pub assignment: Vec<bool>,
     /// Objective value `Σ cᵢ·xᵢ`.
     pub objective: f64,
+}
+
+/// Result of a budget-aware solve ([`IlpProblem::solve_with`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpOutcome {
+    /// The best feasible assignment found, if any.
+    pub solution: Option<IlpSolution>,
+    /// `true` when the search ran to exhaustion: the solution is proven
+    /// optimal, and `None` proves infeasibility. `false` means the node
+    /// budget or the cancel token cut the search short — the solution (if
+    /// any) is an incumbent, and `None` proves nothing.
+    pub complete: bool,
 }
 
 /// Error for malformed constraint references.
@@ -127,6 +140,21 @@ impl IlpProblem {
     /// early; a 4M-node budget bounds worst-case instances, in which case
     /// the best incumbent found is returned (possibly suboptimal).
     pub fn solve(&self) -> Option<IlpSolution> {
+        self.solve_with(&CancelToken::unlimited()).solution
+    }
+
+    /// Solves under a cooperative [`CancelToken`] (polled every few
+    /// thousand branch nodes) in addition to the node budget, reporting
+    /// whether the search completed. An interrupted search returns the
+    /// best incumbent found so far — possibly `None`, which then proves
+    /// nothing about feasibility.
+    pub fn solve_with(&self, cancel: &CancelToken) -> IlpOutcome {
+        // One up-front poll so an already-fired token (zero deadline,
+        // fault injection) stops even problems too small to hit the
+        // in-search poll interval.
+        if cancel.should_stop().is_some() {
+            return IlpOutcome { solution: None, complete: false };
+        }
         let n = self.num_vars();
         // Branch order: largest |objective| first, then largest coverage of
         // `≥` rows, so bounds and feasibility bite early.
@@ -149,13 +177,17 @@ impl IlpProblem {
         let mut best: Option<IlpSolution> = None;
         let mut x = vec![false; n];
         let mut fixed = vec![false; n];
-        let mut nodes = 0u64;
-        self.branch(&order, 0, &mut x, &mut fixed, 0.0, &mut best, &mut nodes);
-        best
+        let mut search = Search { nodes: 0, stopped: false, cancel };
+        self.branch(&order, 0, &mut x, &mut fixed, 0.0, &mut best, &mut search);
+        IlpOutcome { solution: best, complete: !search.stopped }
     }
 
     /// Node budget for [`IlpProblem::solve`].
     const NODE_BUDGET: u64 = 4_000_000;
+
+    /// How often (in nodes) the cancel token is polled. Power of two so
+    /// the check is a mask, keeping `Instant::now()` off the hot path.
+    const CANCEL_POLL_MASK: u64 = 0xFFF;
 
     #[allow(clippy::too_many_arguments)]
     fn branch(
@@ -166,10 +198,16 @@ impl IlpProblem {
         fixed: &mut Vec<bool>,
         cost: f64,
         best: &mut Option<IlpSolution>,
-        nodes: &mut u64,
+        search: &mut Search<'_>,
     ) {
-        *nodes += 1;
-        if *nodes > Self::NODE_BUDGET {
+        if search.stopped {
+            return;
+        }
+        search.nodes += 1;
+        if search.nodes > Self::NODE_BUDGET
+            || (search.nodes & Self::CANCEL_POLL_MASK == 0 && search.cancel.should_stop().is_some())
+        {
+            search.stopped = true;
             return;
         }
         // Objective bound: remaining free vars can only lower the cost by
@@ -222,11 +260,18 @@ impl IlpProblem {
         for val in try_order {
             x[v] = val;
             let dc = if val { self.objective[v] } else { 0.0 };
-            self.branch(order, depth + 1, x, fixed, cost + dc, best, nodes);
+            self.branch(order, depth + 1, x, fixed, cost + dc, best, search);
         }
         x[v] = false;
         fixed[v] = false;
     }
+}
+
+/// Mutable search state threaded through [`IlpProblem::branch`].
+struct Search<'a> {
+    nodes: u64,
+    stopped: bool,
+    cancel: &'a CancelToken,
 }
 
 #[cfg(test)]
@@ -334,6 +379,41 @@ mod tests {
                 (b, s) => panic!("feasibility mismatch: brute {b:?} vs bb {:?}", s.map(|s| s.objective)),
             }
         }
+    }
+
+    #[test]
+    fn solve_with_unlimited_token_is_complete() {
+        let mut p = IlpProblem::minimize(vec![1.0, 1.0]);
+        p.add_constraint(vec![(0, 5.0), (1, 5.0)], Sense::Ge, 5.0);
+        let out = p.solve_with(&CancelToken::unlimited());
+        assert!(out.complete);
+        assert_eq!(out.solution.unwrap().objective, 1.0);
+    }
+
+    #[test]
+    fn expired_token_yields_incomplete_outcome() {
+        use rtlock_governor::Deadline;
+        let mut p = IlpProblem::minimize(vec![1.0, 1.0]);
+        p.add_constraint(vec![(0, 5.0), (1, 5.0)], Sense::Ge, 5.0);
+        let token = CancelToken::with_deadline(Deadline::after(std::time::Duration::ZERO));
+        let out = p.solve_with(&token);
+        assert!(!out.complete, "expired deadline must not claim optimality");
+        assert!(out.solution.is_none());
+    }
+
+    #[test]
+    fn incomplete_infeasible_proves_nothing() {
+        // Same infeasible problem as `infeasible_returns_none`, but with a
+        // cancelled token: `complete` distinguishes "proved infeasible"
+        // from "gave up".
+        let mut p = IlpProblem::minimize(vec![1.0, 1.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 3.0);
+        let exhaustive = p.solve_with(&CancelToken::unlimited());
+        assert!(exhaustive.complete && exhaustive.solution.is_none());
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let cut = p.solve_with(&token);
+        assert!(!cut.complete && cut.solution.is_none());
     }
 
     #[test]

@@ -405,10 +405,10 @@ impl Montgomery {
         };
         if ge {
             let mut borrow = 0u64;
-            for j in 0..n {
-                let (d1, b1) = result[j].overflowing_sub(self.m[j]);
+            for (r, &m) in result.iter_mut().zip(&self.m[..n]) {
+                let (d1, b1) = r.overflowing_sub(m);
                 let (d2, b2) = d1.overflowing_sub(borrow);
-                result[j] = d2;
+                *r = d2;
                 borrow = u64::from(b1) + u64::from(b2);
             }
             result[n] = result[n].wrapping_sub(borrow);

@@ -123,21 +123,17 @@ pub fn extract(module: &Module) -> Vec<Fsm> {
         // Simple `state <= state_next` updates at the top level of the body.
         for s in &p.body {
             if let Stmt::Assign { lhs, rhs } = s {
-                if lhs.range.is_none() {
-                    if let Expr::Ref(src) = rhs {
-                        let initial = find_reset_const(&p.reset_body, lhs.net);
-                        candidates.push((lhs.net, *src, initial));
-                    }
+                if let (None, Expr::Ref(src)) = (&lhs.range, rhs) {
+                    let initial = find_reset_const(&p.reset_body, lhs.net);
+                    candidates.push((lhs.net, *src, initial));
                 }
             }
         }
         // One-process style: `case (state)` directly in the clocked body.
         for s in &p.body {
-            if let Stmt::Case { subject, .. } = s {
-                if let Expr::Ref(state) = subject {
-                    let initial = find_reset_const(&p.reset_body, *state);
-                    candidates.push((*state, *state, initial));
-                }
+            if let Stmt::Case { subject: Expr::Ref(state), .. } = s {
+                let initial = find_reset_const(&p.reset_body, *state);
+                candidates.push((*state, *state, initial));
             }
         }
     }
@@ -198,7 +194,7 @@ fn find_reset_const(reset_body: &[Stmt], target: NetId) -> Option<Bv> {
 fn find_case_transitions(stmts: &[Stmt], state_reg: NetId, next_net: NetId) -> Option<(Vec<Bv>, Vec<Transition>)> {
     for s in stmts {
         match s {
-            Stmt::Case { subject, arms, default: _ } if matches!(subject, Expr::Ref(n) if *n == state_reg) => {
+            Stmt::Case { subject: Expr::Ref(n), arms, default: _ } if *n == state_reg => {
                 let mut labels = Vec::new();
                 let mut transitions = Vec::new();
                 for arm in arms {

@@ -471,9 +471,8 @@ impl Parser {
                     if Self::is_reset_cond(cond, &spec) {
                         process.reset_body = then_.clone();
                         process.body = else_.clone();
-                        return Ok({
-                            module.procs.push(process);
-                        });
+                        module.procs.push(process);
+                        return Ok(());
                     }
                 }
             }

@@ -28,6 +28,12 @@ impl Budget {
         Budget { max_conflicts: Some(n), ..Budget::default() }
     }
 
+    /// Limit by a shared wall-clock [`Deadline`](rtlock_governor::Deadline)
+    /// only (an unbounded deadline yields an unlimited budget).
+    pub fn until(deadline: rtlock_governor::Deadline) -> Budget {
+        Budget { deadline: deadline.as_instant(), ..Budget::default() }
+    }
+
     fn exceeded(&self, stats: &Stats) -> bool {
         if let Some(mc) = self.max_conflicts {
             if stats.conflicts >= mc {

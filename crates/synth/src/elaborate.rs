@@ -192,7 +192,7 @@ impl<'m> Elaborator<'m> {
         }
 
         // Next-state logic for each clocked process.
-        for (pi, p) in self.module.procs.iter().enumerate() {
+        for p in self.module.procs.iter() {
             let ProcessKind::Seq { reset, .. } = &p.kind else { continue };
             let mut targets = HashSet::new();
             collect_targets(&p.body, &mut targets);
@@ -204,12 +204,12 @@ impl<'m> Elaborator<'m> {
                 env.insert(t, self.registers[&t].clone());
             }
             let base = env.clone();
-            self.exec_block(&p.body, &mut env, false, pi)?;
+            self.exec_block(&p.body, &mut env, false)?;
 
             // Reset values.
             let reset_env = if reset.is_some() {
                 let mut renv = base.clone();
-                self.exec_block(&p.reset_body, &mut renv, false, pi)?;
+                self.exec_block(&p.reset_body, &mut renv, false)?;
                 Some(renv)
             } else {
                 None
@@ -284,7 +284,7 @@ impl<'m> Elaborator<'m> {
                 let mut bits: Vec<Option<GateId>> = vec![None; w];
                 for i in idxs {
                     let a = &self.module.assigns[i];
-                    let rhs = self.eval_expr(&a.rhs.clone(), None, 0)?;
+                    let rhs = self.eval_expr(&a.rhs.clone(), None)?;
                     let (hi, lo) = a.lhs.range.unwrap_or((w - 1, 0));
                     let rhs = lower::resize(&mut self.builder, &rhs, hi - lo + 1);
                     for (k, &g) in rhs.iter().enumerate() {
@@ -332,7 +332,7 @@ impl<'m> Elaborator<'m> {
             env.insert(t, vec![zero; w]);
         }
         let body = p.body.clone();
-        self.exec_block(&body, &mut env, true, pi)?;
+        self.exec_block(&body, &mut env, true)?;
         self.done_procs.insert(pi);
         for (t, sig) in env {
             self.values.insert(t, sig);
@@ -353,12 +353,11 @@ impl<'m> Elaborator<'m> {
         stmts: &[Stmt],
         env: &mut HashMap<NetId, Sig>,
         blocking: bool,
-        pi: usize,
     ) -> Result<(), SynthError> {
         for s in stmts {
             match s {
                 Stmt::Assign { lhs, rhs } => {
-                    let val = self.eval_expr(rhs, if blocking { Some(env) } else { None }, pi)?;
+                    let val = self.eval_expr(rhs, if blocking { Some(env) } else { None })?;
                     let w = self.module.width(lhs.net);
                     let (hi, lo) = lhs.range.unwrap_or((w - 1, 0));
                     let val = lower::resize(&mut self.builder, &val, hi - lo + 1);
@@ -370,12 +369,12 @@ impl<'m> Elaborator<'m> {
                     }
                 }
                 Stmt::If { cond, then_, else_ } => {
-                    let c = self.eval_expr(cond, if blocking { Some(env) } else { None }, pi)?;
+                    let c = self.eval_expr(cond, if blocking { Some(env) } else { None })?;
                     let cbit = lower::reduce_or(&mut self.builder, &c);
                     let mut tenv = env.clone();
                     let mut eenv = env.clone();
-                    self.exec_block(then_, &mut tenv, blocking, pi)?;
-                    self.exec_block(else_, &mut eenv, blocking, pi)?;
+                    self.exec_block(then_, &mut tenv, blocking)?;
+                    self.exec_block(else_, &mut eenv, blocking)?;
                     for (t, slot) in env.iter_mut() {
                         let tv = &tenv[t];
                         let ev = &eenv[t];
@@ -383,14 +382,14 @@ impl<'m> Elaborator<'m> {
                     }
                 }
                 Stmt::Case { subject, arms, default } => {
-                    let subj = self.eval_expr(subject, if blocking { Some(env) } else { None }, pi)?;
+                    let subj = self.eval_expr(subject, if blocking { Some(env) } else { None })?;
                     let mut denv = env.clone();
-                    self.exec_block(default, &mut denv, blocking, pi)?;
+                    self.exec_block(default, &mut denv, blocking)?;
                     // Build from the last arm backwards so earlier arms win.
                     let mut acc = denv;
                     for arm in arms.iter().rev() {
                         let mut aenv = env.clone();
-                        self.exec_block(&arm.body, &mut aenv, blocking, pi)?;
+                        self.exec_block(&arm.body, &mut aenv, blocking)?;
                         // Selection: subject equals any label.
                         let mut sel = self.builder.constant(false);
                         for label in &arm.labels {
@@ -420,7 +419,6 @@ impl<'m> Elaborator<'m> {
         &mut self,
         e: &Expr,
         env: Option<&HashMap<NetId, Sig>>,
-        pi: usize,
     ) -> Result<Sig, SynthError> {
         let read = |this: &mut Self, net: NetId, env: Option<&HashMap<NetId, Sig>>| -> Result<Sig, SynthError> {
             if let Some(env) = env {
@@ -439,11 +437,11 @@ impl<'m> Elaborator<'m> {
             }
             Expr::IndexDyn { net, index } => {
                 let s = read(self, *net, env)?;
-                let idx = self.eval_expr(index, env, pi)?;
+                let idx = self.eval_expr(index, env)?;
                 Ok(vec![lower::index_dyn(&mut self.builder, &s, &idx)])
             }
             Expr::Unary { op, arg } => {
-                let a = self.eval_expr(arg, env, pi)?;
+                let a = self.eval_expr(arg, env)?;
                 Ok(match op {
                     UnaryOp::Not => lower::not(&mut self.builder, &a),
                     UnaryOp::Neg => lower::neg(&mut self.builder, &a),
@@ -457,8 +455,8 @@ impl<'m> Elaborator<'m> {
                 })
             }
             Expr::Binary { op, lhs, rhs } => {
-                let a0 = self.eval_expr(lhs, env, pi)?;
-                let b0 = self.eval_expr(rhs, env, pi)?;
+                let a0 = self.eval_expr(lhs, env)?;
+                let b0 = self.eval_expr(rhs, env)?;
                 let w = a0.len().max(b0.len());
                 let a = lower::resize(&mut self.builder, &a0, w);
                 let c = lower::resize(&mut self.builder, &b0, w);
@@ -501,10 +499,10 @@ impl<'m> Elaborator<'m> {
                 })
             }
             Expr::Ternary { cond, then_, else_ } => {
-                let c = self.eval_expr(cond, env, pi)?;
+                let c = self.eval_expr(cond, env)?;
                 let cbit = lower::reduce_or(&mut self.builder, &c);
-                let t0 = self.eval_expr(then_, env, pi)?;
-                let e0 = self.eval_expr(else_, env, pi)?;
+                let t0 = self.eval_expr(then_, env)?;
+                let e0 = self.eval_expr(else_, env)?;
                 let w = t0.len().max(e0.len());
                 let t = lower::resize(&mut self.builder, &t0, w);
                 let f = lower::resize(&mut self.builder, &e0, w);
@@ -514,13 +512,13 @@ impl<'m> Elaborator<'m> {
                 // parts[0] is the MSB part.
                 let mut out = Vec::new();
                 for p in parts.iter().rev() {
-                    let s = self.eval_expr(p, env, pi)?;
+                    let s = self.eval_expr(p, env)?;
                     out.extend(s);
                 }
                 Ok(out)
             }
             Expr::Repeat { times, expr } => {
-                let s = self.eval_expr(expr, env, pi)?;
+                let s = self.eval_expr(expr, env)?;
                 let mut out = Vec::with_capacity(s.len() * times);
                 for _ in 0..*times {
                     out.extend(s.iter().copied());

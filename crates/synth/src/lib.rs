@@ -37,5 +37,5 @@ pub mod scan;
 
 pub use builder::GateBuilder;
 pub use elaborate::{elaborate, SynthError};
-pub use opt::{optimize, OptStats};
+pub use opt::{optimize, optimize_bounded, OptStats};
 pub use scan::{scan_view, ScanView};

@@ -11,6 +11,7 @@
 //! one-input simplifications, structural hashing, dead-gate sweeping.
 //! Iterates to a fixpoint.
 
+use rtlock_governor::CancelToken;
 use rtlock_netlist::{Gate, GateId, GateKind, Netlist};
 use std::collections::HashMap;
 
@@ -21,6 +22,10 @@ pub struct OptStats {
     pub gates_removed: usize,
     /// Fixpoint iterations executed.
     pub iterations: usize,
+    /// `true` when a [`CancelToken`] stopped the fixpoint before
+    /// convergence. The netlist is still functionally correct (every pass
+    /// is semantics-preserving), just less optimized.
+    pub interrupted: bool,
 }
 
 /// Optimizes a netlist in place to a fixpoint.
@@ -43,9 +48,21 @@ pub struct OptStats {
 /// assert_eq!(n.logic_count(), 0, "y == a directly");
 /// ```
 pub fn optimize(netlist: &mut Netlist) -> OptStats {
+    optimize_bounded(netlist, &CancelToken::unlimited())
+}
+
+/// Like [`optimize`], but polls `cancel` between fixpoint iterations and
+/// stops early (with [`OptStats::interrupted`] set) when asked. Each pass
+/// is semantics-preserving, so an interrupted run leaves a correct — merely
+/// under-optimized — netlist.
+pub fn optimize_bounded(netlist: &mut Netlist, cancel: &CancelToken) -> OptStats {
     let mut stats = OptStats::default();
     let before_total = netlist.len();
     loop {
+        if cancel.should_stop().is_some() {
+            stats.interrupted = true;
+            break;
+        }
         stats.iterations += 1;
         let changed_fold = fold_pass(netlist);
         let changed_hash = strash_pass(netlist);
@@ -439,6 +456,37 @@ mod tests {
         optimize(&mut n);
         assert_eq!(n.dffs().len(), 1);
         assert_eq!(n.logic_count(), 1);
+    }
+
+    #[test]
+    fn expired_token_stops_before_first_pass() {
+        use rtlock_governor::{CancelToken, Deadline};
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let zero = n.add_gate(GateKind::Const0, vec![]);
+        let and = n.add_gate(GateKind::And, vec![a, zero]);
+        n.add_output("y", and);
+        let snapshot = n.clone();
+        let token = CancelToken::with_deadline(Deadline::after(std::time::Duration::ZERO));
+        let stats = optimize_bounded(&mut n, &token);
+        assert!(stats.interrupted);
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(n, snapshot, "interrupted run leaves the netlist intact");
+        // The unlimited run still converges afterwards.
+        let stats = optimize_bounded(&mut n, &CancelToken::unlimited());
+        assert!(!stats.interrupted);
+        assert_eq!(n.logic_count(), 0);
+    }
+
+    #[test]
+    fn cancelled_token_stops_immediately() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let g = n.add_gate(GateKind::Not, vec![a]);
+        n.add_output("y", g);
+        let token = CancelToken::unlimited();
+        token.cancel();
+        assert!(optimize_bounded(&mut n, &token).interrupted);
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn expr_from(ops: &[u8]) -> String {
             0 => "b".to_string(),
             1 => format!("8'd{}", op as u32 * 7 % 256),
             2 => "(a ^ b)".to_string(),
-            _ => format!("{{b[3:0], a[7:4]}}"),
+            _ => "{b[3:0], a[7:4]}".to_string(),
         };
         let o = ["+", "-", "&", "|", "^", "*", "<<", ">>", "~^"][(op as usize + i) % 9];
         expr = format!("({expr} {o} {rhs})");
