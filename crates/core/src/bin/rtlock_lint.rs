@@ -1,0 +1,160 @@
+//! `rtlock-lint` — standalone front end for the static analysis engine.
+//!
+//! ```text
+//! rtlock-lint [--format text|json] [--all-designs] [--list-rules] [files...]
+//! ```
+//!
+//! `.v` inputs are parsed (parse errors become `P001` diagnostics in the
+//! same report format) and, when elaboration succeeds, linted with both
+//! the RTL and netlist views so every rule group runs. `.bench` inputs
+//! are linted at the gate level only. `--all-designs` lints the bundled
+//! benchmark catalog. Exit status: 0 when no `Deny` findings, 1 when any
+//! input has one, 2 on usage errors.
+
+use rtlock_lint::{lint, Diagnostic, LintPhase, LintReport, LintTarget};
+use rtlock_netlist::from_bench;
+use rtlock_rtl::Module;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rtlock-lint [--format text|json] [--all-designs] [--list-rules] [files...]\n\
+         \x20   files: Verilog (.v) or ISCAS-89 (.bench)"
+    );
+    ExitCode::from(2)
+}
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = Format::Text;
+    let mut all_designs = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("text") => format = Format::Text,
+                    Some("json") => format = Format::Json,
+                    _ => return usage(),
+                }
+                i += 2;
+            }
+            "--all-designs" => {
+                all_designs = true;
+                i += 1;
+            }
+            "--list-rules" => {
+                for (id, severity, summary) in rtlock_lint::rule_catalog() {
+                    println!("{id}  {severity:<5}  {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            a if a.starts_with("--") => return usage(),
+            _ => {
+                files.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if !all_designs && files.is_empty() {
+        return usage();
+    }
+
+    let mut any_deny = false;
+    let mut emit = |name: &str, report: &LintReport| {
+        match format {
+            Format::Text => {
+                print!("== {name} ==\n{}", report.to_text());
+            }
+            Format::Json => {
+                // One JSON object per line, prefixed with the input name.
+                println!(
+                    "{{\"input\":{},\"report\":{}}}",
+                    rtlock_lint::diag::json_string(name),
+                    report.to_json()
+                );
+            }
+        }
+        any_deny |= !report.is_clean();
+    };
+
+    if all_designs {
+        for b in rtlock_designs::catalog() {
+            match b.module() {
+                Ok(m) => {
+                    let report = lint_module(&m);
+                    emit(b.name, &report);
+                }
+                Err(e) => {
+                    let report = parse_failure_report(Diagnostic::from(&e));
+                    emit(b.name, &report);
+                }
+            }
+        }
+    }
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = if path.ends_with(".bench") {
+            match from_bench(&src) {
+                Ok(n) => {
+                    let target = LintTarget::gates(&n).with_phase(LintPhase::Standalone);
+                    lint(&target)
+                }
+                Err(e) => parse_failure_report(Diagnostic::from(&e)),
+            }
+        } else {
+            match rtlock_rtl::parse(&src) {
+                Ok(m) => lint_module(&m),
+                Err(e) => parse_failure_report(Diagnostic::from(&e)),
+            }
+        };
+        emit(path, &report);
+    }
+
+    if any_deny {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Lints a parsed module with both views when it elaborates; RTL-only
+/// (plus an `E001` note) when it does not.
+fn lint_module(m: &Module) -> LintReport {
+    match rtlock_synth::elaborate(m) {
+        Ok(mut n) => {
+            rtlock::transforms::mark_key_inputs(&mut n);
+            let target = LintTarget::full(m, &n).with_phase(LintPhase::Standalone);
+            lint(&target)
+        }
+        Err(e) => {
+            let target = LintTarget::rtl(m).with_phase(LintPhase::Standalone);
+            let mut report = lint(&target);
+            report.diagnostics.push(Diagnostic {
+                rule: "E001",
+                severity: rtlock_lint::Severity::Warn,
+                span: rtlock_lint::Span::default(),
+                message: format!("netlist rules skipped: elaboration failed ({e})"),
+            });
+            report
+        }
+    }
+}
+
+fn parse_failure_report(d: Diagnostic) -> LintReport {
+    let mut report = LintReport::new(LintPhase::Standalone);
+    report.diagnostics.push(d);
+    report
+}

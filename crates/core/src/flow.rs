@@ -1,4 +1,5 @@
-//! The end-to-end RTLock flow (the seven steps of Section III-A) and the
+//! The end-to-end RTLock flow (the seven steps of Section III-A,
+//! bracketed by a pre-lock and a post-lock lint gate) and the
 //! [`LockedDesign`] artifact it produces.
 
 use crate::candidates::{enumerate_bounded, Candidate, EnumConfig};
@@ -6,8 +7,9 @@ use crate::database::{build_database_governed, Database, DatabaseConfig};
 use crate::governor::{Degradation, Fault, Governor, RunBudget, Stage};
 use crate::scan_lock::{insert_scan_lock, ScanLockConfig, ScanPolicy};
 use crate::select::{select_greedy, select_ilp_bounded, SelectOutcome, SelectionSpec};
-use crate::transforms::{apply_all, mark_key_inputs, KeyAllocator};
+use crate::transforms::{apply_all, inject_sabotage, mark_key_inputs, KeyAllocator};
 use crate::verify::{try_cosim_bounded, try_wrong_key_corruption, CorruptionOutcome, CosimOutcome};
+use rtlock_lint::{lint_bounded, Diagnostic, LintPhase, LintReport, LintTarget};
 use rtlock_netlist::Netlist;
 use rtlock_p1735::envelope::{protect, Grant};
 use rtlock_rtl::{print as print_rtl, Module};
@@ -78,6 +80,14 @@ pub enum LockError {
         /// The stage that could not complete in time.
         stage: Stage,
     },
+    /// A lint gate found `Deny`-severity defects and aborted the flow.
+    LintRejected {
+        /// Which gate rejected ([`Stage::PreLint`] or [`Stage::PostLint`]).
+        stage: Stage,
+        /// The `Deny` findings (the full report, warnings included, is on
+        /// [`FlowReport`] when the flow returns one).
+        findings: Vec<Diagnostic>,
+    },
 }
 
 impl fmt::Display for LockError {
@@ -95,6 +105,13 @@ impl fmt::Display for LockError {
                 write!(f, "stage {stage} panicked: {message}")
             }
             LockError::Timeout { stage } => write!(f, "stage {stage} ran out of budget"),
+            LockError::LintRejected { stage, findings } => {
+                write!(f, "{stage} gate rejected the design ({} deny finding(s)", findings.len())?;
+                if let Some(first) = findings.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -127,6 +144,11 @@ pub struct FlowReport {
     /// and corruption numbers then cover fewer cycles/samples than
     /// requested.
     pub partial_verification: bool,
+    /// Pre-lock lint gate report (`None` when the gate was skipped by a
+    /// fault injection or an exhausted budget).
+    pub pre_lint: Option<LintReport>,
+    /// Post-lock lint gate report (`None` when skipped).
+    pub post_lint: Option<LintReport>,
 }
 
 /// The artifact of a completed RTLock run.
@@ -177,24 +199,7 @@ impl LockedDesign {
     ///
     /// Returns [`LockError::Synthesis`] on elaboration failure.
     pub fn locked_netlist(&self) -> Result<Netlist, LockError> {
-        let mut n = elaborate(&self.locked).map_err(|e| LockError::Synthesis(e.to_string()))?;
-        optimize(&mut n);
-        mark_key_inputs(&mut n);
-        if let Some(policy) = &self.scan_policy {
-            let mut chain = Vec::new();
-            for name in &policy.scanned_registers {
-                for ff in n.dffs() {
-                    if let Some(gn) = n.gate_name(ff) {
-                        if gn == name || gn.starts_with(&format!("{name}[")) {
-                            chain.push(ff);
-                        }
-                    }
-                }
-            }
-            n.scan_chain.clear();
-            scan::insert_scan(&mut n, &chain);
-        }
-        Ok(n)
+        synthesize_locked(&self.locked, self.scan_policy.as_ref())
     }
 
     /// Synthesizes the original RTL.
@@ -254,6 +259,30 @@ impl LockedDesign {
     }
 }
 
+/// Synthesizes a locked module (key inputs marked, partial scan chain
+/// rebuilt per the policy). Shared by [`LockedDesign::locked_netlist`]
+/// and the post-lock lint gate, so both analyze the identical netlist.
+fn synthesize_locked(locked: &Module, scan_policy: Option<&ScanPolicy>) -> Result<Netlist, LockError> {
+    let mut n = elaborate(locked).map_err(|e| LockError::Synthesis(e.to_string()))?;
+    optimize(&mut n);
+    mark_key_inputs(&mut n);
+    if let Some(policy) = scan_policy {
+        let mut chain = Vec::new();
+        for name in &policy.scanned_registers {
+            for ff in n.dffs() {
+                if let Some(gn) = n.gate_name(ff) {
+                    if gn == name || gn.starts_with(&format!("{name}[")) {
+                        chain.push(ff);
+                    }
+                }
+            }
+        }
+        n.scan_chain.clear();
+        scan::insert_scan(&mut n, &chain);
+    }
+    Ok(n)
+}
+
 /// Runs the complete RTLock flow on a module, unbounded.
 ///
 /// Equivalent to [`lock_governed`] with [`RunBudget::unlimited`] — no
@@ -270,7 +299,8 @@ pub fn lock(module: &Module, config: &RtlLockConfig) -> Result<LockedDesign, Loc
 
 /// Runs the complete RTLock flow under a [`RunBudget`].
 ///
-/// Every one of the seven steps executes through the
+/// Every stage — the seven locking steps plus the two lint gates —
+/// executes through the
 /// [`Governor`](crate::governor::Governor): its body is panic-isolated
 /// (a panic becomes [`LockError::StagePanic`]), it polls a cancel token
 /// tightened to the stage's soft deadline, and when a budget fires the
@@ -300,17 +330,51 @@ pub fn lock_governed(
     let mut gov = Governor::start(budget.clone());
 
     // Step 1: elaborate — validates the original synthesizes before any
-    // expensive work starts.
+    // expensive work starts. The netlist feeds the pre-lock lint gate; an
+    // elaboration *failure* is held until after that gate so structural
+    // defects surface as findings, not as an opaque synthesis error.
     let empty_elab = gov.fault_plan().has(Stage::Elaborate, Fault::EmptyResult);
-    gov.run_stage(Stage::Elaborate, |token| {
+    let elab = gov.run_stage(Stage::Elaborate, |token| {
         if empty_elab {
             return Err(LockError::Synthesis("injected fault: elaboration produced nothing".into()));
         }
         if token.should_stop().is_some() {
             return Err(LockError::Timeout { stage: Stage::Elaborate });
         }
-        elaborate(module).map(|_| ()).map_err(|e| LockError::Synthesis(e.to_string()))
+        Ok(elaborate(module).map_err(|e| LockError::Synthesis(e.to_string())))
     })?;
+
+    // Pre-lock lint gate: refuse structurally broken inputs before any
+    // locking work is spent on them.
+    let skip_pre = gov.fault_plan().has(Stage::PreLint, Fault::EmptyResult);
+    let pre_lint = gov.run_stage(Stage::PreLint, |token| {
+        if skip_pre {
+            return Ok(None);
+        }
+        let target = match &elab {
+            Ok(n) => LintTarget::full(module, n),
+            Err(_) => LintTarget::rtl(module),
+        }
+        .with_phase(LintPhase::PreLock);
+        Ok(Some(lint_bounded(&target, token)))
+    })?;
+    match &pre_lint {
+        Some(rep) => {
+            if !rep.skipped.is_empty() {
+                gov.degrade(
+                    Stage::PreLint,
+                    format!("{} lint rule(s) skipped past the deadline", rep.skipped.len()),
+                );
+            }
+            if !rep.is_clean() {
+                return Err(LockError::LintRejected { stage: Stage::PreLint, findings: rep.denials() });
+            }
+        }
+        None => gov.degrade(Stage::PreLint, "pre-lock lint skipped (injected empty result)"),
+    }
+    // The gate had nothing to say about an un-synthesizable input (or was
+    // skipped): fail with the elaboration error itself.
+    elab?;
 
     // Step 2: enumerate candidates (budget cuts the list short).
     let empty_enum = gov.fault_plan().has(Stage::Enumerate, Fault::EmptyResult);
@@ -380,6 +444,7 @@ pub fn lock_governed(
     // Step 5: update RTL. Cheap and mandatory — runs even past the
     // budget so the work above is never wasted.
     let empty_transform = gov.fault_plan().has(Stage::Transform, Fault::EmptyResult);
+    let sabotage = gov.fault_plan().has(Stage::Transform, Fault::Sabotage);
     let (mut locked, applied, key) = gov.run_stage(Stage::Transform, |_| {
         let mut locked = module.clone();
         let mut keys = KeyAllocator::new();
@@ -389,6 +454,11 @@ pub fn lock_governed(
         let chosen: Vec<Candidate> = selected.iter().map(|&i| candidates[i].clone()).collect();
         let applied_local = apply_all(&mut locked, &chosen, &fsms, &mut keys);
         let applied: Vec<usize> = applied_local.iter().map(|&k| selected[k]).collect();
+        if sabotage {
+            // A key gate on a constant net: invisible to correct-key
+            // verification, caught only by the post-lock lint gate.
+            inject_sabotage(&mut locked, &mut keys);
+        }
         Ok((locked, applied, keys.correct_key().to_vec()))
     })?;
     if key.is_empty() {
@@ -437,6 +507,42 @@ pub fn lock_governed(
         gov.degrade(Stage::ScanLock, "scan locking skipped (injected empty result)");
     }
 
+    // Post-lock lint gate: key- and scan-aware rules over the locked
+    // design. Skipped (with a recorded degradation) when the budget is
+    // already exhausted — synthesizing the locked netlist is not free.
+    let skip_post = gov.fault_plan().has(Stage::PostLint, Fault::EmptyResult);
+    let post_lint = gov.run_stage(Stage::PostLint, |token| {
+        if skip_post || token.should_stop().is_some() {
+            return Ok(None);
+        }
+        let n = synthesize_locked(&locked, scan_policy.as_ref())?;
+        let target = LintTarget::full(&locked, &n)
+            .with_phase(LintPhase::PostLock)
+            .with_scan_locked(scan_policy.is_some());
+        Ok(Some(lint_bounded(&target, token)))
+    })?;
+    match &post_lint {
+        Some(rep) => {
+            if !rep.skipped.is_empty() {
+                gov.degrade(
+                    Stage::PostLint,
+                    format!("{} lint rule(s) skipped past the deadline", rep.skipped.len()),
+                );
+            }
+            if !rep.is_clean() {
+                return Err(LockError::LintRejected { stage: Stage::PostLint, findings: rep.denials() });
+            }
+        }
+        None => gov.degrade(
+            Stage::PostLint,
+            if skip_post {
+                "post-lock lint skipped (injected empty result)"
+            } else {
+                "post-lock lint skipped: budget exhausted"
+            },
+        ),
+    }
+
     let report = FlowReport {
         candidates_enumerated: candidates.len(),
         viable_cases: database.viable_cases().count(),
@@ -448,6 +554,8 @@ pub fn lock_governed(
         corruption: corruption.corruption,
         degradations: gov.take_degradations(),
         partial_verification,
+        pre_lint,
+        post_lint,
     };
     let applied_candidates = applied.iter().map(|&i| candidates[i].clone()).collect();
     Ok(LockedDesign {

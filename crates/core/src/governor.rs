@@ -28,11 +28,15 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-/// The seven stages of the RTLock flow, in execution order.
+/// The stages of the RTLock flow, in execution order: the seven locking
+/// steps plus the two lint gates that bracket them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Step 1: elaborate the original RTL (validates it synthesizes).
     Elaborate,
+    /// Pre-lock lint gate: static analysis of the input module and its
+    /// elaborated netlist before any locking work is spent on it.
+    PreLint,
     /// Step 2: enumerate locking candidates.
     Enumerate,
     /// Step 3: build the offline case database (synthesis + attack probes).
@@ -45,30 +49,37 @@ pub enum Stage {
     Verify,
     /// Step 7: partial scan insertion + scan locking.
     ScanLock,
+    /// Post-lock lint gate: static analysis of the locked design (key and
+    /// scan rules included) before it is handed back.
+    PostLint,
 }
 
 impl Stage {
     /// All stages, in flow order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Elaborate,
+        Stage::PreLint,
         Stage::Enumerate,
         Stage::Database,
         Stage::Select,
         Stage::Transform,
         Stage::Verify,
         Stage::ScanLock,
+        Stage::PostLint,
     ];
 
     /// Stable lowercase name (used in reports and fault plans).
     pub fn name(self) -> &'static str {
         match self {
             Stage::Elaborate => "elaborate",
+            Stage::PreLint => "pre_lint",
             Stage::Enumerate => "enumerate",
             Stage::Database => "database",
             Stage::Select => "select",
             Stage::Transform => "transform",
             Stage::Verify => "verify",
             Stage::ScanLock => "scan_lock",
+            Stage::PostLint => "post_lint",
         }
     }
 }
@@ -90,10 +101,16 @@ pub enum Fault {
     /// The stage produces an empty result (no candidates, no viable rows,
     /// empty selection — whatever "empty" means for that stage).
     EmptyResult,
+    /// The stage deliberately corrupts its own output (currently only
+    /// meaningful at [`Stage::Transform`], where it plants a key gate on a
+    /// constant-driven net; a no-op elsewhere). Exercises the post-lock
+    /// lint gate: the sabotage passes functional verification with the
+    /// correct key but must be rejected by rule `C002`.
+    Sabotage,
 }
 
 impl Fault {
-    const ALL: [Fault; 3] = [Fault::Panic, Fault::Timeout, Fault::EmptyResult];
+    const ALL: [Fault; 4] = [Fault::Panic, Fault::Timeout, Fault::EmptyResult, Fault::Sabotage];
 }
 
 /// A deterministic fault-injection plan: which [`Fault`] (if any) to
@@ -325,7 +342,7 @@ mod tests {
         // selection logic, not a statistical claim).
         let kinds: std::collections::HashSet<_> =
             (0..64u64).filter_map(|s| FaultPlan::seeded(s).injections.first().map(|&(_, f)| f)).collect();
-        assert_eq!(kinds.len(), 3);
+        assert_eq!(kinds.len(), 4);
     }
 
     #[test]

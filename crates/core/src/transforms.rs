@@ -120,6 +120,64 @@ fn polarity(loc: SiteLoc, ordinal: usize) -> bool {
     h & 1 == 1
 }
 
+/// Deliberately corrupts a locked module for the robustness harness
+/// ([`Fault::Sabotage`](crate::governor::Fault::Sabotage)): plants a key
+/// gate on a freshly added constant-driven net. The correct key (bit
+/// value 0) keeps the design functionally identical, so co-simulation
+/// passes — only the post-lock lint gate (rule `C002`) can reject it.
+pub(crate) fn inject_sabotage(module: &mut Module, keys: &mut KeyAllocator) {
+    let c = module.add_net("__sabotage_const", 1, NetKind::Wire);
+    module.assigns.push(rtlock_rtl::ast::Assign {
+        lhs: Lvalue::whole(c),
+        rhs: Expr::Const(Bv::zeros(1)),
+    });
+    let key = keys.alloc(module, &Bv::zeros(1));
+    let mask = Expr::binary(BinaryOp::Xor, Expr::Ref(c), Expr::Ref(key));
+    // Fold the (correct-key-zero) mask into an existing driver: a
+    // continuous assign other than the const driver itself, else the
+    // first procedural assignment.
+    if let Some(a) = module.assigns.iter_mut().find(|a| a.lhs.net != c) {
+        let rhs = std::mem::replace(&mut a.rhs, Expr::Const(Bv::zeros(1)));
+        a.rhs = Expr::binary(BinaryOp::Xor, rhs, mask);
+        return;
+    }
+    for p in &mut module.procs {
+        if let Some(rhs) = first_stmt_rhs(&mut p.body) {
+            let old = std::mem::replace(rhs, Expr::Const(Bv::zeros(1)));
+            *rhs = Expr::binary(BinaryOp::Xor, old, mask);
+            return;
+        }
+    }
+}
+
+fn first_stmt_rhs(stmts: &mut [Stmt]) -> Option<&mut Expr> {
+    for s in stmts {
+        match s {
+            Stmt::Assign { rhs, .. } => return Some(rhs),
+            Stmt::If { then_, else_, .. } => {
+                // Split borrows: recurse each branch separately.
+                if let Some(r) = first_stmt_rhs(then_) {
+                    return Some(r);
+                }
+                if let Some(r) = first_stmt_rhs(else_) {
+                    return Some(r);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms.iter_mut() {
+                    if let Some(r) = first_stmt_rhs(&mut arm.body) {
+                        return Some(r);
+                    }
+                }
+                if let Some(r) = first_stmt_rhs(default) {
+                    return Some(r);
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Applies one candidate to the module, allocating key bits in `keys`.
 ///
 /// # Errors

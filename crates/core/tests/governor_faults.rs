@@ -101,6 +101,19 @@ fn injected_timeout_at_every_stage_degrades_or_errors() {
                 assert!(out.report.partial_verification);
                 assert!(out.report.degradations.iter().any(|d| d.stage == Stage::Verify));
             }
+            // An out-of-budget pre-lock lint gate skips its rules and
+            // records the gap instead of blocking the flow.
+            (Stage::PreLint, Ok(out)) => {
+                assert!(out.report.degradations.iter().any(|d| d.stage == Stage::PreLint));
+                let rep = out.report.pre_lint.as_ref().expect("gate ran, rules skipped");
+                assert!(!rep.skipped.is_empty());
+            }
+            // The post-lock gate skips entirely (synthesizing the locked
+            // netlist is not free) and records the degradation.
+            (Stage::PostLint, Ok(out)) => {
+                assert!(out.report.degradations.iter().any(|d| d.stage == Stage::PostLint));
+                assert!(out.report.post_lint.is_none());
+            }
             (stage, other) => panic!("stage {stage}: unexpected outcome {other:?}"),
         }
     }
@@ -125,9 +138,35 @@ fn injected_empty_result_at_every_stage_is_handled() {
                 assert!(out.scan_policy.is_none(), "scan locking skipped");
                 assert!(out.report.degradations.iter().any(|d| d.stage == Stage::ScanLock));
             }
+            // A skipped lint gate is a recorded degradation, never a
+            // silent pass.
+            (Stage::PreLint, Ok(out)) => {
+                assert!(out.report.pre_lint.is_none());
+                assert!(out.report.degradations.iter().any(|d| d.stage == Stage::PreLint));
+            }
+            (Stage::PostLint, Ok(out)) => {
+                assert!(out.report.post_lint.is_none());
+                assert!(out.report.degradations.iter().any(|d| d.stage == Stage::PostLint));
+            }
             (stage, other) => panic!("stage {stage}: unexpected outcome {other:?}"),
         }
     }
+}
+
+#[test]
+fn injected_sabotage_at_transform_is_rejected_by_the_post_lock_gate() {
+    let m = module();
+    let out = lock_governed(&m, &quick(), &budget_with(Stage::Transform, Fault::Sabotage));
+    match out {
+        Err(LockError::LintRejected { stage, findings }) => {
+            assert_eq!(stage, Stage::PostLint);
+            assert!(findings.iter().any(|d| d.rule == "C002"), "findings: {findings:?}");
+        }
+        other => panic!("expected LintRejected at post_lint, got {other:?}"),
+    }
+    // Sabotage anywhere else is a no-op: the flow completes clean.
+    let ok = lock_governed(&m, &quick(), &budget_with(Stage::Verify, Fault::Sabotage));
+    assert!(ok.is_ok(), "got {ok:?}");
 }
 
 #[test]

@@ -34,7 +34,10 @@ pub mod b05;
 pub mod b14;
 pub mod b15;
 pub mod fibo;
+pub mod lint_fixtures;
 pub mod sha1;
+
+pub use lint_fixtures::{lint_fixtures, FixtureKind, LintFixture};
 
 use rtlock_rtl::{parse, Module, ParseError};
 

@@ -1,0 +1,250 @@
+//! Known-defect fixtures for the `rtlock-lint` rule catalog.
+//!
+//! One fixture per rule: a `bad` snippet the rule must flag and a clean
+//! `good` twin it must stay silent on. Structural rules (`S…`) and the
+//! RTL-side security rules use Verilog sources; key-aware synthesis and
+//! scan rules (`Y…`, most `C…`) use `.bench` netlists with `keyinput<i>`
+//! naming so the key inputs come pre-marked.
+
+/// The source language of a fixture pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixtureKind {
+    /// Verilog sources for `rtlock_rtl::parse`.
+    Verilog,
+    /// ISCAS-89 sources for `rtlock_netlist::from_bench`.
+    Bench,
+}
+
+/// A positive/negative fixture pair for one lint rule.
+#[derive(Debug, Clone)]
+pub struct LintFixture {
+    /// The rule this pair exercises (`S001`, `Y002`, …).
+    pub rule: &'static str,
+    /// Short human name for test output.
+    pub name: &'static str,
+    /// Source language of both snippets.
+    pub kind: FixtureKind,
+    /// A snippet the rule must flag.
+    pub bad: &'static str,
+    /// A clean twin the rule must not flag.
+    pub good: &'static str,
+    /// When `true`, the test harness puts every flip-flop of a bench
+    /// fixture on the scan chain before linting (the scan rules need a
+    /// chain to reason about).
+    pub full_scan: bool,
+}
+
+/// All fixture pairs, one per catalog rule.
+pub fn lint_fixtures() -> Vec<LintFixture> {
+    vec![
+        LintFixture {
+            rule: "S001",
+            name: "combinational loop",
+            kind: FixtureKind::Verilog,
+            bad: "module loopy(input a, input b, output y);\n\
+                  wire p; wire q;\n\
+                  assign p = q & a;\n\
+                  assign q = p | b;\n\
+                  assign y = q;\nendmodule",
+            good: "module loopless(input a, input b, output y);\n\
+                   wire p; wire q;\n\
+                   assign p = a & b;\n\
+                   assign q = p | b;\n\
+                   assign y = q;\nendmodule",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "S002",
+            name: "multi-driven net",
+            kind: FixtureKind::Verilog,
+            bad: "module mdrive(input a, input b, output y);\n\
+                  assign y = a;\n\
+                  assign y = b;\nendmodule",
+            good: "module sdrive(input a, input b, output y);\n\
+                   assign y = a | b;\nendmodule",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "S003",
+            name: "undriven net read",
+            kind: FixtureKind::Verilog,
+            bad: "module floaty(input a, output y);\n\
+                  wire u;\n\
+                  assign y = a & u;\nendmodule",
+            good: "module driven(input a, output y);\n\
+                   wire u;\n\
+                   assign u = ~a;\n\
+                   assign y = a & u;\nendmodule",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "S004",
+            name: "width mismatch",
+            kind: FixtureKind::Verilog,
+            bad: "module wide(input [7:0] a, output [3:0] y);\n\
+                  assign y = a;\nendmodule",
+            good: "module narrow(input [7:0] a, output [3:0] y);\n\
+                   assign y = a[3:0];\nendmodule",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "S005",
+            name: "unused net",
+            kind: FixtureKind::Verilog,
+            bad: "module lonely(input a, output y);\n\
+                  wire dead;\n\
+                  assign dead = ~a;\n\
+                  assign y = a;\nendmodule",
+            good: "module tidy(input a, output y);\n\
+                   wire live;\n\
+                   assign live = ~a;\n\
+                   assign y = live;\nendmodule",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "S006",
+            name: "unreachable FSM state",
+            kind: FixtureKind::Verilog,
+            bad: "module fsm(input clk, input rst, input go, output o);\n\
+                  reg [1:0] st; reg [1:0] st_next;\n\
+                  assign o = st == 2'd2;\n\
+                  always @(*) begin\n\
+                    st_next = st;\n\
+                    case (st)\n\
+                      2'd0: begin if (go) st_next = 2'd1; end\n\
+                      2'd1: begin st_next = 2'd2; end\n\
+                      2'd2: begin st_next = 2'd0; end\n\
+                      2'd3: begin st_next = 2'd0; end\n\
+                    endcase\n\
+                  end\n\
+                  always @(posedge clk or posedge rst) begin\n\
+                    if (rst) st <= 2'd0;\n\
+                    else st <= st_next;\n\
+                  end\nendmodule",
+            good: "module fsm_ok(input clk, input rst, input go, output o);\n\
+                   reg [1:0] st; reg [1:0] st_next;\n\
+                   assign o = st == 2'd2;\n\
+                   always @(*) begin\n\
+                     st_next = st;\n\
+                     case (st)\n\
+                       2'd0: begin if (go) st_next = 2'd1; end\n\
+                       2'd1: begin st_next = 2'd2; end\n\
+                       2'd2: begin st_next = 2'd3; end\n\
+                       2'd3: begin st_next = 2'd0; end\n\
+                     endcase\n\
+                   end\n\
+                   always @(posedge clk or posedge rst) begin\n\
+                     if (rst) st <= 2'd0;\n\
+                     else st <= st_next;\n\
+                   end\nendmodule",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "Y001",
+            name: "optimizer-removable key gate",
+            kind: FixtureKind::Bench,
+            // The key XOR drives nothing an output can see: the shadow
+            // optimization pass sweeps the whole cone away.
+            bad: "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  dead = XOR(a, keyinput0)\n\
+                  y = BUFF(a)\n",
+            good: "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   y = XOR(a, keyinput0)\n",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "Y002",
+            name: "unobservable key input",
+            kind: FixtureKind::Bench,
+            // Declared but never used: SCOAP observability is infinite.
+            bad: "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  y = BUFF(a)\n",
+            good: "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   y = XNOR(a, keyinput0)\n",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "Y003",
+            name: "value-indifferent key bit",
+            kind: FixtureKind::Bench,
+            // k OR ~k is a tautology: hardwiring the key to 0 and to 1
+            // resynthesizes to the identical cone (y = a).
+            bad: "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  nk = NOT(keyinput0)\n\
+                  t = OR(keyinput0, nk)\n\
+                  y = AND(a, t)\n",
+            good: "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   y = XOR(a, keyinput0)\n",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "C001",
+            name: "key-to-scan-cell path",
+            kind: FixtureKind::Bench,
+            // The key bit is combinationally captured by a scanned flop:
+            // one test-mode capture + shift-out leaks it.
+            bad: "INPUT(d)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  t = XOR(d, keyinput0)\n\
+                  q = DFF(t)\n\
+                  y = BUFF(q)\n",
+            // Key gate after the flop: the scan cell never sees the key.
+            good: "INPUT(d)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   q = DFF(d)\n\
+                   y = XOR(q, keyinput0)\n",
+            full_scan: true,
+        },
+        LintFixture {
+            rule: "C002",
+            name: "key gate on a constant net",
+            kind: FixtureKind::Verilog,
+            // `c` is a wire the design drives to a constant — resynthesis
+            // folds it away and exposes the key wire directly. A literal
+            // constant mask (the good twin) is the legitimate XorMask
+            // idiom and must stay unflagged.
+            bad: "module sab(input a, input lock_key_0, output y);\n\
+                  wire c;\n\
+                  assign c = 1'b0;\n\
+                  assign y = a ^ (c ^ lock_key_0);\nendmodule",
+            good: "module mask(input a, input lock_key_0, output y);\n\
+                   assign y = a ^ (lock_key_0 ^ 1'b1);\nendmodule",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "C003",
+            name: "key cone in one scan segment",
+            kind: FixtureKind::Bench,
+            // Four scanned flops; the key cone touches only q1 — one
+            // contiguous slice of the chain isolates it.
+            bad: "INPUT(d)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  t1 = XOR(d, keyinput0)\n\
+                  q0 = DFF(d)\n\
+                  q1 = DFF(t1)\n\
+                  q2 = DFF(q1)\n\
+                  q3 = DFF(q2)\n\
+                  y = AND(q0, q3)\n",
+            // The cone touches q1 and q3: not contiguous on the chain.
+            good: "INPUT(d)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   t1 = XOR(d, keyinput0)\n\
+                   t3 = XNOR(q2, keyinput0)\n\
+                   q0 = DFF(d)\n\
+                   q1 = DFF(t1)\n\
+                   q2 = DFF(q1)\n\
+                   q3 = DFF(t3)\n\
+                   y = AND(q0, q3)\n",
+            full_scan: true,
+        },
+        LintFixture {
+            rule: "C004",
+            name: "dead lock point",
+            kind: FixtureKind::Verilog,
+            // The key gates a net no output can ever observe.
+            bad: "module deadlock(input a, input lock_key_0, output y);\n\
+                  wire dead;\n\
+                  assign dead = a ^ lock_key_0;\n\
+                  assign y = a;\nendmodule",
+            good: "module livelock(input a, input lock_key_0, output y);\n\
+                   assign y = a ^ lock_key_0;\nendmodule",
+            full_scan: false,
+        },
+    ]
+}

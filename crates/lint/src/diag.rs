@@ -1,0 +1,320 @@
+//! The diagnostic model shared by every lint rule, the RTL parser, and
+//! the `.bench` reader: severities, spans, findings, and the two report
+//! renderers (human-readable text and machine-readable JSON).
+
+use rtlock_netlist::bench_format::{BenchErrorKind, ParseBenchError};
+use rtlock_rtl::ParseError;
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Ordering is by escalation: `Info < Warn < Deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Observation; never gates a flow.
+    Info,
+    /// Suspicious but tolerable; reported, never fatal.
+    Warn,
+    /// Structural defect that breaks the locking security argument; a
+    /// flow gate aborts with `LockError::LintRejected` on any of these.
+    Deny,
+}
+
+impl Severity {
+    /// Stable lowercase name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a finding points. Either coordinate may be absent: RTL findings
+/// carry a source line, netlist findings carry a net/gate name, parse
+/// errors carry line and column.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// 1-based source line, when the finding maps to source text.
+    pub line: Option<usize>,
+    /// 1-based source column, when known (parse diagnostics).
+    pub col: Option<usize>,
+    /// The net, port, or gate the finding is about.
+    pub object: Option<String>,
+}
+
+impl Span {
+    /// A span that names an object (net, port, or gate) only.
+    pub fn object(name: impl Into<String>) -> Span {
+        Span { line: None, col: None, object: Some(name.into()) }
+    }
+
+    /// A span that points at a source line only.
+    pub fn line(line: usize) -> Span {
+        Span { line: Some(line), col: None, object: None }
+    }
+
+    /// A span that points at a source line and column.
+    pub fn line_col(line: usize, col: usize) -> Span {
+        Span { line: Some(line), col: Some(col), object: None }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.col, &self.object) {
+            (Some(l), Some(c), _) => write!(f, "line {l}:{c}"),
+            (Some(l), None, Some(o)) => write!(f, "line {l} `{o}`"),
+            (Some(l), None, None) => write!(f, "line {l}"),
+            (None, _, Some(o)) => write!(f, "`{o}`"),
+            (None, _, None) => write!(f, "-"),
+        }
+    }
+}
+
+/// One finding: a rule, a severity, a location, and a message.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Diagnostic {
+    /// Rule identifier (`S…` structural, `Y…` synthesis-soundness, `C…`
+    /// scan/lock security, `P…` parse, `E…` elaboration).
+    pub rule: &'static str,
+    /// Severity of this particular finding (a rule may emit below its
+    /// default severity when a mitigation is in place).
+    pub severity: Severity,
+    /// Where it points.
+    pub span: Span,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}: {}", self.severity, self.rule, self.span, self.message)
+    }
+}
+
+/// Parser errors share the lint report format: a spanned `Deny` finding
+/// under the `P001` rule.
+impl From<&ParseError> for Diagnostic {
+    fn from(e: &ParseError) -> Diagnostic {
+        Diagnostic {
+            rule: "P001",
+            severity: Severity::Deny,
+            span: Span::line_col(e.line, e.col),
+            message: e.message.clone(),
+        }
+    }
+}
+
+/// `.bench` reader errors share the report format too. Multi-driver
+/// errors (duplicate definitions for one net) surface under the same rule
+/// id as the RTL multi-driven-net rule, `S002`.
+impl From<&ParseBenchError> for Diagnostic {
+    fn from(e: &ParseBenchError) -> Diagnostic {
+        Diagnostic {
+            rule: match e.kind {
+                BenchErrorKind::MultiDriver => "S002",
+                BenchErrorKind::Syntax => "P002",
+            },
+            severity: Severity::Deny,
+            span: Span::line(e.line),
+            message: e.message.clone(),
+        }
+    }
+}
+
+/// Which flow gate (if any) produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintPhase {
+    /// Gate on the input module before any locking work.
+    PreLock,
+    /// Gate on the locked design after scan locking.
+    PostLock,
+    /// CLI or library use outside the flow.
+    Standalone,
+}
+
+impl LintPhase {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintPhase::PreLock => "pre_lock",
+            LintPhase::PostLock => "post_lock",
+            LintPhase::Standalone => "standalone",
+        }
+    }
+}
+
+impl fmt::Display for LintPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of one lint run: findings plus the rules the budget forced
+/// the engine to skip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Which gate produced this report.
+    pub phase: LintPhase,
+    /// All findings, sorted by (rule, span, message) for determinism.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Rules skipped because the budget expired before they ran.
+    pub skipped: Vec<&'static str>,
+}
+
+impl LintReport {
+    /// An empty report for `phase`.
+    pub fn new(phase: LintPhase) -> LintReport {
+        LintReport { phase, diagnostics: Vec::new(), skipped: Vec::new() }
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// `Deny` findings (the gate-aborting ones).
+    pub fn deny_count(&self) -> usize {
+        self.count(Severity::Deny)
+    }
+
+    /// All `Deny` findings, cloned (what `LockError::LintRejected` carries).
+    pub fn denials(&self) -> Vec<Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Deny).cloned().collect()
+    }
+
+    /// `true` when nothing gate-aborting was found.
+    pub fn is_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// Human-readable rendering, one finding per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        if !self.skipped.is_empty() {
+            out.push_str(&format!("skipped (budget): {}\n", self.skipped.join(", ")));
+        }
+        out.push_str(&format!(
+            "{} deny, {} warn, {} info\n",
+            self.count(Severity::Deny),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering (no external dependencies; the
+    /// grammar is plain RFC 8259).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"phase\":\"{}\",", self.phase));
+        out.push_str(&format!(
+            "\"deny\":{},\"warn\":{},\"info\":{},",
+            self.count(Severity::Deny),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        out.push_str("\"skipped\":[");
+        for (i, s) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{s}\""));
+        }
+        out.push_str("],\"findings\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"message\":{}",
+                d.rule,
+                d.severity,
+                json_string(&d.message)
+            ));
+            if let Some(l) = d.span.line {
+                out.push_str(&format!(",\"line\":{l}"));
+            }
+            if let Some(c) = d.span.col {
+                out.push_str(&format!(",\"col\":{c}"));
+            }
+            if let Some(o) = &d.span.object {
+                out.push_str(&format!(",\"object\":{}", json_string(o)));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_escalates() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Deny);
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = LintReport::new(LintPhase::Standalone);
+        r.diagnostics.push(Diagnostic {
+            rule: "S002",
+            severity: Severity::Deny,
+            span: Span::object("a\"b"),
+            message: "multi\ndriven".into(),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"deny\":1"), "{j}");
+        assert!(j.contains("multi\\ndriven"), "{j}");
+        assert!(j.contains("a\\\"b"), "{j}");
+    }
+
+    #[test]
+    fn text_summarizes() {
+        let mut r = LintReport::new(LintPhase::PreLock);
+        r.diagnostics.push(Diagnostic {
+            rule: "S005",
+            severity: Severity::Info,
+            span: Span::line(3),
+            message: "unused".into(),
+        });
+        let t = r.to_text();
+        assert!(t.contains("[S005]"), "{t}");
+        assert!(t.contains("0 deny, 0 warn, 1 info"), "{t}");
+    }
+}

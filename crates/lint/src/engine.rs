@@ -1,0 +1,99 @@
+//! The rule registry and the budget-aware lint driver.
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+use crate::rules;
+use crate::target::LintTarget;
+use rtlock_governor::CancelToken;
+
+/// One analysis rule.
+///
+/// Rules are pure: `check` reads the target (and its cached analyses) and
+/// appends findings. A rule that needs a layer the target lacks appends
+/// nothing.
+pub trait Rule {
+    /// Stable identifier (`S001`…, `Y001`…, `C001`…).
+    fn id(&self) -> &'static str;
+    /// Default severity of this rule's findings.
+    fn severity(&self) -> Severity;
+    /// One-line description of what the rule detects.
+    fn summary(&self) -> &'static str;
+    /// Runs the rule, appending findings to `out`.
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// All rules, in catalog order (structural, synthesis-soundness,
+/// scan/lock security).
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    rules::all()
+}
+
+/// The `(id, severity, summary)` catalog, for `--list-rules` and docs.
+pub fn rule_catalog() -> Vec<(&'static str, Severity, &'static str)> {
+    registry().iter().map(|r| (r.id(), r.severity(), r.summary())).collect()
+}
+
+/// Lints `target` under a cancel token.
+///
+/// The token is polled between rules: once it fires, remaining rules are
+/// recorded in [`LintReport::skipped`] instead of running, so a flow gate
+/// degrades (reporting what it could not check) rather than hanging.
+/// Findings are sorted for run-to-run determinism.
+pub fn lint_bounded(target: &LintTarget<'_>, token: &CancelToken) -> LintReport {
+    let mut report = LintReport::new(target.phase);
+    for rule in registry() {
+        if token.should_stop().is_some() {
+            report.skipped.push(rule.id());
+            continue;
+        }
+        rule.check(target, &mut report.diagnostics);
+    }
+    report.diagnostics.sort();
+    report.diagnostics.dedup();
+    report
+}
+
+/// Lints `target` with no budget.
+pub fn lint(target: &LintTarget<'_>) -> LintReport {
+    lint_bounded(target, &CancelToken::unlimited())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_governor::{CancelToken, Deadline};
+    use rtlock_rtl::parse;
+    use std::time::Duration;
+
+    #[test]
+    fn registry_has_at_least_ten_rules_across_three_groups() {
+        let cat = rule_catalog();
+        assert!(cat.len() >= 10, "{} rules", cat.len());
+        for prefix in ["S", "Y", "C"] {
+            assert!(
+                cat.iter().any(|(id, _, _)| id.starts_with(prefix)),
+                "no `{prefix}` rules in the catalog"
+            );
+        }
+        let mut ids: Vec<_> = cat.iter().map(|(id, _, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cat.len(), "duplicate rule ids");
+    }
+
+    #[test]
+    fn expired_token_skips_every_rule() {
+        let m = parse("module t(input a, output y);\n assign y = a;\nendmodule").unwrap();
+        let t = LintTarget::rtl(&m);
+        let token = CancelToken::with_deadline(Deadline::after(Duration::ZERO));
+        let report = lint_bounded(&t, &token);
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.skipped.len(), registry().len());
+    }
+
+    #[test]
+    fn clean_design_is_clean() {
+        let m = parse("module t(input a, output y);\n assign y = a;\nendmodule").unwrap();
+        let report = lint(&LintTarget::rtl(&m));
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+}

@@ -1,0 +1,33 @@
+//! `rtlock-lint` — scan-/lock-aware static analysis over RTL, CDFG, and
+//! gate netlists.
+//!
+//! The engine runs a catalog of rules in three groups against a
+//! [`LintTarget`] (an RTL [`Module`](rtlock_rtl::Module), a gate
+//! [`Netlist`](rtlock_netlist::Netlist), or both views of one design):
+//!
+//! * **Structural** (`S…`): combinational loops, multi-driven nets,
+//!   undriven reads, width mismatches, unused nets, unreachable FSM
+//!   states.
+//! * **Synthesis-soundness** (`Y…`): key gates a resynthesis pass melts,
+//!   key inputs with no SCOAP-observable fanout, key bits whose 0/1
+//!   hardwirings are indistinguishable.
+//! * **Scan-/lock-security** (`C…`): key-to-scan-cell leak paths, lock
+//!   points on constant or dead nodes, key cones confined to one scan
+//!   segment.
+//!
+//! Findings are [`Diagnostic`]s with a stable rule id, a severity, and a
+//! span; [`LintReport`] renders them as text or JSON. `core::flow` runs
+//! the engine as a pre-lock gate (on the input module) and a post-lock
+//! gate (on the locked netlist); [`Severity::Deny`] findings abort the
+//! flow. [`lint_bounded`] polls a governor
+//! [`CancelToken`](rtlock_governor::CancelToken) between rules so a gate
+//! degrades instead of blowing the flow's budget.
+
+pub mod diag;
+pub mod engine;
+pub mod rules;
+pub mod target;
+
+pub use diag::{Diagnostic, LintPhase, LintReport, Severity, Span};
+pub use engine::{lint, lint_bounded, registry, rule_catalog, Rule};
+pub use target::{LintTarget, KEY_PORT_PREFIX};

@@ -1,0 +1,27 @@
+//! The rule catalog: structural (`S…`), synthesis-soundness (`Y…`), and
+//! scan-/lock-security (`C…`) groups.
+
+pub mod scan;
+pub mod structural;
+pub mod synthesis;
+
+use crate::engine::Rule;
+
+/// All rules in catalog order.
+pub(crate) fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(structural::CombLoop),
+        Box::new(structural::MultiDriven),
+        Box::new(structural::Undriven),
+        Box::new(structural::WidthMismatch),
+        Box::new(structural::UnusedNet),
+        Box::new(structural::UnreachableFsmState),
+        Box::new(synthesis::KeyRemovable),
+        Box::new(synthesis::KeyUnobservable),
+        Box::new(synthesis::KeyIndifferent),
+        Box::new(scan::KeyToScanPath),
+        Box::new(scan::LockPointConstant),
+        Box::new(scan::KeyConeSingleSegment),
+        Box::new(scan::LockPointDead),
+    ]
+}

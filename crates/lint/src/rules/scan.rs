@@ -1,0 +1,375 @@
+//! Scan-/lock-security rules: test-mode key leakage into scan cells,
+//! degenerate lock points (constant or dead CDFG nodes), and key cones an
+//! oracle-guided attacker can slice out with one scan segment.
+
+use crate::diag::{Diagnostic, Severity, Span};
+use crate::engine::Rule;
+use crate::target::LintTarget;
+use rtlock_netlist::{GateId, Netlist};
+use rtlock_rtl::{Expr, Module, NetId};
+use std::collections::{HashMap, HashSet};
+
+/// Flip-flops whose next-state cone contains `k`, found by a forward
+/// combinational walk (flip-flops are sinks: a key bit that only reaches
+/// a flop *through* another flop is not capturable in one test cycle).
+fn captured_dffs(n: &Netlist, k: GateId, fanouts: &[Vec<GateId>]) -> Vec<GateId> {
+    let mut dffs = Vec::new();
+    let mut seen: HashSet<GateId> = HashSet::new();
+    let mut queue: Vec<GateId> = fanouts[k.index()].clone();
+    let mut qi = 0;
+    while qi < queue.len() {
+        let g = queue[qi];
+        qi += 1;
+        if !seen.insert(g) {
+            continue;
+        }
+        if n.gate(g).kind.is_dff() {
+            dffs.push(g);
+            continue;
+        }
+        queue.extend(fanouts[g.index()].iter().copied());
+    }
+    dffs
+}
+
+fn key_name(n: &Netlist, k: GateId) -> String {
+    n.gate_name(k).unwrap_or("<unnamed>").to_string()
+}
+
+/// `C001`: a key bit combinationally capturable into a scan cell.
+pub struct KeyToScanPath;
+
+impl Rule for KeyToScanPath {
+    fn id(&self) -> &'static str {
+        "C001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "combinational path from a key input into a scan cell (test-mode key leak)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.scan_chain.is_empty() || n.key_inputs.is_empty() {
+            return;
+        }
+        let in_chain: HashSet<GateId> = n.scan_chain.iter().copied().collect();
+        let fanouts = n.fanouts();
+        for &k in &n.key_inputs {
+            let leaked: Vec<GateId> = captured_dffs(n, k, &fanouts)
+                .into_iter()
+                .filter(|d| in_chain.contains(d))
+                .collect();
+            if let Some(&first) = leaked.first() {
+                let name = key_name(n, k);
+                let cell = n.gate_name(first).unwrap_or("<unnamed>");
+                let (severity, mitigation) = if t.scan_locked {
+                    (Severity::Warn, "; mitigated: scan access is locked")
+                } else {
+                    (Severity::Deny, "")
+                };
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity,
+                    span: Span::object(&name),
+                    message: format!(
+                        "key input `{name}` reaches {} scan cell(s) combinationally (first: \
+                         `{cell}`): one capture + shift-out in test mode exposes key material\
+                         {mitigation}",
+                        leaked.len()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Nets whose value is a compile-time constant: driven only by continuous
+/// assigns whose operands are themselves constant (fixpoint), and written
+/// by no process.
+fn const_driven_nets(m: &Module) -> HashSet<NetId> {
+    let mut proc_written: HashSet<NetId> = HashSet::new();
+    for p in &m.procs {
+        collect_proc_lvalues(&p.body, &mut proc_written);
+        collect_proc_lvalues(&p.reset_body, &mut proc_written);
+    }
+    let mut drivers: HashMap<NetId, Vec<&Expr>> = HashMap::new();
+    for a in &m.assigns {
+        drivers.entry(a.lhs.net).or_default().push(&a.rhs);
+    }
+    let mut consts: HashSet<NetId> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for (&net, rhss) in &drivers {
+            if consts.contains(&net) || proc_written.contains(&net) {
+                continue;
+            }
+            let all_const = rhss.iter().all(|rhs| {
+                let mut refs = Vec::new();
+                rhs.collect_refs(&mut refs);
+                refs.iter().all(|r| consts.contains(r))
+            });
+            if all_const {
+                consts.insert(net);
+                changed = true;
+            }
+        }
+        if !changed {
+            return consts;
+        }
+    }
+}
+
+fn collect_proc_lvalues(stmts: &[rtlock_rtl::Stmt], out: &mut HashSet<NetId>) {
+    for s in stmts {
+        match s {
+            rtlock_rtl::Stmt::Assign { lhs, .. } => {
+                out.insert(lhs.net);
+            }
+            rtlock_rtl::Stmt::If { then_, else_, .. } => {
+                collect_proc_lvalues(then_, out);
+                collect_proc_lvalues(else_, out);
+            }
+            rtlock_rtl::Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    collect_proc_lvalues(&arm.body, out);
+                }
+                collect_proc_lvalues(default, out);
+            }
+        }
+    }
+}
+
+/// `true` when `e` references exactly the nets in `only` and nothing else
+/// (and references at least one net).
+fn refs_only(e: &Expr, only: &HashSet<NetId>) -> bool {
+    let mut refs = Vec::new();
+    e.collect_refs(&mut refs);
+    !refs.is_empty() && refs.iter().all(|r| only.contains(r))
+}
+
+/// `C002`: a key gate whose other operand is a constant *net*.
+///
+/// A literal constant mask next to a key is the legitimate `XorMask` /
+/// `Substitute` encoding idiom and is not flagged; a key combined with a
+/// net the design drives to a constant is a degenerate lock point — the
+/// net folds away in resynthesis and the key wire is exposed directly.
+pub struct LockPointConstant;
+
+impl Rule for LockPointConstant {
+    fn id(&self) -> &'static str {
+        "C002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "key gate on a constant net (lock point folds away in resynthesis)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if let Some(m) = t.module {
+            let keys: HashSet<NetId> = t.key_nets().into_iter().collect();
+            if keys.is_empty() {
+                return;
+            }
+            let consts = const_driven_nets(m);
+            if consts.is_empty() {
+                return;
+            }
+            let mut flagged: HashSet<NetId> = HashSet::new();
+            let mut visit = |e: &Expr| {
+                if let Expr::Binary { lhs, rhs, .. } = e {
+                    for (a, b) in [(lhs, rhs), (rhs, lhs)] {
+                        if refs_only(a, &keys) && refs_only(b, &consts) {
+                            let mut key_refs = Vec::new();
+                            a.collect_refs(&mut key_refs);
+                            let key = key_refs[0];
+                            if flagged.insert(key) {
+                                out.push(Diagnostic {
+                                    rule: "C002",
+                                    severity: Severity::Deny,
+                                    span: Span::object(&m.net(key).name),
+                                    message: format!(
+                                        "key port `{}` gates a constant-driven net: the lock \
+                                         point carries no function and resynthesis exposes the \
+                                         key wire directly",
+                                        m.net(key).name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            };
+            for a in &m.assigns {
+                a.rhs.visit(&mut visit);
+            }
+            for p in &m.procs {
+                rtlock_rtl::ast::visit_stmt_exprs(&p.body, &mut |e| e.visit(&mut visit));
+                rtlock_rtl::ast::visit_stmt_exprs(&p.reset_body, &mut |e| e.visit(&mut visit));
+            }
+        } else if let Some(n) = t.netlist {
+            let keys: HashSet<GateId> = n.key_inputs.iter().copied().collect();
+            if keys.is_empty() {
+                return;
+            }
+            let mut flagged: HashSet<GateId> = HashSet::new();
+            for g in n.ids() {
+                let gate = n.gate(g);
+                if !gate.kind.is_logic() {
+                    continue;
+                }
+                let key_pin = gate.fanin.iter().copied().find(|f| keys.contains(f));
+                let const_pin = gate.fanin.iter().any(|&f| {
+                    matches!(
+                        n.gate(f).kind,
+                        rtlock_netlist::GateKind::Const0 | rtlock_netlist::GateKind::Const1
+                    )
+                });
+                if let (Some(k), true) = (key_pin, const_pin) {
+                    if flagged.insert(k) {
+                        let name = key_name(n, k);
+                        out.push(Diagnostic {
+                            rule: "C002",
+                            severity: Severity::Deny,
+                            span: Span::object(&name),
+                            message: format!(
+                                "key input `{name}` feeds a gate with a constant operand: the \
+                                 key gate folds to a wire/inverter under constant propagation"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C003`: a key cone confined to one contiguous scan segment.
+pub struct KeyConeSingleSegment;
+
+impl Rule for KeyConeSingleSegment {
+    fn id(&self) -> &'static str {
+        "C003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn summary(&self) -> &'static str {
+        "key cone contained in one contiguous scan segment (oracle-guided slicing risk)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.scan_chain.len() < 2 || n.key_inputs.is_empty() {
+            return;
+        }
+        let pos: HashMap<GateId, usize> =
+            n.scan_chain.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let fanouts = n.fanouts();
+        for &k in &n.key_inputs {
+            let mut idx: Vec<usize> = captured_dffs(n, k, &fanouts)
+                .into_iter()
+                .filter_map(|d| pos.get(&d).copied())
+                .collect();
+            if idx.is_empty() {
+                continue;
+            }
+            idx.sort_unstable();
+            idx.dedup();
+            let contiguous = idx[idx.len() - 1] - idx[0] + 1 == idx.len();
+            if contiguous && idx.len() < n.scan_chain.len() {
+                let name = key_name(n, k);
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: Severity::Warn,
+                    span: Span::object(&name),
+                    message: format!(
+                        "key input `{name}`'s cone touches only scan cells {}..{} of {} (one \
+                         contiguous segment): an attacker can slice the cone with a single \
+                         partial-chain observation",
+                        idx[0],
+                        idx[idx.len() - 1],
+                        n.scan_chain.len()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `C004`: a key port that cannot influence any output.
+pub struct LockPointDead;
+
+impl Rule for LockPointDead {
+    fn id(&self) -> &'static str {
+        "C004"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "lock point on a dead CDFG node (key cannot influence any output)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if let Some(m) = t.module {
+            let keys = t.key_nets();
+            if keys.is_empty() {
+                return;
+            }
+            let Some(cdfg) = t.cdfg() else { return };
+            for k in keys {
+                if cdfg.seq_depth_to_output(m, k).is_none() {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: Severity::Deny,
+                        span: Span::object(&m.net(k).name),
+                        message: format!(
+                            "key port `{}` reaches no output on any path (dead lock point: \
+                             wrong keys are unobservable)",
+                            m.net(k).name
+                        ),
+                    });
+                }
+            }
+        } else if let Some(n) = t.netlist {
+            if n.key_inputs.is_empty() {
+                return;
+            }
+            let po: HashSet<GateId> = n.outputs().iter().map(|(_, d)| *d).collect();
+            let fanouts = n.fanouts();
+            for &k in &n.key_inputs {
+                // Full forward reach, flip-flops included (sequential
+                // observability counts).
+                let mut seen: HashSet<GateId> = HashSet::new();
+                let mut queue = vec![k];
+                let mut qi = 0;
+                let mut observable = po.contains(&k);
+                while qi < queue.len() && !observable {
+                    let g = queue[qi];
+                    qi += 1;
+                    for &f in &fanouts[g.index()] {
+                        if seen.insert(f) {
+                            if po.contains(&f) {
+                                observable = true;
+                                break;
+                            }
+                            queue.push(f);
+                        }
+                    }
+                }
+                if !observable {
+                    let name = key_name(n, k);
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: Severity::Deny,
+                        span: Span::object(&name),
+                        message: format!(
+                            "key input `{name}` reaches no primary output (dead lock point)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

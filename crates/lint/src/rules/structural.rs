@@ -1,0 +1,479 @@
+//! Structural RTL/netlist rules: combinational loops, driver conflicts,
+//! floating and unused nets, width mismatches, unreachable FSM states.
+
+use crate::diag::{Diagnostic, Severity, Span};
+use crate::engine::Rule;
+use crate::target::LintTarget;
+use rtlock_rtl::{Expr, Lvalue, Module, NetId, ProcessKind, Stmt};
+use std::collections::HashSet;
+
+fn expr_refs(e: &Expr) -> Vec<NetId> {
+    let mut out = Vec::new();
+    e.collect_refs(&mut out);
+    out
+}
+
+/// Data-dependency edges of the *combinational* part of a module:
+/// continuous assigns plus `always @(*)` processes. Clocked processes are
+/// excluded (a register legally closes a feedback path). Within a comb
+/// process, blocking semantics apply: a read of a net assigned by an
+/// earlier statement refers to that statement, not to the net's previous
+/// value, so it is not a dependency edge.
+fn comb_edges(m: &Module) -> Vec<(NetId, NetId)> {
+    let mut edges = Vec::new();
+    for a in &m.assigns {
+        for r in expr_refs(&a.rhs) {
+            edges.push((r, a.lhs.net));
+        }
+    }
+    for p in &m.procs {
+        if p.kind != ProcessKind::Comb {
+            continue;
+        }
+        let mut ctx = Vec::new();
+        let mut assigned = HashSet::new();
+        walk_comb(&p.body, &mut ctx, &mut assigned, &mut edges);
+    }
+    edges
+}
+
+fn walk_comb(
+    stmts: &[Stmt],
+    ctx: &mut Vec<NetId>,
+    assigned: &mut HashSet<NetId>,
+    edges: &mut Vec<(NetId, NetId)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                for r in expr_refs(rhs) {
+                    if !assigned.contains(&r) {
+                        edges.push((r, lhs.net));
+                    }
+                }
+                for &c in ctx.iter() {
+                    edges.push((c, lhs.net));
+                }
+                assigned.insert(lhs.net);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let depth = ctx.len();
+                ctx.extend(expr_refs(cond).into_iter().filter(|r| !assigned.contains(r)));
+                walk_comb(then_, ctx, assigned, edges);
+                walk_comb(else_, ctx, assigned, edges);
+                ctx.truncate(depth);
+            }
+            Stmt::Case { subject, arms, default } => {
+                let depth = ctx.len();
+                ctx.extend(expr_refs(subject).into_iter().filter(|r| !assigned.contains(r)));
+                for arm in arms {
+                    walk_comb(&arm.body, ctx, assigned, edges);
+                }
+                walk_comb(default, ctx, assigned, edges);
+                ctx.truncate(depth);
+            }
+        }
+    }
+}
+
+/// Finds one net on a cycle of `edges`, if any (iterative 3-color DFS).
+fn find_cycle(n_nets: usize, edges: &[(NetId, NetId)]) -> Option<NetId> {
+    let mut adj = vec![Vec::new(); n_nets];
+    for &(from, to) in edges {
+        adj[from.index()].push(to.index());
+    }
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n_nets];
+    for start in 0..n_nets {
+        if color[start] != 0 {
+            continue;
+        }
+        // Stack of (node, next-child-index).
+        let mut stack = vec![(start, 0usize)];
+        color[start] = 1;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            if *child < adj[node].len() {
+                let next = adj[node][*child];
+                *child += 1;
+                match color[next] {
+                    0 => {
+                        color[next] = 1;
+                        stack.push((next, 0));
+                    }
+                    1 => return Some(NetId(next as u32)),
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// `S001`: combinational feedback loop.
+pub struct CombLoop;
+
+impl Rule for CombLoop {
+    fn id(&self) -> &'static str {
+        "S001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "combinational feedback loop (unsimulatable, unsynthesizable timing)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if let Some(m) = t.module {
+            if let Some(net) = find_cycle(m.nets.len(), &comb_edges(m)) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: Severity::Deny,
+                    span: Span::object(&m.net(net).name),
+                    message: format!(
+                        "combinational loop through net `{}` (no register on the feedback path)",
+                        m.net(net).name
+                    ),
+                });
+            }
+        } else if let Some(n) = t.netlist {
+            if let Err(e) = n.levelize() {
+                let name = n.gate_name(e.gate).unwrap_or("<unnamed>").to_string();
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: Severity::Deny,
+                    span: Span::object(&name),
+                    message: format!("combinational cycle through gate `{name}` ({})", e.gate),
+                });
+            }
+        }
+    }
+}
+
+/// One driver of a net: which construct writes it and which bit range.
+struct Driver {
+    net: NetId,
+    lo: usize,
+    hi: usize,
+    desc: String,
+}
+
+fn collect_drivers(m: &Module) -> Vec<Driver> {
+    let full = |lhs: &Lvalue| -> (usize, usize) {
+        match lhs.range {
+            Some((hi, lo)) => (lo, hi),
+            None => (0, m.width(lhs.net).saturating_sub(1)),
+        }
+    };
+    let mut drivers = Vec::new();
+    for (i, a) in m.assigns.iter().enumerate() {
+        let (lo, hi) = full(&a.lhs);
+        drivers.push(Driver { net: a.lhs.net, lo, hi, desc: format!("continuous assign #{i}") });
+    }
+    for (pi, p) in m.procs.iter().enumerate() {
+        // Per process, one driver entry per net covering the union of the
+        // written ranges: arms of one process may legally overlap.
+        let mut written: Vec<(NetId, usize, usize)> = Vec::new();
+        let mut record = |lhs: &Lvalue| {
+            let (lo, hi) = full(lhs);
+            if let Some(w) = written.iter_mut().find(|w| w.0 == lhs.net) {
+                w.1 = w.1.min(lo);
+                w.2 = w.2.max(hi);
+            } else {
+                written.push((lhs.net, lo, hi));
+            }
+        };
+        visit_stmt_lvalues(&p.body, &mut record);
+        visit_stmt_lvalues(&p.reset_body, &mut record);
+        for (net, lo, hi) in written {
+            drivers.push(Driver { net, lo, hi, desc: format!("always process #{pi}") });
+        }
+    }
+    drivers
+}
+
+fn visit_stmt_lvalues(stmts: &[Stmt], f: &mut impl FnMut(&Lvalue)) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, .. } => f(lhs),
+            Stmt::If { then_, else_, .. } => {
+                visit_stmt_lvalues(then_, f);
+                visit_stmt_lvalues(else_, f);
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    visit_stmt_lvalues(&arm.body, f);
+                }
+                visit_stmt_lvalues(default, f);
+            }
+        }
+    }
+}
+
+/// `S002`: one net, several drivers.
+pub struct MultiDriven;
+
+impl Rule for MultiDriven {
+    fn id(&self) -> &'static str {
+        "S002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "net with conflicting drivers (overlapping assigns/processes)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(m) = t.module else { return };
+        let drivers = collect_drivers(m);
+        let mut flagged: HashSet<NetId> = HashSet::new();
+        for (i, a) in drivers.iter().enumerate() {
+            for b in drivers.iter().skip(i + 1) {
+                if a.net == b.net && a.lo <= b.hi && b.lo <= a.hi && flagged.insert(a.net) {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: Severity::Deny,
+                        span: Span::object(&m.net(a.net).name),
+                        message: format!(
+                            "net `{}` has conflicting drivers: {} and {} write overlapping bits",
+                            m.net(a.net).name,
+                            a.desc,
+                            b.desc
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// All nets a module reads anywhere: expression operands, branch/case
+/// conditions, and process clock/reset wires.
+fn read_set(m: &Module) -> HashSet<NetId> {
+    let mut reads = HashSet::new();
+    for a in &m.assigns {
+        reads.extend(expr_refs(&a.rhs));
+    }
+    for p in &m.procs {
+        let mut seen = Vec::new();
+        let mut take = |e: &Expr| seen.push(expr_refs(e));
+        rtlock_rtl::ast::visit_stmt_exprs(&p.body, &mut take);
+        rtlock_rtl::ast::visit_stmt_exprs(&p.reset_body, &mut take);
+        reads.extend(seen.into_iter().flatten());
+        if let ProcessKind::Seq { clock, reset } = &p.kind {
+            reads.insert(*clock);
+            if let Some(r) = reset {
+                reads.insert(r.net);
+            }
+        }
+    }
+    reads
+}
+
+fn driven_set(m: &Module) -> HashSet<NetId> {
+    let mut driven: HashSet<NetId> = m.inputs().into_iter().collect();
+    for a in &m.assigns {
+        driven.insert(a.lhs.net);
+    }
+    for p in &m.procs {
+        visit_stmt_lvalues(&p.body, &mut |lhs| {
+            driven.insert(lhs.net);
+        });
+        visit_stmt_lvalues(&p.reset_body, &mut |lhs| {
+            driven.insert(lhs.net);
+        });
+    }
+    driven
+}
+
+/// `S003`: a net is read but nothing drives it (floating input).
+pub struct Undriven;
+
+impl Rule for Undriven {
+    fn id(&self) -> &'static str {
+        "S003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn summary(&self) -> &'static str {
+        "net read but never driven (floating input to downstream logic)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if let Some(m) = t.module {
+            let reads = read_set(m);
+            let driven = driven_set(m);
+            for id in (0..m.nets.len()).map(|i| NetId(i as u32)) {
+                if reads.contains(&id) && !driven.contains(&id) {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: Severity::Warn,
+                        span: Span::object(&m.net(id).name),
+                        message: format!(
+                            "net `{}` is read but never driven (floats at 0 in two-state sim)",
+                            m.net(id).name
+                        ),
+                    });
+                }
+            }
+        } else if let Some(n) = t.netlist {
+            for g in n.ids() {
+                let gate = n.gate(g);
+                let arity = gate.kind.arity();
+                if arity > 0 && gate.fanin.len() < arity {
+                    let name = n.gate_name(g).unwrap_or("<unnamed>").to_string();
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: Severity::Warn,
+                        span: Span::object(&name),
+                        message: format!(
+                            "gate `{name}` ({}) has {} of {arity} input pins connected",
+                            gate.kind.cell_name(),
+                            gate.fanin.len()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `S004`: assignment width mismatch.
+pub struct WidthMismatch;
+
+impl WidthMismatch {
+    fn check_assign(m: &Module, lhs: &Lvalue, rhs: &Expr, out: &mut Vec<Diagnostic>) {
+        let lhs_w = match lhs.range {
+            Some((hi, lo)) => hi - lo + 1,
+            None => m.width(lhs.net),
+        };
+        let rhs_w = m.expr_width(rhs);
+        if lhs_w != rhs_w {
+            out.push(Diagnostic {
+                rule: "S004",
+                severity: Severity::Warn,
+                span: Span::object(&m.net(lhs.net).name),
+                message: format!(
+                    "width mismatch assigning `{}`: lhs is {lhs_w} bits, rhs is {rhs_w} bits \
+                     (implicit truncation/zero-extension)",
+                    m.net(lhs.net).name
+                ),
+            });
+        }
+    }
+}
+
+impl Rule for WidthMismatch {
+    fn id(&self) -> &'static str {
+        "S004"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn summary(&self) -> &'static str {
+        "assignment width mismatch (silent truncation or zero-extension)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(m) = t.module else { return };
+        for a in &m.assigns {
+            WidthMismatch::check_assign(m, &a.lhs, &a.rhs, out);
+        }
+        for p in &m.procs {
+            let mut walk = |stmts: &[Stmt]| {
+                visit_stmt_assigns(stmts, &mut |lhs, rhs| {
+                    WidthMismatch::check_assign(m, lhs, rhs, out)
+                });
+            };
+            walk(&p.body);
+            walk(&p.reset_body);
+        }
+    }
+}
+
+fn visit_stmt_assigns(stmts: &[Stmt], f: &mut impl FnMut(&Lvalue, &Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => f(lhs, rhs),
+            Stmt::If { then_, else_, .. } => {
+                visit_stmt_assigns(then_, f);
+                visit_stmt_assigns(else_, f);
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    visit_stmt_assigns(&arm.body, f);
+                }
+                visit_stmt_assigns(default, f);
+            }
+        }
+    }
+}
+
+/// `S005`: dead net — never read, not an output.
+pub struct UnusedNet;
+
+impl Rule for UnusedNet {
+    fn id(&self) -> &'static str {
+        "S005"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn summary(&self) -> &'static str {
+        "net never read and not an output (dead logic)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(m) = t.module else { return };
+        let reads = read_set(m);
+        for id in (0..m.nets.len()).map(|i| NetId(i as u32)) {
+            let net = m.net(id);
+            if net.dir == Some(rtlock_rtl::Dir::Output) || reads.contains(&id) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Info,
+                span: Span::object(&net.name),
+                message: format!("net `{}` is never read and is not an output", net.name),
+            });
+        }
+    }
+}
+
+/// `S006`: FSM state unreachable from the reset state.
+pub struct UnreachableFsmState;
+
+impl Rule for UnreachableFsmState {
+    fn id(&self) -> &'static str {
+        "S006"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn summary(&self) -> &'static str {
+        "FSM state unreachable from the initial state (dead control logic)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(m) = t.module else { return };
+        for fsm in t.fsms() {
+            if fsm.initial.is_none() {
+                continue;
+            }
+            let reg = &m.net(fsm.state_reg).name;
+            for (state, depth) in fsm.depth_from_initial() {
+                if depth.is_none() {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: Severity::Warn,
+                        span: Span::object(reg),
+                        message: format!(
+                            "FSM on register `{reg}`: state {state} is unreachable from the \
+                             initial state"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

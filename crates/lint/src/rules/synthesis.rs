@@ -1,0 +1,255 @@
+//! Synthesis-soundness rules: key gates that a resynthesis pass would
+//! remove (the Almeida-style "does it survive the tools" check) and key
+//! inputs with no observable fanout.
+//!
+//! The removability checks run a *shadow pass* of `synth::opt` on the
+//! extracted cone of each key input — never on the shared netlist — so
+//! linting cannot perturb the design under analysis.
+
+use crate::diag::{Diagnostic, Severity, Span};
+use crate::engine::Rule;
+use crate::target::LintTarget;
+use rtlock_netlist::scoap::SCOAP_INF;
+use rtlock_netlist::{to_bench, GateId, GateKind, Netlist};
+use rtlock_synth::optimize;
+use std::collections::{HashMap, HashSet};
+
+/// The combinational cone a key input feeds, extracted as a standalone
+/// netlist. `key` is the key input's id *inside* `sub`.
+pub(crate) struct KeyCone {
+    pub sub: Netlist,
+    pub key: GateId,
+}
+
+/// Combinational forward closure of `k`: logic gates only (flip-flops and
+/// primary outputs are cone sinks). Returns gates in deterministic BFS
+/// order.
+fn forward_cone(n: &Netlist, k: GateId, fanouts: &[Vec<GateId>]) -> Vec<GateId> {
+    let mut cone: Vec<GateId> = Vec::new();
+    let mut seen: HashSet<GateId> = HashSet::new();
+    let mut queue: Vec<GateId> = fanouts[k.index()].clone();
+    let mut qi = 0;
+    while qi < queue.len() {
+        let g = queue[qi];
+        qi += 1;
+        if !seen.insert(g) {
+            continue;
+        }
+        let kind = n.gate(g).kind;
+        if kind.is_dff() || kind == GateKind::Input {
+            continue;
+        }
+        cone.push(g);
+        queue.extend(fanouts[g.index()].iter().copied());
+    }
+    cone
+}
+
+/// Extracts the cone of `k` as a standalone netlist: external fanins
+/// become fresh inputs (constants are reproduced as constants), cone
+/// gates that feed a flip-flop, a primary output, or logic outside the
+/// cone become outputs. Returns `None` when `k` feeds no logic at all
+/// (that case is `Y002`'s, not a cone problem).
+pub(crate) fn key_cone(n: &Netlist, k: GateId, fanouts: &[Vec<GateId>]) -> Option<KeyCone> {
+    let cone = forward_cone(n, k, fanouts);
+    if cone.is_empty() {
+        return None;
+    }
+    let in_cone: HashSet<GateId> = cone.iter().copied().collect();
+
+    let mut sub = Netlist::new("key_cone");
+    let mut map: HashMap<GateId, GateId> = HashMap::new();
+    let sub_key = sub.add_input("k");
+    sub.mark_key_input(sub_key);
+    map.insert(k, sub_key);
+
+    // Iterative post-order creation so deep cones cannot overflow the
+    // stack. Leaves (anything outside the cone) become inputs/constants.
+    // A combinational cycle inside the cone (an `S001` defect) is cut at
+    // a fresh input so extraction always terminates.
+    let mut visiting: HashSet<GateId> = HashSet::new();
+    for &root in &cone {
+        if map.contains_key(&root) {
+            continue;
+        }
+        let mut stack = vec![root];
+        visiting.insert(root);
+        while let Some(&g) = stack.last() {
+            if map.contains_key(&g) {
+                visiting.remove(&g);
+                stack.pop();
+                continue;
+            }
+            if !in_cone.contains(&g) {
+                let kind = n.gate(g).kind;
+                let sid = match kind {
+                    GateKind::Const0 | GateKind::Const1 => sub.add_gate(kind, vec![]),
+                    _ => sub.add_input(format!("i{}", g.0)),
+                };
+                map.insert(g, sid);
+                visiting.remove(&g);
+                stack.pop();
+                continue;
+            }
+            let mut pending: Vec<GateId> = Vec::new();
+            for &f in &n.gate(g).fanin {
+                if map.contains_key(&f) {
+                    continue;
+                }
+                if visiting.contains(&f) {
+                    let sid = sub.add_input(format!("cyc{}", f.0));
+                    map.insert(f, sid);
+                } else {
+                    pending.push(f);
+                }
+            }
+            if pending.is_empty() {
+                let fanin: Vec<GateId> = n.gate(g).fanin.iter().map(|f| map[f]).collect();
+                let sid = sub.add_gate(n.gate(g).kind, fanin);
+                map.insert(g, sid);
+                visiting.remove(&g);
+                stack.pop();
+            } else {
+                visiting.extend(pending.iter().copied());
+                stack.extend(pending);
+            }
+        }
+    }
+
+    let po_drivers: HashSet<GateId> = n.outputs().iter().map(|(_, d)| *d).collect();
+    for &g in &cone {
+        let is_sink = po_drivers.contains(&g)
+            || fanouts[g.index()].iter().any(|f| {
+                !in_cone.contains(f) && (n.gate(*f).kind.is_dff() || n.gate(*f).kind.is_logic())
+            });
+        if is_sink {
+            sub.add_output(format!("o{}", g.0), map[&g]);
+        }
+    }
+    Some(KeyCone { sub, key: sub_key })
+}
+
+fn key_name(n: &Netlist, k: GateId) -> String {
+    n.gate_name(k).unwrap_or("<unnamed>").to_string()
+}
+
+/// `Y001`: a key gate the optimizer removes.
+pub struct KeyRemovable;
+
+impl Rule for KeyRemovable {
+    fn id(&self) -> &'static str {
+        "Y001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "key input whose cone melts under constant propagation / structural hashing"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.key_inputs.is_empty() {
+            return;
+        }
+        let fanouts = n.fanouts();
+        for &k in &n.key_inputs {
+            let Some(cone) = key_cone(n, k, &fanouts) else { continue };
+            let mut sub = cone.sub;
+            optimize(&mut sub);
+            let sub_fanouts = sub.fanouts();
+            let alive = !sub_fanouts[cone.key.index()].is_empty()
+                || sub.outputs().iter().any(|(_, d)| *d == cone.key);
+            if !alive {
+                let name = key_name(n, k);
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: Severity::Deny,
+                    span: Span::object(&name),
+                    message: format!(
+                        "key input `{name}` is removed by a shadow `synth::opt` pass over its \
+                         cone (constant propagation / structural hashing melts the key gate)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `Y002`: a key input no output observes.
+pub struct KeyUnobservable;
+
+impl Rule for KeyUnobservable {
+    fn id(&self) -> &'static str {
+        "Y002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "key input with zero observability fanout (SCOAP CO is infinite)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.key_inputs.is_empty() {
+            return;
+        }
+        let Some(scoap) = t.scoap() else { return };
+        for &k in &n.key_inputs {
+            if scoap.co[k.index()] >= SCOAP_INF {
+                let name = key_name(n, k);
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: Severity::Deny,
+                    span: Span::object(&name),
+                    message: format!(
+                        "key input `{name}` has no observable fanout (SCOAP CO = ∞): wrong keys \
+                         cannot corrupt any output"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `Y003`: a key bit whose 0/1 hardwirings synthesize identically.
+pub struct KeyIndifferent;
+
+impl Rule for KeyIndifferent {
+    fn id(&self) -> &'static str {
+        "Y003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "key bit indifferent to its value (0/1 hardwirings synthesize identically)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.key_inputs.is_empty() {
+            return;
+        }
+        let fanouts = n.fanouts();
+        for &k in &n.key_inputs {
+            let Some(cone) = key_cone(n, k, &fanouts) else { continue };
+            let mut zero = cone.sub.clone();
+            zero.convert_input_to_const(cone.key, false);
+            optimize(&mut zero);
+            let mut one = cone.sub;
+            one.convert_input_to_const(cone.key, true);
+            optimize(&mut one);
+            if to_bench(&zero) == to_bench(&one) {
+                let name = key_name(n, k);
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: Severity::Deny,
+                    span: Span::object(&name),
+                    message: format!(
+                        "key input `{name}` is value-indifferent: hardwiring it to 0 and to 1 \
+                         resynthesizes to the same cone (SAT/resynthesis attacks learn it free)"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! What a lint run looks at: an RTL module, a gate netlist, or both,
+//! plus the phase and scan-lock context rules use to scale severity.
+
+use crate::diag::LintPhase;
+use rtlock_netlist::scoap::{self, Scoap};
+use rtlock_netlist::{GateId, Netlist};
+use rtlock_rtl::cdfg::Cdfg;
+use rtlock_rtl::fsm::{self, Fsm};
+use rtlock_rtl::{Dir, Module, NetId};
+use std::cell::OnceCell;
+
+/// Key ports added by the locking transforms follow this prefix (kept in
+/// sync with `rtlock::transforms::KEY_PORT_PREFIX`; the flow's post-lock
+/// gate asserts the two agree).
+pub const KEY_PORT_PREFIX: &str = "lock_key_";
+
+/// The subject of one lint run.
+///
+/// Rules see whichever layers are present: RTL-level rules check
+/// [`LintTarget::module`], netlist-level rules check
+/// [`LintTarget::netlist`], and rules that exist at both layers prefer
+/// the RTL view when both are given (it has source locations). Derived
+/// analyses (CDFG, FSMs, SCOAP) are computed once on first use and shared
+/// across rules.
+pub struct LintTarget<'a> {
+    /// The RTL view, when linting source or a locked module.
+    pub module: Option<&'a Module>,
+    /// The gate-level view, when linting a netlist.
+    pub netlist: Option<&'a Netlist>,
+    /// Which flow gate (or standalone use) this run serves.
+    pub phase: LintPhase,
+    /// `true` when scan locking protects test-mode access; scan-leak
+    /// findings downgrade from `Deny` to `Warn` under this mitigation.
+    pub scan_locked: bool,
+    cdfg: OnceCell<Cdfg>,
+    fsms: OnceCell<Vec<Fsm>>,
+    scoap: OnceCell<Scoap>,
+}
+
+impl<'a> LintTarget<'a> {
+    /// A target over RTL only.
+    pub fn rtl(module: &'a Module) -> LintTarget<'a> {
+        LintTarget {
+            module: Some(module),
+            netlist: None,
+            phase: LintPhase::Standalone,
+            scan_locked: false,
+            cdfg: OnceCell::new(),
+            fsms: OnceCell::new(),
+            scoap: OnceCell::new(),
+        }
+    }
+
+    /// A target over a gate netlist only.
+    pub fn gates(netlist: &'a Netlist) -> LintTarget<'a> {
+        LintTarget { netlist: Some(netlist), ..LintTarget::rtl_none() }
+    }
+
+    /// A target over both layers of the same design.
+    pub fn full(module: &'a Module, netlist: &'a Netlist) -> LintTarget<'a> {
+        LintTarget { module: Some(module), netlist: Some(netlist), ..LintTarget::rtl_none() }
+    }
+
+    fn rtl_none() -> LintTarget<'a> {
+        LintTarget {
+            module: None,
+            netlist: None,
+            phase: LintPhase::Standalone,
+            scan_locked: false,
+            cdfg: OnceCell::new(),
+            fsms: OnceCell::new(),
+            scoap: OnceCell::new(),
+        }
+    }
+
+    /// Sets the phase (builder-style).
+    #[must_use]
+    pub fn with_phase(mut self, phase: LintPhase) -> LintTarget<'a> {
+        self.phase = phase;
+        self
+    }
+
+    /// Marks test-mode access as protected by scan locking.
+    #[must_use]
+    pub fn with_scan_locked(mut self, locked: bool) -> LintTarget<'a> {
+        self.scan_locked = locked;
+        self
+    }
+
+    /// The CDFG of the module, built once (`None` without a module).
+    pub fn cdfg(&self) -> Option<&Cdfg> {
+        let m = self.module?;
+        Some(self.cdfg.get_or_init(|| Cdfg::build(m)))
+    }
+
+    /// Extracted FSMs of the module (empty without a module).
+    pub fn fsms(&self) -> &[Fsm] {
+        match self.module {
+            Some(m) => self.fsms.get_or_init(|| fsm::extract(m)),
+            None => &[],
+        }
+    }
+
+    /// SCOAP testability numbers of the netlist (`None` without one).
+    pub fn scoap(&self) -> Option<&Scoap> {
+        let n = self.netlist?;
+        Some(self.scoap.get_or_init(|| scoap::analyze(n)))
+    }
+
+    /// Key input ports of the module (nets named `lock_key_*`).
+    pub fn key_nets(&self) -> Vec<NetId> {
+        let Some(m) = self.module else { return Vec::new() };
+        m.ports
+            .iter()
+            .copied()
+            .filter(|&p| {
+                m.net(p).dir == Some(Dir::Input) && m.net(p).name.starts_with(KEY_PORT_PREFIX)
+            })
+            .collect()
+    }
+
+    /// Key inputs of the netlist (marked via `Netlist::key_inputs`).
+    pub fn key_gates(&self) -> &[GateId] {
+        self.netlist.map(|n| n.key_inputs.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_rtl::parse;
+
+    #[test]
+    fn key_nets_follow_the_port_prefix() {
+        let m = parse(
+            "module t(input a, input lock_key_0, output y);\n assign y = a ^ lock_key_0;\nendmodule",
+        )
+        .unwrap();
+        let t = LintTarget::rtl(&m);
+        assert_eq!(t.key_nets().len(), 1);
+        assert!(t.cdfg().is_some());
+        assert!(t.scoap().is_none(), "no netlist layer");
+    }
+}

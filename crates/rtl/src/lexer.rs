@@ -2,13 +2,15 @@
 
 use std::fmt;
 
-/// A lexical token with its source line (1-based) for diagnostics.
+/// A lexical token with its source position (1-based) for diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Token kind and payload.
     pub kind: TokenKind,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column of the token's first character.
+    pub col: usize,
 }
 
 /// Token kinds.
@@ -52,11 +54,13 @@ pub struct LexError {
     pub message: String,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -82,11 +86,14 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
     let mut out = Vec::new();
     let mut i = 0usize;
     let mut line = 1usize;
+    let mut line_start = 0usize;
     while i < bytes.len() {
         let c = bytes[i];
+        let col = i - line_start + 1;
         if c == '\n' {
             line += 1;
             i += 1;
+            line_start = i;
             continue;
         }
         if c.is_whitespace() {
@@ -105,10 +112,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 i += 2;
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LexError { message: "unterminated block comment".into(), line });
+                        return Err(LexError { message: "unterminated block comment".into(), line, col });
                     }
                     if bytes[i] == '\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     if bytes[i] == '*' && bytes[i + 1] == '/' {
                         i += 2;
@@ -127,7 +135,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
             }
             let text: String = bytes[start..i].iter().collect();
-            out.push(Token { kind: TokenKind::Ident(text.trim_start_matches(['`', '\\']).to_string()), line });
+            out.push(Token { kind: TokenKind::Ident(text.trim_start_matches(['`', '\\']).to_string()), line, col });
             continue;
         }
         // Numbers (possibly sized).
@@ -140,11 +148,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             if i < bytes.len() && bytes[i] == '\'' {
                 i += 1;
                 if i >= bytes.len() {
-                    return Err(LexError { message: "truncated sized literal".into(), line });
+                    return Err(LexError { message: "truncated sized literal".into(), line, col });
                 }
                 let base = bytes[i].to_ascii_lowercase();
                 if !matches!(base, 'b' | 'h' | 'd' | 'o') {
-                    return Err(LexError { message: format!("unsupported literal base `{base}`"), line });
+                    return Err(LexError { message: format!("unsupported literal base `{base}`"), line, col });
                 }
                 i += 1;
                 let dstart = i;
@@ -153,20 +161,20 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let digits: String = bytes[dstart..i].iter().filter(|&&c| c != '_').collect();
                 if digits.is_empty() {
-                    return Err(LexError { message: "sized literal has no digits".into(), line });
+                    return Err(LexError { message: "sized literal has no digits".into(), line, col });
                 }
                 let width: usize = num_text
                     .parse()
-                    .map_err(|_| LexError { message: format!("bad literal width `{num_text}`"), line })?;
+                    .map_err(|_| LexError { message: format!("bad literal width `{num_text}`"), line, col })?;
                 if width == 0 {
-                    return Err(LexError { message: "zero-width literal".into(), line });
+                    return Err(LexError { message: "zero-width literal".into(), line, col });
                 }
-                out.push(Token { kind: TokenKind::Sized { width, base, digits }, line });
+                out.push(Token { kind: TokenKind::Sized { width, base, digits }, line, col });
             } else {
                 let value: u64 = num_text
                     .parse()
-                    .map_err(|_| LexError { message: format!("bad number `{num_text}`"), line })?;
-                out.push(Token { kind: TokenKind::Number(value), line });
+                    .map_err(|_| LexError { message: format!("bad number `{num_text}`"), line, col })?;
+                out.push(Token { kind: TokenKind::Number(value), line, col });
             }
             continue;
         }
@@ -183,19 +191,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             Some(sym) => {
                 // `@(` is split back into `@` + `(` for simpler parsing.
                 if sym == "@(" {
-                    out.push(Token { kind: TokenKind::Symbol("@"), line });
-                    out.push(Token { kind: TokenKind::Symbol("("), line });
+                    out.push(Token { kind: TokenKind::Symbol("@"), line, col });
+                    out.push(Token { kind: TokenKind::Symbol("("), line, col: col + 1 });
                 } else {
-                    out.push(Token { kind: TokenKind::Symbol(sym), line });
+                    out.push(Token { kind: TokenKind::Symbol(sym), line, col });
                 }
                 i += sym.len();
             }
             None => {
-                return Err(LexError { message: format!("unexpected character `{c}`"), line });
+                return Err(LexError { message: format!("unexpected character `{c}`"), line, col });
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, line });
+    out.push(Token { kind: TokenKind::Eof, line, col: bytes.len() - line_start + 1 });
     Ok(out)
 }
 

@@ -36,11 +36,13 @@ pub struct ParseError {
     pub message: String,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -53,7 +55,7 @@ impl std::error::Error for ParseError {}
 /// Returns [`ParseError`] for lexical errors, syntax errors, undeclared
 /// identifiers, and constructs outside the supported subset.
 pub fn parse(src: &str) -> Result<Module, ParseError> {
-    let tokens = tokenize(src).map_err(|e| ParseError { message: e.message, line: e.line })?;
+    let tokens = tokenize(src).map_err(|e| ParseError { message: e.message, line: e.line, col: e.col })?;
     Parser { tokens, pos: 0, params: HashMap::new(), expr_depth: 0 }.parse_module()
 }
 
@@ -76,6 +78,10 @@ impl Parser {
         self.tokens[self.pos].line
     }
 
+    fn col(&self) -> usize {
+        self.tokens[self.pos].col
+    }
+
     fn bump(&mut self) -> TokenKind {
         let t = self.tokens[self.pos].kind.clone();
         if self.pos + 1 < self.tokens.len() {
@@ -85,7 +91,7 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), line: self.line() })
+        Err(ParseError { message: message.into(), line: self.line(), col: self.col() })
     }
 
     fn eat_symbol(&mut self, sym: &str) -> bool {
@@ -148,7 +154,7 @@ impl Parser {
                 if let Some(v) = self.params.get(&name) {
                     let v = v
                         .to_u64()
-                        .ok_or_else(|| ParseError { message: format!("parameter `{name}` too wide"), line: self.line() })?;
+                        .ok_or_else(|| ParseError { message: format!("parameter `{name}` too wide"), line: self.line(), col: self.col() })?;
                     self.bump();
                     Ok(v)
                 } else {
@@ -157,7 +163,7 @@ impl Parser {
             }
             TokenKind::Sized { .. } => {
                 let bv = self.sized_literal()?;
-                bv.to_u64().ok_or_else(|| ParseError { message: "constant too wide".into(), line: self.line() })
+                bv.to_u64().ok_or_else(|| ParseError { message: "constant too wide".into(), line: self.line(), col: self.col() })
             }
             other => self.err(format!("expected constant, found {other}")),
         }
@@ -165,6 +171,7 @@ impl Parser {
 
     fn sized_literal(&mut self) -> Result<Bv, ParseError> {
         let line = self.line();
+        let col = self.col();
         match self.bump() {
             TokenKind::Sized { width, base, digits } => {
                 let val = match base {
@@ -176,6 +183,7 @@ impl Parser {
                             let d = c.to_digit(8).ok_or_else(|| ParseError {
                                 message: format!("bad octal digit `{c}`"),
                                 line,
+                                col,
                             })?;
                             acc = acc.shl(3).or(&Bv::from_u64(acc.width(), d as u64));
                         }
@@ -187,10 +195,11 @@ impl Parser {
                 let val = val.ok_or_else(|| ParseError {
                     message: format!("malformed literal digits `{digits}` (x/z are not supported)"),
                     line,
+                    col,
                 })?;
                 Ok(val.resize(width))
             }
-            other => Err(ParseError { message: format!("expected sized literal, found {other}"), line }),
+            other => Err(ParseError { message: format!("expected sized literal, found {other}"), line, col }),
         }
     }
 
@@ -406,7 +415,7 @@ impl Parser {
         let name = self.expect_ident()?;
         let net = module
             .find_net(&name)
-            .ok_or_else(|| ParseError { message: format!("assignment to undeclared net `{name}`"), line: self.line() })?;
+            .ok_or_else(|| ParseError { message: format!("assignment to undeclared net `{name}`"), line: self.line(), col: self.col() })?;
         if self.eat_symbol("[") {
             let hi = self.const_u64()? as usize;
             let lo = if self.eat_symbol(":") { self.const_u64()? as usize } else { hi };
@@ -431,7 +440,7 @@ impl Parser {
             let clk_name = self.expect_ident()?;
             let clock = module
                 .find_net(&clk_name)
-                .ok_or_else(|| ParseError { message: format!("unknown clock `{clk_name}`"), line: self.line() })?;
+                .ok_or_else(|| ParseError { message: format!("unknown clock `{clk_name}`"), line: self.line(), col: self.col() })?;
             let mut reset = None;
             if self.eat_keyword("or") {
                 let active_high = if self.eat_keyword("posedge") {
@@ -443,7 +452,7 @@ impl Parser {
                 let rname = self.expect_ident()?;
                 let rnet = module
                     .find_net(&rname)
-                    .ok_or_else(|| ParseError { message: format!("unknown reset `{rname}`"), line: self.line() })?;
+                    .ok_or_else(|| ParseError { message: format!("unknown reset `{rname}`"), line: self.line(), col: self.col() })?;
                 reset = Some(ResetSpec { net: rnet, active_high, asynchronous: true });
             }
             self.expect_symbol(")")?;
@@ -543,6 +552,7 @@ impl Parser {
                                 .ok_or_else(|| ParseError {
                                     message: format!("case label `{name}` is not a localparam"),
                                     line: self.line(),
+                                    col: self.col(),
                                 })?;
                             self.bump();
                             v.resize(subj_w)
@@ -716,7 +726,7 @@ impl Parser {
                 }
                 let net = module
                     .find_net(&name)
-                    .ok_or_else(|| ParseError { message: format!("undeclared identifier `{name}`"), line: self.line() })?;
+                    .ok_or_else(|| ParseError { message: format!("undeclared identifier `{name}`"), line: self.line(), col: self.col() })?;
                 if self.eat_symbol("[") {
                     // Constant slice or dynamic single-bit index.
                     let save = self.pos;

@@ -4,6 +4,7 @@ pub use rtlock_atpg as atpg;
 pub use rtlock_attacks as attacks;
 pub use rtlock_designs as designs;
 pub use rtlock_ilp as ilp;
+pub use rtlock_lint as lint;
 pub use rtlock_netlist as netlist;
 pub use rtlock_p1735 as p1735;
 pub use rtlock_rtl as rtl;
