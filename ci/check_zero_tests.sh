@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Fails when any test suite binary in the workspace reports "running 0
+# tests". A zero-test suite is indistinguishable from a green one in CI
+# summaries, so an accidentally-emptied suite (feature gate, cfg typo,
+# deleted module) would pass silently forever. This guard makes emptiness
+# loud.
+#
+# Usage:
+#   ci/check_zero_tests.sh [cargo-test-log]
+#
+# With no argument the script runs `cargo test --workspace` itself and
+# checks the live output. With an argument it parses a previously captured
+# log instead, so CI can reuse the output of the main test step without
+# paying for a second full run.
+#
+# Allowlist: unit-test sections of `src/bin/` targets. CLI binaries are
+# exercised end-to-end (smoke jobs, integration tests); cargo still emits
+# an empty "running 0 tests" unittest section for each of them, which is
+# expected and not a regression.
+set -u -o pipefail
+
+log=""
+cleanup() { [ -n "$log" ] && rm -f "$log"; }
+trap cleanup EXIT
+
+if [ $# -ge 1 ]; then
+  input=$1
+  [ -r "$input" ] || { echo "check_zero_tests: cannot read log '$input'" >&2; exit 2; }
+else
+  log=$(mktemp)
+  input=$log
+  # --no-fail-fast so the inventory is complete even when a suite fails;
+  # test failures themselves are the main test step's job to report.
+  cargo test --workspace --no-fail-fast >"$log" 2>&1 || true
+fi
+
+awk '
+  /^[[:space:]]*Running unittests src\/bin\// { suite = "BIN:" $3; next }
+  /^[[:space:]]*Running unittests /           { suite = "unittests " $3 " " $4; next }
+  /^[[:space:]]*Running tests\//              { suite = $2 " " $3; next }
+  /^[[:space:]]*Running benches\//            { suite = $2 " " $3; next }
+  /^[[:space:]]*Doc-tests /                   { suite = "doc-tests " $2; next }
+  /^running 0 tests$/ {
+    if (suite == "")            { next }          # not inside a known suite
+    if (suite ~ /^BIN:/)        { suite = ""; next } # allowlisted bin stub
+    print suite
+    suite = ""
+    next
+  }
+  /^running [0-9]+ tests?$/ { suite = "" }
+' "$input" | sort -u | {
+  zero=$(cat)
+  if [ -n "$zero" ]; then
+    echo "check_zero_tests: FAIL — these suites ran zero tests:" >&2
+    printf '%s\n' "$zero" | sed 's/^/  - /' >&2
+    exit 1
+  fi
+  echo "check_zero_tests: OK — every non-allowlisted suite runs at least one test"
+}

@@ -8,6 +8,13 @@
 //!   the paper used 12 h on a Xeon — scale accordingly when reproducing
 //!   the long rows);
 //! * `RTLOCK_MAX_BASELINE_KEYS` — cap on baseline key sizes (default 96).
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! assert_eq!(rtlock_bench::secs(Duration::from_millis(1500)), "1.500");
+//! assert_eq!(rtlock_bench::paper::TABLE2.len(), 6);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,155 @@
+//! Cross-layer differential fuzzing and formal equivalence harness.
+//!
+//! See DESIGN.md §9 for the architecture. In short: a seed-driven
+//! generator ([`gen`]) produces random RTL modules biased toward
+//! optimizer-rewritten constructs; a five-layer oracle ([`oracle`]) runs
+//! each module through RTL simulation, elaborated-netlist simulation,
+//! optimized-netlist simulation, scan-view sequential emulation, and a
+//! locked-with-correct-key cosimulation on shared random stimulus, plus a
+//! SAT miter between the pre- and post-optimization netlists; a greedy
+//! minimizer ([`shrink`]) reduces divergent modules; and [`corpus`]
+//! persists shrunk divergences as regression inputs.
+//!
+//! ```
+//! use rtlock_fuzz::{run_fuzz, FuzzConfig};
+//! use rtlock_governor::CancelToken;
+//!
+//! let cfg = FuzzConfig { seed: 7, iters: 3, ..FuzzConfig::default() };
+//! let report = run_fuzz(&cfg, &CancelToken::unlimited());
+//! assert_eq!(report.executed, 3);
+//! assert!(report.divergences.is_empty());
+//! ```
+
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use gen::{generate, render, GenConfig, GenModule};
+pub use oracle::{check_module, check_source, Layer, OracleConfig, Verdict};
+pub use shrink::shrink;
+
+use rtlock_governor::CancelToken;
+
+/// Configuration for a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Base seed; iteration `i` uses a stream derived from `(seed, i)`.
+    pub seed: u64,
+    /// Number of modules to generate and check.
+    pub iters: u64,
+    /// Generator shape limits.
+    pub gen: GenConfig,
+    /// Oracle settings (cycles, stimulus vectors, layer toggles).
+    pub oracle: OracleConfig,
+    /// Directory to persist shrunk divergences into (`None` = don't).
+    pub corpus_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 1,
+            iters: 100,
+            gen: GenConfig::default(),
+            oracle: OracleConfig::default(),
+            corpus_dir: None,
+        }
+    }
+}
+
+/// One divergence found during a campaign.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Seed of the iteration that produced the module.
+    pub seed: u64,
+    /// Layer that disagreed with the RTL reference.
+    pub layer: Layer,
+    /// Human-readable detail from the oracle.
+    pub detail: String,
+    /// Shrunk module source.
+    pub shrunk_source: String,
+    /// Line count of the shrunk source.
+    pub shrunk_lines: usize,
+    /// Path the reproducer was persisted to, if a corpus dir was set.
+    pub persisted: Option<std::path::PathBuf>,
+}
+
+/// Summary of a fuzzing campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Iterations actually executed (may be short of the request when
+    /// cancelled by budget).
+    pub executed: u64,
+    /// Iterations skipped because the oracle could not complete a layer
+    /// (e.g. SAT budget exhausted) — counted, never silently dropped.
+    pub incomplete: u64,
+    /// Divergences found (post-shrink).
+    pub divergences: Vec<Divergence>,
+    /// Whether the campaign stopped early on cancellation.
+    pub cancelled: bool,
+}
+
+/// Runs a fuzzing campaign. Checks `cancel` between iterations so a
+/// governor wall-clock budget bounds the campaign.
+pub fn run_fuzz(cfg: &FuzzConfig, cancel: &CancelToken) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..cfg.iters {
+        if cancel.should_stop().is_some() {
+            report.cancelled = true;
+            break;
+        }
+        let iter_seed = cfg.seed.wrapping_mul(0x1000_0000_0000_0001).wrapping_add(i);
+        let module = gen::generate(iter_seed, &cfg.gen);
+        match oracle::check_module(&module, iter_seed, &cfg.oracle) {
+            Verdict::Pass => {}
+            Verdict::Incomplete(_) => report.incomplete += 1,
+            Verdict::Diverged { layer, detail } => {
+                let shrunk = shrink::shrink(&module, iter_seed, &cfg.oracle, cancel);
+                let shrunk_source = gen::render(&shrunk);
+                let shrunk_lines = shrunk_source.lines().count();
+                let persisted = cfg.corpus_dir.as_ref().and_then(|dir| {
+                    corpus::persist(dir, iter_seed, layer, &shrunk_source).ok()
+                });
+                report.divergences.push(Divergence {
+                    seed: iter_seed,
+                    layer,
+                    detail,
+                    shrunk_source,
+                    shrunk_lines,
+                    persisted,
+                });
+            }
+        }
+        report.executed += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_campaign_reports_no_divergences() {
+        let cfg = FuzzConfig { iters: 25, ..FuzzConfig::default() };
+        let report = run_fuzz(&cfg, &CancelToken::unlimited());
+        assert_eq!(report.executed, 25);
+        assert!(
+            report.divergences.is_empty(),
+            "unexpected divergences: {:?}",
+            report.divergences.iter().map(|d| (d.seed, d.layer)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cancelled_campaign_stops_early() {
+        let cfg = FuzzConfig { iters: 1000, ..FuzzConfig::default() };
+        let cancel = CancelToken::unlimited();
+        cancel.cancel();
+        let report = run_fuzz(&cfg, &cancel);
+        assert!(report.cancelled);
+        assert_eq!(report.executed, 0);
+    }
+}

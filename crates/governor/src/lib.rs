@@ -15,6 +15,15 @@
 //! The crate is dependency-free on purpose: it sits below `rtlock-sat`,
 //! `rtlock-ilp`, `rtlock-synth` and `rtlock-atpg` in the dependency graph,
 //! none of which may depend on each other.
+//!
+//! ```
+//! use rtlock_governor::CancelToken;
+//!
+//! let token = CancelToken::unlimited();
+//! assert!(token.should_stop().is_none());
+//! token.cancel();
+//! assert!(token.should_stop().is_some());
+//! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

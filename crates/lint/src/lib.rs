@@ -22,6 +22,15 @@
 //! flow. [`lint_bounded`] polls a governor
 //! [`CancelToken`](rtlock_governor::CancelToken) between rules so a gate
 //! degrades instead of blowing the flow's budget.
+//!
+//! ```
+//! use rtlock_lint::{lint, LintTarget};
+//!
+//! let m = rtlock_rtl::parse("module t(input a, output y);\n assign y = a;\nendmodule")
+//!     .expect("parse");
+//! let report = lint(&LintTarget::rtl(&m));
+//! assert!(report.is_clean(), "{}", report.to_text());
+//! ```
 
 pub mod diag;
 pub mod engine;

@@ -15,6 +15,34 @@ use rtlock_governor::CancelToken;
 use rtlock_netlist::{Gate, GateId, GateKind, Netlist};
 use std::collections::HashMap;
 
+/// Deliberate-miscompile injection for the differential fuzzing harness.
+///
+/// `rtlock-fuzz` needs a known-bad optimizer to prove the cross-layer
+/// oracle actually catches miscompiles end-to-end (find → diverge →
+/// shrink). When armed, the inverted-select mux rewrite in [`optimize`]
+/// absorbs the select inverter **without swapping the data legs** — a
+/// classic polarity bug that silently corrupts any design whose ternary
+/// condition elaborates to an inverter-driven mux select.
+///
+/// The flag is process-global and off by default; nothing in the
+/// production flow arms it. Only the fuzz harness CLI
+/// (`rtlock-fuzz --inject-opt-bug`) and its acceptance tests do.
+pub mod inject {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static OPT_MUX_BUG: AtomicBool = AtomicBool::new(false);
+
+    /// Arms (or disarms) the deliberate inverted-select miscompile.
+    pub fn set_opt_mux_bug(enabled: bool) {
+        OPT_MUX_BUG.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether the miscompile is currently armed.
+    pub fn opt_mux_bug() -> bool {
+        OPT_MUX_BUG.load(Ordering::SeqCst)
+    }
+}
+
 /// Statistics from an optimization run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OptStats {
@@ -257,7 +285,8 @@ fn fold_pass(netlist: &mut Netlist) -> bool {
                     // Inverted select: swap the data legs and absorb the NOT.
                     None if netlist.gate(s).kind == GateKind::Not => {
                         let inner = netlist.gate(s).fanin[0];
-                        netlist.gate_mut(id).fanin = vec![inner, b, a];
+                        let legs = if inject::opt_mux_bug() { vec![inner, a, b] } else { vec![inner, b, a] };
+                        netlist.gate_mut(id).fanin = legs;
                         changed = true;
                         None
                     }

@@ -1,0 +1,20 @@
+// Hand-written regression: mux with an inverted select feeding nested
+// ternaries. The optimizer's inverted-select absorption must swap the data
+// legs when it eats the NOT — the exact rewrite the flag-gated
+// injected miscompile corrupts — and constant legs tempt the folding
+// rules into the same cone.
+module inv_select_mux(
+  input s,
+  input t,
+  input [3:0] a,
+  input [3:0] b,
+  output [3:0] y,
+  output z
+);
+  wire [3:0] picked;
+  wire [3:0] doubled;
+  assign picked = (!s) ? (a ^ 4'd5) : (b | 4'd8);
+  assign doubled = (~t) ? picked : (picked + 4'd1);
+  assign y = ((s & ~t)) ? doubled : (doubled ^ 4'd15);
+  assign z = (!(s ^ t)) ? (&a) : (|b);
+endmodule

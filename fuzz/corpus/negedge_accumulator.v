@@ -1,0 +1,22 @@
+// Hand-written regression: registered datapath with an active-low
+// asynchronous reset and a non-zero reset value. Exercises the
+// const_reset_value extraction during elaboration, DFF init handling in
+// the scan view's sequential feedback loop, and reset-polarity stimulus in
+// every simulation layer.
+module negedge_accumulator(
+  input clk,
+  input rst_n,
+  input [7:0] d,
+  input en,
+  output reg [7:0] acc,
+  output [7:0] peek
+);
+  assign peek = acc ^ 8'd170;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      acc <= 8'd7;
+    end else begin
+      acc <= en ? (acc + d) : (acc >> 1);
+    end
+  end
+endmodule

@@ -1,0 +1,33 @@
+// Hand-written regression: case-based FSM whose transition conditions mix
+// xnor (both `~^` spellings after parsing normalize) with reductions, plus
+// a Moore output decoded from the state. Exercises case lowering, the
+// default-arm pre-assignment idiom, and FSM extraction feeding the locking
+// layer's candidate enumeration.
+module xnor_fsm(
+  input clk,
+  input rst,
+  input [3:0] sym,
+  output [1:0] tag,
+  output match
+);
+  reg [1:0] state;
+  reg [1:0] state_n;
+  assign tag = state ~^ 2'd2;
+  assign match = (state == 2'd3) && (^sym);
+  always @(*) begin
+    state_n = state;
+    case (state)
+      2'd0: state_n = (sym ~^ 4'd9) == 4'd15 ? 2'd1 : 2'd0;
+      2'd1: state_n = (&sym[1:0]) ? 2'd2 : 2'd1;
+      2'd2: state_n = (sym[3] ~^ sym[0]) ? 2'd3 : 2'd0;
+      2'd3: state_n = 2'd0;
+    endcase
+  end
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 2'd0;
+    end else begin
+      state <= state_n;
+    end
+  end
+endmodule

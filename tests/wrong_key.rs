@@ -1,0 +1,121 @@
+//! Wrong-key divergence properties over the whole benchmark catalog.
+//!
+//! The locking contract has two halves: the correct key must be
+//! behavior-preserving, and *any* wrong key must corrupt. "Wrong" needs
+//! care — RTLock's entangled XNOR pairs make some multi-bit flips
+//! functionally correct equivalent keys (flipping both bits of a pair
+//! preserves the unlock condition), so these tests flip exactly ONE bit,
+//! which is guaranteed to leave every equivalence class.
+
+use rtlock_repro::rtlock::database::DatabaseConfig;
+use rtlock_repro::rtlock::select::SelectionSpec;
+use rtlock_repro::rtlock::verify::cosim_mismatch_rate;
+use rtlock_repro::rtlock::{lock, LockedDesign, RtlLockConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn quick_config() -> RtlLockConfig {
+    RtlLockConfig {
+        database: DatabaseConfig {
+            sat_probe: false,
+            ml_probe: false,
+            cosim_cycles: 16,
+            corruption_samples: 1,
+            ..DatabaseConfig::default()
+        },
+        spec: SelectionSpec {
+            min_resilience: 120.0,
+            max_area_pct: 40.0,
+            min_key_bits: 8,
+            ..SelectionSpec::default()
+        },
+        scan: None,
+        verify_cycles: 24,
+        ..RtlLockConfig::default()
+    }
+}
+
+/// Locks every catalog design once; every test case reuses the results.
+fn locked_catalog() -> &'static Vec<(&'static str, LockedDesign)> {
+    static CACHE: OnceLock<Vec<(&'static str, LockedDesign)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        rtlock_designs::catalog()
+            .into_iter()
+            .map(|b| {
+                let module = b.module().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                let locked =
+                    lock(&module, &quick_config()).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                (b.name, locked)
+            })
+            .collect()
+    })
+}
+
+/// Observed corruption for a key, maximized over a few stimulus seeds (a
+/// wrong key can be quiet on one short random trace; it must not be quiet
+/// on all of them).
+fn corruption(design: &LockedDesign, key: &[bool]) -> f64 {
+    [5u64, 77, 901]
+        .iter()
+        .map(|&seed| cosim_mismatch_rate(&design.original, &design.locked, key, 48, seed))
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn correct_key_never_diverges_on_any_design() {
+    for (name, design) in locked_catalog() {
+        assert!(design.key.len() >= 8, "{name}: expected a real key, got {}", design.key.len());
+        for seed in [5u64, 77, 901] {
+            let rate = cosim_mismatch_rate(&design.original, &design.locked, &design.key, 48, seed);
+            assert_eq!(rate, 0.0, "{name}: correct key diverged (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn eight_single_bit_flips_diverge_on_every_design() {
+    // Deterministic spread of >= 8 distinct flip positions per design.
+    for (name, design) in locked_catalog() {
+        let k = design.key.len();
+        let picks = 8.min(k);
+        let mut tried = Vec::new();
+        for j in 0..picks {
+            let bit = (j * k / picks + j) % k;
+            if tried.contains(&bit) {
+                continue;
+            }
+            tried.push(bit);
+            let mut wrong = design.key.clone();
+            wrong[bit] = !wrong[bit];
+            let rate = corruption(design, &wrong);
+            assert!(
+                rate > 0.0,
+                "{name}: flipping key bit {bit} of {k} produced no observable corruption"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random (design, key-bit) pairs: a single flipped bit always
+    /// observably corrupts, and re-flipping it back always restores
+    /// equivalence.
+    #[test]
+    fn random_single_bit_flip_diverges(design_idx in 0usize..6, bit_sel in 0u32..u32::MAX) {
+        let (name, design) = &locked_catalog()[design_idx];
+        let k = design.key.len();
+        let bit = bit_sel as usize % k;
+        let mut wrong = design.key.clone();
+        wrong[bit] = !wrong[bit];
+        let rate = corruption(design, &wrong);
+        prop_assert!(
+            rate > 0.0,
+            "{}: flipping key bit {} of {} produced no observable corruption", name, bit, k
+        );
+        wrong[bit] = !wrong[bit];
+        let restored = cosim_mismatch_rate(&design.original, &design.locked, &wrong, 48, 5);
+        prop_assert!(restored == 0.0, "{}: restored key must be clean", name);
+    }
+}
