@@ -12,14 +12,14 @@
 //! exploits ("none of the circuits can be broken using the BMC attacks").
 
 use crate::oracle::SeqOracle;
-use crate::sat_attack::AttackOutcome;
-use rtlock_governor::Deadline;
+use crate::sat_attack::{model_bits, AttackOutcome};
+use rtlock_governor::{CancelToken, Deadline};
 use rtlock_netlist::{CnfBuilder, GateId, GateKind, Netlist};
-use rtlock_sat::{Budget, Lit, SolveResult, Solver, Var};
+use rtlock_sat::{Budget, Lit, SolveResult, Solver};
 use std::time::{Duration, Instant};
 
 /// BMC attack limits.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BmcConfig {
     /// Initial unrolling depth.
     pub initial_depth: usize,
@@ -29,11 +29,32 @@ pub struct BmcConfig {
     pub max_iterations: usize,
     /// Wall-clock limit.
     pub timeout: Option<Duration>,
+    /// Cooperative cancellation, polled at every DIS and depth boundary
+    /// and inside the solver at restart boundaries (see
+    /// [`AttackConfig::cancel`](crate::AttackConfig)).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for BmcConfig {
     fn default() -> Self {
-        BmcConfig { initial_depth: 2, max_depth: 16, max_iterations: 2_000, timeout: None }
+        BmcConfig {
+            initial_depth: 2,
+            max_depth: 16,
+            max_iterations: 2_000,
+            timeout: None,
+            cancel: None,
+        }
+    }
+}
+
+impl BmcConfig {
+    /// The token the attack polls (cancel token tightened to the timeout).
+    fn stop_token(&self) -> CancelToken {
+        let deadline = Deadline::within(self.timeout);
+        match &self.cancel {
+            Some(t) => t.tightened(deadline),
+            None => CancelToken::with_deadline(deadline),
+        }
     }
 }
 
@@ -100,7 +121,7 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
     let oracle = SeqOracle::new(original);
     let data_inputs: Vec<GateId> =
         locked.inputs().iter().copied().filter(|g| !locked.key_inputs.contains(g)).collect();
-    let deadline = Deadline::within(config.timeout);
+    let token = config.stop_token();
 
     let mut iterations = 0usize;
     // Accumulated oracle observations: (input trace, output trace).
@@ -138,10 +159,10 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
         sync(&mut cnf, &mut solver, &mut drained);
 
         loop {
-            if deadline.expired() {
+            if token.should_stop().is_some() {
                 return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
             }
-            solver.set_budget(Budget::until(deadline));
+            solver.set_budget(Budget::cancellable(&token));
             match solver.solve(&[Lit::from_dimacs(act)]) {
                 SolveResult::Unknown => {
                     return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() }
@@ -152,12 +173,20 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
                     if iterations > config.max_iterations {
                         return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
                     }
-                    let trace: Vec<Vec<bool>> = input_vars
-                        .iter()
-                        .map(|fv| {
-                            fv.iter().map(|&v| solver.value(Var(v as u32 - 1)).unwrap_or(false)).collect()
-                        })
-                        .collect();
+                    let mut trace: Vec<Vec<bool>> = Vec::with_capacity(input_vars.len());
+                    for (t, fv) in input_vars.iter().enumerate() {
+                        match model_bits(&solver, fv) {
+                            Ok(cycle) => trace.push(cycle),
+                            Err(missing) => {
+                                return AttackOutcome::Error {
+                                    reason: format!(
+                                        "SAT model lacks an assignment for input {missing} \
+                                         in frame {t}; refusing to fabricate a DIS"
+                                    ),
+                                }
+                            }
+                        }
+                    }
                     let named: Vec<Vec<(String, bool)>> = trace
                         .iter()
                         .map(|cycle| {
@@ -181,8 +210,17 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
         // UNSAT at this depth: candidate key. Validate by simulation; if it
         // holds on random traces, report it, otherwise deepen.
         if solver.solve(&[]) == SolveResult::Sat {
-            let key: Vec<bool> =
-                k1.iter().map(|&v| solver.value(Var(v as u32 - 1)).unwrap_or(false)).collect();
+            let key = match model_bits(&solver, &k1) {
+                Ok(bits) => bits,
+                Err(missing) => {
+                    return AttackOutcome::Error {
+                        reason: format!(
+                            "SAT model lacks an assignment for key bit {missing}; \
+                             refusing to fabricate key bits"
+                        ),
+                    }
+                }
+            };
             // Validate on traces much longer than the unrolling depth — a
             // key that merely survives `depth` frames is not recovered
             // (FSM locking corrupts outputs only once the machine has
@@ -367,7 +405,7 @@ mod tests {
     #[test]
     fn depth_budget_limits_attack() {
         let (locked, orig) = build_seq(true);
-        let cfg = BmcConfig { initial_depth: 1, max_depth: 0, max_iterations: 5, timeout: None };
+        let cfg = BmcConfig { initial_depth: 1, max_depth: 0, max_iterations: 5, timeout: None, ..Default::default() };
         assert!(matches!(bmc_attack(&locked, &orig, &cfg), AttackOutcome::TimedOut { .. }));
     }
 

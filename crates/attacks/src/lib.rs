@@ -7,6 +7,8 @@
 //!   constant-propagation attacks;
 //! * [`removal`] — SPS-based point-function removal analysis;
 //! * [`bypass`] — bypass-attack cost estimation;
+//! * [`portfolio`] — deterministic parallel portfolio racing the suite
+//!   under one budget;
 //! * [`oracle`] — the activated-chip oracles the oracle-guided attacks use.
 //!
 //! # Examples
@@ -43,6 +45,7 @@ pub mod bypass;
 pub mod features;
 pub mod ml;
 pub mod oracle;
+pub mod portfolio;
 pub mod removal;
 pub mod sat_attack;
 
@@ -50,5 +53,9 @@ pub use bmc_attack::{bmc_attack, sequential_key_accuracy, BmcConfig};
 pub use bypass::{bypass_estimate, BypassEstimate};
 pub use ml::{scope_attack, MlReport, SweepModel};
 pub use oracle::{CombOracle, SeqOracle};
+pub use portfolio::{
+    portfolio_attack, portfolio_attack_sequential, MemberOutcome, PortfolioConfig,
+    PortfolioMember, PortfolioTarget, PortfolioVerdict,
+};
 pub use removal::{removal_attack, RemovalOutcome};
 pub use sat_attack::{apply_key, key_accuracy, sat_attack, AttackConfig, AttackOutcome};

@@ -14,23 +14,39 @@
 //! scan locking provides.
 
 use crate::oracle::CombOracle;
-use rtlock_governor::Deadline;
+use rtlock_governor::{CancelToken, Deadline};
 use rtlock_netlist::{CnfBuilder, GateId, Netlist};
 use rtlock_sat::{Budget, Lit, SolveResult, Solver};
 use std::time::{Duration, Instant};
 
 /// Attack resource limits.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AttackConfig {
     /// Maximum number of DIP iterations.
     pub max_iterations: usize,
     /// Wall-clock limit for the whole attack.
     pub timeout: Option<Duration>,
+    /// Cooperative cancellation: a fired token stops the attack at the next
+    /// solver restart or DIP boundary with [`AttackOutcome::TimedOut`].
+    /// This is how a portfolio run interrupts a losing attack mid-solve.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for AttackConfig {
     fn default() -> Self {
-        AttackConfig { max_iterations: 10_000, timeout: None }
+        AttackConfig { max_iterations: 10_000, timeout: None, cancel: None }
+    }
+}
+
+impl AttackConfig {
+    /// The token the attack polls: the configured cancel token tightened to
+    /// the wall-clock timeout, or a pure deadline token without one.
+    pub(crate) fn stop_token(&self) -> CancelToken {
+        let deadline = Deadline::within(self.timeout);
+        match &self.cancel {
+            Some(t) => t.tightened(deadline),
+            None => CancelToken::with_deadline(deadline),
+        }
     }
 }
 
@@ -57,6 +73,15 @@ pub enum AttackOutcome {
     /// without scan access).
     Infeasible {
         /// Why the attack cannot run.
+        reason: String,
+    },
+    /// The attack machinery itself failed — e.g. the SAT model lacked an
+    /// assignment for a variable the attack must read. Unlike
+    /// [`AttackOutcome::Infeasible`] this indicates a bug or an
+    /// inconsistent encoding, never a property of the target, so callers
+    /// must not score it as "resisted".
+    Error {
+        /// What went wrong.
         reason: String,
     },
 }
@@ -142,10 +167,10 @@ pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -
 
     sync(&mut cnf, &mut solver, &mut drained);
 
-    let deadline = Deadline::within(config.timeout);
+    let token = config.stop_token();
     let mut iterations = 0usize;
     loop {
-        solver.set_budget(Budget::until(deadline));
+        solver.set_budget(Budget::cancellable(&token));
         let res = solver.solve(&[Lit::from_dimacs(act)]);
         match res {
             SolveResult::Unknown => {
@@ -159,10 +184,17 @@ pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -
                         reason: "I/O constraints inconsistent (oracle/netlist mismatch?)".into(),
                     };
                 }
-                let key: Vec<bool> = k1
-                    .iter()
-                    .map(|&v| solver.value(rtlock_sat::Var(v as u32 - 1)).unwrap_or(false))
-                    .collect();
+                let key = match model_bits(&solver, &k1) {
+                    Ok(bits) => bits,
+                    Err(missing) => {
+                        return AttackOutcome::Error {
+                            reason: format!(
+                                "SAT model lacks an assignment for key bit {missing}; \
+                                 refusing to fabricate key bits"
+                            ),
+                        }
+                    }
+                };
                 return AttackOutcome::KeyFound { key, iterations, elapsed: start.elapsed() };
             }
             SolveResult::Sat => {
@@ -171,10 +203,17 @@ pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -
                     return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
                 }
                 // Extract the DIP and ask the oracle.
-                let dip: Vec<bool> = x_vars
-                    .iter()
-                    .map(|&v| solver.value(rtlock_sat::Var(v as u32 - 1)).unwrap_or(false))
-                    .collect();
+                let dip = match model_bits(&solver, &x_vars) {
+                    Ok(bits) => bits,
+                    Err(missing) => {
+                        return AttackOutcome::Error {
+                            reason: format!(
+                                "SAT model lacks an assignment for DIP input {missing}; \
+                                 refusing to fabricate a distinguishing pattern"
+                            ),
+                        }
+                    }
+                };
                 let named: Vec<(String, bool)> = data_inputs
                     .iter()
                     .zip(&dip)
@@ -207,10 +246,23 @@ pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -
                 sync(&mut cnf, &mut solver, &mut drained);
             }
         }
-        if deadline.expired() {
+        if token.should_stop().is_some() {
             return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
         }
     }
+}
+
+/// Reads the model values for `vars` (DIMACS numbering) after a
+/// [`SolveResult::Sat`] answer. `Err(i)` reports the position of the first
+/// variable the model does not assign — the caller must surface that as an
+/// [`AttackOutcome::Error`], never substitute a default: a fabricated key
+/// bit silently turns "attack machinery broke" into a plausible-looking
+/// wrong key.
+pub(crate) fn model_bits(solver: &Solver, vars: &[i32]) -> Result<Vec<bool>, usize> {
+    vars.iter()
+        .enumerate()
+        .map(|(i, &v)| solver.value(rtlock_sat::Var(v as u32 - 1)).ok_or(i))
+        .collect()
 }
 
 fn sync(cnf: &mut CnfBuilder, solver: &mut Solver, drained: &mut usize) {
@@ -368,9 +420,39 @@ mod tests {
     #[test]
     fn iteration_budget_respected() {
         let (locked, orig) = build_pair(&[true, false]);
-        let out = sat_attack(&locked, &orig, &AttackConfig { max_iterations: 0, timeout: None });
+        let out = sat_attack(&locked, &orig, &AttackConfig { max_iterations: 0, timeout: None, ..Default::default() });
         // Either it needed no DIPs (unlikely) or it hits the budget.
         assert!(matches!(out, AttackOutcome::TimedOut { .. } | AttackOutcome::KeyFound { .. }));
+    }
+
+    #[test]
+    fn missing_model_assignment_is_an_error_not_a_zero_bit() {
+        // A variable the solver never saw has no model value; the old
+        // `unwrap_or(false)` fabricated a zero key bit here.
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(model_bits(&s, &[1]), Ok(vec![true]));
+        assert_eq!(model_bits(&s, &[1, 7]), Err(1), "var 7 is unassigned");
+    }
+
+    #[test]
+    fn attack_error_outcome_carries_no_key() {
+        let out = AttackOutcome::Error { reason: "model hole".into() };
+        assert_eq!(out.key(), None);
+    }
+
+    #[test]
+    fn pre_cancelled_token_times_the_attack_out() {
+        let (locked, orig) = build_pair(&[true, false]);
+        let token = rtlock_governor::CancelToken::unlimited();
+        token.cancel();
+        let cfg = AttackConfig { cancel: Some(token), ..AttackConfig::default() };
+        let out = sat_attack(&locked, &orig, &cfg);
+        assert!(
+            matches!(out, AttackOutcome::TimedOut { iterations: 0, .. }),
+            "cancelled before the first solve: {out:?}"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn main() {
                         let out = sat_attack(
                             &locked,
                             &original,
-                            &AttackConfig { max_iterations: 1_000_000, timeout: Some(attack_timeout()) },
+                            &AttackConfig { max_iterations: 1_000_000, timeout: Some(attack_timeout()), ..Default::default() },
                         );
                         let desc = match out {
                             AttackOutcome::KeyFound { iterations, elapsed, .. } => {
@@ -37,6 +37,7 @@ fn main() {
                                 format!("TIMEOUT after {} s ({iterations} DIPs)", secs(elapsed))
                             }
                             AttackOutcome::Infeasible { reason } => format!("infeasible: {reason}"),
+                            AttackOutcome::Error { reason } => format!("attack error: {reason}"),
                         };
                         println!("  ||k|| = {:>3}: {desc}", ld.key.len());
                     }
@@ -54,6 +55,7 @@ fn main() {
                         max_depth: 12,
                         max_iterations: 100_000,
                         timeout: Some(attack_timeout()),
+                        ..Default::default()
                     };
                     let out = bmc_attack(&locked, &original, &cfg);
                     let desc = match out {
@@ -64,6 +66,7 @@ fn main() {
                             format!("not broken: budget exhausted after {} s ({iterations} DISs)", secs(elapsed))
                         }
                         AttackOutcome::Infeasible { reason } => format!("infeasible: {reason}"),
+                        AttackOutcome::Error { reason } => format!("attack error: {reason}"),
                     };
                     println!("{name}: BMC on scan-locked surface (||k||={}): {desc}\n", ld.key.len());
                 }

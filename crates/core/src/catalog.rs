@@ -1,0 +1,320 @@
+//! Parallel catalog runs: the full lock→verify→attack pipeline over a set
+//! of designs, with a deterministic merged report.
+//!
+//! [`lock_catalog_parallel`] fans the per-design pipelines out over an
+//! [`Executor`]; [`lock_catalog_sequential`] is its single-threaded twin.
+//! Both produce a [`CatalogReport`] whose entries sit in **input order**
+//! regardless of which worker finished first, and whose
+//! [`canonical`](CatalogReport::canonical) rendering excludes every
+//! wall-clock quantity — so the two functions (at any thread count) are
+//! byte-identical whenever the run is budgeted by iterations rather than
+//! time. The determinism suite diffs exactly that.
+//!
+//! Cancellation composes hierarchically: the run-wide token passed in is
+//! the parent of each worker's token (via the executor) and of each
+//! design's [`RunBudget::cancel`] and portfolio tokens, so one `cancel()`
+//! drains the whole catalog at the next cooperative checks.
+
+use crate::flow::{lock_governed, AttackSurface, FlowReport, LockError, RtlLockConfig};
+use crate::governor::RunBudget;
+use rtlock_attacks::portfolio::{
+    portfolio_attack_sequential, PortfolioConfig, PortfolioTarget, PortfolioVerdict,
+};
+use rtlock_exec::{Executor, TaskError};
+use rtlock_governor::CancelToken;
+use rtlock_rtl::Module;
+use std::fmt::Write as _;
+
+/// One design to push through the pipeline.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Design name (report key).
+    pub name: String,
+    /// Parsed RTL.
+    pub module: Module,
+    /// Locking configuration for this design.
+    pub config: RtlLockConfig,
+}
+
+impl CatalogEntry {
+    /// Entry for a named benchmark from `rtlock_designs`' catalog.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::Synthesis`] when the benchmark is unknown or fails to
+    /// parse.
+    pub fn benchmark(name: &str, config: RtlLockConfig) -> Result<CatalogEntry, LockError> {
+        let bench = rtlock_designs::by_name(name)
+            .ok_or_else(|| LockError::Synthesis(format!("unknown benchmark {name}")))?;
+        let module =
+            bench.module().map_err(|e| LockError::Synthesis(format!("{name}: {e}")))?;
+        Ok(CatalogEntry { name: name.to_owned(), module, config })
+    }
+}
+
+/// Catalog-wide settings shared by every entry.
+#[derive(Debug, Clone)]
+pub struct CatalogJob {
+    /// The designs, in report order.
+    pub entries: Vec<CatalogEntry>,
+    /// Budget template for each design's flow run (its `cancel` field is
+    /// replaced with the worker's token).
+    pub budget: RunBudget,
+    /// Portfolio configuration for the attack stage; `None` skips attacks.
+    pub portfolio: Option<PortfolioConfig>,
+}
+
+/// What happened to one design.
+#[derive(Debug, Clone)]
+pub enum DesignStatus {
+    /// The pipeline completed (locking succeeded).
+    Done(Box<DesignSummary>),
+    /// The flow returned a structured error.
+    Failed(LockError),
+    /// The design never ran (or its slot was skipped) because the run was
+    /// cancelled first.
+    Cancelled(String),
+    /// The design's task panicked inside the pool.
+    Panicked(String),
+}
+
+/// The per-design artifacts the merged report keeps.
+#[derive(Debug, Clone)]
+pub struct DesignSummary {
+    /// Flow statistics.
+    pub report: FlowReport,
+    /// Functional key length.
+    pub key_bits: usize,
+    /// Portfolio verdict, when attacks were requested.
+    pub verdict: Option<PortfolioVerdict>,
+}
+
+/// The merged catalog report, entries in input order.
+#[derive(Debug, Clone)]
+pub struct CatalogReport {
+    /// `(name, status)` per design, in the order of [`CatalogJob::entries`].
+    pub designs: Vec<(String, DesignStatus)>,
+}
+
+impl CatalogReport {
+    /// A canonical text rendering excluding every wall-clock field; two
+    /// runs that did the same logical work serialize identically no matter
+    /// how many workers they used.
+    pub fn canonical(&self) -> String {
+        let mut s = String::new();
+        for (name, status) in &self.designs {
+            let _ = writeln!(s, "== {name} ==");
+            match status {
+                DesignStatus::Done(d) => {
+                    let r = &d.report;
+                    let _ = writeln!(s, "key_bits: {}", d.key_bits);
+                    let _ = writeln!(
+                        s,
+                        "flow: candidates={} viable={} used_ilp={} selected={:?} applied={:?}",
+                        r.candidates_enumerated, r.viable_cases, r.used_ilp, r.selected, r.applied
+                    );
+                    let _ = writeln!(
+                        s,
+                        "verify: mismatch={:.6} corruption={:.6} partial={}",
+                        r.verified_mismatch_rate, r.corruption, r.partial_verification
+                    );
+                    for deg in &r.degradations {
+                        let _ = writeln!(s, "degraded: {}: {}", deg.stage, deg.detail);
+                    }
+                    match &d.verdict {
+                        Some(v) => {
+                            for line in v.canonical().lines() {
+                                let _ = writeln!(s, "attack.{line}");
+                            }
+                        }
+                        None => s.push_str("attack: skipped\n"),
+                    }
+                }
+                DesignStatus::Failed(e) => {
+                    let _ = writeln!(s, "failed: {e}");
+                }
+                DesignStatus::Cancelled(reason) => {
+                    let _ = writeln!(s, "cancelled: {reason}");
+                }
+                DesignStatus::Panicked(msg) => {
+                    let _ = writeln!(s, "panicked: {msg}");
+                }
+            }
+        }
+        s
+    }
+
+    /// Count of designs whose pipeline completed.
+    pub fn completed(&self) -> usize {
+        self.designs.iter().filter(|(_, st)| matches!(st, DesignStatus::Done(_))).count()
+    }
+}
+
+/// Runs one design end to end under `token`.
+fn run_design(
+    entry: &CatalogEntry,
+    job: &CatalogJob,
+    token: &CancelToken,
+) -> Result<DesignSummary, LockError> {
+    let budget = RunBudget { cancel: Some(token.clone()), ..job.budget.clone() };
+    let locked = lock_governed(&entry.module, &entry.config, &budget)?;
+    let verdict = match &job.portfolio {
+        Some(portfolio) => {
+            let surface = locked.attack_surface(None)?;
+            let target = match &surface {
+                AttackSurface::CombinationalViews { locked, original } => {
+                    PortfolioTarget { comb: Some((locked, original)), seq: None }
+                }
+                AttackSurface::SequentialOnly { locked, original } => {
+                    PortfolioTarget { comb: None, seq: Some((locked, original)) }
+                }
+            };
+            Some(portfolio_attack_sequential(&target, portfolio, &token.child()))
+        }
+        None => None,
+    };
+    Ok(DesignSummary { report: locked.report, key_bits: locked.key.len(), verdict })
+}
+
+fn status_of(result: Result<DesignSummary, LockError>) -> DesignStatus {
+    match result {
+        Ok(summary) => DesignStatus::Done(Box::new(summary)),
+        Err(e) => DesignStatus::Failed(e),
+    }
+}
+
+/// Runs every entry's pipeline across `executor`'s workers. Results are
+/// merged in entry order; see the module docs for the determinism
+/// guarantee.
+pub fn lock_catalog_parallel(
+    job: &CatalogJob,
+    executor: &Executor,
+    token: &CancelToken,
+) -> CatalogReport {
+    let indices: Vec<usize> = (0..job.entries.len()).collect();
+    let results = executor.map(token, indices, |_, i, worker_token| {
+        run_design(&job.entries[i], job, worker_token)
+    });
+    let designs = job
+        .entries
+        .iter()
+        .zip(results)
+        .map(|(entry, res)| {
+            let status = match res {
+                Ok(r) => status_of(r),
+                Err(TaskError::Cancelled(reason)) => DesignStatus::Cancelled(format!("{reason:?}")),
+                Err(TaskError::Panicked(msg)) => DesignStatus::Panicked(msg),
+            };
+            (entry.name.clone(), status)
+        })
+        .collect();
+    CatalogReport { designs }
+}
+
+/// The sequential twin of [`lock_catalog_parallel`]: same pipeline, same
+/// merge order, one design at a time on the calling thread.
+pub fn lock_catalog_sequential(job: &CatalogJob, token: &CancelToken) -> CatalogReport {
+    let designs = job
+        .entries
+        .iter()
+        .map(|entry| {
+            let status = match token.should_stop() {
+                Some(reason) => DesignStatus::Cancelled(format!("{reason:?}")),
+                None => status_of(run_design(entry, job, token)),
+            };
+            (entry.name.clone(), status)
+        })
+        .collect();
+    CatalogReport { designs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseConfig;
+    use crate::select::SelectionSpec;
+
+    fn tiny_module(tag: u8) -> Module {
+        rtlock_rtl::parse(&format!(
+            r#"
+module tiny{tag}(input clk, input rst, input [7:0] d, output reg [7:0] y);
+  always @(posedge clk or posedge rst) begin
+    if (rst) y <= 8'd0; else y <= (d + 8'd{}) ^ 8'h2{};
+  end
+endmodule"#,
+            13 + tag,
+            tag % 10
+        ))
+        .expect("parses")
+    }
+
+    fn quick_config() -> RtlLockConfig {
+        RtlLockConfig {
+            database: DatabaseConfig { sat_probe: false, ..DatabaseConfig::default() },
+            spec: SelectionSpec {
+                min_resilience: 30.0,
+                max_area_pct: 40.0,
+                ..SelectionSpec::default()
+            },
+            verify_cycles: 16,
+            scan: None,
+            ..RtlLockConfig::default()
+        }
+    }
+
+    fn tiny_job(n: u8) -> CatalogJob {
+        CatalogJob {
+            entries: (0..n)
+                .map(|i| CatalogEntry {
+                    name: format!("tiny{i}"),
+                    module: tiny_module(i),
+                    config: quick_config(),
+                })
+                .collect(),
+            budget: RunBudget::unlimited(),
+            portfolio: None,
+        }
+    }
+
+    #[test]
+    fn parallel_merge_preserves_entry_order() {
+        let job = tiny_job(3);
+        let report = lock_catalog_parallel(&job, &Executor::new(3), &CancelToken::unlimited());
+        let names: Vec<&str> = report.designs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["tiny0", "tiny1", "tiny2"]);
+        assert_eq!(report.completed(), 3, "{}", report.canonical());
+    }
+
+    #[test]
+    fn parallel_canonical_matches_sequential() {
+        let job = tiny_job(3);
+        let reference = lock_catalog_sequential(&job, &CancelToken::unlimited()).canonical();
+        for threads in [1, 2, 4] {
+            let report =
+                lock_catalog_parallel(&job, &Executor::new(threads), &CancelToken::unlimited());
+            assert_eq!(report.canonical(), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cancelled_run_reports_cancelled_designs() {
+        let job = tiny_job(2);
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let par = lock_catalog_parallel(&job, &Executor::new(2), &token);
+        let seq = lock_catalog_sequential(&job, &token);
+        assert_eq!(par.canonical(), seq.canonical());
+        assert!(par
+            .designs
+            .iter()
+            .all(|(_, st)| matches!(st, DesignStatus::Cancelled(_))), "{}", par.canonical());
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_structured_error() {
+        assert!(matches!(
+            CatalogEntry::benchmark("nope", quick_config()),
+            Err(LockError::Synthesis(_))
+        ));
+    }
+}

@@ -284,12 +284,18 @@ fn full_row(
         let outcome = sat_attack(
             &view,
             orig_view,
-            &AttackConfig { max_iterations: 10_000, timeout: Some(config.probe_timeout) },
+            &AttackConfig {
+                max_iterations: 10_000,
+                timeout: Some(config.probe_timeout),
+                ..AttackConfig::default()
+            },
         );
         let micros = match outcome {
             AttackOutcome::KeyFound { elapsed, .. } => elapsed.as_micros() as f64,
             AttackOutcome::TimedOut { elapsed, .. } => elapsed.as_micros() as f64 * 4.0,
-            AttackOutcome::Infeasible { .. } => config.probe_timeout.as_micros() as f64,
+            AttackOutcome::Infeasible { .. } | AttackOutcome::Error { .. } => {
+                config.probe_timeout.as_micros() as f64
+            }
         };
         resilience += micros.max(1.0);
     }

@@ -179,6 +179,11 @@ pub struct RunBudget {
     pub stage_timeouts: Vec<(Stage, Duration)>,
     /// Deterministic fault injections (testing/chaos harness).
     pub fault_plan: FaultPlan,
+    /// External cancellation: when set, the run token derives from this
+    /// token, so firing it (e.g. from a parallel catalog worker's pool)
+    /// stops the flow at the next cooperative check exactly like an
+    /// expired wall clock.
+    pub cancel: Option<CancelToken>,
 }
 
 impl RunBudget {
@@ -203,6 +208,13 @@ impl RunBudget {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> RunBudget {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Attaches an external cancel token (builder-style).
+    #[must_use]
+    pub fn with_cancel(mut self, token: &CancelToken) -> RunBudget {
+        self.cancel = Some(token.clone());
         self
     }
 
@@ -234,7 +246,11 @@ pub struct Degradation {
 impl Governor {
     /// Starts governing a run: the wall-clock budget begins now.
     pub fn start(budget: RunBudget) -> Governor {
-        let run_token = CancelToken::with_deadline(Deadline::within(budget.wall_clock));
+        let deadline = Deadline::within(budget.wall_clock);
+        let run_token = match &budget.cancel {
+            Some(t) => t.tightened(deadline),
+            None => CancelToken::with_deadline(deadline),
+        };
         Governor { budget, run_token, degradations: Vec::new() }
     }
 

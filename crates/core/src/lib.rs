@@ -53,6 +53,7 @@
 
 pub mod baselines;
 pub mod candidates;
+pub mod catalog;
 pub mod database;
 pub mod flow;
 pub mod governor;
@@ -64,5 +65,9 @@ pub mod tpm;
 pub mod transforms;
 pub mod verify;
 
+pub use catalog::{
+    lock_catalog_parallel, lock_catalog_sequential, CatalogEntry, CatalogJob, CatalogReport,
+    DesignStatus, DesignSummary,
+};
 pub use flow::{lock, lock_governed, AttackSurface, LockError, LockedDesign, RtlLockConfig};
 pub use governor::{Degradation, Fault, FaultPlan, RunBudget, Stage};

@@ -18,6 +18,8 @@ const USAGE: &str = "usage: rtlock-fuzz [options]
 options:
   --seed <n>          base seed for the campaign (default 1)
   --iters <n>         modules to generate and check (default 500)
+  --jobs <n>          worker threads (default 1; 0 = one per core);
+                      the report and corpus are identical at any job count
   --time-budget <s>   wall-clock budget in seconds (default unbounded)
   --cycles <n>        simulation cycles per module (default 12)
   --corpus-dir <dir>  where to persist shrunk reproducers
@@ -33,12 +35,14 @@ struct Args {
     cfg: FuzzConfig,
     time_budget: Option<Duration>,
     inject_opt_bug: bool,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut cfg = FuzzConfig { iters: 500, ..FuzzConfig::default() };
     let mut time_budget = None;
     let mut inject_opt_bug = false;
+    let mut jobs = 1usize;
     let mut write_corpus = false;
     let mut corpus_dir: Option<std::path::PathBuf> = None;
 
@@ -59,6 +63,11 @@ fn parse_args() -> Result<Args, String> {
                 cfg.iters = value(&mut i, "--iters")?
                     .parse()
                     .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--jobs" => {
+                jobs = value(&mut i, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
             }
             "--time-budget" => {
                 let secs: u64 = value(&mut i, "--time-budget")?
@@ -87,7 +96,7 @@ fn parse_args() -> Result<Args, String> {
     if write_corpus {
         cfg.corpus_dir = Some(corpus_dir.unwrap_or_else(|| "fuzz/corpus".into()));
     }
-    Ok(Args { cfg, time_budget, inject_opt_bug })
+    Ok(Args { cfg, time_budget, inject_opt_bug, jobs })
 }
 
 fn main() -> ExitCode {
@@ -115,7 +124,16 @@ fn main() -> ExitCode {
     };
     let governor = rtlock::governor::Governor::start(budget);
     let started = std::time::Instant::now();
-    let report = rtlock_fuzz::run_fuzz(&args.cfg, governor.run_token());
+    let report = if args.jobs == 1 {
+        rtlock_fuzz::run_fuzz(&args.cfg, governor.run_token())
+    } else {
+        let executor = if args.jobs == 0 {
+            rtlock_exec::Executor::machine_sized()
+        } else {
+            rtlock_exec::Executor::new(args.jobs)
+        };
+        rtlock_fuzz::run_fuzz_parallel(&args.cfg, &executor, governor.run_token())
+    };
     let elapsed = started.elapsed();
 
     // Smoke-check the oracle itself on one known-good module so a campaign

@@ -94,8 +94,15 @@ pub struct FuzzReport {
 /// Runs a fuzzing campaign. Checks `cancel` between iterations so a
 /// governor wall-clock budget bounds the campaign.
 pub fn run_fuzz(cfg: &FuzzConfig, cancel: &CancelToken) -> FuzzReport {
+    run_range(cfg, 0..cfg.iters, cancel)
+}
+
+/// Runs the iterations in `range` of the campaign described by `cfg`.
+/// Campaign state is per-iteration, so disjoint ranges compose: their
+/// reports merge (in range order) into exactly the single-range report.
+fn run_range(cfg: &FuzzConfig, range: std::ops::Range<u64>, cancel: &CancelToken) -> FuzzReport {
     let mut report = FuzzReport::default();
-    for i in 0..cfg.iters {
+    for i in range {
         if cancel.should_stop().is_some() {
             report.cancelled = true;
             break;
@@ -127,6 +134,66 @@ pub fn run_fuzz(cfg: &FuzzConfig, cancel: &CancelToken) -> FuzzReport {
     report
 }
 
+/// Iterations per parallel work unit. Fixed (not derived from the thread
+/// count) so the chunk boundaries — and therefore the merged report — are
+/// a function of the campaign alone.
+const CHUNK_ITERS: u64 = 8;
+
+/// Runs a fuzzing campaign across `executor`'s workers.
+///
+/// The iteration space is cut into fixed-size contiguous chunks, each
+/// chunk runs independently (iteration `i` derives its own seed stream, so
+/// chunks share no state), and the per-chunk reports are merged in chunk
+/// order. An uncancelled parallel campaign therefore produces a report —
+/// and, via the post-merge persistence pass, a corpus directory —
+/// identical to [`run_fuzz`]'s at any thread count. Under cancellation the
+/// chunks stop independently, so only the *set* of completed iterations
+/// may differ from a sequential run.
+///
+/// Corpus persistence happens after the merge, in iteration order; the
+/// file contents depend only on `(layer, seed, shrunk source)`, so the
+/// directory is byte-identical to a sequential campaign's.
+pub fn run_fuzz_parallel(
+    cfg: &FuzzConfig,
+    executor: &rtlock_exec::Executor,
+    cancel: &CancelToken,
+) -> FuzzReport {
+    // Workers fuzz without persisting; the merge pass below writes the
+    // corpus in iteration order on the calling thread.
+    let worker_cfg = FuzzConfig { corpus_dir: None, ..cfg.clone() };
+    let chunks: Vec<std::ops::Range<u64>> = (0..cfg.iters)
+        .step_by(CHUNK_ITERS.max(1) as usize)
+        .map(|lo| lo..(lo + CHUNK_ITERS).min(cfg.iters))
+        .collect();
+    let results = executor.map(cancel, chunks, |_, range, token| {
+        run_range(&worker_cfg, range, token)
+    });
+
+    let mut report = FuzzReport::default();
+    for res in results {
+        match res {
+            Ok(chunk) => {
+                report.executed += chunk.executed;
+                report.incomplete += chunk.incomplete;
+                report.divergences.extend(chunk.divergences);
+                report.cancelled |= chunk.cancelled;
+            }
+            Err(rtlock_exec::TaskError::Cancelled(_)) => report.cancelled = true,
+            // The pool already drained cleanly; surface the worker's panic
+            // to the caller just as a sequential run would have.
+            Err(rtlock_exec::TaskError::Panicked(msg)) => {
+                panic!("fuzz worker panicked: {msg}")
+            }
+        }
+    }
+    if let Some(dir) = &cfg.corpus_dir {
+        for d in &mut report.divergences {
+            d.persisted = corpus::persist(dir, d.seed, d.layer, &d.shrunk_source).ok();
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +208,31 @@ mod tests {
             "unexpected divergences: {:?}",
             report.divergences.iter().map(|d| (d.seed, d.layer)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        let cfg = FuzzConfig { iters: 20, ..FuzzConfig::default() };
+        let reference = run_fuzz(&cfg, &CancelToken::unlimited());
+        let digest = |r: &FuzzReport| {
+            (
+                r.executed,
+                r.incomplete,
+                r.cancelled,
+                r.divergences
+                    .iter()
+                    .map(|d| (d.seed, d.layer, d.detail.clone(), d.shrunk_source.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        for threads in [1, 2, 4] {
+            let par = run_fuzz_parallel(
+                &cfg,
+                &rtlock_exec::Executor::new(threads),
+                &CancelToken::unlimited(),
+            );
+            assert_eq!(digest(&par), digest(&reference), "threads={threads}");
+        }
     }
 
     #[test]

@@ -118,33 +118,63 @@ pub enum StopReason {
 pub struct CancelToken {
     cancelled: Arc<AtomicBool>,
     deadline: Deadline,
+    /// Cancel flags of every ancestor (see [`CancelToken::child`]): a
+    /// cancelled ancestor cancels this token, but not vice versa.
+    ancestors: Vec<Arc<AtomicBool>>,
 }
 
 impl CancelToken {
     /// A token that never fires.
     pub fn unlimited() -> Self {
-        CancelToken { cancelled: Arc::new(AtomicBool::new(false)), deadline: Deadline::none() }
+        CancelToken {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            deadline: Deadline::none(),
+            ancestors: Vec::new(),
+        }
     }
 
     /// A token firing at `deadline` (or on explicit cancel).
     pub fn with_deadline(deadline: Deadline) -> Self {
-        CancelToken { cancelled: Arc::new(AtomicBool::new(false)), deadline }
+        CancelToken {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            deadline,
+            ancestors: Vec::new(),
+        }
     }
 
     /// This token's clone, tightened to the earlier of its own deadline and
     /// `deadline`. The cancel flag stays shared with the parent.
     pub fn tightened(&self, deadline: Deadline) -> Self {
-        CancelToken { cancelled: Arc::clone(&self.cancelled), deadline: self.deadline.min(deadline) }
+        CancelToken {
+            cancelled: Arc::clone(&self.cancelled),
+            deadline: self.deadline.min(deadline),
+            ancestors: self.ancestors.clone(),
+        }
     }
 
-    /// Requests cancellation; every clone observes it.
+    /// A child token with its *own* cancel flag: cancelling the child does
+    /// not touch this token, while cancelling this token (or any ancestor)
+    /// still fires the child. The child inherits the deadline.
+    ///
+    /// This is the shape a portfolio executor needs — each racing worker
+    /// gets a child it can be individually cancelled through, under one
+    /// run-wide parent.
+    pub fn child(&self) -> Self {
+        let mut ancestors = self.ancestors.clone();
+        ancestors.push(Arc::clone(&self.cancelled));
+        CancelToken { cancelled: Arc::new(AtomicBool::new(false)), deadline: self.deadline, ancestors }
+    }
+
+    /// Requests cancellation; every clone (and child) observes it.
     pub fn cancel(&self) {
         self.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation was explicitly requested (deadline ignored).
+    /// Whether cancellation was explicitly requested on this token or an
+    /// ancestor (deadline ignored).
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Acquire)
+            || self.ancestors.iter().any(|a| a.load(Ordering::Acquire))
     }
 
     /// Polls the token: `Some(reason)` if the engine should unwind.
@@ -226,6 +256,32 @@ mod tests {
         // Explicit cancel takes precedence over expiry in the report.
         t.cancel();
         assert_eq!(t.should_stop(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn child_cancellation_is_one_way() {
+        let parent = CancelToken::unlimited();
+        let child = parent.child();
+        let grandchild = child.child();
+        // Child cancel leaves the parent alive.
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(grandchild.is_cancelled(), "child flag reaches grandchild");
+        assert!(!parent.is_cancelled());
+        assert_eq!(parent.should_stop(), None);
+        // Parent cancel reaches every descendant.
+        let child2 = parent.child();
+        let grandchild2 = child2.child();
+        parent.cancel();
+        assert_eq!(child2.should_stop(), Some(StopReason::Cancelled));
+        assert_eq!(grandchild2.should_stop(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn child_inherits_deadline() {
+        let parent = CancelToken::with_deadline(Deadline::after(Duration::ZERO));
+        let child = parent.child();
+        assert_eq!(child.should_stop(), Some(StopReason::DeadlineExpired));
     }
 
     #[test]

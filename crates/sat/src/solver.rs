@@ -1,13 +1,14 @@
 //! The CDCL solver.
 
 use crate::types::{Lit, SolveResult, Var};
+use rtlock_governor::CancelToken;
 use std::time::Instant;
 
 const UNDEF_CLAUSE: i32 = -1;
 
 /// Resource limits for a solve call. The solver checks the budget at every
 /// restart boundary and returns [`SolveResult::Unknown`] when exceeded.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
     /// Maximum number of conflicts.
     pub max_conflicts: Option<u64>,
@@ -15,6 +16,11 @@ pub struct Budget {
     pub max_propagations: Option<u64>,
     /// Wall-clock deadline.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation: a fired token stops the solve at the next
+    /// restart boundary with [`SolveResult::Unknown`]. This is how a
+    /// portfolio executor interrupts a losing solver mid-search — a
+    /// deadline alone cannot be fired early from another thread.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -34,6 +40,23 @@ impl Budget {
         Budget { deadline: deadline.as_instant(), ..Budget::default() }
     }
 
+    /// Limit by a [`CancelToken`]: both its deadline and its (possibly
+    /// cross-thread) cancel flag bound the solve.
+    pub fn cancellable(token: &CancelToken) -> Budget {
+        Budget {
+            deadline: token.deadline().as_instant(),
+            cancel: Some(token.clone()),
+            ..Budget::default()
+        }
+    }
+
+    /// Attaches a cancel token to an existing budget (builder-style).
+    #[must_use]
+    pub fn with_cancel(mut self, token: &CancelToken) -> Budget {
+        self.cancel = Some(token.clone());
+        self
+    }
+
     fn exceeded(&self, stats: &Stats) -> bool {
         if let Some(mc) = self.max_conflicts {
             if stats.conflicts >= mc {
@@ -47,6 +70,11 @@ impl Budget {
         }
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
+                return true;
+            }
+        }
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
                 return true;
             }
         }
@@ -606,6 +634,12 @@ impl Solver {
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
+        }
+        // An already-exhausted budget (expired deadline, fired cancel
+        // token) stops the solve before any search, so cancellation is
+        // deterministic even on instances that would solve conflict-free.
+        if self.budget.exceeded(&self.stats) {
+            return SolveResult::Unknown;
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {

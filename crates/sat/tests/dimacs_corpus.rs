@@ -1,0 +1,360 @@
+//! DIMACS micro-corpus for the CDCL solver, in the style of the embedded
+//! test sets small solvers ship (screwsat/batsat): each instance is a
+//! `p cnf` text with a known SAT/UNSAT verdict, loaded through a strict
+//! little parser. On top of the verdict checks the suite covers the
+//! solver's incremental API — assumptions, clause addition between solve
+//! calls, model blocking — and budget exhaustion returning
+//! [`SolveResult::Unknown`] for every budget axis (conflicts,
+//! propagations, wall-clock deadline, cancel token).
+
+use rtlock_governor::{CancelToken, Deadline};
+use rtlock_sat::{Budget, Lit, SolveResult, Solver, Var};
+use std::time::Duration;
+
+// ---- tiny DIMACS reader ------------------------------------------------
+
+/// Parses a DIMACS CNF text into clauses, validating the `p cnf` header
+/// counts (the corpus must stay self-consistent).
+fn parse_dimacs(text: &str) -> Vec<Vec<i32>> {
+    let mut declared: Option<(usize, usize)> = None;
+    let mut clauses: Vec<Vec<i32>> = Vec::new();
+    let mut current: Vec<i32> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p cnf") {
+            let mut it = rest.split_whitespace();
+            let vars = it.next().and_then(|t| t.parse().ok()).expect("header var count");
+            let cls = it.next().and_then(|t| t.parse().ok()).expect("header clause count");
+            declared = Some((vars, cls));
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let lit: i32 = tok.parse().expect("integer literal");
+            if lit == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                current.push(lit);
+            }
+        }
+    }
+    assert!(current.is_empty(), "unterminated clause in corpus instance");
+    let (vars, cls) = declared.expect("missing p cnf header");
+    assert_eq!(clauses.len(), cls, "header clause count mismatch");
+    let max_var = clauses.iter().flatten().map(|l| l.unsigned_abs() as usize).max().unwrap_or(0);
+    assert!(max_var <= vars, "literal exceeds declared variable count");
+    clauses
+}
+
+fn load(text: &str) -> Solver {
+    let mut s = Solver::new();
+    for clause in parse_dimacs(text) {
+        s.add_dimacs_clause(&clause);
+    }
+    s
+}
+
+// ---- the corpus --------------------------------------------------------
+
+/// R-3-SAT satisfiable: hand-checked model 1=T 2=F 3=T 4=T.
+const SAT_R3: &str = "c satisfiable random 3-SAT
+p cnf 4 6
+1 2 3 0
+-1 -2 4 0
+-3 2 4 0
+1 -4 3 0
+-2 3 -4 0
+2 -3 4 0
+";
+
+/// Implication chain 1 -> 2 -> ... -> 6 with forced head: unique model,
+/// all true.
+const SAT_CHAIN: &str = "c unit-implication chain
+p cnf 6 6
+1 0
+-1 2 0
+-2 3 0
+-3 4 0
+-4 5 0
+-5 6 0
+";
+
+/// Triangle graph, 3 colors (one-hot vars per node): satisfiable.
+const SAT_TRIANGLE_3COLOR: &str = "c K3 is 3-colorable; vars 3*(node-1)+color
+p cnf 9 21
+1 2 3 0
+4 5 6 0
+7 8 9 0
+-1 -2 0
+-1 -3 0
+-2 -3 0
+-4 -5 0
+-4 -6 0
+-5 -6 0
+-7 -8 0
+-7 -9 0
+-8 -9 0
+-1 -4 0
+-2 -5 0
+-3 -6 0
+-1 -7 0
+-2 -8 0
+-3 -9 0
+-4 -7 0
+-5 -8 0
+-6 -9 0
+";
+
+/// All four sign combinations over two variables: unsatisfiable.
+const UNSAT_FULL2: &str = "c complete 2-variable enumeration
+p cnf 2 4
+1 2 0
+1 -2 0
+-1 2 0
+-1 -2 0
+";
+
+/// Triangle graph, 2 colors: odd cycle, unsatisfiable. Var 2*(node-1)+c.
+const UNSAT_TRIANGLE_2COLOR: &str = "c K3 is not 2-colorable
+p cnf 6 15
+1 2 0
+3 4 0
+5 6 0
+-1 -2 0
+-3 -4 0
+-5 -6 0
+-1 -3 0
+-2 -4 0
+-1 -5 0
+-2 -6 0
+-3 -5 0
+-4 -6 0
+1 3 0
+1 5 0
+3 5 0
+";
+
+/// XOR chain with odd parity contradiction: x1^x2, x2^x3, x3^x1 all true
+/// is impossible (sum of three XORs over a cycle is 0).
+const UNSAT_XOR_CYCLE: &str = "c contradictory XOR cycle
+p cnf 3 12
+1 2 0
+-1 -2 0
+2 3 0
+-2 -3 0
+3 1 0
+-3 -1 0
+1 -2 -3 0
+-1 2 -3 0
+-1 -2 3 0
+1 2 3 0
+-1 2 3 0
+1 -2 3 0
+";
+
+/// Pigeonhole: `holes+1` pigeons into `holes` holes, pairwise-exclusive —
+/// classically hard UNSAT for resolution; the budget tests lean on it.
+fn pigeonhole(holes: i32) -> Vec<Vec<i32>> {
+    let p = |i: i32, j: i32| holes * i + j + 1;
+    let mut clauses = Vec::new();
+    for i in 0..=holes {
+        clauses.push((0..holes).map(|j| p(i, j)).collect());
+    }
+    for j in 0..holes {
+        for i1 in 0..=holes {
+            for i2 in (i1 + 1)..=holes {
+                clauses.push(vec![-p(i1, j), -p(i2, j)]);
+            }
+        }
+    }
+    clauses
+}
+
+fn check_model(clauses: &[Vec<i32>], s: &Solver) {
+    for clause in clauses {
+        let sat = clause.iter().any(|&l| {
+            let v = s.value(Var(l.unsigned_abs() - 1)).expect("model covers clause vars");
+            v == (l > 0)
+        });
+        assert!(sat, "model violates clause {clause:?}");
+    }
+}
+
+// ---- verdict checks ----------------------------------------------------
+
+#[test]
+fn sat_instances_solve_with_verifiable_models() {
+    for (name, text) in [("r3", SAT_R3), ("chain", SAT_CHAIN), ("triangle3", SAT_TRIANGLE_3COLOR)] {
+        let clauses = parse_dimacs(text);
+        let mut s = load(text);
+        assert_eq!(s.solve(&[]), SolveResult::Sat, "{name} must be SAT");
+        check_model(&clauses, &s);
+    }
+}
+
+#[test]
+fn unsat_instances_are_refuted() {
+    for (name, text) in [
+        ("full2", UNSAT_FULL2),
+        ("triangle2", UNSAT_TRIANGLE_2COLOR),
+        ("xor-cycle", UNSAT_XOR_CYCLE),
+    ] {
+        let mut s = load(text);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat, "{name} must be UNSAT");
+    }
+}
+
+#[test]
+fn pigeonhole_small_is_unsat() {
+    for holes in [2, 3, 4] {
+        let mut s = Solver::new();
+        for c in pigeonhole(holes) {
+            s.add_dimacs_clause(&c);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat, "php({holes})");
+    }
+}
+
+#[test]
+fn chain_has_the_unique_all_true_model() {
+    let mut s = load(SAT_CHAIN);
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+    for v in 0..6 {
+        assert_eq!(s.value(Var(v)), Some(true), "x{v}");
+    }
+}
+
+// ---- assumptions -------------------------------------------------------
+
+#[test]
+fn assumptions_restrict_without_committing() {
+    let mut s = load(SAT_R3);
+    // Assume x1 false and x2 false: clause (1 2 3) forces x3, clause
+    // (-3 2 4) then forces x4; still satisfiable.
+    let a1 = Lit::from_dimacs(-1);
+    let a2 = Lit::from_dimacs(-2);
+    assert_eq!(s.solve(&[a1, a2]), SolveResult::Sat);
+    assert_eq!(s.value(Var(2)), Some(true));
+    assert_eq!(s.value(Var(3)), Some(true));
+    // Contradictory assumptions are UNSAT *under assumptions* only…
+    assert_eq!(s.solve(&[a1, Lit::from_dimacs(1)]), SolveResult::Unsat);
+    // …and the solver is reusable afterwards with no residue.
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+}
+
+#[test]
+fn assumptions_pin_model_values() {
+    let mut s = load(SAT_TRIANGLE_3COLOR);
+    // Pin node 1 to color 2 (var 2 in DIMACS): the model must honor it.
+    assert_eq!(s.solve(&[Lit::from_dimacs(2)]), SolveResult::Sat);
+    assert_eq!(s.value(Var(1)), Some(true));
+    assert_eq!(s.value(Var(0)), Some(false), "one-hot excludes color 1");
+    check_model(&parse_dimacs(SAT_TRIANGLE_3COLOR), &s);
+}
+
+// ---- incremental re-solve ----------------------------------------------
+
+#[test]
+fn incremental_clause_addition_flips_sat_to_unsat() {
+    let mut s = load(SAT_CHAIN);
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+    // The chain forces all-true; asserting !x6 contradicts it.
+    s.add_dimacs_clause(&[-6]);
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+}
+
+#[test]
+fn model_enumeration_by_blocking_terminates_with_the_exact_count() {
+    // (x1 | x2 | x3) with one-hot exclusivity: exactly three models.
+    let mut s = Solver::new();
+    s.add_dimacs_clause(&[1, 2, 3]);
+    s.add_dimacs_clause(&[-1, -2]);
+    s.add_dimacs_clause(&[-1, -3]);
+    s.add_dimacs_clause(&[-2, -3]);
+    let mut models = 0;
+    while s.solve(&[]) == SolveResult::Sat {
+        models += 1;
+        assert!(models <= 3, "more models than the formula has");
+        // Block the current model.
+        let blocking: Vec<i32> = (0..3)
+            .map(|v| {
+                let val = s.value(Var(v)).expect("assigned");
+                let d = v as i32 + 1;
+                if val {
+                    -d
+                } else {
+                    d
+                }
+            })
+            .collect();
+        s.add_dimacs_clause(&blocking);
+    }
+    assert_eq!(models, 3);
+}
+
+// ---- budget exhaustion -------------------------------------------------
+
+fn hard_instance() -> Solver {
+    let mut s = Solver::new();
+    for c in pigeonhole(8) {
+        s.add_dimacs_clause(&c);
+    }
+    s
+}
+
+#[test]
+fn conflict_budget_exhaustion_returns_unknown_then_recovers() {
+    let mut s = hard_instance();
+    s.set_budget(Budget::conflicts(5));
+    assert_eq!(s.solve(&[]), SolveResult::Unknown, "php(8) needs more than 5 conflicts");
+    // Lifting the budget lets the same solver finish the proof.
+    s.set_budget(Budget::unlimited());
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+}
+
+#[test]
+fn propagation_budget_exhaustion_returns_unknown() {
+    let mut s = hard_instance();
+    s.set_budget(Budget { max_propagations: Some(1), ..Budget::unlimited() });
+    assert_eq!(s.solve(&[]), SolveResult::Unknown);
+}
+
+#[test]
+fn expired_deadline_returns_unknown() {
+    let mut s = hard_instance();
+    s.set_budget(Budget::until(Deadline::after(Duration::ZERO)));
+    assert_eq!(s.solve(&[]), SolveResult::Unknown);
+}
+
+#[test]
+fn cancelled_token_returns_unknown_and_easy_instances_still_finish() {
+    let token = CancelToken::unlimited();
+    token.cancel();
+    let mut s = hard_instance();
+    s.set_budget(Budget::cancellable(&token));
+    assert_eq!(s.solve(&[]), SolveResult::Unknown);
+
+    // An un-fired token does not perturb results on the whole corpus.
+    let live = CancelToken::unlimited();
+    for (text, expect) in
+        [(SAT_R3, SolveResult::Sat), (UNSAT_TRIANGLE_2COLOR, SolveResult::Unsat)]
+    {
+        let mut s = load(text);
+        s.set_budget(Budget::cancellable(&live));
+        assert_eq!(s.solve(&[]), expect);
+    }
+}
+
+#[test]
+fn child_token_cancellation_reaches_a_running_budget() {
+    // A parent-fired cancel must stop a solve budgeted on a *child* token
+    // (the portfolio topology: run token -> per-attack child).
+    let parent = CancelToken::unlimited();
+    let child = parent.child();
+    parent.cancel();
+    let mut s = hard_instance();
+    s.set_budget(Budget::cancellable(&child));
+    assert_eq!(s.solve(&[]), SolveResult::Unknown);
+}

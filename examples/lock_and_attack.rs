@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut o = original.clone();
     scan::insert_full_scan(&mut o);
     let oracle_view = scan_view(&o).netlist;
-    let cfg = AttackConfig { max_iterations: 100_000, timeout: Some(Duration::from_secs(20)) };
+    let cfg = AttackConfig { max_iterations: 100_000, timeout: Some(Duration::from_secs(20)), ..Default::default() };
     match sat_attack(&locked_view, &oracle_view, &cfg) {
         AttackOutcome::KeyFound { key, iterations, elapsed } => {
             let acc = key_accuracy(&baseline.netlist, &original, &key, 64, 3);

@@ -43,7 +43,7 @@ fn lock_b05_and_recover_key_with_sat_attack() {
             let out = sat_attack(
                 &lv,
                 &ov,
-                &AttackConfig { max_iterations: 50_000, timeout: Some(Duration::from_secs(60)) },
+                &AttackConfig { max_iterations: 50_000, timeout: Some(Duration::from_secs(60)), ..Default::default() },
             );
             match out {
                 AttackOutcome::KeyFound { key, .. } => {
