@@ -208,8 +208,22 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
         }
 
         // UNSAT at this depth: candidate key. Validate by simulation; if it
-        // holds on random traces, report it, otherwise deepen.
-        if solver.solve(&[]) == SolveResult::Sat {
+        // holds on random traces, report it, otherwise deepen. The
+        // extraction solve's three answers diverge: Unknown is budget
+        // exhaustion (mid-extraction deadline — not a property of the
+        // target), Unsat means the accumulated oracle constraints are
+        // inconsistent (a permanent miter/encoding defect retrying can
+        // never fix), and only Sat yields a candidate.
+        let extraction = solver.solve(&[]);
+        if extraction == SolveResult::Unknown {
+            return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+        }
+        if extraction == SolveResult::Unsat {
+            return AttackOutcome::Infeasible {
+                reason: "oracle observations inconsistent (oracle/netlist mismatch?)".into(),
+            };
+        }
+        {
             let key = match model_bits(&solver, &k1) {
                 Ok(bits) => bits,
                 Err(missing) => {

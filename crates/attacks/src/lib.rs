@@ -54,8 +54,8 @@ pub use bypass::{bypass_estimate, BypassEstimate};
 pub use ml::{scope_attack, MlReport, SweepModel};
 pub use oracle::{CombOracle, SeqOracle};
 pub use portfolio::{
-    portfolio_attack, portfolio_attack_sequential, MemberOutcome, PortfolioConfig,
-    PortfolioMember, PortfolioTarget, PortfolioVerdict,
+    portfolio_attack, portfolio_attack_resumable, portfolio_attack_sequential, MemberOutcome,
+    PortfolioConfig, PortfolioMember, PortfolioTarget, PortfolioVerdict, ReplayedMember,
 };
 pub use removal::{removal_attack, RemovalOutcome};
 pub use sat_attack::{apply_key, key_accuracy, sat_attack, AttackConfig, AttackOutcome};

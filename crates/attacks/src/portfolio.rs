@@ -132,6 +132,60 @@ pub enum MemberOutcome {
     Skipped,
     /// The member panicked inside the worker pool.
     Crashed(String),
+    /// The member's outcome was replayed from a campaign journal instead
+    /// of re-executed ([`portfolio_attack_resumable`]). Carries the
+    /// original outcome's exact canonical rendering plus the two facts
+    /// the verdict assembly needs, so a resumed run is byte-identical to
+    /// the uninterrupted one.
+    Replayed(ReplayedMember),
+}
+
+/// A journal-recovered member outcome (see [`MemberOutcome::Replayed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedMember {
+    /// The original outcome's [`MemberOutcome::canonical`] text, printed
+    /// verbatim in the resumed verdict.
+    pub rendered: String,
+    /// Whether the original outcome resolved (decisive break).
+    pub resolved: bool,
+    /// The recovered key, when the original outcome produced one.
+    pub key: Option<Vec<bool>>,
+}
+
+impl MemberOutcome {
+    /// The canonical text rendering used inside
+    /// [`PortfolioVerdict::canonical`] — wall-clock free, stable, and the
+    /// exact string a journal must store to replay this outcome.
+    pub fn canonical(&self) -> String {
+        canonical_outcome(self)
+    }
+
+    /// Whether this outcome is a decisive break (see the module docs).
+    pub fn resolves(&self) -> bool {
+        resolves(self)
+    }
+
+    /// The recovered key, when this outcome carries one.
+    pub fn recovered_key(&self) -> Option<Vec<bool>> {
+        outcome_key(self)
+    }
+
+    /// Retry classification, mirroring [`AttackOutcome::error_class`]:
+    /// a crashed member is `Transient` (the panic is captured, a retry
+    /// may succeed), attack outcomes delegate to their own
+    /// classification, and everything else — analyses that ran to
+    /// completion, unavailable surfaces, skips, replays — is definitive.
+    pub fn error_class(&self) -> Option<rtlock_store::ErrorClass> {
+        match self {
+            MemberOutcome::Attack(o) => o.error_class(),
+            MemberOutcome::Crashed(_) => Some(rtlock_store::ErrorClass::Transient),
+            MemberOutcome::Removal(_)
+            | MemberOutcome::Bypass(_)
+            | MemberOutcome::Unavailable(_)
+            | MemberOutcome::Skipped
+            | MemberOutcome::Replayed(_) => None,
+        }
+    }
 }
 
 /// The combined, scheduling-independent result of a portfolio run.
@@ -204,6 +258,9 @@ fn canonical_outcome(o: &MemberOutcome) -> String {
         MemberOutcome::Unavailable(reason) => format!("unavailable({reason})"),
         MemberOutcome::Skipped => "skipped".into(),
         MemberOutcome::Crashed(msg) => format!("crashed({msg})"),
+        // Verbatim: the stored text IS the original rendering, which is
+        // what makes a resumed verdict byte-identical.
+        MemberOutcome::Replayed(r) => r.rendered.clone(),
     }
 }
 
@@ -213,6 +270,7 @@ fn resolves(o: &MemberOutcome) -> bool {
         MemberOutcome::Attack(AttackOutcome::KeyFound { .. }) => true,
         MemberOutcome::Removal(RemovalOutcome::Recovered { .. }) => true,
         MemberOutcome::Bypass(est) => est.feasible,
+        MemberOutcome::Replayed(r) => r.resolved,
         _ => false,
     }
 }
@@ -220,6 +278,7 @@ fn resolves(o: &MemberOutcome) -> bool {
 fn outcome_key(o: &MemberOutcome) -> Option<Vec<bool>> {
     match o {
         MemberOutcome::Attack(AttackOutcome::KeyFound { key, .. }) => Some(key.clone()),
+        MemberOutcome::Replayed(r) => r.key.clone(),
         _ => None,
     }
 }
@@ -323,6 +382,79 @@ pub fn portfolio_attack(
                         *b = Some(i);
                         // Losers (lower priority than the new winner) stop
                         // now; members above the winner keep running.
+                        for t in &children[i + 1..] {
+                            t.cancel();
+                        }
+                    }
+                }
+                *slots[i].lock().expect("portfolio slot lock") = Some(outcome);
+            });
+        }
+    });
+
+    let mut panic_messages = panics.into_iter().map(|p| p.message);
+    let outcomes: Vec<MemberOutcome> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("portfolio slot lock").unwrap_or_else(|| {
+                MemberOutcome::Crashed(
+                    panic_messages.next().unwrap_or_else(|| "member did not report".into()),
+                )
+            })
+        })
+        .collect();
+    let winner = best.into_inner().expect("portfolio winner lock");
+    assemble_verdict(&config.members, outcomes, winner)
+}
+
+/// Resumes a portfolio run from a campaign journal: members whose
+/// outcomes were journaled before the crash are replayed verbatim
+/// (`prior[i] = Some(..)`, aligned with `config.members`), only the rest
+/// re-execute. The verdict's [`PortfolioVerdict::canonical`] form is
+/// byte-identical to an uninterrupted [`portfolio_attack`] run — replayed
+/// members print their stored rendering, re-executed members their fresh
+/// (deterministic) one, and the winner/skip normalization is the same.
+///
+/// # Panics
+///
+/// Panics when `prior.len()` differs from `config.members.len()`.
+pub fn portfolio_attack_resumable(
+    target: &PortfolioTarget<'_>,
+    config: &PortfolioConfig,
+    executor: &Executor,
+    token: &CancelToken,
+    prior: &[Option<ReplayedMember>],
+) -> PortfolioVerdict {
+    assert_eq!(prior.len(), config.members.len(), "prior outcomes misaligned with members");
+    let n = config.members.len();
+    let children: Vec<CancelToken> = (0..n).map(|_| token.child()).collect();
+    let slots: Vec<Mutex<Option<MemberOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // A replayed resolution seeds the race: members below it still run to
+    // their natural outcomes (they were never cancelled in the original
+    // schedule either), members above it are cancelled up front.
+    let pre_winner =
+        prior.iter().position(|p| p.as_ref().is_some_and(|r| r.resolved));
+    if let Some(w) = pre_winner {
+        for t in &children[w + 1..] {
+            t.cancel();
+        }
+    }
+    let best: Mutex<Option<usize>> = Mutex::new(pre_winner);
+
+    let ((), panics) = executor.scope(token, |scope| {
+        for (i, &member) in config.members.iter().enumerate() {
+            if let Some(replay) = &prior[i] {
+                *slots[i].lock().expect("portfolio slot lock") =
+                    Some(MemberOutcome::Replayed(replay.clone()));
+                continue;
+            }
+            let (children, slots, best) = (&children, &slots, &best);
+            scope.spawn(move |_| {
+                let outcome = run_member(member, target, config, &children[i]);
+                if resolves(&outcome) {
+                    let mut b = best.lock().expect("portfolio winner lock");
+                    if b.is_none_or(|w| i < w) {
+                        *b = Some(i);
                         for t in &children[i + 1..] {
                             t.cancel();
                         }
@@ -486,6 +618,63 @@ mod tests {
             verdict.outcomes[0].1,
             MemberOutcome::Attack(AttackOutcome::TimedOut { .. })
         ));
+    }
+
+    #[test]
+    fn resumed_portfolio_is_byte_identical_to_uninterrupted() {
+        let (locked, orig) = comb_pair(&[true, false]);
+        let target = PortfolioTarget { comb: Some((&locked, &orig)), seq: None };
+        let cfg = quick_config();
+        let exec = Executor::new(4);
+        let reference = portfolio_attack(&target, &cfg, &exec, &CancelToken::unlimited());
+
+        // Replay each completed prefix of the reference run — as a crash
+        // after k journaled members would leave it — and resume the rest.
+        for completed in 0..=cfg.members.len() {
+            let prior: Vec<Option<ReplayedMember>> = reference
+                .outcomes
+                .iter()
+                .enumerate()
+                .map(|(i, (_, o))| {
+                    // Skipped members were never journaled as finished.
+                    if i < completed && !matches!(o, MemberOutcome::Skipped) {
+                        Some(ReplayedMember {
+                            rendered: o.canonical(),
+                            resolved: o.resolves(),
+                            key: o.recovered_key(),
+                        })
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let resumed =
+                portfolio_attack_resumable(&target, &cfg, &exec, &CancelToken::unlimited(), &prior);
+            assert_eq!(
+                resumed.canonical(),
+                reference.canonical(),
+                "resume after {completed} journaled members"
+            );
+            assert_eq!(resumed.key, reference.key);
+        }
+    }
+
+    #[test]
+    fn outcome_classification_is_consistent_across_members() {
+        use rtlock_store::ErrorClass;
+        let timed = MemberOutcome::Attack(AttackOutcome::TimedOut {
+            iterations: 3,
+            elapsed: std::time::Duration::ZERO,
+        });
+        assert_eq!(timed.error_class(), Some(ErrorClass::Transient));
+        let err = MemberOutcome::Attack(AttackOutcome::Error { reason: "model hole".into() });
+        assert_eq!(err.error_class(), Some(ErrorClass::Permanent), "never retried");
+        let crashed = MemberOutcome::Crashed("worker panic".into());
+        assert_eq!(crashed.error_class(), Some(ErrorClass::Transient));
+        let infeasible =
+            MemberOutcome::Attack(AttackOutcome::Infeasible { reason: "no key inputs".into() });
+        assert_eq!(infeasible.error_class(), None, "definitive verdict about the target");
+        assert_eq!(MemberOutcome::Skipped.error_class(), None);
     }
 
     #[test]

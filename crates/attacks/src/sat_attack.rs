@@ -94,6 +94,26 @@ impl AttackOutcome {
             _ => None,
         }
     }
+
+    /// How a retry supervisor should treat this outcome — the one
+    /// classification every attack (sat, bmc, removal, bypass) shares:
+    ///
+    /// * [`AttackOutcome::TimedOut`] is budget exhaustion (deadline,
+    ///   cancel, or an iteration cap) — `Transient`: a retry with a fresh
+    ///   budget may finish.
+    /// * [`AttackOutcome::Error`] is broken attack machinery (a model
+    ///   hole, an inconsistent miter) — `Permanent`: it re-fails
+    ///   identically on every attempt and must never be retried.
+    /// * [`AttackOutcome::KeyFound`] and [`AttackOutcome::Infeasible`]
+    ///   are definitive verdicts about the target — `None`, nothing to
+    ///   retry.
+    pub fn error_class(&self) -> Option<rtlock_store::ErrorClass> {
+        match self {
+            AttackOutcome::TimedOut { .. } => Some(rtlock_store::ErrorClass::Transient),
+            AttackOutcome::Error { .. } => Some(rtlock_store::ErrorClass::Permanent),
+            AttackOutcome::KeyFound { .. } | AttackOutcome::Infeasible { .. } => None,
+        }
+    }
 }
 
 /// Runs the SAT attack on `locked` (combinational, key inputs marked)
@@ -178,11 +198,20 @@ pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -
             }
             SolveResult::Unsat => {
                 // No DIP left: any consistent key is correct.
-                let final_res = solver.solve(&[]);
-                if final_res != SolveResult::Sat {
-                    return AttackOutcome::Infeasible {
-                        reason: "I/O constraints inconsistent (oracle/netlist mismatch?)".into(),
-                    };
+                match solver.solve(&[]) {
+                    SolveResult::Sat => {}
+                    // Budget/cancel fired during key extraction: this is
+                    // exhaustion, not a property of the target — reporting
+                    // it as Infeasible would let a retry supervisor treat
+                    // a slow run as a permanent miter defect.
+                    SolveResult::Unknown => {
+                        return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+                    }
+                    SolveResult::Unsat => {
+                        return AttackOutcome::Infeasible {
+                            reason: "I/O constraints inconsistent (oracle/netlist mismatch?)".into(),
+                        };
+                    }
                 }
                 let key = match model_bits(&solver, &k1) {
                     Ok(bits) => bits,

@@ -90,6 +90,7 @@ fn main() {
             },
             ..PortfolioConfig::default()
         }),
+        retry: rtlock_store::RetryPolicy::default(),
     };
 
     eprintln!(
@@ -173,7 +174,7 @@ fn main() {
     }
     json.push_str("}\n");
 
-    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    rtlock_store::atomic_write(&out_path, &json).expect("write BENCH_parallel.json");
     eprintln!("wrote {out_path}");
     if let Some(s) = speedup {
         println!("speedup 4 vs 1 workers: {s:.2}x");

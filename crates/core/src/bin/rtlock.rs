@@ -96,8 +96,10 @@ fn cmd_lock(args: &[String]) -> ExitCode {
         println!("  scan locking  : {} registers, {}-bit scan key", p.scanned_registers.len(), p.scan_key.len());
     }
 
+    // Result artifacts commit atomically (temp + fsync + rename): a crash
+    // mid-write leaves the previous file, never a torn one.
     let out = flag_value(args, "--out").map(String::from).unwrap_or_else(|| format!("{input}.locked.v"));
-    if let Err(e) = std::fs::write(&out, rtlock_rtl::print(&locked.locked)) {
+    if let Err(e) = rtlock_store::atomic_write(&out, rtlock_rtl::print(&locked.locked)) {
         eprintln!("error: write {out}: {e}");
         return ExitCode::FAILURE;
     }
@@ -112,7 +114,7 @@ fn cmd_lock(args: &[String]) -> ExitCode {
         }
         None => format!("functional {key_text}\n"),
     };
-    if let Err(e) = std::fs::write(&key_file, full) {
+    if let Err(e) = rtlock_store::atomic_write(&key_file, full) {
         eprintln!("error: write {key_file}: {e}");
         return ExitCode::FAILURE;
     }
@@ -121,7 +123,7 @@ fn cmd_lock(args: &[String]) -> ExitCode {
     if let Some(bench) = flag_value(args, "--bench") {
         match locked.export_bench() {
             Ok(text) => {
-                if let Err(e) = std::fs::write(bench, text) {
+                if let Err(e) = rtlock_store::atomic_write(bench, text) {
                     eprintln!("error: write {bench}: {e}");
                     return ExitCode::FAILURE;
                 }

@@ -17,13 +17,20 @@
 
 use crate::flow::{lock_governed, AttackSurface, FlowReport, LockError, RtlLockConfig};
 use crate::governor::RunBudget;
+use crate::journal::{self, CampaignJournal};
 use rtlock_attacks::portfolio::{
     portfolio_attack_sequential, PortfolioConfig, PortfolioTarget, PortfolioVerdict,
 };
-use rtlock_exec::{Executor, TaskError};
+use rtlock_exec::{
+    panic_message, Executor, RetryRecord, SupervisedEvent, TaskError, TaskResult,
+};
+use rtlock_store::{ErrorClass, Event, RetryPolicy};
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
 use rtlock_governor::CancelToken;
 use rtlock_rtl::Module;
-use std::fmt::Write as _;
 
 /// One design to push through the pipeline.
 #[derive(Debug, Clone)]
@@ -62,6 +69,11 @@ pub struct CatalogJob {
     pub budget: RunBudget,
     /// Portfolio configuration for the attack stage; `None` skips attacks.
     pub portfolio: Option<PortfolioConfig>,
+    /// Retry policy for the per-design supervisor: transient failures
+    /// (stage panics, budget exhaustion) re-run the design in place after
+    /// a deterministic backoff; permanent errors never retry. The default
+    /// policy (one attempt) disables retries.
+    pub retry: RetryPolicy,
 }
 
 /// What happened to one design.
@@ -76,6 +88,80 @@ pub enum DesignStatus {
     Cancelled(String),
     /// The design's task panicked inside the pool.
     Panicked(String),
+    /// The design's final status was recovered from a campaign journal; a
+    /// resumed run did not re-execute it. The stored body replays
+    /// byte-for-byte in [`CatalogReport::canonical`].
+    Replayed(ReplayedDesign),
+}
+
+/// A design status recovered from a journal (see
+/// [`lock_catalog_resumable`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayedDesign {
+    /// Design name, cross-checked against the job's entry at that index.
+    pub name: String,
+    /// Whether the recorded status was a completed pipeline
+    /// ([`DesignStatus::Done`]).
+    pub completed: bool,
+    /// The canonical report body recorded when the design finished.
+    pub body: String,
+}
+
+impl DesignStatus {
+    /// The canonical report section for this design — every line below
+    /// its `== name ==` header, excluding all wall-clock quantities. This
+    /// is the text the journal stores and a resumed run replays verbatim.
+    pub fn canonical_body(&self) -> String {
+        let mut s = String::new();
+        match self {
+            DesignStatus::Done(d) => {
+                let r = &d.report;
+                let _ = writeln!(s, "key_bits: {}", d.key_bits);
+                let _ = writeln!(
+                    s,
+                    "flow: candidates={} viable={} used_ilp={} selected={:?} applied={:?}",
+                    r.candidates_enumerated, r.viable_cases, r.used_ilp, r.selected, r.applied
+                );
+                let _ = writeln!(
+                    s,
+                    "verify: mismatch={:.6} corruption={:.6} partial={}",
+                    r.verified_mismatch_rate, r.corruption, r.partial_verification
+                );
+                for deg in &r.degradations {
+                    let _ = writeln!(s, "degraded: {}: {}", deg.stage, deg.detail);
+                }
+                match &d.verdict {
+                    Some(v) => {
+                        for line in v.canonical().lines() {
+                            let _ = writeln!(s, "attack.{line}");
+                        }
+                    }
+                    None => s.push_str("attack: skipped\n"),
+                }
+            }
+            DesignStatus::Failed(e) => {
+                let _ = writeln!(s, "failed: {e}");
+            }
+            DesignStatus::Cancelled(reason) => {
+                let _ = writeln!(s, "cancelled: {reason}");
+            }
+            DesignStatus::Panicked(msg) => {
+                let _ = writeln!(s, "panicked: {msg}");
+            }
+            DesignStatus::Replayed(r) => s.push_str(&r.body),
+        }
+        s
+    }
+
+    /// Whether this status represents a completed pipeline (directly or
+    /// via replay).
+    pub fn is_completed(&self) -> bool {
+        match self {
+            DesignStatus::Done(_) => true,
+            DesignStatus::Replayed(r) => r.completed,
+            _ => false,
+        }
+    }
 }
 
 /// The per-design artifacts the merged report keeps.
@@ -94,59 +180,30 @@ pub struct DesignSummary {
 pub struct CatalogReport {
     /// `(name, status)` per design, in the order of [`CatalogJob::entries`].
     pub designs: Vec<(String, DesignStatus)>,
+    /// Every failed supervised attempt, sorted by `(design index,
+    /// attempt)`. Excluded from [`canonical`](CatalogReport::canonical):
+    /// retries describe how the run got there, not what it produced.
+    pub retries: Vec<RetryRecord>,
 }
 
 impl CatalogReport {
     /// A canonical text rendering excluding every wall-clock field; two
     /// runs that did the same logical work serialize identically no matter
-    /// how many workers they used.
+    /// how many workers they used — and a resumed run replays journaled
+    /// designs byte-for-byte.
     pub fn canonical(&self) -> String {
         let mut s = String::new();
         for (name, status) in &self.designs {
             let _ = writeln!(s, "== {name} ==");
-            match status {
-                DesignStatus::Done(d) => {
-                    let r = &d.report;
-                    let _ = writeln!(s, "key_bits: {}", d.key_bits);
-                    let _ = writeln!(
-                        s,
-                        "flow: candidates={} viable={} used_ilp={} selected={:?} applied={:?}",
-                        r.candidates_enumerated, r.viable_cases, r.used_ilp, r.selected, r.applied
-                    );
-                    let _ = writeln!(
-                        s,
-                        "verify: mismatch={:.6} corruption={:.6} partial={}",
-                        r.verified_mismatch_rate, r.corruption, r.partial_verification
-                    );
-                    for deg in &r.degradations {
-                        let _ = writeln!(s, "degraded: {}: {}", deg.stage, deg.detail);
-                    }
-                    match &d.verdict {
-                        Some(v) => {
-                            for line in v.canonical().lines() {
-                                let _ = writeln!(s, "attack.{line}");
-                            }
-                        }
-                        None => s.push_str("attack: skipped\n"),
-                    }
-                }
-                DesignStatus::Failed(e) => {
-                    let _ = writeln!(s, "failed: {e}");
-                }
-                DesignStatus::Cancelled(reason) => {
-                    let _ = writeln!(s, "cancelled: {reason}");
-                }
-                DesignStatus::Panicked(msg) => {
-                    let _ = writeln!(s, "panicked: {msg}");
-                }
-            }
+            s.push_str(&status.canonical_body());
         }
         s
     }
 
-    /// Count of designs whose pipeline completed.
+    /// Count of designs whose pipeline completed (including replayed
+    /// completions).
     pub fn completed(&self) -> usize {
-        self.designs.iter().filter(|(_, st)| matches!(st, DesignStatus::Done(_))).count()
+        self.designs.iter().filter(|(_, st)| st.is_completed()).count()
     }
 }
 
@@ -176,56 +233,218 @@ fn run_design(
     Ok(DesignSummary { report: locked.report, key_bits: locked.key.len(), verdict })
 }
 
-fn status_of(result: Result<DesignSummary, LockError>) -> DesignStatus {
+/// Collapses one supervised task result into a design status.
+fn status_of(result: TaskResult<Result<DesignSummary, LockError>>) -> DesignStatus {
     match result {
-        Ok(summary) => DesignStatus::Done(Box::new(summary)),
-        Err(e) => DesignStatus::Failed(e),
+        Ok(Ok(summary)) => DesignStatus::Done(Box::new(summary)),
+        Ok(Err(e)) => DesignStatus::Failed(e),
+        Err(TaskError::Cancelled(reason)) => DesignStatus::Cancelled(format!("{reason:?}")),
+        Err(TaskError::Panicked(msg)) => DesignStatus::Panicked(msg),
+    }
+}
+
+/// The shared supervisor classification: panics and budget exhaustion
+/// are transient (a fresh attempt can succeed), structural flow errors
+/// are permanent (re-running reaches the same error), successes and
+/// cancellations are definitive.
+fn classify_design(
+    result: &TaskResult<Result<DesignSummary, LockError>>,
+) -> Option<(ErrorClass, String)> {
+    match result {
+        Ok(Ok(_)) | Err(TaskError::Cancelled(_)) => None,
+        Ok(Err(e)) => Some((e.error_class(), e.to_string())),
+        Err(TaskError::Panicked(msg)) => {
+            Some((ErrorClass::Transient, format!("task panicked: {msg}")))
+        }
     }
 }
 
 /// Runs every entry's pipeline across `executor`'s workers. Results are
 /// merged in entry order; see the module docs for the determinism
-/// guarantee.
+/// guarantee. Transient per-design failures retry under
+/// [`CatalogJob::retry`].
 pub fn lock_catalog_parallel(
     job: &CatalogJob,
     executor: &Executor,
     token: &CancelToken,
 ) -> CatalogReport {
-    let indices: Vec<usize> = (0..job.entries.len()).collect();
-    let results = executor.map(token, indices, |_, i, worker_token| {
-        run_design(&job.entries[i], job, worker_token)
-    });
+    catalog_supervised(job, executor, token, vec![None; job.entries.len()], |_, _| {})
+}
+
+/// [`lock_catalog_parallel`] with checkpoint/resume through a campaign
+/// journal. `recovered` is the event list [`CampaignJournal::open`]
+/// returned: designs with a journaled final status are **replayed**
+/// (their canonical body reproduced byte-for-byte, no re-execution), the
+/// rest run normally, and every fresh final status and failed attempt is
+/// journaled as it happens — so a `SIGKILL` at any point loses at most
+/// the in-flight designs, and `interrupt → resume` produces a report
+/// byte-identical to an uninterrupted run at any thread count.
+///
+/// Journal append errors mid-run do not fail the campaign: the sink
+/// reports the error to stderr once and the run continues unjournaled
+/// (a later resume simply redoes that work).
+pub fn lock_catalog_resumable(
+    job: &CatalogJob,
+    executor: &Executor,
+    token: &CancelToken,
+    journal: &mut CampaignJournal,
+    recovered: &[Event],
+) -> CatalogReport {
+    let prior = replayed_designs(recovered, &job.entries);
+    let sink = Mutex::new(journal);
+    let warn = |e: std::io::Error| {
+        eprintln!("catalog journal: append failed ({e}); continuing unjournaled");
+    };
+    catalog_supervised(job, executor, token, prior, |design_index, event| {
+        let name = job.entries[design_index].name.as_str();
+        match event {
+            SupervisedEvent::Attempt(record) => {
+                let mut record = record.clone();
+                record.index = design_index;
+                let event = journal::retry_event("catalog", design_index, name, &record);
+                if let Err(e) = sink.lock().expect("journal lock").append(&event) {
+                    warn(e);
+                }
+            }
+            SupervisedEvent::Finished { result, .. } => {
+                // A cancelled design is not a final outcome — leave it out
+                // of the journal so a resumed run re-executes it.
+                if matches!(result, Err(TaskError::Cancelled(_))) {
+                    return;
+                }
+                let status = status_of(result.clone());
+                let event = journal::design_finished_event(
+                    design_index,
+                    name,
+                    status.is_completed(),
+                    &status.canonical_body(),
+                );
+                if let Err(e) = sink.lock().expect("journal lock").append(&event) {
+                    warn(e);
+                }
+            }
+        }
+    })
+}
+
+/// Decodes `design_finished` events into per-entry replay slots.
+/// At-least-once semantics: the last record for an index wins; records
+/// whose index or name does not match the job are ignored (stale journal
+/// for a different campaign).
+fn replayed_designs(events: &[Event], entries: &[CatalogEntry]) -> Vec<Option<ReplayedDesign>> {
+    let mut prior: Vec<Option<ReplayedDesign>> = vec![None; entries.len()];
+    for event in events.iter().filter(|e| e.kind == journal::KIND_DESIGN_FINISHED) {
+        let (Some(index), Some(name), Some(completed), Some(body)) = (
+            event.get_parsed::<usize>("index"),
+            event.get("name"),
+            event.get("completed"),
+            event.get("body"),
+        ) else {
+            continue;
+        };
+        if index >= entries.len() || entries[index].name != name {
+            continue;
+        }
+        prior[index] = Some(ReplayedDesign {
+            name: name.to_owned(),
+            completed: completed == "true",
+            body: body.to_owned(),
+        });
+    }
+    prior
+}
+
+/// The shared engine behind the parallel runners: runs every entry whose
+/// `prior` slot is empty under the supervised map, reporting live events
+/// (with the *design* index, not the compacted work-list index) to
+/// `observe`, then merges replayed and fresh statuses in entry order.
+fn catalog_supervised<O>(
+    job: &CatalogJob,
+    executor: &Executor,
+    token: &CancelToken,
+    mut prior: Vec<Option<ReplayedDesign>>,
+    observe: O,
+) -> CatalogReport
+where
+    O: Fn(usize, SupervisedEvent<'_, Result<DesignSummary, LockError>>) + Sync,
+{
+    debug_assert_eq!(prior.len(), job.entries.len());
+    let todo: Vec<usize> = (0..job.entries.len()).filter(|&i| prior[i].is_none()).collect();
+    let todo_ref = &todo;
+    let (results, mut retries) = executor.map_supervised_observed(
+        token,
+        todo.clone(),
+        &job.retry,
+        classify_design,
+        |event| {
+            let design_index = match &event {
+                SupervisedEvent::Attempt(record) => todo_ref[record.index],
+                SupervisedEvent::Finished { index, .. } => todo_ref[*index],
+            };
+            observe(design_index, event);
+        },
+        |_, &i, _attempt, worker_token| run_design(&job.entries[i], job, worker_token),
+    );
+    // Retry records come back indexed by work-list position; lift them to
+    // design indices so they line up with the report.
+    for record in &mut retries {
+        record.index = todo[record.index];
+    }
+    retries.sort_by_key(|r| (r.index, r.attempt));
+
+    let mut fresh = results.into_iter();
     let designs = job
         .entries
         .iter()
-        .zip(results)
-        .map(|(entry, res)| {
-            let status = match res {
-                Ok(r) => status_of(r),
-                Err(TaskError::Cancelled(reason)) => DesignStatus::Cancelled(format!("{reason:?}")),
-                Err(TaskError::Panicked(msg)) => DesignStatus::Panicked(msg),
+        .enumerate()
+        .map(|(i, entry)| {
+            let status = match prior[i].take() {
+                Some(replay) => DesignStatus::Replayed(replay),
+                None => status_of(fresh.next().expect("one result per missing design")),
             };
             (entry.name.clone(), status)
         })
         .collect();
-    CatalogReport { designs }
+    CatalogReport { designs, retries }
 }
 
 /// The sequential twin of [`lock_catalog_parallel`]: same pipeline, same
-/// merge order, one design at a time on the calling thread.
+/// retry semantics, same merge order, one design at a time on the calling
+/// thread.
 pub fn lock_catalog_sequential(job: &CatalogJob, token: &CancelToken) -> CatalogReport {
-    let designs = job
-        .entries
-        .iter()
-        .map(|entry| {
-            let status = match token.should_stop() {
-                Some(reason) => DesignStatus::Cancelled(format!("{reason:?}")),
-                None => status_of(run_design(entry, job, token)),
+    let max_attempts = job.retry.max_attempts.max(1);
+    let mut retries = Vec::new();
+    let mut designs = Vec::with_capacity(job.entries.len());
+    for (i, entry) in job.entries.iter().enumerate() {
+        let mut retry_no = 0u32;
+        let mut attempt = 1u32;
+        let result = loop {
+            let out: TaskResult<Result<DesignSummary, LockError>> =
+                match token.should_stop() {
+                    Some(reason) => Err(TaskError::Cancelled(reason)),
+                    None => catch_unwind(AssertUnwindSafe(|| run_design(entry, job, token)))
+                        .map_err(|p| TaskError::Panicked(panic_message(&*p))),
+                };
+            let Some((class, detail)) = classify_design(&out) else { break out };
+            let will_retry = class == ErrorClass::Transient
+                && attempt < max_attempts
+                && token.should_stop().is_none();
+            let backoff = if will_retry {
+                retry_no += 1;
+                Some(job.retry.backoff(retry_no))
+            } else {
+                None
             };
-            (entry.name.clone(), status)
-        })
-        .collect();
-    CatalogReport { designs }
+            retries.push(RetryRecord { index: i, attempt, class, detail, backoff });
+            match backoff {
+                Some(d) => std::thread::sleep(d),
+                None => break out,
+            }
+            attempt += 1;
+        };
+        designs.push((entry.name.clone(), status_of(result)));
+    }
+    CatalogReport { designs, retries }
 }
 
 #[cfg(test)]
@@ -273,6 +492,7 @@ endmodule"#,
                 .collect(),
             budget: RunBudget::unlimited(),
             portfolio: None,
+            retry: RetryPolicy::default(),
         }
     }
 

@@ -4,7 +4,7 @@
 
 use crate::candidates::{enumerate_bounded, Candidate, EnumConfig};
 use crate::database::{build_database_governed, Database, DatabaseConfig};
-use crate::governor::{Degradation, Fault, Governor, RunBudget, Stage};
+use crate::governor::{Degradation, Fault, Governor, RunBudget, Stage, StageOutcome};
 use crate::scan_lock::{insert_scan_lock, ScanLockConfig, ScanPolicy};
 use crate::select::{select_greedy, select_ilp_bounded, SelectOutcome, SelectionSpec};
 use crate::transforms::{apply_all, inject_sabotage, mark_key_inputs, KeyAllocator};
@@ -118,6 +118,30 @@ impl fmt::Display for LockError {
 
 impl std::error::Error for LockError {}
 
+impl LockError {
+    /// How a retry supervisor should treat this error. Stage panics and
+    /// budget exhaustion are [`Transient`](rtlock_store::ErrorClass) — a
+    /// re-run with a fresh budget can succeed. Everything structural
+    /// (nothing to lock, infeasible spec, verification/lint rejection,
+    /// synthesis or simulation failure) is deterministic for a given
+    /// design and so [`Permanent`](rtlock_store::ErrorClass): retrying
+    /// burns budget to reach the same error.
+    pub fn error_class(&self) -> rtlock_store::ErrorClass {
+        match self {
+            LockError::StagePanic { .. } | LockError::Timeout { .. } => {
+                rtlock_store::ErrorClass::Transient
+            }
+            LockError::NoCandidates
+            | LockError::SelectionInfeasible
+            | LockError::VerificationFailed { .. }
+            | LockError::Scan(_)
+            | LockError::Synthesis(_)
+            | LockError::Simulation(_)
+            | LockError::LintRejected { .. } => rtlock_store::ErrorClass::Permanent,
+        }
+    }
+}
+
 /// Flow report (step-by-step numbers for the paper tables).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowReport {
@@ -149,6 +173,10 @@ pub struct FlowReport {
     pub pre_lint: Option<LintReport>,
     /// Post-lock lint gate report (`None` when skipped).
     pub post_lint: Option<LintReport>,
+    /// Terminal status of every stage that executed, in flow order — a
+    /// tolerated stage panic appears here with its captured payload
+    /// message, not just as a generic flag.
+    pub stage_outcomes: Vec<StageOutcome>,
 }
 
 /// The artifact of a completed RTLock run.
@@ -345,9 +373,12 @@ pub fn lock_governed(
     })?;
 
     // Pre-lock lint gate: refuse structurally broken inputs before any
-    // locking work is spent on them.
+    // locking work is spent on them. The gate is advisory machinery, so a
+    // panic *inside the linter* is tolerated — the flow degrades with the
+    // captured payload (surfaced in the stage outcomes) rather than
+    // failing a lockable design.
     let skip_pre = gov.fault_plan().has(Stage::PreLint, Fault::EmptyResult);
-    let pre_lint = gov.run_stage(Stage::PreLint, |token| {
+    let pre_lint = match gov.run_stage(Stage::PreLint, |token| {
         if skip_pre {
             return Ok(None);
         }
@@ -357,7 +388,14 @@ pub fn lock_governed(
         }
         .with_phase(LintPhase::PreLock);
         Ok(Some(lint_bounded(&target, token)))
-    })?;
+    }) {
+        Ok(rep) => rep,
+        Err(LockError::StagePanic { message, .. }) => {
+            gov.degrade(Stage::PreLint, format!("pre-lock lint gate panicked ({message}); gate skipped"));
+            None
+        }
+        Err(e) => return Err(e),
+    };
     match &pre_lint {
         Some(rep) => {
             if !rep.skipped.is_empty() {
@@ -370,7 +408,8 @@ pub fn lock_governed(
                 return Err(LockError::LintRejected { stage: Stage::PreLint, findings: rep.denials() });
             }
         }
-        None => gov.degrade(Stage::PreLint, "pre-lock lint skipped (injected empty result)"),
+        None if skip_pre => gov.degrade(Stage::PreLint, "pre-lock lint skipped (injected empty result)"),
+        None => {}
     }
     // The gate had nothing to say about an un-synthesizable input (or was
     // skipped): fail with the elaboration error itself.
@@ -511,7 +550,8 @@ pub fn lock_governed(
     // design. Skipped (with a recorded degradation) when the budget is
     // already exhausted — synthesizing the locked netlist is not free.
     let skip_post = gov.fault_plan().has(Stage::PostLint, Fault::EmptyResult);
-    let post_lint = gov.run_stage(Stage::PostLint, |token| {
+    let mut post_panicked = false;
+    let post_lint = match gov.run_stage(Stage::PostLint, |token| {
         if skip_post || token.should_stop().is_some() {
             return Ok(None);
         }
@@ -520,7 +560,15 @@ pub fn lock_governed(
             .with_phase(LintPhase::PostLock)
             .with_scan_locked(scan_policy.is_some());
         Ok(Some(lint_bounded(&target, token)))
-    })?;
+    }) {
+        Ok(rep) => rep,
+        Err(LockError::StagePanic { message, .. }) => {
+            post_panicked = true;
+            gov.degrade(Stage::PostLint, format!("post-lock lint gate panicked ({message}); gate skipped"));
+            None
+        }
+        Err(e) => return Err(e),
+    };
     match &post_lint {
         Some(rep) => {
             if !rep.skipped.is_empty() {
@@ -533,6 +581,7 @@ pub fn lock_governed(
                 return Err(LockError::LintRejected { stage: Stage::PostLint, findings: rep.denials() });
             }
         }
+        None if post_panicked => {}
         None => gov.degrade(
             Stage::PostLint,
             if skip_post {
@@ -556,6 +605,7 @@ pub fn lock_governed(
         partial_verification,
         pre_lint,
         post_lint,
+        stage_outcomes: gov.take_stage_outcomes(),
     };
     let applied_candidates = applied.iter().map(|&i| candidates[i].clone()).collect();
     Ok(LockedDesign {

@@ -26,6 +26,8 @@
 use rtlock_governor::{CancelToken, Deadline};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The stages of the RTLock flow, in execution order: the seven locking
@@ -107,6 +109,16 @@ pub enum Fault {
     /// lint gate: the sabotage passes functional verification with the
     /// correct key but must be rejected by rule `C002`.
     Sabotage,
+    /// The *process* aborts immediately after the stage body finishes —
+    /// after its result was computed, before the flow can act on it.
+    /// This is the crash-injection primitive the kill-and-resume harness
+    /// uses: the campaign journal has recorded everything up to and
+    /// including this stage, and recovery must resume from there.
+    ///
+    /// Deliberately **not** part of the pool [`FaultPlan::seeded`] draws
+    /// from: a seeded chaos plan degrades in-process, it never takes the
+    /// test runner down with it.
+    CrashAfter,
 }
 
 impl Fault {
@@ -116,10 +128,47 @@ impl Fault {
 /// A deterministic fault-injection plan: which [`Fault`] (if any) to
 /// trigger at each stage. Used by the robustness test-suite to prove every
 /// stage degrades into a structured error or a flagged result.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Besides the static injections, a plan can carry *transient* faults: a
+/// `(stage, fault)` pair armed for a bounded number of runs. Each
+/// [`Governor::start`] resolves the plan — consuming one charge from
+/// every armed transient — so a flow retried under the same (cloned)
+/// budget fails the first N attempts and succeeds afterwards. That is
+/// exactly the shape the retry supervisor's acceptance test needs, and
+/// because clones share the underlying counters, the charge accounting
+/// is per-plan, not per-clone.
+#[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     injections: Vec<(Stage, Fault)>,
+    transients: Vec<TransientFault>,
 }
+
+/// A fault armed for a bounded number of [`Governor::start`] resolutions.
+#[derive(Debug, Clone)]
+struct TransientFault {
+    stage: Stage,
+    fault: Fault,
+    /// Charges left. Shared across clones: a budget cloned per retry
+    /// attempt decrements the same counter.
+    remaining: Arc<AtomicUsize>,
+}
+
+/// Equality ignores the live charge counters (two plans with the same
+/// static and transient configuration compare equal even mid-burn); the
+/// counters are runtime state, not plan identity.
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &FaultPlan) -> bool {
+        self.injections == other.injections
+            && self.transients.len() == other.transients.len()
+            && self
+                .transients
+                .iter()
+                .zip(&other.transients)
+                .all(|(a, b)| a.stage == b.stage && a.fault == b.fault)
+    }
+}
+
+impl Eq for FaultPlan {}
 
 impl FaultPlan {
     /// A plan injecting nothing.
@@ -132,6 +181,39 @@ impl FaultPlan {
     pub fn inject(mut self, stage: Stage, fault: Fault) -> FaultPlan {
         self.injections.push((stage, fault));
         self
+    }
+
+    /// Arms `fault` at `stage` for the next `times` governed runs
+    /// (builder-style). Each [`Governor::start`] burns one charge; once
+    /// the counter hits zero the fault stops firing. Clones of the plan
+    /// share the counter.
+    #[must_use]
+    pub fn inject_transient(mut self, stage: Stage, fault: Fault, times: usize) -> FaultPlan {
+        self.transients.push(TransientFault {
+            stage,
+            fault,
+            remaining: Arc::new(AtomicUsize::new(times)),
+        });
+        self
+    }
+
+    /// Snapshots the plan for one run: static injections pass through and
+    /// every transient with charges left burns one and joins them. The
+    /// resolved plan is purely static, so every `has`/`fault_at` query
+    /// within the run sees one consistent answer no matter how many times
+    /// a stage consults it.
+    pub fn resolve(&self) -> FaultPlan {
+        let mut injections = self.injections.clone();
+        for t in &self.transients {
+            let fired = t
+                .remaining
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+                .is_ok();
+            if fired {
+                injections.push((t.stage, t.fault));
+            }
+        }
+        FaultPlan { injections, transients: Vec::new() }
     }
 
     /// A plan with one pseudo-random `(stage, fault)` pair derived from
@@ -231,6 +313,31 @@ pub struct Governor {
     budget: RunBudget,
     run_token: CancelToken,
     degradations: Vec<Degradation>,
+    stage_outcomes: Vec<StageOutcome>,
+}
+
+/// Terminal status of one executed stage, recorded by
+/// [`Governor::run_stage`] and surfaced on
+/// [`FlowReport::stage_outcomes`](crate::flow::FlowReport::stage_outcomes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageStatus {
+    /// The stage body returned `Ok`.
+    Ok,
+    /// The stage body returned a structured error (rendered).
+    Failed(String),
+    /// The stage body panicked; the captured payload message — not just a
+    /// flag — so a report of a run that tolerated the panic (e.g. a lint
+    /// gate) still says *what* blew up.
+    Panicked(String),
+}
+
+/// One stage's recorded terminal status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageOutcome {
+    /// The stage that ran.
+    pub stage: Stage,
+    /// How its body ended.
+    pub status: StageStatus,
 }
 
 /// One graceful-degradation event: a stage hit its budget (or an injected
@@ -244,14 +351,17 @@ pub struct Degradation {
 }
 
 impl Governor {
-    /// Starts governing a run: the wall-clock budget begins now.
-    pub fn start(budget: RunBudget) -> Governor {
+    /// Starts governing a run: the wall-clock budget begins now, and the
+    /// fault plan is resolved — each armed transient fault burns one
+    /// charge here, so the plan is static for the run's duration.
+    pub fn start(mut budget: RunBudget) -> Governor {
+        budget.fault_plan = budget.fault_plan.resolve();
         let deadline = Deadline::within(budget.wall_clock);
         let run_token = match &budget.cancel {
             Some(t) => t.tightened(deadline),
             None => CancelToken::with_deadline(deadline),
         };
-        Governor { budget, run_token, degradations: Vec::new() }
+        Governor { budget, run_token, degradations: Vec::new(), stage_outcomes: Vec::new() }
     }
 
     /// The run-wide cancel token (shared flag; wall-clock deadline).
@@ -287,21 +397,31 @@ impl Governor {
         std::mem::take(&mut self.degradations)
     }
 
+    /// Stage outcomes recorded so far (drained into the final report).
+    pub fn take_stage_outcomes(&mut self) -> Vec<StageOutcome> {
+        std::mem::take(&mut self.stage_outcomes)
+    }
+
     /// Runs a stage body with panic isolation. An injected
     /// [`Fault::Panic`] panics *inside* the guarded region, so injection
-    /// exercises the same recovery path a real bug would.
+    /// exercises the same recovery path a real bug would. The stage's
+    /// terminal status (including a captured panic's payload message) is
+    /// recorded for [`Governor::take_stage_outcomes`], and an injected
+    /// [`Fault::CrashAfter`] aborts the process once the body has
+    /// finished — the crash-injection hook of the kill-and-resume
+    /// harness.
     ///
     /// `AssertUnwindSafe` is sound here because every stage body either
     /// owns its inputs or only reads shared state; on unwind the flow
     /// aborts (or degrades) without reusing partially-mutated values.
     pub fn run_stage<T>(
-        &self,
+        &mut self,
         stage: Stage,
         body: impl FnOnce(&CancelToken) -> Result<T, crate::flow::LockError>,
     ) -> Result<T, crate::flow::LockError> {
         let token = self.stage_token(stage);
         let inject_panic = self.budget.fault_plan.has(stage, Fault::Panic);
-        catch_unwind(AssertUnwindSafe(|| {
+        let out = catch_unwind(AssertUnwindSafe(|| {
             if inject_panic {
                 panic!("injected fault: panic at stage {stage}");
             }
@@ -311,7 +431,20 @@ impl Governor {
             // `&*payload`, not `&payload`: the latter would make the Box
             // itself the `dyn Any` and every downcast would miss.
             Err(crate::flow::LockError::StagePanic { stage, message: panic_message(&*payload) })
-        })
+        });
+        let status = match &out {
+            Ok(_) => StageStatus::Ok,
+            Err(crate::flow::LockError::StagePanic { message, .. }) => {
+                StageStatus::Panicked(message.clone())
+            }
+            Err(e) => StageStatus::Failed(e.to_string()),
+        };
+        self.stage_outcomes.push(StageOutcome { stage, status });
+        if self.budget.fault_plan.has(stage, Fault::CrashAfter) {
+            eprintln!("injected fault: crash after stage {stage}");
+            std::process::abort();
+        }
+        out
     }
 }
 
@@ -363,7 +496,7 @@ mod tests {
 
     #[test]
     fn run_stage_catches_real_panics() {
-        let gov = Governor::start(RunBudget::unlimited());
+        let mut gov = Governor::start(RunBudget::unlimited());
         let out: Result<(), _> = gov.run_stage(Stage::Transform, |_| panic!("boom {}", 42));
         match out {
             Err(LockError::StagePanic { stage, message }) => {
@@ -378,7 +511,7 @@ mod tests {
     fn run_stage_injects_panics_inside_the_guard() {
         let budget =
             RunBudget::unlimited().with_faults(FaultPlan::none().inject(Stage::Database, Fault::Panic));
-        let gov = Governor::start(budget);
+        let mut gov = Governor::start(budget);
         let out = gov.run_stage(Stage::Database, |_| Ok(1));
         assert!(
             matches!(out, Err(LockError::StagePanic { stage: Stage::Database, .. })),
@@ -408,6 +541,70 @@ mod tests {
         // Cancelling the run fires every stage token.
         gov.run_token().cancel();
         assert!(gov.stage_token(Stage::Database).should_stop().is_some());
+    }
+
+    #[test]
+    fn transient_faults_burn_one_charge_per_start() {
+        let plan = FaultPlan::none().inject_transient(Stage::Verify, Fault::Panic, 2);
+        let budget = RunBudget::unlimited().with_faults(plan);
+        // First two governed runs see the fault; the third does not. The
+        // cloned budgets share the charge counter.
+        for expect_fault in [true, true, false] {
+            let mut gov = Governor::start(budget.clone());
+            let out = gov.run_stage(Stage::Verify, |_| Ok(()));
+            assert_eq!(
+                matches!(out, Err(LockError::StagePanic { .. })),
+                expect_fault,
+                "got {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_folds_transients_into_static_injections() {
+        let plan = FaultPlan::none()
+            .inject(Stage::Select, Fault::Timeout)
+            .inject_transient(Stage::Verify, Fault::EmptyResult, 1);
+        let first = plan.resolve();
+        assert!(first.has(Stage::Select, Fault::Timeout));
+        assert!(first.has(Stage::Verify, Fault::EmptyResult));
+        let second = plan.resolve();
+        assert!(second.has(Stage::Select, Fault::Timeout), "static injections persist");
+        assert_eq!(second.fault_at(Stage::Verify), None, "charge exhausted");
+    }
+
+    #[test]
+    fn seeded_plans_never_draw_crash_after() {
+        // CrashAfter aborts the whole process; a seeded chaos plan must
+        // never pick it.
+        for seed in 0..256u64 {
+            let plan = FaultPlan::seeded(seed);
+            for stage in Stage::ALL {
+                assert_ne!(plan.fault_at(stage), Some(Fault::CrashAfter), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_outcomes_record_status_and_panic_payload() {
+        let budget =
+            RunBudget::unlimited().with_faults(FaultPlan::none().inject(Stage::Verify, Fault::Panic));
+        let mut gov = Governor::start(budget);
+        let _ = gov.run_stage(Stage::Elaborate, |_| Ok(1));
+        let _: Result<(), _> =
+            gov.run_stage(Stage::Select, |_| Err(LockError::SelectionInfeasible));
+        let _ = gov.run_stage(Stage::Verify, |_| Ok(2));
+        let outcomes = gov.take_stage_outcomes();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].status, StageStatus::Ok);
+        assert!(matches!(&outcomes[1].status, StageStatus::Failed(m) if m.contains("infeasible")));
+        match &outcomes[2].status {
+            StageStatus::Panicked(m) => {
+                assert!(m.contains("injected fault: panic at stage verify"), "{m}")
+            }
+            other => panic!("expected panic payload, got {other:?}"),
+        }
+        assert!(gov.take_stage_outcomes().is_empty(), "drained");
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Campaign-level journaling: the event vocabulary and crash-safe sink
+//! shared by the catalog runner ([`crate::catalog`]) and the fuzzing
+//! campaign (`rtlock-fuzz`).
+//!
+//! The durable substrate — checksummed framing, torn-tail recovery,
+//! atomic appends — lives in `rtlock_store`; this module layers the
+//! campaign schema on top:
+//!
+//! * `design_finished` — one catalog design reached a final status. The
+//!   event stores the design's **canonical report body verbatim**, so a
+//!   resumed run replays exactly the bytes an uninterrupted run would
+//!   have produced (the determinism contract of DESIGN.md §12).
+//! * `retry` — one supervised attempt failed, with its classification
+//!   (`transient`/`permanent`) and the deterministic backoff slept (if
+//!   any). Appended *before* the backoff, so a post-crash journal shows
+//!   the failure that preceded the kill.
+//! * `fuzz_div` / `fuzz_chunk` — fuzzing-campaign events, built and
+//!   parsed by `rtlock-fuzz` (a chunk is durable only once its
+//!   `fuzz_chunk` marker lands; divergences replay verbatim).
+//!
+//! Replay is at-least-once: a crash between an event and the next may
+//! re-run completed work on resume, and the journal may then hold
+//! duplicate events for it. Decoders therefore key events by identity
+//! (design index, chunk index, divergence seed) and let the last record
+//! win — re-running is deterministic, so duplicates agree anyway.
+
+use rtlock_exec::RetryRecord;
+use rtlock_store::{ErrorClass, Event, Journal, Recovery};
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+/// Event kind appended when a catalog design reaches a final status.
+pub const KIND_DESIGN_FINISHED: &str = "design_finished";
+/// Event kind appended for every failed supervised attempt.
+pub const KIND_RETRY: &str = "retry";
+
+/// A campaign journal: a [`Journal`] plus the crash-injection hook the
+/// kill-and-resume suite uses (`abort()` after the N-th append, so an
+/// external driver can kill a campaign at a seeded, reproducible point).
+#[derive(Debug)]
+pub struct CampaignJournal {
+    inner: Journal,
+    appended: u64,
+    crash_after: Option<u64>,
+}
+
+impl CampaignJournal {
+    /// Opens (or creates) the journal at `path`, recovering every intact
+    /// event. See [`Journal::open`] for the self-healing behaviour on
+    /// torn or corrupt suffixes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening or healing the file.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(CampaignJournal, Recovery)> {
+        let (inner, recovery) = Journal::open(path)?;
+        Ok((CampaignJournal { inner, appended: 0, crash_after: None }, recovery))
+    }
+
+    /// Arms the crash hook: the process calls [`std::process::abort`]
+    /// immediately after the `n`-th successful append (counted from this
+    /// call). Test-only by construction — nothing arms it outside the
+    /// crash-recovery drivers.
+    pub fn set_crash_after(&mut self, n: u64) {
+        self.crash_after = Some(n);
+        self.appended = 0;
+    }
+
+    /// Durably appends one event (fdatasync'd before return).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync errors; on error nothing is considered
+    /// appended (recovery drops a torn tail).
+    pub fn append(&mut self, event: &Event) -> io::Result<()> {
+        self.inner.append(event)?;
+        self.appended += 1;
+        if self.crash_after.is_some_and(|n| self.appended >= n) {
+            eprintln!(
+                "rtlock-campaign: crash injection armed: aborting after {} journal appends",
+                self.appended
+            );
+            std::process::abort();
+        }
+        Ok(())
+    }
+
+    /// Events appended through this handle (not counting recovered ones).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        self.inner.path()
+    }
+}
+
+/// Builds the `design_finished` event for design `index`. `body` is the
+/// design's canonical report section (everything below its `== name ==`
+/// header), stored verbatim for byte-identical replay.
+pub fn design_finished_event(index: usize, name: &str, completed: bool, body: &str) -> Event {
+    Event::new(KIND_DESIGN_FINISHED)
+        .field("index", index.to_string())
+        .field("name", name)
+        .field("completed", if completed { "true" } else { "false" })
+        .field("body", body)
+}
+
+/// Builds the `retry` event for one failed supervised attempt within
+/// `scope` (`"catalog"` today). `index`/`name` identify the unit of work;
+/// the record supplies attempt number, classification and backoff.
+pub fn retry_event(scope: &str, index: usize, name: &str, record: &RetryRecord) -> Event {
+    Event::new(KIND_RETRY)
+        .field("scope", scope)
+        .field("index", index.to_string())
+        .field("name", name)
+        .field("attempt", record.attempt.to_string())
+        .field("class", class_name(record.class))
+        .field("detail", &record.detail)
+        .field(
+            // Nanoseconds: the policy's seeded jitter is sub-millisecond,
+            // and the journaled schedule must round-trip exactly.
+            "backoff_ns",
+            match record.backoff {
+                Some(d) => u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).to_string(),
+                None => "-".to_owned(),
+            },
+        )
+}
+
+/// The wire name of an [`ErrorClass`].
+pub fn class_name(class: ErrorClass) -> &'static str {
+    match class {
+        ErrorClass::Transient => "transient",
+        ErrorClass::Permanent => "permanent",
+    }
+}
+
+/// Parses a wire class name back; `None` for unknown strings (a journal
+/// from a newer schema must not panic an older reader).
+pub fn parse_class(name: &str) -> Option<ErrorClass> {
+    match name {
+        "transient" => Some(ErrorClass::Transient),
+        "permanent" => Some(ErrorClass::Permanent),
+        _ => None,
+    }
+}
+
+/// Decodes a `retry` event back into a [`RetryRecord`] (plus its scope
+/// and unit name), for assertions and reporting over recovered journals.
+pub fn parse_retry(event: &Event) -> Option<(String, String, RetryRecord)> {
+    if event.kind != KIND_RETRY {
+        return None;
+    }
+    let scope = event.get("scope")?.to_owned();
+    let name = event.get("name")?.to_owned();
+    let backoff = match event.get("backoff_ns")? {
+        "-" => None,
+        ns => Some(Duration::from_nanos(ns.parse().ok()?)),
+    };
+    let record = RetryRecord {
+        index: event.get_parsed("index")?,
+        attempt: event.get_parsed("attempt")?,
+        class: parse_class(event.get("class")?)?,
+        detail: event.get("detail")?.to_owned(),
+        backoff,
+    };
+    Some((scope, name, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_event_roundtrips() {
+        let record = RetryRecord {
+            index: 3,
+            attempt: 2,
+            class: ErrorClass::Transient,
+            detail: "stage verify panicked: boom\nwith newline".to_owned(),
+            backoff: Some(Duration::new(0, 20_822_465)),
+        };
+        let event = retry_event("catalog", 3, "b05", &record);
+        let decoded = Event::decode(&event.encode()).expect("decodes");
+        let (scope, name, back) = parse_retry(&decoded).expect("parses");
+        assert_eq!(scope, "catalog");
+        assert_eq!(name, "b05");
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn final_attempt_has_no_backoff() {
+        let record = RetryRecord {
+            index: 0,
+            attempt: 1,
+            class: ErrorClass::Permanent,
+            detail: "no candidates".to_owned(),
+            backoff: None,
+        };
+        let (_, _, back) = parse_retry(&retry_event("catalog", 0, "x", &record)).expect("parses");
+        assert_eq!(back.backoff, None);
+        assert_eq!(back.class, ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn unknown_class_is_rejected_not_panicked() {
+        let event = Event::new(KIND_RETRY)
+            .field("scope", "catalog")
+            .field("index", "0")
+            .field("name", "x")
+            .field("attempt", "1")
+            .field("class", "catastrophic")
+            .field("detail", "d")
+            .field("backoff_ns", "-");
+        assert!(parse_retry(&event).is_none());
+    }
+
+    #[test]
+    fn crash_hook_counts_only_new_appends() {
+        let dir = std::env::temp_dir().join(format!("rtlock_campaign_j_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hook.journal");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, recovery) = CampaignJournal::open(&path).unwrap();
+        assert!(recovery.events.is_empty());
+        journal.append(&design_finished_event(0, "a", true, "key_bits: 4\n")).unwrap();
+        drop(journal);
+        // Reopen: recovered events do not advance the crash counter.
+        let (mut journal, recovery) = CampaignJournal::open(&path).unwrap();
+        assert_eq!(recovery.events.len(), 1);
+        assert_eq!(journal.appended(), 0);
+        journal.append(&design_finished_event(1, "b", false, "failed: x\n")).unwrap();
+        assert_eq!(journal.appended(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

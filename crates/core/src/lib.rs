@@ -57,6 +57,7 @@ pub mod catalog;
 pub mod database;
 pub mod flow;
 pub mod governor;
+pub mod journal;
 pub mod scan_lock;
 pub mod select;
 pub mod testability;
@@ -66,8 +67,9 @@ pub mod transforms;
 pub mod verify;
 
 pub use catalog::{
-    lock_catalog_parallel, lock_catalog_sequential, CatalogEntry, CatalogJob, CatalogReport,
-    DesignStatus, DesignSummary,
+    lock_catalog_parallel, lock_catalog_resumable, lock_catalog_sequential, CatalogEntry,
+    CatalogJob, CatalogReport, DesignStatus, DesignSummary, ReplayedDesign,
 };
+pub use journal::CampaignJournal;
 pub use flow::{lock, lock_governed, AttackSurface, LockError, LockedDesign, RtlLockConfig};
 pub use governor::{Degradation, Fault, FaultPlan, RunBudget, Stage};

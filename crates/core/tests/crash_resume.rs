@@ -1,0 +1,122 @@
+//! External kill-and-resume acceptance: drive the `rtlock-campaign`
+//! binary, abort it mid-campaign via the seeded crash hook
+//! (`--crash-after-events`), resume with the same journal, and require
+//! the final report to be byte-identical to an uninterrupted run — at
+//! thread counts 1 and 8, across several crash points, including a
+//! crash-during-resume (resume-after-resume).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const DESIGNS: usize = 4;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rtlock_crash_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn campaign(journal: &Path, out: &Path, threads: usize, crash_after: Option<u64>) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rtlock-campaign"));
+    cmd.arg("--journal")
+        .arg(journal)
+        .arg("--tiny")
+        .arg(DESIGNS.to_string())
+        .arg("--threads")
+        .arg(threads.to_string())
+        .arg("--out")
+        .arg(out);
+    if let Some(n) = crash_after {
+        cmd.arg("--crash-after-events").arg(n.to_string());
+    }
+    cmd
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn killed_campaign_resumes_byte_identical() {
+    for threads in [1usize, 8] {
+        let dir = temp_dir(&format!("t{threads}"));
+
+        // Uninterrupted baseline.
+        let base_out = dir.join("base.txt");
+        let status = campaign(&dir.join("base.journal"), &base_out, threads, None)
+            .status()
+            .expect("spawn baseline");
+        assert!(status.success(), "baseline run failed (threads {threads})");
+        let baseline = read(&base_out);
+        assert!(baseline.contains("== tiny0 =="), "report has content:\n{baseline}");
+
+        // Kill after 1, 2 and 3 journal appends, then resume each.
+        for crash_after in [1u64, 2, 3] {
+            let journal = dir.join(format!("crash{crash_after}.journal"));
+            let out = dir.join(format!("crash{crash_after}.txt"));
+
+            let status = campaign(&journal, &out, threads, Some(crash_after))
+                .status()
+                .expect("spawn crashing run");
+            assert!(
+                !status.success(),
+                "armed run must die by abort (threads {threads}, crash {crash_after})"
+            );
+            assert!(!out.exists(), "a killed campaign must not have written its report");
+            assert!(journal.exists(), "the journal survives the kill");
+
+            let status =
+                campaign(&journal, &out, threads, None).status().expect("spawn resume");
+            assert!(status.success(), "resume failed (threads {threads}, crash {crash_after})");
+            assert_eq!(
+                read(&out),
+                baseline,
+                "resumed report differs (threads {threads}, crash {crash_after})"
+            );
+        }
+
+        // Crash during the *resume* as well: kill at event 1, resume but
+        // kill again one event later, then finish. Two generations of
+        // journal recovery compose.
+        let journal = dir.join("double.journal");
+        let out = dir.join("double.txt");
+        let status =
+            campaign(&journal, &out, threads, Some(1)).status().expect("spawn first crash");
+        assert!(!status.success());
+        let status =
+            campaign(&journal, &out, threads, Some(1)).status().expect("spawn second crash");
+        assert!(!status.success());
+        let status = campaign(&journal, &out, threads, None).status().expect("spawn final");
+        assert!(status.success(), "double-crash resume failed (threads {threads})");
+        assert_eq!(read(&out), baseline, "double-crash report differs (threads {threads})");
+
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+#[test]
+fn journal_torn_by_kill_still_resumes() {
+    // Simulate a kill that tears the final record: truncate the journal
+    // mid-record after a partial campaign, then resume. The store heals
+    // the tail and the campaign still converges to the baseline.
+    let dir = temp_dir("torn");
+    let base_out = dir.join("base.txt");
+    assert!(campaign(&dir.join("base.journal"), &base_out, 2, None)
+        .status()
+        .expect("baseline")
+        .success());
+    let baseline = read(&base_out);
+
+    let journal = dir.join("torn.journal");
+    let out = dir.join("torn.txt");
+    assert!(!campaign(&journal, &out, 2, Some(2)).status().expect("crash run").success());
+    let bytes = std::fs::read(&journal).expect("read journal");
+    assert!(bytes.len() > 10, "journal holds records");
+    std::fs::write(&journal, &bytes[..bytes.len() - 7]).expect("tear the tail");
+
+    assert!(campaign(&journal, &out, 2, None).status().expect("resume").success());
+    assert_eq!(read(&out), baseline, "torn-tail resume differs");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

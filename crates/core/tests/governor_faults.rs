@@ -60,13 +60,38 @@ fn budget_with(stage: Stage, fault: Fault) -> RunBudget {
 fn injected_panic_at_every_stage_becomes_a_structured_error() {
     let m = module();
     for stage in Stage::ALL {
-        match lock_governed(&m, &quick(), &budget_with(stage, Fault::Panic)) {
-            Err(LockError::StagePanic { stage: reported, message }) => {
+        let out = lock_governed(&m, &quick(), &budget_with(stage, Fault::Panic));
+        match (stage, out) {
+            // The lint gates are advisory machinery: a panic inside the
+            // linter degrades the run (with the captured payload message
+            // on the report) instead of failing a lockable design.
+            (Stage::PreLint | Stage::PostLint, Ok(out)) => {
+                let deg = out
+                    .report
+                    .degradations
+                    .iter()
+                    .find(|d| d.stage == stage)
+                    .unwrap_or_else(|| panic!("stage {stage}: tolerated panic not degraded"));
+                assert!(deg.detail.contains("injected fault"), "stage {stage}: {}", deg.detail);
+                // The stage outcome carries the payload message itself.
+                let rec = out
+                    .report
+                    .stage_outcomes
+                    .iter()
+                    .find(|o| o.stage == stage)
+                    .expect("stage outcome recorded");
+                match &rec.status {
+                    rtlock::governor::StageStatus::Panicked(msg) => {
+                        assert!(msg.contains("injected fault"), "stage {stage}: {msg}")
+                    }
+                    other => panic!("stage {stage}: expected Panicked outcome, got {other:?}"),
+                }
+            }
+            (_, Err(LockError::StagePanic { stage: reported, message })) => {
                 assert_eq!(reported, stage, "panic attributed to the wrong stage");
                 assert!(message.contains("injected fault"), "stage {stage}: {message}");
             }
-            Err(other) => panic!("stage {stage}: expected StagePanic, got {other:?}"),
-            Ok(_) => panic!("stage {stage}: injected panic was swallowed"),
+            (stage, other) => panic!("stage {stage}: unexpected outcome {other:?}"),
         }
     }
 }

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 use rtlock_governor::{CancelToken, StopReason};
+use rtlock_store::{ErrorClass, RetryPolicy};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -180,6 +181,168 @@ impl Executor {
             .into_iter()
             .map(|m| m.into_inner().expect("slot lock").expect("every task ran"))
             .collect()
+    }
+}
+
+impl Executor {
+    /// Supervised deterministic parallel map: like [`Executor::map`], but
+    /// each item runs under a [`RetryPolicy`] — a task whose result
+    /// `classify` calls [`ErrorClass::Transient`] is re-executed in place
+    /// (on the same worker slot, after the policy's deterministic
+    /// backoff) up to `policy.max_attempts` times. Permanent failures and
+    /// successes are never retried, and a fired cancel token stops the
+    /// retry loop at the next boundary.
+    ///
+    /// `classify` sees the full per-attempt [`TaskResult`] (so a captured
+    /// panic can be classified transient while a structural error value
+    /// is permanent) and returns `None` for definitive results. `f`
+    /// additionally receives the 1-based attempt number.
+    ///
+    /// Returns the final per-item results in input order plus every
+    /// failed attempt as a [`RetryRecord`], sorted by `(index, attempt)`
+    /// — deterministic across thread counts, ready for journaling.
+    pub fn map_supervised<I, T, F, C>(
+        &self,
+        token: &CancelToken,
+        items: Vec<I>,
+        policy: &RetryPolicy,
+        classify: C,
+        f: F,
+    ) -> (Vec<TaskResult<T>>, Vec<RetryRecord>)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, &I, u32, &CancelToken) -> T + Sync,
+        C: Fn(&TaskResult<T>) -> Option<(ErrorClass, String)> + Sync,
+    {
+        self.map_supervised_observed(token, items, policy, classify, |_| {}, f)
+    }
+
+    /// [`Executor::map_supervised`] with a live observer: `observe` is
+    /// invoked from the worker as events happen — once per failed attempt
+    /// ([`SupervisedEvent::Attempt`], before the backoff sleep) and once
+    /// per item when its result is final
+    /// ([`SupervisedEvent::Finished`], before the slot is stored). A
+    /// checkpointing caller journals from here so a crash between items
+    /// loses at most the in-flight ones; `observe` must therefore do its
+    /// own locking (it runs concurrently from every worker).
+    pub fn map_supervised_observed<I, T, F, C, O>(
+        &self,
+        token: &CancelToken,
+        items: Vec<I>,
+        policy: &RetryPolicy,
+        classify: C,
+        observe: O,
+        f: F,
+    ) -> (Vec<TaskResult<T>>, Vec<RetryRecord>)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, &I, u32, &CancelToken) -> T + Sync,
+        C: Fn(&TaskResult<T>) -> Option<(ErrorClass, String)> + Sync,
+        O: Fn(SupervisedEvent<'_, T>) + Sync,
+    {
+        let slots: Vec<Mutex<Option<TaskResult<T>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        let records: Mutex<Vec<RetryRecord>> = Mutex::new(Vec::new());
+        let max_attempts = policy.max_attempts.max(1);
+        let (fr, cr, ob, slots_ref, records_ref, policy_ref) =
+            (&f, &classify, &observe, &slots, &records, policy);
+        self.scope(token, |scope| {
+            for (i, item) in items.into_iter().enumerate() {
+                scope.spawn(move |tok| {
+                    let mut retry_no = 0u32;
+                    let mut attempt = 1u32;
+                    let (out, attempts) = loop {
+                        let out = if let Some(reason) = tok.should_stop() {
+                            Err(TaskError::Cancelled(reason))
+                        } else {
+                            match catch_unwind(AssertUnwindSafe(|| fr(i, &item, attempt, tok))) {
+                                Ok(v) => Ok(v),
+                                Err(p) => Err(TaskError::Panicked(panic_message(&*p))),
+                            }
+                        };
+                        let Some((class, detail)) = cr(&out) else { break (out, attempt) };
+                        let will_retry = class == ErrorClass::Transient
+                            && attempt < max_attempts
+                            && tok.should_stop().is_none();
+                        let backoff = if will_retry {
+                            retry_no += 1;
+                            Some(policy_ref.backoff(retry_no))
+                        } else {
+                            None
+                        };
+                        let record =
+                            RetryRecord { index: i, attempt, class, detail, backoff };
+                        ob(SupervisedEvent::Attempt(&record));
+                        records_ref.lock().expect("records lock").push(record);
+                        match backoff {
+                            Some(d) => sleep_cooperative(tok, d),
+                            None => break (out, attempt),
+                        }
+                        attempt += 1;
+                    };
+                    ob(SupervisedEvent::Finished { index: i, attempts, result: &out });
+                    *slots_ref[i].lock().expect("slot lock") = Some(out);
+                });
+            }
+        });
+        let results = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot lock").expect("every task ran"))
+            .collect();
+        let mut records = records.into_inner().expect("records lock");
+        records.sort_by_key(|r| (r.index, r.attempt));
+        (results, records)
+    }
+}
+
+/// One live event from [`Executor::map_supervised_observed`].
+#[derive(Debug)]
+pub enum SupervisedEvent<'a, T> {
+    /// An attempt failed; the record says whether it will be retried
+    /// (`backoff` set) or is final.
+    Attempt(&'a RetryRecord),
+    /// The item's result is final (success, permanent failure, exhausted
+    /// retries, or cancellation).
+    Finished {
+        /// Input index of the item.
+        index: usize,
+        /// How many attempts ran (1 = first try stood).
+        attempts: u32,
+        /// The final result about to be merged.
+        result: &'a TaskResult<T>,
+    },
+}
+
+/// One failed attempt observed by [`Executor::map_supervised`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryRecord {
+    /// Input index of the item.
+    pub index: usize,
+    /// 1-based attempt number that failed.
+    pub attempt: u32,
+    /// How the failure was classified.
+    pub class: ErrorClass,
+    /// The classifier's rendering of the failure.
+    pub detail: String,
+    /// The deterministic backoff slept before the next attempt (`None`
+    /// when this failure was final: permanent, exhausted, or cancelled).
+    pub backoff: Option<Duration>,
+}
+
+/// Sleeps `total` in small slices, polling `token`; returns early once
+/// the token fires so a cancelled campaign never sits out a long backoff.
+fn sleep_cooperative(token: &CancelToken, total: Duration) {
+    let slice = Duration::from_millis(5);
+    let mut left = total;
+    while !left.is_zero() {
+        if token.should_stop().is_some() {
+            return;
+        }
+        let step = left.min(slice);
+        std::thread::sleep(step);
+        left -= step;
     }
 }
 
@@ -333,8 +496,9 @@ fn worker_loop(shared: &Shared<'_>, me: usize) {
 }
 
 /// Best-effort extraction of a panic payload's message (the same shape the
-/// flow governor uses).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// flow governor uses). Public so sequential supervisors outside the pool
+/// can report captured panics with identical wording.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -482,6 +646,94 @@ mod tests {
         }));
         assert!(result.is_err(), "the scope closure's panic propagates");
         assert_eq!(ran.load(Ordering::Relaxed), 1, "spawned work still completed");
+    }
+
+    #[test]
+    fn supervised_map_retries_transient_failures_to_success() {
+        let pool = Executor::new(4);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            jitter_seed: 11,
+        };
+        // Item 5 fails (panics) on attempts 1 and 2, succeeds on 3.
+        let (out, records) = pool.map_supervised(
+            &CancelToken::unlimited(),
+            (0..8u32).collect(),
+            &policy,
+            |r: &TaskResult<u32>| match r {
+                Err(TaskError::Panicked(m)) => Some((ErrorClass::Transient, m.clone())),
+                _ => None,
+            },
+            |_, &n, attempt, _| {
+                if n == 5 && attempt < 3 {
+                    panic!("flaky item {n} attempt {attempt}");
+                }
+                n * 10
+            },
+        );
+        let got: Vec<u32> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(records.len(), 2);
+        assert_eq!((records[0].index, records[0].attempt), (5, 1));
+        assert_eq!((records[1].index, records[1].attempt), (5, 2));
+        // The recorded backoff schedule is the policy's, deterministically.
+        assert_eq!(records[0].backoff, Some(policy.backoff(1)));
+        assert_eq!(records[1].backoff, Some(policy.backoff(2)));
+    }
+
+    #[test]
+    fn supervised_map_never_retries_permanent_failures() {
+        let pool = Executor::new(2);
+        let attempts_seen = AtomicUsize::new(0);
+        let (out, records) = pool.map_supervised(
+            &CancelToken::unlimited(),
+            vec![()],
+            &RetryPolicy::attempts(5),
+            |_: &TaskResult<&str>| Some((ErrorClass::Permanent, "structural".into())),
+            |_, (), _, _| {
+                attempts_seen.fetch_add(1, Ordering::Relaxed);
+                "value"
+            },
+        );
+        assert_eq!(attempts_seen.load(Ordering::Relaxed), 1, "exactly one attempt");
+        assert_eq!(out[0], Ok("value"), "the classified value is still returned");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].class, ErrorClass::Permanent);
+        assert_eq!(records[0].backoff, None);
+    }
+
+    #[test]
+    fn supervised_map_exhausts_attempts_and_reports_schedule() {
+        let pool = Executor::new(3);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            jitter_seed: 3,
+        };
+        let (out, records) = pool.map_supervised(
+            &CancelToken::unlimited(),
+            vec![0u8; 2],
+            &policy,
+            |r: &TaskResult<u8>| match r {
+                Err(TaskError::Panicked(m)) => Some((ErrorClass::Transient, m.clone())),
+                _ => None,
+            },
+            |i, _, attempt, _| panic!("always failing {i} attempt {attempt}"),
+        );
+        for r in &out {
+            assert!(matches!(r, Err(TaskError::Panicked(_))), "got {r:?}");
+        }
+        // Per item: attempts 1 and 2 retried, attempt 3 final.
+        assert_eq!(records.len(), 6);
+        for (i, chunk) in records.chunks(3).enumerate() {
+            assert!(chunk.iter().all(|r| r.index == i));
+            assert_eq!(chunk[0].backoff, Some(policy.backoff(1)));
+            assert_eq!(chunk[1].backoff, Some(policy.backoff(2)));
+            assert_eq!(chunk[2].backoff, None, "final failure records no backoff");
+        }
     }
 
     #[test]

@@ -25,6 +25,12 @@ options:
   --corpus-dir <dir>  where to persist shrunk reproducers
                       (default fuzz/corpus when --write-corpus is given)
   --write-corpus      persist shrunk reproducers
+  --journal <file>    checkpoint chunk completions into a crash-safe
+                      journal; rerunning with the same journal resumes
+                      (completed chunks replay, the report is identical)
+  --crash-after-events <n>
+                      abort() after the n-th journal append (crash-
+                      recovery self-test; requires --journal)
   --inject-opt-bug    arm the deliberate optimizer miscompile (self-test)
   --no-lock-layer     skip the locking layer (enumerate + correct-key cosim)
   --no-formal         skip the pre-/post-optimization SAT miter
@@ -36,6 +42,8 @@ struct Args {
     time_budget: Option<Duration>,
     inject_opt_bug: bool,
     jobs: usize,
+    journal: Option<std::path::PathBuf>,
+    crash_after: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
     let mut jobs = 1usize;
     let mut write_corpus = false;
     let mut corpus_dir: Option<std::path::PathBuf> = None;
+    let mut journal: Option<std::path::PathBuf> = None;
+    let mut crash_after: Option<u64> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -84,6 +94,14 @@ fn parse_args() -> Result<Args, String> {
                 corpus_dir = Some(value(&mut i, "--corpus-dir")?.into());
                 write_corpus = true;
             }
+            "--journal" => journal = Some(value(&mut i, "--journal")?.into()),
+            "--crash-after-events" => {
+                crash_after = Some(
+                    value(&mut i, "--crash-after-events")?
+                        .parse()
+                        .map_err(|e| format!("--crash-after-events: {e}"))?,
+                );
+            }
             "--write-corpus" => write_corpus = true,
             "--inject-opt-bug" => inject_opt_bug = true,
             "--no-lock-layer" => cfg.oracle.check_locked = false,
@@ -96,7 +114,10 @@ fn parse_args() -> Result<Args, String> {
     if write_corpus {
         cfg.corpus_dir = Some(corpus_dir.unwrap_or_else(|| "fuzz/corpus".into()));
     }
-    Ok(Args { cfg, time_budget, inject_opt_bug, jobs })
+    if crash_after.is_some() && journal.is_none() {
+        return Err("--crash-after-events requires --journal".into());
+    }
+    Ok(Args { cfg, time_budget, inject_opt_bug, jobs, journal, crash_after })
 }
 
 fn main() -> ExitCode {
@@ -124,7 +145,38 @@ fn main() -> ExitCode {
     };
     let governor = rtlock::governor::Governor::start(budget);
     let started = std::time::Instant::now();
-    let report = if args.jobs == 1 {
+    let report = if let Some(path) = &args.journal {
+        let (mut journal, recovery) = match rtlock::journal::CampaignJournal::open(path) {
+            Ok(opened) => opened,
+            Err(e) => {
+                eprintln!("rtlock-fuzz: cannot open journal {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        if !recovery.events.is_empty() {
+            eprintln!(
+                "rtlock-fuzz: resuming from {} ({} events recovered{})",
+                path.display(),
+                recovery.events.len(),
+                if recovery.torn_tail { ", torn tail healed" } else { "" },
+            );
+        }
+        if let Some(n) = args.crash_after {
+            journal.set_crash_after(n);
+        }
+        let executor = if args.jobs == 0 {
+            rtlock_exec::Executor::machine_sized()
+        } else {
+            rtlock_exec::Executor::new(args.jobs.max(1))
+        };
+        rtlock_fuzz::run_fuzz_resumable(
+            &args.cfg,
+            &executor,
+            governor.run_token(),
+            &mut journal,
+            &recovery.events,
+        )
+    } else if args.jobs == 1 {
         rtlock_fuzz::run_fuzz(&args.cfg, governor.run_token())
     } else {
         let executor = if args.jobs == 0 {

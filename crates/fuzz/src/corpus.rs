@@ -14,16 +14,17 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Writes a shrunk reproducer into `dir`, creating it if needed. Returns
-/// the file path.
+/// the file path. The write is atomic (temp + fsync + rename): a crashed
+/// campaign never leaves a half-written reproducer for the replay suite
+/// to choke on.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors (unwritable directory, disk full).
 pub fn persist(dir: &Path, seed: u64, layer: Layer, source: &str) -> io::Result<PathBuf> {
-    fs::create_dir_all(dir)?;
     let path = dir.join(format!("div_{layer}_seed{seed}.v"));
     let body = format!("// rtlock-fuzz reproducer: layer={layer} seed={seed}\n{source}");
-    fs::write(&path, body)?;
+    rtlock_store::atomic_write(&path, body)?;
     Ok(path)
 }
 

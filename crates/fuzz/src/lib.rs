@@ -194,6 +194,178 @@ pub fn run_fuzz_parallel(
     report
 }
 
+/// Event kind marking a chunk's divergences durable (one per divergence,
+/// appended *before* the chunk's completion marker).
+pub const KIND_FUZZ_DIV: &str = "fuzz_div";
+/// Event kind marking a chunk complete; only chunks with this marker are
+/// replayed on resume.
+pub const KIND_FUZZ_CHUNK: &str = "fuzz_chunk";
+
+/// [`run_fuzz_parallel`] with checkpoint/resume through a campaign
+/// journal: chunks whose completion marker was recovered are **replayed**
+/// from the journal (verbatim divergence text, no re-execution), the rest
+/// run normally and journal themselves as they finish. A campaign killed
+/// mid-run therefore loses at most its in-flight chunks, and
+/// `interrupt → resume` yields a report — and corpus directory — byte-
+/// identical to an uninterrupted run at any job count.
+///
+/// Chunks that stopped on cancellation are *not* journaled (they are not
+/// final); journal append errors are reported to stderr and the run
+/// continues unjournaled, exactly like the catalog runner.
+pub fn run_fuzz_resumable(
+    cfg: &FuzzConfig,
+    executor: &rtlock_exec::Executor,
+    cancel: &CancelToken,
+    journal: &mut rtlock::journal::CampaignJournal,
+    recovered: &[rtlock_store::Event],
+) -> FuzzReport {
+    let chunks: Vec<std::ops::Range<u64>> = (0..cfg.iters)
+        .step_by(CHUNK_ITERS.max(1) as usize)
+        .map(|lo| lo..(lo + CHUNK_ITERS).min(cfg.iters))
+        .collect();
+    let prior = replayed_chunks(cfg, recovered, chunks.len());
+
+    let worker_cfg = FuzzConfig { corpus_dir: None, ..cfg.clone() };
+    let todo: Vec<(usize, std::ops::Range<u64>)> = chunks
+        .iter()
+        .cloned()
+        .enumerate()
+        .filter(|(i, _)| prior[*i].is_none())
+        .collect();
+    let sink = std::sync::Mutex::new(journal);
+    let results = executor.map(cancel, todo, |_, (chunk_index, range), token| {
+        let chunk = run_range(&worker_cfg, range.clone(), token);
+        if !chunk.cancelled && token.should_stop().is_none() {
+            let mut journal = sink.lock().expect("journal lock");
+            let append = |j: &mut rtlock::journal::CampaignJournal,
+                          e: &rtlock_store::Event| {
+                if let Err(err) = j.append(e) {
+                    eprintln!("fuzz journal: append failed ({err}); continuing unjournaled");
+                }
+            };
+            for d in &chunk.divergences {
+                let event = rtlock_store::Event::new(KIND_FUZZ_DIV)
+                    .field("chunk", chunk_index.to_string())
+                    .field("seed", d.seed.to_string())
+                    .field("layer", d.layer.name())
+                    .field("detail", &d.detail)
+                    .field("source", &d.shrunk_source);
+                append(&mut journal, &event);
+            }
+            let event = rtlock_store::Event::new(KIND_FUZZ_CHUNK)
+                .field("index", chunk_index.to_string())
+                .field("executed", chunk.executed.to_string())
+                .field("incomplete", chunk.incomplete.to_string());
+            append(&mut journal, &event);
+        }
+        (chunk_index, chunk)
+    });
+
+    let mut fresh: std::collections::HashMap<usize, FuzzReport> = std::collections::HashMap::new();
+    let mut cancelled = false;
+    let mut worker_panic: Option<String> = None;
+    for res in results {
+        match res {
+            Ok((chunk_index, chunk)) => {
+                fresh.insert(chunk_index, chunk);
+            }
+            Err(rtlock_exec::TaskError::Cancelled(_)) => cancelled = true,
+            Err(rtlock_exec::TaskError::Panicked(msg)) => worker_panic = Some(msg),
+        }
+    }
+    if let Some(msg) = worker_panic {
+        panic!("fuzz worker panicked: {msg}");
+    }
+
+    let mut report = FuzzReport { cancelled, ..FuzzReport::default() };
+    for (i, _) in chunks.iter().enumerate() {
+        let chunk = match &prior[i] {
+            Some(replay) => replay,
+            None => match fresh.get(&i) {
+                Some(chunk) => chunk,
+                None => continue, // cancelled before this chunk ran
+            },
+        };
+        report.executed += chunk.executed;
+        report.incomplete += chunk.incomplete;
+        report.divergences.extend(chunk.divergences.iter().cloned());
+        report.cancelled |= chunk.cancelled;
+    }
+    if let Some(dir) = &cfg.corpus_dir {
+        for d in &mut report.divergences {
+            d.persisted = corpus::persist(dir, d.seed, d.layer, &d.shrunk_source).ok();
+        }
+    }
+    report
+}
+
+/// Decodes recovered journal events into per-chunk replay slots. Only
+/// chunks whose `fuzz_chunk` marker landed are replayed; their
+/// divergences are keyed by seed (at-least-once replay may duplicate
+/// them — re-runs are deterministic, so the last record wins) and
+/// ordered by iteration number.
+fn replayed_chunks(
+    cfg: &FuzzConfig,
+    events: &[rtlock_store::Event],
+    chunk_count: usize,
+) -> Vec<Option<FuzzReport>> {
+    use std::collections::HashMap;
+    let mut divs: HashMap<usize, HashMap<u64, Divergence>> = HashMap::new();
+    let mut done: Vec<Option<(u64, u64)>> = vec![None; chunk_count];
+    for event in events {
+        if event.kind == KIND_FUZZ_DIV {
+            let (Some(chunk), Some(seed), Some(layer), Some(detail), Some(source)) = (
+                event.get_parsed::<usize>("chunk"),
+                event.get_parsed::<u64>("seed"),
+                event.get("layer").and_then(Layer::from_name),
+                event.get("detail"),
+                event.get("source"),
+            ) else {
+                continue;
+            };
+            if chunk >= chunk_count {
+                continue;
+            }
+            divs.entry(chunk).or_default().insert(
+                seed,
+                Divergence {
+                    seed,
+                    layer,
+                    detail: detail.to_owned(),
+                    shrunk_source: source.to_owned(),
+                    shrunk_lines: source.lines().count(),
+                    persisted: None,
+                },
+            );
+        } else if event.kind == KIND_FUZZ_CHUNK {
+            let (Some(index), Some(executed), Some(incomplete)) = (
+                event.get_parsed::<usize>("index"),
+                event.get_parsed::<u64>("executed"),
+                event.get_parsed::<u64>("incomplete"),
+            ) else {
+                continue;
+            };
+            if index < chunk_count {
+                done[index] = Some((executed, incomplete));
+            }
+        }
+    }
+    done.into_iter()
+        .enumerate()
+        .map(|(i, marker)| {
+            let (executed, incomplete) = marker?;
+            let mut divergences: Vec<Divergence> =
+                divs.remove(&i).map(|m| m.into_values().collect()).unwrap_or_default();
+            // Iteration order within the chunk: iteration `n` has seed
+            // `base * M + n` (wrapping), so recovering `n` sorts exactly
+            // as the original run emitted.
+            let base = cfg.seed.wrapping_mul(0x1000_0000_0000_0001);
+            divergences.sort_by_key(|d| d.seed.wrapping_sub(base));
+            Some(FuzzReport { executed, incomplete, divergences, cancelled: false })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

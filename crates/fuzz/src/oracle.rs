@@ -48,15 +48,37 @@ pub enum Layer {
 
 impl std::fmt::Display for Layer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+        f.write_str(self.name())
+    }
+}
+
+impl Layer {
+    /// The stable wire/file name of the layer (used in corpus file names
+    /// and campaign journal events).
+    pub fn name(self) -> &'static str {
+        match self {
             Layer::Frontend => "frontend",
             Layer::ElabSim => "elab-sim",
             Layer::OptSim => "opt-sim",
             Layer::ScanSim => "scan-sim",
             Layer::Locked => "locked",
             Layer::Formal => "formal",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Inverse of [`Layer::name`]; `None` for unknown names so a journal
+    /// written by a newer schema degrades instead of panicking.
+    pub fn from_name(name: &str) -> Option<Layer> {
+        [
+            Layer::Frontend,
+            Layer::ElabSim,
+            Layer::OptSim,
+            Layer::ScanSim,
+            Layer::Locked,
+            Layer::Formal,
+        ]
+        .into_iter()
+        .find(|l| l.name() == name)
     }
 }
 

@@ -1,0 +1,101 @@
+//! Atomic whole-file commits.
+//!
+//! Result artifacts (bench JSON, corpus reproducers, catalog reports)
+//! must never be observed half-written: a crash mid-`fs::write` leaves a
+//! torn file that a resumed campaign or a CI diff would misread as real
+//! output. [`atomic_write`] commits via the classic tempfile dance —
+//! write a sibling temp file, fsync it, rename over the target, fsync
+//! the directory — so readers see either the old bytes or the new bytes.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// The temp file lives in `path`'s own directory (rename is only atomic
+/// within a filesystem) and carries a pid + counter suffix so concurrent
+/// writers in the same process never collide. On success the data is
+/// fsynced before the rename and the directory is fsynced after it
+/// (best-effort on platforms where directories cannot be opened).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the temp file is removed on failure.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "atomic_write needs a file name")
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let commit = (|| {
+        let mut f = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+        f.write_all(bytes.as_ref())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if commit.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return commit;
+    }
+    // Durability of the rename itself: fsync the containing directory.
+    // Some platforms refuse to open directories; the rename is still
+    // atomic without it, so this is best-effort.
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("rtlock_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("report.json");
+        atomic_write(&target, b"first").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"first");
+        atomic_write(&target, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second, longer payload");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("rtlock_atomic_deep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let target = dir.join("a/b/out.txt");
+        atomic_write(&target, b"nested").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"nested");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_pathless_target() {
+        assert!(atomic_write(std::path::PathBuf::from(""), b"x").is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Crash-safe campaign durability for the RTLock workspace.
+//!
+//! Long campaigns — locking the design catalog, racing an attack
+//! portfolio, sharding a fuzzing run — used to be all-or-nothing: a
+//! panic past the governor, a SIGKILL, or a power loss threw away hours
+//! of lock→verify→attack work. This crate is the durability substrate
+//! that fixes that, in three std-only pieces:
+//!
+//! * [`journal`] — an append-only, checksummed write-ahead journal of
+//!   campaign events. Every record carries its own CRC32 and length
+//!   framing; recovery tolerates a torn final record (the crash landed
+//!   mid-append) and truncates at the first corrupt record so a resumed
+//!   campaign never replays garbage. [`Journal::open`] self-heals the
+//!   file back to its last durable record before accepting new appends.
+//! * [`atomic`] — [`atomic_write`]: write-to-temp + fsync + rename +
+//!   directory fsync, so result files (`BENCH_*.json`, corpus
+//!   reproducers, reports) are either the old bytes or the new bytes,
+//!   never a torn mix.
+//! * [`retry`] — [`RetryPolicy`]: bounded attempts with a deterministic
+//!   exponential backoff schedule (seeded jitter — same seed, same
+//!   schedule, on every platform) plus the [`ErrorClass`]
+//!   transient-vs-permanent split the supervisors key off: transient
+//!   failures (stage panics, budget exhaustion) are retried, permanent
+//!   ones (structural errors, model holes) never are.
+//!
+//! The crate sits at the very bottom of the workspace graph (std only,
+//! next to `rtlock-governor`) so the executor, flow, attack and fuzz
+//! crates can all share one durability vocabulary.
+//!
+//! ```
+//! use rtlock_store::{Event, Journal};
+//!
+//! let dir = std::env::temp_dir().join(format!("rtlock_store_doc_{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("campaign.journal");
+//! # let _ = std::fs::remove_file(&path);
+//! let (mut journal, recovery) = Journal::open(&path)?;
+//! assert!(recovery.events.is_empty());
+//! journal.append(&Event::new("unit_finished").field("unit", "b05").field("completed", "true"))?;
+//! drop(journal);
+//!
+//! let (_journal, recovery) = Journal::open(&path)?;
+//! assert_eq!(recovery.events.len(), 1);
+//! assert_eq!(recovery.events[0].get("unit"), Some("b05"));
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod journal;
+pub mod retry;
+pub mod wire;
+
+pub use atomic::atomic_write;
+pub use journal::{Journal, Recovery};
+pub use retry::{run_with_retry, ErrorClass, RetryPolicy};
+pub use wire::{Event, WireError};

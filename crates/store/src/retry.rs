@@ -1,0 +1,272 @@
+//! Deterministic retry with transient/permanent classification.
+//!
+//! Supervisors (the executor pool, the sequential catalog loop) wrap
+//! flaky campaign units in [`run_with_retry`]. Two properties matter:
+//!
+//! * **Determinism** — the backoff schedule is a pure function of the
+//!   policy (seeded jitter via SplitMix64), so a resumed run and CI
+//!   replay see the same delays and the journal records a reproducible
+//!   schedule.
+//! * **Classification** — only [`ErrorClass::Transient`] failures are
+//!   retried. A permanent failure (structural lock error, inconsistent
+//!   attack miter) re-fails identically on every attempt; retrying it
+//!   burns budget and, worse, can mask the bug.
+
+use std::time::Duration;
+
+/// How a supervisor should treat a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Environmental / exhaustion failures (stage panic, timeout under a
+    /// per-attempt budget, injected fault): worth another attempt.
+    Transient,
+    /// Deterministic failures (no candidates, infeasible selection,
+    /// inconsistent miter, model hole): retrying cannot help.
+    Permanent,
+}
+
+/// A bounded, deterministic exponential-backoff retry policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+    /// Cap applied to the exponential growth (before jitter).
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream. Same seed → same
+    /// schedule, byte-for-byte, on every platform.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and the default delays.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy { max_attempts, ..RetryPolicy::default() }
+    }
+
+    /// Whether this policy ever retries.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// The delay before retry number `retry` (1-based: `1` is the delay
+    /// after the first failure). Exponential with the base doubling per
+    /// step, capped at `max_delay`, plus seeded jitter in `[0, 25%)` of
+    /// the capped delay. Pure — no clocks, no global RNG.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        let exp = retry.saturating_sub(1).min(20);
+        let base = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay);
+        let jitter_span = base.as_nanos() as u64 / 4;
+        if jitter_span == 0 {
+            return base;
+        }
+        let jitter = splitmix64(self.jitter_seed.wrapping_add(retry as u64)) % jitter_span;
+        base + Duration::from_nanos(jitter)
+    }
+
+    /// The full backoff schedule: delays before retries `1..max_attempts`.
+    pub fn schedule(&self) -> Vec<Duration> {
+        (1..self.max_attempts).map(|r| self.backoff(r)).collect()
+    }
+}
+
+/// SplitMix64 — the canonical 64-bit mixer; tiny, portable, and good
+/// enough to decorrelate jitter across retries.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One attempt's record, reported to the `on_retry` observer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryEvent<E> {
+    /// 1-based attempt number that just failed.
+    pub attempt: u32,
+    /// The failure.
+    pub error: E,
+    /// How it was classified.
+    pub class: ErrorClass,
+    /// The backoff that will be slept before the next attempt (`None`
+    /// when no further attempt will be made).
+    pub backoff: Option<Duration>,
+}
+
+/// Runs `body` under `policy`: retries transient failures with the
+/// deterministic backoff schedule, never retries permanent ones.
+///
+/// `classify` maps an error to its [`ErrorClass`]; `on_retry` observes
+/// every failed attempt (journaling hook) *before* the backoff sleep;
+/// `sleep` performs the backoff wait, letting callers substitute a
+/// cancellation-aware or virtual clock (return `false` to abort the
+/// retry loop, e.g. on cancellation).
+///
+/// # Errors
+///
+/// The last attempt's error when attempts are exhausted, the failure is
+/// permanent, or `sleep` aborts.
+pub fn run_with_retry<T, E>(
+    policy: &RetryPolicy,
+    mut body: impl FnMut(u32) -> Result<T, E>,
+    classify: impl Fn(&E) -> ErrorClass,
+    mut on_retry: impl FnMut(&RetryEvent<E>),
+    mut sleep: impl FnMut(Duration) -> bool,
+) -> Result<T, E>
+where
+    E: Clone,
+{
+    let attempts = policy.max_attempts.max(1);
+    let mut retry_no = 0u32;
+    for attempt in 1..=attempts {
+        match body(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let class = classify(&e);
+                let will_retry = class == ErrorClass::Transient && attempt < attempts;
+                let backoff = if will_retry {
+                    retry_no += 1;
+                    Some(policy.backoff(retry_no))
+                } else {
+                    None
+                };
+                on_retry(&RetryEvent { attempt, error: e.clone(), class, backoff });
+                match backoff {
+                    Some(d) => {
+                        if !sleep(d) {
+                            return Err(e);
+                        }
+                    }
+                    None => return Err(e),
+                }
+            }
+        }
+    }
+    unreachable!("loop returns on the final attempt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(40),
+            jitter_seed: 7,
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let p = policy();
+        let a = p.schedule();
+        let b = policy().schedule();
+        assert_eq!(a, b, "same policy, same schedule");
+        assert_eq!(a.len(), 3);
+        for (i, d) in a.iter().enumerate() {
+            let cap = Duration::from_millis(10 << i.min(2)).min(p.max_delay);
+            assert!(*d >= cap && *d < cap + cap / 4 + Duration::from_nanos(1), "retry {}: {d:?} outside [{cap:?}, cap+25%)", i + 1);
+        }
+        // Different seeds decorrelate.
+        let other = RetryPolicy { jitter_seed: 8, ..policy() }.schedule();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn transient_failures_retry_until_success() {
+        let mut observed = Vec::new();
+        let mut slept = Vec::new();
+        let res = run_with_retry(
+            &policy(),
+            |attempt| if attempt < 3 { Err(format!("flaky {attempt}")) } else { Ok(attempt) },
+            |_| ErrorClass::Transient,
+            |ev| observed.push((ev.attempt, ev.backoff)),
+            |d| {
+                slept.push(d);
+                true
+            },
+        );
+        assert_eq!(res, Ok(3));
+        assert_eq!(observed.len(), 2);
+        assert_eq!(slept, policy().schedule()[..2].to_vec());
+        assert!(observed.iter().all(|(_, b)| b.is_some()));
+    }
+
+    #[test]
+    fn permanent_failures_never_retry() {
+        let mut calls = 0;
+        let res: Result<(), _> = run_with_retry(
+            &policy(),
+            |_| {
+                calls += 1;
+                Err("miter inconsistent")
+            },
+            |_| ErrorClass::Permanent,
+            |ev| assert_eq!(ev.backoff, None),
+            |_| panic!("permanent errors must not sleep"),
+        );
+        assert_eq!(res, Err("miter inconsistent"));
+        assert_eq!(calls, 1, "exactly one attempt");
+    }
+
+    #[test]
+    fn exhausted_attempts_return_last_error() {
+        let mut calls = 0;
+        let res: Result<(), _> = run_with_retry(
+            &policy(),
+            |attempt| {
+                calls += 1;
+                Err(format!("fail {attempt}"))
+            },
+            |_| ErrorClass::Transient,
+            |_| {},
+            |_| true,
+        );
+        assert_eq!(res, Err("fail 4".to_string()));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn cancelled_sleep_aborts_the_loop() {
+        let mut calls = 0;
+        let res: Result<(), _> = run_with_retry(
+            &policy(),
+            |_| {
+                calls += 1;
+                Err("flaky")
+            },
+            |_| ErrorClass::Transient,
+            |_| {},
+            |_| false,
+        );
+        assert_eq!(res, Err("flaky"));
+        assert_eq!(calls, 1, "abort before the second attempt");
+    }
+
+    #[test]
+    fn single_attempt_policy_disables_retry() {
+        assert!(!RetryPolicy::default().enabled());
+        assert!(RetryPolicy::attempts(3).enabled());
+        assert!(RetryPolicy::default().schedule().is_empty());
+    }
+}

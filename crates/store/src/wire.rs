@@ -1,0 +1,175 @@
+//! The journal's record payload format: flat `kind key=value ...` events
+//! with percent-escaping, chosen over a binary layout so a half-written
+//! journal is still greppable during an incident.
+//!
+//! Values are arbitrary UTF-8 (multi-line report sections included);
+//! escaping confines `%`, `=`, whitespace and control bytes to `%XX`
+//! triples so records split unambiguously on single spaces and never
+//! contain a raw newline — the journal's framing owns the newlines.
+
+use std::fmt;
+
+/// A structured campaign event: a kind tag plus ordered `(key, value)`
+/// fields. Field order is preserved and duplicate keys are allowed (the
+/// decoder keeps all of them; [`Event::get`] returns the first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event kind, e.g. `unit_finished`. Lowercase identifier characters
+    /// only (enforced at encode time by escaping).
+    pub kind: String,
+    /// Ordered fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// A new event with no fields.
+    pub fn new(kind: impl Into<String>) -> Event {
+        Event { kind: kind.into(), fields: Vec::new() }
+    }
+
+    /// Adds a field (builder-style).
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<String>) -> Event {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// The first value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The first value under `key`, parsed.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.get(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Every value stored under `key`, in field order.
+    pub fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.fields.iter().filter(move |(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Encodes the event as a single escaped line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut s = escape(&self.kind);
+        for (k, v) in &self.fields {
+            s.push(' ');
+            s.push_str(&escape(k));
+            s.push('=');
+            s.push_str(&escape(v));
+        }
+        s
+    }
+
+    /// Decodes an event produced by [`Event::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an empty payload, a field without `=`, or a bad
+    /// escape sequence.
+    pub fn decode(payload: &str) -> Result<Event, WireError> {
+        let mut parts = payload.split(' ');
+        let kind = unescape(parts.next().unwrap_or(""))?;
+        if kind.is_empty() {
+            return Err(WireError("empty event kind".into()));
+        }
+        let mut fields = Vec::new();
+        for part in parts {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| WireError(format!("field without `=`: {part:?}")))?;
+            fields.push((unescape(k)?, unescape(v)?));
+        }
+        Ok(Event { kind, fields })
+    }
+}
+
+/// A payload that does not parse as an [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire format error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Whether a byte may appear verbatim in an encoded token. Conservative:
+/// everything that could collide with the `space`/`=`/newline structure
+/// (or render invisibly in a terminal) is escaped.
+fn plain(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b',' | b':' | b'/' | b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'<' | b'>' | b'|' | b'!' | b'?' | b'*' | b'+' | b'#' | b'@' | b'~' | b'^' | b'&' | b'$' | b'\'' | b'"' | b';')
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if plain(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push_str(&format!("{b:02X}"));
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, WireError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| WireError(format!("truncated escape in {s:?}")))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| WireError("non-UTF8 escape".into()))?;
+            let b = u8::from_str_radix(hex, 16)
+                .map_err(|_| WireError(format!("bad escape %{hex} in {s:?}")))?;
+            out.push(b);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| WireError("escaped payload is not UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_plain_fields() {
+        let e = Event::new("stage_finished")
+            .field("unit", "b05#s0")
+            .field("stage", "lock")
+            .field("outcome", "ok");
+        let back = Event::decode(&e.encode()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.get("stage"), Some("lock"));
+        assert_eq!(back.get_parsed::<u32>("missing"), None);
+    }
+
+    #[test]
+    fn roundtrips_hostile_values() {
+        let nasty = "multi\nline %= section\twith\r\0binary ≠ unicode";
+        let e = Event::new("unit_finished").field("payload", nasty).field("payload", "second");
+        let encoded = e.encode();
+        assert!(!encoded.contains('\n'), "framing owns newlines: {encoded:?}");
+        let back = Event::decode(&encoded).unwrap();
+        assert_eq!(back.get("payload"), Some(nasty));
+        assert_eq!(back.get_all("payload").count(), 2);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(Event::decode("").is_err());
+        assert!(Event::decode("kind fieldwithouteq").is_err());
+        assert!(Event::decode("kind a=%Z9").is_err());
+        assert!(Event::decode("kind a=%4").is_err());
+    }
+}

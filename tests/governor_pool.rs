@@ -95,6 +95,7 @@ proptest! {
             budget: RunBudget::unlimited()
                 .with_faults(FaultPlan::none().inject(stage, fault)),
             portfolio: None,
+            retry: rtlock_store::RetryPolicy::default(),
         };
 
         let token = CancelToken::unlimited();
@@ -116,6 +117,11 @@ proptest! {
             match status {
                 DesignStatus::Done(_) | DesignStatus::Cancelled(_) => {}
                 DesignStatus::Failed(err) => assert_structured(name, err),
+                DesignStatus::Replayed(r) => {
+                    return Err(TestCaseError::fail(format!(
+                        "design {name}: replayed status from a run with no journal: {r:?}"
+                    )));
+                }
                 DesignStatus::Panicked(msg) => {
                     return Err(TestCaseError::fail(format!(
                         "design {name}: panic escaped the governor into the pool \
@@ -127,10 +133,31 @@ proptest! {
 
         // An injected panic in particular must come back as the typed
         // StagePanic error attributed to the right stage — on every
-        // design that got far enough to run it.
+        // design that got far enough to run it. The lint gates are the
+        // exception: a panicking gate is skipped (degradation recorded,
+        // stage outcome `Panicked`), not a failed flow.
         if fault == Fault::Panic && cancel_delay_us.is_none() {
             for (name, status) in &report.designs {
                 match status {
+                    DesignStatus::Done(summary)
+                        if matches!(stage, Stage::PreLint | Stage::PostLint) =>
+                    {
+                        let outcome = summary
+                            .report
+                            .stage_outcomes
+                            .iter()
+                            .find(|o| o.stage == stage)
+                            .unwrap_or_else(|| panic!("{name}: no outcome for {stage}"));
+                        prop_assert!(
+                            matches!(
+                                &outcome.status,
+                                rtlock_repro::rtlock::governor::StageStatus::Panicked(_)
+                            ),
+                            "{}: lint-gate panic not recorded in stage outcomes: {:?}",
+                            name,
+                            outcome
+                        );
+                    }
                     DesignStatus::Failed(LockError::StagePanic { stage: s, .. }) => {
                         prop_assert_eq!(*s, stage, "{}: panic attributed to wrong stage", name);
                     }

@@ -74,6 +74,7 @@ fn catalog_job(designs: u8, portfolio: Option<PortfolioConfig>) -> CatalogJob {
             .collect(),
         budget: RunBudget::unlimited(),
         portfolio,
+        retry: rtlock_store::RetryPolicy::default(),
     }
 }
 
