@@ -6,6 +6,8 @@
 //! * [`ml`] — the oracle-less SWEEP (supervised) and SCOPE (unsupervised)
 //!   constant-propagation attacks;
 //! * [`removal`] — SPS-based point-function removal analysis;
+//! * [`prune`] — dataflow-guided key-space partitioning for the SAT
+//!   attack and taint-justified removal candidates;
 //! * [`bypass`] — bypass-attack cost estimation;
 //! * [`portfolio`] — deterministic parallel portfolio racing the suite
 //!   under one budget;
@@ -46,6 +48,7 @@ pub mod features;
 pub mod ml;
 pub mod oracle;
 pub mod portfolio;
+pub mod prune;
 pub mod removal;
 pub mod sat_attack;
 
@@ -57,5 +60,6 @@ pub use portfolio::{
     portfolio_attack, portfolio_attack_resumable, portfolio_attack_sequential, MemberOutcome,
     PortfolioConfig, PortfolioMember, PortfolioTarget, PortfolioVerdict, ReplayedMember,
 };
+pub use prune::{dataflow_removal_candidates, sat_attack_pruned, PrunedAttack, RemovalJustification};
 pub use removal::{removal_attack, RemovalOutcome};
 pub use sat_attack::{apply_key, key_accuracy, sat_attack, AttackConfig, AttackOutcome};

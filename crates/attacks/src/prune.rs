@@ -1,0 +1,265 @@
+//! Dataflow-guided SAT key-space pruning (divide-and-conquer) and
+//! taint-justified removal candidates.
+//!
+//! The `rtlock-dataflow` key-taint fixpoint partitions the key bits by
+//! the observation points they can influence: bits in different
+//! partitions never co-taint an output, so their key constraints are
+//! independent and the SAT attack can solve each partition against its
+//! own output slice — `2^(a+b)` key space becomes `2^a + 2^b`. Bits that
+//! taint no observable net at all are *prunable*: no oracle query can
+//! constrain them, so any value is functionally correct and the attack
+//! fixes them without a single solver call.
+//!
+//! The same analysis justifies removal candidates: every gate tainted by
+//! a prunable key bit sits in a cone no output or scan cell observes, so
+//! cutting the whole cone provably preserves observable behavior — a
+//! structural counterpart to the probabilistic SPS analysis in
+//! [`crate::removal`].
+
+use crate::sat_attack::{sat_attack, AttackConfig, AttackOutcome};
+use rtlock_dataflow::analyze_netlist;
+use rtlock_netlist::{GateId, Netlist};
+use std::time::Duration;
+
+/// Result of a dataflow-pruned SAT attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunedAttack {
+    /// The merged attack verdict. [`AttackOutcome::KeyFound`] carries the
+    /// full-width key (pruned bits hardwired to `false`) and the summed
+    /// iteration/elapsed totals across partitions.
+    pub outcome: AttackOutcome,
+    /// Key-bit partitions attacked independently (taint-disjoint at every
+    /// observation point), each sorted ascending.
+    pub partitions: Vec<Vec<usize>>,
+    /// Key bits fixed without solving: no output- or scan-observable net
+    /// depends on them.
+    pub pruned_bits: Vec<usize>,
+}
+
+/// Runs the SAT attack with dataflow pruning: prunable key bits are fixed
+/// for free, and each taint partition is attacked against only the
+/// outputs it can influence (other partitions hardwired to `false`).
+///
+/// Falls back to the plain [`sat_attack`] when the analysis finds a
+/// single partition and nothing prunable — the pruned attack is then
+/// byte-for-byte the unpruned one. Soundness of the split: an output
+/// untainted by a key bit is provably independent of it, so constraining
+/// a partition's bits only needs the outputs that partition taints, and
+/// the other partitions' values cannot matter there.
+pub fn sat_attack_pruned(
+    locked: &Netlist,
+    original: &Netlist,
+    config: &AttackConfig,
+) -> PrunedAttack {
+    if locked.key_inputs.is_empty() || !locked.dffs().is_empty() {
+        // Let the plain attack produce its own Infeasible verdict.
+        return PrunedAttack {
+            outcome: sat_attack(locked, original, config),
+            partitions: Vec::new(),
+            pruned_bits: Vec::new(),
+        };
+    }
+    let analysis = analyze_netlist(locked);
+    let pruned_bits = analysis.prunable_keys.clone();
+    let partitions: Vec<Vec<usize>> = analysis
+        .partitions
+        .iter()
+        .map(|p| p.iter().copied().filter(|b| !pruned_bits.contains(b)).collect::<Vec<usize>>())
+        .filter(|p| !p.is_empty())
+        .collect();
+
+    if partitions.len() <= 1 && pruned_bits.is_empty() {
+        return PrunedAttack {
+            outcome: sat_attack(locked, original, config),
+            partitions,
+            pruned_bits,
+        };
+    }
+
+    let mut key = vec![false; locked.key_inputs.len()];
+    let mut iterations = 0usize;
+    let mut elapsed = Duration::ZERO;
+    for part in &partitions {
+        // Restrict to this partition: hardwire every other key bit (the
+        // kept outputs are independent of them) and keep only outputs the
+        // partition taints. Gate ids stay stable until the final sweep,
+        // so the analysis's taint rows remain valid while filtering.
+        let mut sub = locked.clone();
+        let kins = sub.key_inputs.clone();
+        for (bit, &kg) in kins.iter().enumerate() {
+            if !part.contains(&bit) {
+                sub.convert_input_to_const(kg, false);
+            }
+        }
+        sub.retain_outputs(|_, drv| part.iter().any(|&b| analysis.is_tainted_by(drv, b)));
+        sub.sweep_dead();
+        match sat_attack(&sub, original, config) {
+            AttackOutcome::KeyFound { key: sub_key, iterations: it, elapsed: el } => {
+                for (&bit, &v) in part.iter().zip(&sub_key) {
+                    key[bit] = v;
+                }
+                iterations += it;
+                elapsed += el;
+            }
+            AttackOutcome::TimedOut { iterations: it, elapsed: el } => {
+                return PrunedAttack {
+                    outcome: AttackOutcome::TimedOut {
+                        iterations: iterations + it,
+                        elapsed: elapsed + el,
+                    },
+                    partitions,
+                    pruned_bits,
+                };
+            }
+            other => {
+                return PrunedAttack { outcome: other, partitions, pruned_bits };
+            }
+        }
+    }
+    PrunedAttack {
+        outcome: AttackOutcome::KeyFound { key, iterations, elapsed },
+        partitions,
+        pruned_bits,
+    }
+}
+
+/// One taint-justified removal candidate: a key bit no observation point
+/// depends on, together with its full tainted cone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovalJustification {
+    /// The prunable key bit (index into `key_inputs`).
+    pub key_bit: usize,
+    /// The key input gate itself.
+    pub key_input: GateId,
+    /// Every gate the bit taints (the removable cone), sorted by id. None
+    /// of these reach an output or a scan cell, so deleting the cone and
+    /// the key input preserves all observable behavior.
+    pub cone: Vec<GateId>,
+}
+
+/// Lists removal candidates the key-taint fixpoint *proves* safe: for
+/// each prunable key bit, the gates it taints form a cone invisible to
+/// every output and scan cell. Unlike the probabilistic skew analysis in
+/// [`crate::removal`], these candidates need no oracle validation — the
+/// justification is the absence of any observable taint path.
+pub fn dataflow_removal_candidates(locked: &Netlist) -> Vec<RemovalJustification> {
+    let analysis = analyze_netlist(locked);
+    analysis
+        .prunable_keys
+        .iter()
+        .map(|&bit| RemovalJustification {
+            key_bit: bit,
+            key_input: locked.key_inputs[bit],
+            cone: locked.ids().filter(|&g| analysis.is_tainted_by(g, bit)).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat_attack::key_accuracy;
+    use rtlock_netlist::GateKind;
+
+    /// Two key bits locking disjoint output cones, plus one dangling key
+    /// bit whose cone feeds nothing.
+    fn partitioned_locked() -> (Netlist, Netlist) {
+        let mut orig = Netlist::new("orig");
+        let a = orig.add_input("a");
+        let b = orig.add_input("b");
+        let c = orig.add_input("c");
+        let y0 = orig.add_gate(GateKind::And, vec![a, b]);
+        let y1 = orig.add_gate(GateKind::Or, vec![b, c]);
+        orig.add_output("y0", y0);
+        orig.add_output("y1", y1);
+
+        let mut locked = Netlist::new("locked");
+        let a = locked.add_input("a");
+        let b = locked.add_input("b");
+        let c = locked.add_input("c");
+        let keys: Vec<_> = (0..3)
+            .map(|i| {
+                let k = locked.add_input(format!("keyinput{i}"));
+                locked.mark_key_input(k);
+                k
+            })
+            .collect();
+        let g0 = locked.add_gate(GateKind::And, vec![a, b]);
+        let y0 = locked.add_gate(GateKind::Xnor, vec![g0, keys[0]]); // correct key bit 0 = 1
+        let g1 = locked.add_gate(GateKind::Or, vec![b, c]);
+        let y1 = locked.add_gate(GateKind::Xor, vec![g1, keys[1]]); // correct key bit 1 = 0
+        // Dangling cone: key bit 2 taints a gate nothing reads.
+        let _dead = locked.add_gate(GateKind::Xor, vec![a, keys[2]]);
+        locked.add_output("y0", y0);
+        locked.add_output("y1", y1);
+        (locked, orig)
+    }
+
+    #[test]
+    fn pruned_attack_splits_partitions_and_fixes_dangling_bits() {
+        let (locked, orig) = partitioned_locked();
+        let out = sat_attack_pruned(&locked, &orig, &AttackConfig::default());
+        assert_eq!(out.pruned_bits, vec![2], "dangling bit pruned");
+        assert_eq!(out.partitions, vec![vec![0], vec![1]], "disjoint cones split");
+        match &out.outcome {
+            AttackOutcome::KeyFound { key, .. } => {
+                assert_eq!(key.len(), 3);
+                assert_eq!(
+                    key_accuracy(&locked, &orig, key, 64, 11),
+                    1.0,
+                    "merged key is functionally correct: {key:?}"
+                );
+            }
+            other => panic!("expected a key, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_partition_falls_back_to_the_plain_attack() {
+        // One key bit entangled with the only output: nothing to split.
+        let mut orig = Netlist::new("o");
+        let a = orig.add_input("a");
+        let b = orig.add_input("b");
+        let g = orig.add_gate(GateKind::And, vec![a, b]);
+        orig.add_output("y", g);
+        let mut locked = Netlist::new("l");
+        let a = locked.add_input("a");
+        let b = locked.add_input("b");
+        let k = locked.add_input("keyinput0");
+        locked.mark_key_input(k);
+        let g = locked.add_gate(GateKind::And, vec![a, b]);
+        let y = locked.add_gate(GateKind::Xor, vec![g, k]);
+        locked.add_output("y", y);
+        let pruned = sat_attack_pruned(&locked, &orig, &AttackConfig::default());
+        let plain = sat_attack(&locked, &orig, &AttackConfig::default());
+        assert!(pruned.pruned_bits.is_empty());
+        assert_eq!(pruned.partitions.len(), 1);
+        match (&pruned.outcome, &plain) {
+            (
+                AttackOutcome::KeyFound { key: kp, .. },
+                AttackOutcome::KeyFound { key: ku, .. },
+            ) => assert_eq!(kp, ku),
+            other => panic!("expected keys from both, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removal_candidates_cover_exactly_the_unobservable_cones() {
+        let (locked, _) = partitioned_locked();
+        let just = dataflow_removal_candidates(&locked);
+        assert_eq!(just.len(), 1);
+        assert_eq!(just[0].key_bit, 2);
+        assert_eq!(just[0].key_input, locked.key_inputs[2]);
+        // The cone is the key input plus the dangling XOR; no logic in it
+        // reaches an output (the key input itself is a primary input, and
+        // those are live by definition).
+        let live = locked.live_set();
+        for &g in &just[0].cone {
+            if g == just[0].key_input {
+                continue;
+            }
+            assert!(!live[g.index()], "justified cone gate {g} is observable");
+        }
+        assert_eq!(just[0].cone.len(), 2, "key input + dangling XOR");
+    }
+}

@@ -1,0 +1,104 @@
+//! Static-analysis benchmark: full-catalog lint plus dataflow fixpoint
+//! timings, recorded as `BENCH_lint.json`.
+//!
+//! For every selected design the harness elaborates and optimizes the
+//! reference netlist, then times (a) the whole-design dataflow fixpoint
+//! (`rtlock_dataflow::analyze_netlist` — key-taint, ternary constants,
+//! scan reachability) and (b) a full standalone lint over both views.
+//! Each measurement is the best of `RTLOCK_BENCH_REPS` repetitions
+//! (default 3) so the numbers track the analysis cost, not scheduler
+//! noise. The JSON also records gate counts and finding totals so a CI
+//! diff shows *what* changed, not just how fast.
+//!
+//! Knobs: `RTLOCK_DESIGNS` (default `all` for this harness),
+//! `RTLOCK_BENCH_REPS` (default 3), `RTLOCK_BENCH_OUT` output path
+//! (default `BENCH_lint.json`).
+
+use rtlock_bench::selected_designs;
+use rtlock_lint::{lint, LintPhase, LintTarget, Severity};
+use rtlock_synth::{elaborate, optimize};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    if std::env::var("RTLOCK_DESIGNS").is_err() {
+        std::env::set_var("RTLOCK_DESIGNS", "all");
+    }
+    let designs = selected_designs();
+    let reps: usize =
+        std::env::var("RTLOCK_BENCH_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    let out_path = std::env::var("RTLOCK_BENCH_OUT").unwrap_or_else(|_| "BENCH_lint.json".into());
+
+    let best_of = |reps: usize, mut f: Box<dyn FnMut() + '_>| -> f64 {
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    eprintln!("lint bench: {} designs, best of {reps} reps", designs.len());
+    let mut rows = Vec::new();
+    for name in &designs {
+        let bench = rtlock_designs::by_name(name)
+            .unwrap_or_else(|| panic!("unknown design `{name}`"));
+        let module = bench.module().expect("benchmarks parse");
+        let mut netlist = elaborate(&module).expect("benchmarks synthesize");
+        optimize(&mut netlist);
+        rtlock::transforms::mark_key_inputs(&mut netlist);
+        let gates = netlist.ids().count();
+
+        let analyze_ms = best_of(
+            reps,
+            Box::new(|| {
+                std::hint::black_box(rtlock_dataflow::analyze_netlist(&netlist));
+            }),
+        );
+
+        let target = LintTarget::full(&module, &netlist).with_phase(LintPhase::Standalone);
+        let report = lint(&target);
+        let lint_ms = best_of(
+            reps,
+            Box::new(|| {
+                std::hint::black_box(lint(&target));
+            }),
+        );
+
+        eprintln!(
+            "  {name}: {gates} gates, analyze {analyze_ms:.2} ms, lint {lint_ms:.2} ms, \
+             {} deny / {} warn / {} info",
+            report.deny_count(),
+            report.count(Severity::Warn),
+            report.count(Severity::Info),
+        );
+        rows.push((
+            name.clone(),
+            gates,
+            analyze_ms,
+            lint_ms,
+            report.deny_count(),
+            report.count(Severity::Warn),
+            report.count(Severity::Info),
+        ));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"lint_catalog\",\n");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"designs\": [\n");
+    for (i, (name, gates, analyze_ms, lint_ms, deny, warn, info)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{name}\", \"gates\": {gates}, \
+             \"analyze_ms\": {analyze_ms:.3}, \"lint_ms\": {lint_ms:.3}, \
+             \"deny\": {deny}, \"warn\": {warn}, \"info\": {info}}}"
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    rtlock_store::atomic_write(&out_path, &json).expect("write BENCH_lint.json");
+    eprintln!("wrote {out_path}");
+}

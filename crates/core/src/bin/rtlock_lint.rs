@@ -1,25 +1,33 @@
 //! `rtlock-lint` — standalone front end for the static analysis engine.
 //!
 //! ```text
-//! rtlock-lint [--format text|json] [--all-designs] [--list-rules] [files...]
+//! rtlock-lint [--format text|json|sarif] [--rule ID[,ID]] [--all-designs]
+//!             [--list-rules] [files...]
 //! ```
 //!
 //! `.v` inputs are parsed (parse errors become `P001` diagnostics in the
 //! same report format) and, when elaboration succeeds, linted with both
 //! the RTL and netlist views so every rule group runs. `.bench` inputs
 //! are linted at the gate level only. `--all-designs` lints the bundled
-//! benchmark catalog. Exit status: 0 when no `Deny` findings, 1 when any
-//! input has one, 2 on usage errors.
+//! benchmark catalog. `--rule` restricts the run to the listed rule ids
+//! (repeatable, comma-separated); unknown ids are usage errors. With
+//! `--format sarif` all reports are folded into one SARIF 2.1.0 document
+//! on stdout. Exit status: 0 when no `Deny` findings, 1 when any input
+//! has one, 2 on usage errors (unknown flag, unknown rule id, unreadable
+//! file).
 
-use rtlock_lint::{lint, Diagnostic, LintPhase, LintReport, LintTarget};
+use rtlock_governor::CancelToken;
+use rtlock_lint::{lint_selected_bounded, Diagnostic, LintPhase, LintReport, LintTarget};
 use rtlock_netlist::from_bench;
 use rtlock_rtl::Module;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rtlock-lint [--format text|json] [--all-designs] [--list-rules] [files...]\n\
-         \x20   files: Verilog (.v) or ISCAS-89 (.bench)"
+        "usage:\n  rtlock-lint [--format text|json|sarif] [--rule ID[,ID]] [--all-designs]\n\
+         \x20             [--list-rules] [files...]\n\
+         \x20   files: Verilog (.v) or ISCAS-89 (.bench)\n\
+         \x20   exit status: 0 = clean, 1 = at least one Deny finding, 2 = usage error"
     );
     ExitCode::from(2)
 }
@@ -27,12 +35,41 @@ fn usage() -> ExitCode {
 enum Format {
     Text,
     Json,
+    Sarif,
+}
+
+/// The `--rule` filter: `None` means every rule runs.
+struct RuleFilter(Option<Vec<String>>);
+
+impl RuleFilter {
+    fn selects(&self, id: &str) -> bool {
+        match &self.0 {
+            None => true,
+            Some(ids) => ids.iter().any(|r| r == id),
+        }
+    }
+
+    /// Adds the comma-separated ids in `arg`, rejecting unknown ones.
+    fn add(&mut self, arg: &str) -> Result<(), String> {
+        let catalog = rtlock_lint::rule_catalog();
+        let ids = self.0.get_or_insert_with(Vec::new);
+        for id in arg.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if !catalog.iter().any(|(rid, _, _)| *rid == id) {
+                return Err(format!("unknown rule id `{id}` (see --list-rules)"));
+            }
+            if !ids.iter().any(|r| r == id) {
+                ids.push(id.to_owned());
+            }
+        }
+        Ok(())
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut format = Format::Text;
     let mut all_designs = false;
+    let mut filter = RuleFilter(None);
     let mut files: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -41,7 +78,16 @@ fn main() -> ExitCode {
                 match args.get(i + 1).map(String::as_str) {
                     Some("text") => format = Format::Text,
                     Some("json") => format = Format::Json,
+                    Some("sarif") => format = Format::Sarif,
                     _ => return usage(),
+                }
+                i += 2;
+            }
+            "--rule" => {
+                let Some(arg) = args.get(i + 1) else { return usage() };
+                if let Err(e) = filter.add(arg) {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
                 }
                 i += 2;
             }
@@ -67,7 +113,9 @@ fn main() -> ExitCode {
     }
 
     let mut any_deny = false;
-    let mut emit = |name: &str, report: &LintReport| {
+    let mut sarif_inputs: Vec<(String, LintReport)> = Vec::new();
+    let mut emit = |name: &str, report: LintReport| {
+        any_deny |= !report.is_clean();
         match format {
             Format::Text => {
                 print!("== {name} ==\n{}", report.to_text());
@@ -80,20 +128,20 @@ fn main() -> ExitCode {
                     report.to_json()
                 );
             }
+            Format::Sarif => sarif_inputs.push((name.to_owned(), report)),
         }
-        any_deny |= !report.is_clean();
     };
 
     if all_designs {
         for b in rtlock_designs::catalog() {
             match b.module() {
                 Ok(m) => {
-                    let report = lint_module(&m);
-                    emit(b.name, &report);
+                    let report = lint_module(&m, &filter);
+                    emit(b.name, report);
                 }
                 Err(e) => {
                     let report = parse_failure_report(Diagnostic::from(&e));
-                    emit(b.name, &report);
+                    emit(b.name, report);
                 }
             }
         }
@@ -110,17 +158,21 @@ fn main() -> ExitCode {
             match from_bench(&src) {
                 Ok(n) => {
                     let target = LintTarget::gates(&n).with_phase(LintPhase::Standalone);
-                    lint(&target)
+                    lint_filtered(&target, &filter)
                 }
                 Err(e) => parse_failure_report(Diagnostic::from(&e)),
             }
         } else {
             match rtlock_rtl::parse(&src) {
-                Ok(m) => lint_module(&m),
+                Ok(m) => lint_module(&m, &filter),
                 Err(e) => parse_failure_report(Diagnostic::from(&e)),
             }
         };
-        emit(path, &report);
+        emit(path, report);
+    }
+
+    if matches!(format, Format::Sarif) {
+        println!("{}", rtlock_lint::diag::to_sarif(&sarif_inputs));
     }
 
     if any_deny {
@@ -130,18 +182,22 @@ fn main() -> ExitCode {
     }
 }
 
+fn lint_filtered(target: &LintTarget<'_>, filter: &RuleFilter) -> LintReport {
+    lint_selected_bounded(target, &CancelToken::unlimited(), |id| filter.selects(id))
+}
+
 /// Lints a parsed module with both views when it elaborates; RTL-only
 /// (plus an `E001` note) when it does not.
-fn lint_module(m: &Module) -> LintReport {
+fn lint_module(m: &Module, filter: &RuleFilter) -> LintReport {
     match rtlock_synth::elaborate(m) {
         Ok(mut n) => {
             rtlock::transforms::mark_key_inputs(&mut n);
             let target = LintTarget::full(m, &n).with_phase(LintPhase::Standalone);
-            lint(&target)
+            lint_filtered(&target, filter)
         }
         Err(e) => {
             let target = LintTarget::rtl(m).with_phase(LintPhase::Standalone);
-            let mut report = lint(&target);
+            let mut report = lint_filtered(&target, filter);
             report.diagnostics.push(Diagnostic {
                 rule: "E001",
                 severity: rtlock_lint::Severity::Warn,

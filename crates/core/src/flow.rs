@@ -9,7 +9,7 @@ use crate::scan_lock::{insert_scan_lock, ScanLockConfig, ScanPolicy};
 use crate::select::{select_greedy, select_ilp_bounded, SelectOutcome, SelectionSpec};
 use crate::transforms::{apply_all, inject_sabotage, mark_key_inputs, KeyAllocator};
 use crate::verify::{try_cosim_bounded, try_wrong_key_corruption, CorruptionOutcome, CosimOutcome};
-use rtlock_lint::{lint_bounded, Diagnostic, LintPhase, LintReport, LintTarget};
+use rtlock_lint::{lint_selected_bounded, Diagnostic, LintPhase, LintReport, LintTarget};
 use rtlock_netlist::Netlist;
 use rtlock_p1735::envelope::{protect, Grant};
 use rtlock_rtl::{print as print_rtl, Module};
@@ -82,7 +82,8 @@ pub enum LockError {
     },
     /// A lint gate found `Deny`-severity defects and aborted the flow.
     LintRejected {
-        /// Which gate rejected ([`Stage::PreLint`] or [`Stage::PostLint`]).
+        /// Which gate rejected ([`Stage::PreLint`], [`Stage::PostLint`],
+        /// or the dataflow [`Stage::Analyze`] gate).
         stage: Stage,
         /// The `Deny` findings (the full report, warnings included, is on
         /// [`FlowReport`] when the flow returns one).
@@ -171,8 +172,15 @@ pub struct FlowReport {
     /// Pre-lock lint gate report (`None` when the gate was skipped by a
     /// fault injection or an exhausted budget).
     pub pre_lint: Option<LintReport>,
-    /// Post-lock lint gate report (`None` when skipped).
+    /// Post-lock lint gate report (`None` when skipped). Findings already
+    /// present in the pre-lock report are deduplicated away — only what
+    /// the lock introduced remains.
     pub post_lint: Option<LintReport>,
+    /// Whole-design dataflow analysis report — the `K` rules over the
+    /// locked netlist's key-taint, constant/X, and scan-reachability
+    /// fixpoints (`None` when the stage was skipped). Deduplicated
+    /// against both lint gates.
+    pub analysis: Option<LintReport>,
     /// Terminal status of every stage that executed, in flow order — a
     /// tolerated stage panic appears here with its captured payload
     /// message, not just as a generic flag.
@@ -327,8 +335,8 @@ pub fn lock(module: &Module, config: &RtlLockConfig) -> Result<LockedDesign, Loc
 
 /// Runs the complete RTLock flow under a [`RunBudget`].
 ///
-/// Every stage — the seven locking steps plus the two lint gates —
-/// executes through the
+/// Every stage — the seven locking steps, the two lint gates, and the
+/// final dataflow analysis gate — executes through the
 /// [`Governor`](crate::governor::Governor): its body is panic-isolated
 /// (a panic becomes [`LockError::StagePanic`]), it polls a cancel token
 /// tightened to the stage's soft deadline, and when a budget fires the
@@ -387,7 +395,7 @@ pub fn lock_governed(
             Err(_) => LintTarget::rtl(module),
         }
         .with_phase(LintPhase::PreLock);
-        Ok(Some(lint_bounded(&target, token)))
+        Ok(Some(lint_selected_bounded(&target, token, |id| !id.starts_with('K'))))
     }) {
         Ok(rep) => rep,
         Err(LockError::StagePanic { message, .. }) => {
@@ -549,9 +557,11 @@ pub fn lock_governed(
     // Post-lock lint gate: key- and scan-aware rules over the locked
     // design. Skipped (with a recorded degradation) when the budget is
     // already exhausted — synthesizing the locked netlist is not free.
+    // The dataflow `K` rules are excluded here: they run in their own
+    // governed `analyze` stage below.
     let skip_post = gov.fault_plan().has(Stage::PostLint, Fault::EmptyResult);
     let mut post_panicked = false;
-    let post_lint = match gov.run_stage(Stage::PostLint, |token| {
+    let mut post_lint = match gov.run_stage(Stage::PostLint, |token| {
         if skip_post || token.should_stop().is_some() {
             return Ok(None);
         }
@@ -559,7 +569,7 @@ pub fn lock_governed(
         let target = LintTarget::full(&locked, &n)
             .with_phase(LintPhase::PostLock)
             .with_scan_locked(scan_policy.is_some());
-        Ok(Some(lint_bounded(&target, token)))
+        Ok(Some(lint_selected_bounded(&target, token, |id| !id.starts_with('K'))))
     }) {
         Ok(rep) => rep,
         Err(LockError::StagePanic { message, .. }) => {
@@ -591,6 +601,62 @@ pub fn lock_governed(
             },
         ),
     }
+    // Both gates run the same rules over overlapping views: keep only
+    // what the lock introduced on the post-lock report.
+    if let (Some(post), Some(pre)) = (post_lint.as_mut(), pre_lint.as_ref()) {
+        post.dedup_against(&[pre]);
+    }
+
+    // Dataflow analysis gate: the fixpoint-backed `K` rules (key taint,
+    // ternary constant propagation, scan reachability) over the locked
+    // design — the deepest and most expensive check, so it runs last and
+    // is skipped on an exhausted budget like the post-lock gate.
+    let skip_analyze = gov.fault_plan().has(Stage::Analyze, Fault::EmptyResult);
+    let mut analyze_panicked = false;
+    let mut analysis = match gov.run_stage(Stage::Analyze, |token| {
+        if skip_analyze || token.should_stop().is_some() {
+            return Ok(None);
+        }
+        let n = synthesize_locked(&locked, scan_policy.as_ref())?;
+        let target = LintTarget::full(&locked, &n)
+            .with_phase(LintPhase::Analyze)
+            .with_scan_locked(scan_policy.is_some());
+        Ok(Some(lint_selected_bounded(&target, token, |id| id.starts_with('K'))))
+    }) {
+        Ok(rep) => rep,
+        Err(LockError::StagePanic { message, .. }) => {
+            analyze_panicked = true;
+            gov.degrade(Stage::Analyze, format!("dataflow analysis panicked ({message}); stage skipped"));
+            None
+        }
+        Err(e) => return Err(e),
+    };
+    match &analysis {
+        Some(rep) => {
+            if !rep.skipped.is_empty() {
+                gov.degrade(
+                    Stage::Analyze,
+                    format!("{} dataflow rule(s) skipped past the deadline", rep.skipped.len()),
+                );
+            }
+            if !rep.is_clean() {
+                return Err(LockError::LintRejected { stage: Stage::Analyze, findings: rep.denials() });
+            }
+        }
+        None if analyze_panicked => {}
+        None => gov.degrade(
+            Stage::Analyze,
+            if skip_analyze {
+                "dataflow analysis skipped (injected empty result)"
+            } else {
+                "dataflow analysis skipped: budget exhausted"
+            },
+        ),
+    }
+    if let Some(rep) = analysis.as_mut() {
+        let earlier: Vec<&LintReport> = pre_lint.iter().chain(post_lint.iter()).collect();
+        rep.dedup_against(&earlier);
+    }
 
     let report = FlowReport {
         candidates_enumerated: candidates.len(),
@@ -605,6 +671,7 @@ pub fn lock_governed(
         partial_verification,
         pre_lint,
         post_lint,
+        analysis,
         stage_outcomes: gov.take_stage_outcomes(),
     };
     let applied_candidates = applied.iter().map(|&i| candidates[i].clone()).collect();

@@ -54,11 +54,15 @@ pub enum Stage {
     /// Post-lock lint gate: static analysis of the locked design (key and
     /// scan rules included) before it is handed back.
     PostLint,
+    /// Whole-design dataflow analysis gate: the fixpoint-backed `K` rules
+    /// (key taint, constant/X propagation, scan reachability) over the
+    /// locked netlist. The most expensive gate, so it runs last.
+    Analyze,
 }
 
 impl Stage {
     /// All stages, in flow order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Elaborate,
         Stage::PreLint,
         Stage::Enumerate,
@@ -68,6 +72,7 @@ impl Stage {
         Stage::Verify,
         Stage::ScanLock,
         Stage::PostLint,
+        Stage::Analyze,
     ];
 
     /// Stable lowercase name (used in reports and fault plans).
@@ -82,6 +87,7 @@ impl Stage {
             Stage::Verify => "verify",
             Stage::ScanLock => "scan_lock",
             Stage::PostLint => "post_lint",
+            Stage::Analyze => "analyze",
         }
     }
 }

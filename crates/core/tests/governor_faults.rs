@@ -62,10 +62,10 @@ fn injected_panic_at_every_stage_becomes_a_structured_error() {
     for stage in Stage::ALL {
         let out = lock_governed(&m, &quick(), &budget_with(stage, Fault::Panic));
         match (stage, out) {
-            // The lint gates are advisory machinery: a panic inside the
-            // linter degrades the run (with the captured payload message
-            // on the report) instead of failing a lockable design.
-            (Stage::PreLint | Stage::PostLint, Ok(out)) => {
+            // The lint/analysis gates are advisory machinery: a panic
+            // inside them degrades the run (with the captured payload
+            // message on the report) instead of failing a lockable design.
+            (Stage::PreLint | Stage::PostLint | Stage::Analyze, Ok(out)) => {
                 let deg = out
                     .report
                     .degradations
@@ -139,6 +139,11 @@ fn injected_timeout_at_every_stage_degrades_or_errors() {
                 assert!(out.report.degradations.iter().any(|d| d.stage == Stage::PostLint));
                 assert!(out.report.post_lint.is_none());
             }
+            // So does the dataflow analysis gate.
+            (Stage::Analyze, Ok(out)) => {
+                assert!(out.report.degradations.iter().any(|d| d.stage == Stage::Analyze));
+                assert!(out.report.analysis.is_none());
+            }
             (stage, other) => panic!("stage {stage}: unexpected outcome {other:?}"),
         }
     }
@@ -172,6 +177,10 @@ fn injected_empty_result_at_every_stage_is_handled() {
             (Stage::PostLint, Ok(out)) => {
                 assert!(out.report.post_lint.is_none());
                 assert!(out.report.degradations.iter().any(|d| d.stage == Stage::PostLint));
+            }
+            (Stage::Analyze, Ok(out)) => {
+                assert!(out.report.analysis.is_none());
+                assert!(out.report.degradations.iter().any(|d| d.stage == Stage::Analyze));
             }
             (stage, other) => panic!("stage {stage}: unexpected outcome {other:?}"),
         }

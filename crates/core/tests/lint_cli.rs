@@ -1,0 +1,80 @@
+//! Black-box tests for the `rtlock-lint` binary: rule filtering, SARIF
+//! output, and the documented exit-code contract (0 clean / 1 deny /
+//! 2 usage error).
+
+use std::io::Write;
+use std::process::Command;
+
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rtlock-lint")).args(args).output().expect("spawns")
+}
+
+fn write_tmp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtlock-lint-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("tmp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+/// The S001 fixture's bad half: a combinational loop, a `Deny` rule.
+fn bad_source() -> &'static str {
+    rtlock_designs::lint_fixtures()
+        .iter()
+        .find(|f| f.rule == "S001")
+        .expect("S001 fixture")
+        .bad
+}
+
+#[test]
+fn clean_input_exits_zero_and_denied_input_exits_one() {
+    let clean = write_tmp("clean.v", "module ok(input a, output y);\nassign y = a;\nendmodule\n");
+    let out = lint(&[clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let bad = write_tmp("loop.v", bad_source());
+    let out = lint(&[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn rule_filter_restricts_the_run() {
+    let bad = write_tmp("loop2.v", bad_source());
+    let path = bad.to_str().unwrap();
+    // S001 selected: the loop still denies.
+    let out = lint(&["--rule", "S001", path]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // Only an unrelated rule selected: the loop is invisible, exit 0.
+    let out = lint(&["--rule", "S004", path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // Comma lists work.
+    let out = lint(&["--rule", "S004,S001", path]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn unknown_rule_or_flag_is_a_usage_error() {
+    let out = lint(&["--rule", "Z999", "--all-designs"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown rule id"),
+        "{out:?}"
+    );
+    let out = lint(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = lint(&[]);
+    assert_eq!(out.status.code(), Some(2), "no inputs is a usage error: {out:?}");
+}
+
+#[test]
+fn sarif_output_is_one_document_with_rule_metadata() {
+    let bad = write_tmp("loop3.v", bad_source());
+    let out = lint(&["--format", "sarif", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "deny findings still drive the exit code: {out:?}");
+    let doc = String::from_utf8(out.stdout).expect("utf8");
+    assert!(doc.trim_start().starts_with('{'), "single JSON document:\n{doc}");
+    assert!(doc.contains("\"2.1.0\""), "SARIF version:\n{doc}");
+    assert!(doc.contains("\"S001\""), "rule id surfaces:\n{doc}");
+    assert!(doc.contains("\"error\""), "deny maps to error level:\n{doc}");
+}

@@ -1,0 +1,444 @@
+//! Gate-netlist dataflow: key taint, ternary constant propagation with
+//! per-key-bit cofactors, and scan-aware reachability, all driven by one
+//! deterministic worklist engine.
+
+use crate::taint::{TaintMatrix, UnionFind};
+use crate::ternary::{eval_gate, Ternary};
+use rtlock_governor::CancelToken;
+use rtlock_netlist::{GateId, GateKind, Netlist};
+use std::collections::VecDeque;
+
+/// How many worklist pops between `CancelToken` polls.
+const POLL_STRIDE: usize = 1024;
+
+/// Combined whole-netlist analysis results.
+///
+/// All vectors are indexed by [`GateId::index`] (a gate's output net is
+/// identified with the gate). Every field is the unique least fixed point
+/// of a monotone transfer system, so two runs over the same netlist are
+/// byte-identical regardless of thread or seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetAnalysis {
+    /// The netlist's key inputs, in `Netlist::key_inputs` order; taint bit
+    /// `i` refers to `keys[i]`.
+    pub keys: Vec<GateId>,
+    /// Per-net may-depend sets over key bits (forward taint, flip-flops
+    /// included: sequential dependence counts).
+    pub taint: TaintMatrix,
+    /// Per-net ternary value with *every* input and key bit `X`: a
+    /// `Zero`/`One` here is a proof of constancy under all valuations.
+    pub value: Vec<Ternary>,
+    /// Per key bit: ternary values with that bit pinned to 0 (everything
+    /// else `X`).
+    pub cofactor0: Vec<Vec<Ternary>>,
+    /// Per key bit: ternary values with that bit pinned to 1.
+    pub cofactor1: Vec<Vec<Ternary>>,
+    /// Backward reachability to an observation point (primary output or
+    /// scan-chain cell).
+    pub observable: Vec<bool>,
+    /// Forward reachability from a control point (primary input, key
+    /// input, or scan-chain cell).
+    pub controllable: Vec<bool>,
+    /// Key-bit indices grouped into taint-disjoint partitions: two bits
+    /// share a partition iff some observation point is tainted by both.
+    /// Every key bit appears exactly once; partitions are sorted by their
+    /// smallest member, members ascending.
+    pub partitions: Vec<Vec<usize>>,
+    /// Key-bit indices whose taint reaches no observation point: provably
+    /// removal-prunable (deleting the cone and the bit preserves all
+    /// observable behaviour).
+    pub prunable_keys: Vec<usize>,
+}
+
+/// Runs the full analysis with no budget.
+pub fn analyze_netlist(n: &Netlist) -> NetAnalysis {
+    analyze_netlist_bounded(n, &CancelToken::unlimited()).expect("unlimited token cannot fire")
+}
+
+/// Runs the full analysis, polling `token`; returns `None` (never a
+/// partial result) once the token fires.
+pub fn analyze_netlist_bounded(n: &Netlist, token: &CancelToken) -> Option<NetAnalysis> {
+    // A cyclic netlist only costs iteration order (speed), not soundness:
+    // every domain is monotone and finite, so the worklist still converges.
+    let order = n.topo_order().unwrap_or_else(|_| n.ids().collect());
+    let fanouts = n.fanouts();
+    let keys = n.key_inputs.clone();
+
+    let taint = taint_fixpoint(n, &order, &fanouts, &keys, token)?;
+    let value = ternary_fixpoint(n, &order, &fanouts, None, token)?;
+    let mut cofactor0 = Vec::with_capacity(keys.len());
+    let mut cofactor1 = Vec::with_capacity(keys.len());
+    for &k in &keys {
+        cofactor0.push(ternary_fixpoint(n, &order, &fanouts, Some((k, Ternary::Zero)), token)?);
+        cofactor1.push(ternary_fixpoint(n, &order, &fanouts, Some((k, Ternary::One)), token)?);
+    }
+    let observable = observability_fixpoint(n, &order, &fanouts, token)?;
+    let controllable = controllability_fixpoint(n, &order, &fanouts, token)?;
+
+    let (partitions, prunable_keys) = key_partitions(n, &keys, &taint, &observable);
+    Some(NetAnalysis {
+        keys,
+        taint,
+        value,
+        cofactor0,
+        cofactor1,
+        observable,
+        controllable,
+        partitions,
+        prunable_keys,
+    })
+}
+
+impl NetAnalysis {
+    /// The key-bit index of gate `g`, when `g` is a key input.
+    pub fn key_bit_of(&self, g: GateId) -> Option<usize> {
+        self.keys.iter().position(|&k| k == g)
+    }
+
+    /// `true` when net `g` may depend on key bit `bit`.
+    pub fn is_tainted_by(&self, g: GateId, bit: usize) -> bool {
+        self.taint.contains(g.index(), bit)
+    }
+
+    /// `true` when net `g` is provably independent of every key bit.
+    pub fn taint_is_empty(&self, g: GateId) -> bool {
+        self.taint.row_is_empty(g.index())
+    }
+
+    /// The key bits net `g` may depend on, ascending.
+    pub fn taint_bits(&self, g: GateId) -> Vec<usize> {
+        self.taint.ones(g.index())
+    }
+
+    /// The all-`X` abstract value of net `g`.
+    pub fn value_of(&self, g: GateId) -> Ternary {
+        self.value[g.index()]
+    }
+
+    /// The abstract value of net `g` with key bit `bit` pinned to 0 / 1.
+    pub fn cofactor_values(&self, bit: usize, g: GateId) -> (Ternary, Ternary) {
+        (self.cofactor0[bit][g.index()], self.cofactor1[bit][g.index()])
+    }
+
+    /// `true` when key bit `bit` taints at least one observation point.
+    pub fn key_observable(&self, bit: usize) -> bool {
+        !self.prunable_keys.contains(&bit)
+    }
+}
+
+/// Deterministic worklist driver.
+///
+/// Seeds the queue with `seed` (typically a topological order), then
+/// repeatedly pops a node, applies `update`, and re-enqueues the node's
+/// `succ` edges when the fact changed. Facts must be monotone over a
+/// finite lattice. Returns `false` when `token` fires mid-run.
+fn worklist<F>(seed: &[GateId], succ: &[Vec<GateId>], token: &CancelToken, mut update: F) -> bool
+where
+    F: FnMut(GateId) -> bool,
+{
+    if token.should_stop().is_some() {
+        return false;
+    }
+    let n = succ.len();
+    let mut queue: VecDeque<GateId> = seed.iter().copied().collect();
+    let mut in_queue = vec![true; n];
+    let mut pops = 0usize;
+    while let Some(g) = queue.pop_front() {
+        in_queue[g.index()] = false;
+        pops += 1;
+        if pops.is_multiple_of(POLL_STRIDE) && token.should_stop().is_some() {
+            return false;
+        }
+        if update(g) {
+            for &s in &succ[g.index()] {
+                if !in_queue[s.index()] {
+                    in_queue[s.index()] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+    true
+}
+
+fn taint_fixpoint(
+    n: &Netlist,
+    order: &[GateId],
+    fanouts: &[Vec<GateId>],
+    keys: &[GateId],
+    token: &CancelToken,
+) -> Option<TaintMatrix> {
+    let mut taint = TaintMatrix::new(n.len(), keys.len());
+    for (bit, &k) in keys.iter().enumerate() {
+        taint.set(k.index(), bit);
+    }
+    let done = worklist(order, fanouts, token, |g| {
+        let gate = n.gate(g);
+        if gate.fanin.is_empty() {
+            return false; // inputs and constants are fixed sources
+        }
+        let mut changed = false;
+        for &f in &gate.fanin {
+            changed |= taint.union_rows(g.index(), f.index());
+        }
+        changed
+    });
+    done.then_some(taint)
+}
+
+fn ternary_fixpoint(
+    n: &Netlist,
+    order: &[GateId],
+    fanouts: &[Vec<GateId>],
+    pin: Option<(GateId, Ternary)>,
+    token: &CancelToken,
+) -> Option<Vec<Ternary>> {
+    let mut values = vec![Ternary::X; n.len()];
+    for g in n.ids() {
+        values[g.index()] = match n.gate(g).kind {
+            GateKind::Const0 => Ternary::Zero,
+            GateKind::Const1 => Ternary::One,
+            GateKind::Dff { init } => Ternary::from_bool(init),
+            _ => Ternary::X, // inputs stay X; logic is overwritten below
+        };
+    }
+    if let Some((g, v)) = pin {
+        values[g.index()] = v;
+    }
+    // Logic gates start at X but are *recomputed* (not joined) from their
+    // fanin on every visit, and the seed visits every gate once in topo
+    // order; only flip-flops join (init ⊔ D), which is where monotonicity
+    // is needed for the feedback edges.
+    let done = worklist(order, fanouts, token, |g| {
+        let gate = n.gate(g);
+        let new = match gate.kind {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => return false,
+            GateKind::Dff { init } => {
+                values[g.index()].join(Ternary::from_bool(init)).join(values[gate.fanin[0].index()])
+            }
+            kind => eval_gate(kind, &gate.fanin, &values),
+        };
+        if new != values[g.index()] {
+            values[g.index()] = new;
+            true
+        } else {
+            false
+        }
+    });
+    done.then_some(values)
+}
+
+fn observability_fixpoint(
+    n: &Netlist,
+    order: &[GateId],
+    fanouts: &[Vec<GateId>],
+    token: &CancelToken,
+) -> Option<Vec<bool>> {
+    let mut obs = vec![false; n.len()];
+    for (_, drv) in n.outputs() {
+        obs[drv.index()] = true;
+    }
+    for &cell in &n.scan_chain {
+        obs[cell.index()] = true;
+    }
+    // Backward: a net is observable when any reader is. Successor edges
+    // for requeueing are therefore the *fanin* of a changed gate.
+    let fanins: Vec<Vec<GateId>> = n.ids().map(|g| n.gate(g).fanin.clone()).collect();
+    let seed: Vec<GateId> = order.iter().rev().copied().collect();
+    let done = worklist(&seed, &fanins, token, |g| {
+        if obs[g.index()] {
+            return false;
+        }
+        if fanouts[g.index()].iter().any(|s| obs[s.index()]) {
+            obs[g.index()] = true;
+            true
+        } else {
+            false
+        }
+    });
+    done.then_some(obs)
+}
+
+fn controllability_fixpoint(
+    n: &Netlist,
+    order: &[GateId],
+    fanouts: &[Vec<GateId>],
+    token: &CancelToken,
+) -> Option<Vec<bool>> {
+    let mut ctl = vec![false; n.len()];
+    for &i in n.inputs() {
+        ctl[i.index()] = true;
+    }
+    for &cell in &n.scan_chain {
+        ctl[cell.index()] = true; // scan shift-in sets the cell state
+    }
+    let done = worklist(order, fanouts, token, |g| {
+        if ctl[g.index()] {
+            return false;
+        }
+        let gate = n.gate(g);
+        if !gate.fanin.is_empty() && gate.fanin.iter().any(|f| ctl[f.index()]) {
+            ctl[g.index()] = true;
+            true
+        } else {
+            false
+        }
+    });
+    done.then_some(ctl)
+}
+
+/// Groups key bits by shared observation points and lists the bits no
+/// observation point depends on.
+fn key_partitions(
+    n: &Netlist,
+    keys: &[GateId],
+    taint: &TaintMatrix,
+    observable: &[bool],
+) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let mut uf = UnionFind::new(keys.len());
+    let mut points: Vec<GateId> = n.outputs().iter().map(|&(_, d)| d).collect();
+    points.extend(n.scan_chain.iter().copied());
+    for p in points {
+        let bits = taint.ones(p.index());
+        for pair in bits.windows(2) {
+            uf.union(pair[0], pair[1]);
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); keys.len()];
+    for bit in 0..keys.len() {
+        let root = uf.find(bit);
+        groups[root].push(bit);
+    }
+    let partitions: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+
+    let words = keys.len().div_ceil(64).max(1);
+    let mut seen = vec![0u64; words];
+    for g in n.ids() {
+        if observable[g.index()] {
+            taint.accumulate(g.index(), &mut seen);
+        }
+    }
+    let prunable: Vec<usize> =
+        (0..keys.len()).filter(|&b| seen[b / 64] & (1u64 << (b % 64)) == 0).collect();
+    (partitions, prunable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_governor::Deadline;
+    use std::time::Duration;
+
+    /// `y = (a ^ k0) | b`, plus a dead cone `d = a & k1` feeding a
+    /// non-scan flop that drives nothing.
+    fn keyed_netlist() -> Netlist {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let k0 = n.add_input("keyinput0");
+        let k1 = n.add_input("keyinput1");
+        n.mark_key_input(k0);
+        n.mark_key_input(k1);
+        let x = n.add_gate(GateKind::Xor, vec![a, k0]);
+        let y = n.add_gate(GateKind::Or, vec![x, b]);
+        n.add_output("y", y);
+        let d = n.add_gate(GateKind::And, vec![a, k1]);
+        n.add_gate(GateKind::Dff { init: false }, vec![d]);
+        n
+    }
+
+    #[test]
+    fn taint_tracks_key_cones_and_nothing_else() {
+        let n = keyed_netlist();
+        let a = analyze_netlist(&n);
+        let (_, y) = n.outputs()[0];
+        assert!(a.is_tainted_by(y, 0), "output depends on k0");
+        assert!(!a.is_tainted_by(y, 1), "k1's cone is dead");
+        let b = n.find_input("b").unwrap();
+        assert!(a.taint_is_empty(b));
+        assert_eq!(a.taint_bits(y), vec![0]);
+    }
+
+    #[test]
+    fn dead_key_bit_is_prunable_and_partitioned_alone() {
+        let n = keyed_netlist();
+        let a = analyze_netlist(&n);
+        assert_eq!(a.prunable_keys, vec![1]);
+        assert!(a.key_observable(0) && !a.key_observable(1));
+        assert_eq!(a.partitions, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn scan_chain_makes_the_dead_cone_observable() {
+        let mut n = keyed_netlist();
+        n.scan_chain = n.dffs();
+        let a = analyze_netlist(&n);
+        assert!(a.prunable_keys.is_empty(), "scan capture observes k1's cone");
+    }
+
+    #[test]
+    fn ternary_proves_identity_constants_under_all_valuations() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let k = n.add_input("keyinput0");
+        n.mark_key_input(k);
+        let z = n.add_gate(GateKind::Xor, vec![a, a]); // ≡ 0
+        let t = n.add_gate(GateKind::And, vec![k, z]); // ≡ 0, key-fed
+        let y = n.add_gate(GateKind::Or, vec![b, t]);
+        n.add_output("y", y);
+        let an = analyze_netlist(&n);
+        assert_eq!(an.value_of(z), Ternary::Zero);
+        assert_eq!(an.value_of(t), Ternary::Zero);
+        assert_eq!(an.value_of(y), Ternary::X);
+        // Cofactors agree: t is 0 with k pinned either way.
+        assert_eq!(an.cofactor_values(0, t), (Ternary::Zero, Ternary::Zero));
+    }
+
+    #[test]
+    fn cofactors_expose_a_bare_key_wire() {
+        let mut n = Netlist::new("t");
+        let k = n.add_input("keyinput0");
+        n.mark_key_input(k);
+        let c = n.add_gate(GateKind::Const0, vec![]);
+        let w = n.add_gate(GateKind::Xor, vec![c, k]); // ≡ k
+        n.add_output("y", w);
+        let a = analyze_netlist(&n);
+        assert_eq!(a.value_of(w), Ternary::X);
+        assert_eq!(a.cofactor_values(0, w), (Ternary::Zero, Ternary::One));
+    }
+
+    #[test]
+    fn sequential_feedback_reaches_a_fixpoint() {
+        // A DFF looping through an inverter visits both values: X.
+        let mut n = Netlist::new("t");
+        let seed = n.add_input("unused");
+        let d = n.add_gate(GateKind::Dff { init: false }, vec![seed]);
+        let inv = n.add_gate(GateKind::Not, vec![d]);
+        n.gate_mut(d).fanin[0] = inv;
+        n.add_output("q", d);
+        let a = analyze_netlist(&n);
+        assert_eq!(a.value_of(d), Ternary::X);
+        // A DFF holding its reset value forever stays constant.
+        let mut m = Netlist::new("t");
+        let seed2 = m.add_input("unused");
+        let d2 = m.add_gate(GateKind::Dff { init: true }, vec![seed2]);
+        m.gate_mut(d2).fanin[0] = d2;
+        m.add_output("q", d2);
+        let am = analyze_netlist(&m);
+        assert_eq!(am.value_of(d2), Ternary::One);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let n = keyed_netlist();
+        assert_eq!(analyze_netlist(&n), analyze_netlist(&n));
+    }
+
+    #[test]
+    fn expired_token_returns_none_not_a_partial_result() {
+        let n = keyed_netlist();
+        let token = CancelToken::with_deadline(Deadline::after(Duration::ZERO));
+        assert!(analyze_netlist_bounded(&n, &token).is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! RTL-module dataflow over the CDFG: semantic constant-net detection and
+//! per-key-bit taint.
+//!
+//! The module view complements [`crate::netflow`]: it sees the design
+//! *before* elaboration folds structure away, so rules can point at source
+//! nets, and it catches degenerate lock points (key gates on nets the
+//! design drives to a constant) that disappear in the optimized netlist.
+
+use crate::taint::TaintMatrix;
+use rtlock_rtl::cdfg::Cdfg;
+use rtlock_rtl::{Expr, Module, NetId, Stmt};
+use std::collections::{HashMap, HashSet};
+
+/// Whole-module analysis results; vectors are indexed by `NetId`.
+#[derive(Debug, Clone)]
+pub struct RtlAnalysis {
+    /// The key nets the taint bits refer to, in argument order.
+    pub keys: Vec<NetId>,
+    /// Per-net flag: the net is driven to a compile-time constant on every
+    /// path (continuous assigns only, fixpoint over net-to-net chains, and
+    /// never written by a process).
+    pub const_nets: Vec<bool>,
+    /// Per-net may-depend sets over key bits, propagated forward along
+    /// CDFG data and control edges (control dependence taints too).
+    pub key_taint: TaintMatrix,
+}
+
+impl RtlAnalysis {
+    /// `true` when `net` is provably constant.
+    pub fn is_const(&self, net: NetId) -> bool {
+        self.const_nets[net.0 as usize]
+    }
+
+    /// `true` when `net` may depend on key bit `bit`.
+    pub fn is_tainted_by(&self, net: NetId, bit: usize) -> bool {
+        self.key_taint.contains(net.0 as usize, bit)
+    }
+
+    /// The key bits `net` may depend on, ascending.
+    pub fn taint_bits(&self, net: NetId) -> Vec<usize> {
+        self.key_taint.ones(net.0 as usize)
+    }
+}
+
+/// Analyzes `module`, treating `keys` as the taint sources.
+pub fn analyze_module(module: &Module, keys: &[NetId]) -> RtlAnalysis {
+    RtlAnalysis {
+        keys: keys.to_vec(),
+        const_nets: const_nets(module),
+        key_taint: key_taint(module, keys),
+    }
+}
+
+/// Fixpoint constant-net detection: a net counts as constant when every
+/// continuous assign driving it references only constants and constant
+/// nets, and no process writes it.
+fn const_nets(m: &Module) -> Vec<bool> {
+    let mut proc_written: HashSet<NetId> = HashSet::new();
+    for p in &m.procs {
+        collect_stmt_lvalues(&p.body, &mut proc_written);
+        collect_stmt_lvalues(&p.reset_body, &mut proc_written);
+    }
+    let mut drivers: HashMap<NetId, Vec<&Expr>> = HashMap::new();
+    for a in &m.assigns {
+        drivers.entry(a.lhs.net).or_default().push(&a.rhs);
+    }
+    let mut consts = vec![false; m.nets.len()];
+    loop {
+        let mut changed = false;
+        for (&net, rhss) in &drivers {
+            let idx = net.0 as usize;
+            if consts[idx] || proc_written.contains(&net) {
+                continue;
+            }
+            let all_const = rhss.iter().all(|rhs| {
+                let mut refs = Vec::new();
+                rhs.collect_refs(&mut refs);
+                refs.iter().all(|r| consts[r.0 as usize])
+            });
+            if all_const {
+                consts[idx] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return consts;
+        }
+    }
+}
+
+/// Forward key taint over the CDFG fanout relation (data and control
+/// edges), flip-flops included.
+fn key_taint(m: &Module, keys: &[NetId]) -> TaintMatrix {
+    let cdfg = Cdfg::build(m);
+    let nets = m.nets.len();
+    let mut taint = TaintMatrix::new(nets, keys.len());
+    for (bit, &k) in keys.iter().enumerate() {
+        taint.set(k.0 as usize, bit);
+    }
+    // Simple round-robin fixpoint: rows only grow, the lattice is finite.
+    loop {
+        let mut changed = false;
+        for net in 0..nets {
+            for src in &cdfg.fanin[net] {
+                changed |= taint.union_rows(net, src.0 as usize);
+            }
+        }
+        if !changed {
+            return taint;
+        }
+    }
+}
+
+fn collect_stmt_lvalues(stmts: &[Stmt], out: &mut HashSet<NetId>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, .. } => {
+                out.insert(lhs.net);
+            }
+            Stmt::If { then_, else_, .. } => {
+                collect_stmt_lvalues(then_, out);
+                collect_stmt_lvalues(else_, out);
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    collect_stmt_lvalues(&arm.body, out);
+                }
+                collect_stmt_lvalues(default, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_rtl::parse;
+
+    fn key_nets(m: &Module) -> Vec<NetId> {
+        m.ports
+            .iter()
+            .copied()
+            .filter(|&p| m.net(p).name.starts_with("lock_key_"))
+            .collect()
+    }
+
+    #[test]
+    fn const_chains_resolve_through_wires() {
+        let m = parse(
+            "module t(input a, output y);\n wire c;\n wire d;\n assign c = 1'b0;\n \
+             assign d = c;\n assign y = a ^ d;\nendmodule",
+        )
+        .unwrap();
+        let an = analyze_module(&m, &[]);
+        let net = |name: &str| {
+            NetId(m.nets.iter().position(|n| n.name == name).unwrap() as u32)
+        };
+        assert!(an.is_const(net("c")));
+        assert!(an.is_const(net("d")), "constness chains through wires");
+        assert!(!an.is_const(net("y")));
+        assert!(!an.is_const(net("a")));
+    }
+
+    #[test]
+    fn key_taint_follows_data_and_control_edges() {
+        let m = parse(
+            "module t(input a, input lock_key_0, output y, output z);\n \
+             wire t0;\n assign t0 = a ^ lock_key_0;\n assign y = t0;\n \
+             assign z = a;\nendmodule",
+        )
+        .unwrap();
+        let keys = key_nets(&m);
+        assert_eq!(keys.len(), 1);
+        let an = analyze_module(&m, &keys);
+        let net = |name: &str| {
+            NetId(m.nets.iter().position(|n| n.name == name).unwrap() as u32)
+        };
+        assert!(an.is_tainted_by(net("y"), 0));
+        assert_eq!(an.taint_bits(net("z")), Vec::<usize>::new());
+    }
+}

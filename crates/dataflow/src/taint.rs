@@ -1,0 +1,150 @@
+//! Dense per-row bitsets for key-taint tracking.
+//!
+//! One row per net, one bit per key bit, packed into `u64` words. The
+//! taint lattice is set union: rows only grow, so a worklist over it
+//! terminates and its least fixed point is iteration-order independent.
+
+/// A `rows × bits` boolean matrix packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintMatrix {
+    rows: usize,
+    bits: usize,
+    words: usize,
+    data: Vec<u64>,
+}
+
+impl TaintMatrix {
+    /// An all-zero matrix with `rows` rows of `bits` bits each.
+    pub fn new(rows: usize, bits: usize) -> TaintMatrix {
+        let words = bits.div_ceil(64).max(1);
+        TaintMatrix { rows, bits, words, data: vec![0; rows * words] }
+    }
+
+    /// Number of bits per row.
+    pub fn width(&self) -> usize {
+        self.bits
+    }
+
+    /// Sets bit `bit` in row `row`.
+    pub fn set(&mut self, row: usize, bit: usize) {
+        debug_assert!(row < self.rows && bit < self.bits);
+        self.data[row * self.words + bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// Tests bit `bit` in row `row`.
+    pub fn contains(&self, row: usize, bit: usize) -> bool {
+        self.data[row * self.words + bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// ORs row `src` into row `dst`, reporting whether `dst` changed.
+    pub fn union_rows(&mut self, dst: usize, src: usize) -> bool {
+        if dst == src {
+            return false;
+        }
+        let mut changed = false;
+        for w in 0..self.words {
+            let s = self.data[src * self.words + w];
+            let d = &mut self.data[dst * self.words + w];
+            let next = *d | s;
+            changed |= next != *d;
+            *d = next;
+        }
+        changed
+    }
+
+    /// `true` when row `row` has no bits set.
+    pub fn row_is_empty(&self, row: usize) -> bool {
+        self.data[row * self.words..(row + 1) * self.words].iter().all(|&w| w == 0)
+    }
+
+    /// The set bits of row `row`, ascending.
+    pub fn ones(&self, row: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for w in 0..self.words {
+            let mut word = self.data[row * self.words + w];
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                out.push(w * 64 + b);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Number of set bits in row `row`.
+    pub fn count(&self, row: usize) -> usize {
+        self.data[row * self.words..(row + 1) * self.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// ORs row `row` into the external accumulator `acc`
+    /// (`acc.len() == words per row`).
+    pub fn accumulate(&self, row: usize, acc: &mut [u64]) {
+        for (w, a) in acc.iter_mut().enumerate() {
+            *a |= self.data[row * self.words + w];
+        }
+    }
+}
+
+/// Union-find over key-bit indices, used to group bits into
+/// taint-disjoint partitions.
+#[derive(Debug)]
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Root at the smaller index so grouping is deterministic.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_query_roundtrip() {
+        let mut m = TaintMatrix::new(3, 130);
+        m.set(0, 0);
+        m.set(0, 129);
+        m.set(1, 64);
+        assert!(m.union_rows(2, 0));
+        assert!(m.union_rows(2, 1));
+        assert!(!m.union_rows(2, 0), "second union is a no-op");
+        assert_eq!(m.ones(2), vec![0, 64, 129]);
+        assert_eq!(m.count(2), 3);
+        assert!(m.contains(2, 64) && !m.contains(2, 1));
+        assert!(!m.row_is_empty(2));
+        assert!(TaintMatrix::new(1, 4).row_is_empty(0));
+    }
+
+    #[test]
+    fn union_find_groups_deterministically() {
+        let mut uf = UnionFind::new(5);
+        uf.union(3, 1);
+        uf.union(4, 3);
+        assert_eq!(uf.find(4), 1);
+        assert_eq!(uf.find(0), 0);
+        assert_eq!(uf.find(2), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! The three-valued `{0, 1, X}` abstract domain (Kleene logic) and gate
+//! transfer functions.
+
+use std::ops::Not;
+use rtlock_netlist::{GateId, GateKind};
+
+/// An abstract net value: a known constant, or `X` (both values possible).
+///
+/// Ordered as a lattice with `Zero`/`One` below `X`; [`Ternary::join`] is
+/// the least upper bound. All gate transfer functions are monotone in this
+/// order, which is what guarantees worklist convergence to a unique least
+/// fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ternary {
+    /// Provably 0 under every valuation considered.
+    Zero,
+    /// Provably 1 under every valuation considered.
+    One,
+    /// Unknown: both values are possible.
+    X,
+}
+
+impl Ternary {
+    /// Lifts a concrete bit.
+    pub fn from_bool(b: bool) -> Ternary {
+        if b {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+
+    /// The proven constant, if any.
+    pub fn constant(self) -> Option<bool> {
+        match self {
+            Ternary::Zero => Some(false),
+            Ternary::One => Some(true),
+            Ternary::X => None,
+        }
+    }
+
+    /// Least upper bound: equal values stay, disagreement widens to `X`.
+    pub fn join(self, other: Ternary) -> Ternary {
+        if self == other {
+            self
+        } else {
+            Ternary::X
+        }
+    }
+
+    /// Kleene conjunction (`0` dominates `X`).
+    pub fn and(self, other: Ternary) -> Ternary {
+        match (self, other) {
+            (Ternary::Zero, _) | (_, Ternary::Zero) => Ternary::Zero,
+            (Ternary::One, Ternary::One) => Ternary::One,
+            _ => Ternary::X,
+        }
+    }
+
+    /// Kleene disjunction (`1` dominates `X`).
+    pub fn or(self, other: Ternary) -> Ternary {
+        match (self, other) {
+            (Ternary::One, _) | (_, Ternary::One) => Ternary::One,
+            (Ternary::Zero, Ternary::Zero) => Ternary::Zero,
+            _ => Ternary::X,
+        }
+    }
+
+    /// Kleene exclusive-or (`X` absorbs everything).
+    pub fn xor(self, other: Ternary) -> Ternary {
+        match (self.constant(), other.constant()) {
+            (Some(a), Some(b)) => Ternary::from_bool(a ^ b),
+            _ => Ternary::X,
+        }
+    }
+}
+
+/// Evaluates one gate over the current abstract values.
+///
+/// Beyond plain Kleene evaluation this knows the same-operand identities
+/// (`a ^ a = 0`, `a & a = a`, `mux(s, a, a) = a`, …): they are structural
+/// facts, so using them keeps the analysis sound while letting it prove
+/// constants that literal constant folding misses.
+///
+/// # Panics
+///
+/// Panics when called on `Input` or `Dff` gates — those are lattice
+/// sources handled by the driving analysis, not transfer functions.
+pub fn eval_gate(kind: GateKind, fanin: &[GateId], values: &[Ternary]) -> Ternary {
+    let v = |i: usize| values[fanin[i].index()];
+    let same2 = fanin.len() == 2 && fanin[0] == fanin[1];
+    match kind {
+        GateKind::Const0 => Ternary::Zero,
+        GateKind::Const1 => Ternary::One,
+        GateKind::Buf => v(0),
+        GateKind::Not => v(0).not(),
+        GateKind::And if same2 => v(0),
+        GateKind::Or if same2 => v(0),
+        GateKind::Nand if same2 => v(0).not(),
+        GateKind::Nor if same2 => v(0).not(),
+        GateKind::Xor if same2 => Ternary::Zero,
+        GateKind::Xnor if same2 => Ternary::One,
+        GateKind::And => v(0).and(v(1)),
+        GateKind::Nand => v(0).and(v(1)).not(),
+        GateKind::Or => v(0).or(v(1)),
+        GateKind::Nor => v(0).or(v(1)).not(),
+        GateKind::Xor => v(0).xor(v(1)),
+        GateKind::Xnor => v(0).xor(v(1)).not(),
+        GateKind::Mux if fanin[1] == fanin[2] => v(1),
+        GateKind::Mux => match v(0) {
+            Ternary::Zero => v(1),
+            Ternary::One => v(2),
+            Ternary::X => v(1).join(v(2)),
+        },
+        GateKind::Input | GateKind::Dff { .. } => {
+            panic!("{kind:?} is a source, not a transfer function")
+        }
+    }
+}
+
+/// Kleene negation.
+impl std::ops::Not for Ternary {
+    type Output = Ternary;
+
+    fn not(self) -> Ternary {
+        match self {
+            Ternary::Zero => Ternary::One,
+            Ternary::One => Ternary::Zero,
+            Ternary::X => Ternary::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kleene_tables_hold() {
+        use Ternary::{One, X, Zero};
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(One.or(X), One);
+        assert_eq!(One.and(X), X);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(X.xor(Zero), X);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(X.not(), X);
+        assert_eq!(Zero.join(One), X);
+        assert_eq!(One.join(One), One);
+    }
+
+    #[test]
+    fn same_operand_identities_prove_constants() {
+        let a = GateId(0);
+        let values = vec![Ternary::X];
+        assert_eq!(eval_gate(GateKind::Xor, &[a, a], &values), Ternary::Zero);
+        assert_eq!(eval_gate(GateKind::Xnor, &[a, a], &values), Ternary::One);
+        assert_eq!(eval_gate(GateKind::And, &[a, a], &values), Ternary::X);
+    }
+}

@@ -246,5 +246,104 @@ pub fn lint_fixtures() -> Vec<LintFixture> {
                    assign y = a ^ lock_key_0;\nendmodule",
             full_scan: false,
         },
+        LintFixture {
+            rule: "K001",
+            name: "scan-unreachable key bit",
+            kind: FixtureKind::Bench,
+            // Bad: the key cone dead-ends combinationally — no output and
+            // no scan cell ever depends on the bit, so the whole cone is
+            // removal-prunable. Good: the cone is captured by a scanned
+            // flop and *only* observable there — a scan-blind analysis
+            // (C004-style) would still call it dead, the scan-aware one
+            // must not.
+            bad: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  t = XOR(a, keyinput0)\n\
+                  q = DFF(b)\n\
+                  y = BUFF(q)\n",
+            good: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   t = XOR(a, keyinput0)\n\
+                   q = DFF(t)\n\
+                   y = BUFF(b)\n",
+            full_scan: true,
+        },
+        LintFixture {
+            rule: "K002",
+            name: "constant-foldable key gate",
+            kind: FixtureKind::Bench,
+            // `z = a ^ a` is identically 0, so `t = k & z` is provably
+            // constant under every key and input valuation: the ternary
+            // fixpoint (with same-operand identities) proves the key gate
+            // carries no function at all.
+            bad: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  z = XOR(a, a)\n\
+                  t = AND(keyinput0, z)\n\
+                  y = OR(b, t)\n",
+            good: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   t = XOR(a, keyinput0)\n\
+                   y = OR(b, t)\n",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "K003",
+            name: "key cone behind a constant mux select",
+            kind: FixtureKind::Bench,
+            // The mux select `s = b ^ b` is provably 0, so the key-tainted
+            // branch `t` is never selected: the lock is bypassed wholesale.
+            bad: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  s = XOR(b, b)\n\
+                  t = XOR(a, keyinput0)\n\
+                  y = MUX(s, a, t)\n",
+            good: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   t = XOR(a, keyinput0)\n\
+                   y = MUX(b, a, t)\n",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "K004",
+            name: "terminal key gate on an unobfuscated output",
+            kind: FixtureKind::Bench,
+            // The key XOR is the last gate before the output and the rest
+            // of the cone is key-free: an attacker peels the single gate.
+            // Burying the key gate one level deeper is enough to silence
+            // the rule.
+            bad: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  t = AND(a, b)\n\
+                  y = XOR(t, keyinput0)\n",
+            good: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   t = XOR(a, keyinput0)\n\
+                   y = AND(t, b)\n",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "K005",
+            name: "dead locked logic",
+            kind: FixtureKind::Bench,
+            // A key-tainted gate outside the live set: resynthesis sweeps
+            // the locked cone (and the key bit) away.
+            bad: "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                  dead = XNOR(a, keyinput0)\n\
+                  y = NOT(a)\n",
+            good: "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\n\
+                   y = XNOR(a, keyinput0)\n",
+            full_scan: false,
+        },
+        LintFixture {
+            rule: "K006",
+            name: "taint-disjoint key partitions",
+            kind: FixtureKind::Bench,
+            // Two key bits with disjoint observable cones: each is
+            // attackable on its own output, halving the effective key
+            // space. Entangling both bits in one cone silences the rule.
+            bad: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nINPUT(keyinput1)\n\
+                  OUTPUT(y0)\nOUTPUT(y1)\n\
+                  y0 = XOR(a, keyinput0)\n\
+                  y1 = XOR(b, keyinput1)\n",
+            good: "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nINPUT(keyinput1)\n\
+                   OUTPUT(y0)\nOUTPUT(y1)\n\
+                   t = XOR(a, keyinput0)\n\
+                   y0 = XOR(t, keyinput1)\n\
+                   y1 = XOR(y0, b)\n",
+            full_scan: false,
+        },
     ]
 }

@@ -34,6 +34,7 @@ options:
   --inject-opt-bug    arm the deliberate optimizer miscompile (self-test)
   --no-lock-layer     skip the locking layer (enumerate + correct-key cosim)
   --no-formal         skip the pre-/post-optimization SAT miter
+  --no-analysis       skip the dataflow-analysis layer (fixpoint cross-check)
   --help              print this help
 ";
 
@@ -106,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
             "--inject-opt-bug" => inject_opt_bug = true,
             "--no-lock-layer" => cfg.oracle.check_locked = false,
             "--no-formal" => cfg.oracle.check_formal = false,
+            "--no-analysis" => cfg.oracle.check_analysis = false,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }

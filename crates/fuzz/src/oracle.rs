@@ -40,6 +40,10 @@ pub enum Layer {
     OptSim,
     /// Scan-view sequential emulation disagreed with RTL simulation.
     ScanSim,
+    /// The dataflow analysis (`rtlock-dataflow` fixpoints) panicked, or
+    /// its constant proofs contradict each other across the pre-/post-
+    /// optimization netlists or the simulated reference trace.
+    Analysis,
     /// Locked design under the correct key disagreed with the original.
     Locked,
     /// SAT miter found a pre-/post-optimization counterexample.
@@ -61,6 +65,7 @@ impl Layer {
             Layer::ElabSim => "elab-sim",
             Layer::OptSim => "opt-sim",
             Layer::ScanSim => "scan-sim",
+            Layer::Analysis => "analysis",
             Layer::Locked => "locked",
             Layer::Formal => "formal",
         }
@@ -74,6 +79,7 @@ impl Layer {
             Layer::ElabSim,
             Layer::OptSim,
             Layer::ScanSim,
+            Layer::Analysis,
             Layer::Locked,
             Layer::Formal,
         ]
@@ -108,6 +114,9 @@ pub struct OracleConfig {
     pub lock_cycles: usize,
     /// Run the locking layer (enumerate + lock + correct-key cosim).
     pub check_locked: bool,
+    /// Run the dataflow analysis layer (fixpoints on the pre- and
+    /// post-optimization netlists, cross-checked for contradictions).
+    pub check_analysis: bool,
     /// Run the SAT miter between pre- and post-optimization netlists.
     pub check_formal: bool,
     /// SAT conflict budget for the miter.
@@ -120,6 +129,7 @@ impl Default for OracleConfig {
             cycles: 12,
             lock_cycles: 16,
             check_locked: true,
+            check_analysis: true,
             check_formal: true,
             formal_conflicts: 200_000,
         }
@@ -428,6 +438,81 @@ fn diff_locked(module: &Module, seed: u64, cfg: &OracleConfig) -> Result<Option<
     Ok(Some(()))
 }
 
+/// Runs the `rtlock-dataflow` fixpoints on the pre- and post-optimization
+/// netlists and cross-checks their verdicts. Three contracts:
+///
+/// 1. the analysis never panics on well-formed synthesis output;
+/// 2. an output proven constant on *both* netlists must be the same
+///    constant (optimization preserves functions, and constant proofs are
+///    sound, so disagreement means one analysis or the optimizer lied);
+/// 3. an output bit proven constant on the elaborated netlist must hold
+///    that value on every cycle of the simulated reference trace (the
+///    `ElabSim` layer already pinned the netlist to the RTL reference).
+fn diff_analysis(
+    pre: &Netlist,
+    opt: &Netlist,
+    ports: &Ports,
+    reference: &[Vec<u64>],
+) -> Result<(), Verdict> {
+    let layer = Layer::Analysis;
+    let run = |n: &Netlist, which: &str| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rtlock_dataflow::analyze_netlist(n)
+        }))
+        .map_err(|_| Verdict::Diverged {
+            layer,
+            detail: format!("dataflow analysis panicked on the {which} netlist"),
+        })
+    };
+    let a_pre = run(pre, "elaborated")?;
+    let a_opt = run(opt, "optimized")?;
+
+    for (name, g_pre) in pre.outputs() {
+        let pre_const = a_pre.value_of(*g_pre).constant();
+        let opt_const = opt
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|&(_, g)| a_opt.value_of(g).constant());
+        if let (Some(x), Some(y)) = (pre_const, opt_const) {
+            if x != y {
+                return Err(Verdict::Diverged {
+                    layer,
+                    detail: format!(
+                        "output `{name}` proven constant {x} pre-optimization but {y} post"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Constant-proof vs simulation: locate each proven-constant output bit
+    // in the reference trace (port-bit addressed) and demand every cycle
+    // agrees.
+    for (pi, (pname, width)) in ports.outputs.iter().enumerate() {
+        for bit in 0..*width {
+            let bn = bit_name(pname, *width, bit);
+            let Some(&(_, g)) = pre.outputs().iter().find(|(n, _)| *n == bn) else {
+                continue;
+            };
+            let Some(c) = a_pre.value_of(g).constant() else { continue };
+            for (cycle, sample) in reference.iter().enumerate() {
+                let got = sample[pi] >> bit & 1 == 1;
+                if got != c {
+                    return Err(Verdict::Diverged {
+                        layer,
+                        detail: format!(
+                            "output `{bn}` proven constant {c} but reads {got} at cycle {cycle}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+
 /// SAT miter between the pre- and post-optimization netlists: inputs are
 /// shared by name, flip-flops matched by register name get a shared state
 /// variable, and the miter asserts some output bit *or some matched
@@ -546,6 +631,12 @@ pub fn check_parsed(module: &Module, seed: u64, cfg: &OracleConfig) -> Verdict {
         return v;
     }
 
+    if cfg.check_analysis {
+        if let Err(v) = diff_analysis(&pre, &opt, &ports, &reference) {
+            return v;
+        }
+    }
+
     let mut incomplete = None;
     if cfg.check_formal {
         match miter_pre_post(&pre, &opt, cfg.formal_conflicts) {
@@ -613,5 +704,62 @@ mod tests {
             }
             other => panic!("bug not caught: {other:?}"),
         }
+    }
+    #[test]
+    fn analysis_layer_name_roundtrips() {
+        assert_eq!(Layer::from_name("analysis"), Some(Layer::Analysis));
+        assert_eq!(Layer::Analysis.name(), "analysis");
+    }
+
+    #[test]
+    fn constant_output_module_passes_the_analysis_layer() {
+        // `a & ~a` folds to a proven-constant output; the analysis layer
+        // must agree with both the optimizer and the reference trace.
+        let src = "module k(input a, input b, output y, output z);\n\
+            assign y = a & ~a;\n\
+            assign z = a ^ b;\nendmodule\n";
+        let cfg = OracleConfig { check_locked: false, ..OracleConfig::default() };
+        assert_eq!(check_source(src, 9, &cfg), Verdict::Pass);
+    }
+
+    #[test]
+    fn contradictory_constant_proofs_diverge() {
+        use rtlock_netlist::{GateKind, Netlist};
+        // Reference semantics: y == 0 always.
+        let module = rtlock_rtl::parse(
+            "module m(input a, output y);\n assign y = a & ~a;\nendmodule\n",
+        )
+        .expect("parses");
+        let ports = ports_of(&module);
+        let stim = make_stimulus(&ports, 3, 8);
+        let reference = run_rtl(&module, &ports, &stim).expect("rtl sim");
+
+        let tied = |kind: GateKind| {
+            let mut n = Netlist::new("m");
+            n.add_input("a");
+            let c = n.add_gate(kind, vec![]);
+            n.add_output("y", c);
+            n
+        };
+        let zero = tied(GateKind::Const0);
+        let one = tied(GateKind::Const1);
+
+        // Pre proves y == 0, "optimized" proves y == 1: contradiction.
+        match diff_analysis(&zero, &one, &ports, &reference) {
+            Err(Verdict::Diverged { layer: Layer::Analysis, detail }) => {
+                assert!(detail.contains("proven constant"), "{detail}");
+            }
+            other => panic!("expected an analysis divergence, got {other:?}"),
+        }
+        // Both sides agree on y == 1, but the reference trace reads 0:
+        // the proof-vs-simulation cross-check must fire.
+        match diff_analysis(&one, &one, &ports, &reference) {
+            Err(Verdict::Diverged { layer: Layer::Analysis, detail }) => {
+                assert!(detail.contains("at cycle"), "{detail}");
+            }
+            other => panic!("expected a trace contradiction, got {other:?}"),
+        }
+        // The honest pair is clean.
+        assert!(diff_analysis(&zero, &zero, &ports, &reference).is_ok());
     }
 }

@@ -137,6 +137,9 @@ pub enum LintPhase {
     PreLock,
     /// Gate on the locked design after scan locking.
     PostLock,
+    /// Whole-design dataflow gate (the `K` rules) after the lock/post-lint
+    /// gates.
+    Analyze,
     /// CLI or library use outside the flow.
     Standalone,
 }
@@ -147,6 +150,7 @@ impl LintPhase {
         match self {
             LintPhase::PreLock => "pre_lock",
             LintPhase::PostLock => "post_lock",
+            LintPhase::Analyze => "analyze",
             LintPhase::Standalone => "standalone",
         }
     }
@@ -194,6 +198,23 @@ impl LintReport {
     /// `true` when nothing gate-aborting was found.
     pub fn is_clean(&self) -> bool {
         self.deny_count() == 0
+    }
+
+    /// Drops findings already present in `earlier` reports, matching by
+    /// `(rule, span, message)` — severity is deliberately excluded so a
+    /// mitigation downgrade still counts as the same finding.
+    ///
+    /// Flow gates run the same rules on the pre-lock module and again on
+    /// the locked design; a finding the lock did not introduce would
+    /// otherwise appear twice on `FlowReport`.
+    pub fn dedup_against(&mut self, earlier: &[&LintReport]) {
+        use std::collections::HashSet;
+        let seen: HashSet<(&str, &Span, &str)> = earlier
+            .iter()
+            .flat_map(|r| r.diagnostics.iter())
+            .map(|d| (d.rule, &d.span, d.message.as_str()))
+            .collect();
+        self.diagnostics.retain(|d| !seen.contains(&(d.rule, &d.span, d.message.as_str())));
     }
 
     /// Human-readable rendering, one finding per line.
@@ -258,6 +279,80 @@ impl LintReport {
         out.push_str("]}");
         out
     }
+}
+
+/// Renders one or more lint runs as a SARIF 2.1.0 log.
+///
+/// `inputs` pairs each linted artifact's name (file path or design name)
+/// with its report; findings become `results` in one SARIF `run` whose
+/// tool driver lists every rule referenced, sorted by id. Output is fully
+/// deterministic: artifacts keep their given order, findings keep their
+/// report order (already sorted), and no timestamps or absolute paths are
+/// embedded. Severities map `deny → error`, `warn → warning`,
+/// `info → note`.
+pub fn to_sarif(inputs: &[(String, LintReport)]) -> String {
+    let mut rule_ids: Vec<&str> = Vec::new();
+    for (_, report) in inputs {
+        for d in &report.diagnostics {
+            if !rule_ids.contains(&d.rule) {
+                rule_ids.push(d.rule);
+            }
+        }
+    }
+    rule_ids.sort_unstable();
+
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"rtlock-lint\",\"rules\":[",
+    );
+    for (i, id) in rule_ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"id\":\"{id}\"}}"));
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for (name, report) in inputs {
+        for d in &report.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let level = match d.severity {
+                Severity::Deny => "error",
+                Severity::Warn => "warning",
+                Severity::Info => "note",
+            };
+            out.push_str(&format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":{}}}",
+                d.rule,
+                json_string(&d.message)
+            ));
+            out.push_str(&format!(
+                ",\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}}",
+                json_string(name)
+            ));
+            if let Some(l) = d.span.line {
+                out.push_str(&format!(",\"region\":{{\"startLine\":{l}"));
+                if let Some(c) = d.span.col {
+                    out.push_str(&format!(",\"startColumn\":{c}"));
+                }
+                out.push('}');
+            }
+            out.push('}');
+            if let Some(o) = &d.span.object {
+                out.push_str(&format!(
+                    ",\"logicalLocations\":[{{\"name\":{}}}]",
+                    json_string(o)
+                ));
+            }
+            out.push_str("}]}");
+        }
+    }
+    out.push_str("]}]}");
+    out
 }
 
 /// Escapes `s` as a JSON string literal.

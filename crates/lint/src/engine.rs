@@ -39,8 +39,24 @@ pub fn rule_catalog() -> Vec<(&'static str, Severity, &'static str)> {
 /// degrades (reporting what it could not check) rather than hanging.
 /// Findings are sorted for run-to-run determinism.
 pub fn lint_bounded(target: &LintTarget<'_>, token: &CancelToken) -> LintReport {
+    lint_selected_bounded(target, token, |_| true)
+}
+
+/// Lints `target` with only the rules `select` accepts (by rule id).
+///
+/// Deselected rules neither run nor count as skipped. This backs the CLI's
+/// `--rule` filter and the flow's stage split, where the `K` dataflow
+/// rules run in their own governed `analyze` stage.
+pub fn lint_selected_bounded(
+    target: &LintTarget<'_>,
+    token: &CancelToken,
+    select: impl Fn(&str) -> bool,
+) -> LintReport {
     let mut report = LintReport::new(target.phase);
     for rule in registry() {
+        if !select(rule.id()) {
+            continue;
+        }
         if token.should_stop().is_some() {
             report.skipped.push(rule.id());
             continue;
@@ -68,7 +84,7 @@ mod tests {
     fn registry_has_at_least_ten_rules_across_three_groups() {
         let cat = rule_catalog();
         assert!(cat.len() >= 10, "{} rules", cat.len());
-        for prefix in ["S", "Y", "C"] {
+        for prefix in ["S", "Y", "C", "K"] {
             assert!(
                 cat.iter().any(|(id, _, _)| id.starts_with(prefix)),
                 "no `{prefix}` rules in the catalog"

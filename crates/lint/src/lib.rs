@@ -14,6 +14,11 @@
 //! * **Scan-/lock-security** (`C…`): key-to-scan-cell leak paths, lock
 //!   points on constant or dead nodes, key cones confined to one scan
 //!   segment.
+//! * **Whole-design dataflow** (`K…`): global questions answered from the
+//!   `rtlock-dataflow` fixpoints — key bits with no output- or
+//!   scan-observable taint, key gates provably constant under all
+//!   valuations, bypassable key cones, peelable terminal key gates, dead
+//!   locked logic, and taint-disjoint key partitions.
 //!
 //! Findings are [`Diagnostic`]s with a stable rule id, a severity, and a
 //! span; [`LintReport`] renders them as text or JSON. `core::flow` runs
@@ -37,6 +42,6 @@ pub mod engine;
 pub mod rules;
 pub mod target;
 
-pub use diag::{Diagnostic, LintPhase, LintReport, Severity, Span};
-pub use engine::{lint, lint_bounded, registry, rule_catalog, Rule};
+pub use diag::{to_sarif, Diagnostic, LintPhase, LintReport, Severity, Span};
+pub use engine::{lint, lint_bounded, lint_selected_bounded, registry, rule_catalog, Rule};
 pub use target::{LintTarget, KEY_PORT_PREFIX};

@@ -1,0 +1,388 @@
+//! K-series: whole-design dataflow rules built on `rtlock-dataflow`.
+//!
+//! Where the S/Y/C groups are rule-local pattern checks, these rules ask
+//! global questions — can key bit `k` influence any scan-observable point,
+//! is a key gate provably constant under *all* valuations, do the key bits
+//! split into independently attackable cones — answered from the key-taint,
+//! ternary constant/X, and scan-reachability fixpoints.
+
+use crate::diag::{Diagnostic, Severity, Span};
+use crate::engine::Rule;
+use crate::target::LintTarget;
+use rtlock_netlist::{GateId, Netlist};
+use rtlock_rtl::Expr;
+use std::collections::{HashMap, HashSet};
+
+fn key_name(n: &Netlist, k: GateId) -> String {
+    n.gate_name(k).unwrap_or("<unnamed>").to_string()
+}
+
+/// `K001`: a key bit whose taint reaches no observation point.
+///
+/// The scan-aware counterpart of `C004`: observability here includes scan
+/// cells, so a key bit that only reaches a *scanned* flop is fine, while
+/// one confined to an unscanned, output-dead cone is provably
+/// removal-prunable — an attacker deletes the cone and the key bit with no
+/// observable effect.
+pub struct KeyUnreachable;
+
+impl Rule for KeyUnreachable {
+    fn id(&self) -> &'static str {
+        "K001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "key bit taints no output- or scan-observable net (removal-prunable)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.key_inputs.is_empty() {
+            return;
+        }
+        let Some(a) = t.dataflow() else { return };
+        for &bit in &a.prunable_keys {
+            let name = key_name(n, a.keys[bit]);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Deny,
+                span: Span::object(&name),
+                message: format!(
+                    "key input `{name}` taints no primary output or scan-observable cell: \
+                     the whole cone (and the key bit) is removal-prunable"
+                ),
+            });
+        }
+    }
+}
+
+/// `K002`: a key gate the ternary/cofactor analysis proves degenerate.
+///
+/// Three escalating per-gate proofs: the gate's output is constant under
+/// all valuations; the gate's other operand is provably constant (the
+/// gate folds to a wire/inverter of the key); or the two cofactors of the
+/// output with the key bit pinned are both constants (the output *is* the
+/// key wire, or independent of it). A key bit is only denied when *every*
+/// logic gate it feeds is degenerate — synthesis routinely plants
+/// harmless constant artifacts (the `k | ~k` carry term of a subtractor)
+/// next to healthy lock points, and one healthy gate means the bit still
+/// locks something. At RTL the same check runs semantically over
+/// continuous-assign chains, so constant-masked lock points planted in
+/// source are caught before elaboration folds them into innocent-looking
+/// key gates.
+pub struct KeyGateConstant;
+
+impl Rule for KeyGateConstant {
+    fn id(&self) -> &'static str {
+        "K002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "key gate provably constant or reducible to the bare key wire (SAT-trivial)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        self.check_rtl(t, out);
+        self.check_netlist(t, out);
+    }
+}
+
+impl KeyGateConstant {
+    fn check_rtl(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(m) = t.module else { return };
+        let keys: HashSet<_> = t.key_nets().into_iter().collect();
+        if keys.is_empty() {
+            return;
+        }
+        let Some(a) = t.rtl_dataflow() else { return };
+        let mut flagged = HashSet::new();
+        let mut visit = |e: &Expr| {
+            if let Expr::Binary { lhs, rhs, .. } = e {
+                for (x, y) in [(lhs, rhs), (rhs, lhs)] {
+                    let mut x_refs = Vec::new();
+                    x.collect_refs(&mut x_refs);
+                    let mut y_refs = Vec::new();
+                    y.collect_refs(&mut y_refs);
+                    let x_is_key = !x_refs.is_empty() && x_refs.iter().all(|r| keys.contains(r));
+                    let y_is_const = !y_refs.is_empty() && y_refs.iter().all(|&r| a.is_const(r));
+                    if x_is_key && y_is_const && flagged.insert(x_refs[0]) {
+                        out.push(Diagnostic {
+                            rule: "K002",
+                            severity: Severity::Deny,
+                            span: Span::object(&m.net(x_refs[0]).name),
+                            message: format!(
+                                "key port `{}` gates a net the dataflow analysis proves \
+                                 constant: the lock point is SAT-trivial and folds to the \
+                                 bare key wire in resynthesis",
+                                m.net(x_refs[0]).name
+                            ),
+                        });
+                    }
+                }
+            }
+        };
+        for assign in &m.assigns {
+            assign.rhs.visit(&mut visit);
+        }
+        for p in &m.procs {
+            rtlock_rtl::ast::visit_stmt_exprs(&p.body, &mut |e| e.visit(&mut visit));
+            rtlock_rtl::ast::visit_stmt_exprs(&p.reset_body, &mut |e| e.visit(&mut visit));
+        }
+    }
+
+    fn check_netlist(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.key_inputs.is_empty() {
+            return;
+        }
+        let Some(a) = t.dataflow() else { return };
+        let keys: HashSet<GateId> = n.key_inputs.iter().copied().collect();
+        // A key bit is SAT-trivial only when *every* logic gate it feeds
+        // is degenerate: one healthy lock point redeems incidental
+        // artifacts — e.g. the `k | ~k` carry term an elaborated
+        // subtractor plants next to a perfectly good `k ^ state` gate.
+        let mut fed: HashMap<GateId, (usize, Vec<&'static str>)> = HashMap::new();
+        for g in n.ids() {
+            let gate = n.gate(g);
+            if !gate.kind.is_logic() || gate.fanin.len() < 2 {
+                continue;
+            }
+            let Some(&k) = gate.fanin.iter().find(|f| keys.contains(f)) else { continue };
+            let bit = a.key_bit_of(k).expect("key inputs are indexed");
+            let proof = if a.value_of(g).constant().is_some() {
+                Some("output is provably constant under all key and input valuations")
+            } else if gate
+                .fanin
+                .iter()
+                .any(|&f| f != k && a.value_of(f).constant().is_some())
+            {
+                Some("other operand is provably constant (gate folds to a wire/inverter)")
+            } else {
+                let (c0, c1) = a.cofactor_values(bit, g);
+                match (c0.constant(), c1.constant()) {
+                    (Some(x), Some(y)) if x != y => {
+                        Some("the key-bit cofactors are opposite constants (output is the bare key wire)")
+                    }
+                    (Some(_), Some(_)) => Some(
+                        "both key-bit cofactors agree on one constant (the gate carries no key function)",
+                    ),
+                    _ => None,
+                }
+            };
+            let entry = fed.entry(k).or_default();
+            entry.0 += 1;
+            if let Some(p) = proof {
+                entry.1.push(p);
+            }
+        }
+        // Iterate in key-input order so diagnostics stay deterministic.
+        for &k in &n.key_inputs {
+            let Some((total, proofs)) = fed.get(&k) else { continue };
+            if proofs.len() < *total {
+                continue;
+            }
+            let name = key_name(n, k);
+            out.push(Diagnostic {
+                rule: "K002",
+                severity: Severity::Deny,
+                span: Span::object(&name),
+                message: format!(
+                    "key input `{name}` feeds only degenerate key gates ({} of {}): {}; the \
+                     bit is SAT-trivial",
+                    proofs.len(),
+                    total,
+                    proofs[0]
+                ),
+            });
+        }
+    }
+}
+
+/// `K003`: a key-tainted mux branch that is provably never selected.
+pub struct KeyConeBypassed;
+
+impl Rule for KeyConeBypassed {
+    fn id(&self) -> &'static str {
+        "K003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "key cone bypassable: mux select provably constant, key-tainted branch dead"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.key_inputs.is_empty() {
+            return;
+        }
+        let Some(a) = t.dataflow() else { return };
+        for g in n.ids() {
+            let gate = n.gate(g);
+            if gate.kind != rtlock_netlist::GateKind::Mux {
+                continue;
+            }
+            let Some(sel) = a.value_of(gate.fanin[0]).constant() else { continue };
+            let dead = if sel { gate.fanin[1] } else { gate.fanin[2] };
+            let bits = a.taint_bits(dead);
+            let Some(&first) = bits.first() else { continue };
+            let name = key_name(n, a.keys[first]);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Deny,
+                span: Span::object(&name),
+                message: format!(
+                    "mux `{}` has a provably constant select ({}): the unselected branch \
+                     carries the cone of key bit(s) {:?} — the lock is bypassed wholesale",
+                    n.gate_name(g).unwrap_or("<unnamed>"),
+                    u8::from(sel),
+                    bits
+                ),
+            });
+        }
+    }
+}
+
+/// `K004`: a terminal key gate sitting directly on an otherwise
+/// key-independent primary output.
+pub struct KeyExposedAtOutput;
+
+impl Rule for KeyExposedAtOutput {
+    fn id(&self) -> &'static str {
+        "K004"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn summary(&self) -> &'static str {
+        "terminal key gate on an otherwise unobfuscated primary output (peelable)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.key_inputs.is_empty() {
+            return;
+        }
+        let Some(a) = t.dataflow() else { return };
+        let keys: HashSet<GateId> = n.key_inputs.iter().copied().collect();
+        let mut flagged: HashSet<GateId> = HashSet::new();
+        for (po, drv) in n.outputs() {
+            let gate = n.gate(*drv);
+            if !gate.kind.is_logic() {
+                continue;
+            }
+            let Some(&k) = gate.fanin.iter().find(|f| keys.contains(f)) else { continue };
+            // The rest of the output cone must be key-free: the key gate is
+            // then the *entire* obfuscation at this output and peels off.
+            if gate.fanin.iter().all(|&f| f == k || a.taint_is_empty(f)) && flagged.insert(*drv) {
+                let name = key_name(n, k);
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: Severity::Warn,
+                    span: Span::object(&name),
+                    message: format!(
+                        "key input `{name}` feeds the last gate before primary output `{po}` \
+                         and the rest of that cone is key-free: the obfuscation is one \
+                         peelable gate"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `K005`: key-tainted logic outside the live set.
+pub struct DeadLockedLogic;
+
+impl Rule for DeadLockedLogic {
+    fn id(&self) -> &'static str {
+        "K005"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "dead locked logic: key-tainted gates outside the live set (swept in resynthesis)"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.key_inputs.is_empty() {
+            return;
+        }
+        let Some(a) = t.dataflow() else { return };
+        let live = n.live_set();
+        let mut dead_gates_per_bit = vec![0usize; a.keys.len()];
+        for g in n.ids() {
+            if !live[g.index()] && n.gate(g).kind.is_logic() {
+                for bit in a.taint_bits(g) {
+                    dead_gates_per_bit[bit] += 1;
+                }
+            }
+        }
+        for (bit, &count) in dead_gates_per_bit.iter().enumerate() {
+            if count > 0 {
+                let name = key_name(n, a.keys[bit]);
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: Severity::Deny,
+                    span: Span::object(&name),
+                    message: format!(
+                        "key input `{name}` taints {count} dead gate(s): the locked cone is \
+                         outside the live set and any resynthesis sweeps it (and the key \
+                         bit) away"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `K006`: key bits split into taint-disjoint, independently attackable
+/// partitions.
+pub struct KeyPartitioned;
+
+impl Rule for KeyPartitioned {
+    fn id(&self) -> &'static str {
+        "K006"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn summary(&self) -> &'static str {
+        "taint-disjoint key partitions enable divide-and-conquer attacks"
+    }
+    fn check(&self, t: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(n) = t.netlist else { return };
+        if n.key_inputs.len() < 2 {
+            return;
+        }
+        let Some(a) = t.dataflow() else { return };
+        // Count only partitions with at least one observable bit;
+        // unobservable bits are K001's finding, not a usable partition.
+        let live_parts: Vec<&Vec<usize>> = a
+            .partitions
+            .iter()
+            .filter(|p| p.iter().any(|&b| a.key_observable(b)))
+            .collect();
+        if live_parts.len() < 2 {
+            return;
+        }
+        let sizes: Vec<usize> = live_parts.iter().map(|p| p.len()).collect();
+        let name = key_name(n, a.keys[live_parts[0][0]]);
+        out.push(Diagnostic {
+            rule: self.id(),
+            severity: Severity::Info,
+            span: Span::object(&name),
+            message: format!(
+                "the {} key bits split into {} taint-disjoint partitions (sizes {:?}): each \
+                 partition is attackable independently, reducing brute force from 2^{} to {}",
+                n.key_inputs.len(),
+                live_parts.len(),
+                sizes,
+                n.key_inputs.len(),
+                sizes.iter().map(|s| format!("2^{s}")).collect::<Vec<_>>().join(" + "),
+            ),
+        });
+    }
+}

@@ -1,6 +1,7 @@
-//! The rule catalog: structural (`S…`), synthesis-soundness (`Y…`), and
-//! scan-/lock-security (`C…`) groups.
+//! The rule catalog: structural (`S…`), synthesis-soundness (`Y…`),
+//! scan-/lock-security (`C…`), and whole-design dataflow (`K…`) groups.
 
+pub mod keyflow;
 pub mod scan;
 pub mod structural;
 pub mod synthesis;
@@ -23,5 +24,11 @@ pub(crate) fn all() -> Vec<Box<dyn Rule>> {
         Box::new(scan::LockPointConstant),
         Box::new(scan::KeyConeSingleSegment),
         Box::new(scan::LockPointDead),
+        Box::new(keyflow::KeyUnreachable),
+        Box::new(keyflow::KeyGateConstant),
+        Box::new(keyflow::KeyConeBypassed),
+        Box::new(keyflow::KeyExposedAtOutput),
+        Box::new(keyflow::DeadLockedLogic),
+        Box::new(keyflow::KeyPartitioned),
     ]
 }

@@ -2,6 +2,7 @@
 //! plus the phase and scan-lock context rules use to scale severity.
 
 use crate::diag::LintPhase;
+use rtlock_dataflow::{NetAnalysis, RtlAnalysis};
 use rtlock_netlist::scoap::{self, Scoap};
 use rtlock_netlist::{GateId, Netlist};
 use rtlock_rtl::cdfg::Cdfg;
@@ -35,20 +36,14 @@ pub struct LintTarget<'a> {
     cdfg: OnceCell<Cdfg>,
     fsms: OnceCell<Vec<Fsm>>,
     scoap: OnceCell<Scoap>,
+    dataflow: OnceCell<NetAnalysis>,
+    rtl_dataflow: OnceCell<RtlAnalysis>,
 }
 
 impl<'a> LintTarget<'a> {
     /// A target over RTL only.
     pub fn rtl(module: &'a Module) -> LintTarget<'a> {
-        LintTarget {
-            module: Some(module),
-            netlist: None,
-            phase: LintPhase::Standalone,
-            scan_locked: false,
-            cdfg: OnceCell::new(),
-            fsms: OnceCell::new(),
-            scoap: OnceCell::new(),
-        }
+        LintTarget { module: Some(module), ..LintTarget::rtl_none() }
     }
 
     /// A target over a gate netlist only.
@@ -70,6 +65,8 @@ impl<'a> LintTarget<'a> {
             cdfg: OnceCell::new(),
             fsms: OnceCell::new(),
             scoap: OnceCell::new(),
+            dataflow: OnceCell::new(),
+            rtl_dataflow: OnceCell::new(),
         }
     }
 
@@ -122,6 +119,24 @@ impl<'a> LintTarget<'a> {
     /// Key inputs of the netlist (marked via `Netlist::key_inputs`).
     pub fn key_gates(&self) -> &[GateId] {
         self.netlist.map(|n| n.key_inputs.as_slice()).unwrap_or(&[])
+    }
+
+    /// Whole-netlist dataflow (key taint, ternary constants, scan
+    /// reachability), computed once on first use (`None` without a
+    /// netlist).
+    pub fn dataflow(&self) -> Option<&NetAnalysis> {
+        let n = self.netlist?;
+        Some(self.dataflow.get_or_init(|| rtlock_dataflow::analyze_netlist(n)))
+    }
+
+    /// Whole-module RTL dataflow (constant nets, CDFG key taint), computed
+    /// once on first use (`None` without a module).
+    pub fn rtl_dataflow(&self) -> Option<&RtlAnalysis> {
+        let m = self.module?;
+        Some(
+            self.rtl_dataflow
+                .get_or_init(|| rtlock_dataflow::analyze_module(m, &self.key_nets())),
+        )
     }
 }
 

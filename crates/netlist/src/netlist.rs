@@ -405,6 +405,21 @@ impl Netlist {
         d
     }
 
+    /// Keeps only the primary outputs `keep` accepts (by name and
+    /// driver), preserving relative order. Output *port groups* whose bits
+    /// all disappear are dropped too. Used by the dataflow-pruned SAT
+    /// attack to restrict a locked netlist to the outputs one key
+    /// partition can influence.
+    pub fn retain_outputs(&mut self, mut keep: impl FnMut(&str, GateId) -> bool) {
+        self.outputs.retain(|(name, drv)| keep(name, *drv));
+        let kept: std::collections::HashSet<GateId> =
+            self.outputs.iter().map(|&(_, g)| g).collect();
+        for p in &mut self.output_ports {
+            p.bits.retain(|b| kept.contains(b));
+        }
+        self.output_ports.retain(|p| !p.bits.is_empty());
+    }
+
     /// Replaces the driver of output `index`.
     ///
     /// # Panics

@@ -12,6 +12,7 @@
 pub use rtlock;
 pub use rtlock_atpg as atpg;
 pub use rtlock_attacks as attacks;
+pub use rtlock_dataflow as dataflow;
 pub use rtlock_designs as designs;
 pub use rtlock_fuzz as fuzz;
 pub use rtlock_ilp as ilp;

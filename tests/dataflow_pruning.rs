@@ -1,0 +1,146 @@
+//! Regression for the dataflow-pruned SAT attack across the full catalog.
+//!
+//! Two tiers, because the vendored solver's cost differs by orders of
+//! magnitude across the designs:
+//!
+//! * **Tractable designs** (`b05`, `fibo`) run under a pure iteration cap
+//!   — no wall clock — so both attacks are deterministic, and the pruned
+//!   attack must reach the *same* verdict as the plain one (a
+//!   functionally correct key) without ever spending more DIP iterations.
+//! * **SAT-hard designs** (`b14`, `b15`, `sha1`, `aes128` lock to miters
+//!   over arithmetic cones where a single solver call can outlive any CI
+//!   budget) run under a short wall-clock budget. There the contract is
+//!   monotone instead of strict: pruning may only *improve* the verdict
+//!   (`TimedOut` → `KeyFound` is the whole point of splitting the key
+//!   space), never degrade it, and any key it does find must be
+//!   functionally correct.
+
+use rtlock_repro::attacks::{
+    key_accuracy, sat_attack, sat_attack_pruned, AttackConfig, AttackOutcome,
+};
+use rtlock_repro::rtlock::database::DatabaseConfig;
+use rtlock_repro::rtlock::select::SelectionSpec;
+use rtlock_repro::rtlock::{lock, AttackSurface, RtlLockConfig};
+use std::time::Duration;
+
+const TRACTABLE: [&str; 2] = ["b05", "fibo"];
+
+fn quick_config() -> RtlLockConfig {
+    RtlLockConfig {
+        enumeration: rtlock_repro::rtlock::candidates::EnumConfig {
+            max_constants: 6,
+            max_arith: 4,
+            max_const_key_bits: 4,
+        },
+        database: DatabaseConfig {
+            sat_probe: false,
+            ml_probe: false,
+            cosim_cycles: 16,
+            corruption_samples: 1,
+            ..DatabaseConfig::default()
+        },
+        spec: SelectionSpec {
+            min_resilience: 100.0,
+            max_area_pct: 40.0,
+            min_key_bits: 4,
+            ..SelectionSpec::default()
+        },
+        scan: None, // direct combinational views for the attacks
+        verify_cycles: 24,
+        ..RtlLockConfig::default()
+    }
+}
+
+#[test]
+fn pruned_attack_never_degrades_the_plain_verdict_across_the_catalog() {
+    for bench in rtlock_designs::catalog() {
+        let module = bench.module().expect("catalog designs parse");
+        let locked = lock(&module, &quick_config())
+            .unwrap_or_else(|e| panic!("{}: flow failed: {e}", bench.name));
+        let AttackSurface::CombinationalViews { locked: lv, original: ov } =
+            locked.attack_surface(None).expect("surface")
+        else {
+            panic!("{}: expected combinational views without scan locking", bench.name);
+        };
+
+        let strict = TRACTABLE.contains(&bench.name);
+        let config = if strict {
+            // An iteration cap instead of a deadline keeps the run
+            // reproducible: the DIP sequence is a pure function of the
+            // netlist.
+            AttackConfig { max_iterations: 2_000, timeout: None, cancel: None }
+        } else {
+            AttackConfig {
+                max_iterations: 2_000,
+                timeout: Some(Duration::from_secs(5)),
+                cancel: None,
+            }
+        };
+
+        let plain = sat_attack(&lv, &ov, &config);
+        let pruned = sat_attack_pruned(&lv, &ov, &config);
+
+        // The analysis products must be coherent regardless of verdicts.
+        for bit in &pruned.pruned_bits {
+            assert!(
+                !pruned.partitions.iter().any(|p| p.contains(bit)),
+                "{}: pruned bit {bit} still in a partition",
+                bench.name
+            );
+        }
+
+        match (&plain, &pruned.outcome) {
+            (
+                AttackOutcome::KeyFound { key: pk, iterations: pi, .. },
+                AttackOutcome::KeyFound { key: qk, iterations: qi, .. },
+            ) => {
+                assert_eq!(pk.len(), qk.len(), "{}", bench.name);
+                // Both keys must be functionally correct — they need not be
+                // bit-identical (prunable bits are don't-cares).
+                assert_eq!(
+                    key_accuracy(&lv, &ov, pk, 64, 17),
+                    1.0,
+                    "{}: plain key wrong",
+                    bench.name
+                );
+                assert_eq!(
+                    key_accuracy(&lv, &ov, qk, 64, 17),
+                    1.0,
+                    "{}: pruned key wrong",
+                    bench.name
+                );
+                assert!(
+                    qi <= pi,
+                    "{}: pruned attack used more DIPs ({qi}) than unpruned ({pi})",
+                    bench.name
+                );
+            }
+            (AttackOutcome::TimedOut { .. }, AttackOutcome::KeyFound { key, .. }) if !strict => {
+                // Pruning turned an intractable instance into solvable
+                // pieces: allowed, as long as the merged key is right.
+                assert_eq!(
+                    key_accuracy(&lv, &ov, key, 64, 17),
+                    1.0,
+                    "{}: pruned key wrong",
+                    bench.name
+                );
+            }
+            (a, b) => {
+                assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "{}: pruned verdict degraded: plain {a:?}, pruned {b:?}",
+                    bench.name
+                );
+            }
+        }
+
+        if strict {
+            assert!(
+                matches!(plain, AttackOutcome::KeyFound { .. }),
+                "{}: tractable design must break under the iteration cap: {plain:?}",
+                bench.name
+            );
+        }
+    }
+}

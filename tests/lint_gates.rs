@@ -43,6 +43,10 @@ fn assert_gates_clean(name: &str, report: &FlowReport) {
         report.post_lint.as_ref().unwrap_or_else(|| panic!("{name}: post-lock gate skipped"));
     assert!(post.skipped.is_empty(), "{name}: post-lock rules skipped: {:?}", post.skipped);
     assert_eq!(post.deny_count(), 0, "{name} post-lock:\n{}", post.to_text());
+    let analysis =
+        report.analysis.as_ref().unwrap_or_else(|| panic!("{name}: analysis stage skipped"));
+    assert!(analysis.skipped.is_empty(), "{name}: dataflow rules skipped: {:?}", analysis.skipped);
+    assert_eq!(analysis.deny_count(), 0, "{name} analysis:\n{}", analysis.to_text());
 }
 
 #[test]
@@ -96,4 +100,78 @@ fn sabotaged_transform_is_rejected_at_the_post_lock_gate() {
     // The same design without the sabotage passes both gates.
     let clean = lock(&module, &quick_config()).expect("clean run locks");
     assert_gates_clean("fibo", &clean.report);
+}
+
+#[test]
+fn analysis_gate_backstops_a_skipped_post_lock_gate() {
+    // Knock out the post-lock gate (C002 would catch the sabotage there)
+    // and the dataflow stage must still reject: K002 proves the planted
+    // key gate constant from the RTL const-net fixpoint.
+    let module = rtlock_designs::by_name("fibo").expect("bundled").module().expect("parses");
+    let budget = RunBudget::unlimited().with_faults(
+        FaultPlan::none()
+            .inject(Stage::Transform, Fault::Sabotage)
+            .inject(Stage::PostLint, Fault::EmptyResult),
+    );
+    match lock_governed(&module, &quick_config(), &budget) {
+        Err(LockError::LintRejected { stage, findings }) => {
+            assert_eq!(stage, Stage::Analyze);
+            assert!(
+                findings.iter().any(|d| d.rule == "K002"),
+                "the constant key gate must be caught by dataflow: {findings:?}"
+            );
+        }
+        other => panic!("expected analysis-stage rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn post_lock_report_deduplicates_pre_lock_findings() {
+    // An unused net fires the same (rule, span, message) finding on the
+    // input module and again on the locked module; the flow must report
+    // it once, on the pre-lock gate.
+    let src = "module dup(input clk, input rst, input go, input [7:0] d, output reg [7:0] y, output busy);\n\
+        reg [1:0] st; reg [1:0] st_next;\n\
+        wire spare;\n\
+        assign spare = go & busy;\n\
+        assign busy = st != 2'd0;\n\
+        always @(*) begin\n\
+          st_next = st;\n\
+          case (st)\n\
+            2'd0: begin if (go) st_next = 2'd1; end\n\
+            2'd1: begin st_next = 2'd2; end\n\
+            2'd2: begin st_next = 2'd0; end\n\
+          endcase\n\
+        end\n\
+        always @(posedge clk or posedge rst) begin\n\
+          if (rst) begin st <= 2'd0; y <= 8'd0; end\n\
+          else begin\n\
+            st <= st_next;\n\
+            if (st == 2'd1) y <= (d + 8'd37) ^ 8'h5A;\n\
+          end\n\
+        end\nendmodule";
+    let module = parse(src).expect("parses");
+    let locked = lock(&module, &quick_config()).expect("locks");
+    let pre = locked.report.pre_lint.as_ref().expect("pre gate ran");
+    let post = locked.report.post_lint.as_ref().expect("post gate ran");
+    let key = |d: &rtlock_lint::Diagnostic| (d.rule, d.span.clone(), d.message.clone());
+    let pre_keys: Vec<_> = pre.diagnostics.iter().map(key).collect();
+    assert!(
+        pre.diagnostics.iter().any(|d| d.rule == "S005"),
+        "expected the unused net on the pre-lock report:\n{}",
+        pre.to_text()
+    );
+    for d in &post.diagnostics {
+        assert!(
+            !pre_keys.contains(&key(d)),
+            "finding duplicated across gates: {d}\npre:\n{}\npost:\n{}",
+            pre.to_text(),
+            post.to_text()
+        );
+    }
+    if let Some(analysis) = locked.report.analysis.as_ref() {
+        for d in &analysis.diagnostics {
+            assert!(!pre_keys.contains(&key(d)), "finding duplicated into analysis: {d}");
+        }
+    }
 }

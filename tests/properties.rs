@@ -191,3 +191,128 @@ proptest! {
         }
     }
 }
+
+// ---- Key-taint is a sound over-approximation of key dependence ----------
+//
+// Brute-force ground truth: with 5 free bits (2 data inputs + 3 key
+// inputs) the 64-lane netlist simulator holds the entire truth table in
+// one word. A gate whose value changes when a single key bit flips
+// *depends* on that bit, so the dataflow fixpoint must report it tainted;
+// the same trick cross-checks the per-key-bit cofactor constants and the
+// plain ternary constant proofs against exhaustive simulation.
+
+/// Same shape as [`random_netlist`], plus three marked key inputs.
+fn random_locked_netlist(ops: &[u8]) -> Netlist {
+    let mut n = Netlist::new("prop_locked");
+    let mut nets = vec![n.add_input("a"), n.add_input("b")];
+    for i in 0..3 {
+        let k = n.add_input(format!("keyinput{i}"));
+        n.mark_key_input(k);
+        nets.push(k);
+    }
+    nets.push(n.add_gate(GateKind::Const0, vec![]));
+    nets.push(n.add_gate(GateKind::Const1, vec![]));
+    for (i, &op) in ops.iter().enumerate() {
+        let a = nets[(op as usize / 7) % nets.len()];
+        let b = nets[(op as usize * 13 + i) % nets.len()];
+        let s = nets[(op as usize * 31 + i * 3) % nets.len()];
+        let kind = match op % 10 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Xor,
+            3 => GateKind::Nand,
+            4 => GateKind::Nor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Not,
+            7 => GateKind::Buf,
+            _ => GateKind::Mux,
+        };
+        let g = match kind {
+            GateKind::Not | GateKind::Buf => n.add_gate(kind, vec![a]),
+            GateKind::Mux => n.add_gate(kind, vec![s, a, b]),
+            _ => n.add_gate(kind, vec![a, b]),
+        };
+        nets.push(g);
+    }
+    n.add_output("y0", *nets.last().expect("non-empty"));
+    n.add_output("y1", nets[nets.len() / 2]);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn key_taint_covers_every_simulated_key_dependence(
+        ops in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        use rtlock_repro::dataflow::analyze_netlist;
+
+        let n = random_locked_netlist(&ops);
+        let analysis = analyze_netlist(&n);
+        let inputs: Vec<_> = n.inputs().to_vec();
+        prop_assert_eq!(inputs.len(), 5);
+        let lanes: u64 = (1 << (1 << inputs.len())) - 1; // 32 lanes used
+
+        // Lane j carries input valuation j: input i reads bit i of j.
+        let truth_table = |i: usize| -> u64 {
+            let mut w = 0u64;
+            for j in 0..32u64 {
+                w |= (j >> i & 1) << j;
+            }
+            w
+        };
+        let mut sim = NetSim::new(&n).expect("acyclic");
+        for (i, &g) in inputs.iter().enumerate() {
+            sim.set_input(g, truth_table(i));
+        }
+        sim.eval_comb();
+        let base: Vec<u64> = n.ids().map(|g| sim.value(g)).collect();
+
+        // Ternary constant proofs agree with the exhaustive truth table.
+        for (g, &word) in n.ids().zip(&base) {
+            if let Some(c) = analysis.value_of(g).constant() {
+                let want = if c { lanes } else { 0 };
+                prop_assert_eq!(
+                    word & lanes, want,
+                    "gate {} proven constant {} but simulates otherwise", g, c
+                );
+            }
+        }
+
+        for (bit, &kg) in n.key_inputs.clone().iter().enumerate() {
+            let ki = inputs.iter().position(|&g| g == kg).expect("key is an input");
+
+            // Cofactor constants hold on the matching half of the lanes.
+            let half = |v: bool| -> u64 {
+                (0..32u64).filter(|j| (j >> ki & 1 == 1) == v).map(|j| 1 << j).sum()
+            };
+            for (g, &word) in n.ids().zip(&base) {
+                let (c0, c1) = analysis.cofactor_values(bit, g);
+                for (cof, v) in [(c0, false), (c1, true)] {
+                    if let Some(c) = cof.constant() {
+                        let m = half(v);
+                        prop_assert_eq!(
+                            word & m, if c { m } else { 0 },
+                            "gate {} cofactor(key{}={}) proven {} but simulates otherwise",
+                            g, bit, v, c
+                        );
+                    }
+                }
+            }
+
+            // Flip only this key bit: any gate that changes is key-dependent
+            // and must be tainted.
+            sim.set_input(kg, truth_table(ki) ^ lanes);
+            sim.eval_comb();
+            for (g, &b) in n.ids().zip(&base) {
+                if (sim.value(g) ^ b) & lanes != 0 {
+                    prop_assert!(
+                        analysis.is_tainted_by(g, bit),
+                        "gate {} depends on key bit {} but is not tainted", g, bit
+                    );
+                }
+            }
+            sim.set_input(kg, truth_table(ki));
+        }
+    }
+}
