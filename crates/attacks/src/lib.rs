@@ -62,4 +62,4 @@ pub use portfolio::{
 };
 pub use prune::{dataflow_removal_candidates, sat_attack_pruned, PrunedAttack, RemovalJustification};
 pub use removal::{removal_attack, RemovalOutcome};
-pub use sat_attack::{apply_key, key_accuracy, sat_attack, AttackConfig, AttackOutcome};
+pub use sat_attack::{apply_key, key_accuracy, sat_attack, sat_attack_with, AttackConfig, AttackOutcome};

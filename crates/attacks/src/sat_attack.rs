@@ -16,7 +16,7 @@
 use crate::oracle::CombOracle;
 use rtlock_governor::{CancelToken, Deadline};
 use rtlock_netlist::{CnfBuilder, GateId, Netlist};
-use rtlock_sat::{Budget, Lit, SolveResult, Solver};
+use rtlock_sat::{Budget, Lit, SatBackend, SolveResult, Solver};
 use std::time::{Duration, Instant};
 
 /// Attack resource limits.
@@ -122,6 +122,19 @@ impl AttackOutcome {
 /// Input and output correspondence is by name: every non-key input and
 /// every output of `locked` must exist in `original`.
 pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -> AttackOutcome {
+    sat_attack_with::<Solver>(locked, original, config)
+}
+
+/// [`sat_attack`] parameterized over the solver backend. The attack loop,
+/// miter encoding and DIP schedule are identical for every backend; only
+/// the solving engine differs — which is what lets the bench harness
+/// demand identical recovered keys from the arena core and the frozen
+/// [`rtlock_sat::baseline`] solver while timing both.
+pub fn sat_attack_with<S: SatBackend>(
+    locked: &Netlist,
+    original: &Netlist,
+    config: &AttackConfig,
+) -> AttackOutcome {
     let start = Instant::now();
     if locked.key_inputs.is_empty() {
         return AttackOutcome::Infeasible { reason: "no key inputs".into() };
@@ -148,7 +161,7 @@ pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -
     }
 
     let mut cnf = CnfBuilder::new();
-    let mut solver = Solver::new();
+    let mut solver = S::new();
     let mut drained = 0usize;
 
     // Shared x variables and two key copies.
@@ -287,14 +300,14 @@ pub fn sat_attack(locked: &Netlist, original: &Netlist, config: &AttackConfig) -
 /// [`AttackOutcome::Error`], never substitute a default: a fabricated key
 /// bit silently turns "attack machinery broke" into a plausible-looking
 /// wrong key.
-pub(crate) fn model_bits(solver: &Solver, vars: &[i32]) -> Result<Vec<bool>, usize> {
+pub(crate) fn model_bits<S: SatBackend>(solver: &S, vars: &[i32]) -> Result<Vec<bool>, usize> {
     vars.iter()
         .enumerate()
         .map(|(i, &v)| solver.value(rtlock_sat::Var(v as u32 - 1)).ok_or(i))
         .collect()
 }
 
-fn sync(cnf: &mut CnfBuilder, solver: &mut Solver, drained: &mut usize) {
+fn sync<S: SatBackend>(cnf: &mut CnfBuilder, solver: &mut S, drained: &mut usize) {
     solver.reserve_vars(cnf.num_vars());
     let clauses = cnf.clauses();
     for c in &clauses[*drained..] {

@@ -1,0 +1,252 @@
+//! SAT-core benchmark: the modern arena solver vs. the frozen pre-arena
+//! baseline, recorded as `BENCH_sat.json`.
+//!
+//! Two measurement families:
+//!
+//! * **DIMACS corpus** — every instance under `crates/sat/tests/dimacs/`
+//!   is solved by both backends (best of `RTLOCK_BENCH_REPS` reps,
+//!   default 3). Verdicts must match the expected table and each other;
+//!   the JSON records per-file and total wall clock for both.
+//! * **Catalog SAT attack** — for each `RTLOCK_DESIGNS` design (default
+//!   `b05,fibo,b14`) the RTLock* surface (scan locking disabled) is
+//!   attacked end-to-end once per backend with identical configuration.
+//!   Both must recover a functionally correct key (checked by
+//!   co-simulation); the JSON records wall clock, DIP iterations, and
+//!   whether the recovered keys are bit-identical.
+//!
+//! Knobs: `RTLOCK_DESIGNS`, `RTLOCK_BENCH_REPS`, `RTLOCK_TIMEOUT_SECS`,
+//! `RTLOCK_BENCH_OUT` (default `BENCH_sat.json`).
+
+use rtlock::{lock, AttackSurface};
+use rtlock_attacks::{key_accuracy, sat_attack_with, AttackConfig, AttackOutcome};
+use rtlock_bench::{attack_timeout, prepare, rtlock_config, secs, selected_designs};
+use rtlock_netlist::Netlist;
+use rtlock_sat::{SatBackend, SolveResult};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The on-disk corpus with expected verdicts (kept in lockstep with
+/// `crates/sat/tests/dimacs_corpus.rs`).
+const CORPUS: &[(&str, &str, SolveResult)] = &[
+    ("php4.cnf", include_str!("../../../sat/tests/dimacs/php4.cnf"), SolveResult::Unsat),
+    ("php5.cnf", include_str!("../../../sat/tests/dimacs/php5.cnf"), SolveResult::Unsat),
+    ("php6.cnf", include_str!("../../../sat/tests/dimacs/php6.cnf"), SolveResult::Unsat),
+    ("php7.cnf", include_str!("../../../sat/tests/dimacs/php7.cnf"), SolveResult::Unsat),
+    (
+        "parity_chain_sat.cnf",
+        include_str!("../../../sat/tests/dimacs/parity_chain_sat.cnf"),
+        SolveResult::Sat,
+    ),
+    (
+        "parity_chain_unsat.cnf",
+        include_str!("../../../sat/tests/dimacs/parity_chain_unsat.cnf"),
+        SolveResult::Unsat,
+    ),
+    ("rand3_s1.cnf", include_str!("../../../sat/tests/dimacs/rand3_s1.cnf"), SolveResult::Sat),
+    ("rand3_s2.cnf", include_str!("../../../sat/tests/dimacs/rand3_s2.cnf"), SolveResult::Unsat),
+    ("rand3_s3.cnf", include_str!("../../../sat/tests/dimacs/rand3_s3.cnf"), SolveResult::Unsat),
+];
+
+fn parse_dimacs(text: &str) -> Vec<Vec<i32>> {
+    let mut clauses = Vec::new();
+    let mut current = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let lit: i32 = tok.parse().expect("integer literal");
+            if lit == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                current.push(lit);
+            }
+        }
+    }
+    assert!(current.is_empty(), "unterminated clause");
+    clauses
+}
+
+/// Best-of-reps wall clock (ms) for a fresh load+solve; asserts the
+/// verdict every repetition.
+fn time_solve<S: SatBackend>(clauses: &[Vec<i32>], expect: SolveResult, reps: usize) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let mut s = S::new();
+            for c in clauses {
+                s.add_dimacs_clause(c);
+            }
+            assert_eq!(s.solve(&[]), expect, "verdict drift");
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct AttackRow {
+    outcome: &'static str,
+    ms: f64,
+    iterations: usize,
+    key: Option<Vec<bool>>,
+}
+
+fn run_attack<S: SatBackend>(locked: &Netlist, original: &Netlist) -> AttackRow {
+    let cfg = AttackConfig {
+        max_iterations: 1_000_000,
+        timeout: Some(attack_timeout()),
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let out = sat_attack_with::<S>(locked, original, &cfg);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    match out {
+        AttackOutcome::KeyFound { key, iterations, .. } => {
+            AttackRow { outcome: "key_found", ms, iterations, key: Some(key) }
+        }
+        AttackOutcome::TimedOut { iterations, .. } => {
+            AttackRow { outcome: "timeout", ms, iterations, key: None }
+        }
+        AttackOutcome::Infeasible { .. } => AttackRow { outcome: "infeasible", ms, iterations: 0, key: None },
+        AttackOutcome::Error { .. } => AttackRow { outcome: "error", ms, iterations: 0, key: None },
+    }
+}
+
+fn key_bits(key: &[bool]) -> String {
+    key.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn main() {
+    let reps: usize =
+        std::env::var("RTLOCK_BENCH_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    let out_path = std::env::var("RTLOCK_BENCH_OUT").unwrap_or_else(|_| "BENCH_sat.json".into());
+    let designs = selected_designs();
+
+    // ---- DIMACS corpus ---------------------------------------------------
+    eprintln!("sat bench: {} corpus files, best of {reps} reps", CORPUS.len());
+    let mut corpus_rows = Vec::new();
+    let (mut arena_total, mut baseline_total) = (0.0f64, 0.0f64);
+    for &(name, text, expect) in CORPUS {
+        let clauses = parse_dimacs(text);
+        let arena_ms = time_solve::<rtlock_sat::Solver>(&clauses, expect, reps);
+        let baseline_ms = time_solve::<rtlock_sat::baseline::Solver>(&clauses, expect, reps);
+        arena_total += arena_ms;
+        baseline_total += baseline_ms;
+        let verdict = if expect == SolveResult::Sat { "SAT" } else { "UNSAT" };
+        eprintln!(
+            "  {name}: {verdict}, arena {arena_ms:.3} ms, baseline {baseline_ms:.3} ms ({:.2}x)",
+            baseline_ms / arena_ms.max(1e-9)
+        );
+        corpus_rows.push((name, verdict, arena_ms, baseline_ms));
+    }
+    eprintln!(
+        "  corpus total: arena {arena_total:.3} ms, baseline {baseline_total:.3} ms ({:.2}x)",
+        baseline_total / arena_total.max(1e-9)
+    );
+
+    // ---- catalog SAT attack ---------------------------------------------
+    let mut catalog_rows = Vec::new();
+    for name in &designs {
+        let (module, _original) = prepare(name);
+        let ld = match lock(&module, &rtlock_config(name, false)) {
+            Ok(ld) => ld,
+            Err(e) => {
+                eprintln!("  {name}: lock failed: {e}");
+                continue;
+            }
+        };
+        let (locked, original) = match ld.attack_surface(None) {
+            Ok(AttackSurface::CombinationalViews { locked, original }) => (locked, original),
+            other => {
+                eprintln!("  {name}: unexpected attack surface: {other:?}");
+                continue;
+            }
+        };
+        let arena = run_attack::<rtlock_sat::Solver>(&locked, &original);
+        let baseline = run_attack::<rtlock_sat::baseline::Solver>(&locked, &original);
+        assert_eq!(
+            arena.outcome, baseline.outcome,
+            "{name}: backends disagree on the attack outcome"
+        );
+        // A recovered key must be functionally correct for both backends:
+        // the SAT attack promises *a* correct key, not a unique bit
+        // pattern, so equivalence is checked by co-simulation and bit
+        // identity is only reported.
+        for (which, row) in [("arena", &arena), ("baseline", &baseline)] {
+            if let Some(k) = &row.key {
+                let acc = key_accuracy(&locked, &original, k, 128, 0xACC);
+                assert!(
+                    (acc - 1.0).abs() < f64::EPSILON,
+                    "{name}: {which} recovered a wrong key (accuracy {acc})"
+                );
+            }
+        }
+        let keys_bit_identical = match (&arena.key, &baseline.key) {
+            (Some(a), Some(b)) => Some(a == b),
+            _ => None,
+        };
+        eprintln!(
+            "  {name}: ||k||={}, arena {} in {} s ({} DIPs), baseline {} in {} s ({} DIPs), \
+             bit-identical keys: {keys_bit_identical:?}",
+            locked.key_inputs.len(),
+            arena.outcome,
+            secs(std::time::Duration::from_secs_f64(arena.ms / 1e3)),
+            arena.iterations,
+            baseline.outcome,
+            secs(std::time::Duration::from_secs_f64(baseline.ms / 1e3)),
+            baseline.iterations,
+        );
+        catalog_rows.push((name.clone(), locked.key_inputs.len(), arena, baseline, keys_bit_identical));
+    }
+
+    // ---- JSON ------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"sat_core\",\n");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"timeout_secs\": {},", attack_timeout().as_secs());
+    json.push_str("  \"corpus\": [\n");
+    for (i, (name, verdict, arena_ms, baseline_ms)) in corpus_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"file\": \"{name}\", \"verdict\": \"{verdict}\", \
+             \"arena_ms\": {arena_ms:.3}, \"baseline_ms\": {baseline_ms:.3}}}"
+        );
+        json.push_str(if i + 1 < corpus_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"corpus_total\": {{\"arena_ms\": {arena_total:.3}, \"baseline_ms\": {baseline_total:.3}, \
+         \"speedup\": {:.3}}},",
+        baseline_total / arena_total.max(1e-9)
+    );
+    json.push_str("  \"catalog\": [\n");
+    for (i, (name, kbits, arena, baseline, ident)) in catalog_rows.iter().enumerate() {
+        let ident_str = match ident {
+            Some(true) => "true",
+            Some(false) => "false",
+            None => "null",
+        };
+        let arena_key = arena.key.as_deref().map(key_bits).unwrap_or_default();
+        let _ = write!(
+            json,
+            "    {{\"design\": \"{name}\", \"key_bits\": {kbits}, \
+             \"arena\": {{\"outcome\": \"{}\", \"ms\": {:.3}, \"iterations\": {}, \"dips_per_sec\": {:.2}}}, \
+             \"baseline\": {{\"outcome\": \"{}\", \"ms\": {:.3}, \"iterations\": {}, \"dips_per_sec\": {:.2}}}, \
+             \"keys_bit_identical\": {ident_str}, \"arena_key\": \"{arena_key}\"}}",
+            arena.outcome,
+            arena.ms,
+            arena.iterations,
+            arena.iterations as f64 / (arena.ms / 1e3).max(1e-9),
+            baseline.outcome,
+            baseline.ms,
+            baseline.iterations,
+            baseline.iterations as f64 / (baseline.ms / 1e3).max(1e-9),
+        );
+        json.push_str(if i + 1 < catalog_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    rtlock_store::atomic_write(&out_path, &json).expect("write BENCH_sat.json");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,661 @@
+//! The pre-arena reference solver, frozen for differential testing.
+//!
+//! This is the solver as it stood before the flat-arena rewrite: clauses
+//! as owned `Vec<Lit>`s, clause-activity-based reduction, plain Luby
+//! restarts, no LBD tracking, no minimization, no inprocessing. It is
+//! kept verbatim (modulo sharing [`Budget`]/[`Stats`]) as the oracle the
+//! differential harness and the `bench sat` bin compare the modern core
+//! against — same verdicts, same recovered keys, different wall clock.
+//!
+//! Do not "improve" this module; its value is that it does not change.
+
+use crate::solver::{Budget, Stats};
+use crate::types::{Lit, SolveResult, Var};
+
+const UNDEF_CLAUSE: i32 = -1;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+/// The reference CDCL solver (pre-arena): two-watched-literal propagation,
+/// VSIDS decisions with phase saving, first-UIP learning, Luby restarts,
+/// activity-based learnt reduction, incremental solving under assumptions.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>,
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<i32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    phase: Vec<bool>,
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>,
+    ok: bool,
+    stats: Stats,
+    budget: Budget,
+    seen: Vec<bool>,
+    model: Vec<i8>,
+}
+
+const HEAP_NONE: usize = usize::MAX;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            phase: Vec::new(),
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            ok: true,
+            stats: Stats::default(),
+            budget: Budget::unlimited(),
+            seen: Vec::new(),
+            model: Vec::new(),
+        }
+    }
+
+    /// Sets the resource budget for subsequent [`Solver::solve`] calls.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Cumulative search statistics.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(0);
+        self.level.push(0);
+        self.reason.push(UNDEF_CLAUSE);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.heap_pos.push(HEAP_NONE);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Ensures at least `n` variables exist (for DIMACS-style loading).
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Adds a clause given in DIMACS literals, allocating variables on
+    /// demand. Returns `false` if the formula is now trivially UNSAT.
+    pub fn add_dimacs_clause(&mut self, lits: &[i32]) -> bool {
+        let max_var = lits.iter().map(|l| l.unsigned_abs() as usize).max().unwrap_or(0);
+        self.reserve_vars(max_var);
+        let converted: Vec<Lit> = lits.iter().map(|&l| Lit::from_dimacs(l)).collect();
+        self.add_clause(&converted)
+    }
+
+    /// Adds a clause. Must be called at decision level 0. Returns `false`
+    /// if the formula is now trivially UNSAT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search or with unallocated variables.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(self.trail_lim.is_empty(), "add_clause must be called at level 0");
+        if !self.ok {
+            return false;
+        }
+        for l in lits {
+            assert!(l.var().index() < self.num_vars(), "unallocated variable {}", l.var());
+        }
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        let mut out = Vec::with_capacity(ls.len());
+        for &l in &ls {
+            if ls.contains(&!l) {
+                return true; // tautology
+            }
+            match self.lit_value(l) {
+                Some(true) => return true, // already satisfied at level 0
+                Some(false) => {}          // drop falsified literal
+                None => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(out[0], UNDEF_CLAUSE);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(out, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        let idx = self.clauses.len() as u32;
+        self.watches[lits[0].index()].push(idx);
+        self.watches[lits[1].index()].push(idx);
+        self.clauses.push(Clause { lits, learnt, activity: 0.0 });
+        if learnt {
+            self.stats.learnts += 1;
+        }
+        idx
+    }
+
+    /// The model value of a variable after a [`SolveResult::Sat`] answer;
+    /// `None` if the variable did not occur in the search.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        let v = self.model.get(var.index()).copied().unwrap_or(0);
+        match v {
+            1 => Some(true),
+            -1 => Some(false),
+            _ => None,
+        }
+    }
+
+    fn assigned_value(&self, var: Var) -> Option<bool> {
+        match self.assign[var.index()] {
+            1 => Some(true),
+            -1 => Some(false),
+            _ => None,
+        }
+    }
+
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.assigned_value(lit.var()).map(|v| lit.apply(v))
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: i32) {
+        debug_assert_eq!(self.lit_value(lit), None);
+        let v = lit.var();
+        self.assign[v.index()] = if lit.is_positive() { 1 } else { -1 };
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.phase[v.index()] = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                let (keep, conflict) = self.visit_watch(ci, false_lit);
+                if !keep {
+                    watch_list.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+                if conflict {
+                    let existing = std::mem::take(&mut self.watches[false_lit.index()]);
+                    watch_list.extend(existing);
+                    self.watches[false_lit.index()] = watch_list;
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+            }
+            let existing = std::mem::take(&mut self.watches[false_lit.index()]);
+            watch_list.extend(existing);
+            self.watches[false_lit.index()] = watch_list;
+        }
+        None
+    }
+
+    fn visit_watch(&mut self, ci: u32, false_lit: Lit) -> (bool, bool) {
+        let clause = &mut self.clauses[ci as usize];
+        if clause.lits[0] == false_lit {
+            clause.lits.swap(0, 1);
+        }
+        debug_assert_eq!(clause.lits[1], false_lit);
+        let first = clause.lits[0];
+        if self.assign[first.var().index()] != 0 && first.apply(self.assign[first.var().index()] == 1) {
+            return (true, false); // satisfied by the other watch
+        }
+        for k in 2..clause.lits.len() {
+            let l = clause.lits[k];
+            let val = self.assign[l.var().index()];
+            let is_false = val != 0 && !l.apply(val == 1);
+            if !is_false {
+                clause.lits.swap(1, k);
+                let new_watch = clause.lits[1];
+                self.watches[new_watch.index()].push(ci);
+                return (false, false);
+            }
+        }
+        let val = self.assign[first.var().index()];
+        if val == 0 {
+            self.enqueue(first, ci as i32);
+            (true, false)
+        } else {
+            (true, true) // conflict (first is false too)
+        }
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn backtrack_to(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = 0;
+            self.reason[v.index()] = UNDEF_CLAUSE;
+            if self.heap_pos[v.index()] == HEAP_NONE {
+                self.heap_insert(v);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        debug_assert_eq!(self.heap_pos[v.index()], HEAP_NONE);
+        self.heap_pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_pos[self.heap[a].index()] = a;
+        self.heap_pos[self.heap[b].index()] = b;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.index()] = HEAP_NONE;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.index()] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        let pos = self.heap_pos[v.index()];
+        if pos != HEAP_NONE {
+            self.heap_sift_up(pos);
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            let inc = self.cla_inc;
+            for c in &mut self.clauses {
+                c.activity /= inc.max(1.0);
+            }
+            self.cla_inc = 1.0;
+        }
+    }
+
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::new(Var(0), true)]; // placeholder for asserting lit
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            self.bump_clause(conflict);
+            let clause = self.clauses[conflict as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &clause[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found literal").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("UIP literal");
+                break;
+            }
+            let r = self.reason[pv.index()];
+            debug_assert!(r != UNDEF_CLAUSE, "non-decision must have a reason");
+            conflict = r as u32;
+        }
+
+        let mut backjump = 0;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            backjump = self.level[learnt[1].var().index()];
+        }
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, backjump)
+    }
+
+    fn reduce_db(&mut self) {
+        // Drop the least active half of learnt clauses that are not reasons.
+        let mut learnt_idx: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| self.clauses[i as usize].learnt)
+            .collect();
+        if learnt_idx.len() < 100 {
+            return;
+        }
+        let mut locked = vec![false; self.clauses.len()];
+        for &r in &self.reason {
+            if r != UNDEF_CLAUSE {
+                locked[r as usize] = true;
+            }
+        }
+        learnt_idx
+            .sort_by(|&a, &b| self.clauses[a as usize].activity.total_cmp(&self.clauses[b as usize].activity));
+        let drop_set: Vec<u32> = learnt_idx
+            .iter()
+            .copied()
+            .take(learnt_idx.len() / 2)
+            .filter(|&i| !locked[i as usize] && self.clauses[i as usize].lits.len() > 2)
+            .collect();
+        if drop_set.is_empty() {
+            return;
+        }
+        let mut remap: Vec<i32> = vec![UNDEF_CLAUSE; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - drop_set.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if drop_set.contains(&(i as u32)) {
+                continue;
+            }
+            remap[i] = new_clauses.len() as i32;
+            new_clauses.push(c);
+        }
+        self.clauses = new_clauses;
+        self.stats.learnts -= drop_set.len() as u64;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].index()].push(i as u32);
+            self.watches[c.lits[1].index()].push(i as u32);
+        }
+        for r in &mut self.reason {
+            if *r != UNDEF_CLAUSE {
+                *r = remap[*r as usize];
+            }
+        }
+    }
+
+    /// Solves under the given assumptions (see the modern solver's docs;
+    /// identical contract, identical verdicts, slower search).
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.budget.exceeded(&self.stats) {
+            return SolveResult::Unknown;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let mut luby_index = 0u64;
+        loop {
+            let restart_budget = 100 * luby(luby_index);
+            luby_index += 1;
+            match self.search(restart_budget, assumptions) {
+                Some(r) => {
+                    if r == SolveResult::Sat {
+                        self.model = self.assign.clone();
+                    }
+                    self.backtrack_to(0);
+                    return r;
+                }
+                None => {
+                    self.stats.restarts += 1;
+                    if self.budget.exceeded(&self.stats) {
+                        self.backtrack_to(0);
+                        return SolveResult::Unknown;
+                    }
+                    self.backtrack_to(0);
+                }
+            }
+        }
+    }
+
+    fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, backjump) = self.analyze(conflict);
+                self.backtrack_to(backjump);
+                if learnt.len() == 1 {
+                    if self.lit_value(learnt[0]) == Some(false) {
+                        self.ok = self.decision_level() > 0;
+                        return Some(SolveResult::Unsat);
+                    }
+                    if self.lit_value(learnt[0]).is_none() {
+                        self.enqueue(learnt[0], UNDEF_CLAUSE);
+                    }
+                } else {
+                    let ci = self.attach_clause(learnt.clone(), true);
+                    self.bump_clause(ci);
+                    self.enqueue(learnt[0], ci as i32);
+                }
+                self.decay_activities();
+                if conflicts_here >= conflict_budget || self.budget.exceeded(&self.stats) {
+                    return None;
+                }
+                if self.stats.learnts > 2000 + (self.clauses.len() as u64 / 2) {
+                    self.reduce_db();
+                }
+            } else {
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        Some(true) => {
+                            self.new_decision_level();
+                            continue;
+                        }
+                        Some(false) => return Some(SolveResult::Unsat),
+                        None => {
+                            self.new_decision_level();
+                            self.enqueue(a, UNDEF_CLAUSE);
+                            continue;
+                        }
+                    }
+                }
+                let next = loop {
+                    match self.heap_pop() {
+                        Some(v) if self.assign[v.index()] == 0 => break Some(v),
+                        Some(_) => continue,
+                        None => break None,
+                    }
+                };
+                match next {
+                    None => return Some(SolveResult::Sat),
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        let lit = Lit::new(v, self.phase[v.index()]);
+                        self.enqueue(lit, UNDEF_CLAUSE);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn luby(i: u64) -> u64 {
+    let mut x = i + 1;
+    loop {
+        let k = 64 - x.leading_zeros() as u64;
+        if x == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        x -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_still_solves() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        s.add_clause(&[a.negative()]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(s.solve(&[b.negative()]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn baseline_pigeonhole_unsat() {
+        let mut s = Solver::new();
+        let p = |i: i32, j: i32| 3 * i + j + 1;
+        for i in 0..4 {
+            s.add_dimacs_clause(&[p(i, 0), p(i, 1), p(i, 2)]);
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_dimacs_clause(&[-p(i1, j), -p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+}

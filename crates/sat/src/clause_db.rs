@@ -1,0 +1,253 @@
+//! Flat clause arena.
+//!
+//! Every clause lives inline in one `Vec<u32>`: two header words (size +
+//! flags, LBD) followed by the literal codes. Clauses are addressed by
+//! [`CRef`] — the word offset of the header — so the watch lists, reason
+//! array and conflict analysis all operate on plain `u32` indices instead
+//! of chasing per-clause heap allocations. Deletion is a tombstone flag;
+//! [`ClauseDB::collect`] compacts the arena and hands back a forwarding
+//! table (written into the dead arena, MiniSat-style) so the solver can
+//! remap its reason references without auxiliary hash maps.
+
+use crate::types::Lit;
+
+/// Reference to a clause: the word offset of its header in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct CRef(pub(crate) u32);
+
+/// Sentinel for "no clause" (decision / unit-fact reasons).
+pub(crate) const CREF_NONE: CRef = CRef(u32::MAX);
+
+const FLAG_LEARNT: u32 = 1;
+const FLAG_DELETED: u32 = 2;
+const FLAG_MARK: u32 = 4;
+const SIZE_SHIFT: u32 = 3;
+const HEADER_WORDS: usize = 2;
+
+/// The arena. `wasted` tracks words held by tombstoned clauses so the
+/// solver can trigger garbage collection at a fixed occupancy threshold.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClauseDB {
+    arena: Vec<u32>,
+    wasted: usize,
+}
+
+impl ClauseDB {
+    /// Appends a clause and returns its reference. `lits` must hold at
+    /// least two literals — units go straight to the trail, empties flip
+    /// the solver's `ok` flag.
+    pub(crate) fn alloc(&mut self, lits: &[Lit], learnt: bool) -> CRef {
+        debug_assert!(lits.len() >= 2, "arena clauses have >= 2 literals");
+        let cref = CRef(self.arena.len() as u32);
+        let flags = if learnt { FLAG_LEARNT } else { 0 };
+        self.arena.push((lits.len() as u32) << SIZE_SHIFT | flags);
+        self.arena.push(lits.len() as u32); // LBD; callers refine for learnts
+        self.arena.extend(lits.iter().map(|l| l.code()));
+        cref
+    }
+
+    /// Number of literals in the clause.
+    pub(crate) fn size(&self, c: CRef) -> usize {
+        (self.arena[c.0 as usize] >> SIZE_SHIFT) as usize
+    }
+
+    /// The `i`-th literal.
+    pub(crate) fn lit(&self, c: CRef, i: usize) -> Lit {
+        debug_assert!(i < self.size(c));
+        Lit::from_code(self.arena[c.0 as usize + HEADER_WORDS + i])
+    }
+
+    /// Swaps two literal positions (watch normalization).
+    pub(crate) fn swap_lits(&mut self, c: CRef, a: usize, b: usize) {
+        let base = c.0 as usize + HEADER_WORDS;
+        self.arena.swap(base + a, base + b);
+    }
+
+    /// Overwrites the `i`-th literal (test-only arena corruption hook for
+    /// the model self-check regression).
+    #[cfg(test)]
+    pub(crate) fn set_lit(&mut self, c: CRef, i: usize, l: Lit) {
+        debug_assert!(i < self.size(c));
+        self.arena[c.0 as usize + HEADER_WORDS + i] = l.code();
+    }
+
+    /// The clause's literals as a fresh vector.
+    #[cfg(test)]
+    pub(crate) fn lits(&self, c: CRef) -> Vec<Lit> {
+        let base = c.0 as usize + HEADER_WORDS;
+        self.arena[base..base + self.size(c)].iter().map(|&w| Lit::from_code(w)).collect()
+    }
+
+    /// Stored literal-block distance (glue). Original clauses carry their
+    /// size here; only learnt clauses get a computed LBD.
+    pub(crate) fn lbd(&self, c: CRef) -> u32 {
+        self.arena[c.0 as usize + 1]
+    }
+
+    /// Updates the stored LBD.
+    pub(crate) fn set_lbd(&mut self, c: CRef, lbd: u32) {
+        self.arena[c.0 as usize + 1] = lbd;
+    }
+
+    /// Whether the clause was learnt (vs. an original problem clause).
+    pub(crate) fn is_learnt(&self, c: CRef) -> bool {
+        self.arena[c.0 as usize] & FLAG_LEARNT != 0
+    }
+
+    /// Whether the clause has been tombstoned.
+    pub(crate) fn is_deleted(&self, c: CRef) -> bool {
+        self.arena[c.0 as usize] & FLAG_DELETED != 0
+    }
+
+    /// Scratch mark used by the reduce pass to pin reason clauses.
+    pub(crate) fn set_mark(&mut self, c: CRef, on: bool) {
+        if on {
+            self.arena[c.0 as usize] |= FLAG_MARK;
+        } else {
+            self.arena[c.0 as usize] &= !FLAG_MARK;
+        }
+    }
+
+    /// Reads the scratch mark.
+    pub(crate) fn is_marked(&self, c: CRef) -> bool {
+        self.arena[c.0 as usize] & FLAG_MARK != 0
+    }
+
+    /// Tombstones the clause; its words are reclaimed at the next
+    /// [`ClauseDB::collect`].
+    pub(crate) fn free(&mut self, c: CRef) {
+        debug_assert!(!self.is_deleted(c));
+        self.wasted += HEADER_WORDS + self.size(c);
+        self.arena[c.0 as usize] |= FLAG_DELETED;
+    }
+
+    /// Total arena words.
+    pub(crate) fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Words held by tombstoned clauses.
+    pub(crate) fn wasted(&self) -> usize {
+        self.wasted
+    }
+
+    /// Live clause references, in arena (insertion) order — the iteration
+    /// order every rebuild/reduce/simplify pass uses, which keeps the
+    /// solver's behaviour a pure function of the input formula.
+    pub(crate) fn refs(&self) -> Refs<'_> {
+        Refs { db: self, at: 0 }
+    }
+
+    /// Compacts the arena: copies live clauses (preserving order and
+    /// literal positions) and returns a forwarding table for remapping
+    /// outstanding [`CRef`]s. Watch lists must be rebuilt afterwards.
+    pub(crate) fn collect(&mut self) -> ClauseGc {
+        let mut old = std::mem::take(&mut self.arena);
+        let mut new_arena = Vec::with_capacity(old.len().saturating_sub(self.wasted));
+        let mut at = 0usize;
+        while at < old.len() {
+            let header = old[at];
+            let size = (header >> SIZE_SHIFT) as usize;
+            let total = HEADER_WORDS + size;
+            if header & FLAG_DELETED == 0 {
+                let fwd = new_arena.len() as u32;
+                new_arena.extend_from_slice(&old[at..at + total]);
+                // Forwarding pointer in the dead header's LBD slot.
+                old[at + 1] = fwd;
+            } else {
+                old[at + 1] = u32::MAX;
+            }
+            at += total;
+        }
+        self.arena = new_arena;
+        self.wasted = 0;
+        ClauseGc { old }
+    }
+}
+
+/// Iterator over live clause references.
+pub(crate) struct Refs<'a> {
+    db: &'a ClauseDB,
+    at: usize,
+}
+
+impl Iterator for Refs<'_> {
+    type Item = CRef;
+
+    fn next(&mut self) -> Option<CRef> {
+        while self.at < self.db.arena.len() {
+            let cref = CRef(self.at as u32);
+            let header = self.db.arena[self.at];
+            self.at += HEADER_WORDS + (header >> SIZE_SHIFT) as usize;
+            if header & FLAG_DELETED == 0 {
+                return Some(cref);
+            }
+        }
+        None
+    }
+}
+
+/// Forwarding table produced by [`ClauseDB::collect`].
+pub(crate) struct ClauseGc {
+    old: Vec<u32>,
+}
+
+impl ClauseGc {
+    /// New location of a clause that was live at collection time.
+    pub(crate) fn forward(&self, c: CRef) -> CRef {
+        let fwd = self.old[c.0 as usize + 1];
+        debug_assert!(fwd != u32::MAX, "forwarding a clause that was dead at GC");
+        CRef(fwd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(ds: &[i32]) -> Vec<Lit> {
+        ds.iter().map(|&d| Lit::from_dimacs(d)).collect()
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut db = ClauseDB::default();
+        let a = db.alloc(&lits(&[1, -2, 3]), false);
+        let b = db.alloc(&lits(&[4, 5]), true);
+        assert_eq!(db.size(a), 3);
+        assert_eq!(db.lit(a, 1), Lit::from_dimacs(-2));
+        assert!(!db.is_learnt(a));
+        assert!(db.is_learnt(b));
+        assert_eq!(db.lbd(b), 2);
+        db.set_lbd(b, 1);
+        assert_eq!(db.lbd(b), 1);
+        assert_eq!(db.refs().collect::<Vec<_>>(), vec![a, b]);
+    }
+
+    #[test]
+    fn free_skips_and_collect_compacts_with_forwarding() {
+        let mut db = ClauseDB::default();
+        let a = db.alloc(&lits(&[1, 2]), false);
+        let b = db.alloc(&lits(&[3, 4, 5]), true);
+        let c = db.alloc(&lits(&[6, 7]), false);
+        db.free(b);
+        assert_eq!(db.refs().collect::<Vec<_>>(), vec![a, c]);
+        assert_eq!(db.wasted(), 5);
+        let gc = db.collect();
+        let (na, nc) = (gc.forward(a), gc.forward(c));
+        assert_eq!(db.wasted(), 0);
+        assert_eq!(db.refs().collect::<Vec<_>>(), vec![na, nc]);
+        assert_eq!(db.lits(na), lits(&[1, 2]));
+        assert_eq!(db.lits(nc), lits(&[6, 7]));
+        assert_eq!(db.lit(nc, 0).var(), Var(5));
+    }
+
+    #[test]
+    fn swap_preserves_contents() {
+        let mut db = ClauseDB::default();
+        let a = db.alloc(&lits(&[1, 2, 3]), false);
+        db.swap_lits(a, 0, 2);
+        assert_eq!(db.lits(a), lits(&[3, 2, 1]));
+    }
+}

@@ -5,11 +5,16 @@
 //! the role MiniSat plays inside the original attack tool of Subramanyan et
 //! al. (\[4\], \[38\] in the paper).
 //!
-//! Features: two-watched-literal propagation, VSIDS branching with phase
-//! saving, first-UIP clause learning, Luby restarts, learnt-clause database
-//! reduction, incremental solving under assumptions, and conflict/
-//! propagation/wall-clock budgets so attack experiments can enforce the
-//! paper's timeout regime.
+//! Features: a flat `u32` clause arena ([`clause_db`]) with tombstone
+//! deletion and compacting GC, two-watched-literal propagation with
+//! blocker literals, VSIDS branching with phase saving, first-UIP clause
+//! learning with recursive minimization, LBD ("glue") tracking with
+//! glucose-style learnt reduction and restart signalling alongside Luby
+//! ([`reduce`]), inter-restart inprocessing ([`simplify`]), incremental
+//! solving under assumptions, and conflict/propagation/wall-clock budgets
+//! so attack experiments can enforce the paper's timeout regime. The
+//! pre-arena solver is preserved in [`baseline`] as the differential
+//! oracle, and [`SatBackend`] abstracts over both.
 //!
 //! # Examples
 //!
@@ -28,8 +33,14 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod baseline;
+mod clause_db;
+mod reduce;
+mod simplify;
 pub mod solver;
 pub mod types;
 
+pub use backend::SatBackend;
 pub use solver::{Budget, Solver, Stats};
 pub use types::{Lit, SolveResult, Var};

@@ -1,0 +1,152 @@
+//! Learnt-clause management: the glue (LBD) restart window, periodic
+//! reduction of the learnt set, and arena garbage collection.
+//!
+//! Policy (glucose-shaped, integer-only for determinism):
+//! - every learnt clause records its LBD at learn time;
+//! - a 50-conflict window of recent glues drives an EMA restart signal
+//!   (restart early when recent glues run 25% worse than the lifetime
+//!   average — the search has wandered into a bad part of the tree);
+//! - when the live learnt count reaches `reduce_limit`, the worst half of
+//!   the unprotected learnts (highest glue, then longest, then youngest)
+//!   is tombstoned; glue ≤ 2, binary, and reason ("locked") clauses are
+//!   protected; `reduce_limit` then grows geometrically (×1.5);
+//! - when tombstones hold ≥ 25% of the arena, [`ClauseDB::collect`]
+//!   compacts it and the reason array is remapped through the forwarding
+//!   table. Watch lists are rebuilt from scratch after every pass — cheap,
+//!   and it keeps positions 0/1 (the watched/implied literals) intact
+//!   because the copying GC preserves literal order.
+
+use crate::clause_db::{CRef, CREF_NONE};
+use crate::solver::{Solver, Watcher};
+
+/// Fixed-size ring of the most recent learnt-clause glues; the "fast"
+/// half of the glucose restart EMA.
+#[derive(Debug, Clone)]
+pub(crate) struct LbdQueue {
+    buf: [u32; LbdQueue::CAP],
+    len: usize,
+    pos: usize,
+    sum: u64,
+}
+
+impl Default for LbdQueue {
+    fn default() -> Self {
+        LbdQueue { buf: [0; LbdQueue::CAP], len: 0, pos: 0, sum: 0 }
+    }
+}
+
+impl LbdQueue {
+    const CAP: usize = 50;
+
+    pub(crate) fn push(&mut self, lbd: u32) {
+        if self.len < LbdQueue::CAP {
+            self.len += 1;
+        } else {
+            self.sum -= u64::from(self.buf[self.pos]);
+        }
+        self.buf[self.pos] = lbd;
+        self.sum += u64::from(lbd);
+        self.pos = (self.pos + 1) % LbdQueue::CAP;
+    }
+
+    pub(crate) fn full(&self) -> bool {
+        self.len == LbdQueue::CAP
+    }
+
+    pub(crate) fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub(crate) fn clear(&mut self) {
+        *self = LbdQueue::default();
+    }
+}
+
+impl Solver {
+    /// Glucose-style restart trigger: the recent-glue average exceeds the
+    /// lifetime average by 25%. In integers:
+    /// `(sum_recent / 50) * 0.8 > lbd_sum / conflicts`
+    /// ⇔ `4 * sum_recent * conflicts > 250 * lbd_sum`.
+    pub(crate) fn glue_restart_signal(&self) -> bool {
+        self.lbd_queue.full()
+            && self.stats.conflicts > 0
+            && 4 * u128::from(self.lbd_queue.sum()) * u128::from(self.stats.conflicts)
+                > 250 * u128::from(self.lbd_sum)
+    }
+
+    /// Drops the worst half of the unprotected learnt clauses, then grows
+    /// the reduction threshold geometrically and compacts if warranted.
+    pub(crate) fn reduce_db(&mut self) {
+        self.stats.reduces += 1;
+        // Pin reason clauses: deleting a clause some trail literal was
+        // propagated by would orphan conflict analysis.
+        for &r in &self.reason {
+            if r != CREF_NONE {
+                self.db.set_mark(r, true);
+            }
+        }
+        let db = &self.db;
+        let mut candidates: Vec<CRef> = db
+            .refs()
+            .filter(|&c| db.is_learnt(c) && db.lbd(c) > 2 && db.size(c) > 2 && !db.is_marked(c))
+            .collect();
+        // Worst first: highest glue, then longest, then youngest (higher
+        // CRef) — a total, input-deterministic order.
+        candidates.sort_by(|&a, &b| {
+            db.lbd(b)
+                .cmp(&db.lbd(a))
+                .then(db.size(b).cmp(&db.size(a)))
+                .then(b.cmp(&a))
+        });
+        let drop_n = candidates.len() / 2;
+        for &c in &candidates[..drop_n] {
+            self.db.free(c);
+            self.stats.learnts -= 1;
+            self.stats.removed_learnts += 1;
+        }
+        for &r in &self.reason {
+            if r != CREF_NONE {
+                self.db.set_mark(r, false);
+            }
+        }
+        self.reduce_limit += self.reduce_limit / 2;
+        self.maybe_gc();
+    }
+
+    /// Compacts the arena when tombstones hold a quarter of it (remapping
+    /// reasons through the forwarding table), then rebuilds all watch
+    /// lists from the arena. Callers must be at a point where watch lists
+    /// are allowed to be reconstructed (after reduce/simplify).
+    pub(crate) fn maybe_gc(&mut self) {
+        if self.db.wasted() * 4 >= self.db.len().max(1) {
+            let gc = self.db.collect();
+            for r in &mut self.reason {
+                if *r != CREF_NONE {
+                    *r = gc.forward(*r);
+                }
+            }
+            self.stats.gc_runs += 1;
+        }
+        self.rebuild_watches();
+    }
+
+    /// Rebuilds every watch list from the live arena. Positions 0/1 are
+    /// the watched literals by invariant (propagation normalizes them, and
+    /// both reduce and GC preserve literal order), so this cannot break
+    /// the "implied literal at slot 0" contract reason clauses rely on.
+    pub(crate) fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let mut rewatch: Vec<(usize, Watcher)> = Vec::new();
+        for cref in self.db.refs() {
+            let l0 = self.db.lit(cref, 0);
+            let l1 = self.db.lit(cref, 1);
+            rewatch.push((l0.index(), Watcher { cref, blocker: l1 }));
+            rewatch.push((l1.index(), Watcher { cref, blocker: l0 }));
+        }
+        for (idx, w) in rewatch {
+            self.watches[idx].push(w);
+        }
+    }
+}

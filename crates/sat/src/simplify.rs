@@ -1,0 +1,110 @@
+//! Inter-restart inprocessing.
+//!
+//! At every restart the solver is back at decision level 0 with (possibly)
+//! new top-level facts on the trail. [`Solver::simplify_db`] folds those
+//! facts into the arena: clauses satisfied at level 0 are tombstoned, and
+//! false literals are stripped by reallocating the clause (never by
+//! shrinking in place — the arena is walked by header-declared stride, so
+//! an in-place shrink would leave orphan words that misparse as headers).
+//! Stripping can produce fresh units; they are enqueued and propagated to
+//! fixpoint, which may discover top-level unsatisfiability.
+
+use crate::clause_db::{CRef, CREF_NONE};
+use crate::solver::Solver;
+use crate::types::Lit;
+
+impl Solver {
+    /// Level-0 simplification pass. No-op unless the top-level trail has
+    /// grown since the last pass. Sets `ok = false` on a derived
+    /// top-level conflict.
+    pub(crate) fn simplify_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return;
+        }
+        // A restart can fire right after the asserting literal of a
+        // level-0 backjump was enqueued but not yet propagated; reach the
+        // fixpoint before reading clause values.
+        if self.qhead < self.trail.len() && self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        if self.trail.len() == self.simplified_at {
+            return;
+        }
+        self.stats.simplifies += 1;
+        // Top-level facts no longer need reasons; clearing them first
+        // means no reason can dangle when satisfied clauses are freed.
+        for &l in &self.trail {
+            self.reason[l.var().index()] = CREF_NONE;
+        }
+        let crefs: Vec<CRef> = self.db.refs().collect();
+        let mut pending_units: Vec<Lit> = Vec::new();
+        for cref in crefs {
+            let size = self.db.size(cref);
+            let mut kept: Vec<Lit> = Vec::with_capacity(size);
+            let mut satisfied = false;
+            for i in 0..size {
+                let l = self.db.lit(cref, i);
+                match self.lit_value(l) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {} // strip
+                    None => kept.push(l),
+                }
+            }
+            if satisfied {
+                if self.db.is_learnt(cref) {
+                    self.stats.learnts -= 1;
+                }
+                self.db.free(cref);
+                continue;
+            }
+            if kept.len() == size {
+                continue;
+            }
+            let learnt = self.db.is_learnt(cref);
+            match kept.len() {
+                // All literals false would have been a propagation
+                // conflict before this pass; defensive only.
+                0 => {
+                    self.ok = false;
+                    return;
+                }
+                1 => {
+                    pending_units.push(kept[0]);
+                    if learnt {
+                        self.stats.learnts -= 1;
+                    }
+                    self.db.free(cref);
+                }
+                _ => {
+                    let lbd = self.db.lbd(cref).min(kept.len() as u32);
+                    let ncref = self.db.alloc(&kept, learnt);
+                    self.db.set_lbd(ncref, lbd);
+                    self.db.free(cref);
+                }
+            }
+        }
+        // Compact if warranted and rebuild the watch lists, then fold the
+        // fresh units in and propagate to fixpoint.
+        self.maybe_gc();
+        for l in pending_units {
+            match self.lit_value(l) {
+                Some(true) => {}
+                Some(false) => {
+                    self.ok = false;
+                    return;
+                }
+                None => self.enqueue(l, CREF_NONE),
+            }
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        self.simplified_at = self.trail.len();
+    }
+}

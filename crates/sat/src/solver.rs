@@ -1,10 +1,26 @@
 //! The CDCL solver.
+//!
+//! The clause database is the flat arena of [`crate::clause_db`]; learnt
+//! clauses carry their literal-block distance (LBD, "glue") and the learnt
+//! set is periodically reduced by glue ([`crate::reduce`]); cheap
+//! inprocessing runs between restarts ([`crate::simplify`]). The search
+//! itself is classic CDCL: two-watched-literal propagation with blocker
+//! literals, VSIDS decisions with phase saving, first-UIP learning with
+//! recursive clause minimization, and Luby restarts tightened by a
+//! glue-EMA signal.
+//!
+//! Determinism contract: a solve is a pure function of the clause/variable
+//! insertion sequence and the budget — same input and budget produce the
+//! same verdict, the same [`Stats`] and the same model, bit for bit. No
+//! randomness, no hashing, and only integer arithmetic in the restart and
+//! reduction policies. (Wall-clock deadlines and cancel tokens are the
+//! deliberate exception: they exist to cut searches short.)
 
+use crate::clause_db::{CRef, ClauseDB, CREF_NONE};
+use crate::reduce::LbdQueue;
 use crate::types::{Lit, SolveResult, Var};
 use rtlock_governor::CancelToken;
 use std::time::Instant;
-
-const UNDEF_CLAUSE: i32 = -1;
 
 /// Resource limits for a solve call. The solver checks the budget at every
 /// restart boundary and returns [`SolveResult::Unknown`] when exceeded.
@@ -57,7 +73,7 @@ impl Budget {
         self
     }
 
-    fn exceeded(&self, stats: &Stats) -> bool {
+    pub(crate) fn exceeded(&self, stats: &Stats) -> bool {
         if let Some(mc) = self.max_conflicts {
             if stats.conflicts >= mc {
                 return true;
@@ -95,18 +111,36 @@ pub struct Stats {
     pub restarts: u64,
     /// Learnt clauses currently in the database.
     pub learnts: u64,
+    /// Learnt-database reduction passes.
+    pub reduces: u64,
+    /// Learnt clauses dropped by reduction.
+    pub removed_learnts: u64,
+    /// Inter-restart simplification passes that did work.
+    pub simplifies: u64,
+    /// Arena garbage collections (compactions).
+    pub gc_runs: u64,
+    /// Literals removed by recursive conflict-clause minimization.
+    pub minimized_lits: u64,
+    /// Models checked against the full clause arena (debug builds run the
+    /// check on every SAT answer; release builds only count explicit
+    /// [`Solver::verify_model`] calls).
+    pub verified_models: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
+/// One watch-list entry: the clause plus a cached "blocker" literal from
+/// it. If the blocker is already true the clause is satisfied and the
+/// arena is never touched — the hot-path win of the MiniSat watcher scheme.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Watcher {
+    pub(crate) cref: CRef,
+    pub(crate) blocker: Lit,
 }
 
-/// A CDCL SAT solver: two-watched-literal propagation, VSIDS decisions with
-/// phase saving, first-UIP clause learning, Luby restarts, learnt-clause
-/// database reduction, and incremental solving under assumptions.
+/// A CDCL SAT solver: two-watched-literal propagation over a flat clause
+/// arena, VSIDS decisions with phase saving, first-UIP clause learning
+/// with recursive minimization, LBD-driven learnt-clause reduction, Luby +
+/// glue-EMA restarts, inter-restart simplification, and incremental
+/// solving under assumptions.
 ///
 /// # Examples
 ///
@@ -125,25 +159,37 @@ struct Clause {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<u32>>,
-    assign: Vec<i8>,
-    level: Vec<u32>,
-    reason: Vec<i32>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
-    activity: Vec<f64>,
-    var_inc: f64,
-    cla_inc: f64,
-    phase: Vec<bool>,
-    heap: Vec<Var>,
-    heap_pos: Vec<usize>,
-    ok: bool,
-    stats: Stats,
-    budget: Budget,
-    seen: Vec<bool>,
-    model: Vec<i8>,
+    pub(crate) db: ClauseDB,
+    pub(crate) watches: Vec<Vec<Watcher>>,
+    pub(crate) assign: Vec<i8>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<CRef>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
+    pub(crate) activity: Vec<f64>,
+    pub(crate) var_inc: f64,
+    pub(crate) phase: Vec<bool>,
+    pub(crate) heap: Vec<Var>,
+    pub(crate) heap_pos: Vec<usize>,
+    pub(crate) ok: bool,
+    pub(crate) stats: Stats,
+    pub(crate) budget: Budget,
+    pub(crate) seen: Vec<u8>,
+    pub(crate) model: Vec<i8>,
+    /// Per-decision-level stamps for LBD computation.
+    pub(crate) lbd_stamp: Vec<u64>,
+    pub(crate) lbd_counter: u64,
+    /// Recent-glue window driving the EMA restart signal.
+    pub(crate) lbd_queue: LbdQueue,
+    /// Lifetime sum of learnt-clause LBDs (the EMA baseline).
+    pub(crate) lbd_sum: u64,
+    /// Learnt-count threshold for the next reduction (grows geometrically).
+    pub(crate) reduce_limit: u64,
+    /// Trail length after the last simplification pass.
+    pub(crate) simplified_at: usize,
+    /// Scratch stack for recursive clause minimization.
+    pub(crate) analyze_stack: Vec<Lit>,
 }
 
 const HEAP_NONE: usize = usize::MAX;
@@ -158,7 +204,7 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Solver {
         Solver {
-            clauses: Vec::new(),
+            db: ClauseDB::default(),
             watches: Vec::new(),
             assign: Vec::new(),
             level: Vec::new(),
@@ -168,7 +214,6 @@ impl Solver {
             qhead: 0,
             activity: Vec::new(),
             var_inc: 1.0,
-            cla_inc: 1.0,
             phase: Vec::new(),
             heap: Vec::new(),
             heap_pos: Vec::new(),
@@ -177,6 +222,13 @@ impl Solver {
             budget: Budget::unlimited(),
             seen: Vec::new(),
             model: Vec::new(),
+            lbd_stamp: vec![0],
+            lbd_counter: 0,
+            lbd_queue: LbdQueue::default(),
+            lbd_sum: 0,
+            reduce_limit: 2000,
+            simplified_at: 0,
+            analyze_stack: Vec::new(),
         }
     }
 
@@ -200,13 +252,14 @@ impl Solver {
         let v = Var(self.assign.len() as u32);
         self.assign.push(0);
         self.level.push(0);
-        self.reason.push(UNDEF_CLAUSE);
+        self.reason.push(CREF_NONE);
         self.activity.push(0.0);
         self.phase.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
-        self.seen.push(false);
+        self.seen.push(0);
         self.heap_pos.push(HEAP_NONE);
+        self.lbd_stamp.push(0);
         self.heap_insert(v);
         v
     }
@@ -262,26 +315,25 @@ impl Solver {
                 false
             }
             1 => {
-                self.enqueue(out[0], UNDEF_CLAUSE);
+                self.enqueue(out[0], CREF_NONE);
                 self.ok = self.propagate().is_none();
                 self.ok
             }
             _ => {
-                self.attach_clause(out, false);
+                self.attach_clause(&out, false);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
-        let idx = self.clauses.len() as u32;
-        self.watches[lits[0].index()].push(idx);
-        self.watches[lits[1].index()].push(idx);
-        self.clauses.push(Clause { lits, learnt, activity: 0.0 });
+    pub(crate) fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> CRef {
+        let cref = self.db.alloc(lits, learnt);
+        self.watches[lits[0].index()].push(Watcher { cref, blocker: lits[1] });
+        self.watches[lits[1].index()].push(Watcher { cref, blocker: lits[0] });
         if learnt {
             self.stats.learnts += 1;
         }
-        idx
+        cref
     }
 
     /// The model value of a variable after a [`SolveResult::Sat`] answer;
@@ -303,15 +355,15 @@ impl Solver {
         }
     }
 
-    fn lit_value(&self, lit: Lit) -> Option<bool> {
+    pub(crate) fn lit_value(&self, lit: Lit) -> Option<bool> {
         self.assigned_value(lit.var()).map(|v| lit.apply(v))
     }
 
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: i32) {
+    pub(crate) fn enqueue(&mut self, lit: Lit, reason: CRef) {
         debug_assert_eq!(self.lit_value(lit), None);
         let v = lit.var();
         self.assign[v.index()] = if lit.is_positive() { 1 } else { -1 };
@@ -321,79 +373,84 @@ impl Solver {
         self.trail.push(lit);
     }
 
-    /// Propagates enqueued assignments; returns a conflicting clause index.
-    fn propagate(&mut self) -> Option<u32> {
+    /// Propagates enqueued assignments; returns a conflicting clause.
+    pub(crate) fn propagate(&mut self) -> Option<CRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
             let false_lit = !p;
-            let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
             let mut i = 0;
-            while i < watch_list.len() {
-                let ci = watch_list[i];
-                let (keep, conflict) = self.visit_watch(ci, false_lit);
-                if !keep {
-                    watch_list.swap_remove(i);
-                } else {
+            let mut j = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                // Blocker already true: clause satisfied, arena untouched.
+                if self.lit_value(w.blocker) == Some(true) {
+                    ws[j] = w;
+                    j += 1;
                     i += 1;
+                    continue;
                 }
-                if conflict {
-                    // Put the remaining list back before reporting.
-                    let existing = std::mem::take(&mut self.watches[false_lit.index()]);
-                    watch_list.extend(existing);
-                    self.watches[false_lit.index()] = watch_list;
+                let cref = w.cref;
+                // Normalize: the falsified watch sits at position 1.
+                if self.db.lit(cref, 0) == false_lit {
+                    self.db.swap_lits(cref, 0, 1);
+                }
+                debug_assert_eq!(self.db.lit(cref, 1), false_lit);
+                let first = self.db.lit(cref, 0);
+                let next_w = Watcher { cref, blocker: first };
+                if first != w.blocker && self.lit_value(first) == Some(true) {
+                    ws[j] = next_w;
+                    j += 1;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let size = self.db.size(cref);
+                for k in 2..size {
+                    let l = self.db.lit(cref, k);
+                    if self.lit_value(l) != Some(false) {
+                        self.db.swap_lits(cref, 1, k);
+                        self.watches[l.index()].push(next_w);
+                        i += 1;
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflict.
+                ws[j] = next_w;
+                j += 1;
+                i += 1;
+                if self.lit_value(first) == Some(false) {
+                    // Conflict: keep the rest of the list and stop.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
                     self.qhead = self.trail.len();
-                    return Some(ci);
+                    conflict = Some(cref);
+                } else {
+                    self.enqueue(first, cref);
                 }
             }
+            ws.truncate(j);
             let existing = std::mem::take(&mut self.watches[false_lit.index()]);
-            watch_list.extend(existing);
-            self.watches[false_lit.index()] = watch_list;
+            ws.extend(existing);
+            self.watches[false_lit.index()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
         }
         None
     }
 
-    /// Handles one watched clause for the falsified literal. Returns
-    /// (keep_in_watch_list, conflict).
-    fn visit_watch(&mut self, ci: u32, false_lit: Lit) -> (bool, bool) {
-        let clause = &mut self.clauses[ci as usize];
-        // Normalize: watched false literal at position 1.
-        if clause.lits[0] == false_lit {
-            clause.lits.swap(0, 1);
-        }
-        debug_assert_eq!(clause.lits[1], false_lit);
-        let first = clause.lits[0];
-        if self.assign[first.var().index()] != 0 && first.apply(self.assign[first.var().index()] == 1) {
-            return (true, false); // satisfied by the other watch
-        }
-        // Look for a new literal to watch.
-        for k in 2..clause.lits.len() {
-            let l = clause.lits[k];
-            let val = self.assign[l.var().index()];
-            let is_false = val != 0 && !l.apply(val == 1);
-            if !is_false {
-                clause.lits.swap(1, k);
-                let new_watch = clause.lits[1];
-                self.watches[new_watch.index()].push(ci);
-                return (false, false);
-            }
-        }
-        // Unit or conflict.
-        let val = self.assign[first.var().index()];
-        if val == 0 {
-            self.enqueue(first, ci as i32);
-            (true, false)
-        } else {
-            (true, true) // conflict (first is false too)
-        }
-    }
-
-    fn new_decision_level(&mut self) {
+    pub(crate) fn new_decision_level(&mut self) {
         self.trail_lim.push(self.trail.len());
     }
 
-    fn backtrack_to(&mut self, target: u32) {
+    pub(crate) fn backtrack_to(&mut self, target: u32) {
         if self.decision_level() <= target {
             return;
         }
@@ -401,7 +458,7 @@ impl Solver {
         for i in (bound..self.trail.len()).rev() {
             let v = self.trail[i].var();
             self.assign[v.index()] = 0;
-            self.reason[v.index()] = UNDEF_CLAUSE;
+            self.reason[v.index()] = CREF_NONE;
             if self.heap_pos[v.index()] == HEAP_NONE {
                 self.heap_insert(v);
             }
@@ -413,8 +470,16 @@ impl Solver {
 
     // ---- VSIDS order heap --------------------------------------------
 
+    /// Max-heap order with a total comparison (`total_cmp` is NaN-proof)
+    /// and a variable-index tie-break so the branching order is fully
+    /// deterministic even when activities collide (e.g. right after a
+    /// rescale or on fresh variables).
     fn heap_less(&self, a: Var, b: Var) -> bool {
-        self.activity[a.index()] > self.activity[b.index()]
+        match self.activity[a.index()].total_cmp(&self.activity[b.index()]) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => a.0 < b.0,
+        }
     }
 
     fn heap_insert(&mut self, v: Var) {
@@ -476,13 +541,10 @@ impl Solver {
         Some(top)
     }
 
-    fn bump_var(&mut self, v: Var) {
+    pub(crate) fn bump_var(&mut self, v: Var) {
         self.activity[v.index()] += self.var_inc;
         if self.activity[v.index()] > 1e100 {
-            for a in &mut self.activity {
-                *a *= 1e-100;
-            }
-            self.var_inc *= 1e-100;
+            self.rescale_activities();
         }
         let pos = self.heap_pos[v.index()];
         if pos != HEAP_NONE {
@@ -490,70 +552,117 @@ impl Solver {
         }
     }
 
-    fn decay_activities(&mut self) {
-        self.var_inc /= 0.95;
-        self.cla_inc /= 0.999;
+    /// Rescales every activity and the increment by 1e-100, preserving
+    /// relative order. Called from [`Solver::bump_var`] when an activity
+    /// crosses 1e100 and from [`Solver::decay_activities`] when the
+    /// increment itself threatens to overflow to `inf` (an `inf - inf` or
+    /// `inf * 0` later would mint the NaNs that break heap comparators).
+    fn rescale_activities(&mut self) {
+        for a in &mut self.activity {
+            *a *= 1e-100;
+        }
+        self.var_inc *= 1e-100;
     }
 
-    fn bump_clause(&mut self, ci: u32) {
-        let c = &mut self.clauses[ci as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            let inc = self.cla_inc;
-            for c in &mut self.clauses {
-                c.activity /= inc.max(1.0);
-            }
-            self.cla_inc = 1.0;
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        if self.var_inc > 1e100 {
+            self.rescale_activities();
         }
     }
 
     // ---- conflict analysis --------------------------------------------
 
-    /// First-UIP analysis; returns (learnt clause, backjump level).
-    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit::new(Var(0), true)]; // placeholder for asserting lit
-        let mut counter = 0usize;
+    fn abstract_level(&self, v: Var) -> u32 {
+        1 << (self.level[v.index()] & 31)
+    }
+
+    /// Distinct decision levels among `lits` (the literal-block distance),
+    /// computed with per-level stamps in O(|lits|).
+    pub(crate) fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut lbd = 0;
+        for &l in lits {
+            let lv = self.level[l.var().index()] as usize;
+            if lv > 0 && self.lbd_stamp[lv] != stamp {
+                self.lbd_stamp[lv] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// First-UIP analysis with recursive minimization; returns the learnt
+    /// clause (asserting literal first), the backjump level, and the LBD.
+    fn analyze(&mut self, mut conflict: CRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = Vec::with_capacity(8);
+        learnt.push(Lit::from_code(0)); // slot 0: the asserting literal
+        let mut path = 0u32;
         let mut p: Option<Lit> = None;
         let mut trail_idx = self.trail.len();
 
         loop {
-            self.bump_clause(conflict);
-            let clause = self.clauses[conflict as usize].lits.clone();
+            debug_assert!(conflict != CREF_NONE, "non-decision must have a reason");
+            let size = self.db.size(conflict);
             let start = usize::from(p.is_some());
-            for &q in &clause[start..] {
+            for i in start..size {
+                let q = self.db.lit(conflict, i);
                 let v = q.var();
-                if !self.seen[v.index()] && self.level[v.index()] > 0 {
-                    self.seen[v.index()] = true;
+                if self.seen[v.index()] == 0 && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = 1;
                     self.bump_var(v);
-                    if self.level[v.index()] == self.decision_level() {
-                        counter += 1;
+                    if self.level[v.index()] >= self.decision_level() {
+                        path += 1;
                     } else {
                         learnt.push(q);
                     }
                 }
             }
-            // Find next literal on the trail at the current level.
+            // Next marked literal on the trail at the current level.
             loop {
                 trail_idx -= 1;
-                let l = self.trail[trail_idx];
-                if self.seen[l.var().index()] {
-                    p = Some(l);
+                if self.seen[self.trail[trail_idx].var().index()] != 0 {
                     break;
                 }
             }
-            let pv = p.expect("found literal").var();
-            self.seen[pv.index()] = false;
-            counter -= 1;
-            if counter == 0 {
-                learnt[0] = !p.expect("UIP literal");
+            let pl = self.trail[trail_idx];
+            p = Some(pl);
+            self.seen[pl.var().index()] = 0;
+            path -= 1;
+            if path == 0 {
                 break;
             }
-            let r = self.reason[pv.index()];
-            debug_assert!(r != UNDEF_CLAUSE, "non-decision must have a reason");
-            conflict = r as u32;
+            conflict = self.reason[pl.var().index()];
+        }
+        learnt[0] = !p.expect("first UIP");
+
+        // Recursive minimization: drop literals implied by the rest.
+        let mut to_clear: Vec<Var> = learnt[1..].iter().map(|l| l.var()).collect();
+        let mut abstract_levels = 0u32;
+        for &l in &learnt[1..] {
+            abstract_levels |= self.abstract_level(l.var());
+        }
+        let mut kept = Vec::with_capacity(learnt.len());
+        kept.push(learnt[0]);
+        for &l in learnt.iter().skip(1) {
+            if self.reason[l.var().index()] == CREF_NONE
+                || !self.lit_redundant(l, abstract_levels, &mut to_clear)
+            {
+                kept.push(l);
+            } else {
+                self.stats.minimized_lits += 1;
+            }
+        }
+        let mut learnt = kept;
+        for v in to_clear {
+            self.seen[v.index()] = 0;
         }
 
-        // Clear seen flags for the learnt clause and compute backjump level.
+        let lbd = self.compute_lbd(&learnt);
+
+        // Backjump level = second-highest level in the clause; its literal
+        // moves to slot 1 so both watches are sound after the jump.
         let mut backjump = 0;
         if learnt.len() > 1 {
             let mut max_i = 1;
@@ -565,61 +674,78 @@ impl Solver {
             learnt.swap(1, max_i);
             backjump = self.level[learnt[1].var().index()];
         }
-        for &l in &learnt {
-            self.seen[l.var().index()] = false;
-        }
-        (learnt, backjump)
+        (learnt, backjump, lbd)
     }
 
-    fn reduce_db(&mut self) {
-        // Drop the least active half of learnt clauses that are not reasons.
-        let mut learnt_idx: Vec<u32> = (0..self.clauses.len() as u32)
-            .filter(|&i| self.clauses[i as usize].learnt)
-            .collect();
-        if learnt_idx.len() < 100 {
-            return;
-        }
-        let mut locked = vec![false; self.clauses.len()];
-        for &r in &self.reason {
-            if r != UNDEF_CLAUSE {
-                locked[r as usize] = true;
+    /// MiniSat's recursive redundancy check: `p` can be dropped from the
+    /// learnt clause if every literal reachable through its reason chain is
+    /// already in the clause (seen) or sits at level 0. `to_clear` collects
+    /// the extra `seen` marks so the caller can wipe them.
+    fn lit_redundant(&mut self, p: Lit, abstract_levels: u32, to_clear: &mut Vec<Var>) -> bool {
+        let mut stack = std::mem::take(&mut self.analyze_stack);
+        stack.clear();
+        stack.push(p);
+        let top = to_clear.len();
+        let mut redundant = true;
+        'walk: while let Some(q) = stack.pop() {
+            let cref = self.reason[q.var().index()];
+            debug_assert!(cref != CREF_NONE);
+            let size = self.db.size(cref);
+            for i in 1..size {
+                let l = self.db.lit(cref, i);
+                let v = l.var();
+                if self.seen[v.index()] == 0 && self.level[v.index()] > 0 {
+                    if self.reason[v.index()] != CREF_NONE
+                        && (self.abstract_level(v) & abstract_levels) != 0
+                    {
+                        self.seen[v.index()] = 1;
+                        stack.push(l);
+                        to_clear.push(v);
+                    } else {
+                        // A decision (or a foreign level) blocks the chain:
+                        // undo the marks made during this probe.
+                        for &u in &to_clear[top..] {
+                            self.seen[u.index()] = 0;
+                        }
+                        to_clear.truncate(top);
+                        redundant = false;
+                        break 'walk;
+                    }
+                }
             }
         }
-        learnt_idx
-            .sort_by(|&a, &b| self.clauses[a as usize].activity.total_cmp(&self.clauses[b as usize].activity));
-        let drop_set: Vec<u32> = learnt_idx
-            .iter()
-            .copied()
-            .take(learnt_idx.len() / 2)
-            .filter(|&i| !locked[i as usize] && self.clauses[i as usize].lits.len() > 2)
-            .collect();
-        if drop_set.is_empty() {
-            return;
-        }
-        // Rebuild clause DB with remap.
-        let mut remap: Vec<i32> = vec![UNDEF_CLAUSE; self.clauses.len()];
-        let mut new_clauses = Vec::with_capacity(self.clauses.len() - drop_set.len());
-        for (i, c) in self.clauses.drain(..).enumerate() {
-            if drop_set.contains(&(i as u32)) {
-                continue;
-            }
-            remap[i] = new_clauses.len() as i32;
-            new_clauses.push(c);
-        }
-        self.clauses = new_clauses;
-        self.stats.learnts -= drop_set.len() as u64;
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for (i, c) in self.clauses.iter().enumerate() {
-            self.watches[c.lits[0].index()].push(i as u32);
-            self.watches[c.lits[1].index()].push(i as u32);
-        }
-        for r in &mut self.reason {
-            if *r != UNDEF_CLAUSE {
-                *r = remap[*r as usize];
+        stack.clear();
+        self.analyze_stack = stack;
+        redundant
+    }
+
+    // ---- model self-check ------------------------------------------------
+
+    /// Checks the most recent model against every live clause in the
+    /// arena. Debug builds run this on every SAT answer (and panic on
+    /// failure); harnesses may call it directly. Counted in
+    /// [`Stats::verified_models`].
+    pub fn verify_model(&mut self) -> bool {
+        self.stats.verified_models += 1;
+        let model = &self.model;
+        let lit_true = |l: Lit| match model.get(l.var().index()).copied().unwrap_or(0) {
+            1 => l.is_positive(),
+            -1 => !l.is_positive(),
+            _ => false,
+        };
+        // Level-0 facts must be reflected in the model, too.
+        for &l in &self.trail {
+            if self.level[l.var().index()] == 0 && !lit_true(l) {
+                return false;
             }
         }
+        for cref in self.db.refs() {
+            let size = self.db.size(cref);
+            if !(0..size).any(|i| lit_true(self.db.lit(cref, i))) {
+                return false;
+            }
+        }
+        true
     }
 
     // ---- main search -----------------------------------------------------
@@ -646,6 +772,10 @@ impl Solver {
             self.ok = false;
             return SolveResult::Unsat;
         }
+        self.simplify_db();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
 
         let mut luby_index = 0u64;
         loop {
@@ -655,24 +785,36 @@ impl Solver {
                 Some(r) => {
                     if r == SolveResult::Sat {
                         self.model = self.assign.clone();
+                        if cfg!(debug_assertions) {
+                            assert!(
+                                self.verify_model(),
+                                "SAT model fails the clause-arena self-check"
+                            );
+                        }
                     }
                     self.backtrack_to(0);
                     return r;
                 }
                 None => {
                     self.stats.restarts += 1;
+                    self.lbd_queue.clear();
+                    self.backtrack_to(0);
                     if self.budget.exceeded(&self.stats) {
-                        self.backtrack_to(0);
                         return SolveResult::Unknown;
                     }
-                    self.backtrack_to(0);
+                    // Inprocessing between restarts: fold the top-level
+                    // facts learnt so far into the arena.
+                    self.simplify_db();
+                    if !self.ok {
+                        return SolveResult::Unsat;
+                    }
                 }
             }
         }
     }
 
-    /// Runs until `conflict_budget` conflicts (restart), a result, or a
-    /// budget stop. `None` means "restart requested".
+    /// Runs until `conflict_budget` conflicts (restart), a glue-EMA
+    /// restart, a result, or a budget stop. `None` means "restart".
     fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
         let mut conflicts_here = 0u64;
         loop {
@@ -687,7 +829,9 @@ impl Solver {
                 // unit that contradicts them: analyze and jump; if the
                 // asserting level is inside assumptions, re-deciding will
                 // detect the contradiction below.
-                let (learnt, backjump) = self.analyze(conflict);
+                let (learnt, backjump, lbd) = self.analyze(conflict);
+                self.lbd_queue.push(lbd);
+                self.lbd_sum += u64::from(lbd);
                 self.backtrack_to(backjump);
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == Some(false) {
@@ -695,18 +839,21 @@ impl Solver {
                         return Some(SolveResult::Unsat);
                     }
                     if self.lit_value(learnt[0]).is_none() {
-                        self.enqueue(learnt[0], UNDEF_CLAUSE);
+                        self.enqueue(learnt[0], CREF_NONE);
                     }
                 } else {
-                    let ci = self.attach_clause(learnt.clone(), true);
-                    self.bump_clause(ci);
-                    self.enqueue(learnt[0], ci as i32);
+                    let cref = self.attach_clause(&learnt, true);
+                    self.db.set_lbd(cref, lbd);
+                    self.enqueue(learnt[0], cref);
                 }
                 self.decay_activities();
-                if conflicts_here >= conflict_budget || self.budget.exceeded(&self.stats) {
+                if conflicts_here >= conflict_budget
+                    || self.glue_restart_signal()
+                    || self.budget.exceeded(&self.stats)
+                {
                     return None; // restart / budget check
                 }
-                if self.stats.learnts > 2000 + (self.clauses.len() as u64 / 2) {
+                if self.stats.learnts >= self.reduce_limit {
                     self.reduce_db();
                 }
             } else {
@@ -721,7 +868,7 @@ impl Solver {
                         Some(false) => return Some(SolveResult::Unsat),
                         None => {
                             self.new_decision_level();
-                            self.enqueue(a, UNDEF_CLAUSE);
+                            self.enqueue(a, CREF_NONE);
                             continue;
                         }
                     }
@@ -740,7 +887,7 @@ impl Solver {
                         self.stats.decisions += 1;
                         self.new_decision_level();
                         let lit = Lit::new(v, self.phase[v.index()]);
-                        self.enqueue(lit, UNDEF_CLAUSE);
+                        self.enqueue(lit, CREF_NONE);
                     }
                 }
             }
@@ -749,7 +896,7 @@ impl Solver {
 }
 
 /// The Luby restart sequence (1,1,2,1,1,2,4,...), 0-indexed.
-fn luby(i: u64) -> u64 {
+pub(crate) fn luby(i: u64) -> u64 {
     let mut x = i + 1;
     loop {
         let k = 64 - x.leading_zeros() as u64;
@@ -962,5 +1109,162 @@ mod tests {
             s.add_clause(&block);
         }
         assert_eq!(models, 5);
+    }
+
+    // ---- VSIDS hazard regressions (satellite: activity/heap audit) -----
+
+    #[test]
+    fn activity_rescale_at_1e100_keeps_everything_finite() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+        // Drive the increment and one activity to the rescale threshold.
+        s.var_inc = 9e99;
+        s.activity[vars[3].index()] = 9e99;
+        s.bump_var(vars[3]); // crosses 1e100 -> rescale fires
+        for (i, &a) in s.activity.iter().enumerate() {
+            assert!(a.is_finite(), "activity[{i}] = {a} not finite");
+            assert!(!a.is_nan());
+        }
+        assert!(s.var_inc.is_finite() && s.var_inc > 0.0);
+        // The bumped variable still outranks the untouched ones.
+        assert_eq!(s.heap[0], vars[3]);
+    }
+
+    #[test]
+    fn decay_rescales_before_var_inc_overflows() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        s.var_inc = 1e100;
+        for _ in 0..64 {
+            s.decay_activities();
+        }
+        assert!(s.var_inc.is_finite(), "var_inc overflowed to {}", s.var_inc);
+    }
+
+    #[test]
+    fn heap_comparator_is_a_total_order_with_index_tie_break() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        // Equal activities: lower index wins, deterministically.
+        assert!(s.heap_less(a, b));
+        assert!(!s.heap_less(b, a));
+        assert!(s.heap_less(a, c) && s.heap_less(b, c));
+        // A genuinely larger activity dominates regardless of index.
+        s.activity[c.index()] = 1.0;
+        assert!(s.heap_less(c, a));
+    }
+
+    #[test]
+    fn conflict_involving_unit_reasons_analyzes_correctly() {
+        // Level-0 facts (units) appear inside reason clauses during
+        // analysis; their CREF_NONE reasons must never be dereferenced.
+        let mut s = Solver::new();
+        s.reserve_vars(5);
+        s.add_dimacs_clause(&[1]); // unit fact u
+        s.add_dimacs_clause(&[-1, -2, 3]); // with u: 2 -> 3
+        s.add_dimacs_clause(&[-1, -3, 4]); // with u: 3 -> 4
+        s.add_dimacs_clause(&[-1, -3, -4, 5]); // with u: 3,4 -> 5
+        s.add_dimacs_clause(&[-4, -5]); // conflict once 4,5 hold
+        // Under the assumption x2, propagation reaches the conflict whose
+        // reason clauses all contain the level-0 literal -1.
+        assert_eq!(s.solve(&[Lit::from_dimacs(2)]), SolveResult::Unsat);
+        // Without the assumption the instance is satisfiable and the model
+        // honors the unit.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(Var(0)), Some(true));
+    }
+
+    // ---- model self-check regressions ----------------------------------
+
+    #[test]
+    fn verified_models_counter_advances() {
+        let mut s = Solver::new();
+        s.add_dimacs_clause(&[1, 2]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let before = s.stats().verified_models;
+        assert!(s.verify_model());
+        assert_eq!(s.stats().verified_models, before + 1);
+    }
+
+    #[test]
+    fn corrupted_arena_is_caught_by_the_self_check() {
+        let mut s = Solver::new();
+        s.reserve_vars(3);
+        s.add_dimacs_clause(&[1, 2]);
+        s.add_dimacs_clause(&[2, 3]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.verify_model(), "uncorrupted arena passes");
+        // Corrupt the first live clause so the stored model falsifies it:
+        // overwrite both literals with the negation of a model-true var.
+        let cref = s.db.refs().next().expect("a live clause");
+        let v = (0..3)
+            .map(Var)
+            .find(|&v| s.value(v).is_some())
+            .expect("model assigns a variable");
+        let falsified = Lit::new(v, !s.value(v).expect("assigned"));
+        s.db.set_lit(cref, 0, falsified);
+        s.db.set_lit(cref, 1, falsified);
+        assert!(!s.verify_model(), "corrupted arena must be caught");
+    }
+
+    // ---- arena-management behaviour ------------------------------------
+
+    #[test]
+    fn reduction_fires_and_keeps_verdicts_on_a_hard_instance() {
+        // php(7->6) generates far more than `reduce_limit` learnts when the
+        // limit is tightened, forcing reduce + GC through their paces.
+        let mut s = Solver::new();
+        s.reduce_limit = 64;
+        let holes = 6i32;
+        let p = |i: i32, j: i32| holes * i + j + 1;
+        for i in 0..=holes {
+            let clause: Vec<i32> = (0..holes).map(|j| p(i, j)).collect();
+            s.add_dimacs_clause(&clause);
+        }
+        for j in 0..holes {
+            for i1 in 0..=holes {
+                for i2 in (i1 + 1)..=holes {
+                    s.add_dimacs_clause(&[-p(i1, j), -p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.reduces > 0, "reduction never fired: {st:?}");
+        assert!(st.removed_learnts > 0);
+    }
+
+    #[test]
+    fn determinism_same_input_same_stats_and_model() {
+        let build = || {
+            let mut s = Solver::new();
+            let mut seed = 0x5EEDu64;
+            let mut rnd = move || {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            };
+            s.reserve_vars(16);
+            for _ in 0..70 {
+                let c: Vec<i32> = (0..3)
+                    .map(|_| {
+                        let v = (rnd() % 16) as i32 + 1;
+                        if rnd() % 2 == 0 {
+                            v
+                        } else {
+                            -v
+                        }
+                    })
+                    .collect();
+                s.add_dimacs_clause(&c);
+            }
+            let r = s.solve(&[]);
+            let model: Vec<Option<bool>> = (0..16).map(|v| s.value(Var(v))).collect();
+            (r, s.stats(), model)
+        };
+        assert_eq!(build(), build());
     }
 }

@@ -74,6 +74,16 @@ impl Lit {
         self.0 as usize
     }
 
+    /// Raw arena code (`2*var + sign`); inverse of [`Lit::from_code`].
+    pub(crate) fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a literal from its raw arena code.
+    pub(crate) fn from_code(code: u32) -> Lit {
+        Lit(code)
+    }
+
     /// The literal's value under an assignment of its variable.
     pub fn apply(self, var_value: bool) -> bool {
         var_value == self.is_positive()

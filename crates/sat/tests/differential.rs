@@ -1,0 +1,147 @@
+//! Differential solver oracle.
+//!
+//! Property-fuzzes random CNFs (≤ 14 variables, clause widths 1–4 with
+//! naturally occurring units, duplicate literals and tautologies) and
+//! cross-checks the arena solver three ways:
+//!
+//! 1. its SAT/UNSAT verdict against exhaustive model enumeration;
+//! 2. every SAT model replayed against every clause;
+//! 3. its verdict against the frozen pre-arena [`rtlock_sat::baseline`]
+//!    solver, plus blocking-clause enumeration counts against the
+//!    brute-force model count;
+//!
+//! and re-solving the same instance must reproduce the verdict, the
+//! [`rtlock_sat::Stats`] and the model bit-for-bit (the determinism
+//! contract of DESIGN.md §14).
+//!
+//! Case count defaults to 48 per property; the `sat-differential` CI job
+//! (and anyone hunting a discrepancy) can raise it with
+//! `RTLOCK_SAT_DIFF_CASES=512`.
+
+use proptest::prelude::*;
+use rtlock_sat::{SatBackend, SolveResult, Solver, Var};
+
+/// A raw random CNF: variable count plus clauses of (var-seed, sign)
+/// pairs. Seeds are reduced mod the variable count so the same generator
+/// covers every width/variable mix without a dependent strategy.
+type RawCnf = (u32, Vec<Vec<(u32, bool)>>);
+
+fn materialize(raw: &RawCnf) -> (u32, Vec<Vec<i32>>) {
+    let nv = raw.0;
+    let clauses = raw
+        .1
+        .iter()
+        .map(|c| c.iter().map(|&(v, pos)| ((v % nv) as i32 + 1) * if pos { 1 } else { -1 }).collect())
+        .collect();
+    (nv, clauses)
+}
+
+/// Exhaustive model count over `nv` variables.
+fn brute_force_models(nv: u32, clauses: &[Vec<i32>]) -> u64 {
+    let mut count = 0;
+    for bits in 0u64..(1u64 << nv) {
+        let sat = clauses.iter().all(|c| {
+            c.iter().any(|&l| {
+                let val = bits >> (l.unsigned_abs() - 1) & 1 == 1;
+                (l > 0) == val
+            })
+        });
+        count += u64::from(sat);
+    }
+    count
+}
+
+fn solve_fresh<S: SatBackend>(nv: u32, clauses: &[Vec<i32>]) -> (SolveResult, S) {
+    let mut s = S::new();
+    s.reserve_vars(nv as usize);
+    for c in clauses {
+        s.add_dimacs_clause(c);
+    }
+    let r = s.solve(&[]);
+    (r, s)
+}
+
+fn cases() -> u32 {
+    std::env::var("RTLOCK_SAT_DIFF_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48)
+}
+
+fn clause_strategy() -> impl Strategy<Value = Vec<(u32, bool)>> {
+    collection::vec((0u32..14, any::<bool>()), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn verdict_matches_exhaustive_enumeration(
+        nv in 1u32..=14,
+        raw_clauses in collection::vec(clause_strategy(), 1..41),
+    ) {
+        let (nv, clauses) = materialize(&(nv, raw_clauses));
+        let expected = brute_force_models(nv, &clauses);
+        let (verdict, solver) = solve_fresh::<Solver>(nv, &clauses);
+        if expected > 0 {
+            prop_assert_eq!(verdict, SolveResult::Sat, "brute force found {} models", expected);
+            // Replay the model against every clause.
+            for c in &clauses {
+                let sat = c.iter().any(|&l| {
+                    solver.value(Var(l.unsigned_abs() - 1)).map(|v| (l > 0) == v).unwrap_or(false)
+                });
+                prop_assert!(sat, "model violates {:?}", c);
+            }
+        } else {
+            prop_assert_eq!(verdict, SolveResult::Unsat, "brute force found no model");
+        }
+    }
+
+    #[test]
+    fn arena_and_baseline_agree_and_enumeration_counts_models(
+        nv in 1u32..=8,
+        raw_clauses in collection::vec(clause_strategy(), 1..30),
+    ) {
+        let (nv, clauses) = materialize(&(nv, raw_clauses));
+        let expected = brute_force_models(nv, &clauses);
+        let (new_verdict, _) = solve_fresh::<Solver>(nv, &clauses);
+        let (old_verdict, _) = solve_fresh::<rtlock_sat::baseline::Solver>(nv, &clauses);
+        prop_assert_eq!(new_verdict, old_verdict, "arena vs baseline verdict");
+
+        // Blocking-clause enumeration over all nv variables must visit
+        // exactly the brute-force model count (every variable is
+        // allocated, so each SAT answer assigns all of them).
+        let mut s = Solver::new();
+        s.reserve_vars(nv as usize);
+        for c in &clauses {
+            s.add_dimacs_clause(c);
+        }
+        let mut enumerated = 0u64;
+        while s.solve(&[]) == SolveResult::Sat {
+            enumerated += 1;
+            prop_assert!(enumerated <= expected, "enumerated more than the {} real models", expected);
+            let blocking: Vec<i32> = (0..nv)
+                .map(|v| {
+                    let d = v as i32 + 1;
+                    match s.value(Var(v)) {
+                        Some(true) => -d,
+                        _ => d,
+                    }
+                })
+                .collect();
+            s.add_dimacs_clause(&blocking);
+        }
+        prop_assert_eq!(enumerated, expected, "blocking enumeration vs brute force");
+    }
+
+    #[test]
+    fn repeat_solves_are_bit_identical(
+        nv in 1u32..=14,
+        raw_clauses in collection::vec(clause_strategy(), 1..41),
+    ) {
+        let (nv, clauses) = materialize(&(nv, raw_clauses));
+        let run = || {
+            let (r, s) = solve_fresh::<Solver>(nv, &clauses);
+            let model: Vec<Option<bool>> = (0..nv).map(|v| s.value(Var(v))).collect();
+            (r, s.stats(), model)
+        };
+        prop_assert_eq!(run(), run(), "same input + budget must reproduce verdict, stats and model");
+    }
+}
