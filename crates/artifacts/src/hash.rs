@@ -1,0 +1,304 @@
+//! Canonical structural hashing of netlists.
+//!
+//! The cache key must be *stable across net renumbering*: two netlists
+//! that differ only in the order gates were declared (and hence in their
+//! `GateId` numbering) describe the same circuit and should map to the
+//! same bucket. At the same time the hash must be *sensitive*: flipping a
+//! single gate kind or constant must change it.
+//!
+//! The hasher runs a short Weisfeiler–Lehman-style refinement over the
+//! gate graph:
+//!
+//! 1. every gate starts from a label derived from its kind, its optional
+//!    name, and (for flip-flops) its reset value — nothing id-dependent;
+//! 2. each round replaces a gate's label with a mix of its previous label
+//!    and its fanin labels — sorted first for commutative kinds
+//!    (AND/NAND/OR/NOR/XOR/XNOR), in pin order for MUX/BUF/NOT/DFF;
+//! 3. the final digest folds an order-insensitive aggregate of all gate
+//!    labels (so internal declaration order cannot matter) together with
+//!    the ordered, named boundary: primary inputs, outputs, port groups,
+//!    key bits and the scan chain.
+//!
+//! The round count is a function of renumbering-invariant quantities only
+//! (flip-flop count), so isomorphic netlists always run the same number of
+//! rounds. All mixing is SplitMix64/FNV-1a based — fully deterministic,
+//! no `HashMap` iteration, no randomness.
+//!
+//! The hash is 128 bits to make accidental collisions irrelevant in
+//! practice; the store additionally compares exact identity bytes on every
+//! lookup (see [`crate::ArtifactStore`]), so even a collision — or an
+//! isomorphic-but-renumbered twin, whose cached artifacts would be
+//! expressed in the wrong gate ids — degrades to a cache miss, never to a
+//! wrong answer.
+
+use rtlock_netlist::{GateKind, Netlist};
+
+/// SplitMix64 finalizer: the core bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-sensitive combination of two labels.
+fn combine(a: u64, b: u64) -> u64 {
+    mix(a ^ b.wrapping_mul(0x100_0000_01B3))
+}
+
+/// FNV-1a over a byte string (names, sources).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Two independent 64-bit accumulators folded into one 128-bit digest.
+struct Acc {
+    lo: u64,
+    hi: u64,
+}
+
+impl Acc {
+    fn new(domain: &str) -> Acc {
+        Acc { lo: mix(fnv1a(domain.as_bytes())), hi: mix(fnv1a(domain.as_bytes()) ^ u64::MAX) }
+    }
+
+    fn fold(&mut self, v: u64) {
+        self.lo = combine(self.lo, v);
+        self.hi = combine(self.hi, mix(v ^ 0xA5A5_A5A5_A5A5_A5A5));
+    }
+
+    fn finish(self) -> u128 {
+        ((mix(self.hi) as u128) << 64) | mix(self.lo) as u128
+    }
+}
+
+fn kind_label(kind: GateKind) -> u64 {
+    let tag: u64 = match kind {
+        GateKind::Input => 1,
+        GateKind::Const0 => 2,
+        GateKind::Const1 => 3,
+        GateKind::Buf => 4,
+        GateKind::Not => 5,
+        GateKind::And => 6,
+        GateKind::Nand => 7,
+        GateKind::Or => 8,
+        GateKind::Nor => 9,
+        GateKind::Xor => 10,
+        GateKind::Xnor => 11,
+        GateKind::Mux => 12,
+        GateKind::Dff { init: false } => 13,
+        GateKind::Dff { init: true } => 14,
+    };
+    mix(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn commutative(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor | GateKind::Xor | GateKind::Xnor
+    )
+}
+
+/// Canonical structural hash of a netlist (see module docs for the
+/// invariance/sensitivity contract).
+pub fn structural_hash(n: &Netlist) -> u128 {
+    let count = n.len();
+    let mut labels: Vec<u64> = Vec::with_capacity(count);
+    for id in n.ids() {
+        let g = n.gate(id);
+        let name_h = fnv1a(n.gate_name(id).unwrap_or("").as_bytes());
+        labels.push(combine(kind_label(g.kind), name_h));
+    }
+
+    // Refinement rounds: enough to mix each gate with a deep neighborhood;
+    // flip-flop feedback needs extra rounds to circulate. The count
+    // depends only on renumbering-invariant quantities.
+    let rounds = 3 + n.dffs().len().min(13);
+    let mut next = labels.clone();
+    for _ in 0..rounds {
+        for id in n.ids() {
+            let g = n.gate(id);
+            let fold = match g.fanin.len() {
+                0 => 0x5BF0_3635_DEAD_BEEF,
+                1 => combine(1, labels[g.fanin[0].index()]),
+                2 if commutative(g.kind) => {
+                    let (a, b) = (labels[g.fanin[0].index()], labels[g.fanin[1].index()]);
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    combine(combine(2, lo), hi)
+                }
+                _ => {
+                    let mut acc = 3u64;
+                    for (pin, &f) in g.fanin.iter().enumerate() {
+                        acc = combine(acc, combine(pin as u64, labels[f.index()]));
+                    }
+                    acc
+                }
+            };
+            next[id.index()] = combine(labels[id.index()], fold);
+        }
+        std::mem::swap(&mut labels, &mut next);
+    }
+
+    let mut acc = Acc::new("rtlock-structural-hash-v1");
+    acc.fold(fnv1a(n.name.as_bytes()));
+    acc.fold(count as u64);
+
+    // Order-insensitive aggregate over all gates: internal declaration
+    // order cannot matter, while any single-gate mutation shifts the sum.
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    for &l in &labels {
+        sum = sum.wrapping_add(l);
+        xor ^= l.rotate_left((l & 63) as u32);
+    }
+    acc.fold(sum);
+    acc.fold(xor);
+
+    // The boundary is ordered and named.
+    acc.fold(n.inputs().len() as u64);
+    for &g in n.inputs() {
+        acc.fold(labels[g.index()]);
+    }
+    acc.fold(n.outputs().len() as u64);
+    for (name, driver) in n.outputs() {
+        acc.fold(fnv1a(name.as_bytes()));
+        acc.fold(labels[driver.index()]);
+    }
+    for ports in [&n.input_ports, &n.output_ports] {
+        acc.fold(ports.len() as u64);
+        for p in ports {
+            acc.fold(fnv1a(p.name.as_bytes()));
+            acc.fold(p.bits.len() as u64);
+            for &b in &p.bits {
+                acc.fold(labels[b.index()]);
+            }
+        }
+    }
+    acc.fold(n.key_inputs.len() as u64);
+    for &g in &n.key_inputs {
+        acc.fold(labels[g.index()]);
+    }
+    acc.fold(n.scan_chain.len() as u64);
+    for &g in &n.scan_chain {
+        acc.fold(labels[g.index()]);
+    }
+    acc.finish()
+}
+
+/// Content hash of an opaque byte string (used to key artifacts whose
+/// natural identity is a source text, e.g. elaboration keyed on the
+/// printed RTL module).
+pub fn bytes_hash(bytes: &[u8]) -> u128 {
+    let mut acc = Acc::new("rtlock-bytes-hash-v1");
+    acc.fold(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        acc.fold(u64::from_le_bytes(w));
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlock_netlist::GateKind;
+
+    fn pair_netlist(swap_decl: bool) -> Netlist {
+        // y = (a & b) | !(a ^ b); internal gates declared in either order.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let (g1, g2) = if swap_decl {
+            let x = n.add_gate(GateKind::Xor, vec![a, b]);
+            let t = n.add_gate(GateKind::And, vec![a, b]);
+            (t, x)
+        } else {
+            let t = n.add_gate(GateKind::And, vec![a, b]);
+            let x = n.add_gate(GateKind::Xor, vec![a, b]);
+            (t, x)
+        };
+        let inv = n.add_gate(GateKind::Not, vec![g2]);
+        let y = n.add_gate(GateKind::Or, vec![g1, inv]);
+        n.add_output("y", y);
+        n
+    }
+
+    #[test]
+    fn stable_under_declaration_reorder() {
+        assert_eq!(structural_hash(&pair_netlist(false)), structural_hash(&pair_netlist(true)));
+    }
+
+    #[test]
+    fn commutative_fanin_order_irrelevant() {
+        let build = |swap: bool| {
+            let mut n = Netlist::new("t");
+            let a = n.add_input("a");
+            let b = n.add_input("b");
+            let g = if swap {
+                n.add_gate(GateKind::And, vec![b, a])
+            } else {
+                n.add_gate(GateKind::And, vec![a, b])
+            };
+            n.add_output("y", g);
+            n
+        };
+        assert_eq!(structural_hash(&build(false)), structural_hash(&build(true)));
+    }
+
+    #[test]
+    fn mux_pin_order_matters() {
+        let build = |swap: bool| {
+            let mut n = Netlist::new("t");
+            let s = n.add_input("s");
+            let a = n.add_input("a");
+            let b = n.add_input("b");
+            let g = if swap {
+                n.add_gate(GateKind::Mux, vec![s, b, a])
+            } else {
+                n.add_gate(GateKind::Mux, vec![s, a, b])
+            };
+            n.add_output("y", g);
+            n
+        };
+        assert_ne!(structural_hash(&build(false)), structural_hash(&build(true)));
+    }
+
+    #[test]
+    fn single_kind_mutation_changes_hash() {
+        let mut n = pair_netlist(false);
+        let h0 = structural_hash(&n);
+        // Flip the AND (gate index 2) to OR.
+        let id = n.ids().nth(2).unwrap();
+        n.gate_mut(id).kind = GateKind::Or;
+        assert_ne!(structural_hash(&n), h0);
+    }
+
+    #[test]
+    fn dff_feedback_and_init_sensitivity() {
+        let build = |init: bool| {
+            let mut n = Netlist::new("t");
+            let a = n.add_input("a");
+            let q = n.add_named_gate(GateKind::Dff { init }, vec![a], "q");
+            let f = n.add_gate(GateKind::Xor, vec![q, a]);
+            n.gate_mut(q).fanin[0] = f;
+            n.add_output("y", f);
+            n
+        };
+        assert_ne!(structural_hash(&build(false)), structural_hash(&build(true)));
+        assert_eq!(structural_hash(&build(true)), structural_hash(&build(true)));
+    }
+
+    #[test]
+    fn bytes_hash_differs_on_any_prefix() {
+        let h = bytes_hash(b"module m; endmodule");
+        assert_ne!(h, bytes_hash(b"module m; endmodul"));
+        assert_ne!(h, bytes_hash(b""));
+        assert_eq!(h, bytes_hash(b"module m; endmodule"));
+    }
+}

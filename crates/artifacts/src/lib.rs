@@ -1,0 +1,68 @@
+//! Content-addressed artifact cache for the RTLock flow.
+//!
+//! Every lock/attack/fuzz run used to re-elaborate, re-synthesize and
+//! re-encode CNF from scratch even though the catalog, the attack
+//! portfolio, and fuzz shards repeatedly process near-identical
+//! structures. This crate amortizes those costs behind a content hash, in
+//! three layers:
+//!
+//! * [`hash`] — a canonical structural hash of a netlist
+//!   ([`structural_hash`]): Weisfeiler–Lehman-style refinement over the
+//!   gate graph, stable across net renumbering and declaration reorder,
+//!   sensitive to single-gate mutations, and fully deterministic (no
+//!   `HashMap` iteration order anywhere).
+//! * [`store`] — [`ArtifactStore`]: an in-memory tier (FIFO-capped,
+//!   deterministic eviction) plus an optional on-disk tier that reuses
+//!   `rtlock-store`'s `atomic_write` and CRC32 framing, so the crash-safety
+//!   invariants of the campaign journal carry over: a torn or corrupted
+//!   entry fails its checksum, is counted as poisoned, and is recomputed —
+//!   never served.
+//! * [`cached`] — typed get-or-compute wrappers for the four artifact
+//!   kinds: elaborated netlists ([`cached_elaborate`]), optimized netlists
+//!   ([`cached_optimize`]), SCOAP profiles ([`cached_scoap`]) and Tseitin
+//!   CNF templates ([`cached_cnf_template`] / [`encode_comb_cached`]).
+//!
+//! # Determinism contract
+//!
+//! A cache hit returns byte-for-byte what the miss path would have
+//! computed: payloads are canonical encodings, and every lookup compares
+//! exact identity bytes (so hash collisions and isomorphic-but-renumbered
+//! twins degrade to recomputation instead of producing artifacts in the
+//! wrong gate numbering). Reports produced with the cache hot, cold,
+//! shared, or disabled are therefore byte-identical; only the
+//! [`CacheStats`] counters — which must never feed a canonical rendering —
+//! differ. Lookups are [`CancelToken`](rtlock_governor::CancelToken)-bounded
+//! and degrade to a miss when the budget is exhausted; partial artifacts
+//! (e.g. an interrupted optimization) are never stored.
+//!
+//! ```
+//! use rtlock_artifacts::{ArtifactStore, cached_optimize};
+//! use rtlock_governor::CancelToken;
+//! use rtlock_netlist::{GateKind, Netlist};
+//!
+//! let mut n = Netlist::new("demo");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let g = n.add_gate(GateKind::And, vec![a, b]);
+//! n.add_output("y", g);
+//!
+//! let store = ArtifactStore::in_memory();
+//! let token = CancelToken::unlimited();
+//! let (cold, _) = cached_optimize(Some(&store), &n, &token);
+//! let (warm, _) = cached_optimize(Some(&store), &n, &token);
+//! assert_eq!(cold, warm);
+//! assert_eq!(store.stats().hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cached;
+pub mod hash;
+pub mod store;
+
+pub use cached::{
+    cached_cnf_template, cached_elaborate, cached_optimize, cached_scoap, encode_comb_cached,
+    module_identity, CnfTemplate,
+};
+pub use hash::{bytes_hash, structural_hash};
+pub use store::{ArtifactKind, ArtifactStore, CacheConfig, CacheStats};

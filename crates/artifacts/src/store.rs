@@ -1,0 +1,441 @@
+//! The two-tier content-addressed artifact store.
+//!
+//! **Memory tier** — a mutex-guarded map from `(kind, structural hash)`
+//! to entries, FIFO-capped at [`CacheConfig::max_entries`] keys with
+//! deterministic eviction order.
+//!
+//! **Disk tier** (optional) — one file per key under
+//! [`CacheConfig::disk_dir`], written with `rtlock-store`'s
+//! [`atomic_write`] (temp + fsync + rename) and framed as
+//! `magic ‖ crc32 ‖ identity ‖ payload`, so a crash leaves either the old
+//! bytes or the new bytes and any torn or bit-flipped entry fails its
+//! checksum, is counted as *poisoned*, deleted, and recomputed — never
+//! served.
+//!
+//! **Soundness rule**: the structural hash is renumbering-invariant, but
+//! cached artifacts are expressed in concrete gate ids. Every entry
+//! therefore carries the *exact identity bytes* of the input it was
+//! computed from (the canonical netlist encoding), and [`ArtifactStore::get`]
+//! compares them on every lookup. Hash collisions and isomorphic twins
+//! miss and recompute; a hit always returns bytes that the cold
+//! computation would have produced, which is what makes cached runs
+//! byte-identical to uncached ones.
+//!
+//! Lookups are [`CancelToken`]-bounded: a store consulted past its budget
+//! degrades to a miss (the caller recomputes under its own governor)
+//! rather than blocking or returning partial artifacts.
+
+use rtlock_governor::CancelToken;
+use rtlock_store::atomic_write;
+use rtlock_store::journal::crc32;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// On-disk entry magic, bumped on any framing change.
+const DISK_MAGIC: &[u8; 5] = b"RART1";
+
+/// What an artifact is — part of the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// Elaborated netlist, keyed by the printed RTL module source.
+    ElabNetlist,
+    /// Optimized netlist (plus optimizer stats), keyed by the input netlist.
+    OptNetlist,
+    /// Tseitin CNF template, keyed by the encoded netlist.
+    Cnf,
+    /// SCOAP testability profile, keyed by the netlist.
+    Scoap,
+}
+
+impl ArtifactKind {
+    /// Stable short name (used in file names and stats lines).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtifactKind::ElabNetlist => "elab",
+            ArtifactKind::OptNetlist => "opt",
+            ArtifactKind::Cnf => "cnf",
+            ArtifactKind::Scoap => "scoap",
+        }
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum number of keys held in the memory tier; the oldest key is
+    /// evicted (deterministically, insertion order) beyond this.
+    pub max_entries: usize,
+    /// Directory of the optional disk tier; `None` disables it.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { max_entries: 4096, disk_dir: None }
+    }
+}
+
+/// Monotonic counters, snapshotted by [`ArtifactStore::stats`].
+///
+/// These are observability data only — they must never feed into any
+/// canonical report rendering, because hot and cold runs differ here by
+/// construction while their reports must stay byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory or disk.
+    pub hits: u64,
+    /// Lookups that fell through to recomputation (including identity
+    /// mismatches and cancel-bounded lookups).
+    pub misses: u64,
+    /// Keys evicted from the memory tier.
+    pub evictions: u64,
+    /// Corrupt or undecodable entries detected (checksum/codec) and
+    /// discarded instead of served.
+    pub poisoned: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn line(&self) -> String {
+        format!(
+            "hits={} misses={} evictions={} poisoned={} hit_rate={:.3}",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.poisoned,
+            self.hit_rate()
+        )
+    }
+}
+
+struct Entry {
+    identity: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+#[derive(Default)]
+struct MemTier {
+    map: HashMap<(ArtifactKind, u128), Vec<Entry>>,
+    order: VecDeque<(ArtifactKind, u128)>,
+}
+
+/// Crash-injection hook for the CI kill-mid-write job: after N disk puts
+/// the store writes a deliberately torn entry (half a frame, bypassing
+/// `atomic_write`) and aborts the process. The resumed run must detect the
+/// torn entry via its checksum, recompute, and produce byte-identical
+/// reports.
+fn crash_after_puts() -> Option<u64> {
+    static ARMED: OnceLock<Option<u64>> = OnceLock::new();
+    *ARMED.get_or_init(|| {
+        std::env::var("RTLOCK_CACHE_CRASH_AFTER_PUTS").ok().and_then(|v| v.parse().ok())
+    })
+}
+
+/// The content-addressed artifact store (see module docs).
+pub struct ArtifactStore {
+    cfg: CacheConfig,
+    mem: Mutex<MemTier>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    poisoned: AtomicU64,
+    disk_puts: AtomicU64,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ArtifactStore {
+    /// Creates a store with the given configuration.
+    pub fn new(cfg: CacheConfig) -> ArtifactStore {
+        ArtifactStore {
+            cfg,
+            mem: Mutex::new(MemTier::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            disk_puts: AtomicU64::new(0),
+        }
+    }
+
+    /// Memory-only store with default capacity.
+    pub fn in_memory() -> ArtifactStore {
+        ArtifactStore::new(CacheConfig::default())
+    }
+
+    /// Store with both tiers; the directory is created on first put.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> ArtifactStore {
+        ArtifactStore::new(CacheConfig { disk_dir: Some(dir.into()), ..CacheConfig::default() })
+    }
+
+    /// Snapshot of the hit/miss/evict/poison counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records that a typed decoder rejected a frame the store served
+    /// (counted as poisoned; the caller recomputes).
+    pub fn note_poisoned(&self) {
+        self.poisoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn disk_path(&self, kind: ArtifactKind, hash: u128) -> Option<PathBuf> {
+        self.cfg.disk_dir.as_ref().map(|d| d.join(format!("{}-{hash:032x}.art", kind.as_str())))
+    }
+
+    /// Looks up an artifact. Returns the payload only when the stored
+    /// identity bytes equal `identity` exactly; anything else — absence,
+    /// identity mismatch, checksum failure, or an exhausted `token` — is a
+    /// miss and the caller recomputes.
+    pub fn get(
+        &self,
+        kind: ArtifactKind,
+        hash: u128,
+        identity: &[u8],
+        token: &CancelToken,
+    ) -> Option<Vec<u8>> {
+        if token.should_stop().is_some() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        {
+            let mem = self.mem.lock().expect("artifact store poisoned lock");
+            if let Some(entries) = mem.map.get(&(kind, hash)) {
+                if let Some(e) = entries.iter().find(|e| e.identity == identity) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(e.payload.clone());
+                }
+            }
+        }
+        if let Some(path) = self.disk_path(kind, hash) {
+            if let Ok(bytes) = std::fs::read(&path) {
+                match parse_frame(&bytes) {
+                    Some((id, payload)) if id == identity => {
+                        self.insert_mem(kind, hash, identity.to_vec(), payload.to_vec());
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(payload.to_vec());
+                    }
+                    Some(_) => {
+                        // Valid frame for a different identity (hash
+                        // collision or renumbered twin): plain miss.
+                    }
+                    None => {
+                        // Torn or corrupted entry: poisoned, self-heal by
+                        // deleting so the recomputed artifact replaces it.
+                        self.poisoned.fetch_add(1, Ordering::Relaxed);
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a *complete* artifact. Callers must never put partial
+    /// results (e.g. an interrupted optimization).
+    pub fn put(&self, kind: ArtifactKind, hash: u128, identity: &[u8], payload: &[u8]) {
+        self.insert_mem(kind, hash, identity.to_vec(), payload.to_vec());
+        if let Some(path) = self.disk_path(kind, hash) {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let frame = build_frame(identity, payload);
+            let n = self.disk_puts.fetch_add(1, Ordering::Relaxed) + 1;
+            if crash_after_puts() == Some(n) {
+                // Simulate dying mid-write: leave a torn frame at the
+                // final path (no atomic rename) and abort the process.
+                let _ = std::fs::write(&path, &frame[..frame.len() / 2]);
+                std::process::abort();
+            }
+            let _ = atomic_write(&path, &frame);
+        }
+    }
+
+    fn insert_mem(&self, kind: ArtifactKind, hash: u128, identity: Vec<u8>, payload: Vec<u8>) {
+        let mut mem = self.mem.lock().expect("artifact store poisoned lock");
+        let key = (kind, hash);
+        match mem.map.get_mut(&key) {
+            Some(entries) => {
+                if entries.iter().any(|e| e.identity == identity) {
+                    return;
+                }
+                entries.push(Entry { identity, payload });
+            }
+            None => {
+                while mem.order.len() >= self.cfg.max_entries {
+                    if let Some(old) = mem.order.pop_front() {
+                        mem.map.remove(&old);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                mem.map.insert(key, vec![Entry { identity, payload }]);
+                mem.order.push_back(key);
+            }
+        }
+    }
+}
+
+fn build_frame(identity: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8 + identity.len() + payload.len());
+    body.extend_from_slice(&(identity.len() as u32).to_le_bytes());
+    body.extend_from_slice(identity);
+    body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    body.extend_from_slice(payload);
+    let mut frame = Vec::with_capacity(body.len() + 9);
+    frame.extend_from_slice(DISK_MAGIC);
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+fn parse_frame(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+    let rest = bytes.strip_prefix(DISK_MAGIC)?;
+    if rest.len() < 4 {
+        return None;
+    }
+    let (crc_bytes, body) = rest.split_at(4);
+    let expect = u32::from_le_bytes(crc_bytes.try_into().ok()?);
+    if crc32(body) != expect {
+        return None;
+    }
+    let take = |b: &mut &[u8]| -> Option<usize> {
+        if b.len() < 4 {
+            return None;
+        }
+        let (len, rest) = b.split_at(4);
+        *b = rest;
+        Some(u32::from_le_bytes(len.try_into().ok()?) as usize)
+    };
+    let mut cur = body;
+    let id_len = take(&mut cur)?;
+    if cur.len() < id_len {
+        return None;
+    }
+    let (identity, mut cur) = cur.split_at(id_len);
+    let pay_len = take(&mut cur)?;
+    if cur.len() != pay_len {
+        return None;
+    }
+    Some((identity, cur))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rtlock_artifacts_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn memory_roundtrip_and_counters() {
+        let s = ArtifactStore::in_memory();
+        let t = CancelToken::unlimited();
+        assert!(s.get(ArtifactKind::Scoap, 7, b"id", &t).is_none());
+        s.put(ArtifactKind::Scoap, 7, b"id", b"payload");
+        assert_eq!(s.get(ArtifactKind::Scoap, 7, b"id", &t).as_deref(), Some(&b"payload"[..]));
+        // Identity mismatch on the same hash is a miss, not a wrong hit.
+        assert!(s.get(ArtifactKind::Scoap, 7, b"other", &t).is_none());
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses), (1, 2));
+    }
+
+    #[test]
+    fn cancelled_lookup_degrades_to_miss() {
+        let s = ArtifactStore::in_memory();
+        s.put(ArtifactKind::Cnf, 1, b"x", b"y");
+        let t = CancelToken::unlimited();
+        t.cancel();
+        assert!(s.get(ArtifactKind::Cnf, 1, b"x", &t).is_none());
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_counted() {
+        let s = ArtifactStore::new(CacheConfig { max_entries: 2, disk_dir: None });
+        let t = CancelToken::unlimited();
+        s.put(ArtifactKind::Scoap, 1, b"a", b"1");
+        s.put(ArtifactKind::Scoap, 2, b"b", b"2");
+        s.put(ArtifactKind::Scoap, 3, b"c", b"3");
+        assert!(s.get(ArtifactKind::Scoap, 1, b"a", &t).is_none(), "oldest evicted");
+        assert!(s.get(ArtifactKind::Scoap, 3, b"c", &t).is_some());
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_store_instances() {
+        let dir = tmpdir("disk");
+        let t = CancelToken::unlimited();
+        {
+            let s = ArtifactStore::on_disk(&dir);
+            s.put(ArtifactKind::OptNetlist, 42, b"net", b"opt-bytes");
+        }
+        let s2 = ArtifactStore::on_disk(&dir);
+        assert_eq!(
+            s2.get(ArtifactKind::OptNetlist, 42, b"net", &t).as_deref(),
+            Some(&b"opt-bytes"[..])
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_disk_entry_is_poisoned_and_healed() {
+        let dir = tmpdir("poison");
+        let t = CancelToken::unlimited();
+        let s = ArtifactStore::on_disk(&dir);
+        s.put(ArtifactKind::Cnf, 9, b"ident", b"cnf-bytes");
+        let path = dir.join(format!("cnf-{:032x}.art", 9u128));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let fresh = ArtifactStore::on_disk(&dir);
+        assert!(fresh.get(ArtifactKind::Cnf, 9, b"ident", &t).is_none(), "corrupt entry not served");
+        let st = fresh.stats();
+        assert_eq!((st.poisoned, st.misses), (1, 1));
+        assert!(!path.exists(), "poisoned entry deleted for self-heal");
+        // Recompute-and-put heals the slot.
+        fresh.put(ArtifactKind::Cnf, 9, b"ident", b"cnf-bytes");
+        let again = ArtifactStore::on_disk(&dir);
+        assert!(again.get(ArtifactKind::Cnf, 9, b"ident", &t).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_frame_rejected_at_every_truncation() {
+        let frame = build_frame(b"identity-bytes", b"payload-bytes");
+        assert!(parse_frame(&frame).is_some());
+        for len in 0..frame.len() {
+            assert!(parse_frame(&frame[..len]).is_none(), "truncation at {len} accepted");
+        }
+    }
+}

@@ -31,11 +31,12 @@ use crate::bmc_attack::{bmc_attack, BmcConfig};
 use crate::bypass::{bypass_estimate, BypassEstimate};
 use crate::removal::{removal_attack, RemovalOutcome};
 use crate::sat_attack::{sat_attack, AttackConfig, AttackOutcome};
+use rtlock_artifacts::ArtifactStore;
 use rtlock_exec::Executor;
 use rtlock_governor::CancelToken;
 use rtlock_netlist::Netlist;
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One attack in the portfolio, in priority order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +95,10 @@ pub struct PortfolioConfig {
     pub removal_tolerance: f64,
     /// Seed for the simulation-based members.
     pub seed: u64,
+    /// Artifact cache handed to members that encode CNF (currently the
+    /// SAT attack, unless its own `sat.cache` is already set). Verdicts
+    /// are byte-identical with or without it.
+    pub cache: Option<Arc<ArtifactStore>>,
 }
 
 impl Default for PortfolioConfig {
@@ -111,6 +116,7 @@ impl Default for PortfolioConfig {
             skew_threshold: 0.45,
             removal_tolerance: 0.0,
             seed: 0xD15_EA5E,
+            cache: None,
         }
     }
 }
@@ -293,7 +299,11 @@ fn run_member(
     match member {
         PortfolioMember::Sat => match target.comb {
             Some((locked, original)) => {
-                let cfg = AttackConfig { cancel: Some(token.clone()), ..config.sat.clone() };
+                let cfg = AttackConfig {
+                    cancel: Some(token.clone()),
+                    cache: config.sat.cache.clone().or_else(|| config.cache.clone()),
+                    ..config.sat.clone()
+                };
                 MemberOutcome::Attack(sat_attack(locked, original, &cfg))
             }
             None => MemberOutcome::Unavailable("no combinational scan view".into()),
@@ -550,7 +560,7 @@ mod tests {
 
     fn quick_config() -> PortfolioConfig {
         PortfolioConfig {
-            sat: AttackConfig { max_iterations: 1_000, timeout: None, cancel: None },
+            sat: AttackConfig { max_iterations: 1_000, ..AttackConfig::default() },
             sim_samples: 4,
             ..PortfolioConfig::default()
         }

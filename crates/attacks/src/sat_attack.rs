@@ -14,9 +14,11 @@
 //! scan locking provides.
 
 use crate::oracle::CombOracle;
+use rtlock_artifacts::{encode_comb_cached, ArtifactStore};
 use rtlock_governor::{CancelToken, Deadline};
 use rtlock_netlist::{CnfBuilder, GateId, Netlist};
 use rtlock_sat::{Budget, Lit, SatBackend, SolveResult, Solver};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Attack resource limits.
@@ -30,11 +32,17 @@ pub struct AttackConfig {
     /// solver restart or DIP boundary with [`AttackOutcome::TimedOut`].
     /// This is how a portfolio run interrupts a losing attack mid-solve.
     pub cancel: Option<CancelToken>,
+    /// Content-addressed artifact cache for the Tseitin encodings the
+    /// attack re-derives on every circuit copy (two miter copies plus two
+    /// per DIP). A hit replays the exact clause list and variable numbering
+    /// a direct encode would produce, so the attack outcome is identical
+    /// with or without the cache. `None` encodes directly.
+    pub cache: Option<Arc<ArtifactStore>>,
 }
 
 impl Default for AttackConfig {
     fn default() -> Self {
-        AttackConfig { max_iterations: 10_000, timeout: None, cancel: None }
+        AttackConfig { max_iterations: 10_000, timeout: None, cancel: None, cache: None }
     }
 }
 
@@ -163,6 +171,8 @@ pub fn sat_attack_with<S: SatBackend>(
     let mut cnf = CnfBuilder::new();
     let mut solver = S::new();
     let mut drained = 0usize;
+    let cache = config.cache.as_deref();
+    let token = config.stop_token();
 
     // Shared x variables and two key copies.
     let x_vars: Vec<i32> = data_inputs.iter().map(|_| cnf.fresh_var()).collect();
@@ -184,8 +194,8 @@ pub fn sat_attack_with<S: SatBackend>(
             .collect()
     };
 
-    let vars1 = cnf.encode_comb(locked, &assemble(&k1, &x_vars), &[]);
-    let vars2 = cnf.encode_comb(locked, &assemble(&k2, &x_vars), &[]);
+    let vars1 = encode_comb_cached(cache, &mut cnf, locked, &assemble(&k1, &x_vars), &[], &token);
+    let vars2 = encode_comb_cached(cache, &mut cnf, locked, &assemble(&k2, &x_vars), &[], &token);
 
     // Miter: some output differs — guarded by an activation literal so the
     // final key-extraction solve can drop it.
@@ -200,7 +210,6 @@ pub fn sat_attack_with<S: SatBackend>(
 
     sync(&mut cnf, &mut solver, &mut drained);
 
-    let token = config.stop_token();
     let mut iterations = 0usize;
     loop {
         solver.set_budget(Budget::cancellable(&token));
@@ -275,7 +284,8 @@ pub fn sat_attack_with<S: SatBackend>(
                             var
                         })
                         .collect();
-                    let vars = cnf.encode_comb(locked, &assemble(keys, &xin), &[]);
+                    let vars =
+                        encode_comb_cached(cache, &mut cnf, locked, &assemble(keys, &xin), &[], &token);
                     for (oi, (name, drv)) in locked.outputs().iter().enumerate() {
                         if !shared_outputs[oi] {
                             continue; // locked-only output: the oracle has no answer

@@ -81,7 +81,7 @@ fn main() {
             sat: AttackConfig {
                 max_iterations: 1_000_000,
                 timeout: Some(timeout),
-                cancel: None,
+                ..AttackConfig::default()
             },
             bmc: BmcConfig {
                 max_iterations: 1_000_000,
@@ -91,6 +91,7 @@ fn main() {
             ..PortfolioConfig::default()
         }),
         retry: rtlock_store::RetryPolicy::default(),
+        cache: None,
     };
 
     eprintln!(

@@ -192,6 +192,7 @@ fn main() -> ExitCode {
             base_delay: Duration::from_millis(args.retry_base_ms),
             ..RetryPolicy::default()
         },
+        cache: None,
     };
 
     let (mut journal, recovery) = match CampaignJournal::open(&args.journal) {

@@ -15,9 +15,10 @@
 //! design's [`RunBudget::cancel`] and portfolio tokens, so one `cancel()`
 //! drains the whole catalog at the next cooperative checks.
 
-use crate::flow::{lock_governed, AttackSurface, FlowReport, LockError, RtlLockConfig};
+use crate::flow::{lock_governed_cached, AttackSurface, FlowReport, LockError, RtlLockConfig};
 use crate::governor::RunBudget;
 use crate::journal::{self, CampaignJournal};
+use rtlock_artifacts::ArtifactStore;
 use rtlock_attacks::portfolio::{
     portfolio_attack_sequential, PortfolioConfig, PortfolioTarget, PortfolioVerdict,
 };
@@ -27,7 +28,7 @@ use rtlock_exec::{
 use rtlock_store::{ErrorClass, Event, RetryPolicy};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rtlock_governor::CancelToken;
 use rtlock_rtl::Module;
@@ -74,6 +75,10 @@ pub struct CatalogJob {
     /// a deterministic backoff; permanent errors never retry. The default
     /// policy (one attempt) disables retries.
     pub retry: RetryPolicy,
+    /// Content-addressed artifact cache shared by every design's flow and
+    /// attack run (and across catalog runs when the same store is reused).
+    /// `None` disables caching; the report is byte-identical either way.
+    pub cache: Option<Arc<ArtifactStore>>,
 }
 
 /// What happened to one design.
@@ -214,7 +219,7 @@ fn run_design(
     token: &CancelToken,
 ) -> Result<DesignSummary, LockError> {
     let budget = RunBudget { cancel: Some(token.clone()), ..job.budget.clone() };
-    let locked = lock_governed(&entry.module, &entry.config, &budget)?;
+    let locked = lock_governed_cached(&entry.module, &entry.config, &budget, job.cache.clone())?;
     let verdict = match &job.portfolio {
         Some(portfolio) => {
             let surface = locked.attack_surface(None)?;
@@ -226,7 +231,11 @@ fn run_design(
                     PortfolioTarget { comb: None, seq: Some((locked, original)) }
                 }
             };
-            Some(portfolio_attack_sequential(&target, portfolio, &token.child()))
+            let mut portfolio = portfolio.clone();
+            if portfolio.cache.is_none() {
+                portfolio.cache = job.cache.clone();
+            }
+            Some(portfolio_attack_sequential(&target, &portfolio, &token.child()))
         }
         None => None,
     };
@@ -493,6 +502,7 @@ endmodule"#,
             budget: RunBudget::unlimited(),
             portfolio: None,
             retry: RetryPolicy::default(),
+            cache: None,
         }
     }
 

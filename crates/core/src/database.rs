@@ -10,13 +10,14 @@
 use crate::candidates::Candidate;
 use crate::transforms::{apply, mark_key_inputs, KeyAllocator};
 use crate::verify::wrong_key_corruption;
+use rtlock_artifacts::{cached_elaborate, cached_optimize, ArtifactStore};
 use rtlock_attacks::ml::scope_attack;
 use rtlock_attacks::{sat_attack, AttackConfig, AttackOutcome};
 use rtlock_governor::CancelToken;
 use rtlock_netlist::ppa::{analyze as ppa_analyze, PpaConfig};
 use rtlock_rtl::fsm::Fsm;
 use rtlock_rtl::Module;
-use rtlock_synth::{elaborate, optimize, scan, scan_view};
+use rtlock_synth::{scan, scan_view};
 use std::fmt;
 use std::time::Duration;
 
@@ -185,15 +186,30 @@ pub fn build_database_governed(
     config: &DatabaseConfig,
     cancel: &CancelToken,
 ) -> (Database, bool) {
+    build_database_governed_cached(original, candidates, fsms, config, cancel, None)
+}
+
+/// [`build_database_governed`] with a content-addressed artifact cache:
+/// the base synthesis and every candidate's per-case elaborate/optimize
+/// consult `cache` first. Rows are byte-identical with the cache hot,
+/// cold, or absent.
+pub fn build_database_governed_cached(
+    original: &Module,
+    candidates: &[Candidate],
+    fsms: &[Fsm],
+    config: &DatabaseConfig,
+    cancel: &CancelToken,
+    cache: Option<&ArtifactStore>,
+) -> (Database, bool) {
     let mut degraded = cancel.should_stop().is_some();
     // Base synthesis for the area reference, plus the original scan view
     // the SAT probes compare against — neither is needed (or affordable)
     // in degraded mode.
     let mut base = None;
     if !degraded {
-        match elaborate(original) {
-            Ok(mut n) => {
-                optimize(&mut n);
+        match cached_elaborate(cache, original, cancel) {
+            Ok(elabbed) => {
+                let (mut n, _) = cached_optimize(cache, &elabbed, cancel);
                 let base_area = ppa_analyze(&n, &PpaConfig::default()).area_um2;
                 scan::insert_full_scan(&mut n);
                 base = Some((base_area, scan_view(&n).netlist));
@@ -227,9 +243,10 @@ pub fn build_database_governed(
         let key = keys.correct_key().to_vec();
         let seed = config.seed.wrapping_add(i as u64);
         let row = match (&base, degraded) {
-            (Some((base_area, orig_view)), false) => {
-                full_row(original, &locked, cand, fsms, &key, i, seed, *base_area, orig_view, config)
-            }
+            (Some((base_area, orig_view)), false) => full_row(
+                original, &locked, cand, fsms, &key, i, seed, *base_area, orig_view, config, cancel,
+                cache,
+            ),
             _ => degraded_row(original, &locked, cand, fsms, &key, i, seed, config),
         };
         cases.push(row);
@@ -251,11 +268,13 @@ fn full_row(
     base_area: f64,
     orig_view: &rtlock_netlist::Netlist,
     config: &DatabaseConfig,
+    cancel: &CancelToken,
+    cache: Option<&ArtifactStore>,
 ) -> CaseMetrics {
-    let Ok(mut netlist) = elaborate(locked) else {
+    let Ok(elabbed) = cached_elaborate(cache, locked, cancel) else {
         return unusable(i, cand, "locked RTL does not synthesize");
     };
-    optimize(&mut netlist);
+    let (netlist, _) = cached_optimize(cache, &elabbed, cancel);
     let area = ppa_analyze(&netlist, &PpaConfig::default()).area_um2;
     let area_overhead_pct = if base_area > 0.0 { (area - base_area) / base_area * 100.0 } else { 0.0 };
 

@@ -3,18 +3,21 @@
 //! [`LockedDesign`] artifact it produces.
 
 use crate::candidates::{enumerate_bounded, Candidate, EnumConfig};
-use crate::database::{build_database_governed, Database, DatabaseConfig};
+use crate::database::{build_database_governed_cached, Database, DatabaseConfig};
 use crate::governor::{Degradation, Fault, Governor, RunBudget, Stage, StageOutcome};
 use crate::scan_lock::{insert_scan_lock, ScanLockConfig, ScanPolicy};
 use crate::select::{select_greedy, select_ilp_bounded, SelectOutcome, SelectionSpec};
 use crate::transforms::{apply_all, inject_sabotage, mark_key_inputs, KeyAllocator};
 use crate::verify::{try_cosim_bounded, try_wrong_key_corruption, CorruptionOutcome, CosimOutcome};
+use rtlock_artifacts::{cached_elaborate, cached_optimize, cached_scoap, ArtifactStore};
+use rtlock_governor::CancelToken;
 use rtlock_lint::{lint_selected_bounded, Diagnostic, LintPhase, LintReport, LintTarget};
 use rtlock_netlist::Netlist;
 use rtlock_p1735::envelope::{protect, Grant};
 use rtlock_rtl::{print as print_rtl, Module};
 use rtlock_synth::{elaborate, optimize, scan, scan_view};
 use std::fmt;
+use std::sync::Arc;
 
 /// Full flow configuration.
 #[derive(Debug, Clone)]
@@ -204,6 +207,11 @@ pub struct LockedDesign {
     pub database: Database,
     /// Flow statistics.
     pub report: FlowReport,
+    /// Artifact cache the flow ran with; the accessors
+    /// ([`LockedDesign::locked_netlist`], [`LockedDesign::attack_surface`],
+    /// …) reuse it so their re-synthesis hits instead of recomputing.
+    /// `None` on uncached runs — results are byte-identical either way.
+    cache: Option<Arc<ArtifactStore>>,
 }
 
 /// What an oracle-guided attacker can reach.
@@ -235,7 +243,12 @@ impl LockedDesign {
     ///
     /// Returns [`LockError::Synthesis`] on elaboration failure.
     pub fn locked_netlist(&self) -> Result<Netlist, LockError> {
-        synthesize_locked(&self.locked, self.scan_policy.as_ref())
+        synthesize_locked(
+            &self.locked,
+            self.scan_policy.as_ref(),
+            self.cache.as_deref(),
+            &CancelToken::unlimited(),
+        )
     }
 
     /// Synthesizes the original RTL.
@@ -244,9 +257,26 @@ impl LockedDesign {
     ///
     /// Returns [`LockError::Synthesis`] on elaboration failure.
     pub fn original_netlist(&self) -> Result<Netlist, LockError> {
-        let mut n = elaborate(&self.original).map_err(|e| LockError::Synthesis(e.to_string()))?;
-        optimize(&mut n);
-        Ok(n)
+        let cache = self.cache.as_deref();
+        let token = CancelToken::unlimited();
+        match cache {
+            None => {
+                let mut n =
+                    elaborate(&self.original).map_err(|e| LockError::Synthesis(e.to_string()))?;
+                optimize(&mut n);
+                Ok(n)
+            }
+            Some(_) => {
+                let n = cached_elaborate(cache, &self.original, &token)
+                    .map_err(|e| LockError::Synthesis(e.to_string()))?;
+                Ok(cached_optimize(cache, &n, &token).0)
+            }
+        }
+    }
+
+    /// The artifact cache this design was produced with, if any.
+    pub fn artifact_cache(&self) -> Option<&Arc<ArtifactStore>> {
+        self.cache.as_ref()
     }
 
     /// The attack surface an oracle-guided adversary sees. With scan
@@ -298,9 +328,28 @@ impl LockedDesign {
 /// Synthesizes a locked module (key inputs marked, partial scan chain
 /// rebuilt per the policy). Shared by [`LockedDesign::locked_netlist`]
 /// and the post-lock lint gate, so both analyze the identical netlist.
-fn synthesize_locked(locked: &Module, scan_policy: Option<&ScanPolicy>) -> Result<Netlist, LockError> {
-    let mut n = elaborate(locked).map_err(|e| LockError::Synthesis(e.to_string()))?;
-    optimize(&mut n);
+/// The expensive elaborate/optimize steps route through the artifact
+/// cache when one is supplied; the cheap key-marking and scan rebuild
+/// always run, so the result is identical with the cache hot, cold, or
+/// absent.
+fn synthesize_locked(
+    locked: &Module,
+    scan_policy: Option<&ScanPolicy>,
+    cache: Option<&ArtifactStore>,
+    token: &CancelToken,
+) -> Result<Netlist, LockError> {
+    let mut n = match cache {
+        None => {
+            let mut n = elaborate(locked).map_err(|e| LockError::Synthesis(e.to_string()))?;
+            optimize(&mut n);
+            n
+        }
+        Some(_) => {
+            let elabbed = cached_elaborate(cache, locked, token)
+                .map_err(|e| LockError::Synthesis(e.to_string()))?;
+            cached_optimize(cache, &elabbed, token).0
+        }
+    };
     mark_key_inputs(&mut n);
     if let Some(policy) = scan_policy {
         let mut chain = Vec::new();
@@ -363,6 +412,30 @@ pub fn lock_governed(
     config: &RtlLockConfig,
     budget: &RunBudget,
 ) -> Result<LockedDesign, LockError> {
+    lock_governed_cached(module, config, budget, None)
+}
+
+/// [`lock_governed`] with a content-addressed artifact cache.
+///
+/// The Elaborate stage, the post-lock/analysis synthesis, the per-case
+/// database synthesis, and the lint gates' SCOAP profiles all consult
+/// `cache` before recomputing. The determinism contract holds: the
+/// returned [`LockedDesign`] and [`FlowReport`] are byte-identical
+/// whether the cache is cold, hot, shared with other runs, or absent —
+/// only the cache's own hit/miss counters differ. Cache lookups are
+/// bounded by the stage's [`CancelToken`] and degrade to recomputation
+/// under the stage's own budget, never to partial artifacts.
+///
+/// # Errors
+///
+/// Same as [`lock_governed`].
+pub fn lock_governed_cached(
+    module: &Module,
+    config: &RtlLockConfig,
+    budget: &RunBudget,
+    cache: Option<Arc<ArtifactStore>>,
+) -> Result<LockedDesign, LockError> {
+    let cache_ref = cache.as_deref();
     let mut gov = Governor::start(budget.clone());
 
     // Step 1: elaborate — validates the original synthesizes before any
@@ -377,7 +450,8 @@ pub fn lock_governed(
         if token.should_stop().is_some() {
             return Err(LockError::Timeout { stage: Stage::Elaborate });
         }
-        Ok(elaborate(module).map_err(|e| LockError::Synthesis(e.to_string())))
+        Ok(cached_elaborate(cache_ref, module, token)
+            .map_err(|e| LockError::Synthesis(e.to_string())))
     })?;
 
     // Pre-lock lint gate: refuse structurally broken inputs before any
@@ -390,11 +464,17 @@ pub fn lock_governed(
         if skip_pre {
             return Ok(None);
         }
-        let target = match &elab {
+        let mut target = match &elab {
             Ok(n) => LintTarget::full(module, n),
             Err(_) => LintTarget::rtl(module),
         }
         .with_phase(LintPhase::PreLock);
+        if let (Some(_), Ok(n)) = (cache_ref, &elab) {
+            // Seed the gate's SCOAP profile from the cache so the Y rules
+            // don't recompute it per run (same profile the post-lock and
+            // analysis gates reuse when the lock is a no-op).
+            target = target.with_scoap(cached_scoap(cache_ref, n, token));
+        }
         Ok(Some(lint_selected_bounded(&target, token, |id| !id.starts_with('K'))))
     }) {
         Ok(rep) => rep,
@@ -451,7 +531,14 @@ pub fn lock_governed(
         if empty_db {
             return Ok((Database::default(), true));
         }
-        Ok(build_database_governed(module, &candidates, &fsms, &config.database, token))
+        Ok(build_database_governed_cached(
+            module,
+            &candidates,
+            &fsms,
+            &config.database,
+            token,
+            cache_ref,
+        ))
     })?;
     if !db_complete {
         gov.degrade(Stage::Database, "attack probes replaced by structural estimates past the deadline");
@@ -565,10 +652,15 @@ pub fn lock_governed(
         if skip_post || token.should_stop().is_some() {
             return Ok(None);
         }
-        let n = synthesize_locked(&locked, scan_policy.as_ref())?;
-        let target = LintTarget::full(&locked, &n)
+        let n = synthesize_locked(&locked, scan_policy.as_ref(), cache_ref, token)?;
+        let mut target = LintTarget::full(&locked, &n)
             .with_phase(LintPhase::PostLock)
             .with_scan_locked(scan_policy.is_some());
+        if cache_ref.is_some() {
+            // One SCOAP profile per distinct netlist: the gates' Y/S rules
+            // otherwise each recompute it per target.
+            target = target.with_scoap(cached_scoap(cache_ref, &n, token));
+        }
         Ok(Some(lint_selected_bounded(&target, token, |id| !id.starts_with('K'))))
     }) {
         Ok(rep) => rep,
@@ -617,10 +709,13 @@ pub fn lock_governed(
         if skip_analyze || token.should_stop().is_some() {
             return Ok(None);
         }
-        let n = synthesize_locked(&locked, scan_policy.as_ref())?;
-        let target = LintTarget::full(&locked, &n)
+        let n = synthesize_locked(&locked, scan_policy.as_ref(), cache_ref, token)?;
+        let mut target = LintTarget::full(&locked, &n)
             .with_phase(LintPhase::Analyze)
             .with_scan_locked(scan_policy.is_some());
+        if cache_ref.is_some() {
+            target = target.with_scoap(cached_scoap(cache_ref, &n, token));
+        }
         Ok(Some(lint_selected_bounded(&target, token, |id| id.starts_with('K'))))
     }) {
         Ok(rep) => rep,
@@ -683,6 +778,7 @@ pub fn lock_governed(
         applied: applied_candidates,
         database,
         report,
+        cache,
     })
 }
 

@@ -71,5 +71,8 @@ pub use catalog::{
     CatalogJob, CatalogReport, DesignStatus, DesignSummary, ReplayedDesign,
 };
 pub use journal::CampaignJournal;
-pub use flow::{lock, lock_governed, AttackSurface, LockError, LockedDesign, RtlLockConfig};
+pub use flow::{
+    lock, lock_governed, lock_governed_cached, AttackSurface, LockError, LockedDesign,
+    RtlLockConfig,
+};
 pub use governor::{Degradation, Fault, FaultPlan, RunBudget, Stage};

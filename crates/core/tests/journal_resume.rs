@@ -63,6 +63,7 @@ fn tiny_job(n: u8, budget: RunBudget, retry: RetryPolicy) -> CatalogJob {
         budget,
         portfolio: None,
         retry,
+        cache: None,
     }
 }
 

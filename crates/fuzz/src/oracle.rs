@@ -48,6 +48,10 @@ pub enum Layer {
     Locked,
     /// SAT miter found a pre-/post-optimization counterexample.
     Formal,
+    /// A cache-armed rerun (elaborate/optimize/SCOAP/CNF through a fresh
+    /// artifact store, once cold and once warm) produced a different
+    /// artifact than the direct computation — a cache correctness bug.
+    CacheDiff,
 }
 
 impl std::fmt::Display for Layer {
@@ -68,6 +72,7 @@ impl Layer {
             Layer::Analysis => "analysis",
             Layer::Locked => "locked",
             Layer::Formal => "formal",
+            Layer::CacheDiff => "cache-diff",
         }
     }
 
@@ -82,6 +87,7 @@ impl Layer {
             Layer::Analysis,
             Layer::Locked,
             Layer::Formal,
+            Layer::CacheDiff,
         ]
         .into_iter()
         .find(|l| l.name() == name)
@@ -121,6 +127,11 @@ pub struct OracleConfig {
     pub check_formal: bool,
     /// SAT conflict budget for the miter.
     pub formal_conflicts: u64,
+    /// Run the cache differential layer: elaborate/optimize/SCOAP/CNF
+    /// through a fresh artifact store, once cold (all misses) and once
+    /// warm (all hits), demanding both passes reproduce the direct
+    /// computation exactly.
+    pub check_cache: bool,
 }
 
 impl Default for OracleConfig {
@@ -132,6 +143,7 @@ impl Default for OracleConfig {
             check_analysis: true,
             check_formal: true,
             formal_conflicts: 200_000,
+            check_cache: true,
         }
     }
 }
@@ -513,6 +525,62 @@ fn diff_analysis(
 }
 
 
+/// The cache differential: pushes the module through the cached
+/// elaborate → optimize → SCOAP → CNF pipeline against a fresh in-memory
+/// artifact store, twice. The first pass is all misses (the cached layer's
+/// compute path), the second all hits (the decode path). Both must
+/// reproduce the directly computed `pre`/`opt` artifacts exactly — any
+/// divergence is a cache correctness bug, reported (and later shrunk)
+/// like every other layer's.
+fn diff_cache(module: &Module, pre: &Netlist, opt: &Netlist) -> Result<(), Verdict> {
+    let layer = Layer::CacheDiff;
+    let store = rtlock_artifacts::ArtifactStore::in_memory();
+    let token = CancelToken::unlimited();
+    let direct_scoap = rtlock_netlist::scoap::analyze(opt);
+    let mut direct_cnf = CnfBuilder::new();
+    let in_vars: Vec<i32> = opt.inputs().iter().map(|_| direct_cnf.fresh_var()).collect();
+    let state_vars: Vec<i32> = opt.dffs().iter().map(|_| direct_cnf.fresh_var()).collect();
+    let direct_vars = direct_cnf.encode_comb(opt, &in_vars, &state_vars);
+
+    for pass in ["cold", "warm"] {
+        let fail = |what: &str| Verdict::Diverged {
+            layer,
+            detail: format!("cached {what} differs from the direct computation ({pass} pass)"),
+        };
+        let elab = rtlock_artifacts::cached_elaborate(Some(&store), module, &token).map_err(
+            |e| Verdict::Diverged { layer, detail: format!("cached elaborate ({pass}): {e}") },
+        )?;
+        if elab != *pre {
+            return Err(fail("elaborated netlist"));
+        }
+        let (cached_opt, _) = rtlock_artifacts::cached_optimize(Some(&store), &elab, &token);
+        if cached_opt != *opt {
+            return Err(fail("optimized netlist"));
+        }
+        if rtlock_artifacts::cached_scoap(Some(&store), &cached_opt, &token) != direct_scoap {
+            return Err(fail("SCOAP profile"));
+        }
+        let mut cnf = CnfBuilder::new();
+        let ins: Vec<i32> = opt.inputs().iter().map(|_| cnf.fresh_var()).collect();
+        let states: Vec<i32> = opt.dffs().iter().map(|_| cnf.fresh_var()).collect();
+        let vars = rtlock_artifacts::encode_comb_cached(
+            Some(&store),
+            &mut cnf,
+            &cached_opt,
+            &ins,
+            &states,
+            &token,
+        );
+        if vars != direct_vars
+            || cnf.num_vars() != direct_cnf.num_vars()
+            || cnf.clauses() != direct_cnf.clauses()
+        {
+            return Err(fail("CNF encoding"));
+        }
+    }
+    Ok(())
+}
+
 /// SAT miter between the pre- and post-optimization netlists: inputs are
 /// shared by name, flip-flops matched by register name get a shared state
 /// variable, and the miter asserts some output bit *or some matched
@@ -637,6 +705,12 @@ pub fn check_parsed(module: &Module, seed: u64, cfg: &OracleConfig) -> Verdict {
         }
     }
 
+    if cfg.check_cache {
+        if let Err(v) = diff_cache(module, &pre, &opt) {
+            return v;
+        }
+    }
+
     let mut incomplete = None;
     if cfg.check_formal {
         match miter_pre_post(&pre, &opt, cfg.formal_conflicts) {
@@ -709,6 +783,25 @@ mod tests {
     fn analysis_layer_name_roundtrips() {
         assert_eq!(Layer::from_name("analysis"), Some(Layer::Analysis));
         assert_eq!(Layer::Analysis.name(), "analysis");
+        assert_eq!(Layer::from_name("cache-diff"), Some(Layer::CacheDiff));
+        assert_eq!(Layer::CacheDiff.name(), "cache-diff");
+    }
+
+    #[test]
+    fn cache_differential_layer_passes_on_clean_modules() {
+        let module = rtlock_rtl::parse(COUNTER).expect("parses");
+        let pre = elaborate(&module).expect("elaborates");
+        let mut opt = pre.clone();
+        optimize(&mut opt);
+        assert!(diff_cache(&module, &pre, &opt).is_ok());
+        // A wrong expectation must be reported as a CacheDiff divergence,
+        // proving the comparison is not vacuous.
+        match diff_cache(&module, &Netlist::new("other"), &opt) {
+            Err(Verdict::Diverged { layer: Layer::CacheDiff, detail }) => {
+                assert!(detail.contains("elaborated netlist"), "{detail}");
+            }
+            other => panic!("expected a cache divergence, got {other:?}"),
+        }
     }
 
     #[test]

@@ -84,6 +84,18 @@ impl<'a> LintTarget<'a> {
         self
     }
 
+    /// Pre-seeds the SCOAP profile (builder-style), e.g. from the flow's
+    /// content-addressed artifact cache, so rules sharing this target never
+    /// recompute it. The caller must supply the profile of *this* target's
+    /// netlist; it is ignored when the target has no netlist layer.
+    #[must_use]
+    pub fn with_scoap(self, profile: Scoap) -> LintTarget<'a> {
+        if self.netlist.is_some() {
+            let _ = self.scoap.set(profile);
+        }
+        self
+    }
+
     /// The CDFG of the module, built once (`None` without a module).
     pub fn cdfg(&self) -> Option<&Cdfg> {
         let m = self.module?;

@@ -1,0 +1,345 @@
+//! Exact byte codec for [`Netlist`].
+//!
+//! The content-addressed artifact cache (`rtlock-artifacts`) stores
+//! elaborated and optimized netlists on disk and must get back *exactly*
+//! the structure it put in — including details the public construction API
+//! cannot reproduce, such as the primary-input order after
+//! [`Netlist::cut_dff`] (which appends old flip-flop nets to the input
+//! list) and flip-flop fanins that point forward in the gate array
+//! (rejected by [`Netlist::add_gate`], which only accepts backward
+//! references). The codec therefore lives inside `rtlock-netlist`, where
+//! it can rebuild the private fields directly, and round-trips every field
+//! bit-for-bit: [`decode`]`(`[`encode`]`(n)) == n` for any well-formed
+//! netlist.
+//!
+//! The encoding is deterministic (no `HashMap` iteration anywhere), so
+//! equal netlists always produce equal bytes — the cache uses the encoded
+//! form as the exact identity of an entry, making collisions of the
+//! structural hash harmless.
+//!
+//! Decoding is hardened against corruption: every read is bounds-checked
+//! and every structural invariant (fanin arity, id ranges, UTF-8 names) is
+//! re-validated, so a torn or bit-flipped cache entry yields a
+//! [`CodecError`], never a panic or an invalid netlist.
+
+use crate::gate::{Gate, GateId, GateKind};
+use crate::netlist::{Netlist, Port};
+use std::fmt;
+
+/// Format magic, bumped on any layout change.
+const MAGIC: &[u8; 4] = b"RNC1";
+
+/// Error raised when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist codec: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(reason: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError { reason: reason.into() })
+}
+
+fn kind_tag(kind: GateKind) -> u8 {
+    match kind {
+        GateKind::Input => 0,
+        GateKind::Const0 => 1,
+        GateKind::Const1 => 2,
+        GateKind::Buf => 3,
+        GateKind::Not => 4,
+        GateKind::And => 5,
+        GateKind::Nand => 6,
+        GateKind::Or => 7,
+        GateKind::Nor => 8,
+        GateKind::Xor => 9,
+        GateKind::Xnor => 10,
+        GateKind::Mux => 11,
+        GateKind::Dff { init: false } => 12,
+        GateKind::Dff { init: true } => 13,
+    }
+}
+
+fn tag_kind(tag: u8) -> Result<GateKind, CodecError> {
+    Ok(match tag {
+        0 => GateKind::Input,
+        1 => GateKind::Const0,
+        2 => GateKind::Const1,
+        3 => GateKind::Buf,
+        4 => GateKind::Not,
+        5 => GateKind::And,
+        6 => GateKind::Nand,
+        7 => GateKind::Or,
+        8 => GateKind::Nor,
+        9 => GateKind::Xor,
+        10 => GateKind::Xnor,
+        11 => GateKind::Mux,
+        12 => GateKind::Dff { init: false },
+        13 => GateKind::Dff { init: true },
+        other => return err(format!("unknown gate kind tag {other}")),
+    })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_ids(out: &mut Vec<u8>, ids: &[GateId]) {
+    put_u32(out, ids.len() as u32);
+    for &id in ids {
+        put_u32(out, id.0);
+    }
+}
+
+/// Encodes a netlist into a self-contained deterministic byte string.
+pub fn encode(n: &Netlist) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + n.len() * 8);
+    out.extend_from_slice(MAGIC);
+    put_str(&mut out, &n.name);
+    put_u32(&mut out, n.len() as u32);
+    for id in n.ids() {
+        let g = n.gate(id);
+        out.push(kind_tag(g.kind));
+        for &f in &g.fanin {
+            put_u32(&mut out, f.0);
+        }
+        match n.gate_name(id) {
+            Some(name) => {
+                out.push(1);
+                put_str(&mut out, name);
+            }
+            None => out.push(0),
+        }
+    }
+    put_ids(&mut out, n.inputs());
+    put_u32(&mut out, n.outputs().len() as u32);
+    for (name, driver) in n.outputs() {
+        put_str(&mut out, name);
+        put_u32(&mut out, driver.0);
+    }
+    for ports in [&n.input_ports, &n.output_ports] {
+        put_u32(&mut out, ports.len() as u32);
+        for p in ports {
+            put_str(&mut out, &p.name);
+            put_ids(&mut out, &p.bits);
+        }
+    }
+    put_ids(&mut out, &n.key_inputs);
+    put_ids(&mut out, &n.scan_chain);
+    out
+}
+
+/// Bounds-checked cursor over the encoded bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => err("truncated"),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a count that will be used to allocate `elem_bytes`-sized
+    /// elements; rejected if the remaining input is too short to possibly
+    /// hold them (caps allocations on corrupt input).
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, CodecError> {
+        let c = self.u32()? as usize;
+        if c.saturating_mul(elem_bytes) > self.bytes.len() - self.pos {
+            return err("count exceeds remaining input");
+        }
+        Ok(c)
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.count(1)?;
+        match std::str::from_utf8(self.take(len)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err("invalid UTF-8 in name"),
+        }
+    }
+
+    fn id(&mut self, max: usize) -> Result<GateId, CodecError> {
+        let raw = self.u32()?;
+        if (raw as usize) < max {
+            Ok(GateId(raw))
+        } else {
+            err(format!("gate id {raw} out of range (< {max})"))
+        }
+    }
+
+    fn ids(&mut self, max: usize) -> Result<Vec<GateId>, CodecError> {
+        let c = self.count(4)?;
+        (0..c).map(|_| self.id(max)).collect()
+    }
+}
+
+/// Decodes bytes produced by [`encode`], re-validating every invariant.
+pub fn decode(bytes: &[u8]) -> Result<Netlist, CodecError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return err("bad magic");
+    }
+    let name = r.string()?;
+    let gate_count = r.count(2)?;
+    let mut gates = Vec::with_capacity(gate_count);
+    let mut gate_names = Vec::with_capacity(gate_count);
+    for _ in 0..gate_count {
+        let kind = tag_kind(r.u8()?)?;
+        let fanin: Vec<GateId> =
+            (0..kind.arity()).map(|_| r.id(gate_count)).collect::<Result<_, _>>()?;
+        gates.push(Gate::new(kind, fanin));
+        gate_names.push(match r.u8()? {
+            0 => None,
+            1 => Some(r.string()?),
+            other => return err(format!("bad name flag {other}")),
+        });
+    }
+    let inputs = r.ids(gate_count)?;
+    for &g in &inputs {
+        if gates[g.index()].kind != GateKind::Input {
+            return err(format!("input list entry {g} is not an Input gate"));
+        }
+    }
+    let out_count = r.count(8)?;
+    let mut outputs = Vec::with_capacity(out_count);
+    for _ in 0..out_count {
+        let oname = r.string()?;
+        let driver = r.id(gate_count)?;
+        outputs.push((oname, driver));
+    }
+    let mut port_groups = Vec::new();
+    for _ in 0..2 {
+        let c = r.count(8)?;
+        let mut ports = Vec::with_capacity(c);
+        for _ in 0..c {
+            let pname = r.string()?;
+            let bits = r.ids(gate_count)?;
+            ports.push(Port { name: pname, bits });
+        }
+        port_groups.push(ports);
+    }
+    let output_ports = port_groups.pop().expect("two groups");
+    let input_ports = port_groups.pop().expect("two groups");
+    let key_inputs = r.ids(gate_count)?;
+    for &g in &key_inputs {
+        if gates[g.index()].kind != GateKind::Input {
+            return err(format!("key input {g} is not an Input gate"));
+        }
+    }
+    let scan_chain = r.ids(gate_count)?;
+    for &g in &scan_chain {
+        if !gates[g.index()].kind.is_dff() {
+            return err(format!("scan chain entry {g} is not a flip-flop"));
+        }
+    }
+    if r.pos != bytes.len() {
+        return err("trailing bytes");
+    }
+    Ok(Netlist::from_raw_parts(
+        name,
+        gates,
+        gate_names,
+        inputs,
+        outputs,
+        input_ports,
+        output_ports,
+        key_inputs,
+        scan_chain,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new("sample");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate(GateKind::Xor, vec![a, b]);
+        let q = n.add_named_gate(GateKind::Dff { init: true }, vec![x], "state_q");
+        // Feedback through the flip-flop: patch the D pin forward.
+        let fb = n.add_gate(GateKind::Nand, vec![q, a]);
+        n.gate_mut(q).fanin[0] = fb;
+        n.add_output("y", fb);
+        n.mark_key_input(b);
+        n.input_ports.push(Port { name: "ab".into(), bits: vec![a, b] });
+        n.output_ports.push(Port { name: "y".into(), bits: vec![fb] });
+        n.scan_chain.push(q);
+        n
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let n = sample();
+        let bytes = encode(&n);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, n);
+        // Determinism: encoding the decoded netlist is byte-identical.
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn roundtrip_preserves_cut_dff_input_order() {
+        let mut n = sample();
+        let dffs = n.dffs();
+        n.cut_dff(dffs[0], "cut_q");
+        let back = decode(&encode(&n)).expect("decode");
+        assert_eq!(back, n);
+        assert_eq!(back.inputs(), n.inputs());
+    }
+
+    #[test]
+    fn corruption_is_an_error_never_a_panic() {
+        let n = sample();
+        let bytes = encode(&n);
+        // Truncations at every length.
+        for len in 0..bytes.len() {
+            let _ = decode(&bytes[..len]);
+        }
+        // Single-byte flips at every position must error or decode to a
+        // well-formed netlist (flipping a name byte is still valid data).
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0x41;
+            let _ = decode(&m);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&sample());
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod bench_format;
 pub mod cnf;
+pub mod codec;
 pub mod gate;
 pub mod netlist;
 pub mod ppa;

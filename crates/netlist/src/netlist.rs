@@ -122,6 +122,35 @@ impl Netlist {
         self.outputs.push((name.into(), driver));
     }
 
+    /// Rebuilds a netlist from its raw fields (the exact byte codec's
+    /// decoder, which must reproduce states — like the input order after
+    /// [`Netlist::cut_dff`] — that the public construction API cannot).
+    /// The caller ([`crate::codec::decode`]) validates all invariants.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        name: String,
+        gates: Vec<Gate>,
+        gate_names: Vec<Option<String>>,
+        inputs: Vec<GateId>,
+        outputs: Vec<(String, GateId)>,
+        input_ports: Vec<Port>,
+        output_ports: Vec<Port>,
+        key_inputs: Vec<GateId>,
+        scan_chain: Vec<GateId>,
+    ) -> Netlist {
+        Netlist {
+            name,
+            gates,
+            gate_names,
+            inputs,
+            outputs,
+            input_ports,
+            output_ports,
+            key_inputs,
+            scan_chain,
+        }
+    }
+
     /// Marks an existing input as a key bit (appended to the key order).
     ///
     /// # Panics

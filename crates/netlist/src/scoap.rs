@@ -37,12 +37,29 @@ impl Scoap {
     }
 }
 
+/// Number of [`analyze`] executions in this process.
+///
+/// The artifact cache's regression tests assert "one SCOAP computation per
+/// distinct netlist hash"; a process-wide counter is the only way to
+/// observe recomputation through the `OnceCell`/cache layers above.
+static ANALYSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total number of [`analyze`] calls executed by this process so far.
+///
+/// Tests take a snapshot before a flow run and compare the delta against
+/// the number of distinct netlists processed (serialize such tests — the
+/// counter is process-global).
+pub fn analysis_count() -> u64 {
+    ANALYSES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Computes SCOAP measures for a netlist.
 ///
 /// Feedback through flip-flops is resolved by iterating controllability and
 /// observability passes to a fixpoint (bounded by the number of flip-flops
 /// plus two rounds).
 pub fn analyze(netlist: &Netlist) -> Scoap {
+    ANALYSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let n = netlist.len();
     let mut cc0 = vec![SCOAP_INF; n];
     let mut cc1 = vec![SCOAP_INF; n];

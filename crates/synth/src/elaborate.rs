@@ -197,6 +197,10 @@ impl<'m> Elaborator<'m> {
             let mut targets = HashSet::new();
             collect_targets(&p.body, &mut targets);
             collect_targets(&p.reset_body, &mut targets);
+            // Sorted so the reset-gating gates below are emitted in a
+            // run-independent order (HashSet order varies per process).
+            let mut targets: Vec<NetId> = targets.into_iter().collect();
+            targets.sort();
 
             // Non-blocking: body reads old register values via compute().
             let mut env: HashMap<NetId, Sig> = HashMap::new();
@@ -375,10 +379,15 @@ impl<'m> Elaborator<'m> {
                     let mut eenv = env.clone();
                     self.exec_block(then_, &mut tenv, blocking)?;
                     self.exec_block(else_, &mut eenv, blocking)?;
-                    for (t, slot) in env.iter_mut() {
-                        let tv = &tenv[t];
-                        let ev = &eenv[t];
-                        *slot = lower::mux_vec(&mut self.builder, cbit, ev, tv);
+                    // Sorted: the merge muxes must come out in a
+                    // run-independent order, not HashMap order.
+                    let mut keys: Vec<NetId> = env.keys().copied().collect();
+                    keys.sort();
+                    for t in keys {
+                        let tv = &tenv[&t];
+                        let ev = &eenv[&t];
+                        let merged = lower::mux_vec(&mut self.builder, cbit, ev, tv);
+                        env.insert(t, merged);
                     }
                 }
                 Stmt::Case { subject, arms, default } => {
@@ -398,10 +407,13 @@ impl<'m> Elaborator<'m> {
                             let e = lower::eq(&mut self.builder, &subj, &lsig);
                             sel = self.builder.or(sel, e);
                         }
+                        let mut keys: Vec<NetId> = acc.keys().copied().collect();
+                        keys.sort();
                         let mut merged = HashMap::new();
-                        for (t, base) in &acc {
-                            let av = &aenv[t];
-                            merged.insert(*t, lower::mux_vec(&mut self.builder, sel, base, av));
+                        for t in keys {
+                            let base = &acc[&t];
+                            let av = &aenv[&t];
+                            merged.insert(t, lower::mux_vec(&mut self.builder, sel, base, av));
                         }
                         acc = merged;
                     }

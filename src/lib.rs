@@ -10,6 +10,7 @@
 //! assert_eq!(m.name, "t");
 //! ```
 pub use rtlock;
+pub use rtlock_artifacts as artifacts;
 pub use rtlock_atpg as atpg;
 pub use rtlock_attacks as attacks;
 pub use rtlock_dataflow as dataflow;

@@ -68,12 +68,12 @@ fn pruned_attack_never_degrades_the_plain_verdict_across_the_catalog() {
             // An iteration cap instead of a deadline keeps the run
             // reproducible: the DIP sequence is a pure function of the
             // netlist.
-            AttackConfig { max_iterations: 2_000, timeout: None, cancel: None }
+            AttackConfig { max_iterations: 2_000, ..AttackConfig::default() }
         } else {
             AttackConfig {
                 max_iterations: 2_000,
                 timeout: Some(Duration::from_secs(5)),
-                cancel: None,
+                ..AttackConfig::default()
             }
         };
 

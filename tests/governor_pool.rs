@@ -96,6 +96,7 @@ proptest! {
                 .with_faults(FaultPlan::none().inject(stage, fault)),
             portfolio: None,
             retry: rtlock_store::RetryPolicy::default(),
+            cache: None,
         };
 
         let token = CancelToken::unlimited();

@@ -23,7 +23,8 @@ use rtlock_repro::rtlock::{
     lock_catalog_parallel, lock_catalog_sequential, CatalogEntry, CatalogJob, RtlLockConfig,
     RunBudget,
 };
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use rtlock_repro::artifacts::ArtifactStore;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Serializes the whole binary: the fuzz test flips a process-global
@@ -75,12 +76,13 @@ fn catalog_job(designs: u8, portfolio: Option<PortfolioConfig>) -> CatalogJob {
         budget: RunBudget::unlimited(),
         portfolio,
         retry: rtlock_store::RetryPolicy::default(),
+        cache: None,
     }
 }
 
 fn quick_portfolio() -> PortfolioConfig {
     PortfolioConfig {
-        sat: AttackConfig { max_iterations: 1_000, timeout: None, cancel: None },
+        sat: AttackConfig { max_iterations: 1_000, ..AttackConfig::default() },
         sim_samples: 4,
         ..PortfolioConfig::default()
     }
@@ -243,6 +245,162 @@ fn fuzz_reports_and_corpora_are_identical_across_thread_counts() {
         assert_eq!(dir_snapshot(&dir), reference_corpus, "threads={threads}");
     }
     std::fs::remove_dir_all(&scratch).expect("cleanup");
+}
+
+/// The cache-differential oracle layer must not perturb campaign results:
+/// with the optimizer bug armed, campaigns with the layer on and off find
+/// the same divergences (the layer's own stores are per-design and fresh,
+/// so it only ever *adds* findings — and a clean cache adds none).
+#[test]
+fn fuzz_reports_are_identical_with_cache_layer_on_and_off() {
+    use rtlock_repro::fuzz::{run_fuzz, FuzzConfig, OracleConfig};
+    use rtlock_repro::synth::opt::inject;
+
+    let _guard = serial();
+    let cfg_for = |check_cache: bool| FuzzConfig {
+        seed: 1,
+        iters: 40,
+        oracle: OracleConfig { check_locked: false, check_cache, ..OracleConfig::default() },
+        ..FuzzConfig::default()
+    };
+    inject::set_opt_mux_bug(true);
+    let with_layer = run_fuzz(&cfg_for(true), &CancelToken::unlimited());
+    let without_layer = run_fuzz(&cfg_for(false), &CancelToken::unlimited());
+    inject::set_opt_mux_bug(false);
+
+    assert!(!with_layer.divergences.is_empty(), "armed miscompile must diverge");
+    let digest = |r: &rtlock_repro::fuzz::FuzzReport| {
+        (
+            r.executed,
+            r.divergences
+                .iter()
+                .map(|d| (d.seed, d.layer, d.detail.clone(), d.shrunk_source.clone()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(digest(&with_layer), digest(&without_layer));
+}
+
+// ---- artifact cache determinism ----------------------------------------
+
+/// The catalog job above with an artifact cache attached.
+fn cached_job(cache: Option<Arc<ArtifactStore>>) -> CatalogJob {
+    let mut job = catalog_job(2, Some(quick_portfolio()));
+    job.cache = cache;
+    job
+}
+
+/// The cache contract end to end: the catalog report (flow + portfolio
+/// attacks) must be byte-identical across every cache mode — off, cold,
+/// warm, and one store shared across runs — at every thread count.
+#[test]
+fn catalog_reports_are_identical_across_cache_modes_and_thread_counts() {
+    let _guard = serial();
+    let reference = lock_catalog_sequential(&cached_job(None), &CancelToken::unlimited()).canonical();
+    assert!(reference.contains("attack.winner"), "portfolio must run:\n{reference}");
+
+    // One store deliberately reused across thread counts: cold on the
+    // first run, warm with cross-run artifacts on every later one.
+    let shared = Arc::new(ArtifactStore::in_memory());
+    for threads in [1, 2, 8] {
+        let exec = Executor::new(threads);
+        let unlimited = CancelToken::unlimited;
+
+        let cold = Arc::new(ArtifactStore::in_memory());
+        let report = lock_catalog_parallel(&cached_job(Some(cold.clone())), &exec, &unlimited());
+        assert_eq!(report.canonical(), reference, "cold cache, threads={threads}");
+        assert!(cold.stats().misses > 0, "cold store must be consulted (threads={threads})");
+
+        let warm = Arc::new(ArtifactStore::in_memory());
+        lock_catalog_parallel(&cached_job(Some(warm.clone())), &exec, &unlimited());
+        let primed_hits = warm.stats().hits;
+        let report = lock_catalog_parallel(&cached_job(Some(warm.clone())), &exec, &unlimited());
+        assert_eq!(report.canonical(), reference, "warm cache, threads={threads}");
+        assert!(
+            warm.stats().hits > primed_hits,
+            "second run over a warmed store must hit (threads={threads})"
+        );
+
+        let report = lock_catalog_parallel(&cached_job(Some(shared.clone())), &exec, &unlimited());
+        assert_eq!(report.canonical(), reference, "shared cache, threads={threads}");
+    }
+    assert!(shared.stats().hits > 0, "shared store must serve artifacts across runs");
+}
+
+/// Poisoned-cache regression: a corrupted on-disk entry must be detected
+/// by its checksum and recomputed — never served — and the store must
+/// self-heal by rewriting the entry, with the report byte-identical to a
+/// clean run throughout.
+#[test]
+fn poisoned_disk_entries_are_recomputed_and_healed() {
+    let _guard = serial();
+    let scratch = std::env::temp_dir().join(format!("rtlock_cache_poison_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let store = Arc::new(ArtifactStore::on_disk(&scratch));
+    let reference =
+        lock_catalog_sequential(&cached_job(Some(store)), &CancelToken::unlimited()).canonical();
+
+    // Corrupt every persisted artifact: flip the last payload byte, which
+    // breaks the frame checksum without touching its length fields.
+    let mut corrupted = 0usize;
+    for entry in std::fs::read_dir(&scratch).expect("cache dir exists") {
+        let path = entry.expect("cache dir entry").path();
+        let mut bytes = std::fs::read(&path).expect("cache entry");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("corrupt cache entry");
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "the disk tier must have persisted artifacts");
+
+    let poisoned_store = Arc::new(ArtifactStore::on_disk(&scratch));
+    let report =
+        lock_catalog_sequential(&cached_job(Some(poisoned_store.clone())), &CancelToken::unlimited());
+    assert_eq!(report.canonical(), reference, "corrupt entries must be recomputed, not served");
+    let stats = poisoned_store.stats();
+    assert!(stats.poisoned > 0, "checksum failures must be counted: {}", stats.line());
+
+    // Self-heal: the poisoned run rewrote every entry it touched, so a
+    // third store over the same directory sees only clean frames.
+    let healed_store = Arc::new(ArtifactStore::on_disk(&scratch));
+    let report =
+        lock_catalog_sequential(&cached_job(Some(healed_store.clone())), &CancelToken::unlimited());
+    assert_eq!(report.canonical(), reference, "healed cache must still reproduce the report");
+    let stats = healed_store.stats();
+    assert_eq!(stats.poisoned, 0, "recomputed entries must have replaced the corrupt ones");
+    assert!(stats.hits > 0, "healed entries must now be served: {}", stats.line());
+
+    std::fs::remove_dir_all(&scratch).expect("cleanup");
+}
+
+/// SCOAP-reuse regression: with a warm cache the flow must not recompute
+/// a single SCOAP profile — one `scoap::analyze` call per distinct
+/// netlist hash, ever, across the pre-lock, post-lock, and analysis lint
+/// gates (which previously each recomputed it per run).
+#[test]
+fn warm_cache_runs_compute_no_new_scoap_profiles() {
+    use rtlock_repro::netlist::scoap;
+    use rtlock_repro::rtlock::lock_governed_cached;
+
+    let _guard = serial();
+    let module = tiny_module(0);
+    let config = quick_lock_config();
+    let budget = RunBudget::unlimited();
+    let store = Arc::new(ArtifactStore::in_memory());
+
+    let before = scoap::analysis_count();
+    let cold = lock_governed_cached(&module, &config, &budget, Some(store.clone())).expect("flow");
+    let after_cold = scoap::analysis_count();
+    assert!(after_cold > before, "the cold run must compute SCOAP at least once");
+
+    let warm = lock_governed_cached(&module, &config, &budget, Some(store)).expect("flow");
+    assert_eq!(
+        scoap::analysis_count(),
+        after_cold,
+        "a warm run must serve every SCOAP profile from the cache"
+    );
+    assert_eq!(warm.report, cold.report, "hot == cold flow report");
 }
 
 // ---- cancellation stress -----------------------------------------------

@@ -316,3 +316,163 @@ proptest! {
         }
     }
 }
+
+// ---- structural hash: renumbering-stable, mutation-sensitive ------------
+
+/// How to perturb `random_netlist`'s construction. `Default` reproduces
+/// it exactly; each knob is one controlled deviation used by the hash
+/// properties below.
+#[derive(Default)]
+struct HashPerturbation {
+    /// Declare `Const1` before `Const0`, renumbering both constants and
+    /// every downstream gate while leaving the structure untouched.
+    swap_const_decl: bool,
+    /// Emit the `Const0` gate as a second `Const1` (a single-constant
+    /// structural mutation).
+    const0_as_one: bool,
+    /// Flip the gate kind chosen for this op index (a single-gate
+    /// structural mutation: And<->Or, Xor<->Xnor, Nand<->Nor, Not<->Buf,
+    /// Mux -> And over its select and first data leg).
+    flip_kind_at: Option<usize>,
+}
+
+/// `random_netlist` with the perturbation applied — kept in lockstep with
+/// the generator above so the unperturbed build is gate-for-gate equal.
+fn perturbed_netlist(ops: &[u8], p: &HashPerturbation) -> Netlist {
+    let mut n = Netlist::new("prop");
+    let mut nets = vec![n.add_input("a"), n.add_input("b"), n.add_input("c"), n.add_input("d")];
+    let zero_kind = if p.const0_as_one { GateKind::Const1 } else { GateKind::Const0 };
+    let (zero, one) = if p.swap_const_decl {
+        let one = n.add_gate(GateKind::Const1, vec![]);
+        (n.add_gate(zero_kind, vec![]), one)
+    } else {
+        let zero = n.add_gate(zero_kind, vec![]);
+        (zero, n.add_gate(GateKind::Const1, vec![]))
+    };
+    nets.push(zero);
+    nets.push(one);
+    for (i, &op) in ops.iter().enumerate() {
+        let a = nets[(op as usize / 7) % nets.len()];
+        let b = nets[(op as usize * 13 + i) % nets.len()];
+        let s = nets[(op as usize * 31 + i * 3) % nets.len()];
+        let mut kind = match op % 10 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Xor,
+            3 => GateKind::Nand,
+            4 => GateKind::Nor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Not,
+            7 => GateKind::Buf,
+            _ => GateKind::Mux,
+        };
+        if p.flip_kind_at == Some(i) {
+            kind = match kind {
+                GateKind::And => GateKind::Or,
+                GateKind::Or => GateKind::And,
+                GateKind::Xor => GateKind::Xnor,
+                GateKind::Xnor => GateKind::Xor,
+                GateKind::Nand => GateKind::Nor,
+                GateKind::Nor => GateKind::Nand,
+                GateKind::Not => GateKind::Buf,
+                GateKind::Buf => GateKind::Not,
+                _ => GateKind::And,
+            };
+        }
+        let g = match kind {
+            GateKind::Not | GateKind::Buf => n.add_gate(kind, vec![a]),
+            GateKind::Mux => n.add_gate(kind, vec![s, a, b]),
+            GateKind::And if p.flip_kind_at == Some(i) && op % 10 == 8 => {
+                // A flipped Mux keeps its select and first data leg.
+                n.add_gate(kind, vec![s, a])
+            }
+            _ => n.add_gate(kind, vec![a, b]),
+        };
+        nets.push(g);
+    }
+    n.add_output("y0", *nets.last().expect("non-empty"));
+    n.add_output("y1", nets[nets.len() / 2]);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Renumbering invariance: declaring the constants in the opposite
+    /// order shifts every downstream gate ID, yet the structural hash —
+    /// which keys the artifact cache — must not move. The serialized
+    /// bytes *do* move, proving the twin is a genuine renumbering.
+    #[test]
+    fn structural_hash_is_stable_under_gate_renumbering(
+        ops in proptest::collection::vec(any::<u8>(), 1..40)
+    ) {
+        use rtlock_repro::artifacts::structural_hash;
+        use rtlock_repro::netlist::codec;
+        let base = perturbed_netlist(&ops, &HashPerturbation::default());
+        prop_assert_eq!(codec::encode(&base), codec::encode(&random_netlist(&ops)));
+        let twin =
+            perturbed_netlist(&ops, &HashPerturbation { swap_const_decl: true, ..Default::default() });
+        prop_assert_eq!(structural_hash(&base), structural_hash(&twin));
+        prop_assert_ne!(codec::encode(&base), codec::encode(&twin));
+    }
+
+    /// Collision smoke over the generator: flipping a single gate kind
+    /// must change the hash (a collision here would still be *correct* —
+    /// the store compares identity bytes — but would silently cost every
+    /// lookup a decode, so the hasher must separate near-identical DAGs).
+    #[test]
+    fn structural_hash_detects_a_single_gate_mutation(
+        ops in proptest::collection::vec(any::<u8>(), 1..40),
+        at in any::<u8>()
+    ) {
+        use rtlock_repro::artifacts::structural_hash;
+        let base = perturbed_netlist(&ops, &HashPerturbation::default());
+        let flip = at as usize % ops.len();
+        let mutated = perturbed_netlist(
+            &ops,
+            &HashPerturbation { flip_kind_at: Some(flip), ..Default::default() },
+        );
+        prop_assert_ne!(structural_hash(&base), structural_hash(&mutated));
+    }
+
+    /// Same smoke for a single-constant mutation.
+    #[test]
+    fn structural_hash_detects_a_single_constant_mutation(
+        ops in proptest::collection::vec(any::<u8>(), 1..40)
+    ) {
+        use rtlock_repro::artifacts::structural_hash;
+        let base = perturbed_netlist(&ops, &HashPerturbation::default());
+        let mutated =
+            perturbed_netlist(&ops, &HashPerturbation { const0_as_one: true, ..Default::default() });
+        prop_assert_ne!(structural_hash(&base), structural_hash(&mutated));
+    }
+
+    /// Cache-key reproducibility: optimizing the same netlist twice must
+    /// land on bit-identical bytes and hashes, or warm lookups keyed on
+    /// `hash(optimized(n))` could never hit.
+    #[test]
+    fn optimized_netlist_hash_is_reproducible(
+        ops in proptest::collection::vec(any::<u8>(), 1..40)
+    ) {
+        use rtlock_repro::artifacts::structural_hash;
+        use rtlock_repro::netlist::codec;
+        let base = random_netlist(&ops);
+        let mut first = base.clone();
+        optimize(&mut first);
+        let mut second = base.clone();
+        optimize(&mut second);
+        prop_assert_eq!(codec::encode(&first), codec::encode(&second));
+        prop_assert_eq!(structural_hash(&first), structural_hash(&second));
+    }
+
+    /// The exact codec the disk tier stores netlists through must round
+    /// trip arbitrary generated DAGs unchanged.
+    #[test]
+    fn netlist_codec_round_trips(ops in proptest::collection::vec(any::<u8>(), 1..40)) {
+        use rtlock_repro::netlist::codec;
+        let base = random_netlist(&ops);
+        let decoded = codec::decode(&codec::encode(&base)).expect("well-formed frame");
+        prop_assert_eq!(&decoded, &base);
+        prop_assert_eq!(codec::encode(&decoded), codec::encode(&base));
+    }
+}
