@@ -12,7 +12,7 @@
 //! exploits ("none of the circuits can be broken using the BMC attacks").
 
 use crate::oracle::SeqOracle;
-use crate::sat_attack::{model_bits, AttackOutcome};
+use crate::sat_attack::{model_bits, AttackOutcome, AttackStats};
 use rtlock_governor::{CancelToken, Deadline};
 use rtlock_netlist::{CnfBuilder, GateId, GateKind, Netlist};
 use rtlock_sat::{Budget, Lit, SolveResult, Solver};
@@ -160,18 +160,18 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
 
         loop {
             if token.should_stop().is_some() {
-                return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+                return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed(), stats: bmc_stats(iterations) };
             }
             solver.set_budget(Budget::cancellable(&token));
             match solver.solve(&[Lit::from_dimacs(act)]) {
                 SolveResult::Unknown => {
-                    return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() }
+                    return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed(), stats: bmc_stats(iterations) }
                 }
                 SolveResult::Unsat => break, // no DIS at this depth — deepen
                 SolveResult::Sat => {
                     iterations += 1;
                     if iterations > config.max_iterations {
-                        return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+                        return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed(), stats: bmc_stats(iterations) };
                     }
                     let mut trace: Vec<Vec<bool>> = Vec::with_capacity(input_vars.len());
                     for (t, fv) in input_vars.iter().enumerate() {
@@ -216,7 +216,7 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
         // never fix), and only Sat yields a candidate.
         let extraction = solver.solve(&[]);
         if extraction == SolveResult::Unknown {
-            return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+            return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed(), stats: bmc_stats(iterations) };
         }
         if extraction == SolveResult::Unsat {
             return AttackOutcome::Infeasible {
@@ -240,16 +240,27 @@ pub fn bmc_attack(locked: &Netlist, original: &Netlist, config: &BmcConfig) -> A
             // (FSM locking corrupts outputs only once the machine has
             // walked deep enough).
             if sequential_key_accuracy(locked, original, &key, 16, (4 * depth).max(64), 0xBEE5) == 1.0 {
-                return AttackOutcome::KeyFound { key, iterations, elapsed: start.elapsed() };
+                return AttackOutcome::KeyFound { key, iterations, elapsed: start.elapsed(), stats: bmc_stats(iterations) };
             }
         }
         depth += 2;
     }
-    AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() }
+    AttackOutcome::TimedOut { iterations, elapsed: start.elapsed(), stats: bmc_stats(iterations) }
 }
 
 /// Adds clauses forcing the unrolled circuit under `keys` to reproduce an
 /// observed input/output trace.
+/// BMC attack statistics: one sequential-oracle trace query per accepted
+/// distinguishing input sequence; the BMC loop has no bit-parallel
+/// simulation stage. Deterministic for a fixed configuration.
+fn bmc_stats(iterations: usize) -> AttackStats {
+    AttackStats {
+        oracle_queries: iterations,
+        dips_accepted: iterations,
+        ..AttackStats::default()
+    }
+}
+
 fn constrain_observation(
     cnf: &mut CnfBuilder,
     locked: &Netlist,

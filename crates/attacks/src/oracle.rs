@@ -18,6 +18,7 @@ pub struct CombOracle<'n> {
     netlist: &'n Netlist,
     sim: NetSim<'n>,
     input_index: HashMap<String, rtlock_netlist::GateId>,
+    output_index: HashMap<String, usize>,
 }
 
 impl<'n> CombOracle<'n> {
@@ -32,8 +33,14 @@ impl<'n> CombOracle<'n> {
             .iter()
             .filter_map(|&g| netlist.gate_name(g).map(|n| (n.to_owned(), g)))
             .collect();
+        // First writer wins so `output_position` agrees with a linear
+        // first-match scan over the output list.
+        let mut output_index = HashMap::new();
+        for (i, (name, _)) in netlist.outputs().iter().enumerate() {
+            output_index.entry(name.clone()).or_insert(i);
+        }
         let sim = NetSim::new(netlist).expect("oracle netlist is acyclic");
-        CombOracle { netlist, sim, input_index }
+        CombOracle { netlist, sim, input_index, output_index }
     }
 
     /// The underlying netlist.
@@ -44,6 +51,24 @@ impl<'n> CombOracle<'n> {
     /// `true` if the oracle has an input with this name.
     pub fn has_input(&self, name: &str) -> bool {
         self.input_index.contains_key(name)
+    }
+
+    /// The oracle-side gate id of a named input, for the index-based
+    /// query paths. Resolve once, query many times — this is what removes
+    /// the per-DIP name rescan from the attack loop.
+    pub fn input_id(&self, name: &str) -> Option<rtlock_netlist::GateId> {
+        self.input_index.get(name).copied()
+    }
+
+    /// Position of a named output in the oracle's answer vectors (the
+    /// first output with that name, matching a linear scan).
+    pub fn output_position(&self, name: &str) -> Option<usize> {
+        self.output_index.get(name).copied()
+    }
+
+    /// Number of oracle outputs (the length of every answer vector).
+    pub fn num_outputs(&self) -> usize {
+        self.netlist.outputs().len()
     }
 
     /// Applies named input values and returns `(output name, value)` pairs
@@ -69,6 +94,37 @@ impl<'n> CombOracle<'n> {
             .iter()
             .map(|(n, g)| (n.clone(), self.sim.value(*g) & 1 == 1))
             .collect()
+    }
+
+    /// Index-based single query: applies `(input id, value)` assignments
+    /// (ids from [`CombOracle::input_id`]) and returns one bool per
+    /// output, in output order ([`CombOracle::output_position`] indexes
+    /// into it). Unlisted inputs read 0. Produces exactly the values
+    /// [`CombOracle::query`] would, without any string traffic.
+    pub fn query_bits(&mut self, assigns: &[(rtlock_netlist::GateId, bool)]) -> Vec<bool> {
+        for &g in self.netlist.inputs() {
+            self.sim.set_input(g, 0);
+        }
+        for &(g, v) in assigns {
+            self.sim.set_input(g, if v { u64::MAX } else { 0 });
+        }
+        self.sim.eval_comb();
+        self.netlist.outputs().iter().map(|(_, g)| self.sim.value(*g) & 1 == 1).collect()
+    }
+
+    /// Batch query: 64 patterns per sweep, one per bit lane of each
+    /// input's word. Returns one word per output in output order — lane
+    /// `l` of output word `o` answers pattern `l`. Unlisted inputs read 0
+    /// in every lane. One netlist evaluation serves all 64 patterns,
+    /// which is what makes the bit-parallel DIP pre-filter cheaper than
+    /// 64 scalar [`CombOracle::query`] calls.
+    pub fn query64(&mut self, assigns: &[(rtlock_netlist::GateId, u64)]) -> Vec<u64> {
+        for &g in self.netlist.inputs() {
+            self.sim.set_input(g, 0);
+        }
+        self.sim.load_sweep(assigns);
+        self.sim.eval_comb();
+        self.sim.outputs()
     }
 }
 
@@ -158,6 +214,48 @@ mod tests {
         n.add_output("y", a);
         let mut oracle = CombOracle::new(&n);
         assert!(!oracle.query(&[])[0].1);
+    }
+
+    #[test]
+    fn query_bits_matches_named_query() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::Xor, vec![a, b]);
+        let h = n.add_gate(GateKind::And, vec![a, b]);
+        n.add_output("y", g);
+        n.add_output("z", h);
+        let mut oracle = CombOracle::new(&n);
+        let ia = oracle.input_id("a").unwrap();
+        let ib = oracle.input_id("b").unwrap();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let named = oracle.query(&[("a".into(), va), ("b".into(), vb)]);
+            let bits = oracle.query_bits(&[(ia, va), (ib, vb)]);
+            for (i, (name, v)) in named.iter().enumerate() {
+                assert_eq!(bits[i], *v);
+                assert_eq!(oracle.output_position(name), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn query64_lanes_match_scalar_queries() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let x = n.add_gate(GateKind::Mux, vec![c, a, b]);
+        n.add_output("y", x);
+        let mut oracle = CombOracle::new(&n);
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|n| oracle.input_id(n).unwrap()).collect();
+        let words = [0xDEAD_BEEF_0BAD_F00Du64, 0x0123_4567_89AB_CDEF, 0xAAAA_5555_FFFF_0000];
+        let answers = oracle.query64(&[(ids[0], words[0]), (ids[1], words[1]), (ids[2], words[2])]);
+        for lane in 0..64 {
+            let assigns: Vec<_> =
+                ids.iter().zip(&words).map(|(&g, &w)| (g, w >> lane & 1 == 1)).collect();
+            let scalar = oracle.query_bits(&assigns);
+            assert_eq!(answers[0] >> lane & 1 == 1, scalar[0], "lane {lane}");
+        }
     }
 
     #[test]

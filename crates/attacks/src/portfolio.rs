@@ -29,6 +29,7 @@
 
 use crate::bmc_attack::{bmc_attack, BmcConfig};
 use crate::bypass::{bypass_estimate, BypassEstimate};
+use crate::dip::{sat_attack_parallel, DipConfig};
 use crate::removal::{removal_attack, RemovalOutcome};
 use crate::sat_attack::{sat_attack, AttackConfig, AttackOutcome};
 use rtlock_artifacts::ArtifactStore;
@@ -99,6 +100,13 @@ pub struct PortfolioConfig {
     /// SAT attack, unless its own `sat.cache` is already set). Verdicts
     /// are byte-identical with or without it.
     pub cache: Option<Arc<ArtifactStore>>,
+    /// When set, the SAT member runs the parallel DIP pipeline
+    /// ([`sat_attack_parallel`]) under this configuration instead of the
+    /// sequential loop. The pipeline is deterministic for a fixed
+    /// configuration, so the portfolio's canonical-verdict guarantee is
+    /// unchanged — but the pipeline's outcome (iterations, counters) is a
+    /// different deterministic point than the sequential attack's.
+    pub dip: Option<DipConfig>,
 }
 
 impl Default for PortfolioConfig {
@@ -117,6 +125,7 @@ impl Default for PortfolioConfig {
             removal_tolerance: 0.0,
             seed: 0xD15_EA5E,
             cache: None,
+            dip: None,
         }
     }
 }
@@ -241,16 +250,11 @@ fn bits(key: &[bool]) -> String {
 
 fn canonical_outcome(o: &MemberOutcome) -> String {
     match o {
-        MemberOutcome::Attack(AttackOutcome::KeyFound { key, iterations, .. }) => {
-            format!("key-found(key={}, iterations={iterations})", bits(key))
-        }
-        MemberOutcome::Attack(AttackOutcome::TimedOut { iterations, .. }) => {
-            format!("timed-out(iterations={iterations})")
-        }
-        MemberOutcome::Attack(AttackOutcome::Infeasible { reason }) => {
-            format!("infeasible({reason})")
-        }
-        MemberOutcome::Attack(AttackOutcome::Error { reason }) => format!("error({reason})"),
+        // Attack outcomes render through [`AttackOutcome::canonical`],
+        // which surfaces the deterministic counters (oracle queries,
+        // simulated patterns, accepted/rejected DIPs) and excludes every
+        // wall-clock field by construction.
+        MemberOutcome::Attack(a) => a.canonical(),
         MemberOutcome::Removal(RemovalOutcome::Recovered { gate, error_rate }) => {
             format!("removal-recovered(gate={}, error_rate={error_rate:.6})", gate.index())
         }
@@ -304,7 +308,10 @@ fn run_member(
                     cache: config.sat.cache.clone().or_else(|| config.cache.clone()),
                     ..config.sat.clone()
                 };
-                MemberOutcome::Attack(sat_attack(locked, original, &cfg))
+                MemberOutcome::Attack(match &config.dip {
+                    Some(dip) => sat_attack_parallel(locked, original, &cfg, dip),
+                    None => sat_attack(locked, original, &cfg),
+                })
             }
             None => MemberOutcome::Unavailable("no combinational scan view".into()),
         },
@@ -675,6 +682,7 @@ mod tests {
         let timed = MemberOutcome::Attack(AttackOutcome::TimedOut {
             iterations: 3,
             elapsed: std::time::Duration::ZERO,
+            stats: crate::sat_attack::AttackStats::default(),
         });
         assert_eq!(timed.error_class(), Some(ErrorClass::Transient));
         let err = MemberOutcome::Attack(AttackOutcome::Error { reason: "model hole".into() });

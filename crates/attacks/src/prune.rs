@@ -16,7 +16,7 @@
 //! structural counterpart to the probabilistic SPS analysis in
 //! [`crate::removal`].
 
-use crate::sat_attack::{sat_attack, AttackConfig, AttackOutcome};
+use crate::sat_attack::{sat_attack, AttackConfig, AttackOutcome, AttackStats};
 use rtlock_dataflow::analyze_netlist;
 use rtlock_netlist::{GateId, Netlist};
 use std::time::Duration;
@@ -79,6 +79,7 @@ pub fn sat_attack_pruned(
     let mut key = vec![false; locked.key_inputs.len()];
     let mut iterations = 0usize;
     let mut elapsed = Duration::ZERO;
+    let mut stats = AttackStats::default();
     for part in &partitions {
         // Restrict to this partition: hardwire every other key bit (the
         // kept outputs are independent of them) and keep only outputs the
@@ -94,18 +95,21 @@ pub fn sat_attack_pruned(
         sub.retain_outputs(|_, drv| part.iter().any(|&b| analysis.is_tainted_by(drv, b)));
         sub.sweep_dead();
         match sat_attack(&sub, original, config) {
-            AttackOutcome::KeyFound { key: sub_key, iterations: it, elapsed: el } => {
+            AttackOutcome::KeyFound { key: sub_key, iterations: it, elapsed: el, stats: st } => {
                 for (&bit, &v) in part.iter().zip(&sub_key) {
                     key[bit] = v;
                 }
                 iterations += it;
                 elapsed += el;
+                stats.absorb(&st);
             }
-            AttackOutcome::TimedOut { iterations: it, elapsed: el } => {
+            AttackOutcome::TimedOut { iterations: it, elapsed: el, stats: st } => {
+                stats.absorb(&st);
                 return PrunedAttack {
                     outcome: AttackOutcome::TimedOut {
                         iterations: iterations + it,
                         elapsed: elapsed + el,
+                        stats,
                     },
                     partitions,
                     pruned_bits,
@@ -117,7 +121,7 @@ pub fn sat_attack_pruned(
         }
     }
     PrunedAttack {
-        outcome: AttackOutcome::KeyFound { key, iterations, elapsed },
+        outcome: AttackOutcome::KeyFound { key, iterations, elapsed, stats },
         partitions,
         pruned_bits,
     }

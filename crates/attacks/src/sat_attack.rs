@@ -58,6 +58,51 @@ impl AttackConfig {
     }
 }
 
+/// Counters an attack accumulates while it runs.
+///
+/// The counter fields (`oracle_queries`, `patterns_simulated`,
+/// `dips_accepted`, `dips_rejected`) are deterministic for a given attack
+/// configuration — identical across worker counts, cache modes and reruns
+/// — and so are safe to surface in canonical (journaled, diffable)
+/// renderings. `round_wall_clock` is wall-clock telemetry and must stay
+/// out of every canonical form, like `elapsed`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttackStats {
+    /// Oracle invocations (one batch `query64` sweep counts once).
+    pub oracle_queries: usize,
+    /// Input patterns evaluated by bit-parallel simulation (64 per sweep).
+    pub patterns_simulated: usize,
+    /// Distinguishing patterns whose I/O constraints entered the miter.
+    pub dips_accepted: usize,
+    /// Candidate patterns discarded (duplicates from parallel miners,
+    /// pre-filter lanes that no longer distinguish any candidate).
+    pub dips_rejected: usize,
+    /// Wall-clock time of each DIP round, in round order. Telemetry only:
+    /// never part of canonical renderings.
+    pub round_wall_clock: Vec<Duration>,
+}
+
+impl AttackStats {
+    /// Folds another attack's counters into this one (partitioned attacks
+    /// report the aggregate); round wall clocks concatenate in order.
+    pub fn absorb(&mut self, other: &AttackStats) {
+        self.oracle_queries += other.oracle_queries;
+        self.patterns_simulated += other.patterns_simulated;
+        self.dips_accepted += other.dips_accepted;
+        self.dips_rejected += other.dips_rejected;
+        self.round_wall_clock.extend(other.round_wall_clock.iter().copied());
+    }
+
+    /// The deterministic counters as a canonical fragment. Excludes every
+    /// wall-clock field by construction.
+    pub fn canonical(&self) -> String {
+        format!(
+            "queries={}, simulated={}, dips={}+{}",
+            self.oracle_queries, self.patterns_simulated, self.dips_accepted, self.dips_rejected
+        )
+    }
+}
+
 /// Result of an attack run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AttackOutcome {
@@ -69,6 +114,8 @@ pub enum AttackOutcome {
         iterations: usize,
         /// Wall-clock time spent.
         elapsed: Duration,
+        /// Deterministic counters plus per-round telemetry.
+        stats: AttackStats,
     },
     /// The budget ran out first (counts as "not broken" in Table III).
     TimedOut {
@@ -76,6 +123,8 @@ pub enum AttackOutcome {
         iterations: usize,
         /// Wall-clock time spent.
         elapsed: Duration,
+        /// Deterministic counters plus per-round telemetry.
+        stats: AttackStats,
     },
     /// The attack does not apply (no key inputs, or sequential elements
     /// without scan access).
@@ -122,6 +171,36 @@ impl AttackOutcome {
             AttackOutcome::KeyFound { .. } | AttackOutcome::Infeasible { .. } => None,
         }
     }
+
+    /// The attack statistics, if this outcome carries them.
+    pub fn stats(&self) -> Option<&AttackStats> {
+        match self {
+            AttackOutcome::KeyFound { stats, .. } | AttackOutcome::TimedOut { stats, .. } => {
+                Some(stats)
+            }
+            _ => None,
+        }
+    }
+
+    /// Canonical wall-clock-free rendering: everything about the outcome
+    /// that is deterministic for a fixed attack configuration (key bits,
+    /// iteration count, deterministic counters) and nothing that is not
+    /// (`elapsed`, per-round wall clock). Two runs of the same attack at
+    /// different worker counts must render identically — this is the
+    /// string the parallel-determinism suite pins.
+    pub fn canonical(&self) -> String {
+        match self {
+            AttackOutcome::KeyFound { key, iterations, stats, .. } => {
+                let bits: String = key.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                format!("key-found(key={bits}, iterations={iterations}, {})", stats.canonical())
+            }
+            AttackOutcome::TimedOut { iterations, stats, .. } => {
+                format!("timed-out(iterations={iterations}, {})", stats.canonical())
+            }
+            AttackOutcome::Infeasible { reason } => format!("infeasible({reason})"),
+            AttackOutcome::Error { reason } => format!("error({reason})"),
+        }
+    }
 }
 
 /// Runs the SAT attack on `locked` (combinational, key inputs marked)
@@ -144,30 +223,11 @@ pub fn sat_attack_with<S: SatBackend>(
     config: &AttackConfig,
 ) -> AttackOutcome {
     let start = Instant::now();
-    if locked.key_inputs.is_empty() {
-        return AttackOutcome::Infeasible { reason: "no key inputs".into() };
-    }
-    if !locked.dffs().is_empty() {
-        return AttackOutcome::Infeasible {
-            reason: "sequential elements without scan access; SAT attack requires full scan".into(),
-        };
-    }
     let mut oracle = CombOracle::new(original);
-    let data_inputs: Vec<GateId> =
-        locked.inputs().iter().copied().filter(|g| !locked.key_inputs.contains(g)).collect();
-    // Inputs the oracle does not know (scan controls and the like, present
-    // only on the locked design) are still attacker-controlled variables;
-    // they are simply not forwarded to the oracle. Likewise only outputs
-    // the oracle shares are constrained by its answers.
-    let shared_outputs: Vec<bool> = locked
-        .outputs()
-        .iter()
-        .map(|(name, _)| original.outputs().iter().any(|(n, _)| n == name))
-        .collect();
-    if !shared_outputs.iter().any(|&s| s) {
-        return AttackOutcome::Infeasible { reason: "no outputs shared with the oracle".into() };
-    }
-
+    let problem = match AttackProblem::build(locked, &oracle) {
+        Ok(p) => p,
+        Err(outcome) => return outcome,
+    };
     let mut cnf = CnfBuilder::new();
     let mut solver = S::new();
     let mut drained = 0usize;
@@ -175,27 +235,14 @@ pub fn sat_attack_with<S: SatBackend>(
     let token = config.stop_token();
 
     // Shared x variables and two key copies.
-    let x_vars: Vec<i32> = data_inputs.iter().map(|_| cnf.fresh_var()).collect();
+    let x_vars: Vec<i32> = problem.data_inputs.iter().map(|_| cnf.fresh_var()).collect();
     let k1: Vec<i32> = locked.key_inputs.iter().map(|_| cnf.fresh_var()).collect();
     let k2: Vec<i32> = locked.key_inputs.iter().map(|_| cnf.fresh_var()).collect();
 
-    let assemble = |keys: &[i32], xs: &[i32]| -> Vec<i32> {
-        locked
-            .inputs()
-            .iter()
-            .map(|g| {
-                if let Some(ki) = locked.key_inputs.iter().position(|k| k == g) {
-                    keys[ki]
-                } else {
-                    let xi = data_inputs.iter().position(|d| d == g).expect("partitioned");
-                    xs[xi]
-                }
-            })
-            .collect()
-    };
-
-    let vars1 = encode_comb_cached(cache, &mut cnf, locked, &assemble(&k1, &x_vars), &[], &token);
-    let vars2 = encode_comb_cached(cache, &mut cnf, locked, &assemble(&k2, &x_vars), &[], &token);
+    let vars1 =
+        encode_comb_cached(cache, &mut cnf, locked, &problem.assemble(&k1, &x_vars), &[], &token);
+    let vars2 =
+        encode_comb_cached(cache, &mut cnf, locked, &problem.assemble(&k2, &x_vars), &[], &token);
 
     // Miter: some output differs — guarded by an activation literal so the
     // final key-extraction solve can drop it.
@@ -211,12 +258,14 @@ pub fn sat_attack_with<S: SatBackend>(
     sync(&mut cnf, &mut solver, &mut drained);
 
     let mut iterations = 0usize;
+    let mut stats = AttackStats::default();
+    let mut round_start = Instant::now();
     loop {
         solver.set_budget(Budget::cancellable(&token));
         let res = solver.solve(&[Lit::from_dimacs(act)]);
         match res {
             SolveResult::Unknown => {
-                return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+                return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed(), stats };
             }
             SolveResult::Unsat => {
                 // No DIP left: any consistent key is correct.
@@ -227,7 +276,11 @@ pub fn sat_attack_with<S: SatBackend>(
                     // it as Infeasible would let a retry supervisor treat
                     // a slow run as a permanent miter defect.
                     SolveResult::Unknown => {
-                        return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+                        return AttackOutcome::TimedOut {
+                            iterations,
+                            elapsed: start.elapsed(),
+                            stats,
+                        };
                     }
                     SolveResult::Unsat => {
                         return AttackOutcome::Infeasible {
@@ -246,12 +299,12 @@ pub fn sat_attack_with<S: SatBackend>(
                         }
                     }
                 };
-                return AttackOutcome::KeyFound { key, iterations, elapsed: start.elapsed() };
+                return AttackOutcome::KeyFound { key, iterations, elapsed: start.elapsed(), stats };
             }
             SolveResult::Sat => {
                 iterations += 1;
                 if iterations > config.max_iterations {
-                    return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+                    return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed(), stats };
                 }
                 // Extract the DIP and ask the oracle.
                 let dip = match model_bits(&solver, &x_vars) {
@@ -265,42 +318,177 @@ pub fn sat_attack_with<S: SatBackend>(
                         }
                     }
                 };
-                let named: Vec<(String, bool)> = data_inputs
-                    .iter()
-                    .zip(&dip)
-                    .map(|(&g, &v)| (locked.gate_name(g).unwrap_or("").to_owned(), v))
-                    .filter(|(n, _)| oracle.has_input(n))
-                    .collect();
-                let answer = oracle.query(&named);
+                let answer = oracle.query_bits(&problem.bind_pattern(&dip));
+                stats.oracle_queries += 1;
 
                 // Constrain both key copies to produce the oracle's answer
                 // on this DIP, using two fresh circuit copies.
                 for keys in [&k1, &k2] {
-                    let xin: Vec<i32> = dip
-                        .iter()
-                        .map(|&v| {
-                            let var = cnf.fresh_var();
-                            cnf.assert_lit(if v { var } else { -var });
-                            var
-                        })
-                        .collect();
-                    let vars =
-                        encode_comb_cached(cache, &mut cnf, locked, &assemble(keys, &xin), &[], &token);
-                    for (oi, (name, drv)) in locked.outputs().iter().enumerate() {
-                        if !shared_outputs[oi] {
-                            continue; // locked-only output: the oracle has no answer
-                        }
-                        let Some((_, expect)) = answer.iter().find(|(n, _)| n == name) else { continue };
-                        let lit = vars[drv.index()];
-                        cnf.assert_lit(if *expect { lit } else { -lit });
-                    }
+                    encode_dip_constraint(
+                        &mut cnf, cache, &problem, keys, &dip, &answer, &token,
+                    );
                 }
+                stats.dips_accepted += 1;
+                stats.round_wall_clock.push(round_start.elapsed());
+                round_start = Instant::now();
                 sync(&mut cnf, &mut solver, &mut drained);
             }
         }
         if token.should_stop().is_some() {
-            return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed() };
+            return AttackOutcome::TimedOut { iterations, elapsed: start.elapsed(), stats };
         }
+    }
+}
+
+/// One locked-input slot: where the literal for that input position comes
+/// from when a circuit copy is assembled.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Slot {
+    /// `key_inputs[i]` — take the i-th literal of the key vector.
+    Key(usize),
+    /// The i-th data (non-key) input — take the i-th x/pattern literal.
+    Data(usize),
+}
+
+/// Everything about a locked/original pair the attack resolves *once*:
+/// input partition, the input→slot table every circuit copy is assembled
+/// through (replacing the old O(inputs × key_bits) `position()` scans per
+/// copy), and the index-based oracle binding (replacing the per-DIP
+/// name-map rescan).
+pub(crate) struct AttackProblem<'n> {
+    pub(crate) locked: &'n Netlist,
+    /// Non-key inputs of `locked`, in input order.
+    pub(crate) data_inputs: Vec<GateId>,
+    /// Per locked output: does the oracle share it (by name)?
+    pub(crate) shared_outputs: Vec<bool>,
+    /// Per locked input position: key index or data index.
+    pub(crate) slots: Vec<Slot>,
+    /// Per data input: the oracle-side input id, if the oracle knows it
+    /// (scan controls and the like exist only on the locked design).
+    pub(crate) oracle_bind: Vec<Option<GateId>>,
+    /// Per locked output: position in the oracle's answer vector.
+    pub(crate) answer_pos: Vec<Option<usize>>,
+}
+
+impl<'n> AttackProblem<'n> {
+    /// Resolves the problem structure, or the `Infeasible` outcome that
+    /// explains why the attack cannot run.
+    pub(crate) fn build(
+        locked: &'n Netlist,
+        oracle: &CombOracle<'_>,
+    ) -> Result<AttackProblem<'n>, AttackOutcome> {
+        if locked.key_inputs.is_empty() {
+            return Err(AttackOutcome::Infeasible { reason: "no key inputs".into() });
+        }
+        if !locked.dffs().is_empty() {
+            return Err(AttackOutcome::Infeasible {
+                reason: "sequential elements without scan access; SAT attack requires full scan"
+                    .into(),
+            });
+        }
+        let data_inputs: Vec<GateId> =
+            locked.inputs().iter().copied().filter(|g| !locked.key_inputs.contains(g)).collect();
+        // Inputs the oracle does not know (scan controls and the like,
+        // present only on the locked design) are still attacker-controlled
+        // variables; they are simply not forwarded to the oracle. Likewise
+        // only outputs the oracle shares are constrained by its answers.
+        let shared_outputs: Vec<bool> = locked
+            .outputs()
+            .iter()
+            .map(|(name, _)| oracle.netlist().outputs().iter().any(|(n, _)| n == name))
+            .collect();
+        if !shared_outputs.iter().any(|&s| s) {
+            return Err(AttackOutcome::Infeasible {
+                reason: "no outputs shared with the oracle".into(),
+            });
+        }
+        let key_pos: std::collections::HashMap<GateId, usize> =
+            locked.key_inputs.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let data_pos: std::collections::HashMap<GateId, usize> =
+            data_inputs.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let slots: Vec<Slot> = locked
+            .inputs()
+            .iter()
+            .map(|g| match key_pos.get(g) {
+                Some(&ki) => Slot::Key(ki),
+                None => Slot::Data(data_pos[g]),
+            })
+            .collect();
+        let oracle_bind: Vec<Option<GateId>> = data_inputs
+            .iter()
+            .map(|&g| locked.gate_name(g).and_then(|n| oracle.input_id(n)))
+            .collect();
+        let answer_pos: Vec<Option<usize>> =
+            locked.outputs().iter().map(|(name, _)| oracle.output_position(name)).collect();
+        Ok(AttackProblem { locked, data_inputs, shared_outputs, slots, oracle_bind, answer_pos })
+    }
+
+    /// Literal vector for one circuit copy: `keys` for key positions, `xs`
+    /// for data positions, via the precomputed slot table.
+    pub(crate) fn assemble(&self, keys: &[i32], xs: &[i32]) -> Vec<i32> {
+        self.slots
+            .iter()
+            .map(|s| match *s {
+                Slot::Key(ki) => keys[ki],
+                Slot::Data(xi) => xs[xi],
+            })
+            .collect()
+    }
+
+    /// The oracle assignment for a concrete data-input pattern.
+    pub(crate) fn bind_pattern(&self, dip: &[bool]) -> Vec<(GateId, bool)> {
+        self.oracle_bind
+            .iter()
+            .zip(dip)
+            .filter_map(|(bind, &v)| bind.map(|g| (g, v)))
+            .collect()
+    }
+
+    /// The oracle assignment for one 64-lane sweep over the data inputs.
+    pub(crate) fn bind_sweep(&self, words: &[u64]) -> Vec<(GateId, u64)> {
+        self.oracle_bind
+            .iter()
+            .zip(words)
+            .filter_map(|(bind, &w)| bind.map(|g| (g, w)))
+            .collect()
+    }
+}
+
+/// Encodes one I/O constraint copy: a fresh circuit copy with inputs
+/// hardwired to `dip` under key literals `keys`, with every shared output
+/// asserted to the oracle's `answer`.
+pub(crate) fn encode_dip_constraint(
+    cnf: &mut CnfBuilder,
+    cache: Option<&ArtifactStore>,
+    problem: &AttackProblem<'_>,
+    keys: &[i32],
+    dip: &[bool],
+    answer: &[bool],
+    token: &CancelToken,
+) {
+    let xin: Vec<i32> = dip
+        .iter()
+        .map(|&v| {
+            let var = cnf.fresh_var();
+            cnf.assert_lit(if v { var } else { -var });
+            var
+        })
+        .collect();
+    let vars = encode_comb_cached(
+        cache,
+        cnf,
+        problem.locked,
+        &problem.assemble(keys, &xin),
+        &[],
+        token,
+    );
+    for (oi, (_, drv)) in problem.locked.outputs().iter().enumerate() {
+        if !problem.shared_outputs[oi] {
+            continue; // locked-only output: the oracle has no answer
+        }
+        let Some(ai) = problem.answer_pos[oi] else { continue };
+        let lit = vars[drv.index()];
+        cnf.assert_lit(if answer[ai] { lit } else { -lit });
     }
 }
 
@@ -505,6 +693,72 @@ mod tests {
             matches!(out, AttackOutcome::TimedOut { iterations: 0, .. }),
             "cancelled before the first solve: {out:?}"
         );
+    }
+
+    #[test]
+    fn canonical_rendering_excludes_wall_clock_fields() {
+        // Two outcomes that differ ONLY in wall-clock telemetry must
+        // render identically — the canonical form is what the journal
+        // replays and the determinism suite diffs.
+        let stats_fast = AttackStats {
+            oracle_queries: 3,
+            patterns_simulated: 128,
+            dips_accepted: 2,
+            dips_rejected: 1,
+            round_wall_clock: vec![Duration::from_millis(5), Duration::from_millis(7)],
+        };
+        let stats_slow = AttackStats {
+            round_wall_clock: vec![Duration::from_secs(60); 9],
+            ..stats_fast.clone()
+        };
+        let fast = AttackOutcome::KeyFound {
+            key: vec![true, false],
+            iterations: 2,
+            elapsed: Duration::from_millis(12),
+            stats: stats_fast.clone(),
+        };
+        let slow = AttackOutcome::KeyFound {
+            key: vec![true, false],
+            iterations: 2,
+            elapsed: Duration::from_secs(999),
+            stats: stats_slow.clone(),
+        };
+        assert_eq!(fast.canonical(), slow.canonical());
+        assert!(!fast.canonical().to_lowercase().contains("elapsed"), "{}", fast.canonical());
+        let t_fast = AttackOutcome::TimedOut {
+            iterations: 4,
+            elapsed: Duration::from_millis(3),
+            stats: stats_fast,
+        };
+        let t_slow =
+            AttackOutcome::TimedOut { iterations: 4, elapsed: Duration::from_secs(10), stats: stats_slow };
+        assert_eq!(t_fast.canonical(), t_slow.canonical());
+        // But the deterministic counters DO show up.
+        assert!(fast.canonical().contains("queries=3, simulated=128, dips=2+1"), "{}", fast.canonical());
+    }
+
+    #[test]
+    fn stats_absorb_sums_counters_and_concatenates_rounds() {
+        let mut a = AttackStats {
+            oracle_queries: 1,
+            patterns_simulated: 64,
+            dips_accepted: 1,
+            dips_rejected: 0,
+            round_wall_clock: vec![Duration::from_millis(1)],
+        };
+        let b = AttackStats {
+            oracle_queries: 2,
+            patterns_simulated: 0,
+            dips_accepted: 3,
+            dips_rejected: 4,
+            round_wall_clock: vec![Duration::from_millis(2), Duration::from_millis(3)],
+        };
+        a.absorb(&b);
+        assert_eq!(a.oracle_queries, 3);
+        assert_eq!(a.patterns_simulated, 64);
+        assert_eq!(a.dips_accepted, 4);
+        assert_eq!(a.dips_rejected, 4);
+        assert_eq!(a.round_wall_clock.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Parallel-DIP-pipeline benchmark, recorded as `BENCH_dip.json`.
+//!
+//! Two measurement families:
+//!
+//! * **Catalog pipeline scaling** — for each `RTLOCK_DESIGNS` design
+//!   (default `b05,fibo,b14`) the RTLock* combinational surface (scan
+//!   locking disabled) is attacked by the sequential SAT loop and by the
+//!   parallel DIP pipeline at several executor worker counts (fixed
+//!   miner fleet, identical configuration). The pipeline's canonical
+//!   outcome must be byte-identical at every worker count and every
+//!   recovered key functionally correct; the JSON records wall clock,
+//!   accepted DIPs, oracle queries, DIP throughput, the 4-vs-1 wall-clock
+//!   speedup, and the 4-vs-1 DIP-throughput ratio (the scaling measure
+//!   that stays meaningful for budgeted runs), alongside `host_cores` so
+//!   a reader can tell a 1-core container's flat curve from a real
+//!   scaling regression. The >=2x throughput gate is asserted only on
+//!   hosts with >= 4 cores and designs that saturate the miner fleet.
+//! * **Small-instance inprocessing gate** — every php DIMACS instance is
+//!   solved with the size gate at its default threshold and with the
+//!   gate disabled (`set_inprocessing_threshold(0)`), recording both
+//!   wall clocks: the before/after evidence for gating `simplify_db` and
+//!   learnt-DB reduction below [`rtlock_sat::INPROCESS_MIN_VARS`] vars.
+//!
+//! Knobs: `RTLOCK_DESIGNS`, `RTLOCK_BENCH_WORKERS` (default `1,2,4,8`),
+//! `RTLOCK_BENCH_REPS` (default 3, small-instance section),
+//! `RTLOCK_TIMEOUT_SECS`, `RTLOCK_BENCH_OUT` (default `BENCH_dip.json`).
+
+use rtlock::{lock, AttackSurface};
+use rtlock_attacks::{
+    key_accuracy, sat_attack, sat_attack_parallel_with, AttackConfig, AttackOutcome, DipConfig,
+};
+use rtlock_bench::{attack_timeout, prepare, rtlock_config, secs, selected_designs};
+use rtlock_exec::Executor;
+use rtlock_netlist::Netlist;
+use rtlock_sat::{SolveResult, Solver, INPROCESS_MIN_VARS};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const PHP_CORPUS: &[(&str, &str)] = &[
+    ("php4.cnf", include_str!("../../../sat/tests/dimacs/php4.cnf")),
+    ("php5.cnf", include_str!("../../../sat/tests/dimacs/php5.cnf")),
+    ("php6.cnf", include_str!("../../../sat/tests/dimacs/php6.cnf")),
+    ("php7.cnf", include_str!("../../../sat/tests/dimacs/php7.cnf")),
+];
+
+fn parse_dimacs(text: &str) -> Vec<Vec<i32>> {
+    let mut clauses = Vec::new();
+    let mut current = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let lit: i32 = tok.parse().expect("integer literal");
+            if lit == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                current.push(lit);
+            }
+        }
+    }
+    assert!(current.is_empty(), "unterminated clause");
+    clauses
+}
+
+/// Best-of-reps wall clock (ms) for a fresh load+solve of a php instance
+/// (always UNSAT) with the inprocessing gate at `threshold`.
+fn time_php(clauses: &[Vec<i32>], threshold: usize, reps: usize) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let mut s = Solver::new();
+            s.set_inprocessing_threshold(threshold);
+            for c in clauses {
+                s.add_dimacs_clause(c);
+            }
+            assert_eq!(s.solve(&[]), SolveResult::Unsat, "php is UNSAT");
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct PipelineRow {
+    workers: usize,
+    outcome: &'static str,
+    canonical: String,
+    ms: f64,
+    dips: usize,
+    queries: usize,
+    simulated: usize,
+    key: Option<Vec<bool>>,
+}
+
+fn classify(out: &AttackOutcome) -> &'static str {
+    match out {
+        AttackOutcome::KeyFound { .. } => "key_found",
+        AttackOutcome::TimedOut { .. } => "timeout",
+        AttackOutcome::Infeasible { .. } => "infeasible",
+        AttackOutcome::Error { .. } => "error",
+    }
+}
+
+fn run_pipeline(
+    locked: &Netlist,
+    original: &Netlist,
+    cfg: &AttackConfig,
+    dip: &DipConfig,
+    workers: usize,
+) -> PipelineRow {
+    let exec = Executor::new(workers);
+    let t = Instant::now();
+    let out = sat_attack_parallel_with::<Solver>(locked, original, cfg, dip, &exec);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let (dips, queries, simulated) = out
+        .stats()
+        .map(|s| (s.dips_accepted, s.oracle_queries, s.patterns_simulated))
+        .unwrap_or((0, 0, 0));
+    PipelineRow {
+        workers,
+        outcome: classify(&out),
+        canonical: out.canonical(),
+        ms,
+        dips,
+        queries,
+        simulated,
+        key: out.key().map(<[bool]>::to_vec),
+    }
+}
+
+fn key_bits(key: &[bool]) -> String {
+    key.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn main() {
+    let reps: usize =
+        std::env::var("RTLOCK_BENCH_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    let workers: Vec<usize> = std::env::var("RTLOCK_BENCH_WORKERS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out_path = std::env::var("RTLOCK_BENCH_OUT").unwrap_or_else(|_| "BENCH_dip.json".into());
+    let designs = selected_designs();
+    let dip = DipConfig::default();
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // ---- catalog pipeline scaling ---------------------------------------
+    eprintln!(
+        "dip bench: {} designs, {} miners, workers {:?}, timeout {:?}, {host_cores} host cores",
+        designs.len(),
+        dip.miners,
+        workers,
+        attack_timeout(),
+    );
+    let mut catalog = Vec::new();
+    for name in &designs {
+        let (module, _original) = prepare(name);
+        let ld = match lock(&module, &rtlock_config(name, false)) {
+            Ok(ld) => ld,
+            Err(e) => {
+                eprintln!("  {name}: lock failed: {e}");
+                continue;
+            }
+        };
+        let (locked, original) = match ld.attack_surface(None) {
+            Ok(AttackSurface::CombinationalViews { locked, original }) => (locked, original),
+            other => {
+                eprintln!("  {name}: unexpected attack surface: {other:?}");
+                continue;
+            }
+        };
+        let cfg = AttackConfig {
+            max_iterations: 1_000_000,
+            timeout: Some(attack_timeout()),
+            ..Default::default()
+        };
+
+        // Sequential baseline: the PR-9 attack loop, untouched.
+        let t = Instant::now();
+        let seq_out = sat_attack(&locked, &original, &cfg);
+        let seq_ms = t.elapsed().as_secs_f64() * 1e3;
+        let seq_iters = match &seq_out {
+            AttackOutcome::KeyFound { iterations, .. }
+            | AttackOutcome::TimedOut { iterations, .. } => *iterations,
+            _ => 0,
+        };
+        if let Some(k) = seq_out.key() {
+            let acc = key_accuracy(&locked, &original, k, 128, 0xACC);
+            assert!((acc - 1.0).abs() < f64::EPSILON, "{name}: sequential key wrong ({acc})");
+        }
+
+        // Pipeline at every worker count: identical deterministic work,
+        // so identical canonical outcomes — only the wall clock may move.
+        let rows: Vec<PipelineRow> =
+            workers.iter().map(|&w| run_pipeline(&locked, &original, &cfg, &dip, w)).collect();
+        for row in &rows {
+            // Identical verdicts and byte-identical keys at every worker
+            // count, always. Full canonical identity (iteration counts,
+            // counters) additionally holds whenever the wall-clock budget
+            // did not fire — a timed-out run's progress counters are
+            // CPU-share dependent, like everywhere else in the harness;
+            // byte-identity under iteration budgets is pinned by
+            // tests/parallel_determinism.rs.
+            assert_eq!(
+                row.outcome, rows[0].outcome,
+                "{name}: pipeline verdict diverged at {} workers",
+                row.workers
+            );
+            assert_eq!(
+                row.key, rows[0].key,
+                "{name}: recovered keys diverged at {} workers",
+                row.workers
+            );
+            if row.outcome == "key_found" {
+                assert_eq!(
+                    row.canonical, rows[0].canonical,
+                    "{name}: pipeline outcome diverged at {} workers",
+                    row.workers
+                );
+            }
+            if let Some(k) = &row.key {
+                let acc = key_accuracy(&locked, &original, k, 128, 0xACC);
+                assert!(
+                    (acc - 1.0).abs() < f64::EPSILON,
+                    "{name}: pipeline key wrong at {} workers ({acc})",
+                    row.workers
+                );
+            }
+        }
+        // Vacuously true on a catalog-wide timeout: "no key anywhere" is
+        // byte-identical agreement too (the assert above already pinned it).
+        let keys_bit_identical = rows.windows(2).all(|w| w[0].key == w[1].key);
+        let time_at = |n: usize| rows.iter().find(|r| r.workers == n).map(|r| r.ms);
+        let speedup = match (time_at(1), time_at(4)) {
+            (Some(t1), Some(t4)) if t4 > 0.0 => Some(t1 / t4),
+            _ => None,
+        };
+        // DIP throughput ratio: the right scaling measure for budgeted runs
+        // (two timed-out runs both burn the full wall clock; what parallelism
+        // buys is more DIPs mined inside it).
+        let tp_at = |n: usize| {
+            rows.iter().find(|r| r.workers == n).map(|r| r.dips as f64 / (r.ms / 1e3).max(1e-9))
+        };
+        let throughput = match (tp_at(1), tp_at(4)) {
+            (Some(tp1), Some(tp4)) if tp1 > 0.0 => Some(tp4 / tp1),
+            _ => None,
+        };
+        // The >=2x scaling gate needs real cores to stand on: enforce it only
+        // on hosts with at least 4 of them, and only on designs large enough
+        // to keep the miner fleet saturated (>= 5 s of mining at 1 worker) —
+        // sub-second toys finish in a round or two of mostly-serial encode.
+        if host_cores >= 4 {
+            if let (Some(t1_ms), Some(tp)) = (time_at(1), throughput) {
+                if t1_ms >= 5_000.0 {
+                    assert!(
+                        tp >= 2.0,
+                        "{name}: {tp:.2}x DIP throughput at 4 workers vs 1 (expected >= 2x)"
+                    );
+                }
+            }
+        }
+        eprintln!(
+            "  {name}: ||k||={}, sequential {} in {} ({seq_iters} DIPs)",
+            locked.key_inputs.len(),
+            classify(&seq_out),
+            secs(Duration::from_secs_f64(seq_ms / 1e3)),
+        );
+        for row in &rows {
+            eprintln!(
+                "    pipeline@{}: {} in {} ({} DIPs, {} queries, {:.1} DIPs/s)",
+                row.workers,
+                row.outcome,
+                secs(Duration::from_secs_f64(row.ms / 1e3)),
+                row.dips,
+                row.queries,
+                row.dips as f64 / (row.ms / 1e3).max(1e-9),
+            );
+        }
+        if let (Some(s), Some(tp)) = (speedup, throughput) {
+            eprintln!("    4 vs 1 workers: {s:.2}x wall clock, {tp:.2}x DIP throughput");
+        }
+        catalog.push((
+            name.clone(),
+            locked.key_inputs.len(),
+            classify(&seq_out).to_string(),
+            seq_ms,
+            seq_iters,
+            rows,
+            keys_bit_identical,
+            speedup,
+            throughput,
+        ));
+    }
+
+    // ---- small-instance inprocessing gate -------------------------------
+    eprintln!("small-instance gate: {} php instances, best of {reps} reps", PHP_CORPUS.len());
+    let mut gate_rows = Vec::new();
+    for &(name, text) in PHP_CORPUS {
+        let clauses = parse_dimacs(text);
+        let vars =
+            clauses.iter().flatten().map(|l| l.unsigned_abs() as usize).max().unwrap_or(0);
+        let gated_ms = time_php(&clauses, INPROCESS_MIN_VARS, reps);
+        let ungated_ms = time_php(&clauses, 0, reps);
+        let gate_active = vars < INPROCESS_MIN_VARS;
+        eprintln!(
+            "  {name}: {vars} vars, gate {}: {gated_ms:.3} ms gated, {ungated_ms:.3} ms ungated",
+            if gate_active { "ACTIVE" } else { "inactive" },
+        );
+        gate_rows.push((name, vars, gate_active, gated_ms, ungated_ms));
+    }
+
+    // ---- JSON ------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"dip_pipeline\",\n");
+    let _ = writeln!(json, "  \"miners\": {},", dip.miners);
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"timeout_secs\": {},", attack_timeout().as_secs());
+    json.push_str("  \"catalog\": [\n");
+    let design_objs: Vec<String> = catalog
+        .iter()
+        .map(|(name, kbits, seq_outcome, seq_ms, seq_iters, rows, ident, speedup, throughput)| {
+            let mut obj = String::new();
+            let _ = writeln!(obj, "    {{\"design\": \"{name}\", \"key_bits\": {kbits},");
+            let _ = writeln!(
+                obj,
+                "     \"sequential\": {{\"outcome\": \"{seq_outcome}\", \"ms\": {seq_ms:.1}, \
+                 \"dips\": {seq_iters}}},"
+            );
+            obj.push_str("     \"pipeline\": [\n");
+            for (j, row) in rows.iter().enumerate() {
+                let _ = write!(
+                    obj,
+                    "       {{\"workers\": {}, \"outcome\": \"{}\", \"ms\": {:.1}, \
+                     \"dips\": {}, \"oracle_queries\": {}, \"patterns_simulated\": {}, \
+                     \"dips_per_sec\": {:.2}, \"key\": \"{}\"}}",
+                    row.workers,
+                    row.outcome,
+                    row.ms,
+                    row.dips,
+                    row.queries,
+                    row.simulated,
+                    row.dips as f64 / (row.ms / 1e3).max(1e-9),
+                    row.key.as_deref().map(key_bits).unwrap_or_default(),
+                );
+                obj.push_str(if j + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            obj.push_str("     ],\n");
+            let _ = writeln!(obj, "     \"keys_bit_identical_across_workers\": {ident},");
+            match speedup {
+                Some(s) => {
+                    let _ = writeln!(obj, "     \"speedup_4_vs_1\": {s:.2},");
+                }
+                None => obj.push_str("     \"speedup_4_vs_1\": null,\n"),
+            }
+            match throughput {
+                Some(tp) => {
+                    let _ = write!(obj, "     \"throughput_4_vs_1\": {tp:.2}}}");
+                }
+                None => obj.push_str("     \"throughput_4_vs_1\": null}"),
+            }
+            obj
+        })
+        .collect();
+    json.push_str(&design_objs.join(",\n"));
+    json.push_str("\n  ],\n");
+    let _ = writeln!(json, "  \"inprocess_min_vars\": {INPROCESS_MIN_VARS},");
+    json.push_str("  \"small_instance_gate\": [\n");
+    for (i, (name, vars, active, gated_ms, ungated_ms)) in gate_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"file\": \"{name}\", \"vars\": {vars}, \"gate_active\": {active}, \
+             \"gated_ms\": {gated_ms:.3}, \"ungated_ms\": {ungated_ms:.3}}}"
+        );
+        json.push_str(if i + 1 < gate_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    rtlock_store::atomic_write(&out_path, &json).expect("write BENCH_dip.json");
+    eprintln!("wrote {out_path}");
+}

@@ -33,7 +33,7 @@ fn main() {
                             AttackOutcome::KeyFound { iterations, elapsed, .. } => {
                                 format!("broken in {} s ({iterations} DIPs)", secs(elapsed))
                             }
-                            AttackOutcome::TimedOut { iterations, elapsed } => {
+                            AttackOutcome::TimedOut { iterations, elapsed, .. } => {
                                 format!("TIMEOUT after {} s ({iterations} DIPs)", secs(elapsed))
                             }
                             AttackOutcome::Infeasible { reason } => format!("infeasible: {reason}"),
@@ -62,7 +62,7 @@ fn main() {
                         AttackOutcome::KeyFound { iterations, elapsed, .. } => {
                             format!("BROKEN in {} s ({iterations} DISs)", secs(elapsed))
                         }
-                        AttackOutcome::TimedOut { iterations, elapsed } => {
+                        AttackOutcome::TimedOut { iterations, elapsed, .. } => {
                             format!("not broken: budget exhausted after {} s ({iterations} DISs)", secs(elapsed))
                         }
                         AttackOutcome::Infeasible { reason } => format!("infeasible: {reason}"),

@@ -16,10 +16,10 @@ use rtlock_synth::{scan, scan_view};
 fn attack(locked: &Netlist, original: &Netlist) -> (usize, String) {
     let cfg = AttackConfig { max_iterations: 1_000_000, timeout: Some(attack_timeout()), ..Default::default() };
     match sat_attack(locked, original, &cfg) {
-        AttackOutcome::KeyFound { key, iterations, elapsed } => {
+        AttackOutcome::KeyFound { key, iterations, elapsed, .. } => {
             (key.len(), format!("{} s ({iterations} DIPs)", secs(elapsed)))
         }
-        AttackOutcome::TimedOut { iterations, elapsed } => {
+        AttackOutcome::TimedOut { iterations, elapsed, .. } => {
             (locked.key_inputs.len(), format!("TIMEOUT>{} s ({iterations} DIPs)", secs(elapsed)))
         }
         AttackOutcome::Infeasible { reason } => (locked.key_inputs.len(), format!("infeasible: {reason}")),

@@ -127,6 +127,44 @@ pub struct Stats {
     pub verified_models: u64,
 }
 
+/// Decision diversification for portfolio/parallel DIP mining.
+///
+/// A diversified solver explores a different part of the search tree than
+/// an undiversified one while remaining *fully deterministic*: the seed
+/// fixes the initial phase polarity of every variable and drives a
+/// splitmix/xorshift stream that redirects a fixed fraction of decisions
+/// to a pseudo-random unassigned variable instead of the VSIDS top.
+/// Identical seeds and inputs reproduce identical searches, so a fleet of
+/// miners with distinct seeds is reproducible run-to-run.
+///
+/// The default (`seed == 0`, `random_decision_permille == 0`) is inert:
+/// the solver behaves bit-identically to one that never heard of
+/// diversification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Diversification {
+    /// Seeds the initial phase polarity of every variable (0 = keep the
+    /// solver's default all-false phases).
+    pub seed: u64,
+    /// Per-mille of decisions redirected to a seeded pseudo-random
+    /// unassigned variable (0 = pure VSIDS).
+    pub random_decision_permille: u16,
+}
+
+impl Diversification {
+    /// `true` when any diversification knob is set.
+    pub fn is_active(&self) -> bool {
+        self.seed != 0 || self.random_decision_permille != 0
+    }
+}
+
+/// SplitMix64 — the one-shot seeding hash behind [`Diversification`].
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// One watch-list entry: the clause plus a cached "blocker" literal from
 /// it. If the blocker is already true the clause is satisfied and the
 /// arena is never touched — the hot-path win of the MiniSat watcher scheme.
@@ -190,9 +228,26 @@ pub struct Solver {
     pub(crate) simplified_at: usize,
     /// Scratch stack for recursive clause minimization.
     pub(crate) analyze_stack: Vec<Lit>,
+    /// Decision diversification (inert by default).
+    pub(crate) div: Diversification,
+    /// Deterministic xorshift stream for the random-decision fraction.
+    pub(crate) div_rng: u64,
+    /// Instances with fewer variables than this skip the glue-EMA restart
+    /// signal, learnt-database reduction and inter-restart inprocessing:
+    /// on tiny formulas the bookkeeping costs more than the search it
+    /// saves (the php4/php5 regression vs the pre-arena baseline).
+    /// `0` disables the gate (always inprocess).
+    pub(crate) inproc_min_vars: usize,
 }
 
 const HEAP_NONE: usize = usize::MAX;
+
+/// Default variable-count floor for inprocessing (glue-EMA restarts,
+/// learnt reduction, inter-restart simplification). Chosen from the
+/// DIMACS bench corpus: php(4→3)/php(5→4) (12/20 vars) regressed vs the
+/// pre-arena baseline purely on bookkeeping, while php(6→5) (30 vars) and
+/// php(7→6) (42 vars) profit from the full machinery.
+pub const INPROCESS_MIN_VARS: usize = 28;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -229,12 +284,45 @@ impl Solver {
             reduce_limit: 2000,
             simplified_at: 0,
             analyze_stack: Vec::new(),
+            div: Diversification::default(),
+            div_rng: 0,
+            inproc_min_vars: INPROCESS_MIN_VARS,
         }
     }
 
     /// Sets the resource budget for subsequent [`Solver::solve`] calls.
     pub fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    /// Applies decision diversification: reseeds the saved phase of every
+    /// existing variable from `div.seed` (phases of variables allocated
+    /// later are seeded on creation) and arms the random-decision
+    /// fraction. Call once, right after loading the formula; an inert
+    /// [`Diversification::default`] leaves the solver bit-identical to an
+    /// undiversified one.
+    pub fn set_diversification(&mut self, div: Diversification) {
+        self.div = div;
+        self.div_rng = splitmix64(div.seed) | 1;
+        if div.seed != 0 {
+            for v in 0..self.phase.len() {
+                self.phase[v] = splitmix64(div.seed ^ (v as u64)) & 1 == 1;
+            }
+        }
+    }
+
+    /// Sets the variable-count threshold below which the solver skips
+    /// glue-EMA restarts, learnt reduction and inter-restart
+    /// simplification. `0` disables the gate; the default is
+    /// [`INPROCESS_MIN_VARS`].
+    pub fn set_inprocessing_threshold(&mut self, vars: usize) {
+        self.inproc_min_vars = vars;
+    }
+
+    /// `true` when this instance is below the inprocessing threshold.
+    #[inline]
+    pub(crate) fn inprocessing_gated(&self) -> bool {
+        self.num_vars() < self.inproc_min_vars
     }
 
     /// Cumulative search statistics.
@@ -254,7 +342,11 @@ impl Solver {
         self.level.push(0);
         self.reason.push(CREF_NONE);
         self.activity.push(0.0);
-        self.phase.push(false);
+        self.phase.push(if self.div.seed != 0 {
+            splitmix64(self.div.seed ^ (v.0 as u64)) & 1 == 1
+        } else {
+            false
+        });
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.seen.push(0);
@@ -772,9 +864,11 @@ impl Solver {
             self.ok = false;
             return SolveResult::Unsat;
         }
-        self.simplify_db();
-        if !self.ok {
-            return SolveResult::Unsat;
+        if !self.inprocessing_gated() {
+            self.simplify_db();
+            if !self.ok {
+                return SolveResult::Unsat;
+            }
         }
 
         let mut luby_index = 0u64;
@@ -803,10 +897,14 @@ impl Solver {
                         return SolveResult::Unknown;
                     }
                     // Inprocessing between restarts: fold the top-level
-                    // facts learnt so far into the arena.
-                    self.simplify_db();
-                    if !self.ok {
-                        return SolveResult::Unsat;
+                    // facts learnt so far into the arena. Gated off on
+                    // small instances, where the pass costs more than the
+                    // propagation it saves.
+                    if !self.inprocessing_gated() {
+                        self.simplify_db();
+                        if !self.ok {
+                            return SolveResult::Unsat;
+                        }
                     }
                 }
             }
@@ -817,6 +915,7 @@ impl Solver {
     /// restart, a result, or a budget stop. `None` means "restart".
     fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
         let mut conflicts_here = 0u64;
+        let gated = self.inprocessing_gated();
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -830,8 +929,10 @@ impl Solver {
                 // asserting level is inside assumptions, re-deciding will
                 // detect the contradiction below.
                 let (learnt, backjump, lbd) = self.analyze(conflict);
-                self.lbd_queue.push(lbd);
-                self.lbd_sum += u64::from(lbd);
+                if !gated {
+                    self.lbd_queue.push(lbd);
+                    self.lbd_sum += u64::from(lbd);
+                }
                 self.backtrack_to(backjump);
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == Some(false) {
@@ -848,12 +949,12 @@ impl Solver {
                 }
                 self.decay_activities();
                 if conflicts_here >= conflict_budget
-                    || self.glue_restart_signal()
+                    || (!gated && self.glue_restart_signal())
                     || self.budget.exceeded(&self.stats)
                 {
                     return None; // restart / budget check
                 }
-                if self.stats.learnts >= self.reduce_limit {
+                if !gated && self.stats.learnts >= self.reduce_limit {
                     self.reduce_db();
                 }
             } else {
@@ -873,14 +974,31 @@ impl Solver {
                         }
                     }
                 }
-                // Pick a branching variable.
-                let next = loop {
-                    match self.heap_pop() {
-                        Some(v) if self.assign[v.index()] == 0 => break Some(v),
-                        Some(_) => continue,
-                        None => break None,
+                // Pick a branching variable: a seeded pseudo-random probe
+                // for the diversified fraction, the VSIDS top otherwise.
+                // The probe leaves the heap untouched — the probed
+                // variable is skipped by later pops once assigned.
+                let mut next = None;
+                if self.div.random_decision_permille > 0 && self.num_vars() > 0 {
+                    self.div_rng ^= self.div_rng << 13;
+                    self.div_rng ^= self.div_rng >> 7;
+                    self.div_rng ^= self.div_rng << 17;
+                    if self.div_rng % 1000 < u64::from(self.div.random_decision_permille) {
+                        let probe = Var(((self.div_rng >> 16) % self.num_vars() as u64) as u32);
+                        if self.assign[probe.index()] == 0 {
+                            next = Some(probe);
+                        }
                     }
-                };
+                }
+                if next.is_none() {
+                    next = loop {
+                        match self.heap_pop() {
+                            Some(v) if self.assign[v.index()] == 0 => break Some(v),
+                            Some(_) => continue,
+                            None => break None,
+                        }
+                    };
+                }
                 match next {
                     None => return Some(SolveResult::Sat),
                     Some(v) => {
@@ -1234,6 +1352,90 @@ mod tests {
         let st = s.stats();
         assert!(st.reduces > 0, "reduction never fired: {st:?}");
         assert!(st.removed_learnts > 0);
+    }
+
+    /// php(p → p-1) pigeonhole clauses, UNSAT for every p.
+    fn php(s: &mut Solver, pigeons: i32) {
+        let holes = pigeons - 1;
+        let p = |i: i32, j: i32| holes * i + j + 1;
+        for i in 0..=holes {
+            let clause: Vec<i32> = (0..holes).map(|j| p(i, j)).collect();
+            s.add_dimacs_clause(&clause);
+        }
+        for j in 0..holes {
+            for i1 in 0..=holes {
+                for i2 in (i1 + 1)..=holes {
+                    s.add_dimacs_clause(&[-p(i1, j), -p(i2, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inert_diversification_changes_nothing() {
+        let run = |divert: bool| {
+            let mut s = Solver::new();
+            php(&mut s, 5);
+            if divert {
+                s.set_diversification(Diversification::default());
+            }
+            let r = s.solve(&[]);
+            (r, s.stats())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn diversified_solvers_agree_on_verdicts_and_are_deterministic() {
+        for seed in [1u64, 7, 0xDEAD] {
+            let run = || {
+                let mut s = Solver::new();
+                php(&mut s, 6);
+                s.set_diversification(Diversification {
+                    seed,
+                    random_decision_permille: 50,
+                });
+                let r = s.solve(&[]);
+                (r, s.stats())
+            };
+            let (r1, st1) = run();
+            let (r2, st2) = run();
+            assert_eq!(r1, SolveResult::Unsat, "php is UNSAT under any seed");
+            assert_eq!((r1, st1), (r2, st2), "seed {seed} must reproduce");
+        }
+    }
+
+    #[test]
+    fn diversified_sat_models_stay_valid() {
+        let mut s = Solver::new();
+        for c in [[1, 2, 3], [-1, -2, 3], [1, -3, 2], [-2, 3, 1]] {
+            s.add_dimacs_clause(&c);
+        }
+        s.set_diversification(Diversification { seed: 99, random_decision_permille: 300 });
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.verify_model());
+    }
+
+    #[test]
+    fn small_instance_gate_skips_inprocessing_without_changing_verdicts() {
+        // php(5→4) is 20 vars — under the default gate.
+        let gated = {
+            let mut s = Solver::new();
+            php(&mut s, 5);
+            let r = s.solve(&[]);
+            (r, s.stats())
+        };
+        let ungated = {
+            let mut s = Solver::new();
+            s.set_inprocessing_threshold(0);
+            php(&mut s, 5);
+            let r = s.solve(&[]);
+            (r, s.stats())
+        };
+        assert_eq!(gated.0, SolveResult::Unsat);
+        assert_eq!(ungated.0, SolveResult::Unsat);
+        assert_eq!(gated.1.simplifies, 0, "gated run must not simplify");
+        assert_eq!(gated.1.reduces, 0, "gated run must not reduce");
     }
 
     #[test]

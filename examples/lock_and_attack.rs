@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle_view = scan_view(&o).netlist;
     let cfg = AttackConfig { max_iterations: 100_000, timeout: Some(Duration::from_secs(20)), ..Default::default() };
     match sat_attack(&locked_view, &oracle_view, &cfg) {
-        AttackOutcome::KeyFound { key, iterations, elapsed } => {
+        AttackOutcome::KeyFound { key, iterations, elapsed, .. } => {
             let acc = key_accuracy(&baseline.netlist, &original, &key, 64, 3);
             println!("  SAT attack: key recovered in {elapsed:?} ({iterations} DIPs), functional accuracy {acc}");
         }
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scan_key = locked.scan_policy.as_ref().expect("scan locked").scan_key.clone();
     if let AttackSurface::CombinationalViews { locked: lv, original: ov } = locked.attack_surface(Some(&scan_key))? {
         match sat_attack(&lv, &ov, &cfg) {
-            AttackOutcome::KeyFound { key, iterations, elapsed } => println!(
+            AttackOutcome::KeyFound { key, iterations, elapsed, .. } => println!(
                 "  SAT attack with scan access: {} bits in {elapsed:?} ({iterations} DIPs) — \
                  this is why scan locking matters",
                 key.len()
